@@ -1,0 +1,250 @@
+// Benchmarks: one per reproduced table/figure (running the experiment
+// harness end to end on the simulated substrate) plus microbenchmarks of
+// the hot protocol paths. Regenerate the thesis' numbers with
+// cmd/experiments; these benches track the cost of regenerating them.
+package peerhood_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"peerhood"
+	"peerhood/internal/device"
+	"peerhood/internal/experiments"
+	"peerhood/internal/gnutella"
+	"peerhood/internal/migration"
+	"peerhood/internal/phproto"
+	"peerhood/internal/rng"
+	"peerhood/internal/storage"
+)
+
+// benchExperiment runs one experiment per iteration in quick mode.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Run(id, experiments.Config{
+			Seed:      int64(i + 1),
+			TimeScale: 2000,
+			Quick:     true,
+		})
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+	}
+}
+
+// Experiment benches — one per reproduced table/figure (DESIGN.md §4).
+
+func BenchmarkT1MobilityTable(b *testing.B)          { benchExperiment(b, "T1") }
+func BenchmarkF33DiscoveryExclusion(b *testing.B)    { benchExperiment(b, "F3.3") }
+func BenchmarkF36StorageTable(b *testing.B)          { benchExperiment(b, "F3.6") }
+func BenchmarkF39QualityEquity(b *testing.B)         { benchExperiment(b, "F3.9") }
+func BenchmarkF310DiscoveryDelay(b *testing.B)       { benchExperiment(b, "F3.10") }
+func BenchmarkG1GnutellaVsPeerhood(b *testing.B)     { benchExperiment(b, "G1") }
+func BenchmarkE1BridgeInterconnection(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2RoutingHandover(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3CorridorWalk(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkE4ResultRouting(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkF61CoverageAmplification(b *testing.B) { benchExperiment(b, "F6.1") }
+func BenchmarkA1RouteAblation(b *testing.B)          { benchExperiment(b, "A1") }
+
+// Microbenchmarks — hot paths of the protocol stack.
+
+func BenchmarkStorageMergeNeighborhood(b *testing.B) {
+	st := storage.New(storage.Config{})
+	st.AddSelfAddr(device.Addr{Tech: device.TechBluetooth, MAC: "self"})
+	bridge := device.Addr{Tech: device.TechBluetooth, MAC: "bridge"}
+	st.UpsertDirect(device.Info{Name: "bridge", Addr: bridge, Mobility: device.Static}, 240)
+
+	entries := make([]phproto.NeighborEntry, 64)
+	for i := range entries {
+		entries[i] = phproto.NeighborEntry{
+			Info: device.Info{
+				Name: fmt.Sprintf("dev%d", i),
+				Addr: device.Addr{Tech: device.TechBluetooth, MAC: fmt.Sprintf("m%03d", i)},
+			},
+			Jumps:      uint8(i % 4),
+			QualitySum: uint32(200 + i),
+			QualityMin: uint8(200 + i%50),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.MergeNeighborhood(bridge, 240, entries)
+	}
+}
+
+func BenchmarkStorageWireEntries(b *testing.B) {
+	st := storage.New(storage.Config{})
+	for i := 0; i < 128; i++ {
+		st.UpsertDirect(device.Info{
+			Name: fmt.Sprintf("dev%d", i),
+			Addr: device.Addr{Tech: device.TechBluetooth, MAC: fmt.Sprintf("m%03d", i)},
+		}, 200+i%55)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := st.WireEntries(); len(got) != 128 {
+			b.Fatal("missing entries")
+		}
+	}
+}
+
+func BenchmarkProtoNeighborhoodRoundTrip(b *testing.B) {
+	msg := &phproto.Neighborhood{}
+	for i := 0; i < 64; i++ {
+		msg.Entries = append(msg.Entries, phproto.NeighborEntry{
+			Info: device.Info{
+				Name:     fmt.Sprintf("device-%d", i),
+				Addr:     device.Addr{Tech: device.TechBluetooth, MAC: fmt.Sprintf("02:70:68:00:00:%02x", i)},
+				Mobility: device.Hybrid,
+				Services: []device.ServiceInfo{{Name: "svc", Port: 10}},
+			},
+			Jumps:      uint8(i % 5),
+			QualitySum: uint32(230 * (i%5 + 1)),
+			QualityMin: 230,
+		})
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := phproto.Write(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := phproto.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Cap()))
+}
+
+func BenchmarkMigrationRecordRoundTrip(b *testing.B) {
+	payload := make([]byte, 4096)
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := migration.WriteRecord(&buf, migration.Record{
+			TaskID: 7, Seq: uint32(i), Kind: migration.KindData, Payload: payload,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		rr := migration.NewRecordReader(&buf)
+		if _, err := rr.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGnutellaFlood(b *testing.B) {
+	g := gnutella.RandomConnected(200, 6, rng.New(1))
+	holders := map[int]bool{150: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gnutella.Flood(g, i%200, 7, holders)
+	}
+}
+
+func BenchmarkDiscoveryRoundInstant(b *testing.B) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 1, Instant: true})
+	defer w.Close()
+	var nodes []*peerhood.Node
+	for i := 0; i < 8; i++ {
+		n, err := w.NewNode(peerhood.NodeConfig{
+			Name:     fmt.Sprintf("n%d", i),
+			Position: peerhood.Pt(float64(i%4)*6, float64(i/4)*6),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%len(nodes)].RunDiscoveryRound()
+	}
+}
+
+func BenchmarkBridgeRelayThroughput(b *testing.B) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 2, Instant: true})
+	defer w.Close()
+	server, err := w.NewNode(peerhood.NodeConfig{Name: "server", Position: peerhood.Pt(16, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.NewNode(peerhood.NodeConfig{Name: "bridge", Position: peerhood.Pt(8, 0)}); err != nil {
+		b.Fatal(err)
+	}
+	client, err := w.NewNode(peerhood.NodeConfig{Name: "client", Position: peerhood.Pt(0, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := server.RegisterService("echo", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		defer c.Close()
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	w.RunDiscoveryRounds(3)
+
+	conn, err := client.Connect(server.Addr(), "echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 1024)
+	buf := make([]byte, 2048)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		read := 0
+		for read < len(payload) {
+			n, err := conn.Read(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			read += n
+		}
+	}
+}
+
+func BenchmarkConnectDirectInstant(b *testing.B) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 3, Instant: true})
+	defer w.Close()
+	server, err := w.NewNode(peerhood.NodeConfig{Name: "server", Position: peerhood.Pt(3, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := w.NewNode(peerhood.NodeConfig{Name: "client", Position: peerhood.Pt(0, 0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := server.RegisterService("noop", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		_ = c.Close()
+	}); err != nil {
+		b.Fatal(err)
+	}
+	w.RunDiscoveryRounds(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := client.Connect(server.Addr(), "noop")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = conn.Close()
+	}
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the thesis' evaluation tables and
+// figures on the simulated substrate. Run with no arguments for the full
+// suite, or name experiment IDs (see -list).
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale N] [-quick] [-v] [ID ...]
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"peerhood/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 42, "random seed (echoed for reproducibility)")
+		scale = flag.Int("scale", 1000, "time compression: simulated seconds per wall second")
+		quick = flag.Bool("quick", false, "reduced trial counts for a fast smoke run")
+		verb  = flag.Bool("v", false, "log per-trial progress")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-6s %s\n", id, title)
+		}
+		return
+	}
+
+	var log io.Writer = io.Discard
+	if *verb {
+		log = os.Stderr
+	}
+	cfg := experiments.Config{Seed: *seed, TimeScale: *scale, Quick: *quick, Log: log}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	exit := 0
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Println(res)
+	}
+	os.Exit(exit)
+}

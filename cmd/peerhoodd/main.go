@@ -1,0 +1,137 @@
+// Command peerhoodd runs a real-network PeerHood daemon: discovery over
+// UDP, data over TCP (internal/tcpnet). Several daemons on one LAN (or one
+// machine, using distinct ports) form a PeerHood neighbourhood; each
+// periodically prints its device storage.
+//
+// Example — two daemons on loopback:
+//
+//	peerhoodd -name pc    -listen 127.0.0.1:7001 -peers 127.0.0.1:7002 -echo
+//	peerhoodd -name phone -listen 127.0.0.1:7002 -peers 127.0.0.1:7001 -mobility dynamic
+//
+// Inspect either one with: phctl -addr 127.0.0.1:7001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"peerhood/internal/bridge"
+	"peerhood/internal/daemon"
+	"peerhood/internal/device"
+	"peerhood/internal/library"
+	"peerhood/internal/tcpnet"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "", "device name (required)")
+		listen   = flag.String("listen", "127.0.0.1:0", "host:port for TCP data and UDP discovery")
+		peers    = flag.String("peers", "", "comma-separated peer addresses to probe")
+		mobility = flag.String("mobility", "static", "mobility class: static, hybrid, dynamic")
+		echo     = flag.Bool("echo", false, "register a demo echo service")
+		noBridge = flag.Bool("no-bridge", false, "disable the hidden bridge service")
+		interval = flag.Duration("print-interval", 10*time.Second, "device-storage print period (0 disables)")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "peerhoodd: -name is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var mob device.Mobility
+	switch strings.ToLower(*mobility) {
+	case "static":
+		mob = device.Static
+	case "hybrid":
+		mob = device.Hybrid
+	case "dynamic":
+		mob = device.Dynamic
+	default:
+		log.Fatalf("unknown mobility class %q", *mobility)
+	}
+
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+
+	pl, err := tcpnet.New(tcpnet.Config{Listen: *listen, Peers: peerList})
+	if err != nil {
+		log.Fatalf("transport: %v", err)
+	}
+	defer pl.Close()
+
+	d, err := daemon.New(daemon.Config{Name: *name, Mobility: mob, Checksum: uint32(os.Getpid())})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.AddPlugin(pl); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Start(true); err != nil {
+		log.Fatal(err)
+	}
+	defer d.Stop()
+
+	lib, err := library.New(library.Config{Daemon: d})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lib.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer lib.Stop()
+
+	if !*noBridge {
+		b, err := bridge.Attach(bridge.Config{Library: lib})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer b.Close()
+	}
+
+	if *echo {
+		if _, err := lib.RegisterService("echo", "peerhoodd demo", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+			defer vc.Close()
+			buf := make([]byte, 4096)
+			for {
+				n, err := vc.Read(buf)
+				if err != nil {
+					return
+				}
+				if _, err := vc.Write(buf[:n]); err != nil {
+					return
+				}
+			}
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	log.Printf("peerhoodd %q listening on %s (peers: %v)", *name, pl.Addr().MAC, peerList)
+
+	var tick <-chan time.Time
+	if *interval > 0 {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-tick:
+			fmt.Printf("--- %s device storage ---\n%s", *name, d.Storage())
+		case s := <-sig:
+			log.Printf("received %v, shutting down", s)
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command phctl inspects a running peerhoodd over the wire: it dials the
+// daemon's information port (the same protocol PeerHood devices use to
+// fetch each other's data, fig 3.7) and prints the device descriptor,
+// registered services, and neighbourhood routing table.
+//
+// Usage:
+//
+//	phctl -addr 127.0.0.1:7001 [device|services|neighborhood|all]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon host:port (required)")
+	timeout := flag.Duration("timeout", 5*time.Second, "dial/read timeout")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "phctl: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	conn, err := dialDaemonPort(*addr, *timeout)
+	if err != nil {
+		log.Fatalf("dialing daemon: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(*timeout))
+
+	if what == "device" || what == "all" {
+		info, err := fetch[*phproto.DeviceInfo](conn, phproto.InfoDevice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("device: %s\n  addr:     %v\n  mobility: %v\n  checksum: %d\n",
+			info.Info.Name, info.Info.Addr, info.Info.Mobility, info.Info.Checksum)
+	}
+	if what == "services" || what == "all" {
+		svcs, err := fetch[*phproto.ServiceList](conn, phproto.InfoServices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("services (%d):\n", len(svcs.Services))
+		for _, s := range svcs.Services {
+			fmt.Printf("  %v\n", s)
+		}
+	}
+	if what == "neighborhood" || what == "all" {
+		nb, err := fetch[*phproto.Neighborhood](conn, phproto.InfoNeighborhood)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("neighbourhood (%d devices):\n", len(nb.Entries))
+		fmt.Printf("  %-16s %-28s %5s  %-28s %7s\n", "NAME", "ADDR", "JUMPS", "BRIDGE", "QUALITY")
+		for _, e := range nb.Entries {
+			bridge := "-"
+			if !e.Bridge.IsZero() {
+				bridge = e.Bridge.String()
+			}
+			fmt.Printf("  %-16s %-28s %5d  %-28s %7d\n",
+				e.Info.Name, e.Info.Addr, e.Jumps, bridge, e.QualitySum)
+		}
+	}
+}
+
+// dialDaemonPort opens a TCP connection to the daemon and sends the
+// tcpnet port preamble selecting the daemon information port.
+func dialDaemonPort(addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	var preamble [2]byte
+	binary.BigEndian.PutUint16(preamble[:], device.PortDaemon)
+	if _, err := c.Write(preamble[:]); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	var ok [1]byte
+	if _, err := io.ReadFull(c, ok[:]); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	if ok[0] != 1 {
+		_ = c.Close()
+		return nil, fmt.Errorf("daemon port refused (is %s a peerhoodd?)", addr)
+	}
+	return c, nil
+}
+
+// fetch sends one InfoRequest and decodes the typed response.
+func fetch[T phproto.Message](conn net.Conn, kind phproto.InfoKind) (T, error) {
+	var zero T
+	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: kind}); err != nil {
+		return zero, fmt.Errorf("requesting %v: %w", kind, err)
+	}
+	msg, err := phproto.ReadExpect[T](conn)
+	if err != nil {
+		return zero, fmt.Errorf("reading %v: %w", kind, err)
+	}
+	return msg, nil
+}

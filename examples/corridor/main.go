@@ -1,0 +1,101 @@
+// Corridor handover: the thesis' routing-handover scenario (§5.2.1,
+// figs 5.4-5.8). A phone streams messages to a server while walking down a
+// corridor; as the direct link weakens past the 230 threshold, the
+// HandoverThread re-routes the same logical connection through a bridge
+// node using PH_RECONNECT, and the stream continues.
+//
+// Run with: go run ./examples/corridor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"peerhood"
+	"peerhood/internal/handover"
+)
+
+func main() {
+	world := peerhood.NewWorld(peerhood.WorldConfig{
+		Seed:              3,
+		TimeScale:         500,
+		LinkCheckInterval: 500 * time.Millisecond,
+	})
+	defer world.Close()
+	clk := world.Clock()
+
+	server, err := world.NewNode(peerhood.NodeConfig{
+		Name: "office-pc", Position: peerhood.Pt(0, 0), AutoDiscover: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := world.NewNode(peerhood.NodeConfig{
+		Name: "hallway-laptop", Position: peerhood.Pt(6, 0), AutoDiscover: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	phone, err := world.NewNode(peerhood.NodeConfig{
+		Name: "phone", Position: peerhood.Pt(1, 0),
+		Mobility: peerhood.Dynamic, AutoDiscover: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	received := 0
+	if _, err := server.RegisterService("print", "", func(conn *peerhood.Connection, meta peerhood.ConnectionMeta) {
+		defer conn.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			received++
+			fmt.Printf("server: %s\n", buf[:n])
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	world.RunDiscoveryRounds(3)
+
+	conn, err := phone.Connect(server.Addr(), "print")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	conn.OnSwap(func(oldRemote, newRemote peerhood.Addr) {
+		fmt.Printf("phone: ChangeConnection — transport moved %v -> %v\n", oldRemote, newRemote)
+	})
+	if _, err := phone.MonitorHandover(conn, peerhood.HandoverConfig{
+		Observer: func(e peerhood.HandoverEvent, detail string) {
+			switch e {
+			case handover.EventHandoverStart, handover.EventHandoverDone, handover.EventHandoverFailed:
+				fmt.Printf("handover: %v (%s)\n", e, detail)
+			}
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Walk out of the office, down the corridor, stopping near the
+	// hallway laptop.
+	fmt.Println("phone: walking down the corridor at 1.0 m/s...")
+	phone.SetModel(peerhood.Walk(peerhood.Pt(1, 0), peerhood.Pt(9, 0), 1.0))
+
+	for i := 1; i <= 25; i++ {
+		msg := fmt.Sprintf("good morning! (%02d)", i)
+		if _, err := conn.Write([]byte(msg)); err != nil {
+			fmt.Printf("phone: message %d lost: %v\n", i, err)
+		}
+		clk.Sleep(time.Second)
+	}
+	clk.Sleep(2 * time.Second)
+
+	fmt.Printf("\ndelivered %d/25 messages; connection used %d transport(s); bridge now: %v\n",
+		received, conn.Generation(), conn.Bridge())
+}

@@ -1,0 +1,79 @@
+// Quickstart: two PeerHood devices in a simulated wireless neighbourhood
+// discover each other, one registers an echo service, the other finds it
+// in its device storage and connects.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"peerhood"
+)
+
+func main() {
+	world := peerhood.NewWorld(peerhood.WorldConfig{Seed: 1, TimeScale: 1000})
+	defer world.Close()
+
+	// A fixed PC offering a service, three metres from a phone.
+	pc, err := world.NewNode(peerhood.NodeConfig{
+		Name:     "living-room-pc",
+		Position: peerhood.Pt(3, 0),
+		Mobility: peerhood.Static,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	phone, err := world.NewNode(peerhood.NodeConfig{
+		Name:     "phone",
+		Position: peerhood.Pt(0, 0),
+		Mobility: peerhood.Dynamic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := pc.RegisterService("echo", "demo", func(conn *peerhood.Connection, meta peerhood.ConnectionMeta) {
+		defer conn.Close()
+		buf := make([]byte, 256)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each discovery round the daemon inquires, fetches device information
+	// and merges the neighbours' device storages (ch. 3 of the thesis).
+	world.RunDiscoveryRounds(2)
+
+	fmt.Println("phone's device storage after discovery:")
+	fmt.Println(phone.StorageTable())
+
+	for _, p := range phone.Providers("echo") {
+		fmt.Printf("found service %v on %s\n", p.Service, p.Entry.Info.Name)
+	}
+
+	conn, err := phone.Connect(pc.Addr(), "echo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("hello PeerHood")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("echo reply: %q\n", buf[:n])
+}

@@ -1,0 +1,140 @@
+package bridge_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/library"
+	"peerhood/internal/phtest"
+	"peerhood/internal/storage"
+)
+
+// TestTTLBoundsChainLength: a hello with TTL smaller than the required
+// hop count must be rejected by the chain rather than relayed forever.
+func TestTTLBoundsChainLength(t *testing.T) {
+	nodes := lineWorld(t, 20, 5) // needs 3 bridges to reach the far end
+	a, far := nodes[0], nodes[4]
+
+	entry, _ := a.Daemon.Storage().Lookup(far.Addr())
+	route, _ := entry.Best()
+	svc, _ := entry.Info.FindService("echo")
+
+	// TTL 1: the first bridge decrements to 0 and the second refuses.
+	_, err := a.Lib.ConnectVia(library.Via{
+		Route:       route,
+		Target:      far.Addr(),
+		ServiceName: svc.Name,
+		ServicePort: svc.Port,
+		ConnID:      1234,
+		TTL:         1,
+	})
+	if !errors.Is(err, library.ErrRejected) {
+		t.Fatalf("short-TTL chain err = %v, want ErrRejected", err)
+	}
+
+	// TTL 3 suffices for the 3-bridge chain.
+	conn, err := a.Lib.ConnectVia(library.Via{
+		Route:       route,
+		Target:      far.Addr(),
+		ServiceName: svc.Name,
+		ServicePort: svc.Port,
+		ConnID:      1235,
+		TTL:         3,
+	})
+	if err != nil {
+		t.Fatalf("sufficient-TTL chain: %v", err)
+	}
+	_ = conn.Close()
+}
+
+// TestBridgeNeverRoutesBackwards: the bridge must not select the
+// requester itself as the next hop even when the requester advertises a
+// route to the destination.
+func TestBridgeNeverRoutesBackwards(t *testing.T) {
+	w := phtest.InstantWorld(t, 21)
+	// a - b in mutual coverage; target exists only in a's imagination:
+	// b's only "route" to it would be back through a.
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	phtest.AttachBridge(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 2)
+
+	ghost := device.Addr{Tech: device.TechBluetooth, MAC: "gh:os:t0"}
+	// Plant a fake route in b's storage claiming the ghost is reachable
+	// via a (simulating a stale report).
+	b.Daemon.Storage().UpsertDirect(device.Info{Name: "ghost-carrier", Addr: a.Addr()}, 240)
+	b.Daemon.Storage().MergeNeighborhood(a.Addr(), 240, nil)
+
+	_, err := a.Lib.ConnectVia(library.Via{
+		Route:       storage.Route{Jumps: 1, Bridge: b.Addr(), QualitySum: 480, QualityMin: 240},
+		Target:      ghost,
+		ServiceName: "echo",
+		ServicePort: 10,
+		ConnID:      77,
+	})
+	if !errors.Is(err, library.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected (no forward route)", err)
+	}
+}
+
+// TestConcurrentChainsThroughOneBridge exercises the fig 4.2
+// multi-connection scenario: several clients relayed simultaneously.
+func TestConcurrentChainsThroughOneBridge(t *testing.T) {
+	w := phtest.InstantWorld(t, 22)
+	server := phtest.AddNode(t, w, "server", geo.Pt(16, 0), device.Static)
+	bridgeNode := phtest.AddNode(t, w, "bridge", geo.Pt(8, 0), device.Static)
+	phtest.AttachBridge(t, bridgeNode)
+	registerEcho(t, server)
+
+	const clients = 4
+	var cs []*phtest.Node
+	for i := 0; i < clients; i++ {
+		cs = append(cs, phtest.AddNode(t, w, fmt.Sprintf("c%d", i), geo.Pt(0, float64(i)), device.Dynamic))
+	}
+	phtest.RunRounds(append(cs, server, bridgeNode), 3)
+
+	type result struct {
+		idx int
+		err error
+	}
+	done := make(chan result, clients)
+	for i, c := range cs {
+		go func(idx int, n *phtest.Node) {
+			vc, err := n.Lib.Connect(server.Addr(), "echo")
+			if err != nil {
+				done <- result{idx, err}
+				return
+			}
+			defer vc.Close()
+			msg := fmt.Sprintf("from-%d", idx)
+			if _, err := vc.Write([]byte(msg)); err != nil {
+				done <- result{idx, err}
+				return
+			}
+			buf := make([]byte, 32)
+			nr, err := vc.Read(buf)
+			if err != nil {
+				done <- result{idx, err}
+				return
+			}
+			if string(buf[:nr]) != msg {
+				done <- result{idx, fmt.Errorf("echo mismatch: %q", buf[:nr])}
+				return
+			}
+			done <- result{idx, nil}
+		}(i, c)
+	}
+	for i := 0; i < clients; i++ {
+		r := <-done
+		if r.err != nil {
+			t.Fatalf("client %d: %v", r.idx, r.err)
+		}
+	}
+	st := bridgeNode.Bridge.Stats()
+	if st.ChainsEstablished != clients {
+		t.Fatalf("chains established = %d, want %d", st.ChainsEstablished, clients)
+	}
+}

@@ -1,0 +1,164 @@
+// Package clock abstracts time so that PeerHood protocol code can run
+// against the real wall clock, a scaled clock (simulated seconds compressed
+// into wall milliseconds), or a fully manual clock for deterministic tests.
+//
+// Every duration used by protocol code is expressed in *simulated* time; the
+// clock implementation decides how long that takes on the wall. The scaled
+// clock is what makes the thesis' experiments — minutes of walking, 3–18 s
+// Bluetooth connection establishment — reproducible in milliseconds.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used by all PeerHood components.
+//
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current simulated time.
+	Now() time.Time
+
+	// Sleep blocks the calling goroutine for d of simulated time.
+	// It returns immediately if d <= 0.
+	Sleep(d time.Duration)
+
+	// After returns a channel that delivers the simulated time after d has
+	// elapsed. The channel has capacity one and is never closed.
+	After(d time.Duration) <-chan time.Time
+
+	// NewTicker returns a ticker firing every d of simulated time.
+	// It panics if d <= 0, mirroring time.NewTicker.
+	NewTicker(d time.Duration) Ticker
+
+	// Since returns the simulated time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Ticker is the clock-agnostic analogue of *time.Ticker.
+type Ticker interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Stop releases the ticker's resources. After Stop returns no further
+	// ticks are delivered.
+	Stop()
+}
+
+// Real returns a Clock backed directly by the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+var _ Clock = realClock{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+func (realClock) NewTicker(d time.Duration) Ticker {
+	return realTicker{t: time.NewTicker(d)}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
+
+// Scaled returns a Clock in which simulated time passes factor times faster
+// than wall time: Sleep(1*time.Second) on a 1000× clock blocks for 1 ms of
+// wall time, and Now() advances 1000 simulated seconds per wall second.
+//
+// The epoch of the scaled clock is fixed at construction, so simulated
+// timestamps from one Scaled clock are mutually comparable but unrelated to
+// wall timestamps. factor must be >= 1.
+func Scaled(factor int) Clock {
+	if factor < 1 {
+		factor = 1
+	}
+	return &scaledClock{
+		factor: time.Duration(factor),
+		start:  time.Now(),
+		epoch:  time.Unix(0, 0),
+	}
+}
+
+type scaledClock struct {
+	factor time.Duration
+	start  time.Time // wall time at construction
+	epoch  time.Time // simulated time at construction
+}
+
+var _ Clock = (*scaledClock)(nil)
+
+func (c *scaledClock) Now() time.Time {
+	return c.epoch.Add(time.Since(c.start) * c.factor)
+}
+
+func (c *scaledClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(c.wall(d))
+}
+
+func (c *scaledClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	time.AfterFunc(c.wall(d), func() { ch <- c.Now() })
+	return ch
+}
+
+func (c *scaledClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c *scaledClock) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive Ticker duration")
+	}
+	wall := c.wall(d)
+	t := time.NewTicker(wall)
+	st := &scaledTicker{clk: c, inner: t, out: make(chan time.Time, 1), done: make(chan struct{})}
+	go st.run()
+	return st
+}
+
+// wall converts a simulated duration to the wall duration it occupies,
+// rounding up to 1ns so that scaled waits never collapse to busy loops.
+func (c *scaledClock) wall(d time.Duration) time.Duration {
+	w := d / c.factor
+	if w <= 0 && d > 0 {
+		w = 1
+	}
+	return w
+}
+
+type scaledTicker struct {
+	clk   *scaledClock
+	inner *time.Ticker
+	out   chan time.Time
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (st *scaledTicker) run() {
+	for {
+		select {
+		case <-st.inner.C:
+			select {
+			case st.out <- st.clk.Now():
+			default: // receiver is slow; drop the tick like time.Ticker does
+			}
+		case <-st.done:
+			return
+		}
+	}
+}
+
+func (st *scaledTicker) C() <-chan time.Time { return st.out }
+
+func (st *scaledTicker) Stop() {
+	st.once.Do(func() {
+		st.inner.Stop()
+		close(st.done)
+	})
+}

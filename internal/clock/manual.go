@@ -1,0 +1,171 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Manual is a Clock whose time only moves when Advance is called. It is the
+// deterministic clock used by unit tests: code under test registers waiters
+// via Sleep/After/NewTicker and the test advances time explicitly.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64 // tiebreaker so equal deadlines fire in registration order
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a Manual clock starting at the Unix epoch.
+func NewManual() *Manual {
+	return &Manual{now: time.Unix(0, 0)}
+}
+
+// NewManualAt returns a Manual clock starting at t.
+func NewManualAt(t time.Time) *Manual {
+	return &Manual{now: t}
+}
+
+// Now returns the current manual time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since returns the manual time elapsed since t.
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+// Sleep blocks until Advance has moved the clock at least d forward.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// After returns a channel delivering the manual time once d has elapsed.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.push(&waiter{at: m.now.Add(d), ch: ch})
+	return ch
+}
+
+// NewTicker returns a ticker driven by Advance.
+func (m *Manual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive Ticker duration")
+	}
+	mt := &manualTicker{m: m, period: d, ch: make(chan time.Time, 1)}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &waiter{at: m.now.Add(d), tick: mt}
+	mt.w = w
+	m.push(w)
+	return mt
+}
+
+// Advance moves the clock forward by d, firing every timer and ticker whose
+// deadline is reached, in deadline order. It returns the number of waiters
+// fired.
+func (m *Manual) Advance(d time.Duration) int {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	fired := 0
+	for len(m.waiters) > 0 && !m.waiters[0].at.After(target) {
+		w := heap.Pop(&m.waiters).(*waiter)
+		if w.cancelled {
+			continue
+		}
+		m.now = w.at
+		fired++
+		if w.tick != nil {
+			// Re-arm the ticker before delivering, like time.Ticker.
+			nw := &waiter{at: w.at.Add(w.tick.period), tick: w.tick}
+			w.tick.w = nw
+			m.push(nw)
+			select {
+			case w.tick.ch <- m.now:
+			default:
+			}
+			continue
+		}
+		w.ch <- m.now
+	}
+	m.now = target
+	m.mu.Unlock()
+	return fired
+}
+
+// PendingWaiters reports how many timers/tickers are currently registered.
+func (m *Manual) PendingWaiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.waiters {
+		if !w.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Manual) push(w *waiter) {
+	w.seq = m.seq
+	m.seq++
+	heap.Push(&m.waiters, w)
+}
+
+type waiter struct {
+	at        time.Time
+	seq       int64
+	ch        chan time.Time
+	tick      *manualTicker
+	cancelled bool
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+type manualTicker struct {
+	m      *Manual
+	period time.Duration
+	ch     chan time.Time
+	w      *waiter
+}
+
+func (mt *manualTicker) C() <-chan time.Time { return mt.ch }
+
+func (mt *manualTicker) Stop() {
+	mt.m.mu.Lock()
+	defer mt.m.mu.Unlock()
+	if mt.w != nil {
+		mt.w.cancelled = true
+		mt.w = nil
+	}
+}

@@ -1,0 +1,395 @@
+// Package daemon implements the PeerHood daemon (§2.2.1): the long-lived
+// process owning the network plugins, the DeviceStorage, the per-plugin
+// discovery loops, and the information responder that answers other
+// devices' fetches on the daemon port. Applications never talk to the
+// daemon directly; the library (internal/library) does.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/discovery"
+	"peerhood/internal/phproto"
+	"peerhood/internal/plugin"
+	"peerhood/internal/storage"
+)
+
+// Config parametrises a Daemon. Name is required.
+type Config struct {
+	// Name is the device's human-readable name, shown in device lists.
+	Name string
+	// Mobility is the device's own class, advertised during discovery and
+	// used by peers for bridge selection (§3.4.3).
+	Mobility device.Mobility
+	// Clock drives all timing; defaults to the real clock.
+	Clock clock.Clock
+	// Checksum mirrors the thesis' daemon PID field (transmitted, unused).
+	Checksum uint32
+
+	// ServiceCheckInterval is the re-fetch staleness bound (fig 3.12);
+	// zero fetches every round.
+	ServiceCheckInterval time.Duration
+	// LegacyOneHop runs discovery in the pre-thesis one-level mode
+	// (baseline for experiment F3.3).
+	LegacyOneHop bool
+	// QualityThreshold, MaxJumps, MaxMissedLoops configure the storage;
+	// zero values take the storage defaults (230, 8, 2).
+	QualityThreshold int
+	MaxJumps         int
+	MaxMissedLoops   int
+	// QualityFirst swaps route-selection priority from mobility to link
+	// quality (ablation A1).
+	QualityFirst bool
+
+	// LoadPenalty, if set, returns a quality penalty subtracted from every
+	// advertised route when this daemon answers neighbourhood fetches. The
+	// bridge service wires its connection load in here, implementing the
+	// §4 bottleneck-avoidance suggestion.
+	LoadPenalty func() int
+}
+
+// ErrStopped reports operations on a stopped daemon.
+var ErrStopped = errors.New("daemon: stopped")
+
+// Daemon is one device's PeerHood daemon.
+type Daemon struct {
+	cfg   Config
+	clk   clock.Clock
+	store *storage.Storage
+
+	mu          sync.Mutex
+	plugins     []plugin.Plugin
+	discoverers []*discovery.Discoverer
+	listeners   []plugin.Listener
+	services    map[string]device.ServiceInfo
+	nextPort    uint16
+	started     bool
+	stopped     bool
+	wg          sync.WaitGroup
+	conns       map[io.Closer]struct{}
+}
+
+// New returns a Daemon with no plugins attached.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("daemon: Name is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	d := &Daemon{
+		cfg: cfg,
+		clk: cfg.Clock,
+		store: storage.New(storage.Config{
+			Clock:            cfg.Clock,
+			QualityThreshold: cfg.QualityThreshold,
+			MaxJumps:         cfg.MaxJumps,
+			MaxMissedLoops:   cfg.MaxMissedLoops,
+			QualityFirst:     cfg.QualityFirst,
+		}),
+		services: make(map[string]device.ServiceInfo),
+		nextPort: device.PortServiceBase,
+		conns:    make(map[io.Closer]struct{}),
+	}
+	return d, nil
+}
+
+// AddPlugin attaches a network plugin. Must be called before Start.
+func (d *Daemon) AddPlugin(p plugin.Plugin) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return errors.New("daemon: cannot add plugins after Start")
+	}
+	for _, existing := range d.plugins {
+		if existing.Tech() == p.Tech() {
+			return fmt.Errorf("daemon: duplicate %v plugin", p.Tech())
+		}
+	}
+	d.plugins = append(d.plugins, p)
+	d.store.AddSelfAddr(p.Addr())
+	return nil
+}
+
+// Name returns the device name.
+func (d *Daemon) Name() string { return d.cfg.Name }
+
+// Clock returns the daemon's clock.
+func (d *Daemon) Clock() clock.Clock { return d.clk }
+
+// Storage returns the daemon's device table.
+func (d *Daemon) Storage() *storage.Storage { return d.store }
+
+// Plugins returns the attached plugins.
+func (d *Daemon) Plugins() []plugin.Plugin {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]plugin.Plugin(nil), d.plugins...)
+}
+
+// PluginFor returns the plugin of the given technology.
+func (d *Daemon) PluginFor(t device.Tech) (plugin.Plugin, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range d.plugins {
+		if p.Tech() == t {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// InfoFor returns the descriptor this daemon advertises on the given
+// technology: identity, mobility, and registered services.
+func (d *Daemon) InfoFor(t device.Tech) (device.Info, bool) {
+	p, ok := d.PluginFor(t)
+	if !ok {
+		return device.Info{}, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info := device.Info{
+		Name:     d.cfg.Name,
+		Addr:     p.Addr(),
+		Checksum: d.cfg.Checksum,
+		Mobility: d.cfg.Mobility,
+	}
+	for _, s := range d.services {
+		info.Services = append(info.Services, s)
+	}
+	return info, true
+}
+
+// RegisterService registers a named service and allocates its logical
+// port. Registered services become discoverable by every device in the
+// PeerHood network (§2.3).
+func (d *Daemon) RegisterService(name, attr string) (device.ServiceInfo, error) {
+	if name == "" {
+		return device.ServiceInfo{}, errors.New("daemon: empty service name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.services[name]; dup {
+		return device.ServiceInfo{}, fmt.Errorf("daemon: service %q already registered", name)
+	}
+	svc := device.ServiceInfo{Name: name, Attr: attr, Port: d.nextPort}
+	d.nextPort++
+	d.services[name] = svc
+	return svc, nil
+}
+
+// UnregisterService removes a registered service.
+func (d *Daemon) UnregisterService(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.services, name)
+}
+
+// Services returns the locally registered services.
+func (d *Daemon) Services() []device.ServiceInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]device.ServiceInfo, 0, len(d.services))
+	for _, s := range d.services {
+		out = append(out, s)
+	}
+	return out
+}
+
+// LookupLocalService returns the local service with the given port.
+func (d *Daemon) LookupLocalService(port uint16) (device.ServiceInfo, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range d.services {
+		if s.Port == port {
+			return s, true
+		}
+	}
+	return device.ServiceInfo{}, false
+}
+
+// Start binds the daemon information port on every plugin and begins
+// serving fetches. If autoDiscover is true it also starts the per-plugin
+// discovery loops; otherwise the embedder drives RunDiscoveryRound.
+func (d *Daemon) Start(autoDiscover bool) error {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return errors.New("daemon: already started")
+	}
+	if d.stopped {
+		d.mu.Unlock()
+		return ErrStopped
+	}
+	if len(d.plugins) == 0 {
+		d.mu.Unlock()
+		return errors.New("daemon: no plugins attached")
+	}
+	d.started = true
+	plugins := append([]plugin.Plugin(nil), d.plugins...)
+	d.mu.Unlock()
+
+	for _, p := range plugins {
+		l, err := p.Listen(device.PortDaemon)
+		if err != nil {
+			d.Stop()
+			return fmt.Errorf("daemon: binding info port on %v: %w", p.Tech(), err)
+		}
+		d.mu.Lock()
+		d.listeners = append(d.listeners, l)
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go d.acceptLoop(p, l)
+
+		disc := discovery.New(discovery.Config{
+			Store:                d.store,
+			Plugin:               p,
+			Clock:                d.clk,
+			ServiceCheckInterval: d.cfg.ServiceCheckInterval,
+			LegacyOneHop:         d.cfg.LegacyOneHop,
+		})
+		d.mu.Lock()
+		d.discoverers = append(d.discoverers, disc)
+		d.mu.Unlock()
+		if autoDiscover {
+			disc.Start()
+		}
+	}
+	return nil
+}
+
+// RunDiscoveryRound performs one synchronous discovery round on every
+// plugin and returns the per-plugin reports. Deterministic tests and the
+// experiment harness use it instead of the background loops.
+func (d *Daemon) RunDiscoveryRound() []discovery.RoundReport {
+	d.mu.Lock()
+	discs := append([]*discovery.Discoverer(nil), d.discoverers...)
+	d.mu.Unlock()
+	out := make([]discovery.RoundReport, 0, len(discs))
+	for _, disc := range discs {
+		out = append(out, disc.RunRound())
+	}
+	return out
+}
+
+// Stop halts discovery, closes listeners and in-flight responder
+// connections, and waits for every daemon goroutine to exit. Idempotent.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	discs := d.discoverers
+	listeners := d.listeners
+	conns := make([]io.Closer, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+
+	for _, disc := range discs {
+		disc.Stop()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	d.wg.Wait()
+}
+
+// acceptLoop serves information fetches arriving on one plugin.
+func (d *Daemon) acceptLoop(p plugin.Plugin, l plugin.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		d.mu.Lock()
+		if d.stopped {
+			d.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveInfo(p, conn)
+			d.mu.Lock()
+			delete(d.conns, conn)
+			d.mu.Unlock()
+		}()
+	}
+}
+
+// serveInfo answers a sequence of InfoRequests on one short connection
+// (fig 3.7, unified per §3.4.1's suggestion).
+func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := phproto.Read(conn)
+		if err != nil {
+			return
+		}
+		req, ok := msg.(*phproto.InfoRequest)
+		if !ok {
+			return
+		}
+		var resp phproto.Message
+		switch req.Kind {
+		case phproto.InfoDevice:
+			info, _ := d.InfoFor(p.Tech())
+			resp = &phproto.DeviceInfo{Info: info}
+		case phproto.InfoServices:
+			resp = &phproto.ServiceList{Services: d.Services()}
+		case phproto.InfoNeighborhood:
+			resp = &phproto.Neighborhood{Entries: d.advertisedEntries()}
+		default:
+			return
+		}
+		if err := phproto.Write(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// advertisedEntries renders the storage for transmission, applying the
+// load-based quality penalty if configured (§4's bottleneck avoidance:
+// a busy bridge advertises routes as lower-quality, steering new
+// connections elsewhere).
+func (d *Daemon) advertisedEntries() []phproto.NeighborEntry {
+	entries := d.store.WireEntries()
+	if d.cfg.LoadPenalty == nil {
+		return entries
+	}
+	penalty := d.cfg.LoadPenalty()
+	if penalty <= 0 {
+		return entries
+	}
+	for i := range entries {
+		q := int(entries[i].QualitySum) - penalty
+		if q < 0 {
+			q = 0
+		}
+		entries[i].QualitySum = uint32(q)
+		m := int(entries[i].QualityMin) - penalty
+		if m < 0 {
+			m = 0
+		}
+		entries[i].QualityMin = uint8(m)
+	}
+	return entries
+}

@@ -1,0 +1,339 @@
+package daemon_test
+
+import (
+	"errors"
+	"testing"
+
+	"peerhood/internal/daemon"
+	"peerhood/internal/device"
+	"peerhood/internal/discovery"
+	"peerhood/internal/geo"
+	"peerhood/internal/phproto"
+	"peerhood/internal/phtest"
+	"peerhood/internal/plugin"
+)
+
+func TestNewRequiresName(t *testing.T) {
+	if _, err := daemon.New(daemon.Config{}); err == nil {
+		t.Fatal("daemon without name accepted")
+	}
+}
+
+func TestRegisterService(t *testing.T) {
+	w := phtest.InstantWorld(t, 1)
+	n := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+
+	svc, err := n.Daemon.RegisterService("echo", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Port < device.PortServiceBase {
+		t.Fatalf("allocated port %d below service base", svc.Port)
+	}
+	if _, err := n.Daemon.RegisterService("echo", "v1"); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := n.Daemon.RegisterService("", ""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	got, ok := n.Daemon.LookupLocalService(svc.Port)
+	if !ok || got.Name != "echo" {
+		t.Fatalf("LookupLocalService = %v, %v", got, ok)
+	}
+	n.Daemon.UnregisterService("echo")
+	if _, ok := n.Daemon.LookupLocalService(svc.Port); ok {
+		t.Fatal("service survived unregistration")
+	}
+}
+
+func TestInfoForIncludesServices(t *testing.T) {
+	w := phtest.InstantWorld(t, 2)
+	n := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Hybrid)
+	if _, err := n.Daemon.RegisterService("print", "laser"); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := n.Daemon.InfoFor(device.TechBluetooth)
+	if !ok {
+		t.Fatal("no BT info")
+	}
+	if info.Name != "a" || info.Mobility != device.Hybrid {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, ok := info.FindService("print"); !ok {
+		t.Fatal("service missing from advertised info")
+	}
+	if _, ok := n.Daemon.InfoFor(device.TechGPRS); ok {
+		t.Fatal("info for unattached tech")
+	}
+}
+
+func TestFetchAgainstLiveDaemon(t *testing.T) {
+	w := phtest.InstantWorld(t, 3)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "b", geo.Pt(3, 0), device.Dynamic)
+	if _, err := b.Daemon.RegisterService("echo", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	info, nb, err := discovery.Fetch(a.Plugin, b.Addr())
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if info.Name != "b" || info.Mobility != device.Dynamic {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, ok := info.FindService("echo"); !ok {
+		t.Fatal("fetched info lacks service")
+	}
+	if len(nb) != 0 {
+		t.Fatalf("fresh daemon advertises %d entries", len(nb))
+	}
+}
+
+func TestFetchNonPeerHoodDeviceRefused(t *testing.T) {
+	w := phtest.InstantWorld(t, 4)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+	// A bare radio with no daemon: not PeerHood-capable.
+	dev, _ := w.AddDevice("bare", nil)
+	r, _ := dev.AddRadio(device.TechBluetooth)
+
+	_, _, err := discovery.Fetch(a.Plugin, r.Addr())
+	if !errors.Is(err, plugin.ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused (no PeerHood tag)", err)
+	}
+}
+
+func TestDiscoveryRoundPopulatesStorage(t *testing.T) {
+	w := phtest.InstantWorld(t, 5)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "b", geo.Pt(3, 0), device.Dynamic)
+
+	rep := a.Daemon.RunDiscoveryRound()
+	if len(rep) != 1 {
+		t.Fatalf("reports = %d", len(rep))
+	}
+	if rep[0].Responses != 1 || rep[0].Fetches != 1 || rep[0].FetchErrors != 0 {
+		t.Fatalf("report = %+v", rep[0])
+	}
+	e, ok := a.Daemon.Storage().Lookup(b.Addr())
+	if !ok {
+		t.Fatal("b not stored")
+	}
+	if e.Info.Name != "b" {
+		t.Fatalf("stored info = %+v", e.Info)
+	}
+	best, _ := e.Best()
+	if !best.Direct() {
+		t.Fatalf("route = %+v, want direct", best)
+	}
+}
+
+// TestFigure36EndToEnd reproduces fig 3.6 over the live protocol stack:
+// the A/B/C/D/E topology where A hears B and C; B additionally covers E;
+// C additionally covers D. After two rounds of everyone discovering, A's
+// DeviceStorage must match the thesis' table exactly.
+func TestFigure36EndToEnd(t *testing.T) {
+	w := phtest.InstantWorld(t, 6)
+	// Coverage radius is 10m. Lay out so that:
+	//   A(0,0) — B(8,3) and C(8,-3) direct (dist ~8.5)
+	//   B(8,3) — E(16,6) direct (dist ~8.5); A-E dist ~17 (out of range)
+	//   C(8,-3) — D(16,-6) direct; A-D ~17; B-D, C-E etc. > 10.
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(8, 3), device.Dynamic)
+	c := phtest.AddNode(t, w, "C", geo.Pt(8, -3), device.Dynamic)
+	d := phtest.AddNode(t, w, "D", geo.Pt(16, -6), device.Dynamic)
+	e := phtest.AddNode(t, w, "E", geo.Pt(16, 6), device.Dynamic)
+	nodes := []*phtest.Node{a, b, c, d, e}
+
+	// Round 1: everyone learns direct neighbours. Round 2: neighbourhood
+	// reports propagate one extra jump (fig 3.10).
+	phtest.RunRounds(nodes, 2)
+
+	type row struct {
+		jumps  int
+		bridge string // device name; "" = direct
+	}
+	want := map[string]row{
+		"B": {0, ""},
+		"C": {0, ""},
+		"D": {1, "C"},
+		"E": {1, "B"},
+	}
+	snap := a.Daemon.Storage().Snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("A knows %d devices, want %d:\n%s", len(snap), len(want), a.Daemon.Storage())
+	}
+	nameByAddr := map[device.Addr]string{
+		b.Addr(): "B", c.Addr(): "C", d.Addr(): "D", e.Addr(): "E",
+	}
+	for _, entry := range snap {
+		name := nameByAddr[entry.Info.Addr]
+		w, ok := want[name]
+		if !ok {
+			t.Fatalf("unexpected device %s in storage", name)
+		}
+		best, _ := entry.Best()
+		if best.Jumps != w.jumps {
+			t.Errorf("%s: jumps = %d, want %d", name, best.Jumps, w.jumps)
+		}
+		gotBridge := ""
+		if !best.Bridge.IsZero() {
+			gotBridge = nameByAddr[best.Bridge]
+		}
+		if gotBridge != w.bridge {
+			t.Errorf("%s: bridge = %q, want %q", name, gotBridge, w.bridge)
+		}
+	}
+}
+
+// TestLineTopologyTotalAwareness checks §3.3's claim: in a line
+// A-B-C-D-E-F where each only covers its neighbours, k rounds of discovery
+// give awareness k jumps out, and enough rounds give total awareness.
+func TestLineTopologyTotalAwareness(t *testing.T) {
+	w := phtest.InstantWorld(t, 7)
+	const n = 6
+	nodes := make([]*phtest.Node, n)
+	for i := 0; i < n; i++ {
+		// 8m spacing: only adjacent nodes are within the 10m radius.
+		nodes[i] = phtest.AddNode(t, w, string(rune('A'+i)), geo.Pt(float64(i)*8, 0), device.Static)
+	}
+
+	phtest.RunRounds(nodes, 1)
+	if got := nodes[0].Daemon.Storage().Len(); got != 1 {
+		t.Fatalf("after 1 round A knows %d devices, want 1 (just B)", got)
+	}
+
+	phtest.RunRounds(nodes, n)
+	if got := nodes[0].Daemon.Storage().Len(); got != n-1 {
+		t.Fatalf("A knows %d devices, want %d (total awareness):\n%s",
+			got, n-1, nodes[0].Daemon.Storage())
+	}
+	// The far end must be reachable via the chain with increasing jumps.
+	far, ok := nodes[0].Daemon.Storage().Lookup(nodes[n-1].Addr())
+	if !ok {
+		t.Fatal("far end unknown")
+	}
+	best, _ := far.Best()
+	if best.Jumps != n-2 {
+		t.Fatalf("far-end jumps = %d, want %d", best.Jumps, n-2)
+	}
+	if best.Bridge != nodes[1].Addr() {
+		t.Fatalf("far-end first hop = %v, want B", best.Bridge)
+	}
+}
+
+func TestDepartedDeviceAgesOut(t *testing.T) {
+	w := phtest.InstantWorld(t, 8)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "b", geo.Pt(3, 0), device.Dynamic)
+	nodes := []*phtest.Node{a, b}
+	phtest.RunRounds(nodes, 1)
+	if _, ok := a.Daemon.Storage().Lookup(b.Addr()); !ok {
+		t.Fatal("b not discovered")
+	}
+	// b leaves coverage entirely.
+	b.Device.SetDown(true)
+	phtest.RunRounds([]*phtest.Node{a}, 4) // > MaxMissedLoops
+	if _, ok := a.Daemon.Storage().Lookup(b.Addr()); ok {
+		t.Fatalf("departed device still stored:\n%s", a.Daemon.Storage())
+	}
+}
+
+func TestServiceVisibleAcrossJumps(t *testing.T) {
+	// A service registered at the end of a 3-node line is discoverable by
+	// the other end through neighbourhood propagation (§2.3 + ch. 3).
+	w := phtest.InstantWorld(t, 9)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(8, 0), device.Static)
+	c := phtest.AddNode(t, w, "c", geo.Pt(16, 0), device.Static)
+	if _, err := c.Daemon.RegisterService("analysis", "img"); err != nil {
+		t.Fatal(err)
+	}
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	providers := a.Daemon.Storage().FindService("analysis")
+	if len(providers) != 1 {
+		t.Fatalf("providers = %d, want 1:\n%s", len(providers), a.Daemon.Storage())
+	}
+	if providers[0].Entry.Info.Name != "c" || providers[0].Service.Name != "analysis" {
+		t.Fatalf("provider = %+v", providers[0])
+	}
+	best, _ := providers[0].Entry.Best()
+	if best.Jumps != 1 || best.Bridge != b.Addr() {
+		t.Fatalf("route to provider = %+v", best)
+	}
+}
+
+func TestLoadPenaltyLowersAdvertisedQuality(t *testing.T) {
+	w := phtest.InstantWorld(t, 10)
+	penalty := 0
+	dev, _ := w.AddDevice("loaded", nil)
+	radio, _ := dev.AddRadio(device.TechBluetooth)
+	d, err := daemon.New(daemon.Config{
+		Name:        "loaded",
+		Clock:       w.Clock(),
+		LoadPenalty: func() int { return penalty },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPlugin(plugin.NewSim(w, radio)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(false); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	neighbor := phtest.AddNode(t, w, "n", geo.Pt(3, 0), device.Static)
+	phtest.RunRounds([]*phtest.Node{{Device: dev, Radio: radio, Plugin: plugin.NewSim(w, radio), Daemon: d}}, 1)
+
+	fetch := func() []phproto.NeighborEntry {
+		_, nb, err := discovery.Fetch(neighbor.Plugin, radio.Addr())
+		if err != nil {
+			t.Fatalf("Fetch: %v", err)
+		}
+		return nb
+	}
+	before := fetch()
+	if len(before) != 1 {
+		t.Fatalf("advertised entries = %d, want 1", len(before))
+	}
+	penalty = 50
+	after := fetch()
+	drop := int(before[0].QualitySum) - int(after[0].QualitySum)
+	if drop != 50 {
+		t.Fatalf("advertised quality drop = %d, want 50", drop)
+	}
+}
+
+func TestStopIsIdempotentAndFetchFailsAfter(t *testing.T) {
+	w := phtest.InstantWorld(t, 11)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "b", geo.Pt(3, 0), device.Static)
+	b.Daemon.Stop()
+	b.Daemon.Stop()
+	if _, _, err := discovery.Fetch(a.Plugin, b.Addr()); err == nil {
+		t.Fatal("fetch from stopped daemon succeeded")
+	}
+}
+
+func TestDuplicatePluginRejected(t *testing.T) {
+	w := phtest.InstantWorld(t, 12)
+	dev, _ := w.AddDevice("x", nil)
+	r, _ := dev.AddRadio(device.TechBluetooth)
+	d, _ := daemon.New(daemon.Config{Name: "x", Clock: w.Clock()})
+	if err := d.AddPlugin(plugin.NewSim(w, r)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPlugin(plugin.NewSim(w, r)); err == nil {
+		t.Fatal("duplicate tech plugin accepted")
+	}
+}
+
+func TestStartWithoutPluginsFails(t *testing.T) {
+	d, _ := daemon.New(daemon.Config{Name: "x"})
+	if err := d.Start(false); err == nil {
+		t.Fatal("start without plugins succeeded")
+	}
+}

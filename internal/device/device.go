@@ -1,0 +1,174 @@
+// Package device defines the identity model shared by every PeerHood
+// component: network technologies, radio addresses, mobility classes
+// (§3.4.3 of the thesis), and device/service descriptors.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Tech identifies a network technology. PeerHood abstracts all of them
+// behind plugins (§2.2); the thesis implements Bluetooth and names WLAN and
+// GPRS as the other supported prototypes.
+type Tech int8
+
+// Supported technologies.
+const (
+	TechBluetooth Tech = iota + 1
+	TechWLAN
+	TechGPRS
+)
+
+var techNames = map[Tech]string{
+	TechBluetooth: "bt",
+	TechWLAN:      "wlan",
+	TechGPRS:      "gprs",
+}
+
+// String implements fmt.Stringer, returning the address-prefix form.
+func (t Tech) String() string {
+	if n, ok := techNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("tech(%d)", int8(t))
+}
+
+// Valid reports whether t is a known technology.
+func (t Tech) Valid() bool { _, ok := techNames[t]; return ok }
+
+// ParseTech converts the address-prefix form back to a Tech.
+func ParseTech(s string) (Tech, error) {
+	for t, n := range techNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("device: unknown technology %q", s)
+}
+
+// Techs returns all known technologies in stable order.
+func Techs() []Tech { return []Tech{TechBluetooth, TechWLAN, TechGPRS} }
+
+// Addr is the unique address of one radio interface: technology plus MAC.
+// The thesis uses the interface MAC address as the device-unique identifier
+// because it is unique even among interfaces of the same device (§2.3).
+type Addr struct {
+	Tech Tech
+	MAC  string
+}
+
+// String renders the canonical "tech:MAC" form, e.g. "bt:02:70:68:00:00:01".
+func (a Addr) String() string {
+	return a.Tech.String() + ":" + a.MAC
+}
+
+// IsZero reports whether a is the zero address.
+func (a Addr) IsZero() bool { return a.Tech == 0 && a.MAC == "" }
+
+// ErrBadAddr reports an unparseable address string.
+var ErrBadAddr = errors.New("device: malformed address")
+
+// ParseAddr parses the canonical "tech:MAC" form produced by Addr.String.
+func ParseAddr(s string) (Addr, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return Addr{}, fmt.Errorf("%w: %q", ErrBadAddr, s)
+	}
+	tech, err := ParseTech(s[:i])
+	if err != nil {
+		return Addr{}, fmt.Errorf("%w: %q", ErrBadAddr, s)
+	}
+	mac := s[i+1:]
+	if mac == "" {
+		return Addr{}, fmt.Errorf("%w: empty MAC in %q", ErrBadAddr, s)
+	}
+	return Addr{Tech: tech, MAC: mac}, nil
+}
+
+// Mobility classifies how a device moves (§3.4.3). The numeric values are
+// the thesis' own comparison weights: {static, hybrid, dynamic} = {0, 1, 3}.
+// Lower is preferred when selecting bridge routes; the sum over a route's
+// nodes measures route instability (the mobility-sum table of §3.4.3).
+type Mobility int8
+
+// Mobility classes with the thesis' comparison weights.
+const (
+	Static  Mobility = 0
+	Hybrid  Mobility = 1
+	Dynamic Mobility = 3
+)
+
+// String implements fmt.Stringer.
+func (m Mobility) String() string {
+	switch m {
+	case Static:
+		return "static"
+	case Hybrid:
+		return "hybrid"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("mobility(%d)", int8(m))
+	}
+}
+
+// Valid reports whether m is one of the three defined classes.
+func (m Mobility) Valid() bool {
+	return m == Static || m == Hybrid || m == Dynamic
+}
+
+// ServiceInfo describes one registered PeerHood service (§2.3): name,
+// free-form attribute, and the logical port applications connect to.
+type ServiceInfo struct {
+	Name string
+	Attr string
+	Port uint16
+}
+
+// String implements fmt.Stringer.
+func (s ServiceInfo) String() string {
+	return fmt.Sprintf("%s@%d(%s)", s.Name, s.Port, s.Attr)
+}
+
+// Info is the descriptor a device advertises about itself during discovery:
+// identity, mobility class, and its registered services. Checksum carries
+// the daemon process ID; the thesis notes it is transmitted but unused.
+type Info struct {
+	Name     string
+	Addr     Addr
+	Checksum uint32
+	Mobility Mobility
+	Services []ServiceInfo
+}
+
+// Clone returns a deep copy of i, so stored descriptors cannot alias
+// caller-held slices (copy-at-boundary).
+func (i Info) Clone() Info {
+	out := i
+	if i.Services != nil {
+		out.Services = append([]ServiceInfo(nil), i.Services...)
+	}
+	return out
+}
+
+// FindService returns the first service with the given name.
+func (i Info) FindService(name string) (ServiceInfo, bool) {
+	for _, s := range i.Services {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ServiceInfo{}, false
+}
+
+// Well-known physical ports inside a PeerHood node. Every radio exposes the
+// daemon's information responder on PortDaemon and the library engine on
+// PortEngine; registered services are logical ports >= PortServiceBase that
+// the engine demultiplexes (§2.2, §4.1).
+const (
+	PortDaemon      uint16 = 1
+	PortEngine      uint16 = 2
+	PortServiceBase uint16 = 10
+)

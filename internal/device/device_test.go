@@ -1,0 +1,197 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTechString(t *testing.T) {
+	cases := []struct {
+		tech Tech
+		want string
+	}{
+		{TechBluetooth, "bt"},
+		{TechWLAN, "wlan"},
+		{TechGPRS, "gprs"},
+		{Tech(99), "tech(99)"},
+	}
+	for _, c := range cases {
+		if got := c.tech.String(); got != c.want {
+			t.Errorf("Tech(%d).String() = %q, want %q", c.tech, got, c.want)
+		}
+	}
+}
+
+func TestTechValid(t *testing.T) {
+	for _, tech := range Techs() {
+		if !tech.Valid() {
+			t.Errorf("%v not valid", tech)
+		}
+	}
+	if Tech(0).Valid() || Tech(42).Valid() {
+		t.Error("invalid techs reported valid")
+	}
+}
+
+func TestParseTechRoundTrip(t *testing.T) {
+	for _, tech := range Techs() {
+		got, err := ParseTech(tech.String())
+		if err != nil {
+			t.Fatalf("ParseTech(%q): %v", tech.String(), err)
+		}
+		if got != tech {
+			t.Errorf("round trip %v -> %v", tech, got)
+		}
+	}
+	if _, err := ParseTech("zigbee"); err == nil {
+		t.Error("ParseTech accepted unknown tech")
+	}
+}
+
+func TestAddrStringParseRoundTrip(t *testing.T) {
+	a := Addr{Tech: TechBluetooth, MAC: "02:70:68:00:00:01"}
+	s := a.String()
+	if s != "bt:02:70:68:00:00:01" {
+		t.Fatalf("String() = %q", s)
+	}
+	back, err := ParseAddr(s)
+	if err != nil {
+		t.Fatalf("ParseAddr: %v", err)
+	}
+	if back != a {
+		t.Fatalf("round trip %v -> %v", a, back)
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, bad := range []string{"", "nocolon", "zigbee:aa:bb", "bt:"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAddrIsZero(t *testing.T) {
+	if !(Addr{}).IsZero() {
+		t.Error("zero Addr not IsZero")
+	}
+	if (Addr{Tech: TechWLAN, MAC: "x"}).IsZero() {
+		t.Error("non-zero Addr IsZero")
+	}
+}
+
+func TestMobilityWeights(t *testing.T) {
+	// The thesis' comparison weights must be preserved exactly: §3.4.3.
+	if Static != 0 || Hybrid != 1 || Dynamic != 3 {
+		t.Fatalf("mobility weights changed: static=%d hybrid=%d dynamic=%d",
+			Static, Hybrid, Dynamic)
+	}
+}
+
+func TestMobilitySumTable(t *testing.T) {
+	// Reproduces the §3.4.3 mobility-sum table (experiment T1): the sum of
+	// route-node weights orders routes by stability.
+	sums := []struct {
+		a, b Mobility
+		want int
+	}{
+		{Static, Static, 0},
+		{Static, Hybrid, 1},
+		{Hybrid, Static, 1},
+		{Hybrid, Hybrid, 2},
+		{Static, Dynamic, 3},
+		{Dynamic, Static, 3},
+		{Hybrid, Dynamic, 4},
+		{Dynamic, Hybrid, 4},
+		{Dynamic, Dynamic, 6},
+	}
+	for _, c := range sums {
+		if got := int(c.a) + int(c.b); got != c.want {
+			t.Errorf("%v+%v = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMobilityStringAndValid(t *testing.T) {
+	cases := []struct {
+		m     Mobility
+		str   string
+		valid bool
+	}{
+		{Static, "static", true},
+		{Hybrid, "hybrid", true},
+		{Dynamic, "dynamic", true},
+		{Mobility(2), "mobility(2)", false},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+		if got := c.m.Valid(); got != c.valid {
+			t.Errorf("%v.Valid() = %v, want %v", c.m, got, c.valid)
+		}
+	}
+}
+
+func TestInfoClone(t *testing.T) {
+	orig := Info{
+		Name:     "laptop",
+		Addr:     Addr{Tech: TechBluetooth, MAC: "aa"},
+		Mobility: Hybrid,
+		Services: []ServiceInfo{{Name: "print", Port: 10}},
+	}
+	cl := orig.Clone()
+	cl.Services[0].Name = "mutated"
+	if orig.Services[0].Name != "print" {
+		t.Fatal("Clone shares the services slice")
+	}
+}
+
+func TestInfoCloneNilServices(t *testing.T) {
+	cl := (Info{Name: "bare"}).Clone()
+	if cl.Services != nil {
+		t.Fatal("Clone invented a services slice")
+	}
+}
+
+func TestFindService(t *testing.T) {
+	i := Info{Services: []ServiceInfo{
+		{Name: "a", Port: 10},
+		{Name: "b", Port: 11},
+	}}
+	if s, ok := i.FindService("b"); !ok || s.Port != 11 {
+		t.Fatalf("FindService(b) = %v, %v", s, ok)
+	}
+	if _, ok := i.FindService("zzz"); ok {
+		t.Fatal("FindService found a missing service")
+	}
+}
+
+func TestAddrRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(macBytes []byte) bool {
+		if len(macBytes) == 0 {
+			return true
+		}
+		// Render as hex-ish MAC; any non-empty string without a reserved
+		// prefix works because MAC is free-form after the first colon.
+		mac := ""
+		for i, b := range macBytes {
+			if i > 0 {
+				mac += ":"
+			}
+			mac += string(rune('a' + int(b%26)))
+		}
+		a := Addr{Tech: TechWLAN, MAC: mac}
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceInfoString(t *testing.T) {
+	s := ServiceInfo{Name: "img", Attr: "v1", Port: 12}
+	if got := s.String(); got != "img@12(v1)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

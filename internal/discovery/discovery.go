@@ -1,0 +1,232 @@
+// Package discovery implements the thesis' Dynamic Device Discovery
+// (ch. 3): the per-plugin inquiry loop of fig 3.12 — inquire, fetch
+// information from new or stale devices over short connections, fold their
+// transmitted DeviceStorages into ours (AnalyzeNeighbourhoodDevices,
+// fig 3.13), and age out devices that stopped responding.
+package discovery
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+	"peerhood/internal/plugin"
+	"peerhood/internal/rng"
+	"peerhood/internal/storage"
+)
+
+// Config parametrises one Discoverer (one per plugin, as in the thesis).
+type Config struct {
+	Store  *storage.Storage
+	Plugin plugin.Plugin
+	Clock  clock.Clock
+
+	// Cycle is the period between inquiry rounds; zero takes the plugin's
+	// nominal discovery cycle.
+	Cycle time.Duration
+
+	// ServiceCheckInterval is how stale a device's fetched information may
+	// become before the next response triggers a re-fetch (fig 3.12's
+	// energy-saving re-check interval). Zero means fetch every round.
+	ServiceCheckInterval time.Duration
+
+	// LegacyOneHop reproduces the pre-thesis PeerHood (§3.1, fig 3.3):
+	// neighbourhood reports are only accepted for the reporter's *direct*
+	// neighbours, so awareness stops at two jumps and the coverage
+	// exclusion problem reappears. Used as the baseline in experiment
+	// F3.3.
+	LegacyOneHop bool
+}
+
+// RoundReport summarises one discovery round.
+type RoundReport struct {
+	// Responses is how many devices answered the inquiry.
+	Responses int
+	// Fetches is how many information fetches were performed.
+	Fetches int
+	// FetchErrors counts fetch attempts that failed (connection fault, or
+	// the device is not PeerHood-capable and refused the daemon port).
+	FetchErrors int
+	// Merge accumulates the AnalyzeNeighbourhoodDevices results.
+	Merge storage.MergeResult
+	// Removed lists devices aged out this round.
+	Removed []device.Addr
+}
+
+// Discoverer runs the discovery loop of one plugin.
+type Discoverer struct {
+	cfg Config
+	src *rng.Source
+
+	// roundMu serialises rounds: a manually driven round and the
+	// background loop must never interleave their inquiry/aging phases.
+	roundMu sync.Mutex
+
+	mu     sync.Mutex
+	rounds int64
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New returns a Discoverer. It panics if Store, Plugin, or Clock is nil.
+func New(cfg Config) *Discoverer {
+	if cfg.Store == nil || cfg.Plugin == nil || cfg.Clock == nil {
+		panic("discovery: Store, Plugin and Clock are required")
+	}
+	if cfg.Cycle <= 0 {
+		cfg.Cycle = cfg.Plugin.DiscoveryCycle()
+	}
+	// Phase and jitter derive from the radio address: deterministic per
+	// device, decorrelated across devices. Without this, loops started
+	// together stay phase-locked and asymmetric radios (Bluetooth) never
+	// see each other — each is mid-inquiry whenever the others look.
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(cfg.Plugin.Addr().String()))
+	return &Discoverer{cfg: cfg, src: rng.New(int64(h.Sum64()))}
+}
+
+// Rounds returns how many rounds have completed.
+func (d *Discoverer) Rounds() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rounds
+}
+
+// RunRound performs one synchronous discovery round (fig 3.12). Tests and
+// deterministic experiments call it directly; Start loops it. Rounds are
+// serialised, so manual rounds and the background loop compose safely.
+func (d *Discoverer) RunRound() RoundReport {
+	d.roundMu.Lock()
+	defer d.roundMu.Unlock()
+	var rep RoundReport
+	responses := d.cfg.Plugin.Inquire()
+	rep.Responses = len(responses)
+
+	responded := make(map[device.Addr]bool, len(responses))
+	for _, r := range responses {
+		responded[r.Addr] = true
+		_, known := d.cfg.Store.Lookup(r.Addr)
+		if known && !d.cfg.Store.NeedsFetch(r.Addr, d.cfg.ServiceCheckInterval) {
+			// Known and fresh: refresh presence and quality only
+			// (fig 3.12 "set timestamp = 0").
+			d.cfg.Store.UpsertDirect(device.Info{Addr: r.Addr}, r.Quality)
+			continue
+		}
+		rep.Fetches++
+		info, nb, err := Fetch(d.cfg.Plugin, r.Addr)
+		if err != nil {
+			rep.FetchErrors++
+			if known {
+				// Fetch failed but the device did respond: keep it alive.
+				d.cfg.Store.UpsertDirect(device.Info{Addr: r.Addr}, r.Quality)
+			}
+			continue
+		}
+		d.cfg.Store.UpsertDirect(info, r.Quality)
+		d.cfg.Store.UpdateInfo(info)
+		if d.cfg.LegacyOneHop {
+			kept := nb[:0]
+			for _, e := range nb {
+				if e.Jumps == 0 {
+					kept = append(kept, e)
+				}
+			}
+			nb = kept
+		}
+		m := d.cfg.Store.MergeNeighborhood(r.Addr, r.Quality, nb)
+		rep.Merge.Added += m.Added
+		rep.Merge.Updated += m.Updated
+		rep.Merge.Rejected += m.Rejected
+		rep.Merge.Removed += m.Removed
+	}
+
+	rep.Removed = d.cfg.Store.AgeRound(d.cfg.Plugin.Tech(), responded)
+
+	d.mu.Lock()
+	d.rounds++
+	d.mu.Unlock()
+	return rep
+}
+
+// Start launches the discovery loop: one round per cycle until Stop. It is
+// a no-op if already running.
+func (d *Discoverer) Start() {
+	d.mu.Lock()
+	if d.stop != nil {
+		d.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	d.stop, d.done = stop, done
+	d.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		// Random initial phase so co-started devices don't inquire in
+		// lockstep.
+		initial := time.Duration(d.src.Float64() * float64(d.cfg.Cycle))
+		select {
+		case <-d.cfg.Clock.After(initial):
+		case <-stop:
+			return
+		}
+		for {
+			d.RunRound()
+			// ±10% per-round jitter keeps phases drifting apart.
+			wait := time.Duration(float64(d.cfg.Cycle) * (0.9 + 0.2*d.src.Float64()))
+			select {
+			case <-d.cfg.Clock.After(wait):
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit. Idempotent.
+func (d *Discoverer) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Fetch performs the information exchange of fig 3.7 against a device's
+// daemon port: device information (including services) and the
+// neighbourhood table, over one short connection. An ErrRefused dial means
+// the device carries no PeerHood daemon — the SDP "PeerHood tag" check of
+// §2.3 maps to this.
+func Fetch(p plugin.Plugin, to device.Addr) (device.Info, []phproto.NeighborEntry, error) {
+	conn, err := p.Dial(to, device.PortDaemon)
+	if err != nil {
+		return device.Info{}, nil, fmt.Errorf("discovery: fetching %v: %w", to, err)
+	}
+	defer conn.Close()
+
+	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: phproto.InfoDevice}); err != nil {
+		return device.Info{}, nil, fmt.Errorf("discovery: requesting device info: %w", err)
+	}
+	di, err := phproto.ReadExpect[*phproto.DeviceInfo](conn)
+	if err != nil {
+		return device.Info{}, nil, fmt.Errorf("discovery: reading device info: %w", err)
+	}
+
+	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: phproto.InfoNeighborhood}); err != nil {
+		return device.Info{}, nil, fmt.Errorf("discovery: requesting neighbourhood: %w", err)
+	}
+	nb, err := phproto.ReadExpect[*phproto.Neighborhood](conn)
+	if err != nil {
+		return device.Info{}, nil, fmt.Errorf("discovery: reading neighbourhood: %w", err)
+	}
+	return di.Info, nb.Entries, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"peerhood"
+)
+
+// RunRouteAblation quantifies the §3.4.3 design argument behind preferring
+// static bridges (experiment A1): with the thesis policy
+// (jumps → mobility → quality) the network routes through fixed devices;
+// with a naive quality-first policy it picks the closer — but mobile —
+// bridge, and loses the route when that device walks off.
+func RunRouteAblation(cfg Config) (Result, error) {
+	trials := cfg.trials(10, 3)
+
+	type policyResult struct {
+		choseStatic int
+		survived    int
+	}
+	run := func(qualityFirst bool) (policyResult, error) {
+		var pr policyResult
+		for trial := 0; trial < trials; trial++ {
+			w := peerhood.NewWorld(peerhood.WorldConfig{Seed: cfg.Seed + int64(trial), Instant: true})
+
+			// Client and server out of mutual range; two candidate
+			// bridges: a *static* one and a *dynamic* one that is closer
+			// (better link quality) but will walk away.
+			server, err := w.NewNode(peerhood.NodeConfig{Name: "server", Position: peerhood.Pt(16, 0)})
+			if err != nil {
+				w.Close()
+				return pr, err
+			}
+			staticBridge, err := w.NewNode(peerhood.NodeConfig{
+				Name: "static-bridge", Position: peerhood.Pt(8, 3), Mobility: peerhood.Static,
+				QualityFirst: qualityFirst,
+			})
+			if err != nil {
+				w.Close()
+				return pr, err
+			}
+			dynBridge, err := w.NewNode(peerhood.NodeConfig{
+				Name: "dyn-bridge", Position: peerhood.Pt(8, 0), Mobility: peerhood.Dynamic,
+				QualityFirst: qualityFirst,
+			})
+			if err != nil {
+				w.Close()
+				return pr, err
+			}
+			client, err := w.NewNode(peerhood.NodeConfig{
+				Name: "client", Position: peerhood.Pt(0, 0), Mobility: peerhood.Dynamic,
+				QualityFirst: qualityFirst,
+			})
+			if err != nil {
+				w.Close()
+				return pr, err
+			}
+
+			if _, err := server.RegisterService("echo", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}); err != nil {
+				w.Close()
+				return pr, err
+			}
+
+			w.RunDiscoveryRounds(3)
+
+			conn, err := client.Connect(server.Addr(), "echo")
+			if err != nil {
+				w.Close()
+				continue
+			}
+			viaStatic := conn.Bridge() == staticBridge.Addr()
+			if viaStatic {
+				pr.choseStatic++
+			}
+			_ = dynBridge
+
+			// The dynamic bridge leaves; any relay through it dies.
+			dynBridge.Device().SetDown(true)
+			w.CheckLinks()
+
+			conn.SetSending(false) // fail fast: no handover attached
+			if _, err := conn.Write([]byte("ping")); err == nil {
+				buf := make([]byte, 8)
+				if _, err := conn.Read(buf); err == nil {
+					pr.survived++
+				}
+			}
+			_ = conn.Close()
+			w.Close()
+		}
+		return pr, nil
+	}
+
+	thesis, err := run(false)
+	if err != nil {
+		return Result{}, err
+	}
+	naive, err := run(true)
+	if err != nil {
+		return Result{}, err
+	}
+
+	t := newTable("POLICY", "CHOSE STATIC BRIDGE", "CONNECTION SURVIVED DEPARTURE")
+	t.add("thesis (jumps, mobility, quality)", fmt.Sprintf("%d/%d", thesis.choseStatic, trials), fmt.Sprintf("%d/%d", thesis.survived, trials))
+	t.add("ablated (jumps, quality, mobility)", fmt.Sprintf("%d/%d", naive.choseStatic, trials), fmt.Sprintf("%d/%d", naive.survived, trials))
+
+	return Result{
+		Table: t.String(),
+		Notes: []string{
+			"paper: \"we will always give preference to static terminals as a bridge ... converting them to the backbone of the network\" (§3.4.3)",
+			"the dynamic bridge offers better instantaneous quality but takes the route down when it leaves",
+		},
+	}, nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"peerhood"
+	"peerhood/internal/migration"
+)
+
+// RunResultRouting reproduces the §5.3 picture-analysis experiment
+// (experiment E4, figs 5.9-5.10): a phone ships a picture to an analysis
+// server while walking away. Payload size separates the thesis' three
+// regimes: (1) small tasks finish inside coverage (inline result);
+// (2) medium tasks lose the connection during processing and the server
+// returns the result through its routing table (dial-back); (3) huge
+// tasks break mid-upload and are lost ("connection lack"), because the
+// §5.2 routing handover cannot beat Bluetooth's connection latency. A
+// fourth row shows the integrated stack (handover attached) saving part of
+// the huge uploads — the improvement the thesis projects for short-setup
+// technologies.
+func RunResultRouting(cfg Config) (Result, error) {
+	type regime struct {
+		name     string
+		packages int
+		handover bool
+	}
+	// 32 KiB packages over the 100 KiB/s Bluetooth link against a ~9 s
+	// coverage window (walking from 1 m to the 10 m edge at 1.0 m/s), with
+	// the analysis crunching 64 KiB/s.
+	const pkgSize = 32 << 10
+	regimes := []regime{
+		{"small", 4, false},
+		{"medium", 12, false},
+		{"huge", 40, false},
+		{"huge+handover", 40, true},
+	}
+	trials := cfg.trials(6, 2)
+	// Fine-grained transfer timing needs head-room between wall-clock
+	// scheduling overhead and simulated time: cap the compression.
+	if cfg.TimeScale > 200 {
+		cfg.TimeScale = 200
+	}
+
+	t := newTable("PAYLOAD", "PACKAGES", "KB", "INLINE", "DIAL-BACK", "LOST", "MEAN TIME")
+	notes := []string{
+		"paper case 1: \"with a smaller number of data packages ... the task could be carried out before the device leaves\"",
+		"paper case 2: \"connection is broken during the processing ... server looks for the device in its neighborhood routing table and tries to send the result back\"",
+		"paper case 3: \"connection is broken during the data packages transmission ... producing a connection lack\" — handover loses the race against Bluetooth connect latency",
+		"extension row: with the §5.2 handover thread attached, some huge uploads survive by re-routing through the corridor bridges",
+	}
+
+	for _, r := range regimes {
+		inline, dialback, lost := 0, 0, 0
+		var durations []time.Duration
+		for trial := 0; trial < trials; trial++ {
+			outcome, err := resultRoutingTrial(cfg, cfg.Seed+int64(trial)*977+int64(r.packages)*7, r.packages, pkgSize, r.handover)
+			if err != nil {
+				return Result{}, err
+			}
+			switch outcome.delivery {
+			case migration.DeliveryInline:
+				inline++
+				durations = append(durations, outcome.duration)
+			case migration.DeliveryDialBack:
+				dialback++
+				durations = append(durations, outcome.duration)
+			default:
+				lost++
+			}
+		}
+		meanTime := "-"
+		if len(durations) > 0 {
+			var sum time.Duration
+			for _, d := range durations {
+				sum += d
+			}
+			meanTime = secs(sum / time.Duration(len(durations)))
+		}
+		t.add(r.name,
+			fmt.Sprintf("%d", r.packages),
+			fmt.Sprintf("%d", r.packages*pkgSize/1024),
+			fmt.Sprintf("%d/%d", inline, trials),
+			fmt.Sprintf("%d/%d", dialback, trials),
+			fmt.Sprintf("%d/%d", lost, trials),
+			meanTime,
+		)
+		cfg.logf("%s: inline=%d dialback=%d lost=%d", r.name, inline, dialback, lost)
+	}
+
+	return Result{Table: t.String(), Notes: notes}, nil
+}
+
+type rrOutcome struct {
+	delivery migration.Delivery
+	duration time.Duration
+}
+
+func resultRoutingTrial(cfg Config, seed int64, packages, pkgSize int, attachHandover bool) (rrOutcome, error) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{
+		Seed:              seed,
+		TimeScale:         cfg.TimeScale,
+		LinkCheckInterval: 500 * time.Millisecond,
+	})
+	defer w.Close()
+
+	server, err := w.NewNode(peerhood.NodeConfig{Name: "analysis", Position: peerhood.Pt(0, 0), AutoDiscover: true})
+	if err != nil {
+		return rrOutcome{}, err
+	}
+	if _, err := w.NewNode(peerhood.NodeConfig{Name: "bridge1", Position: peerhood.Pt(6, 0), AutoDiscover: true}); err != nil {
+		return rrOutcome{}, err
+	}
+	if _, err := w.NewNode(peerhood.NodeConfig{Name: "bridge2", Position: peerhood.Pt(12, 0), AutoDiscover: true}); err != nil {
+		return rrOutcome{}, err
+	}
+	phone, err := w.NewNode(peerhood.NodeConfig{
+		Name: "phone", Position: peerhood.Pt(1, 0),
+		Mobility: peerhood.Dynamic, AutoDiscover: true,
+		SwapWait: 5 * time.Second, // fail fast without a repaired transport
+	})
+	if err != nil {
+		return rrOutcome{}, err
+	}
+
+	// 64 KiB/s processing: the medium picture takes ~6 s — the window in
+	// which the walker leaves coverage.
+	if _, err := migration.NewServer(migration.ServerConfig{
+		Library:         server.Library(),
+		ProcessingRate:  64 << 10,
+		DialBack:        true,
+		DialBackTimeout: 90 * time.Second,
+	}); err != nil {
+		return rrOutcome{}, err
+	}
+	client, err := migration.NewClient(phone.Library())
+	if err != nil {
+		return rrOutcome{}, err
+	}
+
+	w.RunDiscoveryRounds(3)
+
+	// Build the picture.
+	pkgs := make([][]byte, packages)
+	for i := range pkgs {
+		p := make([]byte, pkgSize)
+		for j := range p {
+			p[j] = byte(i * j)
+		}
+		pkgs[i] = p
+	}
+
+	out, err := client.Submit(migration.ClientConfig{
+		Library:       phone.Library(),
+		Provider:      server.Addr(),
+		TaskID:        uint64(seed),
+		Packages:      pkgs,
+		ResultTimeout: 120 * time.Second,
+		OnConnect: func(vc *peerhood.Connection) {
+			// Fig 5.3 moment A: the device is connected and "the image
+			// transmission is started" — the walk starts now, ending at
+			// 15 m where only bridge2 still covers the phone.
+			phone.SetModel(peerhood.Walk(phone.Position(), peerhood.Pt(15, 0), 1.0))
+			if attachHandover {
+				_, _ = phone.MonitorHandover(vc, peerhood.HandoverConfig{})
+			}
+		},
+	})
+	if err != nil {
+		if errors.Is(err, migration.ErrResultTimeout) || errors.Is(err, migration.ErrUploadFailed) {
+			return rrOutcome{delivery: migration.DeliveryNone}, nil
+		}
+		return rrOutcome{}, err
+	}
+	return rrOutcome{delivery: out.Delivery, duration: out.Duration}, nil
+}

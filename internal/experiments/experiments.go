@@ -1,0 +1,218 @@
+// Package experiments regenerates every empirical table and figure in the
+// thesis' evaluation (see DESIGN.md §4 for the index). Each experiment
+// builds a simulated world through the public peerhood API, runs the
+// scenario, and renders a table in the style of the thesis' reported
+// results. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config parametrises an experiment run.
+type Config struct {
+	// Seed makes the run reproducible; it is echoed in the result.
+	Seed int64
+	// TimeScale compresses simulated time (default 1000×).
+	TimeScale int
+	// Quick reduces trial counts for fast smoke runs (tests use it).
+	Quick bool
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1000
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+func (c Config) trials(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	fmt.Fprintf(c.Log, format+"\n", args...)
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID    string
+	Title string
+	// Table is the formatted reproduction of the thesis' reported rows.
+	Table string
+	// Notes carry observations comparable to the thesis' prose findings.
+	Notes []string
+	// Seed echoes the configuration for reproducibility.
+	Seed int64
+}
+
+// String renders the result for terminal output.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s (seed %d) ===\n", r.ID, r.Title, r.Seed)
+	b.WriteString(r.Table)
+	if len(r.Notes) > 0 {
+		b.WriteString("\nNotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (Result, error)
+
+type registration struct {
+	id     string
+	title  string
+	runner Runner
+}
+
+var registry = []registration{
+	{"T1", "Mobility-sum table (§3.4.3)", RunMobilityTable},
+	{"F3.3", "Coverage exclusion: legacy vs dynamic discovery (fig 3.3)", RunExclusion},
+	{"F3.6", "Worked routing table on the 5-node topology (fig 3.6)", RunStorageTable},
+	{"F3.9", "Link-quality equity rule (fig 3.9)", RunQualityEquity},
+	{"F3.10", "Discovery notification delay vs jumps (fig 3.10)", RunDiscoveryDelay},
+	{"G1", "Gnutella flooding vs PeerHood neighbour exchange (§3.2)", RunGnutellaComparison},
+	{"E1", "Bridge interconnection performance (§4.3, fig 4.5)", RunBridgePerformance},
+	{"E2", "Routing handover simulation (§5.2.1, fig 5.8)", RunHandoverSimulation},
+	{"E3", "Corridor walk: handover vs connection latency (§5.2.1)", RunCorridorWalk},
+	{"E4", "Result routing across payload sizes (§5.3, figs 5.9–5.10)", RunResultRouting},
+	{"F6.1", "Coverage amplification through a bridge tunnel (fig 6.1)", RunTunnel},
+	{"A1", "Ablation: route selection policies (§3.4)", RunRouteAblation},
+}
+
+// IDs returns the registered experiment IDs in canonical order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Title returns an experiment's title.
+func Title(id string) (string, bool) {
+	for _, r := range registry {
+		if strings.EqualFold(r.id, id) {
+			return r.title, true
+		}
+	}
+	return "", false
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (Result, error) {
+	for _, r := range registry {
+		if strings.EqualFold(r.id, id) {
+			res, err := r.runner(cfg.withDefaults())
+			if err != nil {
+				return Result{}, fmt.Errorf("experiment %s: %w", r.id, err)
+			}
+			res.ID, res.Title = r.id, r.title
+			res.Seed = cfg.withDefaults().Seed
+			return res, nil
+		}
+	}
+	return Result{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config) ([]Result, error) {
+	out := make([]Result, 0, len(registry))
+	for _, r := range registry {
+		res, err := Run(r.id, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// table is a tiny fixed-width table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[minI(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// secs renders a simulated duration in seconds with sensible precision.
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// sortedKeys returns map keys in sorted order for deterministic tables.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Seed: 7, TimeScale: 1000, Quick: true}.withDefaults()
+}
+
+func TestRegistryListsAllIDs(t *testing.T) {
+	ids := IDs()
+	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	for _, id := range ids {
+		if _, ok := Title(id); !ok {
+			t.Fatalf("no title for %s", id)
+		}
+	}
+	if _, ok := Title("nope"); ok {
+		t.Fatal("title for unknown id")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("does-not-exist", quickCfg()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunIsCaseInsensitive(t *testing.T) {
+	if _, err := Run("t1", quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMobilityTableMatchesPaper(t *testing.T) {
+	res, err := Run("T1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's exact sums must appear in order.
+	for _, want := range []string{"0 + 0", "3 + 3", "dynamic dynamic  6"} {
+		if !strings.Contains(res.Table, want) {
+			t.Fatalf("table missing %q:\n%s", want, res.Table)
+		}
+	}
+}
+
+func TestStorageTableMatchesFig36(t *testing.T) {
+	res, err := Run("F3.6", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []struct{ dev, jumps, bridge string }{
+		{"B", "0", "(direct)"},
+		{"C", "0", "(direct)"},
+		{"D", "1", "C"},
+		{"E", "1", "B"},
+	} {
+		found := false
+		for _, line := range strings.Split(res.Table, "\n") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && f[0] == row.dev && f[1] == row.jumps && f[2] == row.bridge {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("fig 3.6 row %+v missing:\n%s", row, res.Table)
+		}
+	}
+}
+
+func TestQualityEquityChoosesThresholdRoute(t *testing.T) {
+	res, err := Run("F3.9", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(res.Table, "\n") {
+		if strings.Contains(line, "A-B-D") && !strings.Contains(line, "chosen") {
+			t.Fatalf("A-B-D not chosen:\n%s", res.Table)
+		}
+		if strings.Contains(line, "A-C-D") && strings.Contains(line, "chosen") {
+			t.Fatalf("A-C-D chosen despite threshold violation:\n%s", res.Table)
+		}
+	}
+}
+
+func TestExclusionShowsLegacyBlindness(t *testing.T) {
+	res, err := Run("F3.3", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(res.Table, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 5 {
+			continue
+		}
+		switch f[0] {
+		case "B", "C", "D":
+			if f[2] != "no" {
+				t.Fatalf("%s sees F&G under legacy discovery:\n%s", f[0], res.Table)
+			}
+			if f[4] != "yes" {
+				t.Fatalf("%s blind under dynamic discovery:\n%s", f[0], res.Table)
+			}
+		}
+	}
+}
+
+func TestDiscoveryDelayLinearInJumps(t *testing.T) {
+	res, err := Run("F3.10", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(res.Table, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 2 && isDigits(f[0]) {
+			if f[0] != f[1] {
+				t.Fatalf("jumps %s took %s rounds, want equal:\n%s", f[0], f[1], res.Table)
+			}
+		}
+	}
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGnutellaTrafficGrows(t *testing.T) {
+	res, err := Run("G1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "local table lookup") {
+		t.Fatalf("table missing PeerHood query cost:\n%s", res.Table)
+	}
+}
+
+func TestRouteAblationPrefersStatic(t *testing.T) {
+	res, err := Run("A1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var thesisLine, ablatedLine string
+	for _, line := range strings.Split(res.Table, "\n") {
+		if strings.HasPrefix(line, "thesis") {
+			thesisLine = line
+		}
+		if strings.HasPrefix(line, "ablated") {
+			ablatedLine = line
+		}
+	}
+	if thesisLine == "" || ablatedLine == "" {
+		t.Fatalf("missing rows:\n%s", res.Table)
+	}
+	// The thesis policy must choose the static bridge strictly more often.
+	if !strings.Contains(thesisLine, "3/3") || !strings.Contains(ablatedLine, "0/3") {
+		t.Fatalf("ablation shape unexpected:\nthesis: %s\nablated: %s", thesisLine, ablatedLine)
+	}
+}
+
+func TestBridgePerformanceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled-world experiment")
+	}
+	res, err := Run("E1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "connection attempts") {
+		t.Fatalf("table malformed:\n%s", res.Table)
+	}
+}
+
+func TestResultStringIncludesEverything(t *testing.T) {
+	res, err := Run("T1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if !strings.Contains(s, "T1") || !strings.Contains(s, "Notes:") {
+		t.Fatalf("rendered result missing parts:\n%s", s)
+	}
+}

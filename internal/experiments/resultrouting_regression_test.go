@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peerhood"
+	"peerhood/internal/migration"
+)
+
+// TestResultRoutingSmallInline pins the E4 small-payload regime: the task
+// completes inside coverage and the result returns inline (§5.3 case 1).
+func TestResultRoutingSmallInline(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{
+		Seed:              1,
+		TimeScale:         200,
+		LinkCheckInterval: 500 * time.Millisecond,
+	})
+	defer w.Close()
+
+	server, err := w.NewNode(peerhood.NodeConfig{Name: "analysis", Position: peerhood.Pt(0, 0), AutoDiscover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.NewNode(peerhood.NodeConfig{Name: "bridge1", Position: peerhood.Pt(6, 0), AutoDiscover: true}); err != nil {
+		t.Fatal(err)
+	}
+	phone, err := w.NewNode(peerhood.NodeConfig{Name: "phone", Position: peerhood.Pt(1, 0), Mobility: peerhood.Dynamic, AutoDiscover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := migration.NewServer(migration.ServerConfig{
+		Library:        server.Library(),
+		ProcessingRate: 64 << 10,
+		DialBack:       true,
+		Observer: func(ev migration.ServerEvent) {
+			t.Logf("server event: %+v", ev)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+	client, err := migration.NewClient(phone.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunDiscoveryRounds(3)
+
+	pkgs := make([][]byte, 4)
+	for i := range pkgs {
+		pkgs[i] = make([]byte, 32<<10)
+	}
+	out, err := client.Submit(migration.ClientConfig{
+		Library:       phone.Library(),
+		Provider:      server.Addr(),
+		TaskID:        99,
+		Packages:      pkgs,
+		ResultTimeout: 60 * time.Second,
+		OnConnect: func(vc *peerhood.Connection) {
+			t.Logf("connected; starting walk; quality=%d", vc.Quality())
+			phone.SetModel(peerhood.Walk(phone.Position(), peerhood.Pt(15, 0), 1.4))
+		},
+	})
+	t.Logf("outcome: %+v err=%v", out, err)
+	if err != nil {
+		t.Fatalf("small payload must succeed inline: %v", err)
+	}
+	fmt.Println("delivery:", out.Delivery)
+}

@@ -1,0 +1,89 @@
+// Package geo provides the minimal 2-D geometry used by the wireless world
+// simulator: points in metres, distances, and linear interpolation along
+// movement segments.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the 2-D plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Add returns p translated by v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q, in metres.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Lerp returns the point a fraction t of the way from p to q.
+// t is clamped to [0, 1].
+func (p Point) Lerp(q Point, t float64) Point {
+	if t <= 0 {
+		return p
+	}
+	if t >= 1 {
+		return q
+	}
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Vector is a displacement on the plane, in metres.
+type Vector struct {
+	DX, DY float64
+}
+
+// Len returns the vector's magnitude.
+func (v Vector) Len() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector { return Vector{v.DX * k, v.DY * k} }
+
+// Unit returns the unit vector in v's direction, or the zero vector if v is
+// zero.
+func (v Vector) Unit() Vector {
+	l := v.Len()
+	if l == 0 {
+		return Vector{}
+	}
+	return Vector{v.DX / l, v.DY / l}
+}
+
+// Rect is an axis-aligned rectangle, used to bound random-waypoint movement.
+type Rect struct {
+	Min, Max Point
+}
+
+// Contains reports whether p lies within r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Width returns the rectangle's horizontal extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the rectangle's vertical extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }

@@ -1,0 +1,152 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-2, 0), Pt(2, 0), 4},
+		{Pt(0, -3), Pt(0, 3), 6},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); !almostEqual(got, c.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	if err := quick.Check(func(ax, ay, bx, by float64) bool {
+		ax, ay = clampf(ax), clampf(ay)
+		bx, by = clampf(bx), clampf(by)
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return almostEqual(a.Dist(b), b.Dist(a))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	if err := quick.Check(func(ax, ay, bx, by, cx, cy float64) bool {
+		// Constrain to a sane range to avoid float overflow artefacts.
+		ax, ay = clampf(ax), clampf(ay)
+		bx, by = clampf(bx), clampf(by)
+		cx, cy = clampf(cx), clampf(cy)
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampf(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func anyNaNInf(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0.5); !almostEqual(got.X, 5) || !almostEqual(got.Y, 10) {
+		t.Fatalf("Lerp 0.5 = %v", got)
+	}
+	if got := p.Lerp(q, 0); got != p {
+		t.Fatalf("Lerp 0 = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Fatalf("Lerp 1 = %v, want %v", got, q)
+	}
+	if got := p.Lerp(q, -3); got != p {
+		t.Fatalf("Lerp clamps below: got %v", got)
+	}
+	if got := p.Lerp(q, 7); got != q {
+		t.Fatalf("Lerp clamps above: got %v", got)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{3, 4}
+	if !almostEqual(v.Len(), 5) {
+		t.Fatalf("Len = %v", v.Len())
+	}
+	u := v.Unit()
+	if !almostEqual(u.Len(), 1) {
+		t.Fatalf("Unit length = %v", u.Len())
+	}
+	if z := (Vector{}).Unit(); z.DX != 0 || z.DY != 0 {
+		t.Fatalf("zero Unit = %v", z)
+	}
+	s := v.Scale(2)
+	if !almostEqual(s.Len(), 10) {
+		t.Fatalf("Scale(2) len = %v", s.Len())
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := Pt(1, 2)
+	q := p.Add(Vector{3, 4})
+	if q != Pt(4, 6) {
+		t.Fatalf("Add = %v", q)
+	}
+	if d := q.Sub(p); d != (Vector{3, 4}) {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(10, 5)}
+	if !r.Contains(Pt(5, 2)) {
+		t.Fatal("interior point not contained")
+	}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 5)) {
+		t.Fatal("boundary points not contained")
+	}
+	if r.Contains(Pt(11, 2)) || r.Contains(Pt(5, -1)) {
+		t.Fatal("exterior point contained")
+	}
+	if got := r.Clamp(Pt(20, -3)); got != Pt(10, 0) {
+		t.Fatalf("Clamp = %v, want (10,0)", got)
+	}
+	if got := r.Clamp(Pt(4, 4)); got != Pt(4, 4) {
+		t.Fatalf("Clamp moved interior point: %v", got)
+	}
+}
+
+func TestRectDims(t *testing.T) {
+	r := Rect{Min: Pt(1, 2), Max: Pt(5, 10)}
+	if r.Width() != 4 || r.Height() != 8 {
+		t.Fatalf("dims = %v x %v", r.Width(), r.Height())
+	}
+}
+
+func TestClampedPointAlwaysContained(t *testing.T) {
+	r := Rect{Min: Pt(-5, -5), Max: Pt(5, 5)}
+	if err := quick.Check(func(x, y float64) bool {
+		if anyNaNInf(x, y) {
+			return true
+		}
+		return r.Contains(r.Clamp(Pt(x, y)))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

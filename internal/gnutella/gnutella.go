@@ -1,0 +1,223 @@
+// Package gnutella models the Gnutella-style flooding search the thesis
+// rejects for mobile devices (§3.2): "one of the biggest performance
+// problems is the huge network traffic generated due to the high number of
+// query messages". It provides a TTL-bounded flood simulator over an
+// abstract topology graph plus the equivalent message accounting for
+// PeerHood's neighbour-exchange discovery, so experiment G1 can compare
+// per-query traffic between the two designs on identical topologies.
+package gnutella
+
+import (
+	"fmt"
+
+	"peerhood/internal/rng"
+)
+
+// Graph is an undirected topology of n nodes.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NewGraph returns an edgeless graph with n nodes. It panics if n <= 0.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("gnutella: graph needs at least one node")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge connects a and b (idempotent; self-loops ignored).
+func (g *Graph) AddEdge(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return
+	}
+	for _, v := range g.adj[a] {
+		if v == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// Neighbors returns a copy of a node's adjacency list.
+func (g *Graph) Neighbors(v int) []int {
+	return append([]int(nil), g.adj[v]...)
+}
+
+// Degree returns a node's degree.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// FloodResult summarises one flooded query.
+type FloodResult struct {
+	// Messages is the number of query transmissions (every edge traversal
+	// counts — duplicate receptions are Gnutella's overhead).
+	Messages int
+	// Reached is how many distinct nodes saw the query.
+	Reached int
+	// Found reports whether a holder was reached.
+	Found bool
+	// Hops is the hop count to the nearest holder reached (0 if the
+	// source holds it; -1 if not found).
+	Hops int
+}
+
+// Flood performs one Gnutella query from src with the given TTL: the
+// source sends the query to every neighbour; each node receiving the query
+// for the first time forwards it to all its neighbours except the sender
+// while TTL remains. Every transmission is counted, including duplicates
+// delivered to already-visited nodes — that is the §3.2 traffic problem.
+func Flood(g *Graph, src, ttl int, holders map[int]bool) FloodResult {
+	res := FloodResult{Hops: -1}
+	if src < 0 || src >= g.n {
+		return res
+	}
+	if holders[src] {
+		res.Found = true
+		res.Hops = 0
+	}
+	visited := make([]bool, g.n)
+	visited[src] = true
+	res.Reached = 1
+
+	type hop struct{ from, node int }
+	frontier := []hop{}
+	for _, nb := range g.adj[src] {
+		frontier = append(frontier, hop{src, nb})
+	}
+
+	for depth := 1; depth <= ttl && len(frontier) > 0; depth++ {
+		var next []hop
+		for _, h := range frontier {
+			res.Messages++ // transmission happens whether or not duplicate
+			if visited[h.node] {
+				continue
+			}
+			visited[h.node] = true
+			res.Reached++
+			if holders[h.node] && !res.Found {
+				res.Found = true
+				res.Hops = depth
+			}
+			for _, nb := range g.adj[h.node] {
+				if nb != h.from {
+					next = append(next, hop{h.node, nb})
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+// MessagesPerFetch is the wire cost of one PeerHood information fetch: a
+// device-info request/response plus a neighbourhood request/response over
+// one short connection (the unified form of fig 3.7).
+const MessagesPerFetch = 4
+
+// PeerHoodRoundMessages counts the transmissions of one full dynamic-
+// discovery round on g: every node broadcasts one inquiry, hears one
+// response per neighbour, and fetches information from each neighbour.
+// Unlike Gnutella the cost is independent of queries: once the storage has
+// converged, a search is a local table lookup with zero transmissions
+// (§3.3: "the inquiry petition is not repeated like Gnutella network, but
+// only sent to the direct neighbours").
+func PeerHoodRoundMessages(g *Graph) int {
+	total := 0
+	for v := 0; v < g.n; v++ {
+		deg := len(g.adj[v])
+		total += 1 + deg + deg*MessagesPerFetch
+	}
+	return total
+}
+
+// Diameter returns the graph diameter (longest shortest path between
+// reachable pairs); PeerHood needs that many discovery rounds for total
+// awareness (fig 3.10).
+func Diameter(g *Graph) int {
+	maxDist := 0
+	for src := 0; src < g.n; src++ {
+		dist := g.bfs(src)
+		for _, d := range dist {
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	return maxDist
+}
+
+// Reachable returns how many nodes src can reach (including itself).
+func (g *Graph) Reachable(src int) int {
+	count := 0
+	for _, d := range g.bfs(src) {
+		if d >= 0 {
+			count++
+		}
+	}
+	return count
+}
+
+func (g *Graph) bfs(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[v] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[v] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// RandomConnected generates a connected random graph: a ring backbone plus
+// random chords up to roughly the requested average degree.
+func RandomConnected(n int, avgDegree float64, src *rng.Source) *Graph {
+	if n <= 0 {
+		panic("gnutella: need at least one node")
+	}
+	g := NewGraph(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	wantEdges := int(avgDegree * float64(n) / 2)
+	if max := n * (n - 1) / 2; wantEdges > max {
+		wantEdges = max
+	}
+	for g.Edges() < wantEdges {
+		a, b := src.Intn(n), src.Intn(n)
+		if a != b {
+			g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, edges=%d)", g.n, g.Edges())
+}

@@ -1,0 +1,144 @@
+package gnutella
+
+import (
+	"testing"
+	"testing/quick"
+
+	"peerhood/internal/rng"
+)
+
+func line(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestAddEdgeIdempotentAndBounds(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 0)  // self loop ignored
+	g.AddEdge(0, 99) // out of range ignored
+	if g.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.Edges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(2))
+	}
+}
+
+func TestFloodFindsAlongLine(t *testing.T) {
+	g := line(6)
+	res := Flood(g, 0, 10, map[int]bool{5: true})
+	if !res.Found || res.Hops != 5 {
+		t.Fatalf("res = %+v, want found at 5 hops", res)
+	}
+	if res.Reached != 6 {
+		t.Fatalf("reached = %d, want 6", res.Reached)
+	}
+	// Line flood: one message per edge per direction traversed = 5.
+	if res.Messages != 5 {
+		t.Fatalf("messages = %d, want 5", res.Messages)
+	}
+}
+
+func TestFloodRespectsTTL(t *testing.T) {
+	g := line(10)
+	res := Flood(g, 0, 3, map[int]bool{9: true})
+	if res.Found {
+		t.Fatal("found a holder beyond TTL")
+	}
+	if res.Reached != 4 { // src + 3 hops
+		t.Fatalf("reached = %d, want 4", res.Reached)
+	}
+}
+
+func TestFloodSourceHolds(t *testing.T) {
+	g := line(3)
+	res := Flood(g, 1, 5, map[int]bool{1: true})
+	if !res.Found || res.Hops != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFloodCountsDuplicates(t *testing.T) {
+	// Triangle: flooding from 0 causes nodes 1 and 2 to cross-send — the
+	// duplicate traffic that makes Gnutella expensive.
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	res := Flood(g, 0, 5, nil)
+	// Depth 1: 0->1, 0->2 (2 msgs). Depth 2: 1->2, 2->1 (2 duplicate msgs).
+	if res.Messages != 4 {
+		t.Fatalf("messages = %d, want 4 (duplicates counted)", res.Messages)
+	}
+	if res.Reached != 3 {
+		t.Fatalf("reached = %d", res.Reached)
+	}
+}
+
+func TestFloodMessagesGrowWithDegree(t *testing.T) {
+	src := rng.New(1)
+	sparse := RandomConnected(60, 3, src)
+	dense := RandomConnected(60, 10, rng.New(2))
+	rs := Flood(sparse, 0, 7, nil)
+	rd := Flood(dense, 0, 7, nil)
+	if rd.Messages <= rs.Messages {
+		t.Fatalf("dense flood %d msgs <= sparse %d", rd.Messages, rs.Messages)
+	}
+}
+
+func TestPeerHoodRoundMessages(t *testing.T) {
+	g := line(3) // degrees 1,2,1
+	// Per node: 1 inquiry + deg responses + deg*4 fetch messages.
+	want := (1 + 1 + 4) + (1 + 2 + 8) + (1 + 1 + 4)
+	if got := PeerHoodRoundMessages(g); got != want {
+		t.Fatalf("round messages = %d, want %d", got, want)
+	}
+}
+
+func TestDiameterAndReachable(t *testing.T) {
+	g := line(5)
+	if d := Diameter(g); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+	if r := g.Reachable(0); r != 5 {
+		t.Fatalf("reachable = %d, want 5", r)
+	}
+	// Disconnected node.
+	g2 := NewGraph(4)
+	g2.AddEdge(0, 1)
+	if r := g2.Reachable(0); r != 2 {
+		t.Fatalf("reachable = %d, want 2", r)
+	}
+}
+
+func TestRandomConnectedIsConnected(t *testing.T) {
+	if err := quick.Check(func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		g := RandomConnected(n, 4, rng.New(seed))
+		return g.Reachable(0) == n
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a := RandomConnected(40, 5, rng.New(7))
+	b := RandomConnected(40, 5, rng.New(7))
+	if a.Edges() != b.Edges() {
+		t.Fatalf("same seed, different graphs: %d vs %d edges", a.Edges(), b.Edges())
+	}
+}
+
+func TestFloodInvalidSource(t *testing.T) {
+	g := line(3)
+	res := Flood(g, -1, 5, nil)
+	if res.Found || res.Reached != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}

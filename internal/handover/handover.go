@@ -1,0 +1,475 @@
+// Package handover implements the thesis' soft-handover system (ch. 5):
+// a per-connection HandoverThread that (state 0) keeps the best alternate
+// route to the peer warm, (state 1) monitors link quality against the 230
+// threshold counting consecutive low readings, and (state 2) performs a
+// routing handover — re-attaching the logical connection through a bridge
+// node with PH_RECONNECT and substituting the transport under the
+// application (fig 5.5). When routing handover is impossible or keeps
+// failing it falls back to service reconnection on another provider
+// (§5.2.2), asking the application for permission first. Connections whose
+// "sending" flag is off are left alone (result routing, §5.3).
+package handover
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/library"
+	"peerhood/internal/storage"
+)
+
+// State is the handover thread's externally visible state (fig 5.5).
+type State int
+
+// Thread states.
+const (
+	// StateMonitoring covers the thesis' states 0 and 1: scanning
+	// alternates and watching quality.
+	StateMonitoring State = iota + 1
+	// StateHandover is a routing handover in progress (state 2).
+	StateHandover
+	// StateReconnecting is a service reconnection in progress (§5.2.2).
+	StateReconnecting
+	// StateStopped means the thread has finished (connection closed or
+	// Stop called).
+	StateStopped
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateMonitoring:
+		return "monitoring"
+	case StateHandover:
+		return "handover"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Event is a handover lifecycle notification.
+type Event int
+
+// Events delivered to the Observer.
+const (
+	// EventQualityLow fires on each below-threshold quality sample.
+	EventQualityLow Event = iota + 1
+	// EventHandoverStart fires when lowCount exceeds the limit and a
+	// routing handover begins.
+	EventHandoverStart
+	// EventHandoverDone fires after a successful transport substitution.
+	EventHandoverDone
+	// EventHandoverFailed fires when every candidate route failed.
+	EventHandoverFailed
+	// EventServiceReconnect fires after a successful reconnection to a
+	// different provider; the application must restart its exchange.
+	EventServiceReconnect
+	// EventGaveUp fires when neither routing handover nor service
+	// reconnection is possible this round.
+	EventGaveUp
+)
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e {
+	case EventQualityLow:
+		return "quality-low"
+	case EventHandoverStart:
+		return "handover-start"
+	case EventHandoverDone:
+		return "handover-done"
+	case EventHandoverFailed:
+		return "handover-failed"
+	case EventServiceReconnect:
+		return "service-reconnect"
+	case EventGaveUp:
+		return "gave-up"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// Observer receives handover lifecycle events.
+type Observer func(e Event, detail string)
+
+// Stats counts thread activity.
+type Stats struct {
+	Ticks            int64
+	QualityLowTicks  int64
+	Handovers        int64
+	FailedHandovers  int64
+	Reconnects       int64
+	RefusedReconnect int64
+}
+
+// Defaults mirror the thesis' simulation parameters (§5.2.1).
+const (
+	DefaultThreshold        = 230
+	DefaultLowLimit         = 3
+	DefaultInterval         = time.Second
+	DefaultMaxRouteAttempts = 3
+	DefaultMaxFailures      = 2
+)
+
+// Config parametrises a handover thread.
+type Config struct {
+	Library *library.Library
+	Conn    *library.VirtualConnection
+
+	// Threshold is the minimum acceptable quality (230 in the thesis).
+	Threshold int
+	// LowLimit is how many consecutive low samples trigger state 2
+	// ("if the signal has been too low for 3 times", fig 5.5).
+	LowLimit int
+	// Interval is the monitoring period.
+	Interval time.Duration
+	// MaxRouteAttempts bounds alternate routes tried per handover.
+	MaxRouteAttempts int
+	// MaxFailures is how many failed handovers are tolerated before
+	// falling back to service reconnection ("after various attempts",
+	// §5.2.2).
+	MaxFailures int
+	// AllowDirectReturn lets the thread swap back onto a direct route
+	// when the peer is in coverage again. The thesis' implementation
+	// could not do this (the fig 5.7 limitation); it is provided here as
+	// an extension and can be disabled to reproduce the thesis behaviour.
+	AllowDirectReturn bool
+	// DisallowDirectReturn reproduces the thesis' fig 5.7 limitation.
+	// Deprecated semantics guard: if both fields are false the extension
+	// defaults to enabled.
+	DisallowDirectReturn bool
+	// AllowReconnect is consulted before a service reconnection; the
+	// thesis wants the user notified and asked (§5.2.2). nil allows all.
+	AllowReconnect func(p storage.ServiceProvider) bool
+	// Observer receives lifecycle events; may be nil.
+	Observer Observer
+}
+
+// Thread is one connection's handover monitor.
+type Thread struct {
+	lib *library.Library
+	vc  *library.VirtualConnection
+	clk clock.Clock
+	cfg Config
+
+	mu       sync.Mutex
+	state    State
+	lowCount int
+	failures int
+	stats    Stats
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// ErrNoConnection reports a nil connection or library.
+var ErrNoConnection = errors.New("handover: Library and Conn are required")
+
+// New returns a handover thread for one virtual connection.
+func New(cfg Config) (*Thread, error) {
+	if cfg.Library == nil || cfg.Conn == nil {
+		return nil, ErrNoConnection
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	if cfg.LowLimit == 0 {
+		cfg.LowLimit = DefaultLowLimit
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.MaxRouteAttempts == 0 {
+		cfg.MaxRouteAttempts = DefaultMaxRouteAttempts
+	}
+	if cfg.MaxFailures == 0 {
+		cfg.MaxFailures = DefaultMaxFailures
+	}
+	if !cfg.AllowDirectReturn && !cfg.DisallowDirectReturn {
+		cfg.AllowDirectReturn = true
+	}
+	return &Thread{
+		lib:   cfg.Library,
+		vc:    cfg.Conn,
+		clk:   cfg.Library.Clock(),
+		cfg:   cfg,
+		state: StateMonitoring,
+	}, nil
+}
+
+// State returns the thread's current state.
+func (t *Thread) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Thread) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// LowCount returns the current consecutive-low counter (state 1).
+func (t *Thread) LowCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lowCount
+}
+
+func (t *Thread) emit(e Event, detail string) {
+	if t.cfg.Observer != nil {
+		t.cfg.Observer(e, detail)
+	}
+}
+
+// Step runs one monitoring tick. Deterministic tests and experiments call
+// it directly; Start loops it on the configured interval.
+func (t *Thread) Step() {
+	t.mu.Lock()
+	if t.state == StateStopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stats.Ticks++
+	t.mu.Unlock()
+
+	if t.vc.Closed() {
+		t.mu.Lock()
+		t.state = StateStopped
+		t.mu.Unlock()
+		return
+	}
+	// Result routing: the connection is intentionally quiescent; a broken
+	// link "is not needed to be repaired immediately" (§5.3).
+	if !t.vc.Sending() {
+		return
+	}
+
+	q := t.vc.Quality()
+	t.mu.Lock()
+	if q >= t.cfg.Threshold {
+		t.lowCount = 0
+		t.state = StateMonitoring
+		t.mu.Unlock()
+		return
+	}
+	t.lowCount++
+	t.stats.QualityLowTicks++
+	low := t.lowCount
+	t.mu.Unlock()
+	t.emit(EventQualityLow, fmt.Sprintf("quality=%d low=%d", q, low))
+
+	if low <= t.cfg.LowLimit {
+		return
+	}
+
+	t.mu.Lock()
+	t.lowCount = 0
+	t.state = StateHandover
+	t.mu.Unlock()
+
+	if t.routingHandover() {
+		t.mu.Lock()
+		t.failures = 0
+		t.state = StateMonitoring
+		t.mu.Unlock()
+		return
+	}
+
+	t.mu.Lock()
+	t.failures++
+	failures := t.failures
+	t.state = StateMonitoring
+	t.mu.Unlock()
+
+	if failures <= t.cfg.MaxFailures {
+		return
+	}
+	t.mu.Lock()
+	t.failures = 0
+	t.state = StateReconnecting
+	t.mu.Unlock()
+	t.serviceReconnect()
+	t.mu.Lock()
+	if t.state == StateReconnecting {
+		t.state = StateMonitoring
+	}
+	t.mu.Unlock()
+}
+
+// routingHandover implements fig 5.5's state 2: try alternate routes to
+// the same device, best first, re-attaching the logical connection with
+// PH_RECONNECT. It reports success.
+func (t *Thread) routingHandover() bool {
+	target := t.vc.Target()
+	svc := t.vc.Service()
+	currentBridge := t.vc.Bridge()
+	store := t.lib.Daemon().Storage()
+
+	routes := store.AlternateRoutes(target, currentBridge)
+	t.emit(EventHandoverStart, fmt.Sprintf("candidates=%d", len(routes)))
+
+	// Fig 5.5 state 0 stores "the best quality way": candidates whose
+	// every hop clears the threshold are tried before below-threshold
+	// ones, regardless of jump count — switching to a route that is
+	// already as weak as the current one would just re-trigger.
+	good := make([]storage.Route, 0, len(routes))
+	poor := make([]storage.Route, 0, len(routes))
+	for _, r := range routes {
+		if r.QualityMin >= t.cfg.Threshold {
+			good = append(good, r)
+		} else {
+			poor = append(poor, r)
+		}
+	}
+	routes = append(good, poor...)
+
+	attempts := 0
+	for _, r := range routes {
+		if attempts >= t.cfg.MaxRouteAttempts {
+			break
+		}
+		if r.Direct() && !t.cfg.AllowDirectReturn {
+			// Thesis-faithful mode: the implementation never returned to
+			// a direct route (fig 5.7 limitation).
+			continue
+		}
+		if r.Direct() && currentBridge.IsZero() {
+			// Already direct and direct is failing: dialing the same link
+			// again cannot help.
+			continue
+		}
+		attempts++
+		raw, err := t.lib.ConnectVia(library.Via{
+			Route:       r,
+			Target:      target,
+			ServiceName: svc.Name,
+			ServicePort: svc.Port,
+			ConnID:      t.vc.ID(),
+			Reconnect:   true,
+		})
+		if err != nil {
+			continue
+		}
+		t.vc.SwapRoute(raw, r.Bridge)
+		t.mu.Lock()
+		t.stats.Handovers++
+		t.mu.Unlock()
+		t.emit(EventHandoverDone, r.String())
+		return true
+	}
+	t.mu.Lock()
+	t.stats.FailedHandovers++
+	t.mu.Unlock()
+	t.emit(EventHandoverFailed, fmt.Sprintf("attempts=%d", attempts))
+	return false
+}
+
+// serviceReconnect implements §5.2.2: find another provider of the same
+// service, ask permission, and restart the application-level exchange on
+// it.
+func (t *Thread) serviceReconnect() {
+	svc := t.vc.Service()
+	target := t.vc.Target()
+	store := t.lib.Daemon().Storage()
+
+	var chosen *storage.ServiceProvider
+	for _, p := range store.FindService(svc.Name) {
+		if p.Entry.Info.Addr == target {
+			continue // the provider we are losing
+		}
+		chosen = &p
+		break
+	}
+	if chosen == nil {
+		t.emit(EventGaveUp, "no alternative provider")
+		return
+	}
+	if t.cfg.AllowReconnect != nil && !t.cfg.AllowReconnect(*chosen) {
+		t.mu.Lock()
+		t.stats.RefusedReconnect++
+		t.mu.Unlock()
+		t.emit(EventGaveUp, "reconnect refused by application")
+		return
+	}
+
+	newTarget := chosen.Entry.Info.Addr
+	for _, r := range chosen.Entry.Routes {
+		raw, err := t.lib.ConnectVia(library.Via{
+			Route:       r,
+			Target:      newTarget,
+			ServiceName: chosen.Service.Name,
+			ServicePort: chosen.Service.Port,
+			ConnID:      t.vc.ID(),
+			Reconnect:   false, // a fresh application-level connection
+		})
+		if err != nil {
+			continue
+		}
+		t.vc.MarkRestart(raw, newTarget, r.Bridge)
+		t.mu.Lock()
+		t.stats.Reconnects++
+		t.mu.Unlock()
+		t.emit(EventServiceReconnect, fmt.Sprintf("provider=%s", chosen.Entry.Info.Name))
+		return
+	}
+	t.emit(EventGaveUp, "all routes to alternative provider failed")
+}
+
+// Start launches the monitoring loop. No-op if already running.
+func (t *Thread) Start() {
+	t.mu.Lock()
+	if t.stop != nil || t.state == StateStopped {
+		t.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.stop, t.done = stop, done
+	t.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		tk := t.clk.NewTicker(t.cfg.Interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-tk.C():
+				t.Step()
+				if t.State() == StateStopped {
+					return
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit. Idempotent.
+func (t *Thread) Stop() {
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	if t.state != StateStopped {
+		t.state = StateStopped
+	}
+	t.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// MonitorTarget exposes the monitored device address (for diagnostics).
+func (t *Thread) MonitorTarget() device.Addr { return t.vc.Target() }

@@ -1,0 +1,444 @@
+package handover_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/handover"
+	"peerhood/internal/library"
+	"peerhood/internal/mobility"
+	"peerhood/internal/phtest"
+	"peerhood/internal/storage"
+)
+
+// Geometry notes: coverage radius 10 m, edge quality 180, so
+// quality(d) = 180 + 75*(1 - d/10). The 230 threshold sits at d = 3.33 m:
+// closer is "good", farther (but < 10 m) is "low but connected".
+
+func registerEcho(t *testing.T, n *phtest.Node) {
+	t.Helper()
+	if _, err := n.Lib.RegisterService("echo", "", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+		defer vc.Close()
+		buf := make([]byte, 512)
+		for {
+			nr, err := vc.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := vc.Write(buf[:nr]); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func echoOnce(t *testing.T, vc *library.VirtualConnection, msg string) {
+	t.Helper()
+	if _, err := vc.Write([]byte(msg)); err != nil {
+		t.Fatalf("write %q: %v", msg, err)
+	}
+	buf := make([]byte, len(msg)+8)
+	n, err := vc.Read(buf)
+	if err != nil || string(buf[:n]) != msg {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+}
+
+// TestRoutingHandoverViaBridge reproduces the thesis' handover simulation
+// (fig 5.8): client A is connected to server B on a deteriorating link;
+// after lowCount exceeds 3 the HandoverThread builds a bridge route via C
+// and substitutes the transport; traffic continues on the same logical
+// connection.
+func TestRoutingHandoverViaBridge(t *testing.T) {
+	w := phtest.InstantWorld(t, 1)
+	// A-B distance 6 m -> quality 210 (< 230). A-C and C-B 3 m -> ~232.
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(6, 0), device.Static)
+	c := phtest.AddNode(t, w, "C", geo.Pt(3, 0), device.Static)
+	phtest.AttachBridge(t, c)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer vc.Close()
+	echoOnce(t, vc, "before")
+
+	var mu sync.Mutex
+	var events []handover.Event
+	th, err := handover.New(handover.Config{
+		Library: a.Lib,
+		Conn:    vc,
+		Observer: func(e handover.Event, detail string) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three low samples tolerated, the fourth triggers state 2.
+	for i := 0; i < 3; i++ {
+		th.Step()
+		if got := th.LowCount(); got != i+1 {
+			t.Fatalf("lowCount after step %d = %d", i+1, got)
+		}
+		if vc.Swaps() != 0 {
+			t.Fatal("handover fired early")
+		}
+	}
+	th.Step()
+
+	if vc.Swaps() != 1 {
+		t.Fatalf("swaps = %d, want 1 after 4th low sample", vc.Swaps())
+	}
+	if vc.Bridge() != c.Addr() {
+		t.Fatalf("new route bridge = %v, want C", vc.Bridge())
+	}
+	echoOnce(t, vc, "after-handover")
+
+	st := th.Stats()
+	if st.Handovers != 1 || st.FailedHandovers != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	wantSeq := []handover.Event{
+		handover.EventQualityLow, handover.EventQualityLow, handover.EventQualityLow,
+		handover.EventQualityLow, handover.EventHandoverStart, handover.EventHandoverDone,
+	}
+	if len(events) != len(wantSeq) {
+		t.Fatalf("events = %v", events)
+	}
+	for i, e := range wantSeq {
+		if events[i] != e {
+			t.Fatalf("event[%d] = %v, want %v (all: %v)", i, events[i], e, events)
+		}
+	}
+}
+
+func TestLowCountResetsOnRecovery(t *testing.T) {
+	w := phtest.InstantWorld(t, 2)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(6, 0), device.Static)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	th, err := handover.New(handover.Config{Library: a.Lib, Conn: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Step()
+	th.Step()
+	if th.LowCount() != 2 {
+		t.Fatalf("lowCount = %d", th.LowCount())
+	}
+	// B walks close: quality recovers above threshold.
+	b.Device.SetModel(mobility.Static{At: geo.Pt(1, 0)})
+	th.Step()
+	if th.LowCount() != 0 {
+		t.Fatalf("lowCount after recovery = %d, want 0", th.LowCount())
+	}
+	if th.State() != handover.StateMonitoring {
+		t.Fatalf("state = %v", th.State())
+	}
+}
+
+func TestNoHandoverWhileNotSending(t *testing.T) {
+	// Result routing (§5.3): with the sending flag off, low quality and
+	// even disconnection must not trigger repairs.
+	w := phtest.InstantWorld(t, 3)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(6, 0), device.Static)
+	c := phtest.AddNode(t, w, "C", geo.Pt(3, 0), device.Static)
+	phtest.AttachBridge(t, c)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	vc.SetSending(false)
+
+	th, err := handover.New(handover.Config{Library: a.Lib, Conn: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		th.Step()
+	}
+	if vc.Swaps() != 0 {
+		t.Fatalf("swaps = %d while not sending", vc.Swaps())
+	}
+	if th.Stats().QualityLowTicks != 0 {
+		t.Fatalf("quality sampled while not sending: %+v", th.Stats())
+	}
+}
+
+func TestServiceReconnectionFallback(t *testing.T) {
+	// No bridge exists, so routing handover cannot succeed; after
+	// MaxFailures failed attempts the thread reconnects to another
+	// provider of the same service (§5.2.2) and the app-level exchange
+	// restarts there.
+	w := phtest.InstantWorld(t, 4)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(6, 0), device.Static) // weak provider
+	d := phtest.AddNode(t, w, "D", geo.Pt(2, 0), device.Static) // good provider
+	registerEcho(t, b)
+	registerEcho(t, d)
+	phtest.RunRounds([]*phtest.Node{a, b, d}, 2)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	asked := 0
+	th, err := handover.New(handover.Config{
+		Library:     a.Lib,
+		Conn:        vc,
+		LowLimit:    1,
+		MaxFailures: 1,
+		AllowReconnect: func(p storage.ServiceProvider) bool {
+			asked++
+			if p.Entry.Info.Name != "D" {
+				t.Errorf("offered provider = %s, want D", p.Entry.Info.Name)
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// LowLimit 1: two low samples trigger a handover attempt, which fails
+	// (no routes). MaxFailures 1: the second failed handover falls through
+	// to service reconnection. Steps: 2 (fail #1) + 2 (fail #2 -> reconnect).
+	for i := 0; i < 4; i++ {
+		th.Step()
+	}
+	st := th.Stats()
+	if st.Reconnects != 1 {
+		t.Fatalf("stats = %+v, want 1 reconnect", st)
+	}
+	if asked != 1 {
+		t.Fatalf("permission asked %d times, want 1", asked)
+	}
+	if vc.Target() != d.Addr() {
+		t.Fatalf("target after reconnect = %v, want D", vc.Target())
+	}
+	if vc.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", vc.Restarts())
+	}
+	// The exchange restarts on the new provider.
+	echoOnce(t, vc, "restarted")
+}
+
+func TestServiceReconnectionRefused(t *testing.T) {
+	// §5.2.2: "let him give the permission ... sometimes the user would
+	// prefer to quit the connection".
+	w := phtest.InstantWorld(t, 5)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(6, 0), device.Static)
+	d := phtest.AddNode(t, w, "D", geo.Pt(2, 0), device.Static)
+	registerEcho(t, b)
+	registerEcho(t, d)
+	phtest.RunRounds([]*phtest.Node{a, b, d}, 2)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	var gaveUp bool
+	th, err := handover.New(handover.Config{
+		Library:        a.Lib,
+		Conn:           vc,
+		LowLimit:       1,
+		MaxFailures:    1,
+		AllowReconnect: func(p storage.ServiceProvider) bool { return false },
+		Observer: func(e handover.Event, detail string) {
+			if e == handover.EventGaveUp {
+				gaveUp = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		th.Step()
+	}
+	st := th.Stats()
+	if st.Reconnects != 0 || st.RefusedReconnect != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !gaveUp {
+		t.Fatal("no gave-up event")
+	}
+	if vc.Target() != b.Addr() {
+		t.Fatal("target changed despite refusal")
+	}
+}
+
+func TestDirectReturnExtension(t *testing.T) {
+	// The thesis' implementation could never route back to a direct link
+	// once bridged (fig 5.7). The extension allows it: A starts far from B
+	// (bridged via C), walks next to B, and the handover swaps to direct.
+	w := phtest.InstantWorld(t, 6)
+	a := phtest.AddNode(t, w, "A", geo.Pt(12, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(0, 0), device.Static)
+	c := phtest.AddNode(t, w, "C", geo.Pt(6, 0), device.Static)
+	phtest.AttachBridge(t, c)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	if vc.Bridge() != c.Addr() {
+		t.Fatalf("initial route should be via C, got %v", vc.Bridge())
+	}
+	echoOnce(t, vc, "bridged")
+
+	// A walks right next to B; discovery refreshes the storage.
+	a.Device.SetModel(mobility.Static{At: geo.Pt(1, 0)})
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 2)
+
+	th, err := handover.New(handover.Config{Library: a.Lib, Conn: vc, LowLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A(1,0) to C(6,0) is 5 m -> quality ~217 < 230: the bridge leg is now
+	// the weak one, triggering handover; the direct route to B (1 m, ~247)
+	// is the best alternate.
+	th.Step()
+	th.Step()
+
+	if vc.Swaps() != 1 {
+		t.Fatalf("swaps = %d, want 1", vc.Swaps())
+	}
+	if !vc.Bridge().IsZero() {
+		t.Fatalf("route after return = via %v, want direct", vc.Bridge())
+	}
+	echoOnce(t, vc, "direct-again")
+}
+
+func TestThesisModeNeverReturnsDirect(t *testing.T) {
+	// DisallowDirectReturn reproduces the fig 5.7 limitation: with only a
+	// direct route as alternate, the handover must fail.
+	w := phtest.InstantWorld(t, 7)
+	a := phtest.AddNode(t, w, "A", geo.Pt(12, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(0, 0), device.Static)
+	c := phtest.AddNode(t, w, "C", geo.Pt(6, 0), device.Static)
+	phtest.AttachBridge(t, c)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	a.Device.SetModel(mobility.Static{At: geo.Pt(1, 0)})
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 2)
+
+	th, err := handover.New(handover.Config{
+		Library:              a.Lib,
+		Conn:                 vc,
+		LowLimit:             1,
+		DisallowDirectReturn: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Step()
+	th.Step()
+	if vc.Swaps() != 0 {
+		t.Fatalf("thesis mode swapped to direct: swaps = %d", vc.Swaps())
+	}
+	if th.Stats().FailedHandovers != 1 {
+		t.Fatalf("stats = %+v", th.Stats())
+	}
+}
+
+func TestThreadStopsWhenConnectionCloses(t *testing.T) {
+	w := phtest.InstantWorld(t, 8)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := handover.New(handover.Config{Library: a.Lib, Conn: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = vc.Close()
+	th.Step()
+	if th.State() != handover.StateStopped {
+		t.Fatalf("state = %v after conn close", th.State())
+	}
+	// Steps after stop are harmless.
+	th.Step()
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	w := phtest.InstantWorld(t, 9)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	th, err := handover.New(handover.Config{Library: a.Lib, Conn: vc, Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Start()
+	th.Start() // idempotent
+	// Give the loop a few ticks.
+	deadline := time.After(time.Second)
+	for th.Stats().Ticks == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("loop never ticked")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	th.Stop()
+	th.Stop() // idempotent
+	if th.State() != handover.StateStopped {
+		t.Fatalf("state = %v after Stop", th.State())
+	}
+}

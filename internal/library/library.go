@@ -1,0 +1,550 @@
+// Package library implements the PeerHood library (§2.2.2): the
+// application-facing half of a node. It offers connection establishment
+// (Connect, fig 2.5), the Engine that listens for incoming connections and
+// dispatches them by hello command (PH_NEW / PH_BRIDGE / PH_RECONNECT,
+// §4.1), neighbourhood queries (GetDeviceList / GetServiceList), and the
+// virtual connections whose transports can be swapped underneath an
+// application during handover (§5.2).
+package library
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/daemon"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+	"peerhood/internal/plugin"
+	"peerhood/internal/rng"
+	"peerhood/internal/storage"
+)
+
+// Library errors.
+var (
+	// ErrUnknownDevice reports a Connect to a device absent from the
+	// DeviceStorage.
+	ErrUnknownDevice = errors.New("library: unknown device")
+	// ErrUnknownService reports a Connect to a service the target does not
+	// advertise.
+	ErrUnknownService = errors.New("library: unknown service")
+	// ErrRejected reports a PH_FAIL acknowledgement from the peer or a
+	// bridge on the chain.
+	ErrRejected = errors.New("library: connection rejected")
+	// ErrNoRoute reports that no stored route reaches the target.
+	ErrNoRoute = errors.New("library: no route to device")
+	// ErrClosed reports use of a closed library or connection.
+	ErrClosed = errors.New("library: closed")
+)
+
+// Defaults.
+const (
+	// DefaultBridgeTTL bounds bridge chains (hop budget of PH_BRIDGE).
+	DefaultBridgeTTL = 8
+	// DefaultDialRetries is how many times transient connection faults are
+	// retried; §4.3 concludes "the connection attempt repetition in the
+	// Bridge service design would be necessary".
+	DefaultDialRetries = 2
+	// DefaultSwapWait is how long a virtual connection's Read/Write blocks
+	// waiting for a handover to replace a failed transport before
+	// propagating the error.
+	DefaultSwapWait = 30 * time.Second
+)
+
+// Config parametrises a Library.
+type Config struct {
+	Daemon *daemon.Daemon
+	// BridgeTTL, DialRetries, SwapWait default to the package constants.
+	BridgeTTL   uint8
+	DialRetries int
+	SwapWait    time.Duration
+	// Seed makes connection-ID generation deterministic; 0 derives one
+	// from the daemon name.
+	Seed int64
+}
+
+// ConnectionMeta describes an incoming connection to a service handler.
+type ConnectionMeta struct {
+	// ConnID is the logical connection identifier, stable across
+	// handovers.
+	ConnID uint64
+	// Service is the local service the peer connected to.
+	Service device.ServiceInfo
+	// Remote is the transport peer — the actual dialer or the last bridge
+	// of a chain.
+	Remote device.Addr
+	// HasClient marks Client as meaningful: the dialer sent its own
+	// descriptor so the service can reconnect to it later (§5.3).
+	HasClient bool
+	Client    device.Info
+}
+
+// Handler consumes an accepted service connection. Handlers run on their
+// own goroutine; they own vc and must Close it.
+type Handler func(vc *VirtualConnection, meta ConnectionMeta)
+
+// BridgeHandler consumes a PH_BRIDGE hello. The bridge service registers
+// one; it takes ownership of conn, including acknowledgement.
+type BridgeHandler func(conn plugin.Conn, hello *phproto.HelloBridge, via plugin.Plugin)
+
+// Library is one device's PeerHood library instance. The thesis keeps
+// library and engine as singletons per device (§4.1); here that scope is
+// one Library value per daemon.
+type Library struct {
+	d   *daemon.Daemon
+	clk clock.Clock
+	cfg Config
+	src *rng.Source
+
+	mu            sync.Mutex
+	engines       []plugin.Listener
+	handlers      map[uint16]handlerEntry
+	bridgeHandler BridgeHandler
+	vcs           map[uint64]*VirtualConnection
+	started       bool
+	stopped       bool
+	wg            sync.WaitGroup
+}
+
+type handlerEntry struct {
+	svc device.ServiceInfo
+	h   Handler
+}
+
+// New returns a Library bound to a daemon.
+func New(cfg Config) (*Library, error) {
+	if cfg.Daemon == nil {
+		return nil, errors.New("library: Daemon is required")
+	}
+	if cfg.BridgeTTL == 0 {
+		cfg.BridgeTTL = DefaultBridgeTTL
+	}
+	switch {
+	case cfg.DialRetries == 0:
+		cfg.DialRetries = DefaultDialRetries
+	case cfg.DialRetries < 0:
+		// Negative disables retries entirely (the pre-thesis behaviour the
+		// §4.3 experiment measures).
+		cfg.DialRetries = 0
+	}
+	if cfg.SwapWait == 0 {
+		cfg.SwapWait = DefaultSwapWait
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(cfg.Daemon.Name()))
+		seed = int64(h.Sum64())
+	}
+	return &Library{
+		d:        cfg.Daemon,
+		clk:      cfg.Daemon.Clock(),
+		cfg:      cfg,
+		src:      rng.New(seed),
+		handlers: make(map[uint16]handlerEntry),
+		vcs:      make(map[uint64]*VirtualConnection),
+	}, nil
+}
+
+// Daemon returns the underlying daemon.
+func (l *Library) Daemon() *daemon.Daemon { return l.d }
+
+// Clock returns the library's clock.
+func (l *Library) Clock() clock.Clock { return l.clk }
+
+// Start binds the engine port on every plugin and begins dispatching
+// incoming connections.
+func (l *Library) Start() error {
+	l.mu.Lock()
+	if l.started {
+		l.mu.Unlock()
+		return errors.New("library: already started")
+	}
+	l.started = true
+	l.mu.Unlock()
+
+	for _, p := range l.d.Plugins() {
+		ln, err := p.Listen(device.PortEngine)
+		if err != nil {
+			l.Stop()
+			return fmt.Errorf("library: binding engine port on %v: %w", p.Tech(), err)
+		}
+		l.mu.Lock()
+		l.engines = append(l.engines, ln)
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.acceptLoop(p, ln)
+	}
+	return nil
+}
+
+// Stop closes the engine listeners and every open virtual connection, then
+// waits for library goroutines (including service handlers) to exit.
+func (l *Library) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	engines := l.engines
+	vcs := make([]*VirtualConnection, 0, len(l.vcs))
+	for _, vc := range l.vcs {
+		vcs = append(vcs, vc)
+	}
+	l.mu.Unlock()
+
+	for _, e := range engines {
+		_ = e.Close()
+	}
+	for _, vc := range vcs {
+		_ = vc.Close()
+	}
+	l.wg.Wait()
+}
+
+// RegisterService registers a service with the daemon and installs its
+// connection handler (the callback path of §2.2.2's Engine).
+func (l *Library) RegisterService(name, attr string, h Handler) (device.ServiceInfo, error) {
+	if h == nil {
+		return device.ServiceInfo{}, errors.New("library: nil handler")
+	}
+	svc, err := l.d.RegisterService(name, attr)
+	if err != nil {
+		return device.ServiceInfo{}, err
+	}
+	l.mu.Lock()
+	l.handlers[svc.Port] = handlerEntry{svc: svc, h: h}
+	l.mu.Unlock()
+	return svc, nil
+}
+
+// UnregisterService removes a service and its handler.
+func (l *Library) UnregisterService(name string) {
+	svcs := l.d.Services()
+	l.d.UnregisterService(name)
+	l.mu.Lock()
+	for _, s := range svcs {
+		if s.Name == name {
+			delete(l.handlers, s.Port)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// SetBridgeHandler installs the PH_BRIDGE dispatcher (the bridge service).
+func (l *Library) SetBridgeHandler(h BridgeHandler) {
+	l.mu.Lock()
+	l.bridgeHandler = h
+	l.mu.Unlock()
+}
+
+// GetDeviceList returns the daemon's device table (the thesis' library
+// call of the same name).
+func (l *Library) GetDeviceList() []storage.Entry {
+	return l.d.Storage().Snapshot()
+}
+
+// GetServiceList returns the known providers of a named service.
+func (l *Library) GetServiceList(name string) []storage.ServiceProvider {
+	return l.d.Storage().FindService(name)
+}
+
+// ConnectOption tweaks a Connect call.
+type ConnectOption func(*connectOptions)
+
+type connectOptions struct {
+	sendClientInfo bool
+}
+
+// WithClientInfo makes Connect send the local device descriptor in the
+// hello, enabling the server to reconnect and deliver results after a
+// disconnection (§5.3 method 2).
+func WithClientInfo() ConnectOption {
+	return func(o *connectOptions) { o.sendClientInfo = true }
+}
+
+// Connect establishes a virtual connection to a named service on the
+// target device, using the best stored route — directly when the target is
+// in coverage, through a bridge chain otherwise (fig 4.1). Remaining
+// candidate routes are tried in order if the best one fails.
+func (l *Library) Connect(target device.Addr, service string, opts ...ConnectOption) (*VirtualConnection, error) {
+	var o connectOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	entry, ok := l.d.Storage().Lookup(target)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownDevice, target)
+	}
+	svc, ok := entry.Info.FindService(service)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %v", ErrUnknownService, service, target)
+	}
+	if len(entry.Routes) == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, target)
+	}
+
+	var client *device.Info
+	if o.sendClientInfo {
+		if info, ok := l.d.InfoFor(target.Tech); ok {
+			client = &info
+		}
+	}
+
+	connID := l.newConnID()
+	var lastErr error
+	for _, route := range entry.Routes {
+		raw, err := l.ConnectVia(Via{
+			Route:       route,
+			Target:      target,
+			ServiceName: svc.Name,
+			ServicePort: svc.Port,
+			ConnID:      connID,
+			Client:      client,
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		vc := newVirtualConnection(l, raw, connID, target, svc, route.Bridge)
+		l.register(vc)
+		return vc, nil
+	}
+	return nil, lastErr
+}
+
+// Via describes one low-level connection attempt along a specific route.
+type Via struct {
+	Route       storage.Route
+	Target      device.Addr
+	ServiceName string
+	ServicePort uint16
+	ConnID      uint64
+	// Reconnect makes the final hop deliver PH_RECONNECT instead of
+	// PH_NEW, re-attaching to an existing logical connection (§5.2.1).
+	Reconnect bool
+	// Client, if non-nil, is sent in the hello so the far end can dial
+	// back later (§5.3 method 2).
+	Client *device.Info
+	// TTL bounds the bridge chain; 0 takes the library default. Bridges
+	// pass the decremented TTL of the hello they are extending.
+	TTL uint8
+}
+
+// ConnectVia performs the low-level connection establishment along one
+// route: dial the first hop's engine port (with fault retries), send the
+// appropriate hello (PH_NEW, PH_RECONNECT, or PH_BRIDGE carrying the final
+// destination, fig 4.3), and wait for the chain-propagated
+// acknowledgement. It returns the raw transport on success. The handover
+// thread uses it with Reconnect to build replacement transports (§5.2.1),
+// and the bridge service uses it to extend chains hop by hop.
+func (l *Library) ConnectVia(v Via) (plugin.Conn, error) {
+	p, ok := l.d.PluginFor(v.Target.Tech)
+	if !ok {
+		return nil, fmt.Errorf("%w: no %v plugin", ErrNoRoute, v.Target.Tech)
+	}
+	ttl := v.TTL
+	if ttl == 0 {
+		ttl = l.cfg.BridgeTTL
+	}
+
+	firstHop := v.Target
+	var hello phproto.Message
+	switch {
+	case v.Route.Direct() && v.Reconnect:
+		hello = &phproto.HelloReconnect{ConnID: v.ConnID}
+	case v.Route.Direct():
+		m := &phproto.HelloNew{ServicePort: v.ServicePort, ServiceName: v.ServiceName, ConnID: v.ConnID}
+		if v.Client != nil {
+			m.HasClient = true
+			m.Client = v.Client.Clone()
+		}
+		hello = m
+	default:
+		firstHop = v.Route.Bridge
+		m := &phproto.HelloBridge{
+			Dest:        v.Target,
+			ServiceName: v.ServiceName,
+			ServicePort: v.ServicePort,
+			ConnID:      v.ConnID,
+			TTL:         ttl,
+			Reconnect:   v.Reconnect,
+		}
+		if v.Client != nil {
+			m.HasClient = true
+			m.Client = v.Client.Clone()
+		}
+		hello = m
+	}
+
+	raw, err := l.dialRetry(p, firstHop, device.PortEngine)
+	if err != nil {
+		return nil, err
+	}
+	if err := phproto.Write(raw, hello); err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("library: sending hello: %w", err)
+	}
+	ack, err := phproto.ReadExpect[*phproto.Ack](raw)
+	if err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("library: awaiting acknowledgement: %w", err)
+	}
+	if !ack.OK {
+		_ = raw.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+	return raw, nil
+}
+
+// dialRetry dials, retrying transient connection faults per configuration.
+func (l *Library) dialRetry(p plugin.Plugin, to device.Addr, port uint16) (plugin.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt <= l.cfg.DialRetries; attempt++ {
+		c, err := p.Dial(to, port)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if !errors.Is(err, plugin.ErrConnectFault) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// acceptLoop dispatches incoming engine connections by hello command.
+func (l *Library) acceptLoop(p plugin.Plugin, ln plugin.Listener) {
+	defer l.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.handleIncoming(p, conn)
+		}()
+	}
+}
+
+func (l *Library) handleIncoming(p plugin.Plugin, conn plugin.Conn) {
+	msg, err := phproto.Read(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	switch m := msg.(type) {
+	case *phproto.HelloNew:
+		l.handleHelloNew(conn, m)
+	case *phproto.HelloBridge:
+		l.mu.Lock()
+		bh := l.bridgeHandler
+		l.mu.Unlock()
+		if bh == nil {
+			_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: "no bridge service"})
+			_ = conn.Close()
+			return
+		}
+		bh(conn, m, p)
+	case *phproto.HelloReconnect:
+		l.handleReconnect(conn, m)
+	default:
+		_ = conn.Close()
+	}
+}
+
+func (l *Library) handleHelloNew(conn plugin.Conn, m *phproto.HelloNew) {
+	l.mu.Lock()
+	entry, ok := l.handlers[m.ServicePort]
+	if !ok && m.ServiceName != "" {
+		for _, he := range l.handlers {
+			if he.svc.Name == m.ServiceName {
+				entry, ok = he, true
+				break
+			}
+		}
+	}
+	stopped := l.stopped
+	l.mu.Unlock()
+	if !ok || stopped {
+		_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: "no such service"})
+		_ = conn.Close()
+		return
+	}
+	if err := phproto.Write(conn, &phproto.Ack{OK: true}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	vc := newVirtualConnection(l, conn, m.ConnID, conn.RemoteAddr(), entry.svc, device.Addr{})
+	l.register(vc)
+	meta := ConnectionMeta{
+		ConnID:    m.ConnID,
+		Service:   entry.svc,
+		Remote:    conn.RemoteAddr(),
+		HasClient: m.HasClient,
+		Client:    m.Client,
+	}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		entry.h(vc, meta)
+	}()
+}
+
+// handleReconnect re-attaches an incoming transport to the logical
+// connection it names, substituting it under the application (§5.2.1's
+// ChangeConnection step, server side).
+func (l *Library) handleReconnect(conn plugin.Conn, m *phproto.HelloReconnect) {
+	l.mu.Lock()
+	vc, ok := l.vcs[m.ConnID]
+	l.mu.Unlock()
+	if !ok || vc.Closed() {
+		_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: "unknown connection"})
+		_ = conn.Close()
+		return
+	}
+	if err := phproto.Write(conn, &phproto.Ack{OK: true}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	vc.Swap(conn)
+}
+
+func (l *Library) register(vc *VirtualConnection) {
+	l.mu.Lock()
+	l.vcs[vc.ID()] = vc
+	l.mu.Unlock()
+}
+
+func (l *Library) unregister(id uint64) {
+	l.mu.Lock()
+	delete(l.vcs, id)
+	l.mu.Unlock()
+}
+
+// newConnID generates a locally unique logical connection ID.
+func (l *Library) newConnID() uint64 {
+	for {
+		id := uint64(l.src.Int63())
+		if id == 0 {
+			continue
+		}
+		l.mu.Lock()
+		_, dup := l.vcs[id]
+		l.mu.Unlock()
+		if !dup {
+			return id
+		}
+	}
+}
+
+// SwapWait returns the configured handover wait used by virtual
+// connections.
+func (l *Library) SwapWait() time.Duration { return l.cfg.SwapWait }

@@ -1,0 +1,426 @@
+package library_test
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/library"
+	"peerhood/internal/phtest"
+	"peerhood/internal/simnet"
+)
+
+// echoService registers an echo service on n: every received chunk is
+// written back.
+func echoService(t *testing.T, n *phtest.Node) {
+	t.Helper()
+	_, err := n.Lib.RegisterService("echo", "test", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+		defer vc.Close()
+		buf := make([]byte, 256)
+		for {
+			nr, err := vc.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := vc.Write(buf[:nr]); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("RegisterService(echo): %v", err)
+	}
+}
+
+func TestConnectDirectAndEcho(t *testing.T) {
+	w := phtest.InstantWorld(t, 1)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer vc.Close()
+
+	if _, err := vc.Write([]byte("ping")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := vc.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+	if vc.Target() != b.Addr() {
+		t.Fatalf("Target = %v", vc.Target())
+	}
+	if !vc.Bridge().IsZero() {
+		t.Fatalf("direct connection has bridge %v", vc.Bridge())
+	}
+	if vc.Generation() != 1 || vc.Swaps() != 0 {
+		t.Fatalf("gen=%d swaps=%d on fresh connection", vc.Generation(), vc.Swaps())
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	w := phtest.InstantWorld(t, 2)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	if _, err := a.Lib.Connect(device.Addr{Tech: device.TechBluetooth, MAC: "zz"}, "echo"); !errors.Is(err, library.ErrUnknownDevice) {
+		t.Fatalf("unknown device: %v", err)
+	}
+	if _, err := a.Lib.Connect(b.Addr(), "missing"); !errors.Is(err, library.ErrUnknownService) {
+		t.Fatalf("unknown service: %v", err)
+	}
+}
+
+func TestConnectRejectedWhenHandlerMissing(t *testing.T) {
+	// The service is advertised in the storage (stale) but the far end no
+	// longer has a handler: the engine must PH_FAIL and Connect must
+	// surface ErrRejected.
+	w := phtest.InstantWorld(t, 3)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+	b.Lib.UnregisterService("echo")
+
+	_, err := a.Lib.Connect(b.Addr(), "echo")
+	if !errors.Is(err, library.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestIncomingMetaCarriesClientInfo(t *testing.T) {
+	w := phtest.InstantWorld(t, 4)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+
+	metaCh := make(chan library.ConnectionMeta, 1)
+	if _, err := b.Lib.RegisterService("sink", "", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+		metaCh <- meta
+		_ = vc.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "sink", library.WithClientInfo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	select {
+	case meta := <-metaCh:
+		if !meta.HasClient {
+			t.Fatal("client info missing")
+		}
+		if meta.Client.Name != "a" || meta.Client.Addr != a.Addr() {
+			t.Fatalf("client = %+v", meta.Client)
+		}
+		if meta.Service.Name != "sink" {
+			t.Fatalf("service = %+v", meta.Service)
+		}
+		if meta.ConnID != vc.ID() {
+			t.Fatal("conn IDs differ across the wire")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never invoked")
+	}
+}
+
+func TestGetDeviceListAndServiceList(t *testing.T) {
+	w := phtest.InstantWorld(t, 5)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	devs := a.Lib.GetDeviceList()
+	if len(devs) != 1 || devs[0].Info.Name != "b" {
+		t.Fatalf("GetDeviceList = %+v", devs)
+	}
+	provs := a.Lib.GetServiceList("echo")
+	if len(provs) != 1 || provs[0].Entry.Info.Name != "b" {
+		t.Fatalf("GetServiceList = %+v", provs)
+	}
+}
+
+func TestCloseUnregistersReconnect(t *testing.T) {
+	w := phtest.InstantWorld(t, 6)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vc.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	if _, err := vc.Read(make([]byte, 1)); !errors.Is(err, library.ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, err := vc.Write([]byte("x")); !errors.Is(err, library.ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestServerSeesEOFOnClientClose(t *testing.T) {
+	w := phtest.InstantWorld(t, 7)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+
+	errCh := make(chan error, 1)
+	if _, err := b.Lib.RegisterService("drain", "", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+		defer vc.Close()
+		vc.SetSending(false) // server does not expect handover repairs
+		buf := make([]byte, 64)
+		for {
+			if _, err := vc.Read(buf); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vc.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	_ = vc.Close()
+
+	select {
+	case err := <-errCh:
+		if err != io.EOF {
+			t.Fatalf("server read error = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never saw EOF")
+	}
+}
+
+func TestManualSwapResumesTraffic(t *testing.T) {
+	// Simulates the handover mechanics without the handover package: the
+	// client builds a second transport with ConnectVia(reconnect) and
+	// swaps it in; both sides must resume on the new transport.
+	w := phtest.InstantWorld(t, 8)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	if _, err := vc.Write([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if n, err := vc.Read(buf); err != nil || string(buf[:n]) != "one" {
+		t.Fatalf("first read = %q, %v", buf[:n], err)
+	}
+
+	var swapMu sync.Mutex
+	swapCalls := 0
+	vc.OnSwap(func(oldR, newR device.Addr) {
+		swapMu.Lock()
+		swapCalls++
+		swapMu.Unlock()
+	})
+
+	// Build the replacement transport over the same direct route.
+	entry, _ := a.Daemon.Storage().Lookup(b.Addr())
+	route, _ := entry.Best()
+	raw, err := a.Lib.ConnectVia(library.Via{Route: route, Target: b.Addr(), ServiceName: "echo", ServicePort: vc.Service().Port, ConnID: vc.ID(), Reconnect: true})
+	if err != nil {
+		t.Fatalf("ConnectVia(reconnect): %v", err)
+	}
+	vc.SwapRoute(raw, device.Addr{})
+
+	if _, err := vc.Write([]byte("two")); err != nil {
+		t.Fatalf("post-swap write: %v", err)
+	}
+	if n, err := vc.Read(buf); err != nil || string(buf[:n]) != "two" {
+		t.Fatalf("post-swap read = %q, %v", buf[:n], err)
+	}
+	if vc.Swaps() != 1 || vc.Generation() != 2 {
+		t.Fatalf("swaps=%d gen=%d, want 1/2", vc.Swaps(), vc.Generation())
+	}
+	swapMu.Lock()
+	defer swapMu.Unlock()
+	if swapCalls != 1 {
+		t.Fatalf("OnSwap calls = %d, want 1", swapCalls)
+	}
+}
+
+func TestReconnectUnknownConnIDRejected(t *testing.T) {
+	w := phtest.InstantWorld(t, 9)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	entry, _ := a.Daemon.Storage().Lookup(b.Addr())
+	route, _ := entry.Best()
+	_, err := a.Lib.ConnectVia(library.Via{Route: route, Target: b.Addr(), ServiceName: "echo", ServicePort: 10, ConnID: 0xDEAD, Reconnect: true})
+	if !errors.Is(err, library.ErrRejected) {
+		t.Fatalf("reconnect to unknown connID: %v, want ErrRejected", err)
+	}
+}
+
+func TestReadBlocksAcrossSwapWindow(t *testing.T) {
+	// A reader blocked on a transport that dies must survive into the new
+	// transport when a swap happens within SwapWait.
+	w := phtest.InstantWorld(t, 10)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+
+	srvCh := make(chan *library.VirtualConnection, 1)
+	if _, err := b.Lib.RegisterService("push", "", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+		srvCh <- vc // test drives the server side
+	}); err != nil {
+		t.Fatal(err)
+	}
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "push")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	srv := <-srvCh
+	defer srv.Close()
+
+	readRes := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, err := vc.Read(buf)
+		if err != nil {
+			readRes <- "err:" + err.Error()
+			return
+		}
+		readRes <- string(buf[:n])
+	}()
+
+	// Kill the transport under the reader, then reconnect and send.
+	time.Sleep(5 * time.Millisecond)
+	entry, _ := a.Daemon.Storage().Lookup(b.Addr())
+	route, _ := entry.Best()
+	raw, err := a.Lib.ConnectVia(library.Via{Route: route, Target: b.Addr(), ServiceName: "push", ServicePort: vc.Service().Port, ConnID: vc.ID(), Reconnect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.SwapRoute(raw, device.Addr{}) // old transport closed; reader must survive
+
+	if _, err := srv.Write([]byte("after")); err != nil {
+		t.Fatalf("server write after reconnect: %v", err)
+	}
+	select {
+	case got := <-readRes:
+		if got != "after" {
+			t.Fatalf("read across swap = %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader stuck across swap")
+	}
+}
+
+func TestConnectRetriesFaults(t *testing.T) {
+	// With Bluetooth fault probability 0.4 a single dial fails 40% of the
+	// time; with the default 2 retries (§4.3's "connection attempt
+	// repetition") the failure rate drops to 0.4^3 = 6.4%. Check that
+	// Connect succeeds far more often than single dials would.
+	p := simnet.DefaultParams(device.TechBluetooth).Instant()
+	p.FaultProb = 0.4
+	w := phtest.ScaledWorld(t, 11, 1, simnet.WithParams(device.TechBluetooth, p))
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	// Discovery fetches also dial; run rounds until b is known.
+	for i := 0; i < 20; i++ {
+		phtest.RunRounds([]*phtest.Node{a}, 1)
+		if _, ok := a.Daemon.Storage().Lookup(b.Addr()); ok {
+			break
+		}
+	}
+	if _, ok := a.Daemon.Storage().Lookup(b.Addr()); !ok {
+		t.Fatal("discovery never succeeded")
+	}
+
+	const trials = 60
+	ok := 0
+	for i := 0; i < trials; i++ {
+		vc, err := a.Lib.Connect(b.Addr(), "echo")
+		if err != nil {
+			continue
+		}
+		ok++
+		_ = vc.Close()
+	}
+	rate := float64(ok) / trials
+	if rate < 0.80 {
+		t.Fatalf("connect success rate with retries = %v, want > 0.80", rate)
+	}
+}
+
+func TestStopClosesOpenConnections(t *testing.T) {
+	w := phtest.InstantWorld(t, 12)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Lib.Stop()
+	if !vc.Closed() {
+		t.Fatal("connection survived library stop")
+	}
+}
+
+func TestSendingFlagDefaultsTrue(t *testing.T) {
+	w := phtest.InstantWorld(t, 13)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	echoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	if !vc.Sending() {
+		t.Fatal("sending flag not default-true")
+	}
+	vc.SetSending(false)
+	if vc.Sending() {
+		t.Fatal("SetSending(false) ignored")
+	}
+}

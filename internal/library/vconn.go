@@ -1,0 +1,285 @@
+package library
+
+import (
+	"io"
+	"sync"
+
+	"peerhood/internal/device"
+	"peerhood/internal/plugin"
+)
+
+// VirtualConnection is the connection object applications hold (the
+// thesis' VirtualConnection, fig 2.5). The transport underneath it can be
+// replaced atomically by a handover (ChangeConnection, §5.2.1): reads and
+// writes that fail on a dying transport wait up to the library's SwapWait
+// for a replacement and then resume on it. The application keeps a single
+// object for the logical connection's whole life.
+type VirtualConnection struct {
+	lib    *Library
+	id     uint64
+	target device.Addr
+	svc    device.ServiceInfo
+
+	mu       sync.Mutex
+	cur      plugin.Conn
+	bridge   device.Addr // first hop if bridged; zero if direct
+	gen      int
+	genCh    chan struct{} // closed when gen increments
+	closed   bool
+	closeCh  chan struct{}
+	sending  bool // result-routing flag (§5.3): false suppresses handover
+	onSwap   func(oldRemote, newRemote device.Addr)
+	swapped  int // total successful swaps, for experiments
+	restarts int // service reconnections (§5.2.2)
+}
+
+func newVirtualConnection(l *Library, raw plugin.Conn, id uint64, target device.Addr, svc device.ServiceInfo, bridge device.Addr) *VirtualConnection {
+	return &VirtualConnection{
+		lib:     l,
+		id:      id,
+		target:  target,
+		svc:     svc,
+		cur:     raw,
+		bridge:  bridge,
+		genCh:   make(chan struct{}),
+		closeCh: make(chan struct{}),
+		sending: true,
+	}
+}
+
+// ID returns the logical connection ID (stable across handovers).
+func (vc *VirtualConnection) ID() uint64 { return vc.id }
+
+// Target returns the logical peer device — the service owner, regardless
+// of any bridges in between.
+func (vc *VirtualConnection) Target() device.Addr { return vc.target }
+
+// Service returns the connected service descriptor.
+func (vc *VirtualConnection) Service() device.ServiceInfo { return vc.svc }
+
+// Bridge returns the current route's first hop, or the zero address when
+// connected directly.
+func (vc *VirtualConnection) Bridge() device.Addr {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.bridge
+}
+
+// RemoteAddr returns the current transport peer (dialed device or last
+// bridge hop).
+func (vc *VirtualConnection) RemoteAddr() device.Addr {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.cur.RemoteAddr()
+}
+
+// Quality samples the current transport's link quality — what the
+// monitoring/handover thread listens to (§2.2.2, fig 5.5 state 1).
+func (vc *VirtualConnection) Quality() int {
+	vc.mu.Lock()
+	c := vc.cur
+	vc.mu.Unlock()
+	return c.Quality()
+}
+
+// Transport returns the current underlying transport. Diagnostics and the
+// experiment harness use it (e.g. to inject the thesis' artificial
+// quality degradation); applications should not.
+func (vc *VirtualConnection) Transport() plugin.Conn {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.cur
+}
+
+// Generation returns how many transports this connection has had (1 + the
+// number of swaps); experiments use it to count handovers.
+func (vc *VirtualConnection) Generation() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.gen + 1
+}
+
+// Swaps returns the number of successful transport substitutions.
+func (vc *VirtualConnection) Swaps() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.swapped
+}
+
+// Restarts returns how many service reconnections (full application-level
+// restarts, §5.2.2) this logical connection went through.
+func (vc *VirtualConnection) Restarts() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.restarts
+}
+
+// SetSending flags whether the application still depends on the link. The
+// thesis adds this "sending" boolean so the handover thread knows a broken
+// connection need not be repaired while a server is crunching (§5.3,
+// result routing). Handover threads skip low-quality reactions while it is
+// false.
+func (vc *VirtualConnection) SetSending(s bool) {
+	vc.mu.Lock()
+	vc.sending = s
+	vc.mu.Unlock()
+}
+
+// Sending reports the result-routing flag.
+func (vc *VirtualConnection) Sending() bool {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.sending
+}
+
+// OnSwap installs the application callback invoked after every transport
+// substitution (the ChangeConnection notification of fig 5.5).
+func (vc *VirtualConnection) OnSwap(f func(oldRemote, newRemote device.Addr)) {
+	vc.mu.Lock()
+	vc.onSwap = f
+	vc.mu.Unlock()
+}
+
+// Closed reports whether the connection is closed.
+func (vc *VirtualConnection) Closed() bool {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.closed
+}
+
+// Swap substitutes the transport, closing the old one. It is called by the
+// engine when a PH_RECONNECT arrives (server side) and by the handover
+// thread after building a replacement route (client side).
+func (vc *VirtualConnection) Swap(newConn plugin.Conn) {
+	vc.SwapRoute(newConn, device.Addr{})
+}
+
+// SwapRoute is Swap with the new route's first hop recorded.
+func (vc *VirtualConnection) SwapRoute(newConn plugin.Conn, bridge device.Addr) {
+	vc.mu.Lock()
+	if vc.closed {
+		vc.mu.Unlock()
+		_ = newConn.Close()
+		return
+	}
+	old := vc.cur
+	oldRemote := old.RemoteAddr()
+	vc.cur = newConn
+	vc.bridge = bridge
+	vc.gen++
+	vc.swapped++
+	close(vc.genCh)
+	vc.genCh = make(chan struct{})
+	cb := vc.onSwap
+	vc.mu.Unlock()
+
+	_ = old.Close()
+	if cb != nil {
+		cb(oldRemote, newConn.RemoteAddr())
+	}
+}
+
+// MarkRestart records a service reconnection and swaps in the transport to
+// the new provider. target is the new service owner.
+func (vc *VirtualConnection) MarkRestart(newConn plugin.Conn, target device.Addr, bridge device.Addr) {
+	vc.mu.Lock()
+	vc.target = target
+	vc.restarts++
+	vc.mu.Unlock()
+	vc.SwapRoute(newConn, bridge)
+}
+
+// Read reads from the current transport. On transport failure it waits up
+// to the library's SwapWait for a handover to substitute a new transport,
+// then retries; if none arrives the error is returned. io.EOF is returned
+// as-is only when the connection is no longer expected to be repaired
+// (closed, or the sending flag is off).
+func (vc *VirtualConnection) Read(p []byte) (int, error) {
+	for {
+		c, gen, genCh, err := vc.current()
+		if err != nil {
+			return 0, err
+		}
+		n, rerr := c.Read(p)
+		if rerr == nil || n > 0 {
+			return n, rerr
+		}
+		if !vc.shouldAwaitSwap() {
+			return n, rerr
+		}
+		if !vc.awaitSwap(gen, genCh) {
+			return n, rerr
+		}
+	}
+}
+
+// Write writes to the current transport, waiting for a handover swap on
+// failure like Read. A retried Write resends the whole buffer; as the
+// thesis notes (§6), the base protocol can lose or duplicate in-flight
+// bytes across a handover — the framed reliability layer in
+// internal/migration removes the ambiguity for task payloads.
+func (vc *VirtualConnection) Write(p []byte) (int, error) {
+	for {
+		c, gen, genCh, err := vc.current()
+		if err != nil {
+			return 0, err
+		}
+		n, werr := c.Write(p)
+		if werr == nil {
+			return n, nil
+		}
+		if !vc.shouldAwaitSwap() {
+			return n, werr
+		}
+		if !vc.awaitSwap(gen, genCh) {
+			return n, werr
+		}
+	}
+}
+
+// Close closes the connection and unregisters it from the engine's
+// reconnect table.
+func (vc *VirtualConnection) Close() error {
+	vc.mu.Lock()
+	if vc.closed {
+		vc.mu.Unlock()
+		return nil
+	}
+	vc.closed = true
+	close(vc.closeCh)
+	c := vc.cur
+	vc.mu.Unlock()
+
+	vc.lib.unregister(vc.id)
+	return c.Close()
+}
+
+func (vc *VirtualConnection) current() (plugin.Conn, int, chan struct{}, error) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.closed {
+		return nil, 0, nil, ErrClosed
+	}
+	return vc.cur, vc.gen, vc.genCh, nil
+}
+
+func (vc *VirtualConnection) shouldAwaitSwap() bool {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.sending && !vc.closed
+}
+
+// awaitSwap blocks until the generation advances past gen, the connection
+// closes, or SwapWait elapses. It reports whether a retry is warranted.
+func (vc *VirtualConnection) awaitSwap(gen int, genCh chan struct{}) bool {
+	select {
+	case <-genCh:
+		return true
+	case <-vc.closeCh:
+		return false
+	case <-vc.lib.Clock().After(vc.lib.SwapWait()):
+		return false
+	}
+}
+
+var _ io.ReadWriteCloser = (*VirtualConnection)(nil)

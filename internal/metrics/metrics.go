@@ -1,0 +1,114 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harness uses to summarise measured latencies, counts, and rates.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N    int
+	Min  float64
+	Max  float64
+	Mean float64
+	P50  float64
+	P95  float64
+	Sum  float64
+}
+
+// Summarize computes a Summary over values. An empty input yields a zero
+// Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+		P50:  Percentile(sorted, 0.50),
+		P95:  Percentile(sorted, 0.95),
+		Sum:  sum,
+	}
+}
+
+// SummarizeDurations is Summarize over durations, in seconds.
+func SummarizeDurations(ds []time.Duration) Summary {
+	vals := make([]float64, len(ds))
+	for i, d := range ds {
+		vals[i] = d.Seconds()
+	}
+	return Summarize(vals)
+}
+
+// Percentile returns the p-th percentile (0..1) of an already sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g mean=%.3g p50=%.3g p95=%.3g max=%.3g",
+		s.N, s.Min, s.Mean, s.P50, s.P95, s.Max)
+}
+
+// Ratio renders a/b as a percentage string, guarding division by zero.
+func Ratio(a, b int) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(a)/float64(b))
+}
+
+// Counter accumulates named integer counts with stable ordering.
+type Counter struct {
+	names  []string
+	counts map[string]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments a named count.
+func (c *Counter) Add(name string, delta int) {
+	if _, ok := c.counts[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.counts[name] += delta
+}
+
+// Get returns a named count.
+func (c *Counter) Get(name string) int { return c.counts[name] }
+
+// Names returns the names in first-seen order.
+func (c *Counter) Names() []string { return append([]string(nil), c.names...) }

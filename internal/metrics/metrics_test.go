@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || math.Abs(s.Mean-2) > 1e-9 || s.Sum != 6 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 2 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if math.Abs(s.Mean-2) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, 1) != 40 {
+		t.Fatal("percentile edges wrong")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile nonzero")
+	}
+	// Interpolation: p50 of 4 points = halfway between 20 and 30.
+	if got := Percentile(sorted, 0.5); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := Percentile(vals, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinLEMeanLEMax(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != "50%" {
+		t.Fatalf("ratio = %s", Ratio(1, 2))
+	}
+	if Ratio(3, 0) != "n/a" {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 1)
+	c.Add("a", 2)
+	c.Add("b", 3)
+	if c.Get("b") != 4 || c.Get("a") != 2 || c.Get("zzz") != 0 {
+		t.Fatal("counts wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v (want first-seen order)", names)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1}).String() == "" {
+		t.Fatal("empty string")
+	}
+}

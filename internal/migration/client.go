@@ -1,0 +1,363 @@
+package migration
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/library"
+)
+
+// Outcome summarises one migrated task from the client's perspective.
+type Outcome struct {
+	TaskID   uint64
+	Packages int
+	// Delivery is how the result arrived.
+	Delivery Delivery
+	// Resent counts packages retransmitted after handovers (the cost of
+	// the §6 data-buffering layer).
+	Resent int
+	// Duration is the simulated time from submit to result.
+	Duration time.Duration
+	// ResultPackages is the number of per-package analysis entries
+	// received.
+	ResultPackages int
+}
+
+// ClientConfig parametrises Submit.
+type ClientConfig struct {
+	Library *library.Library
+	// Provider is the analysis server's address.
+	Provider device.Addr
+	// ServiceName defaults to DefaultServiceName.
+	ServiceName string
+	// TaskID must be unique per task on this client.
+	TaskID uint64
+	// Packages is the picture, already chunked.
+	Packages [][]byte
+	// DisconnectAfterSend simulates the §5.3 movement: the client drops
+	// the connection as soon as the upload finishes and relies on the
+	// server's dial-back for the result.
+	DisconnectAfterSend bool
+	// ResultTimeout bounds the whole exchange.
+	ResultTimeout time.Duration
+	// OnConnect, if set, receives the virtual connection right after it is
+	// established — the hook where callers attach a handover thread.
+	OnConnect func(vc *library.VirtualConnection)
+}
+
+// Errors.
+var (
+	// ErrResultTimeout reports that no result arrived in time.
+	ErrResultTimeout = errors.New("migration: result timed out")
+	// ErrUploadFailed reports that the upload could not complete.
+	ErrUploadFailed = errors.New("migration: upload failed")
+)
+
+// inbox collects results delivered by dial-back connections.
+type inbox struct {
+	mu      sync.Mutex
+	results map[uint64]chan [][]byte
+}
+
+func (ib *inbox) channelFor(taskID uint64) chan [][]byte {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.results == nil {
+		ib.results = make(map[uint64]chan [][]byte)
+	}
+	ch, ok := ib.results[taskID]
+	if !ok {
+		ch = make(chan [][]byte, 1)
+		ib.results[taskID] = ch
+	}
+	return ch
+}
+
+// Client submits analysis tasks and receives results, including through
+// the dial-back path. One Client can run many tasks.
+type Client struct {
+	lib       *library.Library
+	clk       clock.Clock
+	replyPort uint16
+	ib        inbox
+}
+
+// NewClient registers the client's hidden reply service (the "client
+// service" of §5.3 option 1, addressed by port per option 2) and returns
+// the client.
+func NewClient(lib *library.Library) (*Client, error) {
+	if lib == nil {
+		return nil, errors.New("migration: Library is required")
+	}
+	c := &Client{lib: lib, clk: lib.Clock()}
+	svc, err := lib.RegisterService("mt-reply", "migration result inbox", c.handleReply)
+	if err != nil {
+		return nil, err
+	}
+	c.replyPort = svc.Port
+	return c, nil
+}
+
+// ReplyPort returns the inbox's logical port.
+func (c *Client) ReplyPort() uint16 { return c.replyPort }
+
+// handleReply receives a dial-back result connection.
+func (c *Client) handleReply(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+	defer vc.Close()
+	vc.SetSending(false)
+	res, taskID, err := readResult(NewRecordReader(vc))
+	if err != nil {
+		return
+	}
+	select {
+	case c.ib.channelFor(taskID) <- res:
+	default: // duplicate delivery
+	}
+}
+
+// Submit migrates one task and waits for its result.
+func (c *Client) Submit(cfg ClientConfig) (Outcome, error) {
+	if cfg.ServiceName == "" {
+		cfg.ServiceName = DefaultServiceName
+	}
+	if cfg.ResultTimeout <= 0 {
+		cfg.ResultTimeout = 5 * time.Minute
+	}
+	start := c.clk.Now()
+	out := Outcome{TaskID: cfg.TaskID, Packages: len(cfg.Packages)}
+
+	vc, err := c.lib.Connect(cfg.Provider, cfg.ServiceName, library.WithClientInfo())
+	if err != nil {
+		return out, fmt.Errorf("%w: %v", ErrUploadFailed, err)
+	}
+	defer vc.Close()
+	if cfg.OnConnect != nil {
+		cfg.OnConnect(vc)
+	}
+
+	// One record reader spans the upload (acks) and the inline result:
+	// bytes buffered past the final ack must not be lost between phases.
+	rr := NewRecordReader(vc)
+
+	resent, err := c.upload(vc, rr, cfg)
+	out.Resent = resent
+	if err != nil {
+		return out, fmt.Errorf("%w: %v", ErrUploadFailed, err)
+	}
+
+	resultCh := c.ib.channelFor(cfg.TaskID)
+
+	if cfg.DisconnectAfterSend {
+		// Fig 5.9: the device moves on after the upload; the result comes
+		// back via dial-back.
+		_ = vc.Close()
+		select {
+		case res := <-resultCh:
+			out.Delivery = DeliveryDialBack
+			out.ResultPackages = len(res)
+			out.Duration = c.clk.Since(start)
+			return out, nil
+		case <-c.clk.After(cfg.ResultTimeout):
+			return out, ErrResultTimeout
+		}
+	}
+
+	// Stay connected; the result normally comes inline, but a dial-back
+	// can still win the race if the link breaks meanwhile.
+	vc.SetSending(false) // quiescent wait: no handover repairs needed (§5.3)
+	inlineCh := make(chan [][]byte, 1)
+	inlineErr := make(chan error, 1)
+	go func() {
+		res, _, err := readResult(rr)
+		if err != nil {
+			inlineErr <- err
+			return
+		}
+		inlineCh <- res
+	}()
+
+	select {
+	case res := <-inlineCh:
+		out.Delivery = DeliveryInline
+		out.ResultPackages = len(res)
+	case res := <-resultCh:
+		out.Delivery = DeliveryDialBack
+		out.ResultPackages = len(res)
+	case err := <-inlineErr:
+		// Inline path died; the dial-back may still deliver.
+		select {
+		case res := <-resultCh:
+			out.Delivery = DeliveryDialBack
+			out.ResultPackages = len(res)
+		case <-c.clk.After(cfg.ResultTimeout):
+			return out, fmt.Errorf("%w (inline path: %v)", ErrResultTimeout, err)
+		}
+	case <-c.clk.After(cfg.ResultTimeout):
+		return out, ErrResultTimeout
+	}
+	out.Duration = c.clk.Since(start)
+	return out, nil
+}
+
+// upload ships the header and packages, consuming acks and resuming after
+// transport swaps (the §6 data-buffering extension). It returns the number
+// of retransmitted packages.
+func (c *Client) upload(vc *library.VirtualConnection, rr *RecordReader, cfg ClientConfig) (int, error) {
+	count := uint32(len(cfg.Packages))
+
+	// Ack consumption runs concurrently with sending; the shared reader is
+	// released (goroutine exits) once the final ack arrives.
+	var ackMu sync.Mutex
+	var acked uint32
+	allAcked := make(chan struct{})
+	ackErr := make(chan error, 1)
+	go func() {
+		for {
+			rec, err := rr.Next()
+			if err != nil {
+				select {
+				case ackErr <- err:
+				default:
+				}
+				return
+			}
+			if rec.Kind != KindAck || rec.TaskID != cfg.TaskID {
+				continue
+			}
+			v, err := ParseU32Payload(rec.Payload)
+			if err != nil {
+				continue
+			}
+			ackMu.Lock()
+			if v > acked {
+				acked = v
+			}
+			done := acked >= count
+			ackMu.Unlock()
+			if done {
+				close(allAcked)
+				return
+			}
+		}
+	}()
+
+	writeHeader := func() error {
+		return WriteRecord(vc, Record{
+			TaskID:  cfg.TaskID,
+			Kind:    KindHeader,
+			Payload: HeaderPayload(count, c.replyPort, 0),
+		})
+	}
+	if err := writeHeader(); err != nil {
+		return 0, err
+	}
+
+	resent := 0
+	lastGen := vc.Generation()
+	seq := uint32(1)
+	for seq <= count {
+		if gen := vc.Generation(); gen != lastGen {
+			// A handover replaced the transport: re-announce the task and
+			// rewind to the last acked package. In-flight bytes on the old
+			// transport may be torn; the server's record reader resyncs.
+			lastGen = gen
+			if err := writeHeader(); err != nil {
+				return resent, err
+			}
+			ackMu.Lock()
+			resume := acked + 1
+			ackMu.Unlock()
+			if resume < seq {
+				resent += int(seq - resume)
+				seq = resume
+			}
+		}
+		err := WriteRecord(vc, Record{
+			TaskID:  cfg.TaskID,
+			Seq:     seq,
+			Kind:    KindData,
+			Payload: cfg.Packages[seq-1],
+		})
+		if err != nil {
+			return resent, err
+		}
+		seq++
+	}
+
+	// Wait for the final ack so the upload is known complete.
+	for {
+		select {
+		case <-allAcked:
+			return resent, nil
+		case err := <-ackErr:
+			return resent, err
+		case <-c.clk.After(cfg.ResultTimeout):
+			return resent, ErrResultTimeout
+		default:
+		}
+		// A swap can still require a resume while waiting for the ack.
+		if gen := vc.Generation(); gen != lastGen {
+			lastGen = gen
+			if err := writeHeader(); err != nil {
+				return resent, err
+			}
+			ackMu.Lock()
+			resume := acked + 1
+			ackMu.Unlock()
+			for s := resume; s <= count; s++ {
+				if err := WriteRecord(vc, Record{TaskID: cfg.TaskID, Seq: s, Kind: KindData, Payload: cfg.Packages[s-1]}); err != nil {
+					return resent, err
+				}
+				resent++
+			}
+		}
+		c.clk.Sleep(50 * time.Millisecond)
+	}
+}
+
+// readResult consumes one result transfer from rr.
+func readResult(rr *RecordReader) ([][]byte, uint64, error) {
+	var (
+		taskID  uint64
+		count   uint32
+		started bool
+		out     map[uint32][]byte
+	)
+	for {
+		rec, err := rr.Next()
+		if err != nil {
+			return nil, taskID, err
+		}
+		switch rec.Kind {
+		case KindResultHeader:
+			c, err := ParseU32Payload(rec.Payload)
+			if err != nil {
+				continue
+			}
+			taskID = rec.TaskID
+			count = c
+			started = true
+			out = make(map[uint32][]byte, c)
+		case KindResult:
+			if !started || rec.TaskID != taskID {
+				continue
+			}
+			out[rec.Seq] = rec.Payload
+		case KindDone:
+			if !started || rec.TaskID != taskID {
+				continue
+			}
+			res := make([][]byte, 0, count)
+			for s := uint32(1); s <= count; s++ {
+				if p, ok := out[s]; ok {
+					res = append(res, p)
+				}
+			}
+			return res, taskID, nil
+		}
+	}
+}

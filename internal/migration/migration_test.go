@@ -1,0 +1,247 @@
+package migration_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/library"
+	"peerhood/internal/migration"
+	"peerhood/internal/phtest"
+)
+
+func packages(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, size)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestInlineTaskMigration(t *testing.T) {
+	// §5.3 case 1: small task, client stays in coverage, result inline.
+	w := phtest.InstantWorld(t, 1)
+	cli := phtest.AddNode(t, w, "phone", geo.Pt(0, 0), device.Dynamic)
+	srv := phtest.AddNode(t, w, "server", geo.Pt(3, 0), device.Static)
+
+	server, err := migration.NewServer(migration.ServerConfig{
+		Library:        srv.Lib,
+		ProcessingRate: 1 << 30, // effectively instant
+		DialBack:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := migration.NewClient(cli.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phtest.RunRounds([]*phtest.Node{cli, srv}, 2)
+
+	out, err := client.Submit(migration.ClientConfig{
+		Library:  cli.Lib,
+		Provider: srv.Addr(),
+		TaskID:   1,
+		Packages: packages(10, 128),
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if out.Delivery != migration.DeliveryInline {
+		t.Fatalf("delivery = %v, want inline", out.Delivery)
+	}
+	if out.ResultPackages != 10 {
+		t.Fatalf("result packages = %d, want 10", out.ResultPackages)
+	}
+	if out.Resent != 0 {
+		t.Fatalf("resent = %d on a stable link", out.Resent)
+	}
+
+	evs := server.Events()
+	if len(evs) != 1 || evs[0].Delivery != migration.DeliveryInline || evs[0].Packages != 10 {
+		t.Fatalf("server events = %+v", evs)
+	}
+}
+
+func TestDialBackAfterClientDisconnects(t *testing.T) {
+	// §5.3 case 2: the client uploads, disconnects (walks away), and the
+	// server later finds it in the routing table and dials the reply
+	// service to deliver the result.
+	w := phtest.InstantWorld(t, 2)
+	cli := phtest.AddNode(t, w, "phone", geo.Pt(0, 0), device.Dynamic)
+	srv := phtest.AddNode(t, w, "server", geo.Pt(3, 0), device.Static)
+
+	// Processing takes ~0.4 s: the client's disconnect lands while the
+	// server is crunching, exactly as in fig 5.9.
+	if _, err := migration.NewServer(migration.ServerConfig{
+		Library:        srv.Lib,
+		ProcessingRate: 1024,
+		DialBack:       true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := migration.NewClient(cli.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sides must know each other (the server needs the client in its
+	// routing table for the dial-back).
+	phtest.RunRounds([]*phtest.Node{cli, srv}, 2)
+
+	out, err := client.Submit(migration.ClientConfig{
+		Library:             cli.Lib,
+		Provider:            srv.Addr(),
+		TaskID:              7,
+		Packages:            packages(6, 64),
+		DisconnectAfterSend: true,
+		ResultTimeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if out.Delivery != migration.DeliveryDialBack {
+		t.Fatalf("delivery = %v, want dial-back", out.Delivery)
+	}
+	if out.ResultPackages != 6 {
+		t.Fatalf("result packages = %d", out.ResultPackages)
+	}
+}
+
+func TestNoDialBackLosesResult(t *testing.T) {
+	// Pre-thesis behaviour: DialBack disabled, client walks away, result
+	// is lost — the client times out.
+	w := phtest.InstantWorld(t, 3)
+	cli := phtest.AddNode(t, w, "phone", geo.Pt(0, 0), device.Dynamic)
+	srv := phtest.AddNode(t, w, "server", geo.Pt(3, 0), device.Static)
+
+	// Processing outlasts the client's disconnect, so the inline result
+	// write fails and, without dial-back, the result is simply lost.
+	server, err := migration.NewServer(migration.ServerConfig{
+		Library:        srv.Lib,
+		ProcessingRate: 512,
+		DialBack:       false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := migration.NewClient(cli.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phtest.RunRounds([]*phtest.Node{cli, srv}, 2)
+
+	_, err = client.Submit(migration.ClientConfig{
+		Library:             cli.Lib,
+		Provider:            srv.Addr(),
+		TaskID:              9,
+		Packages:            packages(4, 64),
+		DisconnectAfterSend: true,
+		ResultTimeout:       2 * time.Second,
+	})
+	if !errors.Is(err, migration.ErrResultTimeout) {
+		t.Fatalf("err = %v, want ErrResultTimeout", err)
+	}
+	// The server recorded the lost delivery.
+	deadline := time.After(2 * time.Second)
+	for {
+		evs := server.Events()
+		if len(evs) == 1 {
+			if evs[0].Delivery != migration.DeliveryNone {
+				t.Fatalf("server event = %+v", evs[0])
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("server never recorded the task: %+v", evs)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestUploadResumesAcrossManualHandover(t *testing.T) {
+	// The §6 data-buffering extension: a transport swap mid-upload causes
+	// the client to re-announce and resume from the last ack; the transfer
+	// completes with correct content (verified by the result checksums).
+	w := phtest.InstantWorld(t, 4)
+	cli := phtest.AddNode(t, w, "phone", geo.Pt(0, 0), device.Dynamic)
+	srv := phtest.AddNode(t, w, "server", geo.Pt(3, 0), device.Static)
+
+	if _, err := migration.NewServer(migration.ServerConfig{
+		Library:        srv.Lib,
+		ProcessingRate: 1 << 30,
+		DialBack:       true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := migration.NewClient(cli.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phtest.RunRounds([]*phtest.Node{cli, srv}, 2)
+
+	// Run the submit in the background and swap the transport under it,
+	// exactly as a handover thread would.
+	vcCh := make(chan *library.VirtualConnection, 1)
+	type res struct {
+		out migration.Outcome
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		out, err := client.Submit(migration.ClientConfig{
+			Library:       cli.Lib,
+			Provider:      srv.Addr(),
+			TaskID:        11,
+			Packages:      packages(300, 512),
+			ResultTimeout: time.Minute,
+			OnConnect:     func(vc *library.VirtualConnection) { vcCh <- vc },
+		})
+		done <- res{out, err}
+	}()
+	vc := <-vcCh
+
+	swaps := 0
+	for i := 0; i < 2; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if vc.Closed() {
+			break // upload already finished
+		}
+		entry, ok := cli.Daemon.Storage().Lookup(srv.Addr())
+		if !ok {
+			t.Fatal("server vanished from storage")
+		}
+		route, _ := entry.Best()
+		raw, err := cli.Lib.ConnectVia(library.Via{
+			Route:       route,
+			Target:      srv.Addr(),
+			ServiceName: migration.DefaultServiceName,
+			ServicePort: vc.Service().Port,
+			ConnID:      vc.ID(),
+			Reconnect:   true,
+		})
+		if err != nil {
+			t.Fatalf("reconnect %d: %v", i, err)
+		}
+		vc.SwapRoute(raw, route.Bridge)
+		swaps++
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("Submit after %d swaps: %v", swaps, r.err)
+	}
+	if r.out.ResultPackages != 300 {
+		t.Fatalf("result packages = %d, want 300", r.out.ResultPackages)
+	}
+	if swaps > 0 && r.out.Resent == 0 {
+		t.Logf("note: %d swaps, 0 resent (swap landed between packages)", swaps)
+	}
+}

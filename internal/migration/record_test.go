@@ -1,0 +1,205 @@
+package migration
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{TaskID: 1, Seq: 0, Kind: KindHeader, Payload: HeaderPayload(10, 12, 0)},
+		{TaskID: 1, Seq: 1, Kind: KindData, Payload: []byte("package-one")},
+		{TaskID: 1, Seq: 0, Kind: KindAck, Payload: U32Payload(1)},
+		{TaskID: 2, Seq: 0, Kind: KindResultHeader, Payload: U32Payload(3)},
+		{TaskID: 2, Seq: 3, Kind: KindResult, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{TaskID: 2, Seq: 0, Kind: KindDone},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if err := WriteRecord(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rr := NewRecordReader(&buf)
+	for i, want := range recs {
+		got, err := rr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.TaskID != want.TaskID || got.Seq != want.Seq || got.Kind != want.Kind || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want EOF", err)
+	}
+	if rr.Resyncs != 0 {
+		t.Fatalf("resyncs on clean stream = %d", rr.Resyncs)
+	}
+}
+
+func TestRecordReaderResyncsAcrossGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, Record{TaskID: 1, Seq: 1, Kind: KindData, Payload: []byte("first")}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn half-record: a handover cut the stream mid-write.
+	half, err := AppendRecord(nil, Record{TaskID: 1, Seq: 2, Kind: KindData, Payload: []byte("torn-torn-torn")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(half[:len(half)/2])
+	// The sender resumed on a new transport.
+	if err := WriteRecord(&buf, Record{TaskID: 1, Seq: 2, Kind: KindData, Payload: []byte("resent")}); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := NewRecordReader(&buf)
+	r1, err := rr.Next()
+	if err != nil || string(r1.Payload) != "first" {
+		t.Fatalf("first = %+v, %v", r1, err)
+	}
+	r2, err := rr.Next()
+	if err != nil || string(r2.Payload) != "resent" {
+		t.Fatalf("resynced = %+v, %v", r2, err)
+	}
+	if rr.Resyncs == 0 {
+		t.Fatal("no resync counted despite torn bytes")
+	}
+}
+
+func TestRecordReaderSkipsLeadingNoise(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xde, 0xad, 0xbe, 0xef, 'P', 'x', 0x00})
+	if err := WriteRecord(&buf, Record{TaskID: 9, Seq: 1, Kind: KindData, Payload: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRecordReader(&buf)
+	r, err := rr.Next()
+	if err != nil || string(r.Payload) != "ok" {
+		t.Fatalf("r = %+v, %v", r, err)
+	}
+}
+
+func TestRecordReaderRejectsCorruptCRC(t *testing.T) {
+	raw, err := AppendRecord(nil, Record{TaskID: 5, Seq: 7, Kind: KindData, Payload: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // corrupt CRC
+	good, err := AppendRecord(nil, Record{TaskID: 5, Seq: 8, Kind: KindData, Payload: []byte("good")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRecordReader(bytes.NewReader(append(raw, good...)))
+	r, err := rr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq != 8 {
+		t.Fatalf("got seq %d, want the CRC-valid record 8", r.Seq)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	_, err := AppendRecord(nil, Record{Payload: make([]byte, MaxRecordPayload+1)})
+	if err == nil {
+		t.Fatal("oversize payload accepted")
+	}
+}
+
+func TestHeaderPayloadRoundTrip(t *testing.T) {
+	if err := quick.Check(func(count uint32, port uint16, resume uint32) bool {
+		c, p, r, err := ParseHeaderPayload(HeaderPayload(count, port, resume))
+		return err == nil && c == count && p == port && r == resume
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ParseHeaderPayload([]byte{1, 2}); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestU32PayloadRoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint32) bool {
+		got, err := ParseU32Payload(U32Payload(v))
+		return err == nil && got == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseU32Payload([]byte{1}); err == nil {
+		t.Fatal("short u32 accepted")
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(taskID uint64, seq uint32, kind uint8, payload []byte) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		want := Record{TaskID: taskID, Seq: seq, Kind: RecordKind(kind%6 + 1), Payload: payload}
+		var buf bytes.Buffer
+		if err := WriteRecord(&buf, want); err != nil {
+			return false
+		}
+		rr := NewRecordReader(&buf)
+		got, err := rr.Next()
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return got.TaskID == want.TaskID && got.Seq == want.Seq && got.Kind == want.Kind && len(got.Payload) == 0
+		}
+		return got.TaskID == want.TaskID && got.Seq == want.Seq && got.Kind == want.Kind && bytes.Equal(got.Payload, want.Payload)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordStreamSurvivesArbitraryChunking(t *testing.T) {
+	// Records must decode regardless of how the transport fragments them.
+	var whole bytes.Buffer
+	const n = 20
+	for i := 1; i <= n; i++ {
+		if err := WriteRecord(&whole, Record{TaskID: 3, Seq: uint32(i), Kind: KindData, Payload: bytes.Repeat([]byte{byte(i)}, i*7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, chunk := range []int{1, 2, 3, 5, 17, 1000} {
+		rr := NewRecordReader(&chunkedReader{data: whole.Bytes(), chunk: chunk})
+		for i := 1; i <= n; i++ {
+			r, err := rr.Next()
+			if err != nil {
+				t.Fatalf("chunk=%d record %d: %v", chunk, i, err)
+			}
+			if int(r.Seq) != i || len(r.Payload) != i*7 {
+				t.Fatalf("chunk=%d record %d = %+v", chunk, i, r)
+			}
+		}
+	}
+}
+
+type chunkedReader struct {
+	data  []byte
+	off   int
+	chunk int
+}
+
+func (cr *chunkedReader) Read(p []byte) (int, error) {
+	if cr.off >= len(cr.data) {
+		return 0, io.EOF
+	}
+	n := cr.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if cr.off+n > len(cr.data) {
+		n = len(cr.data) - cr.off
+	}
+	copy(p, cr.data[cr.off:cr.off+n])
+	cr.off += n
+	return n, nil
+}

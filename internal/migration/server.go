@@ -1,0 +1,317 @@
+package migration
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/library"
+)
+
+// DefaultServiceName is the picture-analysis service name used throughout
+// the examples and experiments.
+const DefaultServiceName = "picture-analysis"
+
+// ServerEvent describes a completed (or failed) task from the server's
+// perspective — the three §5.3 regimes are distinguishable by Delivery.
+type ServerEvent struct {
+	TaskID    uint64
+	Packages  int
+	Delivery  Delivery
+	Err       error
+	Resyncs   int
+	ResentDup int // duplicate packages dropped by the dedupe layer
+}
+
+// Delivery says how (whether) a result reached the client.
+type Delivery int
+
+// Delivery outcomes.
+const (
+	// DeliveryNone means the task never completed (§5.3 case 3 without
+	// successful handover: "connection lack").
+	DeliveryNone Delivery = iota
+	// DeliveryInline means the result went back on the still-open
+	// connection (§5.3 case 1).
+	DeliveryInline
+	// DeliveryDialBack means the connection was gone and the server
+	// reconnected through its routing table to return the result
+	// (§5.3 case 2, fig 5.10).
+	DeliveryDialBack
+)
+
+// String implements fmt.Stringer.
+func (d Delivery) String() string {
+	switch d {
+	case DeliveryInline:
+		return "inline"
+	case DeliveryDialBack:
+		return "dial-back"
+	default:
+		return "none"
+	}
+}
+
+// ServerConfig parametrises a picture-analysis server.
+type ServerConfig struct {
+	Library *library.Library
+	// ServiceName defaults to DefaultServiceName.
+	ServiceName string
+	// Attr is the advertised service attribute.
+	Attr string
+	// ProcessingRate is the simulated analysis speed in bytes per second
+	// of simulated time ("high processing power" fixed hosts, §1.1).
+	ProcessingRate float64
+	// AckEvery is how many packages between acknowledgements.
+	AckEvery int
+	// DialBack enables §5.3 result routing. When off, a broken connection
+	// loses the result (the pre-thesis behaviour).
+	DialBack bool
+	// DialBackTimeout bounds the reconnect-and-deliver attempts.
+	DialBackTimeout time.Duration
+	// Observer receives one event per finished task; may be nil.
+	Observer func(ServerEvent)
+}
+
+// Server is the fig 5.10 picture-analysis service.
+type Server struct {
+	lib *library.Library
+	clk clock.Clock
+	cfg ServerConfig
+	svc device.ServiceInfo
+
+	mu     sync.Mutex
+	events []ServerEvent
+}
+
+// NewServer registers the analysis service on lib and returns the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Library == nil {
+		return nil, errors.New("migration: Library is required")
+	}
+	if cfg.ServiceName == "" {
+		cfg.ServiceName = DefaultServiceName
+	}
+	if cfg.ProcessingRate <= 0 {
+		cfg.ProcessingRate = 64 << 10 // 64 KiB/s
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 8
+	}
+	if cfg.DialBackTimeout <= 0 {
+		cfg.DialBackTimeout = 2 * time.Minute
+	}
+	s := &Server{lib: cfg.Library, clk: cfg.Library.Clock(), cfg: cfg}
+	svc, err := cfg.Library.RegisterService(cfg.ServiceName, cfg.Attr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.svc = svc
+	return s, nil
+}
+
+// Service returns the registered service descriptor.
+func (s *Server) Service() device.ServiceInfo { return s.svc }
+
+// Events returns the recorded task events.
+func (s *Server) Events() []ServerEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ServerEvent(nil), s.events...)
+}
+
+func (s *Server) record(ev ServerEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+	if s.cfg.Observer != nil {
+		s.cfg.Observer(ev)
+	}
+}
+
+// handle serves one client connection (fig 5.10's activity diagram).
+func (s *Server) handle(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+	defer vc.Close()
+	rr := NewRecordReader(vc)
+
+	var (
+		taskID    uint64
+		count     uint32
+		replyPort uint16
+		received  map[uint32][]byte
+		dups      int
+	)
+
+	// Receive phase.
+	for {
+		rec, err := rr.Next()
+		if err != nil {
+			// Connection died mid-transfer (§5.3 case 3). If the client's
+			// handover repaired the transport, reads continued above; this
+			// error means it truly is gone.
+			ev := ServerEvent{TaskID: taskID, Delivery: DeliveryNone, Err: err, Resyncs: rr.Resyncs, ResentDup: dups}
+			if received != nil {
+				ev.Packages = len(received)
+			}
+			s.record(ev)
+			return
+		}
+		switch rec.Kind {
+		case KindHeader:
+			c, rp, _, err := ParseHeaderPayload(rec.Payload)
+			if err != nil {
+				continue
+			}
+			if received == nil || rec.TaskID != taskID {
+				taskID = rec.TaskID
+				count = c
+				replyPort = rp
+				received = make(map[uint32][]byte, c)
+				dups = 0
+			}
+			// A repeated header with the same taskID is a post-handover
+			// resume; state is kept and an ack tells the sender where to
+			// resume from.
+			_ = WriteRecord(vc, Record{TaskID: taskID, Kind: KindAck, Payload: U32Payload(s.contiguous(received))})
+		case KindData:
+			if received == nil || rec.TaskID != taskID {
+				continue // stray package from an unknown task
+			}
+			if _, dup := received[rec.Seq]; dup {
+				dups++
+			} else {
+				received[rec.Seq] = rec.Payload
+			}
+			if len(received) == int(count) {
+				// All packages in: acknowledge and move to processing.
+				_ = WriteRecord(vc, Record{TaskID: taskID, Kind: KindAck, Payload: U32Payload(count)})
+				s.process(vc, meta, taskID, count, replyPort, received, rr.Resyncs, dups)
+				return
+			}
+			if int(rec.Seq)%s.cfg.AckEvery == 0 {
+				_ = WriteRecord(vc, Record{TaskID: taskID, Kind: KindAck, Payload: U32Payload(s.contiguous(received))})
+			}
+		default:
+			// Ignore anything else during receive.
+		}
+	}
+}
+
+// contiguous returns the highest n such that packages 1..n are all
+// present.
+func (s *Server) contiguous(received map[uint32][]byte) uint32 {
+	var n uint32
+	for {
+		if _, ok := received[n+1]; !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// process runs the simulated analysis and returns the result — inline if
+// the connection survived, through a dial-back otherwise.
+func (s *Server) process(vc *library.VirtualConnection, meta library.ConnectionMeta, taskID uint64, count uint32, replyPort uint16, received map[uint32][]byte, resyncs, dups int) {
+	var totalBytes int
+	for _, p := range received {
+		totalBytes += len(p)
+	}
+	// "The server will process the data": simulated crunch time.
+	s.clk.Sleep(time.Duration(float64(totalBytes) / s.cfg.ProcessingRate * float64(time.Second)))
+
+	result := s.analyze(received, count)
+
+	// While processing, the client typically stops depending on the link
+	// (fig 5.9); it may be gone entirely. Try inline first.
+	vc.SetSending(false) // fail fast: no handover wait on the result path
+	if err := s.sendResult(vc, taskID, result); err == nil {
+		s.record(ServerEvent{TaskID: taskID, Packages: int(count), Delivery: DeliveryInline, Resyncs: resyncs, ResentDup: dups})
+		return
+	}
+
+	if !s.cfg.DialBack || !meta.HasClient || replyPort == 0 {
+		s.record(ServerEvent{TaskID: taskID, Packages: int(count), Delivery: DeliveryNone,
+			Err: errors.New("migration: connection lost and dial-back unavailable"), Resyncs: resyncs, ResentDup: dups})
+		return
+	}
+
+	// §5.3 case 2: "server looks for the device in its neighborhood
+	// routing table and tries to send the result back".
+	if err := s.dialBack(meta.Client, replyPort, taskID, result); err != nil {
+		s.record(ServerEvent{TaskID: taskID, Packages: int(count), Delivery: DeliveryNone, Err: err, Resyncs: resyncs, ResentDup: dups})
+		return
+	}
+	s.record(ServerEvent{TaskID: taskID, Packages: int(count), Delivery: DeliveryDialBack, Resyncs: resyncs, ResentDup: dups})
+}
+
+// analyze produces the per-package analysis summaries ("the people from
+// the photo will be recognized and names added", simulated as checksums).
+func (s *Server) analyze(received map[uint32][]byte, count uint32) [][]byte {
+	out := make([][]byte, 0, count)
+	for seq := uint32(1); seq <= count; seq++ {
+		pkg := received[seq]
+		sum := crc32.ChecksumIEEE(pkg)
+		entry := make([]byte, 0, 8)
+		entry = binary.BigEndian.AppendUint32(entry, seq)
+		entry = binary.BigEndian.AppendUint32(entry, sum)
+		out = append(out, entry)
+	}
+	return out
+}
+
+func (s *Server) sendResult(w interface {
+	Write([]byte) (int, error)
+}, taskID uint64, result [][]byte) error {
+	if err := WriteRecord(w, Record{TaskID: taskID, Kind: KindResultHeader, Payload: U32Payload(uint32(len(result)))}); err != nil {
+		return err
+	}
+	for i, r := range result {
+		if err := WriteRecord(w, Record{TaskID: taskID, Seq: uint32(i + 1), Kind: KindResult, Payload: r}); err != nil {
+			return err
+		}
+	}
+	return WriteRecord(w, Record{TaskID: taskID, Kind: KindDone})
+}
+
+// dialBack locates the client in the routing table (waiting for discovery
+// if needed) and delivers the result to its reply service.
+func (s *Server) dialBack(client device.Info, replyPort uint16, taskID uint64, result [][]byte) error {
+	deadline := s.clk.Now().Add(s.cfg.DialBackTimeout)
+	var lastErr error = fmt.Errorf("migration: client %v never appeared in storage", client.Addr)
+	for {
+		if s.clk.Now().After(deadline) {
+			return fmt.Errorf("migration: dial-back timed out: %w", lastErr)
+		}
+		entry, ok := s.lib.Daemon().Storage().Lookup(client.Addr)
+		if !ok {
+			s.clk.Sleep(time.Second)
+			continue
+		}
+		for _, route := range entry.Routes {
+			raw, err := s.lib.ConnectVia(library.Via{
+				Route:       route,
+				Target:      client.Addr,
+				ServiceName: "", // reply service addressed by port
+				ServicePort: replyPort,
+				ConnID:      taskID,
+			})
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			err = s.sendResult(raw, taskID, result)
+			_ = raw.Close()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return nil
+		}
+		s.clk.Sleep(time.Second)
+	}
+}

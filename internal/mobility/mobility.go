@@ -1,0 +1,225 @@
+// Package mobility provides movement models for simulated devices. A model
+// is a pure function from elapsed simulation time to position, which keeps
+// the wireless world deterministic: the same seed and the same query times
+// always produce the same trajectories.
+//
+// The thesis distinguishes three device classes — static, hybrid, dynamic
+// (§3.4.3) — and its experiments move devices along straight lines (office →
+// corridor walks at pedestrian speed). Static and Linear cover those; Path
+// and RandomWaypoint support the richer scenarios in the experiment harness.
+package mobility
+
+import (
+	"sync"
+	"time"
+
+	"peerhood/internal/geo"
+	"peerhood/internal/rng"
+)
+
+// Model yields a device's position after a given elapsed simulation time.
+//
+// Implementations must be safe for concurrent use and must be deterministic:
+// PositionAt(t) depends only on t and construction parameters.
+type Model interface {
+	PositionAt(elapsed time.Duration) geo.Point
+}
+
+// Static is a Model that never moves.
+type Static struct {
+	At geo.Point
+}
+
+var _ Model = Static{}
+
+// PositionAt implements Model.
+func (s Static) PositionAt(time.Duration) geo.Point { return s.At }
+
+// Linear moves from Start at constant Velocity (metres/second). If Until is
+// non-zero the device stops moving after that elapsed time (it reaches its
+// final position and stays there).
+type Linear struct {
+	Start    geo.Point
+	Velocity geo.Vector // metres per second
+	Until    time.Duration
+}
+
+var _ Model = Linear{}
+
+// PositionAt implements Model.
+func (l Linear) PositionAt(elapsed time.Duration) geo.Point {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if l.Until > 0 && elapsed > l.Until {
+		elapsed = l.Until
+	}
+	secs := elapsed.Seconds()
+	return l.Start.Add(l.Velocity.Scale(secs))
+}
+
+// Walk returns a Linear model walking from start towards dest at speed
+// metres/second, stopping on arrival. A speed of 1.4 m/s approximates the
+// thesis' corridor walk.
+func Walk(start, dest geo.Point, speed float64) Linear {
+	d := dest.Sub(start)
+	dist := d.Len()
+	if dist == 0 || speed <= 0 {
+		return Linear{Start: start}
+	}
+	return Linear{
+		Start:    start,
+		Velocity: d.Unit().Scale(speed),
+		Until:    time.Duration(dist / speed * float64(time.Second)),
+	}
+}
+
+// Path walks through a sequence of waypoints at constant speed, stopping at
+// the final waypoint. It models scripted scenarios such as "walk out of the
+// office, down the corridor, and back" (§5.2.1).
+type Path struct {
+	points []geo.Point
+	speed  float64
+	// legEnds[i] is the cumulative elapsed time at which waypoint i+1 is
+	// reached.
+	legEnds []time.Duration
+}
+
+var _ Model = (*Path)(nil)
+
+// NewPath returns a Path through points at speed metres/second. It panics if
+// fewer than one point is given or speed <= 0.
+func NewPath(speed float64, points ...geo.Point) *Path {
+	if len(points) == 0 {
+		panic("mobility: NewPath needs at least one point")
+	}
+	if speed <= 0 {
+		panic("mobility: NewPath needs positive speed")
+	}
+	p := &Path{points: append([]geo.Point(nil), points...), speed: speed}
+	var cum time.Duration
+	for i := 1; i < len(points); i++ {
+		dist := points[i-1].Dist(points[i])
+		cum += time.Duration(dist / speed * float64(time.Second))
+		p.legEnds = append(p.legEnds, cum)
+	}
+	return p
+}
+
+// TotalDuration returns the elapsed time at which the path's final waypoint
+// is reached.
+func (p *Path) TotalDuration() time.Duration {
+	if len(p.legEnds) == 0 {
+		return 0
+	}
+	return p.legEnds[len(p.legEnds)-1]
+}
+
+// PositionAt implements Model.
+func (p *Path) PositionAt(elapsed time.Duration) geo.Point {
+	if elapsed <= 0 || len(p.points) == 1 {
+		return p.points[0]
+	}
+	var legStart time.Duration
+	for i, end := range p.legEnds {
+		if elapsed <= end {
+			legDur := end - legStart
+			if legDur <= 0 {
+				return p.points[i+1]
+			}
+			t := float64(elapsed-legStart) / float64(legDur)
+			return p.points[i].Lerp(p.points[i+1], t)
+		}
+		legStart = end
+	}
+	return p.points[len(p.points)-1]
+}
+
+// RandomWaypoint implements the classic random-waypoint model: pick a uniform
+// destination in Bounds, travel to it at a uniform speed from [MinSpeed,
+// MaxSpeed], pause for Pause, repeat. Trajectories are generated lazily but
+// memoised, so PositionAt stays a deterministic function of elapsed time.
+type RandomWaypoint struct {
+	mu sync.Mutex
+
+	bounds   geo.Rect
+	minSpeed float64
+	maxSpeed float64
+	pause    time.Duration
+	src      *rng.Source
+
+	segs []rwSegment
+}
+
+type rwSegment struct {
+	start, end time.Duration // elapsed-time window covered by this segment
+	from, to   geo.Point     // equal during pause segments
+}
+
+var _ Model = (*RandomWaypoint)(nil)
+
+// NewRandomWaypoint returns a RandomWaypoint model starting at start.
+// It panics on invalid speeds.
+func NewRandomWaypoint(start geo.Point, bounds geo.Rect, minSpeed, maxSpeed float64, pause time.Duration, src *rng.Source) *RandomWaypoint {
+	if minSpeed <= 0 || maxSpeed < minSpeed {
+		panic("mobility: invalid random-waypoint speeds")
+	}
+	rw := &RandomWaypoint{
+		bounds:   bounds,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    pause,
+		src:      src,
+	}
+	// Seed a zero-length segment so extension always has a tail position.
+	rw.segs = []rwSegment{{start: 0, end: 0, from: bounds.Clamp(start), to: bounds.Clamp(start)}}
+	return rw
+}
+
+// PositionAt implements Model.
+func (rw *RandomWaypoint) PositionAt(elapsed time.Duration) geo.Point {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	rw.extendTo(elapsed)
+	// Binary search would be fine; linear from the back is typically O(1)
+	// because queries advance monotonically.
+	for i := len(rw.segs) - 1; i >= 0; i-- {
+		s := rw.segs[i]
+		if elapsed >= s.start {
+			if s.end == s.start {
+				return s.to
+			}
+			t := float64(elapsed-s.start) / float64(s.end-s.start)
+			return s.from.Lerp(s.to, t)
+		}
+	}
+	return rw.segs[0].from
+}
+
+func (rw *RandomWaypoint) extendTo(elapsed time.Duration) {
+	for rw.segs[len(rw.segs)-1].end < elapsed {
+		tail := rw.segs[len(rw.segs)-1]
+		dest := geo.Pt(
+			rw.src.Uniform(rw.bounds.Min.X, rw.bounds.Max.X),
+			rw.src.Uniform(rw.bounds.Min.Y, rw.bounds.Max.Y),
+		)
+		speed := rw.src.Uniform(rw.minSpeed, rw.maxSpeed)
+		dist := tail.to.Dist(dest)
+		travel := time.Duration(dist / speed * float64(time.Second))
+		if travel <= 0 {
+			travel = time.Millisecond
+		}
+		rw.segs = append(rw.segs, rwSegment{
+			start: tail.end, end: tail.end + travel, from: tail.to, to: dest,
+		})
+		if rw.pause > 0 {
+			moved := rw.segs[len(rw.segs)-1]
+			rw.segs = append(rw.segs, rwSegment{
+				start: moved.end, end: moved.end + rw.pause, from: dest, to: dest,
+			})
+		}
+	}
+}

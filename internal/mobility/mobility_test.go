@@ -1,0 +1,194 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"peerhood/internal/geo"
+	"peerhood/internal/rng"
+)
+
+func TestStatic(t *testing.T) {
+	m := Static{At: geo.Pt(3, 4)}
+	for _, d := range []time.Duration{0, time.Second, time.Hour} {
+		if got := m.PositionAt(d); got != geo.Pt(3, 4) {
+			t.Fatalf("Static moved to %v at %v", got, d)
+		}
+	}
+}
+
+func TestLinearConstantVelocity(t *testing.T) {
+	m := Linear{Start: geo.Pt(0, 0), Velocity: geo.Vector{DX: 2, DY: 0}}
+	got := m.PositionAt(3 * time.Second)
+	if math.Abs(got.X-6) > 1e-9 || got.Y != 0 {
+		t.Fatalf("PositionAt(3s) = %v, want (6,0)", got)
+	}
+}
+
+func TestLinearNegativeElapsed(t *testing.T) {
+	m := Linear{Start: geo.Pt(1, 1), Velocity: geo.Vector{DX: 1, DY: 1}}
+	if got := m.PositionAt(-time.Second); got != geo.Pt(1, 1) {
+		t.Fatalf("negative elapsed moved device: %v", got)
+	}
+}
+
+func TestLinearStopsAtUntil(t *testing.T) {
+	m := Linear{Start: geo.Pt(0, 0), Velocity: geo.Vector{DX: 1, DY: 0}, Until: 5 * time.Second}
+	at5 := m.PositionAt(5 * time.Second)
+	at50 := m.PositionAt(50 * time.Second)
+	if at5 != at50 {
+		t.Fatalf("device kept moving past Until: %v vs %v", at5, at50)
+	}
+	if math.Abs(at5.X-5) > 1e-9 {
+		t.Fatalf("final position = %v, want x=5", at5)
+	}
+}
+
+func TestWalkReachesDestination(t *testing.T) {
+	m := Walk(geo.Pt(0, 0), geo.Pt(14, 0), 1.4)
+	// 14 m at 1.4 m/s = 10 s.
+	end := m.PositionAt(10 * time.Second)
+	if math.Abs(end.X-14) > 1e-6 || math.Abs(end.Y) > 1e-6 {
+		t.Fatalf("end position = %v, want (14,0)", end)
+	}
+	after := m.PositionAt(time.Hour)
+	if after.Dist(end) > 1e-6 {
+		t.Fatalf("walker overshot destination: %v", after)
+	}
+}
+
+func TestWalkHalfway(t *testing.T) {
+	m := Walk(geo.Pt(0, 0), geo.Pt(10, 0), 2)
+	mid := m.PositionAt(2500 * time.Millisecond)
+	if math.Abs(mid.X-5) > 1e-6 {
+		t.Fatalf("halfway = %v, want x=5", mid)
+	}
+}
+
+func TestWalkDegenerate(t *testing.T) {
+	m := Walk(geo.Pt(3, 3), geo.Pt(3, 3), 1.4)
+	if got := m.PositionAt(time.Minute); got != geo.Pt(3, 3) {
+		t.Fatalf("zero-length walk moved: %v", got)
+	}
+	m2 := Walk(geo.Pt(0, 0), geo.Pt(5, 0), 0)
+	if got := m2.PositionAt(time.Minute); got != geo.Pt(0, 0) {
+		t.Fatalf("zero-speed walk moved: %v", got)
+	}
+}
+
+func TestPathVisitsWaypointsInOrder(t *testing.T) {
+	p := NewPath(1, geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(10, 10))
+	if d := p.TotalDuration(); d != 20*time.Second {
+		t.Fatalf("TotalDuration = %v, want 20s", d)
+	}
+	at10 := p.PositionAt(10 * time.Second)
+	if at10.Dist(geo.Pt(10, 0)) > 1e-6 {
+		t.Fatalf("at 10s = %v, want corner (10,0)", at10)
+	}
+	at15 := p.PositionAt(15 * time.Second)
+	if at15.Dist(geo.Pt(10, 5)) > 1e-6 {
+		t.Fatalf("at 15s = %v, want (10,5)", at15)
+	}
+	atEnd := p.PositionAt(time.Hour)
+	if atEnd.Dist(geo.Pt(10, 10)) > 1e-6 {
+		t.Fatalf("end = %v, want (10,10)", atEnd)
+	}
+}
+
+func TestPathSinglePoint(t *testing.T) {
+	p := NewPath(1, geo.Pt(7, 7))
+	if got := p.PositionAt(time.Minute); got != geo.Pt(7, 7) {
+		t.Fatalf("single-point path moved: %v", got)
+	}
+	if p.TotalDuration() != 0 {
+		t.Fatalf("TotalDuration = %v, want 0", p.TotalDuration())
+	}
+}
+
+func TestPathPanicsOnBadArgs(t *testing.T) {
+	mustPanic(t, func() { NewPath(1) })
+	mustPanic(t, func() { NewPath(0, geo.Pt(0, 0)) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	mk := func() *RandomWaypoint {
+		return NewRandomWaypoint(geo.Pt(0, 0),
+			geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)},
+			1, 2, time.Second, rng.New(42))
+	}
+	a, b := mk(), mk()
+	for _, d := range []time.Duration{0, 5 * time.Second, time.Minute, 10 * time.Minute} {
+		pa, pb := a.PositionAt(d), b.PositionAt(d)
+		if pa.Dist(pb) > 1e-9 {
+			t.Fatalf("same-seed models diverge at %v: %v vs %v", d, pa, pb)
+		}
+	}
+}
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(50, 50)}
+	rw := NewRandomWaypoint(geo.Pt(25, 25), bounds, 1, 3, 0, rng.New(7))
+	for d := time.Duration(0); d < 10*time.Minute; d += 500 * time.Millisecond {
+		p := rw.PositionAt(d)
+		if !bounds.Contains(p) {
+			t.Fatalf("escaped bounds at %v: %v", d, p)
+		}
+	}
+}
+
+func TestRandomWaypointNonMonotonicQueries(t *testing.T) {
+	rw := NewRandomWaypoint(geo.Pt(0, 0),
+		geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)},
+		1, 2, 0, rng.New(3))
+	late := rw.PositionAt(time.Minute)
+	early := rw.PositionAt(10 * time.Second)
+	lateAgain := rw.PositionAt(time.Minute)
+	if late.Dist(lateAgain) > 1e-9 {
+		t.Fatalf("re-query changed trajectory: %v vs %v", late, lateAgain)
+	}
+	_ = early
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	rw := NewRandomWaypoint(geo.Pt(0, 0),
+		geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(200, 200)},
+		1, 2, 0, rng.New(11))
+	step := 250 * time.Millisecond
+	prev := rw.PositionAt(0)
+	for d := step; d < 5*time.Minute; d += step {
+		cur := rw.PositionAt(d)
+		speed := prev.Dist(cur) / step.Seconds()
+		if speed > 2.0+1e-6 {
+			t.Fatalf("instantaneous speed %v m/s exceeds max 2", speed)
+		}
+		prev = cur
+	}
+}
+
+func TestRandomWaypointPanicsOnBadSpeeds(t *testing.T) {
+	bounds := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}
+	mustPanic(t, func() { NewRandomWaypoint(geo.Pt(0, 0), bounds, 0, 1, 0, rng.New(1)) })
+	mustPanic(t, func() { NewRandomWaypoint(geo.Pt(0, 0), bounds, 2, 1, 0, rng.New(1)) })
+}
+
+func TestLinearPositionIsPureFunction(t *testing.T) {
+	m := Linear{Start: geo.Pt(0, 0), Velocity: geo.Vector{DX: 1.5, DY: -0.5}}
+	if err := quick.Check(func(ms int64) bool {
+		d := time.Duration(ms%3600000) * time.Millisecond
+		return m.PositionAt(d) == m.PositionAt(d)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

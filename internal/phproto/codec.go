@@ -1,0 +1,203 @@
+package phproto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"peerhood/internal/device"
+)
+
+// encoder builds a frame payload. Write order must mirror decoder exactly.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+func (e *encoder) str(s string) {
+	if len(s) > MaxStringLen {
+		s = s[:MaxStringLen]
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) addr(a device.Addr) {
+	e.u8(uint8(a.Tech))
+	e.str(a.MAC)
+}
+
+func (e *encoder) services(ss []device.ServiceInfo) {
+	n := len(ss)
+	if n > MaxServices {
+		n = MaxServices
+	}
+	e.u16(uint16(n))
+	for _, s := range ss[:n] {
+		e.str(s.Name)
+		e.str(s.Attr)
+		e.u16(s.Port)
+	}
+}
+
+func (e *encoder) info(i device.Info) {
+	e.str(i.Name)
+	e.addr(i.Addr)
+	e.u32(i.Checksum)
+	e.u8(uint8(i.Mobility))
+	e.services(i.Services)
+}
+
+// decoder consumes a frame payload. The first error sticks; all subsequent
+// reads return zero values, so message decoders can read unconditionally
+// and check d.err once.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s at offset %d", ErrMalformed, what, d.off)
+	}
+}
+
+func (d *decoder) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2, "u16")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if n > MaxStringLen {
+		d.fail("string length")
+		return ""
+	}
+	b := d.take(n, "string")
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) bytesLimited(maxLen int) []byte {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		d.fail("bytes length")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := d.take(n, "bytes")
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (d *decoder) addr() device.Addr {
+	t := device.Tech(d.u8())
+	mac := d.str()
+	if d.err != nil {
+		return device.Addr{}
+	}
+	return device.Addr{Tech: t, MAC: mac}
+}
+
+func (d *decoder) services() []device.ServiceInfo {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxServices {
+		d.fail("service count")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]device.ServiceInfo, 0, n)
+	for i := 0; i < n; i++ {
+		s := device.ServiceInfo{Name: d.str(), Attr: d.str(), Port: d.u16()}
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (d *decoder) info() device.Info {
+	i := device.Info{
+		Name:     d.str(),
+		Addr:     d.addr(),
+		Checksum: d.u32(),
+		Mobility: device.Mobility(d.u8()),
+	}
+	i.Services = d.services()
+	if d.err != nil {
+		return device.Info{}
+	}
+	return i
+}

@@ -1,0 +1,475 @@
+// Package phproto defines PeerHood's wire protocol: the commands exchanged
+// on the daemon information port (device/service/neighbourhood fetching,
+// fig 3.7) and on the library engine port (PH_NEW, PH_BRIDGE, PH_RECONNECT
+// hellos and PH_OK/PH_FAIL acknowledgements, figs 2.5 and 4.3), with a
+// compact binary framing.
+//
+// Frame layout: 1-byte command, 4-byte big-endian payload length, payload.
+package phproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"peerhood/internal/device"
+)
+
+// Command identifies a frame type.
+type Command uint8
+
+// Wire commands. The PH_* names follow the thesis.
+const (
+	// CmdInfoRequest asks the daemon port for one information section.
+	CmdInfoRequest Command = iota + 1
+	// CmdDeviceInfo carries a device descriptor.
+	CmdDeviceInfo
+	// CmdServiceList carries the registered services of a device.
+	CmdServiceList
+	// CmdNeighborhood carries a device's routing table (DeviceStorage).
+	CmdNeighborhood
+	// CmdHelloNew opens an application connection to a service (PH_NEW).
+	CmdHelloNew
+	// CmdHelloBridge asks a bridge to extend the connection towards a
+	// remote destination (PH_BRIDGE).
+	CmdHelloBridge
+	// CmdHelloReconnect re-attaches to an existing logical connection after
+	// a handover (PH_RECONNECT).
+	CmdHelloReconnect
+	// CmdAck acknowledges a hello (PH_OK / PH_FAIL).
+	CmdAck
+	// CmdData carries one framed application payload; used by workloads
+	// that need sequenced packages (task migration, §5.3).
+	CmdData
+)
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	switch c {
+	case CmdInfoRequest:
+		return "INFO_REQUEST"
+	case CmdDeviceInfo:
+		return "DEVICE_INFO"
+	case CmdServiceList:
+		return "SERVICE_LIST"
+	case CmdNeighborhood:
+		return "NEIGHBORHOOD"
+	case CmdHelloNew:
+		return "PH_NEW"
+	case CmdHelloBridge:
+		return "PH_BRIDGE"
+	case CmdHelloReconnect:
+		return "PH_RECONNECT"
+	case CmdAck:
+		return "PH_ACK"
+	case CmdData:
+		return "PH_DATA"
+	default:
+		return fmt.Sprintf("cmd(%d)", uint8(c))
+	}
+}
+
+// Encoding limits. Frames beyond these are rejected before allocation, so a
+// corrupt or hostile peer cannot force large allocations.
+const (
+	MaxFrameSize  = 1 << 20 // 1 MiB
+	MaxStringLen  = 1 << 12
+	MaxServices   = 256
+	MaxEntries    = 4096
+	MaxDataChunk  = MaxFrameSize - 64
+	maxNameLength = MaxStringLen
+)
+
+// Codec errors.
+var (
+	// ErrFrameTooLarge reports a frame whose declared length exceeds
+	// MaxFrameSize.
+	ErrFrameTooLarge = errors.New("phproto: frame too large")
+	// ErrMalformed reports a syntactically invalid payload.
+	ErrMalformed = errors.New("phproto: malformed message")
+	// ErrUnknownCommand reports an unrecognised command byte.
+	ErrUnknownCommand = errors.New("phproto: unknown command")
+)
+
+// InfoKind selects which section an InfoRequest asks for. The previous
+// PeerHood fetched device, prototype, service, and neighbourhood information
+// over four short connections (fig 3.7); this implementation follows the
+// thesis' own suggestion to unify them over one connection, as a sequence of
+// requests.
+type InfoKind uint8
+
+// Information sections.
+const (
+	InfoDevice InfoKind = iota + 1
+	InfoServices
+	InfoNeighborhood
+)
+
+// String implements fmt.Stringer.
+func (k InfoKind) String() string {
+	switch k {
+	case InfoDevice:
+		return "device"
+	case InfoServices:
+		return "services"
+	case InfoNeighborhood:
+		return "neighborhood"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one decoded protocol frame.
+type Message interface {
+	// Cmd returns the frame's command byte.
+	Cmd() Command
+	encodeTo(e *encoder)
+	decodeFrom(d *decoder) error
+}
+
+// InfoRequest asks the daemon port for one information section.
+type InfoRequest struct {
+	Kind InfoKind
+}
+
+// Cmd implements Message.
+func (*InfoRequest) Cmd() Command { return CmdInfoRequest }
+
+func (m *InfoRequest) encodeTo(e *encoder) { e.u8(uint8(m.Kind)) }
+
+func (m *InfoRequest) decodeFrom(d *decoder) error {
+	m.Kind = InfoKind(d.u8())
+	return d.err
+}
+
+// DeviceInfo carries one device descriptor.
+type DeviceInfo struct {
+	Info device.Info
+}
+
+// Cmd implements Message.
+func (*DeviceInfo) Cmd() Command { return CmdDeviceInfo }
+
+func (m *DeviceInfo) encodeTo(e *encoder) { e.info(m.Info) }
+
+func (m *DeviceInfo) decodeFrom(d *decoder) error {
+	m.Info = d.info()
+	return d.err
+}
+
+// ServiceList carries the services registered on a device.
+type ServiceList struct {
+	Services []device.ServiceInfo
+}
+
+// Cmd implements Message.
+func (*ServiceList) Cmd() Command { return CmdServiceList }
+
+func (m *ServiceList) encodeTo(e *encoder) { e.services(m.Services) }
+
+func (m *ServiceList) decodeFrom(d *decoder) error {
+	m.Services = d.services()
+	return d.err
+}
+
+// NeighborEntry is one row of a transmitted DeviceStorage: the remote
+// device's descriptor plus the routing metadata the thesis adds in ch. 3 —
+// jump count, bridge (next hop), and the route's link-quality aggregates.
+type NeighborEntry struct {
+	Info device.Info
+	// Jumps is the hop count from the sender to Info's device; direct
+	// neighbours have 0 (§3.3).
+	Jumps uint8
+	// Bridge is the sender's next hop towards the device; zero for direct
+	// neighbours.
+	Bridge device.Addr
+	// QualitySum is the sum of per-hop link qualities along the sender's
+	// route (the §3.4.1 addition rule).
+	QualitySum uint32
+	// QualityMin is the weakest per-hop link quality along the route (used
+	// for the 230-threshold acceptance rule, fig 3.9).
+	QualityMin uint8
+}
+
+// Neighborhood carries a device's routing table.
+type Neighborhood struct {
+	Entries []NeighborEntry
+}
+
+// Cmd implements Message.
+func (*Neighborhood) Cmd() Command { return CmdNeighborhood }
+
+func (m *Neighborhood) encodeTo(e *encoder) {
+	e.u16(uint16(len(m.Entries)))
+	for _, en := range m.Entries {
+		e.info(en.Info)
+		e.u8(en.Jumps)
+		e.addr(en.Bridge)
+		e.u32(en.QualitySum)
+		e.u8(en.QualityMin)
+	}
+}
+
+func (m *Neighborhood) decodeFrom(d *decoder) error {
+	n := int(d.u16())
+	if d.err != nil {
+		return d.err
+	}
+	if n > MaxEntries {
+		return fmt.Errorf("%w: %d neighbourhood entries", ErrMalformed, n)
+	}
+	m.Entries = make([]NeighborEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var en NeighborEntry
+		en.Info = d.info()
+		en.Jumps = d.u8()
+		en.Bridge = d.addr()
+		en.QualitySum = d.u32()
+		en.QualityMin = d.u8()
+		if d.err != nil {
+			return d.err
+		}
+		m.Entries = append(m.Entries, en)
+	}
+	return d.err
+}
+
+// HelloNew opens an application connection to a service. The optional
+// client descriptor implements the thesis' §5.3 "method 2": sending the
+// client's identity up front so a server can reconnect to return results
+// after a disconnection.
+type HelloNew struct {
+	ServicePort uint16
+	ServiceName string
+	ConnID      uint64
+	// HasClient marks Client as meaningful.
+	HasClient bool
+	Client    device.Info
+}
+
+// Cmd implements Message.
+func (*HelloNew) Cmd() Command { return CmdHelloNew }
+
+func (m *HelloNew) encodeTo(e *encoder) {
+	e.u16(m.ServicePort)
+	e.str(m.ServiceName)
+	e.u64(m.ConnID)
+	if m.HasClient {
+		e.u8(1)
+		e.info(m.Client)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (m *HelloNew) decodeFrom(d *decoder) error {
+	m.ServicePort = d.u16()
+	m.ServiceName = d.str()
+	m.ConnID = d.u64()
+	if d.u8() == 1 {
+		m.HasClient = true
+		m.Client = d.info()
+	}
+	return d.err
+}
+
+// HelloBridge asks a bridge node to extend the connection to Dest's
+// service, possibly through further bridges (fig 4.3). TTL bounds the chain
+// length so routing loops cannot relay forever.
+type HelloBridge struct {
+	Dest        device.Addr
+	ServiceName string
+	ServicePort uint16
+	ConnID      uint64
+	TTL         uint8
+	// Reconnect marks the chain as a routing-handover re-attachment: the
+	// final hop delivers a PH_RECONNECT instead of a PH_NEW, so the far
+	// end substitutes the transport under connection ConnID (§5.2.1).
+	Reconnect bool
+	// HasClient/Client mirror HelloNew and are forwarded hop by hop.
+	HasClient bool
+	Client    device.Info
+}
+
+// Cmd implements Message.
+func (*HelloBridge) Cmd() Command { return CmdHelloBridge }
+
+func (m *HelloBridge) encodeTo(e *encoder) {
+	e.addr(m.Dest)
+	e.str(m.ServiceName)
+	e.u16(m.ServicePort)
+	e.u64(m.ConnID)
+	e.u8(m.TTL)
+	if m.Reconnect {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	if m.HasClient {
+		e.u8(1)
+		e.info(m.Client)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (m *HelloBridge) decodeFrom(d *decoder) error {
+	m.Dest = d.addr()
+	m.ServiceName = d.str()
+	m.ServicePort = d.u16()
+	m.ConnID = d.u64()
+	m.TTL = d.u8()
+	m.Reconnect = d.u8() == 1
+	if d.u8() == 1 {
+		m.HasClient = true
+		m.Client = d.info()
+	}
+	return d.err
+}
+
+// HelloReconnect re-attaches to the logical connection ConnID after a
+// routing handover; the engine matches it against monitored connections and
+// substitutes the transport underneath the application (§5.2.1).
+type HelloReconnect struct {
+	ConnID uint64
+}
+
+// Cmd implements Message.
+func (*HelloReconnect) Cmd() Command { return CmdHelloReconnect }
+
+func (m *HelloReconnect) encodeTo(e *encoder) { e.u64(m.ConnID) }
+
+func (m *HelloReconnect) decodeFrom(d *decoder) error {
+	m.ConnID = d.u64()
+	return d.err
+}
+
+// Ack acknowledges a hello: PH_OK (OK=true) or PH_FAIL with a reason. In a
+// bridged chain the ack propagates back so the originator learns whether
+// the whole chain came up (§4.1).
+type Ack struct {
+	OK     bool
+	Reason string
+}
+
+// Cmd implements Message.
+func (*Ack) Cmd() Command { return CmdAck }
+
+func (m *Ack) encodeTo(e *encoder) {
+	if m.OK {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.str(m.Reason)
+}
+
+func (m *Ack) decodeFrom(d *decoder) error {
+	m.OK = d.u8() == 1
+	m.Reason = d.str()
+	return d.err
+}
+
+// Data carries one sequenced application payload.
+type Data struct {
+	Seq     uint32
+	Payload []byte
+}
+
+// Cmd implements Message.
+func (*Data) Cmd() Command { return CmdData }
+
+func (m *Data) encodeTo(e *encoder) {
+	e.u32(m.Seq)
+	e.bytes(m.Payload)
+}
+
+func (m *Data) decodeFrom(d *decoder) error {
+	m.Seq = d.u32()
+	m.Payload = d.bytesLimited(MaxDataChunk)
+	return d.err
+}
+
+// newMessage returns an empty message value for cmd.
+func newMessage(cmd Command) (Message, error) {
+	switch cmd {
+	case CmdInfoRequest:
+		return &InfoRequest{}, nil
+	case CmdDeviceInfo:
+		return &DeviceInfo{}, nil
+	case CmdServiceList:
+		return &ServiceList{}, nil
+	case CmdNeighborhood:
+		return &Neighborhood{}, nil
+	case CmdHelloNew:
+		return &HelloNew{}, nil
+	case CmdHelloBridge:
+		return &HelloBridge{}, nil
+	case CmdHelloReconnect:
+		return &HelloReconnect{}, nil
+	case CmdAck:
+		return &Ack{}, nil
+	case CmdData:
+		return &Data{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCommand, uint8(cmd))
+	}
+}
+
+// Write encodes m as one frame onto w.
+func Write(w io.Writer, m Message) error {
+	e := &encoder{}
+	m.encodeTo(e)
+	if len(e.buf) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(e.buf))
+	}
+	hdr := make([]byte, 5, 5+len(e.buf))
+	hdr[0] = byte(m.Cmd())
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(e.buf)))
+	_, err := w.Write(append(hdr, e.buf...))
+	return err
+}
+
+// Read decodes the next frame from r.
+func Read(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	cmd := Command(hdr[0])
+	size := binary.BigEndian.Uint32(hdr[1:5])
+	if size > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	m, err := newMessage(cmd)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{buf: payload}
+	if err := m.decodeFrom(d); err != nil {
+		return nil, err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %v", ErrMalformed, len(d.buf)-d.off, cmd)
+	}
+	return m, nil
+}
+
+// ReadExpect reads the next frame and requires it to be of type T.
+func ReadExpect[T Message](r io.Reader) (T, error) {
+	var zero T
+	m, err := Read(r)
+	if err != nil {
+		return zero, err
+	}
+	t, ok := m.(T)
+	if !ok {
+		return zero, fmt.Errorf("%w: got %v", ErrMalformed, m.Cmd())
+	}
+	return t, nil
+}

@@ -1,0 +1,331 @@
+package phproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"peerhood/internal/device"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write(%v): %v", m.Cmd(), err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read(%v): %v", m.Cmd(), err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%v: %d bytes left in buffer", m.Cmd(), buf.Len())
+	}
+	return got
+}
+
+func sampleInfo() device.Info {
+	return device.Info{
+		Name:     "laptop-d",
+		Addr:     device.Addr{Tech: device.TechBluetooth, MAC: "02:70:68:00:00:01"},
+		Checksum: 4321,
+		Mobility: device.Hybrid,
+		Services: []device.ServiceInfo{
+			{Name: "picture-analysis", Attr: "v2", Port: 12},
+			{Name: "echo", Attr: "", Port: 11},
+		},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&InfoRequest{Kind: InfoNeighborhood},
+		&DeviceInfo{Info: sampleInfo()},
+		&ServiceList{Services: sampleInfo().Services},
+		&Neighborhood{Entries: []NeighborEntry{
+			{
+				Info:       sampleInfo(),
+				Jumps:      2,
+				Bridge:     device.Addr{Tech: device.TechBluetooth, MAC: "02:70:68:00:00:09"},
+				QualitySum: 700,
+				QualityMin: 231,
+			},
+			{Info: device.Info{Name: "bare", Addr: device.Addr{Tech: device.TechWLAN, MAC: "aa"}}},
+		}},
+		&HelloNew{ServicePort: 12, ServiceName: "echo", ConnID: 77},
+		&HelloNew{ServicePort: 12, ServiceName: "echo", ConnID: 78, HasClient: true, Client: sampleInfo()},
+		&HelloBridge{
+			Dest:        device.Addr{Tech: device.TechBluetooth, MAC: "02:70:68:00:00:05"},
+			ServiceName: "picture-analysis",
+			ServicePort: 12,
+			ConnID:      99,
+			TTL:         6,
+		},
+		&HelloBridge{Dest: device.Addr{Tech: device.TechGPRS, MAC: "x"}, TTL: 1, Reconnect: true, HasClient: true, Client: sampleInfo()},
+		&HelloReconnect{ConnID: 123456789},
+		&Ack{OK: true},
+		&Ack{OK: false, Reason: "no route to destination"},
+		&Data{Seq: 42, Payload: []byte("package-42")},
+		&Data{Seq: 0, Payload: nil},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v round trip:\n sent %#v\n got  %#v", m.Cmd(), m, got)
+		}
+	}
+}
+
+func TestEmptyNeighborhood(t *testing.T) {
+	got := roundTrip(t, &Neighborhood{}).(*Neighborhood)
+	if len(got.Entries) != 0 {
+		t.Fatalf("entries = %v, want empty", got.Entries)
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	for _, c := range []Command{
+		CmdInfoRequest, CmdDeviceInfo, CmdServiceList, CmdNeighborhood,
+		CmdHelloNew, CmdHelloBridge, CmdHelloReconnect, CmdAck, CmdData,
+	} {
+		if strings.HasPrefix(c.String(), "cmd(") {
+			t.Errorf("command %d has no name", c)
+		}
+	}
+	if Command(200).String() != "cmd(200)" {
+		t.Error("unknown command string wrong")
+	}
+}
+
+func TestInfoKindStrings(t *testing.T) {
+	for _, k := range []InfoKind{InfoDevice, InfoServices, InfoNeighborhood} {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestReadUnknownCommand(t *testing.T) {
+	frame := []byte{0xEE, 0, 0, 0, 0}
+	_, err := Read(bytes.NewReader(frame))
+	if !errors.Is(err, ErrUnknownCommand) {
+		t.Fatalf("err = %v, want ErrUnknownCommand", err)
+	}
+}
+
+func TestReadOversizeFrameRejected(t *testing.T) {
+	var hdr [5]byte
+	hdr[0] = byte(CmdAck)
+	binary.BigEndian.PutUint32(hdr[1:], MaxFrameSize+1)
+	_, err := Read(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadTruncatedHeader(t *testing.T) {
+	_, err := Read(bytes.NewReader([]byte{byte(CmdAck), 0}))
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Ack{OK: true, Reason: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 6; cut < len(full); cut++ {
+		_, err := Read(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadTrailingGarbageRejected(t *testing.T) {
+	// Hand-craft an Ack frame with an extra byte inside the payload.
+	payload := []byte{1, 0, 0 /* ok=1, reason len=0 */, 0xFF}
+	var hdr [5]byte
+	hdr[0] = byte(CmdAck)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	_, err := Read(bytes.NewReader(append(hdr[:], payload...)))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestMalformedNeighborhoodCount(t *testing.T) {
+	// Declared 5000 entries (over MaxEntries) with no body.
+	payload := []byte{0xFF, 0xFF}
+	var hdr [5]byte
+	hdr[0] = byte(CmdNeighborhood)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	_, err := Read(bytes.NewReader(append(hdr[:], payload...)))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestCorruptBytesNeverPanic(t *testing.T) {
+	// Fuzz-ish: every command with random payloads must error or decode,
+	// never panic or over-read.
+	payloads := [][]byte{
+		nil,
+		{0},
+		{0xFF},
+		{0xFF, 0xFF, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0xAB}, 64),
+		bytes.Repeat([]byte{0x00}, 64),
+	}
+	for cmd := Command(1); cmd <= CmdData; cmd++ {
+		for _, p := range payloads {
+			var hdr [5]byte
+			hdr[0] = byte(cmd)
+			binary.BigEndian.PutUint32(hdr[1:], uint32(len(p)))
+			_, _ = Read(bytes.NewReader(append(hdr[:], p...))) // must not panic
+		}
+	}
+}
+
+func TestReadExpect(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Ack{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := ReadExpect[*Ack](&buf)
+	if err != nil || !ack.OK {
+		t.Fatalf("ReadExpect = %v, %v", ack, err)
+	}
+
+	if err := Write(&buf, &HelloReconnect{ConnID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadExpect[*Ack](&buf); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("type mismatch err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestLongStringTruncatedOnEncode(t *testing.T) {
+	long := strings.Repeat("x", MaxStringLen+100)
+	got := roundTrip(t, &Ack{OK: false, Reason: long}).(*Ack)
+	if len(got.Reason) != MaxStringLen {
+		t.Fatalf("reason length = %d, want %d", len(got.Reason), MaxStringLen)
+	}
+}
+
+func TestTooManyServicesTruncatedOnEncode(t *testing.T) {
+	ss := make([]device.ServiceInfo, MaxServices+10)
+	for i := range ss {
+		ss[i] = device.ServiceInfo{Name: "s", Port: uint16(i)}
+	}
+	got := roundTrip(t, &ServiceList{Services: ss}).(*ServiceList)
+	if len(got.Services) != MaxServices {
+		t.Fatalf("services = %d, want %d", len(got.Services), MaxServices)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := Write(&buf, &Data{Seq: uint32(i), Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		d := m.(*Data)
+		if d.Seq != uint32(i) || d.Payload[0] != byte(i) {
+			t.Fatalf("frame %d = %+v", i, d)
+		}
+	}
+}
+
+func TestHelloBridgeRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(mac string, svc string, port uint16, id uint64, ttl uint8) bool {
+		if len(mac) == 0 || len(mac) > 64 || len(svc) > 64 {
+			return true
+		}
+		m := &HelloBridge{
+			Dest:        device.Addr{Tech: device.TechBluetooth, MAC: mac},
+			ServiceName: svc,
+			ServicePort: port,
+			ConnID:      id,
+			TTL:         ttl,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(func(seq uint32, payload []byte) bool {
+		if len(payload) > 1<<16 {
+			return true
+		}
+		m := &Data{Seq: seq, Payload: payload}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		gd := got.(*Data)
+		if gd.Seq != seq {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(gd.Payload) == 0
+		}
+		return bytes.Equal(gd.Payload, payload)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodedPayloadDoesNotAliasInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Data{Seq: 1, Payload: []byte("aaaa")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	m, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.(*Data)
+	for i := range raw {
+		raw[i] = 'z'
+	}
+	if string(d.Payload) != "aaaa" {
+		t.Fatal("decoded payload aliases the input buffer")
+	}
+}

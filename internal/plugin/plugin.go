@@ -1,0 +1,195 @@
+// Package plugin defines PeerHood's network-plugin abstraction (the
+// thesis' AbstractPlugin / MAbstractConnection, §2.2): one implementation
+// per network technology, hiding discovery and transport details from the
+// daemon and library. The sim-backed implementation wraps a simnet radio;
+// internal/tcpnet provides a real-network implementation for deployments.
+package plugin
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/simnet"
+)
+
+// Conn is the abstract connection handed to the library and applications.
+type Conn interface {
+	io.ReadWriteCloser
+	// LocalAddr returns this endpoint's radio address.
+	LocalAddr() device.Addr
+	// RemoteAddr returns the peer radio's address.
+	RemoteAddr() device.Addr
+	// Quality returns the current link quality (0–255; 0 once lost), the
+	// value PeerHood's connection monitoring listens to (§2.2.2).
+	Quality() int
+}
+
+// Listener accepts incoming abstract connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+}
+
+// InquiryResult is one device found by an inquiry.
+type InquiryResult struct {
+	Addr    device.Addr
+	Quality int
+}
+
+// Plugin is one network technology attachment of a PeerHood node.
+type Plugin interface {
+	// Tech returns the plugin's technology.
+	Tech() device.Tech
+	// Addr returns the local radio address.
+	Addr() device.Addr
+	// Inquire performs one blocking device-discovery inquiry.
+	Inquire() []InquiryResult
+	// QualityTo samples the current link quality towards a device.
+	QualityTo(a device.Addr) int
+	// Dial opens a connection to a port on a remote radio.
+	Dial(to device.Addr, port uint16) (Conn, error)
+	// Listen binds a port on the local radio.
+	Listen(port uint16) (Listener, error)
+	// DiscoveryCycle returns the nominal period between inquiry rounds.
+	DiscoveryCycle() time.Duration
+	// Close releases plugin resources.
+	Close() error
+}
+
+// Plugin-level error classes. Implementations translate their transport's
+// failures into these so core code never depends on a specific transport.
+var (
+	// ErrUnreachable reports that the peer does not exist, is out of
+	// coverage, or is powered down.
+	ErrUnreachable = errors.New("plugin: peer unreachable")
+	// ErrConnectFault reports a transient connection-establishment failure
+	// worth retrying (§4.3's Bluetooth faults).
+	ErrConnectFault = errors.New("plugin: connection fault")
+	// ErrRefused reports that the peer is up but nothing listens there —
+	// in PeerHood terms, the device is not PeerHood-capable (§2.3).
+	ErrRefused = errors.New("plugin: connection refused")
+	// ErrClosed reports use of a closed plugin, listener, or connection.
+	ErrClosed = errors.New("plugin: closed")
+	// ErrLinkLost reports that an established link broke.
+	ErrLinkLost = errors.New("plugin: link lost")
+)
+
+// Sim is the simulator-backed Plugin. The three PeerHood plugins of the
+// thesis (BTPlugin, WLANPlugin, GPRSPlugin) are Sim instances over radios
+// of the respective technology.
+type Sim struct {
+	world *simnet.World
+	radio *simnet.Radio
+}
+
+var _ Plugin = (*Sim)(nil)
+
+// NewSim returns a Plugin backed by a simulated radio.
+func NewSim(world *simnet.World, radio *simnet.Radio) *Sim {
+	return &Sim{world: world, radio: radio}
+}
+
+// Tech implements Plugin.
+func (s *Sim) Tech() device.Tech { return s.radio.Tech() }
+
+// Addr implements Plugin.
+func (s *Sim) Addr() device.Addr { return s.radio.Addr() }
+
+// Inquire implements Plugin.
+func (s *Sim) Inquire() []InquiryResult {
+	rs := s.radio.Inquire()
+	out := make([]InquiryResult, len(rs))
+	for i, r := range rs {
+		out[i] = InquiryResult{Addr: r.Addr, Quality: r.Quality}
+	}
+	return out
+}
+
+// QualityTo implements Plugin.
+func (s *Sim) QualityTo(a device.Addr) int { return s.radio.QualityTo(a) }
+
+// Dial implements Plugin.
+func (s *Sim) Dial(to device.Addr, port uint16) (Conn, error) {
+	c, err := s.radio.Dial(to, port)
+	if err != nil {
+		return nil, translateSimErr(err)
+	}
+	return simConn{c}, nil
+}
+
+// Listen implements Plugin.
+func (s *Sim) Listen(port uint16) (Listener, error) {
+	l, err := s.radio.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	return simListener{l}, nil
+}
+
+// DiscoveryCycle implements Plugin.
+func (s *Sim) DiscoveryCycle() time.Duration {
+	return s.world.Params(s.radio.Tech()).DiscoveryCycle
+}
+
+// Close implements Plugin. The radio itself stays in the world (a stopped
+// daemon does not remove the hardware).
+func (s *Sim) Close() error { return nil }
+
+// translateSimErr maps simnet errors onto plugin error classes, preserving
+// the original message.
+func translateSimErr(err error) error {
+	switch {
+	case errors.Is(err, simnet.ErrNoSuchRadio),
+		errors.Is(err, simnet.ErrOutOfRange),
+		errors.Is(err, simnet.ErrRadioDown),
+		errors.Is(err, simnet.ErrTechMismatch):
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	case errors.Is(err, simnet.ErrConnectFault):
+		return fmt.Errorf("%w: %v", ErrConnectFault, err)
+	case errors.Is(err, simnet.ErrRefused):
+		return fmt.Errorf("%w: %v", ErrRefused, err)
+	case errors.Is(err, simnet.ErrLinkLost):
+		return fmt.Errorf("%w: %v", ErrLinkLost, err)
+	case errors.Is(err, simnet.ErrClosed):
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	default:
+		return err
+	}
+}
+
+type simConn struct {
+	*simnet.Conn
+}
+
+func (c simConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if err != nil && err != io.EOF {
+		err = translateSimErr(err)
+	}
+	return n, err
+}
+
+func (c simConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if err != nil {
+		err = translateSimErr(err)
+	}
+	return n, err
+}
+
+type simListener struct {
+	l *simnet.Listener
+}
+
+func (sl simListener) Accept() (Conn, error) {
+	c, err := sl.l.Accept()
+	if err != nil {
+		return nil, translateSimErr(err)
+	}
+	return simConn{c}, nil
+}
+
+func (sl simListener) Close() error { return sl.l.Close() }

@@ -1,0 +1,210 @@
+package plugin_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/plugin"
+	"peerhood/internal/simnet"
+)
+
+func instantWorld(t *testing.T) *simnet.World {
+	t.Helper()
+	opts := []simnet.Option{simnet.WithQualityNoise(0)}
+	for _, tech := range device.Techs() {
+		opts = append(opts, simnet.WithParams(tech, simnet.DefaultParams(tech).Instant()))
+	}
+	w := simnet.NewWorld(clock.Real(), 1, opts...)
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func addSim(t *testing.T, w *simnet.World, name string, at geo.Point) *plugin.Sim {
+	t.Helper()
+	d, err := w.AddDevice(name, mobility.Static{At: at})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.AddRadio(device.TechBluetooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plugin.NewSim(w, r)
+}
+
+func TestSimPluginBasics(t *testing.T) {
+	w := instantWorld(t)
+	a := addSim(t, w, "a", geo.Pt(0, 0))
+	b := addSim(t, w, "b", geo.Pt(4, 0))
+
+	if a.Tech() != device.TechBluetooth {
+		t.Fatalf("tech = %v", a.Tech())
+	}
+	if a.Addr().IsZero() {
+		t.Fatal("zero addr")
+	}
+	if a.DiscoveryCycle() <= 0 {
+		t.Fatal("no discovery cycle")
+	}
+	if q := a.QualityTo(b.Addr()); q <= 0 {
+		t.Fatalf("quality = %d", q)
+	}
+	res := a.Inquire()
+	if len(res) != 1 || res[0].Addr != b.Addr() {
+		t.Fatalf("inquire = %+v", res)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorTranslation(t *testing.T) {
+	w := instantWorld(t)
+	a := addSim(t, w, "a", geo.Pt(0, 0))
+	b := addSim(t, w, "b", geo.Pt(4, 0))
+	far := addSim(t, w, "far", geo.Pt(500, 0))
+
+	cases := []struct {
+		name string
+		to   device.Addr
+		port uint16
+		want error
+	}{
+		{"missing radio", device.Addr{Tech: device.TechBluetooth, MAC: "zz"}, 10, plugin.ErrUnreachable},
+		{"out of range", far.Addr(), 10, plugin.ErrUnreachable},
+		{"no listener", b.Addr(), 10, plugin.ErrRefused},
+		{"tech mismatch", device.Addr{Tech: device.TechWLAN, MAC: "x"}, 10, plugin.ErrUnreachable},
+	}
+	for _, c := range cases {
+		if _, err := a.Dial(c.to, c.port); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestConnectFaultTranslated(t *testing.T) {
+	p := simnet.DefaultParams(device.TechBluetooth).Instant()
+	p.FaultProb = 1 // always fault
+	w := simnet.NewWorld(clock.Real(), 2, simnet.WithQualityNoise(0), simnet.WithParams(device.TechBluetooth, p))
+	t.Cleanup(func() { w.Close() })
+	d1, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	r1, _ := d1.AddRadio(device.TechBluetooth)
+	a := plugin.NewSim(w, r1)
+	d2, _ := w.AddDevice("b", mobility.Static{At: geo.Pt(4, 0)})
+	r2, _ := d2.AddRadio(device.TechBluetooth)
+	b := plugin.NewSim(w, r2)
+	l, err := b.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if _, err := a.Dial(b.Addr(), 10); !errors.Is(err, plugin.ErrConnectFault) {
+		t.Fatalf("err = %v, want ErrConnectFault", err)
+	}
+}
+
+func TestLinkLostTranslatedOnReadAndWrite(t *testing.T) {
+	w := instantWorld(t)
+	a := addSim(t, w, "a", geo.Pt(0, 0))
+	b := addSim(t, w, "b", geo.Pt(4, 0))
+	l, err := b.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan plugin.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+
+	// Move b out of range and break the link.
+	dev, _ := w.Device("b")
+	dev.SetModel(mobility.Static{At: geo.Pt(1000, 0)})
+	w.CheckLinks()
+
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, plugin.ErrLinkLost) {
+		t.Fatalf("write err = %v, want ErrLinkLost", err)
+	}
+	if _, err := srv.Read(make([]byte, 4)); !errors.Is(err, plugin.ErrLinkLost) {
+		t.Fatalf("read err = %v, want ErrLinkLost", err)
+	}
+}
+
+func TestEOFPassesThroughUntranslated(t *testing.T) {
+	w := instantWorld(t)
+	a := addSim(t, w, "a", geo.Pt(0, 0))
+	b := addSim(t, w, "b", geo.Pt(4, 0))
+	l, err := b.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan plugin.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	_ = conn.Close()
+
+	deadline := time.After(2 * time.Second)
+	for {
+		_, err := srv.Read(make([]byte, 4))
+		if err == io.EOF {
+			return // io.EOF must remain io.EOF, not a wrapped error
+		}
+		if err != nil {
+			t.Fatalf("read err = %v, want io.EOF", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("never saw EOF")
+		default:
+		}
+	}
+}
+
+func TestListenerTranslation(t *testing.T) {
+	w := instantWorld(t)
+	b := addSim(t, w, "b", geo.Pt(0, 0))
+	l, err := b.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	_ = l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, plugin.ErrClosed) {
+			t.Fatalf("accept err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("accept never unblocked")
+	}
+}

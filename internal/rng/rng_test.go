@@ -1,0 +1,192 @@
+package rng
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicSameSeed(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("streams diverged at %d: %v vs %v", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork()
+	// Draw from parent; the child stream must be unaffected by when we read it.
+	parentDraws := make([]float64, 10)
+	for i := range parentDraws {
+		parentDraws[i] = parent.Float64()
+	}
+	c1First := c1.Float64()
+
+	parent2 := New(7)
+	c2 := parent2.Fork()
+	c2First := c2.Float64()
+	if c1First != c2First {
+		t.Fatalf("forked child not reproducible: %v vs %v", c1First, c2First)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	if err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Bound magnitudes so hi-lo cannot overflow to +Inf.
+		a, b = math.Mod(a, 1e12), math.Mod(b, 1e12)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		v := s.Uniform(lo, hi)
+		return v >= lo && (v < hi || lo == hi)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	s := New(1)
+	if v := s.Uniform(5, 5); v != 5 {
+		t.Fatalf("Uniform(5,5) = %v, want 5", v)
+	}
+}
+
+func TestUniformPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(hi<lo) did not panic")
+		}
+	}()
+	New(1).Uniform(2, 1)
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 20; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(11)
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	n := 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(17)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5)
+	}
+	if mean := sum / float64(n); math.Abs(mean-5) > 0.2 {
+		t.Fatalf("Exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestExpPanicsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(19)
+	p := s.Perm(10)
+	seen := make(map[int]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm(10) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Perm(10) missing values: %v", p)
+	}
+}
+
+func TestConcurrentAccessRace(t *testing.T) {
+	s := New(23)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Float64()
+				s.Intn(10)
+				s.Bool(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package simnet
+
+import (
+	"time"
+
+	"peerhood/internal/device"
+)
+
+// TechParams calibrates one radio technology. Defaults reproduce the
+// behaviour the thesis reports for its Bluetooth testbed and plausible
+// values for the WLAN/GPRS plugins it names but does not measure.
+type TechParams struct {
+	// CoverageRadius is the maximum link distance in metres.
+	CoverageRadius float64
+
+	// ConnectMin/ConnectMax bound the connection-establishment latency,
+	// sampled uniformly. The thesis measured 3–18 s for Bluetooth (§4.3).
+	ConnectMin time.Duration
+	ConnectMax time.Duration
+
+	// FaultProb is the probability that a dial fails outright even in good
+	// signal conditions. The thesis observed 3 failures in 10 attempts on
+	// Bluetooth "even if the devices have strong enough signal" (§4.3).
+	FaultProb float64
+
+	// InquiryDuration is how long one device-discovery inquiry occupies the
+	// radio. While inquiring, an asymmetric radio is not discoverable
+	// (§3.4.2, Bluetooth inquiry asymmetry).
+	InquiryDuration time.Duration
+
+	// DiscoveryCycle is the nominal period between inquiry rounds.
+	DiscoveryCycle time.Duration
+
+	// ResponseProb is the probability that an in-range discoverable radio
+	// answers a given inquiry (Bluetooth inquiries randomly miss devices).
+	ResponseProb float64
+
+	// Asymmetric marks technologies whose radios cannot be discovered while
+	// they are themselves inquiring (Bluetooth).
+	Asymmetric bool
+
+	// Bandwidth is the sustained data rate in bytes per simulated second.
+	Bandwidth float64
+
+	// EdgeQuality is the link-quality reading at the very edge of coverage;
+	// quality at distance 0 is QualityMax. With EdgeQuality 180 the thesis'
+	// handover threshold of 230 sits at ~60% of the coverage radius.
+	EdgeQuality int
+}
+
+// Link-quality scale (Bluetooth HCI convention, used throughout the thesis).
+const (
+	// QualityMax is the best possible link-quality reading.
+	QualityMax = 255
+	// QualityThreshold is the minimum acceptable per-hop quality: routes
+	// whose hops fall below it are rejected and monitors count a "low"
+	// signal (figs 3.9, 5.5; value 230 throughout the thesis).
+	QualityThreshold = 230
+)
+
+// DefaultParams returns the calibrated parameters for t.
+func DefaultParams(t device.Tech) TechParams {
+	switch t {
+	case device.TechBluetooth:
+		// Calibration: the thesis reports 3–18 s to bring up a *bridged*
+		// connection (two dials, §4.3), 4–15 s for handover
+		// interconnection (§5.2.1), and 3 failures in 10 bridged attempts.
+		// Per-dial latency of 2–9 s and per-dial fault probability 0.16
+		// compose to those end-to-end figures (4–18 s; 1-0.84² ≈ 0.30).
+		return TechParams{
+			CoverageRadius:  10,
+			ConnectMin:      2 * time.Second,
+			ConnectMax:      9 * time.Second,
+			FaultProb:       0.16,
+			InquiryDuration: 2 * time.Second,
+			DiscoveryCycle:  10 * time.Second,
+			ResponseProb:    0.9,
+			Asymmetric:      true,
+			Bandwidth:       100 << 10, // ~100 KiB/s
+			EdgeQuality:     180,
+		}
+	case device.TechWLAN:
+		return TechParams{
+			CoverageRadius:  30,
+			ConnectMin:      500 * time.Millisecond,
+			ConnectMax:      2 * time.Second,
+			FaultProb:       0.05,
+			InquiryDuration: 500 * time.Millisecond,
+			DiscoveryCycle:  5 * time.Second,
+			ResponseProb:    0.98,
+			Asymmetric:      false,
+			Bandwidth:       1 << 20, // 1 MiB/s
+			EdgeQuality:     180,
+		}
+	case device.TechGPRS:
+		return TechParams{
+			CoverageRadius:  1000,
+			ConnectMin:      1 * time.Second,
+			ConnectMax:      3 * time.Second,
+			FaultProb:       0.1,
+			InquiryDuration: 1 * time.Second,
+			DiscoveryCycle:  15 * time.Second,
+			ResponseProb:    0.95,
+			Asymmetric:      false,
+			Bandwidth:       5 << 10, // 5 KiB/s
+			EdgeQuality:     180,
+		}
+	default:
+		return TechParams{
+			CoverageRadius:  10,
+			ConnectMin:      time.Second,
+			ConnectMax:      2 * time.Second,
+			FaultProb:       0.1,
+			InquiryDuration: time.Second,
+			DiscoveryCycle:  10 * time.Second,
+			ResponseProb:    0.9,
+			Bandwidth:       64 << 10,
+			EdgeQuality:     180,
+		}
+	}
+}
+
+// Reliable returns p with all stochastic failure modes removed and
+// connection latency pinned to its minimum. Tests that assert exact
+// protocol state use reliable parameters; experiments that reproduce the
+// thesis' fault statistics use the defaults.
+func (p TechParams) Reliable() TechParams {
+	p.FaultProb = 0
+	p.ResponseProb = 1
+	p.ConnectMax = p.ConnectMin
+	return p
+}
+
+// Instant returns p with zero connection latency and inquiry time on top of
+// Reliable, for unit tests that must not depend on any clock waiting.
+func (p TechParams) Instant() TechParams {
+	p = p.Reliable()
+	p.ConnectMin = 0
+	p.ConnectMax = 0
+	p.InquiryDuration = 0
+	return p
+}

@@ -1,0 +1,750 @@
+package simnet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+)
+
+// instantWorld returns a world where all technologies are deterministic and
+// instantaneous, suitable for protocol-state assertions.
+func instantWorld(t *testing.T, seed int64) *World {
+	t.Helper()
+	opts := []Option{WithQualityNoise(0)}
+	for _, tech := range device.Techs() {
+		opts = append(opts, WithParams(tech, DefaultParams(tech).Instant()))
+	}
+	return NewWorld(clock.Real(), seed, opts...)
+}
+
+func addBT(t *testing.T, w *World, name string, at geo.Point) *Radio {
+	t.Helper()
+	d, err := w.AddDevice(name, mobility.Static{At: at})
+	if err != nil {
+		t.Fatalf("AddDevice(%s): %v", name, err)
+	}
+	r, err := d.AddRadio(device.TechBluetooth)
+	if err != nil {
+		t.Fatalf("AddRadio(%s): %v", name, err)
+	}
+	return r
+}
+
+func TestAddDeviceDuplicate(t *testing.T) {
+	w := instantWorld(t, 1)
+	if _, err := w.AddDevice("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddDevice("a", nil); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+}
+
+func TestAddRadioAssignsUniqueMACs(t *testing.T) {
+	w := instantWorld(t, 1)
+	seen := make(map[device.Addr]bool)
+	for i := 0; i < 5; i++ {
+		r := addBT(t, w, string(rune('a'+i)), geo.Pt(0, 0))
+		if seen[r.Addr()] {
+			t.Fatalf("duplicate MAC %v", r.Addr())
+		}
+		seen[r.Addr()] = true
+	}
+}
+
+func TestAddRadioRejectsDuplicateTech(t *testing.T) {
+	w := instantWorld(t, 1)
+	d, _ := w.AddDevice("a", nil)
+	if _, err := d.AddRadio(device.TechBluetooth); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddRadio(device.TechBluetooth); err == nil {
+		t.Fatal("duplicate radio accepted")
+	}
+	if _, err := d.AddRadio(device.Tech(77)); err == nil {
+		t.Fatal("invalid tech accepted")
+	}
+}
+
+func TestInquireFindsInRangeOnly(t *testing.T) {
+	w := instantWorld(t, 2)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	addBT(t, w, "near", geo.Pt(5, 0))   // within 10m BT radius
+	addBT(t, w, "far", geo.Pt(50, 0))   // out of range
+	addBT(t, w, "edge", geo.Pt(9.9, 0)) // just inside
+
+	res := a.Inquire()
+	if len(res) != 2 {
+		t.Fatalf("Inquire found %d radios, want 2: %v", len(res), res)
+	}
+	for _, r := range res {
+		if r.Quality <= 0 || r.Quality > QualityMax {
+			t.Fatalf("quality out of scale: %v", r)
+		}
+	}
+}
+
+func TestInquireIgnoresOtherTech(t *testing.T) {
+	w := instantWorld(t, 3)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	d, _ := w.AddDevice("w", mobility.Static{At: geo.Pt(1, 0)})
+	if _, err := d.AddRadio(device.TechWLAN); err != nil {
+		t.Fatal(err)
+	}
+	if res := a.Inquire(); len(res) != 0 {
+		t.Fatalf("BT inquiry found WLAN radio: %v", res)
+	}
+}
+
+func TestInquireSkipsDownDevices(t *testing.T) {
+	w := instantWorld(t, 4)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(3, 0))
+	b.Device().SetDown(true)
+	if res := a.Inquire(); len(res) != 0 {
+		t.Fatalf("found downed device: %v", res)
+	}
+	b.Device().SetDown(false)
+	if res := a.Inquire(); len(res) != 1 {
+		t.Fatalf("did not find restored device: %v", res)
+	}
+}
+
+func TestInquiryAsymmetry(t *testing.T) {
+	// A radio that is itself mid-inquiry must not be discoverable on an
+	// asymmetric technology (§3.4.2).
+	p := DefaultParams(device.TechBluetooth).Instant()
+	p.InquiryDuration = 200 * time.Millisecond // sim time
+	p.Asymmetric = true
+	w := NewWorld(clock.Scaled(10), 5, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+
+	da, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	a, _ := da.AddRadio(device.TechBluetooth)
+	db, _ := w.AddDevice("b", mobility.Static{At: geo.Pt(2, 0)})
+	b, _ := db.AddRadio(device.TechBluetooth)
+
+	// Start b's long inquiry in the background, then inquire from a while b
+	// is still busy.
+	bStarted := make(chan struct{})
+	bDone := make(chan []InquiryResult, 1)
+	go func() {
+		close(bStarted)
+		bDone <- b.Inquire()
+	}()
+	<-bStarted
+	time.Sleep(2 * time.Millisecond) // let b mark itself inquiring (20ms sim)
+	res := a.Inquire()
+	if len(res) != 0 {
+		t.Fatalf("discovered a radio that was mid-inquiry: %v", res)
+	}
+	<-bDone
+
+	// Afterwards b is discoverable again.
+	if res := a.Inquire(); len(res) != 1 {
+		t.Fatalf("radio not discoverable after inquiry finished: %v", res)
+	}
+}
+
+func TestQualityDecreasesWithDistance(t *testing.T) {
+	w := instantWorld(t, 6)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	near := addBT(t, w, "near", geo.Pt(1, 0))
+	far := addBT(t, w, "far", geo.Pt(9, 0))
+
+	qNear := a.QualityTo(near.Addr())
+	qFar := a.QualityTo(far.Addr())
+	if qNear <= qFar {
+		t.Fatalf("quality not monotone: near=%d far=%d", qNear, qFar)
+	}
+	if qNear > QualityMax || qFar < DefaultParams(device.TechBluetooth).EdgeQuality-5 {
+		t.Fatalf("quality out of calibrated band: near=%d far=%d", qNear, qFar)
+	}
+}
+
+func TestQualityZeroOutOfRange(t *testing.T) {
+	w := instantWorld(t, 7)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	far := addBT(t, w, "far", geo.Pt(100, 0))
+	if q := a.QualityTo(far.Addr()); q != 0 {
+		t.Fatalf("out-of-range quality = %d, want 0", q)
+	}
+	if q := a.QualityTo(device.Addr{Tech: device.TechBluetooth, MAC: "none"}); q != 0 {
+		t.Fatalf("missing radio quality = %d, want 0", q)
+	}
+}
+
+func TestThresholdSitsInsideCoverage(t *testing.T) {
+	// The 230 threshold must be crossed strictly inside coverage so soft
+	// handover has a window to act (design decision in DESIGN.md).
+	w := instantWorld(t, 8)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	mid := addBT(t, w, "mid", geo.Pt(5, 0)) // 50% of radius
+	edge := addBT(t, w, "edge", geo.Pt(9.5, 0))
+	if q := a.QualityTo(mid.Addr()); q >= QualityThreshold {
+		t.Fatalf("quality at 50%% radius = %d, want < %d (threshold must trip before edge)", q, QualityThreshold)
+	}
+	if q := a.QualityTo(edge.Addr()); q <= 0 {
+		t.Fatalf("edge quality = %d, want > 0", q)
+	}
+}
+
+func TestDialAndTransfer(t *testing.T) {
+	w := instantWorld(t, 9)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+
+	l, err := b.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type acc struct {
+		c   *Conn
+		err error
+	}
+	got := make(chan acc, 1)
+	go func() {
+		c, err := l.Accept()
+		got <- acc{c, err}
+	}()
+
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	srvAcc := <-got
+	if srvAcc.err != nil {
+		t.Fatalf("Accept: %v", srvAcc.err)
+	}
+	srv := srvAcc.c
+
+	if _, err := cli.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := srv.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+
+	// And the reverse direction.
+	if _, err := srv.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = cli.Read(buf)
+	if err != nil || string(buf[:n]) != "world" {
+		t.Fatalf("reverse Read = %q, %v", buf[:n], err)
+	}
+
+	if cli.RemoteAddr() != b.Addr() || srv.RemoteAddr() != a.Addr() {
+		t.Fatal("addresses mismatched")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	w := instantWorld(t, 10)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+	far := addBT(t, w, "far", geo.Pt(500, 0))
+
+	if _, err := a.Dial(device.Addr{Tech: device.TechBluetooth, MAC: "zz"}, 10); !errors.Is(err, ErrNoSuchRadio) {
+		t.Fatalf("missing radio: %v", err)
+	}
+	if _, err := a.Dial(far.Addr(), 10); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if _, err := a.Dial(b.Addr(), 10); !errors.Is(err, ErrRefused) {
+		t.Fatalf("no listener: %v", err)
+	}
+	if _, err := a.Dial(device.Addr{Tech: device.TechWLAN, MAC: "zz"}, 10); !errors.Is(err, ErrTechMismatch) {
+		t.Fatalf("tech mismatch: %v", err)
+	}
+	b.Device().SetDown(true)
+	if _, err := a.Dial(b.Addr(), 10); !errors.Is(err, ErrRadioDown) {
+		t.Fatalf("radio down: %v", err)
+	}
+}
+
+func TestDialConnectionFaultRate(t *testing.T) {
+	// With FaultProb=0.3 roughly 3 of 10 dials fail (§4.3). Use many trials.
+	p := DefaultParams(device.TechBluetooth).Instant()
+	p.FaultProb = 0.3
+	w := NewWorld(clock.Real(), 11, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+	da, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	a, _ := da.AddRadio(device.TechBluetooth)
+	db, _ := w.AddDevice("b", mobility.Static{At: geo.Pt(5, 0)})
+	b, _ := db.AddRadio(device.TechBluetooth)
+	l, _ := b.Listen(10)
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+
+	faults := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		c, err := a.Dial(b.Addr(), 10)
+		if errors.Is(err, ErrConnectFault) {
+			faults++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("unexpected dial error: %v", err)
+		}
+		_ = c.Close()
+	}
+	rate := float64(faults) / trials
+	if rate < 0.22 || rate > 0.38 {
+		t.Fatalf("fault rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestDialLatencyWithinConfiguredBand(t *testing.T) {
+	p := DefaultParams(device.TechBluetooth).Reliable()
+	p.ConnectMin = 100 * time.Millisecond
+	p.ConnectMax = 200 * time.Millisecond
+	clk := clock.Scaled(100)
+	w := NewWorld(clk, 12, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+	da, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	a, _ := da.AddRadio(device.TechBluetooth)
+	db, _ := w.AddDevice("b", mobility.Static{At: geo.Pt(5, 0)})
+	b, _ := db.AddRadio(device.TechBluetooth)
+	l, _ := b.Listen(10)
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	start := clk.Now()
+	if _, err := a.Dial(b.Addr(), 10); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Since(start)
+	if elapsed < 100*time.Millisecond || elapsed > 400*time.Millisecond {
+		t.Fatalf("dial latency %v outside configured band", elapsed)
+	}
+}
+
+func TestMovedAwayDuringConnectFails(t *testing.T) {
+	// The dial re-checks coverage after the latency window: if the target
+	// walked out meanwhile, the dial fails (§5.2.1's lost-before-connected).
+	p := DefaultParams(device.TechBluetooth).Reliable()
+	p.ConnectMin = 500 * time.Millisecond
+	p.ConnectMax = 500 * time.Millisecond
+	clk := clock.Scaled(100)
+	w := NewWorld(clk, 13, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+	da, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	a, _ := da.AddRadio(device.TechBluetooth)
+	// b sprints out of coverage within the connect window.
+	db, _ := w.AddDevice("b", mobility.Linear{Start: geo.Pt(9, 0), Velocity: geo.Vector{DX: 50, DY: 0}})
+	bRadio, _ := db.AddRadio(device.TechBluetooth)
+	l, _ := bRadio.Listen(10)
+	defer l.Close()
+
+	_, err := a.Dial(bRadio.Addr(), 10)
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("dial to fleeing device: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestCloseGivesPeerEOFAfterDrain(t *testing.T) {
+	w := instantWorld(t, 14)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+	l, _ := b.Listen(10)
+	defer l.Close()
+	srvCh := make(chan *Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		srvCh <- c
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-srvCh
+
+	if _, err := cli.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 8)
+	n, err := srv.Read(buf)
+	if err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("drain read = %q, %v", buf[:n], err)
+	}
+	if _, err := srv.Read(buf); err != io.EOF {
+		t.Fatalf("post-drain read err = %v, want EOF", err)
+	}
+	// Writes towards the closed endpoint fail.
+	if _, err := srv.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed endpoint succeeded")
+	}
+	// Local reads after own Close fail.
+	if _, err := cli.Read(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after own close: %v", err)
+	}
+}
+
+func TestBreakDiscardsBufferAndFailsBothEnds(t *testing.T) {
+	w := instantWorld(t, 15)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+	l, _ := b.Listen(10)
+	defer l.Close()
+	srvCh := make(chan *Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		srvCh <- c
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-srvCh
+
+	if _, err := cli.Write([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	cli.Break()
+
+	buf := make([]byte, 8)
+	if _, err := srv.Read(buf); !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("read after break: %v, want ErrLinkLost (no drain)", err)
+	}
+	if _, err := cli.Write([]byte("x")); !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("write after break: %v", err)
+	}
+	if q := cli.Quality(); q != 0 {
+		t.Fatalf("quality after break = %d, want 0", q)
+	}
+	if w.ActiveLinks() != 0 {
+		t.Fatalf("link not removed: %d active", w.ActiveLinks())
+	}
+}
+
+func TestBlockedReadUnblocksOnBreak(t *testing.T) {
+	w := instantWorld(t, 16)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+	l, _ := b.Listen(10)
+	defer l.Close()
+	srvCh := make(chan *Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		srvCh <- c
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-srvCh
+
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the read block
+	cli.Break()
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, ErrLinkLost) {
+			t.Fatalf("blocked read got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked read never unblocked after break")
+	}
+}
+
+func TestCheckLinksBreaksOutOfRange(t *testing.T) {
+	w := instantWorld(t, 17)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+	l, _ := b.Listen(10)
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := w.CheckLinks(); n != 0 {
+		t.Fatalf("CheckLinks broke %d in-range links", n)
+	}
+	// Teleport b out of range and re-check.
+	b.Device().SetModel(mobility.Static{At: geo.Pt(1000, 0)})
+	if n := w.CheckLinks(); n != 1 {
+		t.Fatalf("CheckLinks broke %d links, want 1", n)
+	}
+	if _, err := cli.Write([]byte("x")); !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("write on lost link: %v", err)
+	}
+}
+
+func TestQualityDegradation(t *testing.T) {
+	// StartDegradation reproduces the thesis' artificial 1-unit/s decay.
+	clk := clock.Scaled(1000)
+	p := DefaultParams(device.TechBluetooth).Instant()
+	w := NewWorld(clk, 18, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+	da, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	a, _ := da.AddRadio(device.TechBluetooth)
+	db, _ := w.AddDevice("b", mobility.Static{At: geo.Pt(1, 0)})
+	b, _ := db.AddRadio(device.TechBluetooth)
+	l, _ := b.Listen(10)
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q0 := cli.Quality()
+	cli.StartDegradation(10) // 10 units per simulated second
+	clk.Sleep(5 * time.Second)
+	q1 := cli.Quality()
+	drop := q0 - q1
+	if drop < 30 || drop > 80 {
+		t.Fatalf("degradation drop = %d after 5s at 10/s, want ~50", drop)
+	}
+	cli.StartDegradation(0)
+	if q := cli.Quality(); q < q0-5 {
+		t.Fatalf("cancelling degradation did not restore quality: %d vs %d", q, q0)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	w := instantWorld(t, 19)
+	b := addBT(t, w, "b", geo.Pt(0, 0))
+	l, _ := b.Listen(10)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Accept after close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept never unblocked")
+	}
+	// Port is released: can listen again.
+	l2, err := b.Listen(10)
+	if err != nil {
+		t.Fatalf("re-listen: %v", err)
+	}
+	_ = l2.Close()
+}
+
+func TestListenDuplicatePort(t *testing.T) {
+	w := instantWorld(t, 20)
+	b := addBT(t, w, "b", geo.Pt(0, 0))
+	l, _ := b.Listen(10)
+	defer l.Close()
+	if _, err := b.Listen(10); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+}
+
+func TestAutoCheckBreaksLinksInBackground(t *testing.T) {
+	clk := clock.Scaled(1000)
+	p := DefaultParams(device.TechBluetooth).Instant()
+	w := NewWorld(clk, 21, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+	defer w.Close()
+	da, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	a, _ := da.AddRadio(device.TechBluetooth)
+	// b walks away at 5 m/s; leaves 10m coverage after ~2s sim.
+	db, _ := w.AddDevice("b", mobility.Linear{Start: geo.Pt(0.5, 0), Velocity: geo.Vector{DX: 5, DY: 0}})
+	b, _ := db.AddRadio(device.TechBluetooth)
+	l, _ := b.Listen(10)
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAutoCheck(200 * time.Millisecond)
+
+	deadline := time.After(3 * time.Second) // wall guard
+	for {
+		if _, err := cli.Write([]byte("ping")); err != nil {
+			if !errors.Is(err, ErrLinkLost) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return // link was broken by the auto-checker
+		}
+		select {
+		case <-deadline:
+			t.Fatal("link never broke although device left coverage")
+		default:
+		}
+		clk.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestBandwidthDelaysWrites(t *testing.T) {
+	p := DefaultParams(device.TechBluetooth).Instant()
+	p.Bandwidth = 1000 // 1000 B per sim second
+	clk := clock.Scaled(1000)
+	w := NewWorld(clk, 22, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+	da, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+	a, _ := da.AddRadio(device.TechBluetooth)
+	db, _ := w.AddDevice("b", mobility.Static{At: geo.Pt(1, 0)})
+	b, _ := db.AddRadio(device.TechBluetooth)
+	l, _ := b.Listen(10)
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := clk.Now()
+	if _, err := cli.Write(make([]byte, 2000)); err != nil { // 2 sim seconds
+		t.Fatal(err)
+	}
+	if elapsed := clk.Since(start); elapsed < 1500*time.Millisecond {
+		t.Fatalf("2000B at 1000B/s took %v sim, want >= ~2s", elapsed)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	w := instantWorld(t, 23)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+	l, _ := b.Listen(10)
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	a.Inquire()
+	c, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+
+	s := w.Stats()
+	if s.Inquiries != 1 || s.InquiryResponses != 1 {
+		t.Fatalf("inquiry stats = %+v", s)
+	}
+	if s.DialsAttempted != 1 || s.DialsSucceeded != 1 {
+		t.Fatalf("dial stats = %+v", s)
+	}
+	if s.BytesWritten != 5 {
+		t.Fatalf("bytes = %d, want 5", s.BytesWritten)
+	}
+	w.ResetStats()
+	if s := w.Stats(); s.DialsAttempted != 0 {
+		t.Fatalf("ResetStats did not clear: %+v", s)
+	}
+}
+
+func TestDeterministicInquiryWithSameSeed(t *testing.T) {
+	run := func() []InquiryResult {
+		p := DefaultParams(device.TechBluetooth).Instant()
+		p.ResponseProb = 0.5
+		w := NewWorld(clock.Real(), 99, WithQualityNoise(0), WithParams(device.TechBluetooth, p))
+		a, _ := w.AddDevice("a", mobility.Static{At: geo.Pt(0, 0)})
+		ra, _ := a.AddRadio(device.TechBluetooth)
+		for i := 0; i < 6; i++ {
+			d, _ := w.AddDevice(string(rune('b'+i)), mobility.Static{At: geo.Pt(float64(i), 1)})
+			_, _ = d.AddRadio(device.TechBluetooth)
+		}
+		return ra.Inquire()
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("same seed, different response counts: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestWorldCloseBreaksLinksAndStopsChecker(t *testing.T) {
+	w := instantWorld(t, 24)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+	l, _ := b.Listen(10)
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	cli, err := a.Dial(b.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StartAutoCheck(time.Second)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded after world close")
+	}
+	// Close is idempotent.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,634 @@
+// Package simnet simulates the wireless world PeerHood runs in: devices
+// with positions and mobility models, radios with per-technology coverage
+// and link quality, Bluetooth-style inquiry (including its discovery
+// asymmetry), lossy slow connection establishment, and bandwidth-limited
+// duplex links that break when devices move out of range.
+//
+// It substitutes for the thesis' physical testbed (laptops and phones with
+// Bluetooth radios); every stochastic parameter is calibrated to the numbers
+// the thesis reports — see TechParams.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/rng"
+)
+
+// Errors returned by dialing and link operations.
+var (
+	// ErrNoSuchRadio reports a dial to an address that does not exist.
+	ErrNoSuchRadio = errors.New("simnet: no such radio")
+	// ErrOutOfRange reports that the target radio is beyond coverage.
+	ErrOutOfRange = errors.New("simnet: target out of coverage")
+	// ErrConnectFault reports a stochastic connection-establishment failure
+	// (the thesis' "normal Bluetooth connection fault", §4.3).
+	ErrConnectFault = errors.New("simnet: connection fault")
+	// ErrRefused reports that nothing is listening on the target port.
+	ErrRefused = errors.New("simnet: connection refused")
+	// ErrRadioDown reports that an endpoint's radio is powered off.
+	ErrRadioDown = errors.New("simnet: radio down")
+	// ErrLinkLost reports that an established link broke, typically because
+	// a device moved out of coverage.
+	ErrLinkLost = errors.New("simnet: link lost")
+	// ErrClosed reports use of a closed connection or listener.
+	ErrClosed = errors.New("simnet: closed")
+	// ErrTechMismatch reports a dial whose source and target radios use
+	// different technologies.
+	ErrTechMismatch = errors.New("simnet: technology mismatch")
+)
+
+// acceptBacklog bounds pending, not-yet-accepted connections per listener,
+// like a TCP accept backlog. Dials beyond it are refused.
+const acceptBacklog = 16
+
+// Stats counts world-level events; experiments read them to report traffic
+// and fault figures.
+type Stats struct {
+	Inquiries         int64
+	InquiryResponses  int64
+	DialsAttempted    int64
+	DialsSucceeded    int64
+	DialsFaulted      int64
+	DialsOutOfRange   int64
+	DialsRefused      int64
+	LinksBroken       int64
+	BytesWritten      int64
+	MessagesDelivered int64
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithParams overrides the parameters for one technology.
+func WithParams(t device.Tech, p TechParams) Option {
+	return func(w *World) { w.params[t] = p }
+}
+
+// WithQualityNoise sets the standard deviation of the Gaussian noise added
+// to link-quality readings (default 3).
+func WithQualityNoise(stddev float64) Option {
+	return func(w *World) { w.qualityNoise = stddev }
+}
+
+// World is the simulated radio environment. All methods are safe for
+// concurrent use.
+type World struct {
+	clk   clock.Clock
+	src   *rng.Source
+	epoch time.Time
+
+	mu           sync.Mutex
+	devices      map[string]*Device
+	radios       map[device.Addr]*Radio
+	radioOrder   []*Radio // insertion order, for deterministic iteration
+	listeners    map[listenKey]*Listener
+	links        map[int64]*link
+	nextLinkID   int64
+	macSeq       int
+	params       map[device.Tech]TechParams
+	qualityNoise float64
+	stats        Stats
+
+	checkStop chan struct{}
+	checkDone chan struct{}
+}
+
+type listenKey struct {
+	addr device.Addr
+	port uint16
+}
+
+// NewWorld creates an empty world on clk with deterministic randomness
+// derived from seed.
+func NewWorld(clk clock.Clock, seed int64, opts ...Option) *World {
+	w := &World{
+		clk:          clk,
+		src:          rng.New(seed),
+		epoch:        clk.Now(),
+		devices:      make(map[string]*Device),
+		radios:       make(map[device.Addr]*Radio),
+		listeners:    make(map[listenKey]*Listener),
+		links:        make(map[int64]*link),
+		params:       make(map[device.Tech]TechParams),
+		qualityNoise: 3,
+	}
+	for _, t := range device.Techs() {
+		w.params[t] = DefaultParams(t)
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Clock returns the world's clock.
+func (w *World) Clock() clock.Clock { return w.clk }
+
+// Params returns the parameters in force for t.
+func (w *World) Params(t device.Tech) TechParams {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.params[t]
+}
+
+// SetParams replaces the parameters for t at runtime (experiments sweep
+// connection-latency profiles this way). Existing links keep their
+// bandwidth; new dials and inquiries use the new values.
+func (w *World) SetParams(t device.Tech, p TechParams) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.params[t] = p
+}
+
+// Stats returns a snapshot of the world counters.
+func (w *World) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// ResetStats zeroes the world counters (used between experiment phases).
+func (w *World) ResetStats() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stats = Stats{}
+}
+
+// AddDevice adds a named device following the given mobility model.
+func (w *World) AddDevice(name string, model mobility.Model) (*Device, error) {
+	if model == nil {
+		model = mobility.Static{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.devices[name]; dup {
+		return nil, fmt.Errorf("simnet: duplicate device %q", name)
+	}
+	d := &Device{
+		w:         w,
+		name:      name,
+		model:     model,
+		modelBase: w.clk.Now(),
+		radios:    make(map[device.Tech]*Radio),
+	}
+	w.devices[name] = d
+	return d, nil
+}
+
+// Device returns the named device.
+func (w *World) Device(name string) (*Device, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	d, ok := w.devices[name]
+	return d, ok
+}
+
+// FindRadio resolves an address to its radio.
+func (w *World) FindRadio(a device.Addr) (*Radio, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r, ok := w.radios[a]
+	return r, ok
+}
+
+// Device is one simulated terminal. It may carry several radios (one per
+// technology), mirroring PeerHood's multi-plugin design.
+type Device struct {
+	w    *World
+	name string
+
+	mu        sync.Mutex
+	model     mobility.Model
+	modelBase time.Time
+	down      bool
+	radios    map[device.Tech]*Radio
+}
+
+// Name returns the device's name.
+func (d *Device) Name() string { return d.name }
+
+// AddRadio attaches a radio of technology t, assigning it a fresh MAC.
+func (d *Device) AddRadio(t device.Tech) (*Radio, error) {
+	if !t.Valid() {
+		return nil, fmt.Errorf("simnet: invalid technology %v", t)
+	}
+	d.w.mu.Lock()
+	d.w.macSeq++
+	mac := fmt.Sprintf("02:70:68:%02x:%02x:%02x",
+		(d.w.macSeq>>16)&0xff, (d.w.macSeq>>8)&0xff, d.w.macSeq&0xff)
+	d.w.mu.Unlock()
+
+	d.mu.Lock()
+	if _, dup := d.radios[t]; dup {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("simnet: device %q already has a %v radio", d.name, t)
+	}
+	r := &Radio{w: d.w, dev: d, addr: device.Addr{Tech: t, MAC: mac}}
+	d.radios[t] = r
+	d.mu.Unlock()
+
+	d.w.mu.Lock()
+	d.w.radios[r.addr] = r
+	d.w.radioOrder = append(d.w.radioOrder, r)
+	d.w.mu.Unlock()
+	return r, nil
+}
+
+// Radio returns the device's radio for t, if any.
+func (d *Device) Radio(t device.Tech) (*Radio, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.radios[t]
+	return r, ok
+}
+
+// Position returns the device's current position.
+func (d *Device) Position() geo.Point {
+	d.mu.Lock()
+	model, base := d.model, d.modelBase
+	d.mu.Unlock()
+	return model.PositionAt(d.w.clk.Since(base))
+}
+
+// SetModel replaces the device's mobility model; the new model's elapsed
+// time starts now. Used to script scenarios ("at t=30s, start walking").
+func (d *Device) SetModel(model mobility.Model) {
+	if model == nil {
+		model = mobility.Static{At: d.Position()}
+	}
+	d.mu.Lock()
+	d.model = model
+	d.modelBase = d.w.clk.Now()
+	d.mu.Unlock()
+}
+
+// SetDown powers the device's radios off (true) or on (false). Links of a
+// downed device break on the next CheckLinks.
+func (d *Device) SetDown(down bool) {
+	d.mu.Lock()
+	d.down = down
+	d.mu.Unlock()
+}
+
+// IsDown reports whether the device is powered off.
+func (d *Device) IsDown() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down
+}
+
+// Radio is one network interface of a device.
+type Radio struct {
+	w    *World
+	dev  *Device
+	addr device.Addr
+
+	// inquiringUntil is guarded by w.mu.
+	inquiringUntil time.Time
+}
+
+// Addr returns the radio's address.
+func (r *Radio) Addr() device.Addr { return r.addr }
+
+// Device returns the radio's owner.
+func (r *Radio) Device() *Device { return r.dev }
+
+// Tech returns the radio's technology.
+func (r *Radio) Tech() device.Tech { return r.addr.Tech }
+
+// InquiryResult is one response to a device-discovery inquiry.
+type InquiryResult struct {
+	Addr    device.Addr
+	Quality int
+}
+
+// Inquire performs one device-discovery inquiry: it occupies the radio for
+// the technology's InquiryDuration (during which, for asymmetric
+// technologies, this radio is not discoverable by others — §3.4.2), then
+// returns the discoverable in-range radios that responded.
+func (r *Radio) Inquire() []InquiryResult {
+	p := r.w.Params(r.addr.Tech)
+
+	r.w.mu.Lock()
+	start := r.w.clk.Now()
+	r.inquiringUntil = start.Add(p.InquiryDuration)
+	r.w.stats.Inquiries++
+	r.w.mu.Unlock()
+
+	if p.InquiryDuration > 0 {
+		r.w.clk.Sleep(p.InquiryDuration)
+	}
+
+	if r.dev.IsDown() {
+		return nil
+	}
+	selfPos := r.dev.Position()
+
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	var out []InquiryResult
+	for _, other := range r.w.radioOrder {
+		if other == r || other.addr.Tech != r.addr.Tech || other.dev == r.dev {
+			continue
+		}
+		if other.dev.IsDown() {
+			continue
+		}
+		// Asymmetric technologies: a radio whose own inquiry overlapped any
+		// part of our inquiry window was not discoverable during it.
+		if p.Asymmetric && other.inquiringUntil.After(start) {
+			continue
+		}
+		d := selfPos.Dist(other.dev.Position())
+		if d > p.CoverageRadius {
+			continue
+		}
+		if !r.w.src.Bool(p.ResponseProb) {
+			continue
+		}
+		q := r.w.qualityAtLocked(d, p)
+		out = append(out, InquiryResult{Addr: other.addr, Quality: q})
+		r.w.stats.InquiryResponses++
+	}
+	return out
+}
+
+// QualityTo returns the current link quality between this radio and the
+// addressed one, or 0 if it is out of range, down, or missing.
+func (r *Radio) QualityTo(a device.Addr) int {
+	other, ok := r.w.FindRadio(a)
+	if !ok || other.addr.Tech != r.addr.Tech {
+		return 0
+	}
+	if r.dev.IsDown() || other.dev.IsDown() {
+		return 0
+	}
+	p := r.w.Params(r.addr.Tech)
+	d := r.dev.Position().Dist(other.dev.Position())
+	if d > p.CoverageRadius {
+		return 0
+	}
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	return r.w.qualityAtLocked(d, p)
+}
+
+// qualityAtLocked maps distance to the 0–255 quality scale with Gaussian
+// noise. Callers hold w.mu.
+func (w *World) qualityAtLocked(dist float64, p TechParams) int {
+	if dist > p.CoverageRadius {
+		return 0
+	}
+	frac := 0.0
+	if p.CoverageRadius > 0 {
+		frac = dist / p.CoverageRadius
+	}
+	base := float64(p.EdgeQuality) + (QualityMax-float64(p.EdgeQuality))*(1-frac)
+	if w.qualityNoise > 0 {
+		base = w.src.Normal(base, w.qualityNoise)
+	}
+	return int(rng.Clamp(base, 0, QualityMax))
+}
+
+// Listener accepts incoming connections on one (radio, port).
+type Listener struct {
+	w      *World
+	key    listenKey
+	accept chan *Conn
+	closed chan struct{}
+
+	closeOnce sync.Once
+}
+
+// Listen starts accepting connections on the given port of this radio.
+func (r *Radio) Listen(port uint16) (*Listener, error) {
+	key := listenKey{addr: r.addr, port: port}
+	l := &Listener{
+		w:      r.w,
+		key:    key,
+		accept: make(chan *Conn, acceptBacklog),
+		closed: make(chan struct{}),
+	}
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	if _, dup := r.w.listeners[key]; dup {
+		return nil, fmt.Errorf("simnet: port %d already bound on %v", port, r.addr)
+	}
+	r.w.listeners[key] = l
+	return l, nil
+}
+
+// Accept blocks until a connection arrives or the listener closes.
+func (l *Listener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the listener. Pending un-accepted connections are broken.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		l.w.mu.Lock()
+		delete(l.w.listeners, l.key)
+		l.w.mu.Unlock()
+		close(l.closed)
+		for {
+			select {
+			case c := <-l.accept:
+				c.link.breakWith(ErrRefused)
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Dial connects this radio to a service port on the addressed radio. It
+// blocks for the sampled connection-establishment latency, may fail with
+// ErrConnectFault (per TechParams.FaultProb), and re-checks coverage after
+// the latency has elapsed — a device that walked away during the 3–18 s
+// Bluetooth setup window produces ErrOutOfRange exactly as the thesis
+// observed (§5.2.1).
+func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
+	w := r.w
+	w.mu.Lock()
+	w.stats.DialsAttempted++
+	w.mu.Unlock()
+
+	if to.Tech != r.addr.Tech {
+		return nil, fmt.Errorf("%w: %v -> %v", ErrTechMismatch, r.addr.Tech, to.Tech)
+	}
+	p := w.Params(r.addr.Tech)
+
+	check := func() (*Radio, error) {
+		target, ok := w.FindRadio(to)
+		if !ok {
+			return nil, fmt.Errorf("%w: %v", ErrNoSuchRadio, to)
+		}
+		if r.dev.IsDown() || target.dev.IsDown() {
+			return nil, ErrRadioDown
+		}
+		if d := r.dev.Position().Dist(target.dev.Position()); d > p.CoverageRadius {
+			w.mu.Lock()
+			w.stats.DialsOutOfRange++
+			w.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrOutOfRange, to)
+		}
+		return target, nil
+	}
+
+	if _, err := check(); err != nil {
+		return nil, err
+	}
+
+	// Connection-establishment latency, sampled uniformly per the thesis'
+	// observed range.
+	lat := time.Duration(w.src.Uniform(float64(p.ConnectMin), float64(p.ConnectMax)+1))
+	if lat > 0 {
+		w.clk.Sleep(lat)
+	}
+
+	if w.src.Bool(p.FaultProb) {
+		w.mu.Lock()
+		w.stats.DialsFaulted++
+		w.mu.Unlock()
+		return nil, fmt.Errorf("%w: dialing %v", ErrConnectFault, to)
+	}
+
+	target, err := check()
+	if err != nil {
+		return nil, err
+	}
+
+	w.mu.Lock()
+	l, ok := w.listeners[listenKey{addr: to, port: port}]
+	if !ok {
+		w.stats.DialsRefused++
+		w.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v port %d", ErrRefused, to, port)
+	}
+	w.nextLinkID++
+	lk := newLink(w, w.nextLinkID, r, target, p.Bandwidth)
+	w.links[lk.id] = lk
+	w.stats.DialsSucceeded++
+	w.mu.Unlock()
+
+	// Hand the server endpoint to the listener. The buffered channel models
+	// an accept backlog; once it is full the dialer blocks until the server
+	// accepts or the listener closes, like a saturated TCP SYN queue.
+	select {
+	case l.accept <- lk.b:
+	case <-l.closed:
+		lk.breakWith(ErrRefused)
+		w.mu.Lock()
+		w.stats.DialsRefused++
+		w.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v port %d", ErrRefused, to, port)
+	}
+	return lk.a, nil
+}
+
+// CheckLinks breaks every established link whose endpoints are no longer in
+// mutual coverage (or whose devices are down). It returns the number of
+// links broken. Experiments run it from StartAutoCheck; deterministic tests
+// call it directly after moving devices.
+func (w *World) CheckLinks() int {
+	w.mu.Lock()
+	var doomed []*link
+	for _, lk := range w.links {
+		if !w.linkAliveLocked(lk) {
+			doomed = append(doomed, lk)
+		}
+	}
+	w.mu.Unlock()
+
+	for _, lk := range doomed {
+		lk.breakWith(ErrLinkLost)
+	}
+	return len(doomed)
+}
+
+func (w *World) linkAliveLocked(lk *link) bool {
+	ra, rb := lk.a.local, lk.b.local
+	if ra.dev.IsDown() || rb.dev.IsDown() {
+		return false
+	}
+	p := w.params[ra.addr.Tech]
+	return ra.dev.Position().Dist(rb.dev.Position()) <= p.CoverageRadius
+}
+
+// StartAutoCheck launches a background goroutine that runs CheckLinks every
+// interval of simulated time, until Close is called. It is idempotent.
+func (w *World) StartAutoCheck(interval time.Duration) {
+	w.mu.Lock()
+	if w.checkStop != nil {
+		w.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	w.checkStop, w.checkDone = stop, done
+	w.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		tk := w.clk.NewTicker(interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-tk.C():
+				w.CheckLinks()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the auto-checker (if running) and breaks every live link.
+func (w *World) Close() error {
+	w.mu.Lock()
+	stop, done := w.checkStop, w.checkDone
+	w.checkStop, w.checkDone = nil, nil
+	links := make([]*link, 0, len(w.links))
+	for _, lk := range w.links {
+		links = append(links, lk)
+	}
+	w.mu.Unlock()
+
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	for _, lk := range links {
+		lk.breakWith(ErrClosed)
+	}
+	return nil
+}
+
+// removeLink drops a dead link from the registry.
+func (w *World) removeLink(id int64) {
+	w.mu.Lock()
+	delete(w.links, id)
+	w.stats.LinksBroken++
+	w.mu.Unlock()
+}
+
+// ActiveLinks reports how many links are currently established.
+func (w *World) ActiveLinks() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.links)
+}

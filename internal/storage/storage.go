@@ -1,0 +1,650 @@
+// Package storage implements the PeerHood DeviceStorage as extended by the
+// thesis (ch. 3): a routing table in which every known device carries not
+// just its descriptor but the bridge (next hop), jump count, link-quality
+// aggregates, and mobility metadata needed to reach it through the ad-hoc
+// network. It implements the AnalyzeNeighbourhoodDevices merge (fig 3.13),
+// the link-quality addition and threshold rules (figs 3.8–3.9), and the
+// timestamp aging of the discovery loop (fig 3.12).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+)
+
+// Default configuration values.
+const (
+	// DefaultQualityThreshold is the minimum per-hop link quality a route
+	// should clear (230 throughout the thesis).
+	DefaultQualityThreshold = 230
+	// DefaultMaxMissedLoops is how many consecutive discovery loops a
+	// direct neighbour may miss before its direct route is erased
+	// (fig 3.12 "make older" / erase).
+	DefaultMaxMissedLoops = 2
+	// DefaultMaxJumps bounds stored route length; §3.4.2 argues long
+	// routes are useless for mobile devices because the notification delay
+	// grows linearly with jumps.
+	DefaultMaxJumps = 8
+	// DefaultMaxAlternates bounds the remembered candidate routes per
+	// device (one per distinct first hop).
+	DefaultMaxAlternates = 8
+)
+
+// Config parametrises a Storage. Zero fields take defaults.
+type Config struct {
+	Clock            clock.Clock
+	QualityThreshold int
+	MaxMissedLoops   int
+	MaxJumps         int
+	MaxAlternates    int
+
+	// QualityFirst swaps the fig 3.13 comparison order to prefer link
+	// quality over bridge mobility. The thesis argues static bridges make
+	// the network backbone (§3.4.3); this flag exists for the A1 ablation
+	// that quantifies that argument.
+	QualityFirst bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	if c.QualityThreshold == 0 {
+		c.QualityThreshold = DefaultQualityThreshold
+	}
+	if c.MaxMissedLoops == 0 {
+		c.MaxMissedLoops = DefaultMaxMissedLoops
+	}
+	if c.MaxJumps == 0 {
+		c.MaxJumps = DefaultMaxJumps
+	}
+	if c.MaxAlternates == 0 {
+		c.MaxAlternates = DefaultMaxAlternates
+	}
+	return c
+}
+
+// Route is one way to reach a device: either direct (Jumps 0, zero Bridge)
+// or through a bridge node.
+type Route struct {
+	// Jumps counts intermediate nodes; 0 means direct coverage (§3.3).
+	Jumps int
+	// Bridge is the first-hop node to dial for this route; zero if direct.
+	Bridge device.Addr
+	// QualitySum is the thesis' §3.4.1 addition of per-hop link qualities.
+	QualitySum int
+	// QualityMin is the weakest hop, checked against the 230 threshold.
+	QualityMin int
+	// BridgeMobility is the mobility class of the route's first hop — the
+	// thesis keeps "only the nearest device's mobility" as the route's
+	// stability measure (§3.4.3). For direct routes it is the target's own
+	// class.
+	BridgeMobility device.Mobility
+	// MobilitySum aggregates mobility over the route like link quality.
+	// The thesis considered and rejected this aggregate (§3.4.3); it is
+	// kept for the ablation experiments.
+	MobilitySum int
+}
+
+// Direct reports whether the route is a direct link.
+func (r Route) Direct() bool { return r.Jumps == 0 }
+
+// String implements fmt.Stringer.
+func (r Route) String() string {
+	if r.Direct() {
+		return fmt.Sprintf("direct(q=%d)", r.QualitySum)
+	}
+	return fmt.Sprintf("via %s (jumps=%d q=%d min=%d mob=%v)",
+		r.Bridge, r.Jumps, r.QualitySum, r.QualityMin, r.BridgeMobility)
+}
+
+// Entry is everything known about one remote device: its descriptor and the
+// candidate routes to it, plus the aging state of its direct route.
+type Entry struct {
+	Info device.Info
+	// Routes holds candidate routes, at most one per distinct first hop,
+	// best first according to the fig 3.13 comparison.
+	Routes []Route
+	// MissedLoops counts consecutive discovery loops without a response
+	// from the device (direct route aging, fig 3.12).
+	MissedLoops int
+	// LastSeen is when the device last responded to an inquiry or was
+	// reported by a bridge.
+	LastSeen time.Time
+	// LastFetched is when the device's full information (services,
+	// neighbourhood) was last fetched; the service-check interval compares
+	// against it (fig 3.12).
+	LastFetched time.Time
+}
+
+// Best returns the entry's preferred route.
+func (e *Entry) Best() (Route, bool) {
+	if len(e.Routes) == 0 {
+		return Route{}, false
+	}
+	return e.Routes[0], true
+}
+
+// HasDirect reports whether a direct route exists.
+func (e *Entry) HasDirect() bool {
+	for _, r := range e.Routes {
+		if r.Direct() {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Entry) clone() Entry {
+	out := *e
+	out.Info = e.Info.Clone()
+	out.Routes = append([]Route(nil), e.Routes...)
+	return out
+}
+
+// Storage is the device table of one PeerHood daemon. It is safe for
+// concurrent use by the discovery loops of several plugins and the library.
+type Storage struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	self    map[device.Addr]bool
+	entries map[device.Addr]*Entry
+}
+
+// New returns an empty Storage.
+func New(cfg Config) *Storage {
+	return &Storage{
+		cfg:     cfg.withDefaults(),
+		self:    make(map[device.Addr]bool),
+		entries: make(map[device.Addr]*Entry),
+	}
+}
+
+// AddSelfAddr registers one of the local device's own radio addresses, so
+// that echoes of ourselves in received neighbourhoods are filtered (the
+// "own device comparison filter" of fig 3.13).
+func (s *Storage) AddSelfAddr(a device.Addr) {
+	s.mu.Lock()
+	s.self[a] = true
+	delete(s.entries, a)
+	s.mu.Unlock()
+}
+
+// IsSelf reports whether a is one of the local device's addresses.
+func (s *Storage) IsSelf(a device.Addr) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.self[a]
+}
+
+// Len returns the number of known devices.
+func (s *Storage) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Lookup returns a copy of the entry for a.
+func (s *Storage) Lookup(a device.Addr) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[a]
+	if !ok {
+		return Entry{}, false
+	}
+	return e.clone(), true
+}
+
+// Snapshot returns copies of all entries, sorted by address for
+// deterministic iteration.
+func (s *Storage) Snapshot() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Info.Addr.String() < out[j].Info.Addr.String()
+	})
+	return out
+}
+
+// Direct returns the entries that currently have a direct route.
+func (s *Storage) Direct() []Entry {
+	var out []Entry
+	for _, e := range s.Snapshot() {
+		if e.HasDirect() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FindByName returns the entry of the device with the given name.
+func (s *Storage) FindByName(name string) (Entry, bool) {
+	for _, e := range s.Snapshot() {
+		if e.Info.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ServiceProvider pairs a device entry with one of its services.
+type ServiceProvider struct {
+	Entry   Entry
+	Service device.ServiceInfo
+}
+
+// FindService returns every known provider of the named service, best
+// route first (fewest jumps, then the fig 3.13 ordering).
+func (s *Storage) FindService(name string) []ServiceProvider {
+	var out []ServiceProvider
+	for _, e := range s.Snapshot() {
+		if svc, ok := e.Info.FindService(name); ok && len(e.Routes) > 0 {
+			out = append(out, ServiceProvider{Entry: e, Service: svc})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, _ := out[i].Entry.Best()
+		rj, _ := out[j].Entry.Best()
+		return s.better(ri, rj)
+	})
+	return out
+}
+
+// UpsertDirect records a direct inquiry response: the device is in coverage
+// with the measured link quality. Info may be partial (inquiry responses
+// carry only the address); full descriptors arrive via UpdateInfo after an
+// information fetch.
+func (s *Storage) UpsertDirect(info device.Info, quality int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.self[info.Addr] {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	e, ok := s.entries[info.Addr]
+	if !ok {
+		e = &Entry{Info: info.Clone()}
+		s.entries[info.Addr] = e
+	} else if info.Name != "" {
+		e.Info = info.Clone()
+	}
+	e.MissedLoops = 0
+	e.LastSeen = now
+	route := Route{
+		Jumps:          0,
+		QualitySum:     quality,
+		QualityMin:     quality,
+		BridgeMobility: e.Info.Mobility,
+		MobilitySum:    int(e.Info.Mobility),
+	}
+	s.putRouteLocked(e, route)
+}
+
+// UpdateInfo replaces a device's descriptor after an information fetch and
+// stamps LastFetched.
+func (s *Storage) UpdateInfo(info device.Info) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.self[info.Addr] {
+		return
+	}
+	e, ok := s.entries[info.Addr]
+	if !ok {
+		return
+	}
+	e.Info = info.Clone()
+	e.LastFetched = s.cfg.Clock.Now()
+	// Direct routes carry the target's own mobility; refresh it.
+	for i := range e.Routes {
+		if e.Routes[i].Direct() {
+			e.Routes[i].BridgeMobility = info.Mobility
+			e.Routes[i].MobilitySum = int(info.Mobility)
+		}
+	}
+	s.resortLocked(e)
+}
+
+// NeedsFetch reports whether the device's full information is stale with
+// respect to the service-check interval (fig 3.12: a longer re-check
+// interval for already-known devices saves energy).
+func (s *Storage) NeedsFetch(a device.Addr, interval time.Duration) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[a]
+	if !ok {
+		return true
+	}
+	if e.LastFetched.IsZero() {
+		return true
+	}
+	return s.cfg.Clock.Since(e.LastFetched) >= interval
+}
+
+// MergeResult summarises one AnalyzeNeighbourhoodDevices pass.
+type MergeResult struct {
+	Added    int // new devices learned
+	Updated  int // routes improved or refreshed
+	Rejected int // candidates filtered (self, loops, jump cap)
+	Removed  int // stale bridged routes dropped
+}
+
+// MergeNeighborhood implements AnalyzeNeighbourhoodDevices (fig 3.13): it
+// folds a direct neighbour's transmitted DeviceStorage into ours. bridge is
+// the reporting neighbour and bridgeQuality our measured link quality to
+// it. Every reported device becomes a candidate route via that neighbour
+// with one more jump (§3.3); candidates lose against stored routes by the
+// fig 3.13 ordering. Routes via bridge that the bridge no longer reports
+// are dropped (the bridge lost them, so they are unreachable through it).
+func (s *Storage) MergeNeighborhood(bridge device.Addr, bridgeQuality int, nb []phproto.NeighborEntry) MergeResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var res MergeResult
+	now := s.cfg.Clock.Now()
+
+	bridgeMobility := device.Dynamic
+	if be, ok := s.entries[bridge]; ok {
+		bridgeMobility = be.Info.Mobility
+	}
+
+	reported := make(map[device.Addr]bool, len(nb))
+	for _, ne := range nb {
+		target := ne.Info.Addr
+		reported[target] = true
+		switch {
+		case s.self[target]:
+			// Own device comparison filter (fig 3.13).
+			res.Rejected++
+			continue
+		case target == bridge:
+			res.Rejected++
+			continue
+		case !ne.Bridge.IsZero() && s.self[ne.Bridge]:
+			// The neighbour's route to this device passes through us:
+			// adopting it would create a two-hop relay loop.
+			res.Rejected++
+			continue
+		}
+		jumps := int(ne.Jumps) + 1
+		if jumps > s.cfg.MaxJumps {
+			res.Rejected++
+			continue
+		}
+		route := Route{
+			Jumps:          jumps,
+			Bridge:         bridge,
+			QualitySum:     bridgeQuality + int(ne.QualitySum),
+			QualityMin:     minInt(bridgeQuality, int(ne.QualityMin)),
+			BridgeMobility: bridgeMobility,
+			MobilitySum:    int(bridgeMobility) + int(ne.Info.Mobility),
+		}
+		e, ok := s.entries[target]
+		if !ok {
+			e = &Entry{Info: ne.Info.Clone(), LastSeen: now, LastFetched: now}
+			s.entries[target] = e
+			res.Added++
+		} else {
+			res.Updated++
+			e.LastSeen = now
+			// Prefer the richer descriptor: a bridged report may carry
+			// services we have not fetched ourselves yet.
+			if len(e.Info.Services) == 0 && len(ne.Info.Services) > 0 {
+				e.Info = ne.Info.Clone()
+			}
+		}
+		s.putRouteLocked(e, route)
+	}
+
+	// Drop bridged routes the bridge stopped reporting.
+	for addr, e := range s.entries {
+		changed := false
+		kept := e.Routes[:0]
+		for _, r := range e.Routes {
+			if r.Bridge == bridge && !reported[addr] {
+				changed = true
+				res.Removed++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		e.Routes = kept
+		if changed && len(e.Routes) == 0 {
+			delete(s.entries, addr)
+		}
+	}
+	return res
+}
+
+// AgeRound applies one discovery loop's aging for tech (fig 3.12):
+// responded devices are refreshed elsewhere (UpsertDirect); every other
+// direct neighbour of this technology gets "older" and its direct route is
+// erased after MaxMissedLoops. Devices left with no routes are removed,
+// along with any routes bridged through a device that just lost its direct
+// route (we can no longer dial that bridge). Returns the removed addresses.
+func (s *Storage) AgeRound(tech device.Tech, responded map[device.Addr]bool) []device.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var lostBridges []device.Addr
+	for addr, e := range s.entries {
+		if addr.Tech != tech || !e.HasDirect() || responded[addr] {
+			continue
+		}
+		e.MissedLoops++
+		if e.MissedLoops <= s.cfg.MaxMissedLoops {
+			continue
+		}
+		kept := e.Routes[:0]
+		for _, r := range e.Routes {
+			if r.Direct() {
+				continue
+			}
+			kept = append(kept, r)
+		}
+		e.Routes = kept
+		lostBridges = append(lostBridges, addr)
+	}
+
+	// A device whose direct route vanished can no longer serve as our first
+	// hop: drop routes bridged through it.
+	var removed []device.Addr
+	for _, bridge := range lostBridges {
+		for addr, e := range s.entries {
+			kept := e.Routes[:0]
+			for _, r := range e.Routes {
+				if r.Bridge == bridge {
+					continue
+				}
+				kept = append(kept, r)
+			}
+			e.Routes = kept
+			_ = addr
+		}
+	}
+	for addr, e := range s.entries {
+		if len(e.Routes) == 0 {
+			delete(s.entries, addr)
+			removed = append(removed, addr)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i].String() < removed[j].String() })
+	return removed
+}
+
+// RemoveDirect erases the direct route to a immediately (used when a dial
+// to a direct neighbour fails hard).
+func (s *Storage) RemoveDirect(a device.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[a]
+	if !ok {
+		return
+	}
+	kept := e.Routes[:0]
+	for _, r := range e.Routes {
+		if r.Direct() {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.Routes = kept
+	if len(e.Routes) == 0 {
+		delete(s.entries, a)
+	}
+}
+
+// WireEntries renders the storage as the neighbourhood message transmitted
+// to inquiring peers: every known device with its best route's metadata
+// (§3.3 — sending the whole DeviceStorage is what gives the network total
+// environment awareness).
+func (s *Storage) WireEntries() []phproto.NeighborEntry {
+	snap := s.Snapshot()
+	out := make([]phproto.NeighborEntry, 0, len(snap))
+	for _, e := range snap {
+		best, ok := e.Best()
+		if !ok {
+			continue
+		}
+		out = append(out, phproto.NeighborEntry{
+			Info:       e.Info.Clone(),
+			Jumps:      uint8(minInt(best.Jumps, 255)),
+			Bridge:     best.Bridge,
+			QualitySum: uint32(maxInt(best.QualitySum, 0)),
+			QualityMin: uint8(clampInt(best.QualityMin, 0, 255)),
+		})
+	}
+	return out
+}
+
+// AlternateRoutes returns every candidate route to a, best first,
+// optionally excluding one first hop (the handover thread excludes the
+// currently failing bridge, §5.2.2).
+func (s *Storage) AlternateRoutes(a device.Addr, excludeBridge device.Addr) []Route {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[a]
+	if !ok {
+		return nil
+	}
+	out := make([]Route, 0, len(e.Routes))
+	for _, r := range e.Routes {
+		if !excludeBridge.IsZero() && r.Bridge == excludeBridge {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// putRouteLocked installs route as the candidate for its first hop,
+// keeping Routes sorted best-first and capped at MaxAlternates.
+func (s *Storage) putRouteLocked(e *Entry, route Route) {
+	kept := e.Routes[:0]
+	for _, r := range e.Routes {
+		if r.Bridge == route.Bridge {
+			continue // replaced by the fresh report for this first hop
+		}
+		kept = append(kept, r)
+	}
+	e.Routes = append(kept, route)
+	s.resortLocked(e)
+	if len(e.Routes) > s.cfg.MaxAlternates {
+		e.Routes = e.Routes[:s.cfg.MaxAlternates]
+	}
+}
+
+func (s *Storage) resortLocked(e *Entry) {
+	sort.SliceStable(e.Routes, func(i, j int) bool {
+		return s.better(e.Routes[i], e.Routes[j])
+	})
+}
+
+// better implements the fig 3.13 route comparison: fewer jumps win; ties go
+// to the lower (more static) first-hop mobility; then to routes whose every
+// hop clears the quality threshold (fig 3.9's equity rule); finally to the
+// higher quality sum (§3.4.1). With QualityFirst the mobility and quality
+// criteria swap places (ablation A1).
+func (s *Storage) better(a, b Route) bool {
+	if a.Jumps != b.Jumps {
+		return a.Jumps < b.Jumps
+	}
+	aOK := a.QualityMin >= s.cfg.QualityThreshold
+	bOK := b.QualityMin >= s.cfg.QualityThreshold
+	if s.cfg.QualityFirst {
+		if aOK != bOK {
+			return aOK
+		}
+		if a.QualitySum != b.QualitySum {
+			return a.QualitySum > b.QualitySum
+		}
+		return a.BridgeMobility < b.BridgeMobility
+	}
+	if a.BridgeMobility != b.BridgeMobility {
+		return a.BridgeMobility < b.BridgeMobility
+	}
+	if aOK != bOK {
+		return aOK
+	}
+	return a.QualitySum > b.QualitySum
+}
+
+// CompareRoutes exposes the route ordering for other packages (handover
+// picks "the best quality way", fig 5.5 state 0).
+func (s *Storage) CompareRoutes(a, b Route) bool { return s.better(a, b) }
+
+// String renders the storage as the thesis' fig 3.6 table for debugging
+// and the experiment harness.
+func (s *Storage) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-24s %5s  %-24s %7s %6s\n",
+		"NAME", "ADDR", "JUMPS", "BRIDGE", "QUALITY", "MOB")
+	for _, e := range s.Snapshot() {
+		best, ok := e.Best()
+		if !ok {
+			continue
+		}
+		bridge := "-"
+		if !best.Bridge.IsZero() {
+			bridge = best.Bridge.String()
+		}
+		fmt.Fprintf(&b, "%-16s %-24s %5d  %-24s %7d %6s\n",
+			e.Info.Name, e.Info.Addr, best.Jumps, bridge, best.QualitySum, e.Info.Mobility)
+	}
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,654 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+)
+
+func btAddr(mac string) device.Addr {
+	return device.Addr{Tech: device.TechBluetooth, MAC: mac}
+}
+
+func info(name, mac string, mob device.Mobility, svcs ...device.ServiceInfo) device.Info {
+	return device.Info{Name: name, Addr: btAddr(mac), Mobility: mob, Services: svcs}
+}
+
+func newTestStorage(selfMACs ...string) *Storage {
+	s := New(Config{Clock: clock.NewManual()})
+	for _, m := range selfMACs {
+		s.AddSelfAddr(btAddr(m))
+	}
+	return s
+}
+
+func wireEntry(i device.Info, jumps uint8, bridge device.Addr, qSum uint32, qMin uint8) phproto.NeighborEntry {
+	return phproto.NeighborEntry{Info: i, Jumps: jumps, Bridge: bridge, QualitySum: qSum, QualityMin: qMin}
+}
+
+func TestUpsertDirectBasic(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	e, ok := s.Lookup(btAddr("bb"))
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	best, ok := e.Best()
+	if !ok || !best.Direct() || best.QualitySum != 240 {
+		t.Fatalf("best = %+v, %v", best, ok)
+	}
+	if !e.HasDirect() {
+		t.Fatal("HasDirect false")
+	}
+}
+
+func TestUpsertDirectIgnoresSelf(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("me", "self", device.Dynamic), 250)
+	if s.Len() != 0 {
+		t.Fatal("stored own device")
+	}
+}
+
+func TestUpsertDirectRefreshesQuality(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	s.UpsertDirect(info("b", "bb", device.Static), 200)
+	e, _ := s.Lookup(btAddr("bb"))
+	best, _ := e.Best()
+	if best.QualitySum != 200 {
+		t.Fatalf("quality not refreshed: %+v", best)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("duplicate entries: %d", s.Len())
+	}
+}
+
+// TestFigure36Topology reproduces the worked example of fig 3.6: devices
+// A—(B,C)—(D,E) where B also sees D's coverage-mate E and C sees D.
+// After merging B's and C's neighbourhoods, A must know every device with
+// the exact bridges and jump counts from the thesis' table.
+func TestFigure36Topology(t *testing.T) {
+	a := newTestStorage("A")
+	// A's direct neighbours.
+	a.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	a.UpsertDirect(info("C", "C", device.Dynamic), 240)
+	// B reports: D is B's direct neighbour... in fig 3.6 the awareness of E
+	// comes via B and of D via C. B's storage: {A direct, D direct? no —
+	// in the figure D is reached through its own coverage}. Per the figure:
+	// B knows E (via D's report or directly); the table says A stores
+	// E via bridge B with 1 jump, and D via bridge C with 1 jump.
+	// One-jump entries mean B reported E as *direct* (jumps 0).
+	a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("E", "E", device.Dynamic), 0, device.Addr{}, 235, 235),
+	})
+	a.MergeNeighborhood(btAddr("C"), 240, []phproto.NeighborEntry{
+		wireEntry(info("D", "D", device.Dynamic), 0, device.Addr{}, 235, 235),
+	})
+
+	want := []struct {
+		mac    string
+		jumps  int
+		bridge string // "" = direct
+	}{
+		{"B", 0, ""},
+		{"C", 0, ""},
+		{"D", 1, "C"},
+		{"E", 1, "B"},
+	}
+	if s := a.Len(); s != len(want) {
+		t.Fatalf("storage has %d entries, want %d:\n%s", s, len(want), a)
+	}
+	for _, w := range want {
+		e, ok := a.Lookup(btAddr(w.mac))
+		if !ok {
+			t.Fatalf("device %s missing", w.mac)
+		}
+		best, _ := e.Best()
+		if best.Jumps != w.jumps {
+			t.Errorf("%s jumps = %d, want %d", w.mac, best.Jumps, w.jumps)
+		}
+		gotBridge := ""
+		if !best.Bridge.IsZero() {
+			gotBridge = best.Bridge.MAC
+		}
+		if gotBridge != w.bridge {
+			t.Errorf("%s bridge = %q, want %q", w.mac, gotBridge, w.bridge)
+		}
+	}
+}
+
+// TestFigure39QualityEquity reproduces fig 3.9: two 2-hop routes to D with
+// equal quality sums (230+230 vs 210+250); the route whose weakest hop
+// clears the 230 threshold must win.
+func TestFigure39QualityEquity(t *testing.T) {
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Dynamic), 230)
+	a.UpsertDirect(info("C", "C", device.Dynamic), 210)
+	// B reports D at quality 230; C reports D at quality 250.
+	a.MergeNeighborhood(btAddr("B"), 230, []phproto.NeighborEntry{
+		wireEntry(info("D", "D", device.Dynamic), 0, device.Addr{}, 230, 230),
+	})
+	a.MergeNeighborhood(btAddr("C"), 210, []phproto.NeighborEntry{
+		wireEntry(info("D", "D", device.Dynamic), 0, device.Addr{}, 250, 250),
+	})
+
+	e, ok := a.Lookup(btAddr("D"))
+	if !ok {
+		t.Fatal("D missing")
+	}
+	best, _ := e.Best()
+	if best.Bridge != btAddr("B") {
+		t.Fatalf("best route = %v, want via B (A-C hop 210 < threshold 230)", best)
+	}
+	if best.QualitySum != 460 || best.QualityMin != 230 {
+		t.Fatalf("route aggregates = %+v, want sum 460 min 230", best)
+	}
+	// Both alternates are remembered.
+	alts := a.AlternateRoutes(btAddr("D"), device.Addr{})
+	if len(alts) != 2 {
+		t.Fatalf("alternates = %d, want 2", len(alts))
+	}
+}
+
+func TestFewerJumpsBeatQuality(t *testing.T) {
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Static), 250)
+	// Learn D via B at 2 jumps with stellar quality...
+	a.MergeNeighborhood(btAddr("B"), 250, []phproto.NeighborEntry{
+		wireEntry(info("D", "D", device.Static), 1, btAddr("X"), 500, 250),
+	})
+	// ...then D walks into direct coverage with weak quality.
+	a.UpsertDirect(info("D", "D", device.Static), 190)
+	e, _ := a.Lookup(btAddr("D"))
+	best, _ := e.Best()
+	if !best.Direct() {
+		t.Fatalf("best = %v, want direct (fewer jumps always wins)", best)
+	}
+}
+
+func TestStaticBridgePreferredOverDynamic(t *testing.T) {
+	// §3.4.3: static devices are preferred as bridges so they become the
+	// network backbone.
+	a := newTestStorage("A")
+	a.UpsertDirect(info("stat", "S", device.Static), 235)
+	a.UpsertDirect(info("dyn", "Y", device.Dynamic), 235)
+	target := info("T", "T", device.Static)
+	a.MergeNeighborhood(btAddr("Y"), 235, []phproto.NeighborEntry{
+		wireEntry(target, 0, device.Addr{}, 250, 250),
+	})
+	a.MergeNeighborhood(btAddr("S"), 235, []phproto.NeighborEntry{
+		wireEntry(target, 0, device.Addr{}, 235, 235),
+	})
+	e, _ := a.Lookup(btAddr("T"))
+	best, _ := e.Best()
+	if best.Bridge != btAddr("S") {
+		t.Fatalf("best bridge = %v, want the static one despite lower quality", best.Bridge)
+	}
+	if best.BridgeMobility != device.Static {
+		t.Fatalf("bridge mobility = %v", best.BridgeMobility)
+	}
+}
+
+func TestOwnDeviceEchoFiltered(t *testing.T) {
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	res := a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("A", "A", device.Dynamic), 0, device.Addr{}, 240, 240), // us
+		wireEntry(info("B", "B", device.Dynamic), 0, device.Addr{}, 255, 255), // the bridge itself
+	})
+	if res.Rejected != 2 || res.Added != 0 {
+		t.Fatalf("merge result = %+v, want 2 rejections", res)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("entries = %d, want 1 (just B)", a.Len())
+	}
+}
+
+func TestTwoHopLoopFiltered(t *testing.T) {
+	// B's route to T goes through us; adopting it would loop A->B->A.
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	res := a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("T", "T", device.Dynamic), 1, btAddr("A"), 480, 240),
+	})
+	if res.Rejected != 1 {
+		t.Fatalf("merge result = %+v, want 1 rejection", res)
+	}
+	if _, ok := a.Lookup(btAddr("T")); ok {
+		t.Fatal("loop route stored")
+	}
+}
+
+func TestJumpCapRejectsLongRoutes(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), MaxJumps: 2})
+	s.AddSelfAddr(btAddr("A"))
+	s.UpsertDirect(info("B", "B", device.Static), 240)
+	res := s.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("far", "F", device.Static), 2, btAddr("X"), 700, 230), // would be 3 jumps
+		wireEntry(info("ok", "O", device.Static), 1, btAddr("X"), 470, 230),  // becomes 2 jumps
+	})
+	if res.Added != 1 || res.Rejected != 1 {
+		t.Fatalf("merge result = %+v", res)
+	}
+	if _, ok := s.Lookup(btAddr("F")); ok {
+		t.Fatal("over-cap route stored")
+	}
+}
+
+func TestMergeRemovesRoutesBridgeStoppedReporting(t *testing.T) {
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Static), 240)
+	a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("T", "T", device.Static), 0, device.Addr{}, 240, 240),
+	})
+	if _, ok := a.Lookup(btAddr("T")); !ok {
+		t.Fatal("T not learned")
+	}
+	// Next round B reports an empty neighbourhood: T moved away from B.
+	res := a.MergeNeighborhood(btAddr("B"), 240, nil)
+	if res.Removed != 1 {
+		t.Fatalf("merge result = %+v, want 1 removal", res)
+	}
+	if _, ok := a.Lookup(btAddr("T")); ok {
+		t.Fatal("stale bridged route survived")
+	}
+}
+
+func TestAgeRoundErasesAfterMaxMissedLoops(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), MaxMissedLoops: 2})
+	s.AddSelfAddr(btAddr("A"))
+	s.UpsertDirect(info("B", "B", device.Dynamic), 240)
+
+	none := map[device.Addr]bool{}
+	if removed := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
+		t.Fatalf("removed after 1 miss: %v", removed)
+	}
+	if removed := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
+		t.Fatalf("removed after 2 misses: %v", removed)
+	}
+	removed := s.AgeRound(device.TechBluetooth, none)
+	if len(removed) != 1 || removed[0] != btAddr("B") {
+		t.Fatalf("removed = %v, want [B] after exceeding MaxMissedLoops", removed)
+	}
+	if s.Len() != 0 {
+		t.Fatal("entry survived")
+	}
+}
+
+func TestAgeRoundResponseResetsCounter(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), MaxMissedLoops: 2})
+	s.AddSelfAddr(btAddr("A"))
+	s.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	none := map[device.Addr]bool{}
+	s.AgeRound(device.TechBluetooth, none)
+	s.AgeRound(device.TechBluetooth, none)
+	// B responds: UpsertDirect resets MissedLoops.
+	s.UpsertDirect(info("B", "B", device.Dynamic), 230)
+	for i := 0; i < 2; i++ {
+		if removed := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
+			t.Fatalf("round %d removed %v after reset", i, removed)
+		}
+	}
+}
+
+func TestAgeRoundCascadesThroughLostBridge(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), MaxMissedLoops: 1})
+	s.AddSelfAddr(btAddr("A"))
+	s.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	s.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("T", "T", device.Dynamic), 0, device.Addr{}, 240, 240),
+	})
+	none := map[device.Addr]bool{}
+	s.AgeRound(device.TechBluetooth, none) // miss 1
+	removed := s.AgeRound(device.TechBluetooth, none)
+	if len(removed) != 2 {
+		t.Fatalf("removed = %v, want B and T (route via lost bridge)", removed)
+	}
+}
+
+func TestAgeRoundKeepsBridgedEntryWhenDirectLost(t *testing.T) {
+	// A device that left direct coverage but is still reachable via a
+	// bridge must stay known — that is the whole point of ch. 3.
+	s := New(Config{Clock: clock.NewManual(), MaxMissedLoops: 1})
+	s.AddSelfAddr(btAddr("A"))
+	s.UpsertDirect(info("B", "B", device.Static), 240)
+	s.UpsertDirect(info("T", "T", device.Dynamic), 235)
+	s.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("T", "T", device.Dynamic), 0, device.Addr{}, 238, 238),
+	})
+	// T stops answering inquiries; B keeps answering.
+	responded := map[device.Addr]bool{btAddr("B"): true}
+	s.AgeRound(device.TechBluetooth, responded)
+	s.AgeRound(device.TechBluetooth, responded)
+	e, ok := s.Lookup(btAddr("T"))
+	if !ok {
+		t.Fatal("T fully removed although a bridged route existed")
+	}
+	if e.HasDirect() {
+		t.Fatal("direct route survived aging")
+	}
+	best, _ := e.Best()
+	if best.Bridge != btAddr("B") || best.Jumps != 1 {
+		t.Fatalf("best = %+v, want 1 jump via B", best)
+	}
+}
+
+func TestAgeRoundOnlyAgesMatchingTech(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), MaxMissedLoops: 1})
+	s.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	wl := device.Info{Name: "w", Addr: device.Addr{Tech: device.TechWLAN, MAC: "W"}}
+	s.UpsertDirect(wl, 240)
+	none := map[device.Addr]bool{}
+	s.AgeRound(device.TechBluetooth, none)
+	s.AgeRound(device.TechBluetooth, none)
+	if _, ok := s.Lookup(wl.Addr); !ok {
+		t.Fatal("aging BT rounds removed a WLAN entry")
+	}
+	if _, ok := s.Lookup(btAddr("B")); ok {
+		t.Fatal("BT entry survived")
+	}
+}
+
+func TestRemoveDirect(t *testing.T) {
+	s := newTestStorage("A")
+	s.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	s.RemoveDirect(btAddr("B"))
+	if s.Len() != 0 {
+		t.Fatal("entry survived RemoveDirect")
+	}
+	// Removing a missing entry is a no-op.
+	s.RemoveDirect(btAddr("nope"))
+}
+
+func TestFindServiceOrdersByRoute(t *testing.T) {
+	s := newTestStorage("A")
+	svc := device.ServiceInfo{Name: "analysis", Port: 12}
+	s.UpsertDirect(info("near", "N", device.Static, svc), 240)
+	s.UpsertDirect(info("B", "B", device.Static), 240)
+	s.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("far", "F", device.Static, svc), 0, device.Addr{}, 240, 240),
+	})
+	got := s.FindService("analysis")
+	if len(got) != 2 {
+		t.Fatalf("providers = %d, want 2", len(got))
+	}
+	if got[0].Entry.Info.Name != "near" {
+		t.Fatalf("first provider = %s, want the direct one", got[0].Entry.Info.Name)
+	}
+	if got[0].Service.Port != 12 {
+		t.Fatalf("service port = %d", got[0].Service.Port)
+	}
+	if s.FindService("missing") != nil {
+		t.Fatal("found a missing service")
+	}
+}
+
+func TestFindByName(t *testing.T) {
+	s := newTestStorage("A")
+	s.UpsertDirect(info("laptop", "L", device.Hybrid), 240)
+	if e, ok := s.FindByName("laptop"); !ok || e.Info.Addr != btAddr("L") {
+		t.Fatalf("FindByName = %+v, %v", e, ok)
+	}
+	if _, ok := s.FindByName("ghost"); ok {
+		t.Fatal("found a ghost")
+	}
+}
+
+func TestWireEntriesRoundTripThroughMerge(t *testing.T) {
+	// B's WireEntries fed into A's merge must produce jumps+1 routes via B:
+	// the recursion that yields total environment awareness (§3.3).
+	b := newTestStorage("B")
+	b.UpsertDirect(info("D", "D", device.Static), 231)
+	b.UpsertDirect(info("E", "E", device.Dynamic), 236)
+
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Hybrid), 233)
+	a.MergeNeighborhood(btAddr("B"), 233, b.WireEntries())
+
+	for _, mac := range []string{"D", "E"} {
+		e, ok := a.Lookup(btAddr(mac))
+		if !ok {
+			t.Fatalf("%s not learned", mac)
+		}
+		best, _ := e.Best()
+		if best.Jumps != 1 || best.Bridge != btAddr("B") {
+			t.Errorf("%s route = %+v", mac, best)
+		}
+	}
+	// Quality propagation: sum = our link to B + B's link to D.
+	e, _ := a.Lookup(btAddr("D"))
+	best, _ := e.Best()
+	if best.QualitySum != 233+231 || best.QualityMin != 231 {
+		t.Fatalf("quality aggregates = %+v", best)
+	}
+}
+
+func TestNeedsFetchServiceCheckInterval(t *testing.T) {
+	clk := clock.NewManual()
+	s := New(Config{Clock: clk})
+	addr := btAddr("B")
+	if !s.NeedsFetch(addr, time.Minute) {
+		t.Fatal("unknown device does not need fetch")
+	}
+	s.UpsertDirect(info("B", "B", device.Dynamic), 240)
+	if !s.NeedsFetch(addr, time.Minute) {
+		t.Fatal("never-fetched device does not need fetch")
+	}
+	s.UpdateInfo(info("B", "B", device.Dynamic))
+	if s.NeedsFetch(addr, time.Minute) {
+		t.Fatal("freshly fetched device needs fetch")
+	}
+	clk.Advance(2 * time.Minute)
+	if !s.NeedsFetch(addr, time.Minute) {
+		t.Fatal("stale device does not need fetch")
+	}
+}
+
+func TestUpdateInfoRefreshesMobilityOnDirectRoute(t *testing.T) {
+	s := newTestStorage("A")
+	s.UpsertDirect(device.Info{Name: "", Addr: btAddr("B")}, 240) // partial: mobility unknown (static default)
+	s.UpdateInfo(info("B", "B", device.Dynamic))
+	e, _ := s.Lookup(btAddr("B"))
+	best, _ := e.Best()
+	if best.BridgeMobility != device.Dynamic {
+		t.Fatalf("direct route mobility = %v, want dynamic after fetch", best.BridgeMobility)
+	}
+	if e.Info.Name != "B" {
+		t.Fatalf("info not updated: %+v", e.Info)
+	}
+}
+
+func TestUpdateInfoUnknownDeviceNoop(t *testing.T) {
+	s := newTestStorage("A")
+	s.UpdateInfo(info("ghost", "G", device.Static))
+	if s.Len() != 0 {
+		t.Fatal("UpdateInfo created an entry")
+	}
+}
+
+func TestAlternateRoutesExcludesBridge(t *testing.T) {
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Static), 240)
+	a.UpsertDirect(info("C", "C", device.Static), 240)
+	target := info("T", "T", device.Static)
+	a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(target, 0, device.Addr{}, 240, 240),
+	})
+	a.MergeNeighborhood(btAddr("C"), 240, []phproto.NeighborEntry{
+		wireEntry(target, 0, device.Addr{}, 240, 240),
+	})
+	all := a.AlternateRoutes(btAddr("T"), device.Addr{})
+	if len(all) != 2 {
+		t.Fatalf("alternates = %d, want 2", len(all))
+	}
+	noB := a.AlternateRoutes(btAddr("T"), btAddr("B"))
+	if len(noB) != 1 || noB[0].Bridge != btAddr("C") {
+		t.Fatalf("excluded alternates = %+v", noB)
+	}
+	if a.AlternateRoutes(btAddr("ghost"), device.Addr{}) != nil {
+		t.Fatal("alternates for unknown device")
+	}
+}
+
+func TestMaxAlternatesCapped(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), MaxAlternates: 3})
+	s.AddSelfAddr(btAddr("A"))
+	target := info("T", "T", device.Static)
+	for i := 0; i < 6; i++ {
+		bmac := string(rune('B' + i))
+		s.UpsertDirect(info(bmac, bmac, device.Static), 240)
+		s.MergeNeighborhood(btAddr(bmac), 240, []phproto.NeighborEntry{
+			wireEntry(target, 0, device.Addr{}, uint32(230+i), uint8(230+i)),
+		})
+	}
+	alts := s.AlternateRoutes(btAddr("T"), device.Addr{})
+	if len(alts) != 3 {
+		t.Fatalf("alternates = %d, want cap 3", len(alts))
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s := newTestStorage("A")
+	s.UpsertDirect(info("B", "B", device.Static, device.ServiceInfo{Name: "x", Port: 10}), 240)
+	snap := s.Snapshot()
+	snap[0].Info.Services[0].Name = "mutated"
+	snap[0].Routes[0].QualitySum = -1
+	e, _ := s.Lookup(btAddr("B"))
+	if e.Info.Services[0].Name != "x" {
+		t.Fatal("snapshot aliases stored services")
+	}
+	if r, _ := e.Best(); r.QualitySum != 240 {
+		t.Fatal("snapshot aliases stored routes")
+	}
+}
+
+func TestStringRendersTable(t *testing.T) {
+	s := newTestStorage("A")
+	s.UpsertDirect(info("B", "B", device.Static), 240)
+	out := s.String()
+	if !strings.Contains(out, "B") || !strings.Contains(out, "JUMPS") {
+		t.Fatalf("table output missing columns:\n%s", out)
+	}
+}
+
+func TestSelfAddrRemovesExistingEntry(t *testing.T) {
+	s := newTestStorage()
+	s.UpsertDirect(info("me", "M", device.Static), 240)
+	s.AddSelfAddr(btAddr("M"))
+	if s.Len() != 0 {
+		t.Fatal("own entry survived AddSelfAddr")
+	}
+	if !s.IsSelf(btAddr("M")) {
+		t.Fatal("IsSelf false")
+	}
+}
+
+func TestRouteOrderingProperties(t *testing.T) {
+	s := newTestStorage("A")
+	mkRoute := func(jumps, mob, qmin, qsum uint8) Route {
+		m := device.Static
+		switch mob % 3 {
+		case 1:
+			m = device.Hybrid
+		case 2:
+			m = device.Dynamic
+		}
+		return Route{
+			Jumps:          int(jumps%5) + 1,
+			Bridge:         btAddr("X"),
+			QualitySum:     int(qsum) * 2,
+			QualityMin:     int(qmin),
+			BridgeMobility: m,
+		}
+	}
+	// Irreflexivity and asymmetry of the strict ordering.
+	if err := quick.Check(func(j1, m1, n1, s1, j2, m2, n2, s2 uint8) bool {
+		a, b := mkRoute(j1, m1, n1, s1), mkRoute(j2, m2, n2, s2)
+		if s.CompareRoutes(a, a) || s.CompareRoutes(b, b) {
+			return false
+		}
+		return !(s.CompareRoutes(a, b) && s.CompareRoutes(b, a))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Fewer jumps always dominates.
+	if err := quick.Check(func(m1, n1, s1, m2, n2, s2 uint8) bool {
+		a, b := mkRoute(0, m1, n1, s1), mkRoute(1, m2, n2, s2)
+		a.Jumps, b.Jumps = 1, 2
+		return s.CompareRoutes(a, b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestRouteIsMaximalAmongAlternates(t *testing.T) {
+	// Property: after arbitrary merges, Best() is never beaten by any
+	// stored alternate.
+	if err := quick.Check(func(seed uint8, qualities []uint8) bool {
+		s := newTestStorage("A")
+		target := info("T", "T", device.Static)
+		n := len(qualities)
+		if n > 6 {
+			n = 6
+		}
+		for i := 0; i < n; i++ {
+			bmac := string(rune('B' + i))
+			q := 180 + int(qualities[i])%76
+			s.UpsertDirect(info(bmac, bmac, device.Mobility([]device.Mobility{device.Static, device.Hybrid, device.Dynamic}[int(qualities[i])%3])), q)
+			s.MergeNeighborhood(btAddr(bmac), q, []phproto.NeighborEntry{
+				wireEntry(target, 0, device.Addr{}, uint32(q), uint8(q)),
+			})
+		}
+		e, ok := s.Lookup(btAddr("T"))
+		if !ok {
+			return n == 0
+		}
+		best, _ := e.Best()
+		for _, alt := range e.Routes {
+			if s.CompareRoutes(alt, best) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeResultCounts(t *testing.T) {
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Static), 240)
+	res := a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("T", "T", device.Static), 0, device.Addr{}, 240, 240),
+		wireEntry(info("A", "A", device.Static), 0, device.Addr{}, 240, 240),
+	})
+	if res.Added != 1 || res.Rejected != 1 || res.Updated != 0 {
+		t.Fatalf("first merge = %+v", res)
+	}
+	res = a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("T", "T", device.Static), 0, device.Addr{}, 238, 238),
+	})
+	if res.Updated != 1 || res.Added != 0 {
+		t.Fatalf("second merge = %+v", res)
+	}
+}
+
+func TestBridgedReportFillsMissingServices(t *testing.T) {
+	a := newTestStorage("A")
+	a.UpsertDirect(info("B", "B", device.Static), 240)
+	a.UpsertDirect(device.Info{Name: "T", Addr: btAddr("T")}, 235) // no services yet
+	svc := device.ServiceInfo{Name: "print", Port: 11}
+	a.MergeNeighborhood(btAddr("B"), 240, []phproto.NeighborEntry{
+		wireEntry(info("T", "T", device.Static, svc), 0, device.Addr{}, 238, 238),
+	})
+	e, _ := a.Lookup(btAddr("T"))
+	if _, ok := e.Info.FindService("print"); !ok {
+		t.Fatal("bridged service report not adopted")
+	}
+}

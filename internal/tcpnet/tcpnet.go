@@ -1,0 +1,398 @@
+// Package tcpnet is a real-network PeerHood plugin: data connections run
+// over TCP and device discovery over UDP datagrams, so daemons on a LAN
+// (or loopback) form a PeerHood neighbourhood without the simulator.
+//
+// Discovery uses a static peer list rather than multicast, which keeps the
+// transport usable in offline and containerised environments: an inquiry
+// sends a probe datagram to every configured peer and collects responses
+// for the inquiry duration. Link quality is synthesised from the measured
+// round-trip time on the 0-255 scale used by the rest of the stack.
+//
+// PeerHood's logical ports (daemon port 1, engine port 2, service ports)
+// are multiplexed over one TCP listener: the dialer sends a two-byte port
+// preamble after connecting.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/plugin"
+	"peerhood/internal/simnet"
+)
+
+// Config parametrises a Plugin.
+type Config struct {
+	// Listen is the local "host:port" for both TCP data and UDP
+	// discovery.
+	Listen string
+	// Peers are the UDP addresses probed during inquiries.
+	Peers []string
+	// InquiryWait is how long an inquiry collects responses (default
+	// 500 ms).
+	InquiryWait time.Duration
+	// DiscoveryCycle is the advertised cycle (default 5 s).
+	DiscoveryCycle time.Duration
+}
+
+// Probe datagram types.
+const (
+	probeInquiry  = 0x01
+	probeResponse = 0x02
+)
+
+// Plugin is the TCP/UDP implementation of plugin.Plugin.
+type Plugin struct {
+	cfg  Config
+	addr device.Addr
+
+	tcp *net.TCPListener
+	udp *net.UDPConn
+
+	mu        sync.Mutex
+	listeners map[uint16]*muxListener
+	quality   map[device.Addr]int // last measured per peer
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+var _ plugin.Plugin = (*Plugin)(nil)
+
+// New binds the TCP and UDP sockets and starts the accept/respond loops.
+func New(cfg Config) (*Plugin, error) {
+	if cfg.Listen == "" {
+		return nil, errors.New("tcpnet: Listen is required")
+	}
+	if cfg.InquiryWait <= 0 {
+		cfg.InquiryWait = 500 * time.Millisecond
+	}
+	if cfg.DiscoveryCycle <= 0 {
+		cfg.DiscoveryCycle = 5 * time.Second
+	}
+
+	tcpAddr, err := net.ResolveTCPAddr("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	tcp, err := net.ListenTCP("tcp", tcpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	// Bind UDP to the concrete port TCP got (supports Listen with :0).
+	actual := tcp.Addr().(*net.TCPAddr)
+	udpAddr := &net.UDPAddr{IP: actual.IP, Port: actual.Port}
+	udp, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		_ = tcp.Close()
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+
+	p := &Plugin{
+		cfg:       cfg,
+		addr:      device.Addr{Tech: device.TechWLAN, MAC: actual.String()},
+		tcp:       tcp,
+		udp:       udp,
+		listeners: make(map[uint16]*muxListener),
+		quality:   make(map[device.Addr]int),
+	}
+	p.wg.Add(2)
+	go p.acceptLoop()
+	go p.udpLoop()
+	return p, nil
+}
+
+// Tech implements plugin.Plugin.
+func (p *Plugin) Tech() device.Tech { return device.TechWLAN }
+
+// Addr implements plugin.Plugin. The "MAC" is the bound host:port, which
+// is unique per daemon on a network.
+func (p *Plugin) Addr() device.Addr { return p.addr }
+
+// DiscoveryCycle implements plugin.Plugin.
+func (p *Plugin) DiscoveryCycle() time.Duration { return p.cfg.DiscoveryCycle }
+
+// Inquire implements plugin.Plugin: probe every configured peer over UDP
+// and collect responses for the inquiry window.
+func (p *Plugin) Inquire() []plugin.InquiryResult {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+
+	probe := make([]byte, 1+8)
+	probe[0] = probeInquiry
+	binary.BigEndian.PutUint64(probe[1:], uint64(time.Now().UnixNano()))
+	for _, peer := range p.cfg.Peers {
+		ua, err := net.ResolveUDPAddr("udp", peer)
+		if err != nil {
+			continue
+		}
+		_, _ = p.udp.WriteToUDP(probe, ua)
+	}
+
+	// Responses accumulate in p.quality via udpLoop; wait out the window
+	// and snapshot.
+	time.Sleep(p.cfg.InquiryWait)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]plugin.InquiryResult, 0, len(p.quality))
+	for a, q := range p.quality {
+		out = append(out, plugin.InquiryResult{Addr: a, Quality: q})
+	}
+	return out
+}
+
+// QualityTo implements plugin.Plugin: the last RTT-derived measurement.
+func (p *Plugin) QualityTo(a device.Addr) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quality[a]
+}
+
+// Dial implements plugin.Plugin: TCP connect plus the port preamble.
+func (p *Plugin) Dial(to device.Addr, port uint16) (plugin.Conn, error) {
+	if to.Tech != device.TechWLAN {
+		return nil, fmt.Errorf("%w: tcpnet dialing %v", plugin.ErrUnreachable, to.Tech)
+	}
+	c, err := net.DialTimeout("tcp", to.MAC, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", plugin.ErrUnreachable, err)
+	}
+	var preamble [2]byte
+	binary.BigEndian.PutUint16(preamble[:], port)
+	if _, err := c.Write(preamble[:]); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("%w: %v", plugin.ErrUnreachable, err)
+	}
+	// The accept side replies one byte: 1 = port bound, 0 = refused.
+	var ok [1]byte
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	if _, err := io.ReadFull(c, ok[:]); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("%w: %v", plugin.ErrUnreachable, err)
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	if ok[0] != 1 {
+		_ = c.Close()
+		return nil, fmt.Errorf("%w: port %d on %v", plugin.ErrRefused, port, to)
+	}
+	return &conn{Conn: c, plugin: p, local: p.addr, remote: to}, nil
+}
+
+// Listen implements plugin.Plugin.
+func (p *Plugin) Listen(port uint16) (plugin.Listener, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, plugin.ErrClosed
+	}
+	if _, dup := p.listeners[port]; dup {
+		return nil, fmt.Errorf("tcpnet: port %d already bound", port)
+	}
+	ml := &muxListener{
+		plugin: p,
+		port:   port,
+		accept: make(chan plugin.Conn, 16),
+		closed: make(chan struct{}),
+	}
+	p.listeners[port] = ml
+	return ml, nil
+}
+
+// Close implements plugin.Plugin.
+func (p *Plugin) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	listeners := make([]*muxListener, 0, len(p.listeners))
+	for _, ml := range p.listeners {
+		listeners = append(listeners, ml)
+	}
+	p.mu.Unlock()
+
+	_ = p.tcp.Close()
+	_ = p.udp.Close()
+	for _, ml := range listeners {
+		_ = ml.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// acceptLoop routes incoming TCP connections by their port preamble.
+func (p *Plugin) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.tcp.AcceptTCP()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.routeIncoming(c)
+		}()
+	}
+}
+
+func (p *Plugin) routeIncoming(c *net.TCPConn) {
+	var preamble [2]byte
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		_ = c.Close()
+		return
+	}
+	if _, err := io.ReadFull(c, preamble[:]); err != nil {
+		_ = c.Close()
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+	port := binary.BigEndian.Uint16(preamble[:])
+
+	p.mu.Lock()
+	ml, ok := p.listeners[port]
+	p.mu.Unlock()
+	if !ok {
+		_, _ = c.Write([]byte{0})
+		_ = c.Close()
+		return
+	}
+	if _, err := c.Write([]byte{1}); err != nil {
+		_ = c.Close()
+		return
+	}
+	remote := device.Addr{Tech: device.TechWLAN, MAC: c.RemoteAddr().String()}
+	wrapped := &conn{Conn: c, plugin: p, local: p.addr, remote: remote}
+	select {
+	case ml.accept <- wrapped:
+	case <-ml.closed:
+		_ = c.Close()
+	}
+}
+
+// udpLoop answers inquiry probes and records response RTTs.
+func (p *Plugin) udpLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, 64)
+	for {
+		n, from, err := p.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 1 {
+			continue
+		}
+		switch buf[0] {
+		case probeInquiry:
+			if n < 9 {
+				continue
+			}
+			// Echo the probe's timestamp plus our canonical address, so
+			// the inquirer can compute the RTT and identify us even
+			// behind ephemeral source ports.
+			resp := make([]byte, 0, 9+len(p.addr.MAC))
+			resp = append(resp, probeResponse)
+			resp = append(resp, buf[1:9]...)
+			resp = append(resp, p.addr.MAC...)
+			_, _ = p.udp.WriteToUDP(resp, from)
+		case probeResponse:
+			if n < 10 {
+				continue
+			}
+			sent := time.Unix(0, int64(binary.BigEndian.Uint64(buf[1:9])))
+			rtt := time.Since(sent)
+			mac := string(buf[9:n])
+			addr := device.Addr{Tech: device.TechWLAN, MAC: mac}
+			p.mu.Lock()
+			p.quality[addr] = rttQuality(rtt)
+			p.mu.Unlock()
+		}
+	}
+}
+
+// rttQuality maps an RTT to the 0-255 quality scale: sub-millisecond ~255,
+// degrading to the edge value at ~75 ms.
+func rttQuality(rtt time.Duration) int {
+	ms := rtt.Seconds() * 1000
+	q := simnet.QualityMax - int(ms)
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// conn wraps a TCP connection as a plugin.Conn.
+type conn struct {
+	net.Conn
+	plugin *Plugin
+	local  device.Addr
+	remote device.Addr
+}
+
+var _ plugin.Conn = (*conn)(nil)
+
+func (c *conn) LocalAddr() device.Addr  { return c.local }
+func (c *conn) RemoteAddr() device.Addr { return c.remote }
+
+// Quality returns the plugin's last measurement towards the peer, falling
+// back to "healthy" for peers we have no probe data on (an established
+// TCP connection is, by definition, working).
+func (c *conn) Quality() int {
+	if q := c.plugin.QualityTo(c.remote); q > 0 {
+		return q
+	}
+	return simnet.QualityMax - 5
+}
+
+// muxListener is one logical port's accept queue.
+type muxListener struct {
+	plugin *Plugin
+	port   uint16
+	accept chan plugin.Conn
+	closed chan struct{}
+
+	closeOnce sync.Once
+}
+
+var _ plugin.Listener = (*muxListener)(nil)
+
+func (ml *muxListener) Accept() (plugin.Conn, error) {
+	select {
+	case c := <-ml.accept:
+		return c, nil
+	case <-ml.closed:
+		return nil, plugin.ErrClosed
+	}
+}
+
+func (ml *muxListener) Close() error {
+	ml.closeOnce.Do(func() {
+		ml.plugin.mu.Lock()
+		delete(ml.plugin.listeners, ml.port)
+		ml.plugin.mu.Unlock()
+		close(ml.closed)
+		for {
+			select {
+			case c := <-ml.accept:
+				_ = c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,240 @@
+package tcpnet_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"peerhood/internal/daemon"
+	"peerhood/internal/device"
+	"peerhood/internal/discovery"
+	"peerhood/internal/library"
+	"peerhood/internal/plugin"
+	"peerhood/internal/tcpnet"
+)
+
+// newPair returns two loopback plugins that know each other as peers.
+func newPair(t *testing.T) (*tcpnet.Plugin, *tcpnet.Plugin) {
+	t.Helper()
+	a, err := tcpnet.New(tcpnet.Config{Listen: "127.0.0.1:0", InquiryWait: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("plugin a: %v", err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := tcpnet.New(tcpnet.Config{
+		Listen:      "127.0.0.1:0",
+		Peers:       []string{a.Addr().MAC},
+		InquiryWait: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("plugin b: %v", err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return a, b
+}
+
+func TestInquiryOverUDP(t *testing.T) {
+	a, b := newPair(t)
+	res := b.Inquire()
+	if len(res) != 1 {
+		t.Fatalf("inquiry found %d peers, want 1", len(res))
+	}
+	if res[0].Addr != a.Addr() {
+		t.Fatalf("found %v, want %v", res[0].Addr, a.Addr())
+	}
+	if res[0].Quality <= 0 || res[0].Quality > 255 {
+		t.Fatalf("quality out of scale: %d", res[0].Quality)
+	}
+	if q := b.QualityTo(a.Addr()); q != res[0].Quality {
+		t.Fatalf("QualityTo = %d, inquiry said %d", q, res[0].Quality)
+	}
+}
+
+func TestDialAndEchoOverTCP(t *testing.T) {
+	a, b := newPair(t)
+
+	l, err := a.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := b.Dial(a.Addr(), 10)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("over-tcp")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := conn.Read(buf)
+	if err != nil || string(buf[:n]) != "over-tcp" {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+	if conn.Quality() <= 0 {
+		t.Fatal("established connection reports zero quality")
+	}
+}
+
+func TestDialUnboundPortRefused(t *testing.T) {
+	a, b := newPair(t)
+	_, err := b.Dial(a.Addr(), 99)
+	if !errors.Is(err, plugin.ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+}
+
+func TestDialUnreachableHost(t *testing.T) {
+	_, b := newPair(t)
+	dead := device.Addr{Tech: device.TechWLAN, MAC: "127.0.0.1:1"} // nothing listens
+	if _, err := b.Dial(dead, 10); !errors.Is(err, plugin.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestDuplicatePortRejected(t *testing.T) {
+	a, _ := newPair(t)
+	l, err := a.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := a.Listen(10); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+}
+
+func TestListenerCloseReleasesPort(t *testing.T) {
+	a, _ := newPair(t)
+	l, err := a.Listen(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := a.Listen(10)
+	if err != nil {
+		t.Fatalf("re-listen: %v", err)
+	}
+	_ = l2.Close()
+}
+
+func TestPluginCloseIdempotent(t *testing.T) {
+	a, err := tcpnet.New(tcpnet.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Listen(10); !errors.Is(err, plugin.ErrClosed) {
+		t.Fatalf("listen after close: %v", err)
+	}
+}
+
+// TestFullStackOverLoopback runs two complete PeerHood daemons over real
+// TCP/UDP on loopback: discovery finds the peer, fetches its descriptor
+// and services, and the library connects to a registered service —
+// PeerHood without the simulator.
+func TestFullStackOverLoopback(t *testing.T) {
+	mk := func(name string, peers []string) (*daemon.Daemon, *library.Library, *tcpnet.Plugin) {
+		p, err := tcpnet.New(tcpnet.Config{
+			Listen:      "127.0.0.1:0",
+			Peers:       peers,
+			InquiryWait: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = p.Close() })
+		d, err := daemon.New(daemon.Config{Name: name, Mobility: device.Static})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddPlugin(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(false); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Stop)
+		lib, err := library.New(library.Config{Daemon: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(lib.Stop)
+		return d, lib, p
+	}
+
+	_, serverLib, serverPlugin := mk("tcp-server", nil)
+	clientDaemon, clientLib, _ := mk("tcp-client", []string{serverPlugin.Addr().MAC})
+
+	if _, err := serverLib.RegisterService("echo", "tcp", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+		defer vc.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := vc.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := vc.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	clientDaemon.RunDiscoveryRound()
+
+	entry, ok := clientDaemon.Storage().Lookup(serverPlugin.Addr())
+	if !ok {
+		t.Fatalf("server not discovered over UDP:\n%s", clientDaemon.Storage())
+	}
+	if entry.Info.Name != "tcp-server" {
+		t.Fatalf("fetched info = %+v", entry.Info)
+	}
+	if _, ok := entry.Info.FindService("echo"); !ok {
+		t.Fatal("service list not fetched over TCP")
+	}
+
+	vc, err := clientLib.Connect(serverPlugin.Addr(), "echo")
+	if err != nil {
+		t.Fatalf("Connect over TCP: %v", err)
+	}
+	defer vc.Close()
+	if _, err := vc.Write([]byte("real-network")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := vc.Read(buf)
+	if err != nil || string(buf[:n]) != "real-network" {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+	_ = discovery.Fetch // keep import for doc cross-reference
+}

@@ -1,0 +1,198 @@
+package peerhood_test
+
+import (
+	"testing"
+
+	"peerhood"
+)
+
+// TestMultiTechDiscovery: a device carrying Bluetooth and WLAN radios
+// (PeerHood's multi-plugin design, §2.2) is discovered independently on
+// each technology; each interface is its own storage entry, keyed by its
+// MAC (§2.3).
+func TestMultiTechDiscovery(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 31, Instant: true})
+	defer w.Close()
+
+	dual, err := w.NewNode(peerhood.NodeConfig{
+		Name:     "dual",
+		Position: peerhood.Pt(5, 0),
+		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer, err := w.NewNode(peerhood.NodeConfig{
+		Name:     "observer",
+		Position: peerhood.Pt(0, 0),
+		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.RunDiscoveryRounds(2)
+
+	devs := observer.Devices()
+	if len(devs) != 2 {
+		t.Fatalf("observer knows %d entries, want 2 (one per radio):\n%s",
+			len(devs), observer.StorageTable())
+	}
+	btAddr, _ := dual.AddrFor(peerhood.Bluetooth)
+	wlanAddr, _ := dual.AddrFor(peerhood.WLAN)
+	if _, ok := observer.LookupDevice(btAddr); !ok {
+		t.Fatal("BT interface not discovered")
+	}
+	if _, ok := observer.LookupDevice(wlanAddr); !ok {
+		t.Fatal("WLAN interface not discovered")
+	}
+}
+
+// TestServiceReachableOnEitherTech: a service registered once is
+// advertised on every radio, and the observer can connect over whichever
+// technology it prefers.
+func TestServiceReachableOnEitherTech(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 32, Instant: true})
+	defer w.Close()
+
+	dual, err := w.NewNode(peerhood.NodeConfig{
+		Name:     "dual",
+		Position: peerhood.Pt(5, 0),
+		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer, err := w.NewNode(peerhood.NodeConfig{
+		Name:     "observer",
+		Position: peerhood.Pt(0, 0),
+		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := dual.RegisterService("echo", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		defer c.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w.RunDiscoveryRounds(2)
+
+	providers := observer.Providers("echo")
+	if len(providers) != 2 {
+		t.Fatalf("providers = %d, want 2 (one per technology)", len(providers))
+	}
+
+	for _, tech := range []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN} {
+		addr, _ := dual.AddrFor(tech)
+		conn, err := observer.Connect(addr, "echo")
+		if err != nil {
+			t.Fatalf("connect over %v: %v", tech, err)
+		}
+		if _, err := conn.Write([]byte("x")); err != nil {
+			t.Fatalf("write over %v: %v", tech, err)
+		}
+		buf := make([]byte, 8)
+		if _, err := conn.Read(buf); err != nil {
+			t.Fatalf("read over %v: %v", tech, err)
+		}
+		_ = conn.Close()
+	}
+}
+
+// TestChainedHandovers: a connection hands over twice in a row (bridge A
+// then bridge B), each time excluding its current first hop — the
+// walking-past-successive-bridges pattern of fig 5.6.
+func TestChainedHandovers(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 33, Instant: true})
+	defer w.Close()
+
+	server, err := w.NewNode(peerhood.NodeConfig{Name: "server", Position: peerhood.Pt(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both bridges sit ~3.1 m from phone and server: every bridge hop
+	// clears the 230 threshold while the 6 m direct link (~210) does not.
+	b1, err := w.NewNode(peerhood.NodeConfig{Name: "b1", Position: peerhood.Pt(3, 0.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := w.NewNode(peerhood.NodeConfig{Name: "b2", Position: peerhood.Pt(3, -0.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone, err := w.NewNode(peerhood.NodeConfig{Name: "phone", Position: peerhood.Pt(6, 0), Mobility: peerhood.Dynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := server.RegisterService("sink", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		defer c.Close()
+		buf := make([]byte, 256)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w.RunDiscoveryRounds(3)
+
+	// Phone at 6m from server: direct quality ~210 < 230 — handover #1
+	// should pick one of the bridges (each ~3m away, quality ~234).
+	conn, err := phone.Connect(server.Addr(), "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	th, err := phone.MonitorHandover(conn, peerhood.HandoverConfig{ManualSteps: true, LowLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Step()
+	th.Step()
+	if conn.Swaps() != 1 {
+		t.Fatalf("first handover: swaps = %d", conn.Swaps())
+	}
+	firstBridge := conn.Bridge()
+	if firstBridge.IsZero() {
+		t.Fatal("first handover did not pick a bridge")
+	}
+
+	// The chosen bridge walks out of usable range (quality < 230 towards
+	// the phone); the second handover must pick the *other* bridge.
+	mover := b1
+	if firstBridge == b2.Addr() {
+		mover = b2
+	}
+	mover.SetModel(peerhood.StayAt(peerhood.Pt(12, 8)))
+	w.RunDiscoveryRounds(2)
+
+	th.Step()
+	th.Step()
+	if conn.Swaps() != 2 {
+		t.Fatalf("second handover: swaps = %d, want 2", conn.Swaps())
+	}
+	second := conn.Bridge()
+	if second == firstBridge || second.IsZero() {
+		t.Fatalf("second handover reused the failing bridge: %v", second)
+	}
+	if _, err := conn.Write([]byte("alive after two handovers")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,523 @@
+// Package peerhood is a Go implementation of the PeerHood mobile
+// peer-to-peer middleware as extended by "Addressing mobility issues in
+// mobile environment" (Ji Zhang, 2008): total-environment-aware dynamic
+// device discovery, multi-hop bridge interconnection, and soft handover
+// for task migration in changing wireless environments.
+//
+// A Node bundles the thesis' daemon (discovery + device storage +
+// information responder), library (connections + engine), hidden bridge
+// service, and handover support. Nodes live either in a simulated wireless
+// world (NewWorld/World.NewNode — the form used by the examples,
+// experiments, and tests) or on a real IP network (internal/tcpnet via
+// cmd/peerhoodd).
+//
+// Quickstart:
+//
+//	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 1})
+//	defer w.Close()
+//	server, _ := w.NewNode(peerhood.NodeConfig{Name: "pc", Position: peerhood.Pt(3, 0)})
+//	phone, _ := w.NewNode(peerhood.NodeConfig{Name: "phone", Position: peerhood.Pt(0, 0), Mobility: peerhood.Dynamic})
+//	server.RegisterService("echo", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) { ... })
+//	w.RunDiscoveryRounds(2)
+//	conn, _ := phone.Connect(server.Addr(), "echo")
+package peerhood
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"peerhood/internal/bridge"
+	"peerhood/internal/clock"
+	"peerhood/internal/daemon"
+	"peerhood/internal/device"
+	"peerhood/internal/discovery"
+	"peerhood/internal/geo"
+	"peerhood/internal/handover"
+	"peerhood/internal/library"
+	"peerhood/internal/mobility"
+	"peerhood/internal/plugin"
+	"peerhood/internal/simnet"
+	"peerhood/internal/storage"
+)
+
+// Re-exported core types. The aliases keep one set of types across the
+// public API and the internal packages.
+type (
+	// Addr identifies one radio interface (technology + MAC).
+	Addr = device.Addr
+	// Tech is a network technology.
+	Tech = device.Tech
+	// Mobility is a device mobility class (§3.4.3).
+	Mobility = device.Mobility
+	// ServiceInfo describes a registered service.
+	ServiceInfo = device.ServiceInfo
+	// DeviceInfo is a device descriptor.
+	DeviceInfo = device.Info
+	// Entry is one row of a node's device storage (descriptor + routes).
+	Entry = storage.Entry
+	// Route is one way to reach a device (direct or via a bridge).
+	Route = storage.Route
+	// ServiceProvider pairs a device with one of its services.
+	ServiceProvider = storage.ServiceProvider
+	// Connection is a virtual connection whose transport survives
+	// handovers.
+	Connection = library.VirtualConnection
+	// ConnectionMeta describes an incoming connection to a handler.
+	ConnectionMeta = library.ConnectionMeta
+	// Handler consumes incoming service connections.
+	Handler = library.Handler
+	// HandoverThread monitors one connection and performs handovers.
+	HandoverThread = handover.Thread
+	// HandoverEvent is a handover lifecycle notification.
+	HandoverEvent = handover.Event
+	// Point is a position in the simulated world, in metres.
+	Point = geo.Point
+	// MobilityModel moves a simulated device over time.
+	MobilityModel = mobility.Model
+)
+
+// Re-exported constants.
+const (
+	// Bluetooth, WLAN and GPRS are the technologies PeerHood supports.
+	Bluetooth = device.TechBluetooth
+	WLAN      = device.TechWLAN
+	GPRS      = device.TechGPRS
+
+	// Static, Hybrid and Dynamic are the mobility classes with the
+	// thesis' comparison weights {0, 1, 3}.
+	Static  = device.Static
+	Hybrid  = device.Hybrid
+	Dynamic = device.Dynamic
+
+	// QualityThreshold is the 230 link-quality threshold used for route
+	// acceptance and handover triggering throughout the thesis.
+	QualityThreshold = simnet.QualityThreshold
+)
+
+// Pt is shorthand for a Point.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// Walk returns a mobility model walking between two points at the given
+// speed in m/s (1.4 approximates the thesis' corridor walk).
+func Walk(from, to Point, speed float64) MobilityModel {
+	return mobility.Walk(from, to, speed)
+}
+
+// StayAt returns a static mobility model.
+func StayAt(p Point) MobilityModel { return mobility.Static{At: p} }
+
+// WorldConfig parametrises a simulated world.
+type WorldConfig struct {
+	// Seed drives all randomness; experiments print it for
+	// reproducibility.
+	Seed int64
+	// TimeScale compresses simulated time: 1000 means one simulated
+	// second passes per wall millisecond. 0 means real time; 1 is real
+	// time too. Deterministic tests use Instant instead.
+	TimeScale int
+	// Instant removes all latencies, faults, and quality noise — the
+	// deterministic mode for protocol-state assertions.
+	Instant bool
+	// LinkCheckInterval is how often the world breaks out-of-coverage
+	// links; 0 disables the background checker (call CheckLinks
+	// manually).
+	LinkCheckInterval time.Duration
+}
+
+// World is a simulated wireless environment holding PeerHood nodes.
+type World struct {
+	sim *simnet.World
+	clk clock.Clock
+
+	mu    sync.Mutex
+	nodes []*Node
+}
+
+// NewWorld creates a simulated world.
+func NewWorld(cfg WorldConfig) *World {
+	var clk clock.Clock
+	if cfg.TimeScale > 1 {
+		clk = clock.Scaled(cfg.TimeScale)
+	} else {
+		clk = clock.Real()
+	}
+	var opts []simnet.Option
+	if cfg.Instant {
+		opts = append(opts, simnet.WithQualityNoise(0))
+		for _, t := range device.Techs() {
+			opts = append(opts, simnet.WithParams(t, simnet.DefaultParams(t).Instant()))
+		}
+	}
+	w := &World{sim: simnet.NewWorld(clk, cfg.Seed, opts...), clk: clk}
+	if cfg.LinkCheckInterval > 0 {
+		w.sim.StartAutoCheck(cfg.LinkCheckInterval)
+	}
+	return w
+}
+
+// Sim exposes the underlying simulator for advanced scenarios (fault
+// injection, parameter overrides in experiments).
+func (w *World) Sim() *simnet.World { return w.sim }
+
+// Clock returns the world's clock.
+func (w *World) Clock() clock.Clock { return w.clk }
+
+// CheckLinks breaks links whose endpoints left mutual coverage.
+func (w *World) CheckLinks() int { return w.sim.CheckLinks() }
+
+// RunDiscoveryRounds drives n synchronous discovery rounds on every node
+// in creation order; n rounds propagate awareness n jumps (fig 3.10).
+func (w *World) RunDiscoveryRounds(n int) {
+	w.mu.Lock()
+	nodes := append([]*Node(nil), w.nodes...)
+	w.mu.Unlock()
+	for i := 0; i < n; i++ {
+		for _, node := range nodes {
+			node.RunDiscoveryRound()
+		}
+	}
+}
+
+// Close stops every node and tears the world down.
+func (w *World) Close() error {
+	w.mu.Lock()
+	nodes := append([]*Node(nil), w.nodes...)
+	w.nodes = nil
+	w.mu.Unlock()
+	for _, n := range nodes {
+		n.Stop()
+	}
+	return w.sim.Close()
+}
+
+// NodeConfig parametrises one PeerHood node.
+type NodeConfig struct {
+	// Name is the device name (required, unique per world).
+	Name string
+	// Mobility is the advertised mobility class.
+	Mobility Mobility
+	// Position places a non-moving device; ignored if Model is set.
+	Position Point
+	// Model moves the device; nil means stay at Position.
+	Model MobilityModel
+	// Techs lists the radios to attach; nil means Bluetooth only.
+	Techs []Tech
+	// DisableBridge turns the hidden bridge service off (§4's
+	// battery-saving option).
+	DisableBridge bool
+	// BridgeMaxPairs caps simultaneous relays (default 16).
+	BridgeMaxPairs int
+	// AutoDiscover starts the background discovery loops; leave false to
+	// drive rounds manually (deterministic runs).
+	AutoDiscover bool
+	// LegacyDiscovery uses the pre-thesis one-level neighbourhood fetch
+	// (baseline F3.3).
+	LegacyDiscovery bool
+	// ServiceCheckInterval is the fig 3.12 re-fetch interval; zero
+	// fetches every round.
+	ServiceCheckInterval time.Duration
+	// DialRetries overrides connection-fault retries (default 2;
+	// negative disables retries).
+	DialRetries int
+	// SwapWait overrides how long reads/writes wait for a handover.
+	SwapWait time.Duration
+	// QualityFirst swaps route selection from mobility-first to
+	// quality-first (ablation A1).
+	QualityFirst bool
+}
+
+// Node is one PeerHood device: daemon + library + bridge, ready to
+// register services and connect.
+type Node struct {
+	world  *World
+	dev    *simnet.Device
+	daemon *daemon.Daemon
+	lib    *library.Library
+	bridge *bridge.Service
+
+	mu      sync.Mutex
+	threads []*handover.Thread
+	stopped bool
+}
+
+// NewNode creates and starts a node in the world.
+func (w *World) NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("peerhood: NodeConfig.Name is required")
+	}
+	techs := cfg.Techs
+	if len(techs) == 0 {
+		techs = []Tech{Bluetooth}
+	}
+	model := cfg.Model
+	if model == nil {
+		model = mobility.Static{At: cfg.Position}
+	}
+
+	dev, err := w.sim.AddDevice(cfg.Name, model)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Node{world: w, dev: dev}
+
+	// Bridge load feeds the daemon's advertised-quality penalty (§4).
+	loadPenalty := func() int {
+		n.mu.Lock()
+		b := n.bridge
+		n.mu.Unlock()
+		if b == nil {
+			return 0
+		}
+		return b.LoadPenalty()
+	}
+
+	d, err := daemon.New(daemon.Config{
+		Name:                 cfg.Name,
+		Mobility:             cfg.Mobility,
+		Clock:                w.clk,
+		ServiceCheckInterval: cfg.ServiceCheckInterval,
+		LegacyOneHop:         cfg.LegacyDiscovery,
+		QualityFirst:         cfg.QualityFirst,
+		LoadPenalty:          loadPenalty,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range techs {
+		radio, err := dev.AddRadio(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AddPlugin(pluginFor(w.sim, radio)); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Start(cfg.AutoDiscover); err != nil {
+		return nil, err
+	}
+	n.daemon = d
+
+	lib, err := library.New(library.Config{
+		Daemon:      d,
+		DialRetries: cfg.DialRetries,
+		SwapWait:    cfg.SwapWait,
+	})
+	if err != nil {
+		d.Stop()
+		return nil, err
+	}
+	if err := lib.Start(); err != nil {
+		d.Stop()
+		return nil, err
+	}
+	n.lib = lib
+
+	if !cfg.DisableBridge {
+		b, err := bridge.Attach(bridge.Config{Library: lib, MaxPairs: cfg.BridgeMaxPairs})
+		if err != nil {
+			lib.Stop()
+			d.Stop()
+			return nil, err
+		}
+		n.mu.Lock()
+		n.bridge = b
+		n.mu.Unlock()
+	}
+
+	w.mu.Lock()
+	w.nodes = append(w.nodes, n)
+	w.mu.Unlock()
+	return n, nil
+}
+
+// Name returns the node's device name.
+func (n *Node) Name() string { return n.daemon.Name() }
+
+// Addr returns the node's primary (first-technology) radio address.
+func (n *Node) Addr() Addr {
+	ps := n.daemon.Plugins()
+	if len(ps) == 0 {
+		return Addr{}
+	}
+	return ps[0].Addr()
+}
+
+// AddrFor returns the node's radio address for a technology.
+func (n *Node) AddrFor(t Tech) (Addr, bool) {
+	p, ok := n.daemon.PluginFor(t)
+	if !ok {
+		return Addr{}, false
+	}
+	return p.Addr(), true
+}
+
+// Info returns the descriptor the node advertises on its primary radio.
+func (n *Node) Info() DeviceInfo {
+	ps := n.daemon.Plugins()
+	if len(ps) == 0 {
+		return DeviceInfo{}
+	}
+	info, _ := n.daemon.InfoFor(ps[0].Tech())
+	return info
+}
+
+// Library exposes the node's PeerHood library.
+func (n *Node) Library() *library.Library { return n.lib }
+
+// Daemon exposes the node's daemon.
+func (n *Node) Daemon() *daemon.Daemon { return n.daemon }
+
+// BridgeService exposes the node's bridge (nil if disabled).
+func (n *Node) BridgeService() *bridge.Service {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bridge
+}
+
+// Device exposes the simulated device (position, movement, power).
+func (n *Node) Device() *simnet.Device { return n.dev }
+
+// SetModel changes how the node moves from now on.
+func (n *Node) SetModel(m MobilityModel) { n.dev.SetModel(m) }
+
+// Position returns the node's current position.
+func (n *Node) Position() Point { return n.dev.Position() }
+
+// RegisterService registers a named service with a connection handler
+// (the thesis' RegisterService + Engine callback pair).
+func (n *Node) RegisterService(name, attr string, h Handler) (ServiceInfo, error) {
+	return n.lib.RegisterService(name, attr, h)
+}
+
+// UnregisterService removes a service.
+func (n *Node) UnregisterService(name string) { n.lib.UnregisterService(name) }
+
+// Devices returns the node's device storage (GetDeviceList).
+func (n *Node) Devices() []Entry { return n.lib.GetDeviceList() }
+
+// Providers returns known providers of a named service (GetServiceList).
+func (n *Node) Providers(service string) []ServiceProvider {
+	return n.lib.GetServiceList(service)
+}
+
+// LookupDevice returns the storage entry for an address.
+func (n *Node) LookupDevice(a Addr) (Entry, bool) {
+	return n.daemon.Storage().Lookup(a)
+}
+
+// FindDevice returns the storage entry for a device name.
+func (n *Node) FindDevice(name string) (Entry, bool) {
+	return n.daemon.Storage().FindByName(name)
+}
+
+// StorageTable renders the node's device storage as a table (fig 3.6).
+func (n *Node) StorageTable() string { return n.daemon.Storage().String() }
+
+// RunDiscoveryRound performs one synchronous discovery round on every
+// attached plugin.
+func (n *Node) RunDiscoveryRound() { n.daemon.RunDiscoveryRound() }
+
+// Connect establishes a connection to a named service on a target device,
+// directly or through bridges, using the best stored route.
+func (n *Node) Connect(target Addr, service string, opts ...library.ConnectOption) (*Connection, error) {
+	return n.lib.Connect(target, service, opts...)
+}
+
+// WithClientInfo re-exports the Connect option enabling server dial-back
+// (§5.3).
+func WithClientInfo() library.ConnectOption { return library.WithClientInfo() }
+
+// HandoverConfig tunes MonitorHandover. Zero values take the thesis'
+// defaults (threshold 230, low-limit 3, 1 s interval).
+type HandoverConfig struct {
+	Threshold        int
+	LowLimit         int
+	Interval         time.Duration
+	MaxRouteAttempts int
+	MaxFailures      int
+	ThesisMode       bool // disallow returning to direct routes (fig 5.7)
+	AllowReconnect   func(p ServiceProvider) bool
+	Observer         handover.Observer
+	ManualSteps      bool // do not start the background loop
+}
+
+// MonitorHandover attaches a handover thread to a connection and (unless
+// ManualSteps) starts it. The node stops it on Stop.
+func (n *Node) MonitorHandover(conn *Connection, cfg HandoverConfig) (*HandoverThread, error) {
+	th, err := handover.New(handover.Config{
+		Library:              n.lib,
+		Conn:                 conn,
+		Threshold:            cfg.Threshold,
+		LowLimit:             cfg.LowLimit,
+		Interval:             cfg.Interval,
+		MaxRouteAttempts:     cfg.MaxRouteAttempts,
+		MaxFailures:          cfg.MaxFailures,
+		DisallowDirectReturn: cfg.ThesisMode,
+		AllowReconnect:       cfg.AllowReconnect,
+		Observer:             cfg.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.ManualSteps {
+		th.Start()
+	}
+	n.mu.Lock()
+	n.threads = append(n.threads, th)
+	n.mu.Unlock()
+	return th, nil
+}
+
+// Stop shuts the node down: handover threads, bridge, library, daemon.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	threads := n.threads
+	b := n.bridge
+	n.mu.Unlock()
+
+	for _, th := range threads {
+		th.Stop()
+	}
+	if b != nil {
+		_ = b.Close()
+	}
+	n.lib.Stop()
+	n.daemon.Stop()
+}
+
+// pluginFor wraps a simulated radio in the plugin interface.
+func pluginFor(w *simnet.World, r *simnet.Radio) *plugin.Sim {
+	return plugin.NewSim(w, r)
+}
+
+// Discovery diagnostics re-exports.
+
+// RoundReport summarises one discovery round.
+type RoundReport = discovery.RoundReport
+
+// Errors re-exported for callers.
+var (
+	ErrUnknownDevice  = library.ErrUnknownDevice
+	ErrUnknownService = library.ErrUnknownService
+	ErrRejected       = library.ErrRejected
+	ErrNoRoute        = library.ErrNoRoute
+)
+
+// String helpers.
+
+// FormatEntry renders one storage entry as a single line.
+func FormatEntry(e Entry) string {
+	best, ok := e.Best()
+	if !ok {
+		return fmt.Sprintf("%s %s (no route)", e.Info.Name, e.Info.Addr)
+	}
+	return fmt.Sprintf("%s %s %s", e.Info.Name, e.Info.Addr, best)
+}

@@ -1,0 +1,180 @@
+package peerhood_test
+
+import (
+	"testing"
+	"time"
+
+	"peerhood"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 1, Instant: true})
+	defer w.Close()
+
+	server, err := w.NewNode(peerhood.NodeConfig{
+		Name:     "pc",
+		Position: peerhood.Pt(3, 0),
+		Mobility: peerhood.Static,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone, err := w.NewNode(peerhood.NodeConfig{
+		Name:     "phone",
+		Position: peerhood.Pt(0, 0),
+		Mobility: peerhood.Dynamic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := server.RegisterService("echo", "v1", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		defer c.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w.RunDiscoveryRounds(2)
+
+	devs := phone.Devices()
+	if len(devs) != 1 || devs[0].Info.Name != "pc" {
+		t.Fatalf("Devices() = %+v", devs)
+	}
+	provs := phone.Providers("echo")
+	if len(provs) != 1 {
+		t.Fatalf("Providers = %+v", provs)
+	}
+
+	conn, err := phone.Connect(server.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+}
+
+func TestFacadeHandoverIntegration(t *testing.T) {
+	// Full-stack routing handover through the public API: phone connected
+	// to a weak server with a bridge nearby; manual handover steps swap
+	// the route.
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 2, Instant: true})
+	defer w.Close()
+
+	server, err := w.NewNode(peerhood.NodeConfig{Name: "server", Position: peerhood.Pt(6, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.NewNode(peerhood.NodeConfig{Name: "bridge", Position: peerhood.Pt(3, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	phone, err := w.NewNode(peerhood.NodeConfig{Name: "phone", Position: peerhood.Pt(0, 0), Mobility: peerhood.Dynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := server.RegisterService("sink", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		defer c.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w.RunDiscoveryRounds(3)
+
+	conn, err := phone.Connect(server.Addr(), "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	th, err := phone.MonitorHandover(conn, peerhood.HandoverConfig{ManualSteps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quality at 6 m ≈ 210 < 230: four steps trigger the handover.
+	for i := 0; i < 4; i++ {
+		th.Step()
+	}
+	if conn.Swaps() != 1 {
+		t.Fatalf("swaps = %d, want 1", conn.Swaps())
+	}
+	if conn.Bridge().IsZero() {
+		t.Fatal("connection not rerouted via the bridge")
+	}
+	if _, err := conn.Write([]byte("still alive")); err != nil {
+		t.Fatalf("write after handover: %v", err)
+	}
+}
+
+func TestWorldCloseStopsNodes(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 3, Instant: true, LinkCheckInterval: time.Second})
+	n, err := w.NewNode(peerhood.NodeConfig{Name: "x", AutoDiscover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = n
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 4, Instant: true})
+	defer w.Close()
+	if _, err := w.NewNode(peerhood.NodeConfig{}); err == nil {
+		t.Fatal("nameless node accepted")
+	}
+	if _, err := w.NewNode(peerhood.NodeConfig{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.NewNode(peerhood.NodeConfig{Name: "a"}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestMultiTechNode(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 5, Instant: true})
+	defer w.Close()
+	n, err := w.NewNode(peerhood.NodeConfig{
+		Name:  "gateway",
+		Techs: []peerhood.Tech{peerhood.Bluetooth, peerhood.GPRS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.AddrFor(peerhood.Bluetooth); !ok {
+		t.Fatal("no BT addr")
+	}
+	if _, ok := n.AddrFor(peerhood.GPRS); !ok {
+		t.Fatal("no GPRS addr")
+	}
+	if _, ok := n.AddrFor(peerhood.WLAN); ok {
+		t.Fatal("phantom WLAN addr")
+	}
+}
