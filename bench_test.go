@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 
 	"peerhood"
 	"peerhood/internal/device"
@@ -48,6 +49,20 @@ func BenchmarkE3CorridorWalk(b *testing.B)           { benchExperiment(b, "E3") 
 func BenchmarkE4ResultRouting(b *testing.B)          { benchExperiment(b, "E4") }
 func BenchmarkF61CoverageAmplification(b *testing.B) { benchExperiment(b, "F6.1") }
 func BenchmarkA1RouteAblation(b *testing.B)          { benchExperiment(b, "A1") }
+
+// BenchmarkS1CityBlock runs the scale scenario in quick mode (250 nodes);
+// BenchmarkS1CityBlockFull is the real thing — 1,000 mobile nodes, tens of
+// seconds per iteration — for tracking the scale harness itself.
+
+func BenchmarkS1CityBlock(b *testing.B) { benchExperiment(b, "S1") }
+
+func BenchmarkS1CityBlockFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("S1", experiments.Config{Seed: int64(i + 1), TimeScale: 2000}); err != nil {
+			b.Fatalf("experiment S1: %v", err)
+		}
+	}
+}
 
 // Microbenchmarks — hot paths of the protocol stack.
 
@@ -147,23 +162,55 @@ func BenchmarkGnutellaFlood(b *testing.B) {
 	}
 }
 
+// BenchmarkDiscoveryRoundInstant measures one node's discovery round at
+// constant crowd density (6 m lattice spacing, ~8 in-range neighbours) and
+// growing world size, for the grid-indexed world and the original
+// full-scan world. Per-node cost staying flat as nodes grow means a full
+// round over all N nodes is O(N) — sub-quadratic — where the full scan's
+// per-node cost grows with N, making its round O(N^2).
 func BenchmarkDiscoveryRoundInstant(b *testing.B) {
-	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 1, Instant: true})
-	defer w.Close()
-	var nodes []*peerhood.Node
-	for i := 0; i < 8; i++ {
-		n, err := w.NewNode(peerhood.NodeConfig{
-			Name:     fmt.Sprintf("n%d", i),
-			Position: peerhood.Pt(float64(i%4)*6, float64(i/4)*6),
-		})
-		if err != nil {
-			b.Fatal(err)
+	for _, mode := range []struct {
+		name   string
+		linear bool
+	}{{"grid", false}, {"fullscan", true}} {
+		for _, count := range []int{8, 64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", mode.name, count), func(b *testing.B) {
+				w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 1, Instant: true, LinearScan: mode.linear})
+				defer w.Close()
+				// Unlimited bandwidth: the warm-up round's info fetches
+				// must not sleep on simulated transfer time.
+				for _, tech := range device.Techs() {
+					p := w.Sim().Params(tech)
+					p.Bandwidth = 0
+					w.Sim().SetParams(tech, p)
+				}
+				side := 1
+				for side*side < count {
+					side++
+				}
+				nodes := make([]*peerhood.Node, count)
+				for i := range nodes {
+					n, err := w.NewNode(peerhood.NodeConfig{
+						Name:     fmt.Sprintf("n%d", i),
+						Position: peerhood.Pt(float64(i%side)*6, float64(i/side)*6),
+						// Bridges off and service lists cached: the scan
+						// and neighbourhood exchange are what scale with
+						// world size, so they are what this measures.
+						DisableBridge:        true,
+						ServiceCheckInterval: time.Hour,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes[i] = n
+				}
+				w.RunDiscoveryRounds(1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					nodes[i%len(nodes)].RunDiscoveryRound()
+				}
+			})
 		}
-		nodes = append(nodes, n)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		nodes[i%len(nodes)].RunDiscoveryRound()
 	}
 }
 

@@ -1,0 +1,3 @@
+module peerhood
+
+go 1.24

@@ -97,6 +97,7 @@ var registry = []registration{
 	{"E4", "Result routing across payload sizes (§5.3, figs 5.9–5.10)", RunResultRouting},
 	{"F6.1", "Coverage amplification through a bridge tunnel (fig 6.1)", RunTunnel},
 	{"A1", "Ablation: route selection policies (§3.4)", RunRouteAblation},
+	{"S1", "City block: 1,000 mobile nodes on the spatial-grid index", RunScale},
 }
 
 // IDs returns the registered experiment IDs in canonical order.

@@ -11,7 +11,7 @@ func quickCfg() Config {
 
 func TestRegistryListsAllIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1"}
+	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1", "S1"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -186,6 +186,32 @@ func TestBridgePerformanceQuick(t *testing.T) {
 	}
 	if !strings.Contains(res.Table, "connection attempts") {
 		t.Fatalf("table malformed:\n%s", res.Table)
+	}
+}
+
+func TestScaleScenarioQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale experiment")
+	}
+	res, err := Run("S1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table, "Spatial grid:") {
+		t.Fatalf("grid stats missing:\n%s", res.Table)
+	}
+	// The crosswalk choreography must actually form and re-form links.
+	for _, measure := range []string{"established", "re-established"} {
+		found := false
+		for _, line := range strings.Split(res.Table, "\n") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && f[0] == "links" && f[1] == measure && f[2] != "0" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no links %s:\n%s", measure, res.Table)
+		}
 	}
 }
 

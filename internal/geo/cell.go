@@ -1,0 +1,73 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is an integer coordinate on a uniform grid partition of the plane.
+// The simulator buckets radios by cell so that range queries only examine a
+// small neighbourhood of cells instead of every radio in the world.
+type Cell struct {
+	CX, CY int
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string { return fmt.Sprintf("[%d,%d]", c.CX, c.CY) }
+
+// CellOf returns the cell containing p on a grid of the given cell size.
+// It panics if size <= 0.
+func CellOf(p Point, size float64) Cell {
+	if size <= 0 {
+		panic("geo: CellOf needs positive cell size")
+	}
+	return Cell{
+		CX: int(math.Floor(p.X / size)),
+		CY: int(math.Floor(p.Y / size)),
+	}
+}
+
+// ChebyshevDist returns the Chebyshev (ring) distance between two cells:
+// the number of concentric cell rings separating them. Adjacent and
+// diagonal neighbours are at distance 1; a cell is at distance 0 from
+// itself.
+func (c Cell) ChebyshevDist(o Cell) int {
+	dx := absI(c.CX - o.CX)
+	dy := absI(c.CY - o.CY)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// RingsFor returns how many rings of cells around a centre cell must be
+// examined to cover every point within radius of a point in the centre
+// cell: any point at distance <= radius lies in a cell at Chebyshev
+// distance <= RingsFor(radius, size). RingsFor(r, s) with r <= s is 1,
+// the familiar 3x3 neighbourhood.
+func RingsFor(radius, size float64) int {
+	if size <= 0 {
+		panic("geo: RingsFor needs positive cell size")
+	}
+	if radius <= 0 {
+		return 0
+	}
+	return int(math.Ceil(radius / size))
+}
+
+// Neighborhood calls fn for every cell within rings of c (the
+// (2*rings+1)^2 block centred on c), in deterministic row-major order.
+func (c Cell) Neighborhood(rings int, fn func(Cell)) {
+	for dy := -rings; dy <= rings; dy++ {
+		for dx := -rings; dx <= rings; dx++ {
+			fn(Cell{CX: c.CX + dx, CY: c.CY + dy})
+		}
+	}
+}
+
+func absI(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellOf(t *testing.T) {
+	cases := []struct {
+		p    Point
+		size float64
+		want Cell
+	}{
+		{Pt(0, 0), 10, Cell{0, 0}},
+		{Pt(9.99, 9.99), 10, Cell{0, 0}},
+		{Pt(10, 10), 10, Cell{1, 1}},
+		{Pt(-0.1, -0.1), 10, Cell{-1, -1}},
+		{Pt(-10, -10), 10, Cell{-1, -1}},
+		{Pt(-10.1, 0), 10, Cell{-2, 0}},
+		{Pt(25, -35), 10, Cell{2, -4}},
+	}
+	for _, c := range cases {
+		if got := CellOf(c.p, c.size); got != c.want {
+			t.Errorf("CellOf(%v, %v) = %v, want %v", c.p, c.size, got, c.want)
+		}
+	}
+}
+
+func TestChebyshevDist(t *testing.T) {
+	a := Cell{0, 0}
+	cases := []struct {
+		b    Cell
+		want int
+	}{
+		{Cell{0, 0}, 0},
+		{Cell{1, 0}, 1},
+		{Cell{1, 1}, 1},
+		{Cell{-1, 1}, 1},
+		{Cell{2, 1}, 2},
+		{Cell{-3, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := a.ChebyshevDist(c.b); got != c.want {
+			t.Errorf("ChebyshevDist(%v, %v) = %d, want %d", a, c.b, got, c.want)
+		}
+		if got := c.b.ChebyshevDist(a); got != c.want {
+			t.Errorf("ChebyshevDist(%v, %v) = %d, want %d (asymmetric)", c.b, a, got, c.want)
+		}
+	}
+}
+
+// TestRingsForCoversRadius is the property the spatial index rests on: any
+// point within radius of p lies in a cell within RingsFor(radius, size)
+// rings of p's cell.
+func TestRingsForCoversRadius(t *testing.T) {
+	if err := quick.Check(func(px, py, qx, qy, size, radius float64) bool {
+		px, py, qx, qy = clampf(px), clampf(py), clampf(qx), clampf(qy)
+		size = 1 + math.Abs(clampf(size))
+		radius = math.Abs(clampf(radius))
+		p, q := Pt(px, py), Pt(qx, qy)
+		if p.Dist(q) > radius {
+			return true // premise not met
+		}
+		rings := RingsFor(radius, size)
+		return CellOf(p, size).ChebyshevDist(CellOf(q, size)) <= rings
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingsFor(t *testing.T) {
+	cases := []struct {
+		radius, size float64
+		want         int
+	}{
+		{0, 10, 0},
+		{5, 10, 1},
+		{10, 10, 1},
+		{10.1, 10, 2},
+		{30, 10, 3},
+	}
+	for _, c := range cases {
+		if got := RingsFor(c.radius, c.size); got != c.want {
+			t.Errorf("RingsFor(%v, %v) = %d, want %d", c.radius, c.size, got, c.want)
+		}
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	var got []Cell
+	Cell{2, 3}.Neighborhood(1, func(c Cell) { got = append(got, c) })
+	if len(got) != 9 {
+		t.Fatalf("3x3 neighbourhood visited %d cells", len(got))
+	}
+	if got[0] != (Cell{1, 2}) || got[8] != (Cell{3, 4}) {
+		t.Fatalf("row-major order violated: first %v, last %v", got[0], got[8])
+	}
+	seen := make(map[Cell]bool)
+	for _, c := range got {
+		if seen[c] {
+			t.Fatalf("cell %v visited twice", c)
+		}
+		seen[c] = true
+		if c.ChebyshevDist(Cell{2, 3}) > 1 {
+			t.Fatalf("cell %v outside 1 ring of centre", c)
+		}
+	}
+
+	var zero []Cell
+	Cell{0, 0}.Neighborhood(0, func(c Cell) { zero = append(zero, c) })
+	if len(zero) != 1 || zero[0] != (Cell{0, 0}) {
+		t.Fatalf("0-ring neighbourhood = %v, want just the centre", zero)
+	}
+}

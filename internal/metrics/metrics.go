@@ -80,6 +80,16 @@ func (s Summary) String() string {
 		s.N, s.Min, s.Mean, s.P50, s.P95, s.Max)
 }
 
+// Rate renders n events over elapsed wall time as an events-per-second
+// figure, guarding division by zero. Scale harnesses report throughput
+// (discovery rounds/sec, link sweeps/sec) with it.
+func Rate(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
 // Ratio renders a/b as a percentage string, guarding division by zero.
 func Ratio(a, b int) string {
 	if b == 0 {

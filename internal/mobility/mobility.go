@@ -10,6 +10,7 @@
 package mobility
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -25,6 +26,25 @@ type Model interface {
 	PositionAt(elapsed time.Duration) geo.Point
 }
 
+// SpeedBounded is implemented by models that can bound how fast they move.
+// The simulator's spatial index uses the bound to decide how stale its
+// buckets may become before positions must be re-indexed; models without a
+// bound are treated as able to move arbitrarily fast, which stays correct
+// but makes the index fall back to linear scanning.
+type SpeedBounded interface {
+	// MaxSpeed returns an upper bound on the model's speed in metres per
+	// simulated second.
+	MaxSpeed() float64
+}
+
+// MaxSpeedOf returns m's speed bound, or +Inf if m does not declare one.
+func MaxSpeedOf(m Model) float64 {
+	if sb, ok := m.(SpeedBounded); ok {
+		return sb.MaxSpeed()
+	}
+	return math.Inf(1)
+}
+
 // Static is a Model that never moves.
 type Static struct {
 	At geo.Point
@@ -34,6 +54,9 @@ var _ Model = Static{}
 
 // PositionAt implements Model.
 func (s Static) PositionAt(time.Duration) geo.Point { return s.At }
+
+// MaxSpeed implements SpeedBounded: a static device never moves.
+func (Static) MaxSpeed() float64 { return 0 }
 
 // Linear moves from Start at constant Velocity (metres/second). If Until is
 // non-zero the device stops moving after that elapsed time (it reaches its
@@ -57,6 +80,9 @@ func (l Linear) PositionAt(elapsed time.Duration) geo.Point {
 	secs := elapsed.Seconds()
 	return l.Start.Add(l.Velocity.Scale(secs))
 }
+
+// MaxSpeed implements SpeedBounded.
+func (l Linear) MaxSpeed() float64 { return l.Velocity.Len() }
 
 // Walk returns a Linear model walking from start towards dest at speed
 // metres/second, stopping on arrival. A speed of 1.4 m/s approximates the
@@ -114,6 +140,9 @@ func (p *Path) TotalDuration() time.Duration {
 	}
 	return p.legEnds[len(p.legEnds)-1]
 }
+
+// MaxSpeed implements SpeedBounded.
+func (p *Path) MaxSpeed() float64 { return p.speed }
 
 // PositionAt implements Model.
 func (p *Path) PositionAt(elapsed time.Duration) geo.Point {
@@ -198,6 +227,9 @@ func (rw *RandomWaypoint) PositionAt(elapsed time.Duration) geo.Point {
 	}
 	return rw.segs[0].from
 }
+
+// MaxSpeed implements SpeedBounded.
+func (rw *RandomWaypoint) MaxSpeed() float64 { return rw.maxSpeed }
 
 func (rw *RandomWaypoint) extendTo(elapsed time.Duration) {
 	for rw.segs[len(rw.segs)-1].end < elapsed {

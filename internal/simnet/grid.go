@@ -1,0 +1,245 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/metrics"
+)
+
+// The spatial grid index replaces the linear scan over every radio in the
+// world with a per-technology bucketing of radios into square cells sized
+// by the technology's coverage radius. A range query (Inquire) then only
+// examines the 3x3 cell neighbourhood around the inquirer, so one
+// discovery round across N uniformly spread nodes costs O(N * density)
+// instead of O(N^2) distance checks.
+//
+// Positions are functions of time (mobility models), so buckets go stale
+// as the clock advances. Each grid tracks when it last re-indexed and the
+// world tracks an upper bound on device speed (mobility.SpeedBounded);
+// their product bounds how far any radio can have drifted from its bucket.
+// Staleness is absorbed in two tiers, keeping queries exact — provably a
+// superset of the in-range set — at all times:
+//
+//  1. Cells carry gridSlack of extra width, so drift up to
+//     gridSlack*radius costs nothing: the 3x3 neighbourhood still covers
+//     radius plus drift.
+//  2. Beyond that, queries widen to as many cell rings as the drift bound
+//     requires (RingsFor), trading a few more candidates for not touching
+//     the index. Only once drift exceeds refreshDriftRadii coverage radii
+//     does the grid re-index every radio — an O(N) pass amortised over
+//     the many O(cell) queries since the previous one.
+//
+// A world containing a model with no speed bound (drift +Inf) serves
+// queries from the full per-technology radio list instead — the pre-grid
+// linear scan cost, never worse. Note that the bound is the world-wide
+// supremum: one very fast device quickens re-indexing for everyone, which
+// GridStats.Refreshes makes visible.
+
+// gridSlack is the fraction of the coverage radius added to the cell size
+// to absorb inter-refresh movement. Larger slack means wider queries
+// before ring expansion kicks in; 0.5 keeps the 3x3 neighbourhood at
+// 2.25x the area of unslacked cells while letting every device move half
+// a coverage radius between refreshes for free.
+const gridSlack = 0.5
+
+// refreshDriftRadii is how many coverage radii of drift the grid tolerates
+// (by widening queries) before re-indexing. At 2, queries never widen past
+// 2 rings (a 5x5 block): RingsFor(radius*(1+2), radius*(1+gridSlack)) = 2.
+const refreshDriftRadii = 2.0
+
+// radioGrid buckets one technology's radios by cell. All fields are
+// guarded by World.mu.
+type radioGrid struct {
+	tech     device.Tech
+	radius   float64 // coverage radius the grid was built for
+	cellSize float64 // radius * (1 + gridSlack)
+	cells    map[geo.Cell][]*Radio
+	loc      map[*Radio]geo.Cell // bucket each radio currently occupies
+	// deadCheb is the smallest Chebyshev cell distance at which two
+	// bucketed radios are certainly out of mutual coverage, even if both
+	// drifted the maximum refreshDriftRadii*radius since the last
+	// refresh: (deadCheb-1)*cellSize > radius + 2*refreshDriftRadii*radius.
+	deadCheb int
+	// queryRings is how many cell rings the next candidates call must
+	// examine to cover the coverage radius plus current drift; gridLocked
+	// recomputes it on every query.
+	queryRings  int
+	lastRefresh time.Time
+	refreshes   int64
+}
+
+func newRadioGrid(t device.Tech, radius float64, now time.Time) *radioGrid {
+	size := radius * (1 + gridSlack)
+	if size <= 0 {
+		size = 1
+	}
+	return &radioGrid{
+		tech:        t,
+		radius:      radius,
+		cellSize:    size,
+		cells:       make(map[geo.Cell][]*Radio),
+		loc:         make(map[*Radio]geo.Cell),
+		deadCheb:    int(math.Floor((radius+2*refreshDriftRadii*radius)/size+1)) + 1,
+		queryRings:  1,
+		lastRefresh: now,
+	}
+}
+
+func (g *radioGrid) insert(r *Radio, p geo.Point) {
+	c := geo.CellOf(p, g.cellSize)
+	g.loc[r] = c
+	g.cells[c] = append(g.cells[c], r)
+}
+
+func (g *radioGrid) remove(r *Radio) {
+	c, ok := g.loc[r]
+	if !ok {
+		return
+	}
+	delete(g.loc, r)
+	s := g.cells[c]
+	for i, x := range s {
+		if x == r {
+			s = append(s[:i], s[i+1:]...)
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(g.cells, c)
+	} else {
+		g.cells[c] = s
+	}
+}
+
+// refresh re-buckets every radio at its position now.
+func (g *radioGrid) refresh(radios []*Radio, now time.Time) {
+	clear(g.cells)
+	clear(g.loc)
+	for _, r := range radios {
+		g.insert(r, r.dev.Position())
+	}
+	g.lastRefresh = now
+	g.refreshes++
+}
+
+// scanAllRings is the queryRings sentinel for worlds whose speed bound is
+// unknown (+Inf): buckets cannot be trusted after any time advance, so
+// candidates falls back to the technology's full radio list — the same
+// cost as the pre-grid linear scan, never worse.
+const scanAllRings = -1
+
+// candidates returns every radio bucketed within the grid's current query
+// neighbourhood of p (3x3 cells, wider while drift demands it), in radio
+// insertion order — the same relative order the full scan visits, so
+// stochastic response draws consume the RNG identically. all is the
+// technology's complete radio list, used when queryRings is scanAllRings.
+func (g *radioGrid) candidates(p geo.Point, all []*Radio) []*Radio {
+	if g.queryRings == scanAllRings {
+		return all
+	}
+	center := geo.CellOf(p, g.cellSize)
+	var out []*Radio
+	center.Neighborhood(g.queryRings, func(c geo.Cell) {
+		out = append(out, g.cells[c]...)
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	return out
+}
+
+// gridLocked returns the grid for t ready for a query: created on first
+// use, query width matched to the current drift bound, and re-indexed once
+// accumulated movement exceeds refreshDriftRadii coverage radii. Callers
+// hold w.mu.
+func (w *World) gridLocked(t device.Tech) *radioGrid {
+	if w.speedDirty {
+		// A SetModel lowered some device's speed; the cached supremum is
+		// stale-high. One O(devices) pass here keeps every SetModel O(1).
+		w.maxSpeed = 0
+		for _, d := range w.devices {
+			w.maxSpeed = math.Max(w.maxSpeed, d.speedBound())
+		}
+		w.speedDirty = false
+	}
+	g := w.grids[t]
+	now := w.clk.Now()
+	if g == nil {
+		g = newRadioGrid(t, w.params[t].CoverageRadius, now)
+		w.grids[t] = g
+		g.refresh(w.techRadios[t], now)
+		w.stats.GridRefreshes++
+		return g
+	}
+	drift := 0.0
+	if elapsed := now.Sub(g.lastRefresh).Seconds(); elapsed > 0 && w.maxSpeed > 0 {
+		drift = w.maxSpeed * elapsed
+	}
+	if math.IsInf(drift, 1) {
+		// Some device's model declares no speed bound: re-indexing now
+		// would be invalidated by the very next clock tick, so don't
+		// thrash — serve this query from the full per-technology list.
+		// (Self-heals: once SetModel replaces the unbounded model, the
+		// finite drift triggers one refresh and cell queries resume.)
+		g.queryRings = scanAllRings
+		return g
+	}
+	if drift > refreshDriftRadii*g.radius {
+		g.refresh(w.techRadios[t], now)
+		w.stats.GridRefreshes++
+		drift = 0
+	}
+	g.queryRings = 1
+	if drift > 0 {
+		if rings := geo.RingsFor(g.radius+drift, g.cellSize); rings > 1 {
+			g.queryRings = rings
+		}
+	}
+	return g
+}
+
+// GridStats describes one technology's spatial index.
+type GridStats struct {
+	Tech device.Tech
+	// CellSize is the cell edge length in metres.
+	CellSize float64
+	// Radios is how many radios the grid indexes.
+	Radios int
+	// Cells is how many cells are occupied.
+	Cells int
+	// Occupancy summarises radios per occupied cell; its Mean times 9 is
+	// the expected candidate count per inquiry.
+	Occupancy metrics.Summary
+	// Refreshes counts full O(N) re-indexing passes.
+	Refreshes int64
+}
+
+// GridStats returns a snapshot of every instantiated per-technology grid,
+// in canonical technology order. Technologies whose grid has not been
+// queried yet (or that WithLinearScan disabled) are absent.
+func (w *World) GridStats() []GridStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []GridStats
+	for _, t := range device.Techs() {
+		g := w.grids[t]
+		if g == nil {
+			continue
+		}
+		occ := make([]float64, 0, len(g.cells))
+		for _, rs := range g.cells {
+			occ = append(occ, float64(len(rs)))
+		}
+		out = append(out, GridStats{
+			Tech:      t,
+			CellSize:  g.cellSize,
+			Radios:    len(g.loc),
+			Cells:     len(g.cells),
+			Occupancy: metrics.Summarize(occ),
+			Refreshes: g.refreshes,
+		})
+	}
+	return out
+}

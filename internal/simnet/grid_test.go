@@ -1,0 +1,371 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/rng"
+)
+
+// zeroLatencyOpts keeps every technology's stochastic behaviour (response
+// probability, fault probability) but removes inquiry and connection
+// latencies, so tests on a manual clock never block waiting for time.
+func zeroLatencyOpts() []Option {
+	var opts []Option
+	for _, tech := range device.Techs() {
+		p := DefaultParams(tech)
+		p.InquiryDuration = 0
+		p.ConnectMin = 0
+		p.ConnectMax = 0
+		opts = append(opts, WithParams(tech, p))
+	}
+	return opts
+}
+
+// buildTwinWorlds constructs two identical worlds — one grid-indexed, one
+// full-scan — from the same seed and placement function, so every RNG draw
+// and every position line up between them.
+func buildTwinWorlds(t *testing.T, seed int64, noise float64, place func(w *World)) (grid, linear *World) {
+	t.Helper()
+	opts := append(zeroLatencyOpts(), WithQualityNoise(noise))
+	grid = NewWorld(clock.NewManual(), seed, opts...)
+	linear = NewWorld(clock.NewManual(), seed, append(opts, WithLinearScan())...)
+	place(grid)
+	place(linear)
+	return grid, linear
+}
+
+func sameResults(a, b []InquiryResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGridInquireMatchesFullScan is the grid's equivalence property test:
+// for randomized radio placements (across all technologies, with default
+// stochastic parameters and quality noise), a grid-backed Inquire returns
+// exactly the result set — same radios, same order, same noisy qualities —
+// that the full scan returns.
+func TestGridInquireMatchesFullScan(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		seed := int64(1000 + trial)
+		src := rng.New(seed * 7)
+		n := 20 + src.Intn(60)
+
+		type placement struct {
+			name  string
+			at    geo.Point
+			techs []device.Tech
+		}
+		placements := make([]placement, n)
+		for i := range placements {
+			techs := []device.Tech{device.TechBluetooth}
+			if src.Bool(0.3) {
+				techs = append(techs, device.TechWLAN)
+			}
+			placements[i] = placement{
+				name: fmt.Sprintf("d%d", i),
+				// Spread over several Bluetooth cells, dense enough that
+				// many pairs are in range.
+				at:    geo.Pt(src.Uniform(-40, 40), src.Uniform(-40, 40)),
+				techs: techs,
+			}
+		}
+
+		gw, lw := buildTwinWorlds(t, seed, 3, func(w *World) {
+			for _, pl := range placements {
+				d, err := w.AddDevice(pl.name, mobility.Static{At: pl.at})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tech := range pl.techs {
+					if _, err := d.AddRadio(tech); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+
+		for i, pl := range placements {
+			for _, tech := range pl.techs {
+				gd, _ := gw.Device(pl.name)
+				ld, _ := lw.Device(pl.name)
+				gr, _ := gd.Radio(tech)
+				lr, _ := ld.Radio(tech)
+				got, want := gr.Inquire(), lr.Inquire()
+				if !sameResults(got, want) {
+					t.Fatalf("trial %d: %s/%v: grid %v != full scan %v (radio %d of %d)",
+						trial, pl.name, tech, got, want, i, n)
+				}
+			}
+		}
+
+		gs, ls := gw.Stats(), lw.Stats()
+		if gs.InquiryResponses != ls.InquiryResponses {
+			t.Fatalf("trial %d: response counters diverge: grid %d, linear %d",
+				trial, gs.InquiryResponses, ls.InquiryResponses)
+		}
+		if gs.InquiryCandidates >= ls.InquiryCandidates {
+			t.Errorf("trial %d: grid examined %d candidates, full scan %d — no saving",
+				trial, gs.InquiryCandidates, ls.InquiryCandidates)
+		}
+	}
+}
+
+// TestGridInquireMatchesFullScanWhileMoving drives moving devices through
+// many discovery rounds on a manual clock, exercising the drift-triggered
+// re-index path: results must stay identical to the full scan even as
+// devices cross cell boundaries between refreshes.
+func TestGridInquireMatchesFullScanWhileMoving(t *testing.T) {
+	const n = 30
+	seed := int64(424242)
+
+	build := func(opts ...Option) (*World, *clock.Manual) {
+		clk := clock.NewManual()
+		opts = append(append(zeroLatencyOpts(), WithQualityNoise(0)), opts...)
+		w := NewWorld(clk, seed, opts...)
+		for i := 0; i < n; i++ {
+			// Walk in assorted directions at pedestrian-to-vehicle speeds;
+			// over the simulated minutes below every device crosses
+			// multiple 15 m Bluetooth cells.
+			start := geo.Pt(float64(i%6)*7, float64(i/6)*7)
+			dest := geo.Pt(float64((i*13)%90)-40, float64((i*29)%90)-40)
+			d, err := w.AddDevice(fmt.Sprintf("m%d", i), mobility.Walk(start, dest, 1.0+float64(i%5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.AddRadio(device.TechBluetooth); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w, clk
+	}
+
+	gw, gclk := build()
+	lw, lclk := build(WithLinearScan())
+
+	// 2 s steps with speeds up to 5 m/s walk the drift bound through both
+	// regimes: widened (ring-expanded) queries on stale buckets, then a
+	// full re-index once drift passes refreshDriftRadii coverage radii.
+	for step := 0; step < 24; step++ {
+		for i := 0; i < n; i++ {
+			gd, _ := gw.Device(fmt.Sprintf("m%d", i))
+			ld, _ := lw.Device(fmt.Sprintf("m%d", i))
+			gr, _ := gd.Radio(device.TechBluetooth)
+			lr, _ := ld.Radio(device.TechBluetooth)
+			got, want := gr.Inquire(), lr.Inquire()
+			if !sameResults(got, want) {
+				t.Fatalf("step %d, device m%d: grid %v != full scan %v", step, i, got, want)
+			}
+		}
+		gclk.Advance(2 * time.Second)
+		lclk.Advance(2 * time.Second)
+	}
+	if refreshes := gw.Stats().GridRefreshes; refreshes < 2 {
+		t.Fatalf("moving scenario performed %d grid refreshes, want drift-triggered re-indexing", refreshes)
+	}
+}
+
+// TestCheckLinksReapsAfterTeleport is the regression test for the grid's
+// interaction with SetModel: a device teleported many cells away must
+// still have its established link reaped by CheckLinks, and a device
+// teleported back into range must keep its link.
+func TestCheckLinksReapsAfterTeleport(t *testing.T) {
+	w := instantWorld(t, 99)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(5, 0))
+
+	l, err := b.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := a.Dial(b.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Prime the grid so the teleport crosses established buckets.
+	a.Inquire()
+	if n := w.CheckLinks(); n != 0 {
+		t.Fatalf("CheckLinks broke %d links while in range", n)
+	}
+
+	// Teleport a across many cells (500 m >> the 10 m Bluetooth radius).
+	ad, _ := w.Device("a")
+	ad.SetModel(mobility.Static{At: geo.Pt(500, 500)})
+	if n := w.CheckLinks(); n != 1 {
+		t.Fatalf("CheckLinks broke %d links after teleporting out of range, want 1", n)
+	}
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write on reaped link succeeded")
+	}
+
+	// A fresh link survives a teleport that stays in range.
+	ad.SetModel(mobility.Static{At: geo.Pt(2, 0)})
+	conn2, err := a.Dial(b.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	ad.SetModel(mobility.Static{At: geo.Pt(0, 3)})
+	if n := w.CheckLinks(); n != 0 {
+		t.Fatalf("CheckLinks broke %d links after in-range teleport, want 0", n)
+	}
+}
+
+// TestGridSeesTeleportedDeviceImmediately: after SetModel, inquiries from
+// and about the moved device must reflect its new cell with no discovery
+// round or refresh in between.
+func TestGridSeesTeleportedDeviceImmediately(t *testing.T) {
+	w := instantWorld(t, 7)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	addBT(t, w, "b", geo.Pt(200, 200))
+
+	if res := a.Inquire(); len(res) != 0 {
+		t.Fatalf("inquiry found %v, want nothing in range", res)
+	}
+	ad, _ := w.Device("a")
+	ad.SetModel(mobility.Static{At: geo.Pt(195, 200)})
+	res := a.Inquire()
+	if len(res) != 1 {
+		t.Fatalf("inquiry after teleport found %v, want b", res)
+	}
+}
+
+// orbitModel is a mobility model with no declared speed bound: the grid
+// must treat it as able to move arbitrarily fast.
+type orbitModel struct{ center geo.Point }
+
+func (o orbitModel) PositionAt(elapsed time.Duration) geo.Point {
+	// Jumps around a 30 m circle discontinuously — genuinely unbounded.
+	angle := float64(elapsed/time.Second) * 2.39996
+	return geo.Pt(o.center.X+30*math.Cos(angle), o.center.Y+30*math.Sin(angle))
+}
+
+// TestGridUnboundedModelFallsBackToScan: with a SpeedBounded-less model in
+// the world, inquiries must stay exact versus the full scan and must not
+// thrash the index with refreshes on every query.
+func TestGridUnboundedModelFallsBackToScan(t *testing.T) {
+	const n = 20
+	seed := int64(31337)
+	build := func(opts ...Option) (*World, *clock.Manual) {
+		clk := clock.NewManual()
+		opts = append(append(zeroLatencyOpts(), WithQualityNoise(0)), opts...)
+		w := NewWorld(clk, seed, opts...)
+		for i := 0; i < n; i++ {
+			var m mobility.Model = mobility.Static{At: geo.Pt(float64(i%5)*20, float64(i/5)*20)}
+			if i == 0 {
+				m = orbitModel{center: geo.Pt(10, 10)}
+			}
+			d, err := w.AddDevice(fmt.Sprintf("u%d", i), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.AddRadio(device.TechBluetooth); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w, clk
+	}
+	gw, gclk := build()
+	lw, lclk := build(WithLinearScan())
+
+	for step := 0; step < 10; step++ {
+		for i := 0; i < n; i++ {
+			gd, _ := gw.Device(fmt.Sprintf("u%d", i))
+			ld, _ := lw.Device(fmt.Sprintf("u%d", i))
+			gr, _ := gd.Radio(device.TechBluetooth)
+			lr, _ := ld.Radio(device.TechBluetooth)
+			got, want := gr.Inquire(), lr.Inquire()
+			if !sameResults(got, want) {
+				t.Fatalf("step %d, device u%d: grid %v != full scan %v", step, i, got, want)
+			}
+		}
+		gclk.Advance(time.Second)
+		lclk.Advance(time.Second)
+	}
+	// One initial build is fine; per-query re-indexing is the bug.
+	if refreshes := gw.Stats().GridRefreshes; refreshes > 2 {
+		t.Fatalf("unbounded model caused %d grid refreshes, want scan fallback instead of thrash", refreshes)
+	}
+
+	// Replacing the unbounded model restores cell-based queries: the next
+	// inquiry must examine fewer candidates than the full radio list
+	// (everything is static and correctly bucketed, so no refresh is
+	// needed either).
+	ud, _ := gw.Device("u0")
+	ud.SetModel(mobility.Static{At: geo.Pt(10, 10)})
+	gclk.Advance(time.Second)
+	before := gw.Stats().InquiryCandidates
+	d1, _ := gw.Device("u1")
+	r1, _ := d1.Radio(device.TechBluetooth)
+	r1.Inquire()
+	if delta := gw.Stats().InquiryCandidates - before; delta >= n {
+		t.Fatalf("inquiry after model replacement examined %d candidates, want a cell-bounded subset of %d", delta, n)
+	}
+}
+
+// TestGridStats sanity-checks the exposed index statistics.
+func TestGridStats(t *testing.T) {
+	w := instantWorld(t, 5)
+	for i := 0; i < 16; i++ {
+		addBT(t, w, fmt.Sprintf("d%d", i), geo.Pt(float64(i%4)*20, float64(i/4)*20))
+	}
+	if gs := w.GridStats(); len(gs) != 0 {
+		t.Fatalf("grid instantiated before any query: %+v", gs)
+	}
+	d, _ := w.Device("d0")
+	r, _ := d.Radio(device.TechBluetooth)
+	r.Inquire()
+
+	gs := w.GridStats()
+	if len(gs) != 1 {
+		t.Fatalf("got %d grids, want 1 (Bluetooth)", len(gs))
+	}
+	g := gs[0]
+	if g.Tech != device.TechBluetooth || g.Radios != 16 || g.Cells == 0 || g.Refreshes == 0 {
+		t.Fatalf("unexpected grid stats: %+v", g)
+	}
+	if g.Occupancy.Sum != 16 {
+		t.Fatalf("occupancy sums to %v radios, want 16", g.Occupancy.Sum)
+	}
+	if g.CellSize != 10*(1+gridSlack) {
+		t.Fatalf("cell size %v, want coverage radius with slack", g.CellSize)
+	}
+}
+
+// TestGridRebuildsOnCoverageChange: SetParams with a different radius must
+// re-derive the cell size instead of serving queries from stale geometry.
+func TestGridRebuildsOnCoverageChange(t *testing.T) {
+	w := instantWorld(t, 11)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	addBT(t, w, "b", geo.Pt(25, 0))
+
+	if res := a.Inquire(); len(res) != 0 {
+		t.Fatalf("found %v at 25 m with 10 m radius", res)
+	}
+	p := w.Params(device.TechBluetooth)
+	p.CoverageRadius = 30
+	w.SetParams(device.TechBluetooth, p)
+	if res := a.Inquire(); len(res) != 1 {
+		t.Fatalf("found %v at 25 m with 30 m radius, want b", res)
+	}
+	gs := w.GridStats()
+	if len(gs) != 1 || gs[0].CellSize != 30*(1+gridSlack) {
+		t.Fatalf("grid not rebuilt for new radius: %+v", gs)
+	}
+}

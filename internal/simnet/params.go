@@ -133,6 +133,9 @@ func (p TechParams) Reliable() TechParams {
 
 // Instant returns p with zero connection latency and inquiry time on top of
 // Reliable, for unit tests that must not depend on any clock waiting.
+// Bandwidth is kept: data transfers still take simulated time, so tests
+// can exercise in-flight behaviour (swap a transport mid-upload).
+// Scale harnesses that do not measure transfers zero it via SetParams.
 func (p TechParams) Instant() TechParams {
 	p = p.Reliable()
 	p.ConnectMin = 0

@@ -12,6 +12,7 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -62,6 +63,12 @@ type Stats struct {
 	LinksBroken       int64
 	BytesWritten      int64
 	MessagesDelivered int64
+	// GridRefreshes counts full re-indexing passes of the spatial grid;
+	// InquiryCandidates sums the radios examined per inquiry (for a full
+	// scan this grows by the world's radio count each inquiry, for the
+	// grid only by the 3x3-cell occupancy).
+	GridRefreshes     int64
+	InquiryCandidates int64
 }
 
 // Option configures a World.
@@ -78,6 +85,14 @@ func WithQualityNoise(stddev float64) Option {
 	return func(w *World) { w.qualityNoise = stddev }
 }
 
+// WithLinearScan disables the spatial grid index: inquiries fall back to
+// scanning every radio in the world, as the original implementation did.
+// It exists as the reference behaviour for equivalence tests and for A/B
+// benchmarking the grid.
+func WithLinearScan() Option {
+	return func(w *World) { w.linearScan = true }
+}
+
 // World is the simulated radio environment. All methods are safe for
 // concurrent use.
 type World struct {
@@ -89,6 +104,11 @@ type World struct {
 	devices      map[string]*Device
 	radios       map[device.Addr]*Radio
 	radioOrder   []*Radio // insertion order, for deterministic iteration
+	techRadios   map[device.Tech][]*Radio
+	grids        map[device.Tech]*radioGrid
+	maxSpeed     float64 // upper bound on any device's speed, m/s
+	speedDirty   bool    // maxSpeed may be stale-high; recompute lazily
+	linearScan   bool
 	listeners    map[listenKey]*Listener
 	links        map[int64]*link
 	nextLinkID   int64
@@ -115,6 +135,8 @@ func NewWorld(clk clock.Clock, seed int64, opts ...Option) *World {
 		epoch:        clk.Now(),
 		devices:      make(map[string]*Device),
 		radios:       make(map[device.Addr]*Radio),
+		techRadios:   make(map[device.Tech][]*Radio),
+		grids:        make(map[device.Tech]*radioGrid),
 		listeners:    make(map[listenKey]*Listener),
 		links:        make(map[int64]*link),
 		params:       make(map[device.Tech]TechParams),
@@ -145,6 +167,11 @@ func (w *World) Params(t device.Tech) TechParams {
 func (w *World) SetParams(t device.Tech, p TechParams) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.params[t].CoverageRadius != p.CoverageRadius {
+		// Cell size derives from the radius; drop the grid and let the
+		// next query rebuild it at the new granularity.
+		delete(w.grids, t)
+	}
 	w.params[t] = p
 }
 
@@ -177,9 +204,11 @@ func (w *World) AddDevice(name string, model mobility.Model) (*Device, error) {
 		name:      name,
 		model:     model,
 		modelBase: w.clk.Now(),
+		speed:     mobility.MaxSpeedOf(model),
 		radios:    make(map[device.Tech]*Radio),
 	}
 	w.devices[name] = d
+	w.maxSpeed = math.Max(w.maxSpeed, d.speed)
 	return d, nil
 }
 
@@ -208,8 +237,16 @@ type Device struct {
 	mu        sync.Mutex
 	model     mobility.Model
 	modelBase time.Time
+	speed     float64 // model's speed bound, m/s (+Inf if unknown)
 	down      bool
 	radios    map[device.Tech]*Radio
+}
+
+// speedBound returns the current model's speed bound.
+func (d *Device) speedBound() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.speed
 }
 
 // Name returns the device's name.
@@ -236,8 +273,16 @@ func (d *Device) AddRadio(t device.Tech) (*Radio, error) {
 	d.mu.Unlock()
 
 	d.w.mu.Lock()
+	r.order = len(d.w.radioOrder)
 	d.w.radios[r.addr] = r
 	d.w.radioOrder = append(d.w.radioOrder, r)
+	d.w.techRadios[t] = append(d.w.techRadios[t], r)
+	if g := d.w.grids[t]; g != nil {
+		// Position is sampled under w.mu so no grid refresh can slip in
+		// between sampling and insertion and undercount this radio's
+		// drift.
+		g.insert(r, d.Position())
+	}
 	d.w.mu.Unlock()
 	return r, nil
 }
@@ -264,10 +309,41 @@ func (d *Device) SetModel(model mobility.Model) {
 	if model == nil {
 		model = mobility.Static{At: d.Position()}
 	}
+	speed := mobility.MaxSpeedOf(model)
+	w := d.w
+
+	// The new model may place the device arbitrarily far from the old
+	// one. Model swap and grid re-bucketing happen under one w.mu
+	// critical section so no concurrent query can see the new positions
+	// through the old buckets.
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	d.mu.Lock()
 	d.model = model
-	d.modelBase = d.w.clk.Now()
+	d.modelBase = w.clk.Now()
+	d.speed = speed
+	radios := make([]*Radio, 0, len(d.radios))
+	for _, r := range d.radios {
+		radios = append(radios, r)
+	}
 	d.mu.Unlock()
+
+	if speed >= w.maxSpeed {
+		w.maxSpeed = speed
+	} else {
+		// The device may have been the fastest. Recomputing the supremum
+		// here would make scripted mass re-models O(N^2); leave the
+		// stale-high (conservative, so still exact) bound and let the
+		// next grid query recompute once.
+		w.speedDirty = true
+	}
+	pos := d.Position()
+	for _, r := range radios {
+		if g := w.grids[r.addr.Tech]; g != nil {
+			g.remove(r)
+			g.insert(r, pos)
+		}
+	}
 }
 
 // SetDown powers the device's radios off (true) or on (false). Links of a
@@ -290,6 +366,11 @@ type Radio struct {
 	w    *World
 	dev  *Device
 	addr device.Addr
+
+	// order is the radio's world-wide insertion index; grid queries sort
+	// candidates by it so they visit radios in the same relative order the
+	// full scan does. Immutable after AddRadio.
+	order int
 
 	// inquiringUntil is guarded by w.mu.
 	inquiringUntil time.Time
@@ -334,8 +415,26 @@ func (r *Radio) Inquire() []InquiryResult {
 
 	r.w.mu.Lock()
 	defer r.w.mu.Unlock()
+	// Re-read the params under w.mu: a concurrent SetParams during the
+	// inquiry sleep may have changed the coverage radius (and rebuilt the
+	// grid to match), and the distance filter below must use the same
+	// radius the grid's cell geometry covers.
+	p = r.w.params[r.addr.Tech]
+	// The grid narrows the scan to the 3x3 cell neighbourhood around the
+	// inquirer; under WithLinearScan every radio in the world is a
+	// candidate, as in the original implementation (the candidates
+	// counter still only counts same-technology radios, so grid-vs-scan
+	// comparisons stay apples to apples).
+	var candidates []*Radio
+	if r.w.linearScan {
+		candidates = r.w.radioOrder
+		r.w.stats.InquiryCandidates += int64(len(r.w.techRadios[r.addr.Tech]))
+	} else {
+		candidates = r.w.gridLocked(r.addr.Tech).candidates(selfPos, r.w.techRadios[r.addr.Tech])
+		r.w.stats.InquiryCandidates += int64(len(candidates))
+	}
 	var out []InquiryResult
-	for _, other := range r.w.radioOrder {
+	for _, other := range candidates {
 		if other == r || other.addr.Tech != r.addr.Tech || other.dev == r.dev {
 			continue
 		}
@@ -566,6 +665,19 @@ func (w *World) linkAliveLocked(lk *link) bool {
 		return false
 	}
 	p := w.params[ra.addr.Tech]
+	// Grid fast path: endpoints bucketed far enough apart are certainly
+	// out of range even at maximum drift, with no position evaluation.
+	// Unusable when the drift bound is unbounded (scanAllRings).
+	if !w.linearScan {
+		g := w.gridLocked(ra.addr.Tech)
+		if g.queryRings != scanAllRings {
+			ca, okA := g.loc[ra]
+			cb, okB := g.loc[rb]
+			if okA && okB && ca.ChebyshevDist(cb) >= g.deadCheb {
+				return false
+			}
+		}
+	}
 	return ra.dev.Position().Dist(rb.dev.Position()) <= p.CoverageRadius
 }
 

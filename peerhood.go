@@ -124,6 +124,10 @@ type WorldConfig struct {
 	// links; 0 disables the background checker (call CheckLinks
 	// manually).
 	LinkCheckInterval time.Duration
+	// LinearScan disables the spatial grid index and restores the
+	// original full-scan neighbour lookup — the reference behaviour for
+	// equivalence tests and A/B benchmarks.
+	LinearScan bool
 }
 
 // World is a simulated wireless environment holding PeerHood nodes.
@@ -150,6 +154,9 @@ func NewWorld(cfg WorldConfig) *World {
 			opts = append(opts, simnet.WithParams(t, simnet.DefaultParams(t).Instant()))
 		}
 	}
+	if cfg.LinearScan {
+		opts = append(opts, simnet.WithLinearScan())
+	}
 	w := &World{sim: simnet.NewWorld(clk, cfg.Seed, opts...), clk: clk}
 	if cfg.LinkCheckInterval > 0 {
 		w.sim.StartAutoCheck(cfg.LinkCheckInterval)
@@ -166,6 +173,11 @@ func (w *World) Clock() clock.Clock { return w.clk }
 
 // CheckLinks breaks links whose endpoints left mutual coverage.
 func (w *World) CheckLinks() int { return w.sim.CheckLinks() }
+
+// GridStats snapshots the world's per-technology spatial radio index
+// (occupancy, refresh counts) — the structure that makes neighbour lookup
+// O(cell occupancy) instead of O(world size).
+func (w *World) GridStats() []simnet.GridStats { return w.sim.GridStats() }
 
 // RunDiscoveryRounds drives n synchronous discovery rounds on every node
 // in creation order; n rounds propagate awareness n jumps (fig 3.10).
