@@ -56,6 +56,10 @@ func BenchmarkA1RouteAblation(b *testing.B)          { benchExperiment(b, "A1") 
 
 func BenchmarkS1CityBlock(b *testing.B) { benchExperiment(b, "S1") }
 
+// BenchmarkS2DensePlaza runs the delta-vs-full sync scenario in quick mode
+// (40 nodes, two churn levels).
+func BenchmarkS2DensePlaza(b *testing.B) { benchExperiment(b, "S2") }
+
 func BenchmarkS1CityBlockFull(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Run("S1", experiments.Config{Seed: int64(i + 1), TimeScale: 2000}); err != nil {
@@ -102,6 +106,33 @@ func BenchmarkStorageWireEntries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if got := st.WireEntries(); len(got) != 128 {
 			b.Fatal("missing entries")
+		}
+	}
+}
+
+// BenchmarkStorageWireEntriesSince measures producing a delta (a handful of
+// changed rows) against producing the full table from the same 128-entry
+// storage — the responder-side cost the versioned sync trades.
+func BenchmarkStorageWireEntriesSince(b *testing.B) {
+	st := storage.New(storage.Config{})
+	for i := 0; i < 128; i++ {
+		st.UpsertDirect(device.Info{
+			Name: fmt.Sprintf("dev%d", i),
+			Addr: device.Addr{Tech: device.TechBluetooth, MAC: fmt.Sprintf("m%03d", i)},
+		}, 200+i%55)
+	}
+	since := st.Digest().Gen
+	for i := 0; i < 4; i++ { // four rows change after the peer's last sync
+		st.UpsertDirect(device.Info{
+			Name: fmt.Sprintf("dev%d", i),
+			Addr: device.Addr{Tech: device.TechBluetooth, MAC: fmt.Sprintf("m%03d", i)},
+		}, 190)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta, _, ok := st.WireEntriesSince(since)
+		if !ok || len(delta.Entries) != 4 {
+			b.Fatalf("delta = %+v, %v", delta, ok)
 		}
 	}
 }

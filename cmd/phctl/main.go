@@ -1,11 +1,13 @@
 // Command phctl inspects a running peerhoodd over the wire: it dials the
 // daemon's information port (the same protocol PeerHood devices use to
 // fetch each other's data, fig 3.7) and prints the device descriptor,
-// registered services, and neighbourhood routing table.
+// registered services, neighbourhood routing table, and the storage digest
+// driving delta neighbourhood sync (epoch, generation, entry count, table
+// hash).
 //
 // Usage:
 //
-//	phctl -addr 127.0.0.1:7001 [device|services|neighborhood|all]
+//	phctl -addr 127.0.0.1:7001 [device|services|neighborhood|digest|all]
 package main
 
 import (
@@ -76,6 +78,24 @@ func main() {
 			fmt.Printf("  %-16s %-28s %5d  %-28s %7d\n",
 				e.Info.Name, e.Info.Addr, e.Jumps, bridge, e.QualitySum)
 		}
+	}
+	if what == "digest" || what == "all" {
+		dg, err := fetch[*phproto.DigestInfo](conn, phproto.InfoDigest)
+		if err != nil {
+			// Daemons predating delta sync hang up on InfoDigest; "all"
+			// against one degrades instead of failing after the sections
+			// that worked.
+			if what == "all" {
+				fmt.Printf("storage digest: not supported by this daemon (%v)\n", err)
+				return
+			}
+			log.Fatal(err)
+		}
+		fmt.Printf("storage digest:\n")
+		fmt.Printf("  generation: %d\n", dg.Gen)
+		fmt.Printf("  epoch:      %016x\n", dg.Epoch)
+		fmt.Printf("  entries:    %d\n", dg.Entries)
+		fmt.Printf("  table hash: %016x\n", dg.Hash)
 	}
 }
 

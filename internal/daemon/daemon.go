@@ -38,6 +38,11 @@ type Config struct {
 	// LegacyOneHop runs discovery in the pre-thesis one-level mode
 	// (baseline for experiment F3.3).
 	LegacyOneHop bool
+	// DisableDeltaSync makes this daemon's discoverers use the legacy
+	// full-table neighbourhood exchange instead of the versioned delta
+	// handshake (baseline for experiment S2). The responder still answers
+	// sync requests from peers that ask.
+	DisableDeltaSync bool
 	// QualityThreshold, MaxJumps, MaxMissedLoops configure the storage;
 	// zero values take the storage defaults (230, 8, 2).
 	QualityThreshold int
@@ -253,6 +258,7 @@ func (d *Daemon) Start(autoDiscover bool) error {
 			Clock:                d.clk,
 			ServiceCheckInterval: d.cfg.ServiceCheckInterval,
 			LegacyOneHop:         d.cfg.LegacyOneHop,
+			DisableDeltaSync:     d.cfg.DisableDeltaSync,
 		})
 		d.mu.Lock()
 		d.discoverers = append(d.discoverers, disc)
@@ -335,8 +341,9 @@ func (d *Daemon) acceptLoop(p plugin.Plugin, l plugin.Listener) {
 	}
 }
 
-// serveInfo answers a sequence of InfoRequests on one short connection
-// (fig 3.7, unified per §3.4.1's suggestion).
+// serveInfo answers a sequence of information requests on one short
+// connection (fig 3.7, unified per §3.4.1's suggestion): plain
+// InfoRequests, and the versioned neighbourhood-sync handshake.
 func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
 	defer conn.Close()
 	for {
@@ -344,19 +351,25 @@ func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
 		if err != nil {
 			return
 		}
-		req, ok := msg.(*phproto.InfoRequest)
-		if !ok {
-			return
-		}
 		var resp phproto.Message
-		switch req.Kind {
-		case phproto.InfoDevice:
-			info, _ := d.InfoFor(p.Tech())
-			resp = &phproto.DeviceInfo{Info: info}
-		case phproto.InfoServices:
-			resp = &phproto.ServiceList{Services: d.Services()}
-		case phproto.InfoNeighborhood:
-			resp = &phproto.Neighborhood{Entries: d.advertisedEntries()}
+		switch req := msg.(type) {
+		case *phproto.InfoRequest:
+			switch req.Kind {
+			case phproto.InfoDevice:
+				info, _ := d.InfoFor(p.Tech())
+				resp = &phproto.DeviceInfo{Info: info}
+			case phproto.InfoServices:
+				resp = &phproto.ServiceList{Services: d.Services()}
+			case phproto.InfoNeighborhood:
+				resp = &phproto.Neighborhood{Entries: d.advertisedEntries()}
+			case phproto.InfoDigest:
+				dg := d.store.Digest()
+				resp = &phproto.DigestInfo{Epoch: dg.Epoch, Gen: dg.Gen, Entries: uint32(dg.Entries), Hash: dg.Hash}
+			default:
+				return
+			}
+		case *phproto.NeighborhoodSyncRequest:
+			resp = d.neighborhoodSync(req)
 		default:
 			return
 		}
@@ -366,12 +379,34 @@ func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
 	}
 }
 
+// neighborhoodSync answers a versioned neighbourhood fetch. With an active
+// load penalty the advertised rows are skewed away from the stored table,
+// so no stored history can describe their changes: the responder serves a
+// FULL table with the digest computed over exactly what it transmits, and
+// stamps it epoch 0 — an unsyncable snapshot. Were it stamped with the real
+// (epoch, gen), the fetcher would record penalised fingerprints against a
+// genuine generation and every post-penalty delta would digest-mismatch
+// into a wasted resync. With epoch 0 the fetcher keeps taking FULL tables
+// while the penalty lasts and re-establishes delta sync on the first
+// unpenalised fetch.
+func (d *Daemon) neighborhoodSync(req *phproto.NeighborhoodSyncRequest) *phproto.NeighborhoodSync {
+	if d.cfg.LoadPenalty != nil && d.cfg.LoadPenalty() > 0 {
+		return phproto.FullSync(0, 0, d.advertisedEntries())
+	}
+	return d.store.SyncResponse(req.Epoch, req.Gen)
+}
+
 // advertisedEntries renders the storage for transmission, applying the
 // load-based quality penalty if configured (§4's bottleneck avoidance:
 // a busy bridge advertises routes as lower-quality, steering new
 // connections elsewhere).
 func (d *Daemon) advertisedEntries() []phproto.NeighborEntry {
 	entries := d.store.WireEntries()
+	if len(entries) > phproto.MaxEntries {
+		// The wire's entry count is a u16 capped at MaxEntries; advertise
+		// the deterministic prefix rather than an undecodable frame.
+		entries = entries[:phproto.MaxEntries]
+	}
 	if d.cfg.LoadPenalty == nil {
 		return entries
 	}

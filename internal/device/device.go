@@ -67,6 +67,15 @@ func (a Addr) String() string {
 // IsZero reports whether a is the zero address.
 func (a Addr) IsZero() bool { return a.Tech == 0 && a.MAC == "" }
 
+// Less orders addresses by (Tech, MAC): a deterministic sort order without
+// the two String() allocations per comparison.
+func (a Addr) Less(b Addr) bool {
+	if a.Tech != b.Tech {
+		return a.Tech < b.Tech
+	}
+	return a.MAC < b.MAC
+}
+
 // ErrBadAddr reports an unparseable address string.
 var ErrBadAddr = errors.New("device: malformed address")
 

@@ -3,9 +3,18 @@
 // information from new or stale devices over short connections, fold their
 // transmitted DeviceStorages into ours (AnalyzeNeighbourhoodDevices,
 // fig 3.13), and age out devices that stopped responding.
+//
+// Neighbourhood fetches are versioned: the discoverer remembers the
+// (epoch, generation) of each peer's storage it last merged and asks only
+// for the delta since then, falling back to the legacy full exchange for
+// peers that predate the handshake and to a full resync whenever the
+// advertised table digest stops matching its reconstruction. Per-round
+// discovery traffic therefore scales with neighbourhood churn instead of
+// neighbourhood size.
 package discovery
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -38,8 +47,13 @@ type Config struct {
 	// neighbourhood reports are only accepted for the reporter's *direct*
 	// neighbours, so awareness stops at two jumps and the coverage
 	// exclusion problem reappears. Used as the baseline in experiment
-	// F3.3.
+	// F3.3. Implies DisableDeltaSync.
 	LegacyOneHop bool
+
+	// DisableDeltaSync forces the legacy full-table exchange on every
+	// fetch instead of the versioned delta handshake — the baseline side
+	// of experiment S2's delta-vs-full comparison.
+	DisableDeltaSync bool
 }
 
 // RoundReport summarises one discovery round.
@@ -55,6 +69,16 @@ type RoundReport struct {
 	Merge storage.MergeResult
 	// Removed lists devices aged out this round.
 	Removed []device.Addr
+	// DeltaFetches and FullFetches split the successful fetches by sync
+	// mode; legacy exchanges count as full.
+	DeltaFetches int
+	FullFetches  int
+	// SyncBytes counts the wire bytes read and written on this round's
+	// fetch connections — the traffic the delta handshake exists to shrink.
+	SyncBytes int64
+	// MergeTime is the wall-clock time spent folding fetched
+	// neighbourhoods into the storage this round.
+	MergeTime time.Duration
 }
 
 // Discoverer runs the discovery loop of one plugin.
@@ -64,12 +88,106 @@ type Discoverer struct {
 
 	// roundMu serialises rounds: a manually driven round and the
 	// background loop must never interleave their inquiry/aging phases.
+	// peers is only touched under it.
 	roundMu sync.Mutex
+	// peers is the per-peer sync state of the versioned neighbourhood
+	// exchange; entries die with the peer (AgeRound removal).
+	peers map[device.Addr]*peerSync
 
 	mu     sync.Mutex
 	rounds int64
 	stop   chan struct{}
 	done   chan struct{}
+}
+
+// legacyReprobeInterval is how many legacy fetches pass before the
+// handshake is attempted again. A "legacy" verdict can be a misread
+// transient fault (the peer dropped the connection mid-handshake for radio
+// reasons), so it must decay: a true legacy peer costs one extra dial per
+// interval, a misjudged modern peer gets its delta sync back within it.
+const legacyReprobeInterval = 16
+
+// peerSync is what the discoverer remembers about one peer's storage
+// between rounds: the (epoch, generation) it last merged, plus a shadow of
+// the peer's transmitted table as per-entry fingerprints so every delta can
+// be verified against the advertised digest end to end.
+type peerSync struct {
+	// legacy marks a peer that closed the connection on the sync
+	// handshake; it is fetched with the pre-handshake full exchange until
+	// the next re-probe (sinceProbe counts the fetches since the verdict).
+	legacy     bool
+	sinceProbe int
+	epoch      uint64
+	gen        uint64
+	hashes     map[device.Addr]uint64
+	digest     uint64
+	// lastQuality and lastMobility are the first-hop link quality and
+	// bridge mobility class every via-this-peer route was last priced at
+	// (by a full merge or a RefreshBridgeLink pass); lastQuality is -1
+	// until the first merge. A delta round whose inquiry and descriptor
+	// report the same values can skip the refresh scan entirely.
+	lastQuality  int
+	lastMobility device.Mobility
+}
+
+// syncResult is one fetched neighbourhood, ready to merge.
+type syncResult struct {
+	full       bool
+	entries    []phproto.NeighborEntry
+	tombstones []device.Addr
+}
+
+// apply folds a sync response into the shadow. It returns false when the
+// response does not continue this state (wrong epoch or generation) or when
+// the reconstructed digest misses the advertised one — the caller must then
+// resync with a full fetch.
+func (ps *peerSync) apply(resp *phproto.NeighborhoodSync) (syncResult, bool) {
+	if resp.Full {
+		ps.epoch, ps.gen = resp.Epoch, resp.ToGen
+		ps.hashes = make(map[device.Addr]uint64, len(resp.Entries))
+		ps.digest = 0
+		for _, en := range resp.Entries {
+			h := en.Hash()
+			ps.hashes[en.Info.Addr] = h
+			ps.digest ^= h
+		}
+		if uint32(len(ps.hashes)) != resp.DigestCount || ps.digest != resp.DigestHash {
+			// The advertised digest does not cover what was sent: the
+			// responder's own digest state diverged from its table. Merge
+			// the entries — they are the freshest view available — but
+			// record no sync state for a later delta to be verified
+			// against; the next fetch starts over with a FULL request
+			// instead of a doomed delta attempt plus in-connection resync.
+			*ps = peerSync{legacy: ps.legacy, sinceProbe: ps.sinceProbe, lastQuality: ps.lastQuality, lastMobility: ps.lastMobility}
+		}
+		return syncResult{full: true, entries: resp.Entries}, true
+	}
+	// No shadow means no baseline to continue from: a DELTA answering a
+	// first-contact (or post-reset) request is invalid even when its
+	// (epoch, gen) echo the zeros we sent — reject it rather than trust
+	// entries we cannot verify (a well-behaved responder answers FULL).
+	if ps.hashes == nil || resp.Epoch != ps.epoch || resp.FromGen != ps.gen {
+		return syncResult{}, false
+	}
+	for _, en := range resp.Entries {
+		h := en.Hash()
+		if old, ok := ps.hashes[en.Info.Addr]; ok {
+			ps.digest ^= old
+		}
+		ps.hashes[en.Info.Addr] = h
+		ps.digest ^= h
+	}
+	for _, a := range resp.Tombstones {
+		if old, ok := ps.hashes[a]; ok {
+			ps.digest ^= old
+			delete(ps.hashes, a)
+		}
+	}
+	if uint32(len(ps.hashes)) != resp.DigestCount || ps.digest != resp.DigestHash {
+		return syncResult{}, false
+	}
+	ps.gen = resp.ToGen
+	return syncResult{entries: resp.Entries, tombstones: resp.Tombstones}, true
 }
 
 // New returns a Discoverer. It panics if Store, Plugin, or Clock is nil.
@@ -84,9 +202,17 @@ func New(cfg Config) *Discoverer {
 	// device, decorrelated across devices. Without this, loops started
 	// together stay phase-locked and asymmetric radios (Bluetooth) never
 	// see each other — each is mid-inquiry whenever the others look.
+	if cfg.LegacyOneHop {
+		// The pre-thesis baseline predates the sync handshake too.
+		cfg.DisableDeltaSync = true
+	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(cfg.Plugin.Addr().String()))
-	return &Discoverer{cfg: cfg, src: rng.New(int64(h.Sum64()))}
+	return &Discoverer{
+		cfg:   cfg,
+		src:   rng.New(int64(h.Sum64())),
+		peers: make(map[device.Addr]*peerSync),
+	}
 }
 
 // Rounds returns how many rounds have completed.
@@ -117,34 +243,78 @@ func (d *Discoverer) RunRound() RoundReport {
 			continue
 		}
 		rep.Fetches++
-		info, nb, err := Fetch(d.cfg.Plugin, r.Addr)
+		info, sr, err := d.fetchPeer(r.Addr, &rep)
 		if err != nil {
 			rep.FetchErrors++
 			if known {
 				// Fetch failed but the device did respond: keep it alive.
 				d.cfg.Store.UpsertDirect(device.Info{Addr: r.Addr}, r.Quality)
+			} else {
+				// Never successfully fetched and not stored: drop the sync
+				// state too, or non-PeerHood devices that answer inquiries
+				// but refuse the daemon port would accumulate forever.
+				delete(d.peers, r.Addr)
 			}
 			continue
 		}
 		d.cfg.Store.UpsertDirect(info, r.Quality)
 		d.cfg.Store.UpdateInfo(info)
 		if d.cfg.LegacyOneHop {
-			kept := nb[:0]
-			for _, e := range nb {
+			kept := sr.entries[:0]
+			for _, e := range sr.entries {
 				if e.Jumps == 0 {
 					kept = append(kept, e)
 				}
 			}
-			nb = kept
+			sr.entries = kept
 		}
-		m := d.cfg.Store.MergeNeighborhood(r.Addr, r.Quality, nb)
+		mergeStart := time.Now()
+		var m storage.MergeResult
+		ps := d.peers[r.Addr]
+		if sr.full {
+			rep.FullFetches++
+			m = d.cfg.Store.MergeNeighborhood(r.Addr, r.Quality, sr.entries)
+		} else {
+			rep.DeltaFetches++
+			// The delta only carries the peer's changes; our own link to
+			// the peer (and its mobility class) may have drifted since the
+			// rows were merged. The refresh scan is skipped when neither
+			// has: every via-peer route is already priced at
+			// (lastQuality, lastMobility).
+			if ps == nil || ps.lastQuality != r.Quality || ps.lastMobility != info.Mobility {
+				d.cfg.Store.RefreshBridgeLink(r.Addr, r.Quality)
+			}
+			m = d.cfg.Store.MergeNeighborhoodDelta(r.Addr, r.Quality, sr.entries, sr.tombstones)
+		}
+		if ps != nil {
+			ps.lastQuality = r.Quality
+			ps.lastMobility = info.Mobility
+		}
+		rep.MergeTime += time.Since(mergeStart)
 		rep.Merge.Added += m.Added
 		rep.Merge.Updated += m.Updated
 		rep.Merge.Rejected += m.Rejected
 		rep.Merge.Removed += m.Removed
 	}
 
-	rep.Removed = d.cfg.Store.AgeRound(d.cfg.Plugin.Tech(), responded)
+	var lostBridges []device.Addr
+	rep.Removed, lostBridges = d.cfg.Store.AgeRound(d.cfg.Plugin.Tech(), responded)
+	for _, a := range rep.Removed {
+		delete(d.peers, a)
+	}
+	for _, a := range lostBridges {
+		// The aging sweep just deleted our via-a knowledge while a's own
+		// storage may be unchanged — an empty delta from a would never
+		// bring it back. Drop the sync state so a's next fetch is FULL.
+		delete(d.peers, a)
+	}
+	for _, a := range d.cfg.Store.TakeEvictedBridges(d.cfg.Plugin.Tech()) {
+		// Same hazard via the alternates cap: a device just became
+		// unreachable whose via-a route was evicted locally, so a's
+		// (unchanged) storage would never re-send it. A full fetch of a
+		// restores it.
+		delete(d.peers, a)
+	}
 
 	d.mu.Lock()
 	d.rounds++
@@ -201,26 +371,148 @@ func (d *Discoverer) Stop() {
 	<-done
 }
 
-// Fetch performs the information exchange of fig 3.7 against a device's
-// daemon port: device information (including services) and the
-// neighbourhood table, over one short connection. An ErrRefused dial means
-// the device carries no PeerHood daemon — the SDP "PeerHood tag" check of
-// §2.3 maps to this.
+// errSyncUnsupported marks a peer that dropped the connection on the sync
+// handshake — a daemon predating the versioned exchange.
+var errSyncUnsupported = errors.New("discovery: peer does not support neighbourhood sync")
+
+// countingConn counts the bytes crossing a fetch connection in both
+// directions, so experiments can report discovery traffic.
+type countingConn struct {
+	plugin.Conn
+	n int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// fetchPeer performs one information fetch against a direct neighbour,
+// versioned when both sides support it. It returns the peer's descriptor
+// and the neighbourhood (full table or delta) to merge.
+func (d *Discoverer) fetchPeer(to device.Addr, rep *RoundReport) (device.Info, syncResult, error) {
+	ps := d.peers[to]
+	if ps == nil {
+		ps = &peerSync{lastQuality: -1}
+		d.peers[to] = ps
+	}
+	if ps.legacy {
+		ps.sinceProbe++
+		if ps.sinceProbe >= legacyReprobeInterval {
+			// The verdict may have been a transient fault; try the
+			// handshake again below.
+			ps.legacy = false
+			ps.sinceProbe = 0
+		}
+	}
+	if d.cfg.DisableDeltaSync || ps.legacy {
+		info, nb, err := d.fetchFull(to, rep)
+		return info, syncResult{full: true, entries: nb}, err
+	}
+	info, sr, err := d.fetchVersioned(to, ps, rep)
+	if err == nil || !errors.Is(err, errSyncUnsupported) {
+		return info, sr, err
+	}
+	// The peer hung up on the handshake: treat it as legacy until the next
+	// re-probe and repeat this fetch as the full exchange.
+	ps.legacy = true
+	ps.sinceProbe = 0
+	info, nb, err := d.fetchFull(to, rep)
+	return info, syncResult{full: true, entries: nb}, err
+}
+
+// dialCounted opens one fetch connection wrapped for byte accounting; the
+// returned cleanup adds the connection's traffic to the report and closes it.
+func (d *Discoverer) dialCounted(to device.Addr, rep *RoundReport) (*countingConn, func(), error) {
+	conn, err := d.cfg.Plugin.Dial(to, device.PortDaemon)
+	if err != nil {
+		return nil, nil, fmt.Errorf("discovery: fetching %v: %w", to, err)
+	}
+	cc := &countingConn{Conn: conn}
+	return cc, func() {
+		rep.SyncBytes += cc.n
+		_ = conn.Close()
+	}, nil
+}
+
+// fetchVersioned runs the versioned exchange on one short connection:
+// device info, then the (epoch, generation) handshake, then — if the
+// response does not continue the remembered state or its digest cannot be
+// reproduced — an explicit full resync on the same connection.
+func (d *Discoverer) fetchVersioned(to device.Addr, ps *peerSync, rep *RoundReport) (device.Info, syncResult, error) {
+	cc, cleanup, err := d.dialCounted(to, rep)
+	if err != nil {
+		return device.Info{}, syncResult{}, err
+	}
+	defer cleanup()
+
+	info, err := requestDeviceInfo(cc)
+	if err != nil {
+		return device.Info{}, syncResult{}, err
+	}
+	if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{Epoch: ps.epoch, Gen: ps.gen}); err != nil {
+		return device.Info{}, syncResult{}, fmt.Errorf("discovery: requesting sync: %w", err)
+	}
+	resp, err := phproto.ReadExpect[*phproto.NeighborhoodSync](cc)
+	if err != nil {
+		// The device answered the info request but hung up on the sync
+		// command: a legacy daemon.
+		return device.Info{}, syncResult{}, fmt.Errorf("%w: %v", errSyncUnsupported, err)
+	}
+	sr, ok := ps.apply(resp)
+	if !ok {
+		// Wrong continuation or digest mismatch: resync from scratch.
+		if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{}); err != nil {
+			return device.Info{}, syncResult{}, fmt.Errorf("discovery: requesting resync: %w", err)
+		}
+		full, err := phproto.ReadExpect[*phproto.NeighborhoodSync](cc)
+		if err != nil {
+			return device.Info{}, syncResult{}, fmt.Errorf("discovery: reading resync: %w", err)
+		}
+		if !full.Full {
+			return device.Info{}, syncResult{}, fmt.Errorf("discovery: resync of %v answered with a delta", to)
+		}
+		sr, _ = ps.apply(full)
+	}
+	return info, sr, nil
+}
+
+// fetchFull performs the legacy full exchange, counting its bytes.
+func (d *Discoverer) fetchFull(to device.Addr, rep *RoundReport) (device.Info, []phproto.NeighborEntry, error) {
+	cc, cleanup, err := d.dialCounted(to, rep)
+	if err != nil {
+		return device.Info{}, nil, err
+	}
+	defer cleanup()
+	return fetchFullConn(cc)
+}
+
+// Fetch performs the legacy information exchange of fig 3.7 against a
+// device's daemon port: device information (including services) and the
+// full neighbourhood table, over one short connection. An ErrRefused dial
+// means the device carries no PeerHood daemon — the SDP "PeerHood tag"
+// check of §2.3 maps to this.
 func Fetch(p plugin.Plugin, to device.Addr) (device.Info, []phproto.NeighborEntry, error) {
 	conn, err := p.Dial(to, device.PortDaemon)
 	if err != nil {
 		return device.Info{}, nil, fmt.Errorf("discovery: fetching %v: %w", to, err)
 	}
 	defer conn.Close()
+	return fetchFullConn(conn)
+}
 
-	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: phproto.InfoDevice}); err != nil {
-		return device.Info{}, nil, fmt.Errorf("discovery: requesting device info: %w", err)
-	}
-	di, err := phproto.ReadExpect[*phproto.DeviceInfo](conn)
+func fetchFullConn(conn plugin.Conn) (device.Info, []phproto.NeighborEntry, error) {
+	info, err := requestDeviceInfo(conn)
 	if err != nil {
-		return device.Info{}, nil, fmt.Errorf("discovery: reading device info: %w", err)
+		return device.Info{}, nil, err
 	}
-
 	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: phproto.InfoNeighborhood}); err != nil {
 		return device.Info{}, nil, fmt.Errorf("discovery: requesting neighbourhood: %w", err)
 	}
@@ -228,5 +520,16 @@ func Fetch(p plugin.Plugin, to device.Addr) (device.Info, []phproto.NeighborEntr
 	if err != nil {
 		return device.Info{}, nil, fmt.Errorf("discovery: reading neighbourhood: %w", err)
 	}
-	return di.Info, nb.Entries, nil
+	return info, nb.Entries, nil
+}
+
+func requestDeviceInfo(conn plugin.Conn) (device.Info, error) {
+	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: phproto.InfoDevice}); err != nil {
+		return device.Info{}, fmt.Errorf("discovery: requesting device info: %w", err)
+	}
+	di, err := phproto.ReadExpect[*phproto.DeviceInfo](conn)
+	if err != nil {
+		return device.Info{}, fmt.Errorf("discovery: reading device info: %w", err)
+	}
+	return di.Info, nil
 }

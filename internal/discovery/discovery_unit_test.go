@@ -26,6 +26,13 @@ type fetchScript struct {
 	info device.Info
 	nb   []phproto.NeighborEntry
 	err  error
+	// store, when set, makes the fake a sync-capable responder answering
+	// neighbourhood and versioned-sync requests from a live storage. When
+	// nil the fake behaves like a legacy daemon: it hangs up on the sync
+	// handshake.
+	store *storage.Storage
+	// sync, when set, overrides the sync answer (protocol-fault injection).
+	sync func(*phproto.NeighborhoodSyncRequest) *phproto.NeighborhoodSync
 }
 
 var _ plugin.Plugin = (*fakePlugin)(nil)
@@ -66,15 +73,29 @@ func serveScript(c plugin.Conn, s fetchScript) {
 		if err != nil {
 			return
 		}
-		req, ok := msg.(*phproto.InfoRequest)
-		if !ok {
-			return
-		}
-		switch req.Kind {
-		case phproto.InfoDevice:
-			_ = phproto.Write(c, &phproto.DeviceInfo{Info: s.info})
-		case phproto.InfoNeighborhood:
-			_ = phproto.Write(c, &phproto.Neighborhood{Entries: s.nb})
+		switch req := msg.(type) {
+		case *phproto.InfoRequest:
+			switch req.Kind {
+			case phproto.InfoDevice:
+				_ = phproto.Write(c, &phproto.DeviceInfo{Info: s.info})
+			case phproto.InfoNeighborhood:
+				nb := s.nb
+				if s.store != nil {
+					nb = s.store.WireEntries()
+				}
+				_ = phproto.Write(c, &phproto.Neighborhood{Entries: nb})
+			default:
+				return
+			}
+		case *phproto.NeighborhoodSyncRequest:
+			switch {
+			case s.sync != nil:
+				_ = phproto.Write(c, s.sync(req))
+			case s.store != nil:
+				_ = phproto.Write(c, s.store.SyncResponse(req.Epoch, req.Gen))
+			default:
+				return // legacy daemon: hang up on the handshake
+			}
 		default:
 			return
 		}

@@ -1,0 +1,395 @@
+package discovery
+
+import (
+	"testing"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+	"peerhood/internal/plugin"
+	"peerhood/internal/storage"
+)
+
+func newPeerStore() *storage.Storage {
+	s := storage.New(storage.Config{Clock: clock.NewManual()})
+	s.AddSelfAddr(bt("B"))
+	return s
+}
+
+// TestVersionedSyncDeltaFlow drives the full fetcher lifecycle against a
+// sync-capable peer: FULL on first contact, empty DELTA while nothing
+// changes, a one-row DELTA after a change, and a tombstone when the peer
+// loses a device.
+func TestVersionedSyncDeltaFlow(t *testing.T) {
+	fp, st, d := newFakeSetup(false)
+	peerStore := newPeerStore()
+	peerStore.UpsertDirect(device.Info{Name: "C", Addr: bt("C")}, 238)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	rep := d.RunRound()
+	if rep.FullFetches != 1 || rep.DeltaFetches != 0 {
+		t.Fatalf("first contact: %+v, want one full fetch", rep)
+	}
+	if _, ok := st.Lookup(bt("C")); !ok {
+		t.Fatal("C not learned from the full sync")
+	}
+	fullBytes := rep.SyncBytes
+	if fullBytes == 0 {
+		t.Fatal("fetch bytes not counted")
+	}
+
+	rep = d.RunRound()
+	if rep.DeltaFetches != 1 || rep.FullFetches != 0 {
+		t.Fatalf("steady state: %+v, want one delta fetch", rep)
+	}
+	if rep.Merge.Added != 0 || rep.Merge.Updated != 0 {
+		t.Fatalf("empty delta merged something: %+v", rep.Merge)
+	}
+	if rep.SyncBytes >= fullBytes {
+		t.Fatalf("empty delta round moved %d bytes, full contact moved %d", rep.SyncBytes, fullBytes)
+	}
+
+	peerStore.UpsertDirect(device.Info{Name: "D", Addr: bt("D")}, 231)
+	rep = d.RunRound()
+	if rep.DeltaFetches != 1 || rep.Merge.Added != 1 {
+		t.Fatalf("change round: %+v, want D added via delta", rep)
+	}
+	e, ok := st.Lookup(bt("D"))
+	if !ok {
+		t.Fatal("D not learned from the delta")
+	}
+	if best, _ := e.Best(); best.Bridge != bt("B") || best.Jumps != 1 {
+		t.Fatalf("D route = %+v, want via B", best)
+	}
+
+	peerStore.RemoveDirect(bt("C"))
+	rep = d.RunRound()
+	if rep.DeltaFetches != 1 {
+		t.Fatalf("tombstone round: %+v", rep)
+	}
+	if _, ok := st.Lookup(bt("C")); ok {
+		t.Fatal("C survived its tombstone")
+	}
+}
+
+// TestVersionedSyncPeerRestart swaps the peer's storage for a fresh one
+// (new epoch): the fetcher must detect the restart through the epoch and
+// take a FULL table instead of trusting stale generations.
+func TestVersionedSyncPeerRestart(t *testing.T) {
+	fp, st, d := newFakeSetup(false)
+	peerStore := newPeerStore()
+	peerStore.UpsertDirect(device.Info{Name: "C", Addr: bt("C")}, 238)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	d.RunRound()
+	if _, ok := st.Lookup(bt("C")); !ok {
+		t.Fatal("C not learned")
+	}
+
+	restarted := newPeerStore()
+	restarted.UpsertDirect(device.Info{Name: "E", Addr: bt("E")}, 233)
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: restarted}
+
+	rep := d.RunRound()
+	if rep.FullFetches != 1 || rep.DeltaFetches != 0 {
+		t.Fatalf("restart round: %+v, want a full fetch", rep)
+	}
+	if _, ok := st.Lookup(bt("E")); !ok {
+		t.Fatal("E not learned after the restart")
+	}
+	// The full merge's unreported sweep must drop the stale via-B route.
+	if _, ok := st.Lookup(bt("C")); ok {
+		t.Fatal("stale pre-restart device survived the full resync")
+	}
+}
+
+// TestLegacyPeerFallsBackToFullExchange talks to a responder that hangs up
+// on the sync handshake: the fetcher retries with the legacy exchange, and
+// remembers not to bother the peer with the handshake again.
+func TestLegacyPeerFallsBackToFullExchange(t *testing.T) {
+	fp, st, d := newFakeSetup(false)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{
+		info: device.Info{Name: "B", Addr: bt("B")},
+		nb: []phproto.NeighborEntry{
+			{Info: device.Info{Name: "C", Addr: bt("C")}, QualitySum: 238, QualityMin: 238},
+		},
+	}
+
+	rep := d.RunRound()
+	if rep.FetchErrors != 0 || rep.FullFetches != 1 {
+		t.Fatalf("legacy round: %+v", rep)
+	}
+	if _, ok := st.Lookup(bt("C")); !ok {
+		t.Fatal("C not learned through the legacy fallback")
+	}
+	if fp.dials != 2 {
+		t.Fatalf("first legacy contact took %d dials, want 2 (handshake + fallback)", fp.dials)
+	}
+	d.RunRound()
+	if fp.dials != 3 {
+		t.Fatalf("known-legacy round took %d extra dials, want 1", fp.dials-2)
+	}
+}
+
+// TestLegacyVerdictDecays upgrades a peer that was (mis)judged legacy —
+// perhaps a transient mid-handshake fault — back to delta sync: after
+// legacyReprobeInterval legacy fetches the handshake must be retried.
+func TestLegacyVerdictDecays(t *testing.T) {
+	fp, _, d := newFakeSetup(false)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}}
+
+	d.RunRound() // handshake refused: marked legacy
+	// The peer "upgrades" (or the fault clears): now sync-capable.
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: newPeerStore()}
+
+	recovered := -1
+	for i := 0; i < legacyReprobeInterval+1; i++ {
+		rep := d.RunRound()
+		if rep.DeltaFetches > 0 {
+			recovered = i
+			break
+		}
+		if i < legacyReprobeInterval-1 && rep.FullFetches != 1 {
+			t.Fatalf("round %d: %+v, want a legacy full fetch", i, rep)
+		}
+	}
+	if recovered < 0 {
+		t.Fatalf("peer never recovered delta sync within %d rounds", legacyReprobeInterval+1)
+	}
+	// And it must stay on deltas afterwards.
+	if rep := d.RunRound(); rep.DeltaFetches != 1 {
+		t.Fatalf("post-recovery round: %+v", rep)
+	}
+}
+
+// TestRefusedPeersLeaveNoSyncState pins the d.peers lifecycle: a device
+// that answers inquiries but refuses the daemon port (not PeerHood-capable)
+// must not accumulate per-peer sync state round after round.
+func TestRefusedPeersLeaveNoSyncState(t *testing.T) {
+	fp, st, d := newFakeSetup(false)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("X"), Quality: 240}}
+	fp.fetch["X"] = fetchScript{err: plugin.ErrRefused}
+	for i := 0; i < 5; i++ {
+		rep := d.RunRound()
+		if rep.FetchErrors != 1 {
+			t.Fatalf("round %d: %+v", i, rep)
+		}
+	}
+	if st.Len() != 0 {
+		t.Fatal("refused device stored")
+	}
+	if len(d.peers) != 0 {
+		t.Fatalf("%d sync-state entries for never-fetched devices, want 0", len(d.peers))
+	}
+}
+
+// TestSyncDigestMismatchForcesResync injects a delta whose digest cannot be
+// reproduced; the fetcher must resync with an explicit full request on the
+// same connection rather than merge unverified data.
+func TestSyncDigestMismatchForcesResync(t *testing.T) {
+	fp, st, d := newFakeSetup(false)
+	peerStore := newPeerStore()
+	peerStore.UpsertDirect(device.Info{Name: "C", Addr: bt("C")}, 238)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	script := fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+	script.sync = func(req *phproto.NeighborhoodSyncRequest) *phproto.NeighborhoodSync {
+		resp := peerStore.SyncResponse(req.Epoch, req.Gen)
+		if !resp.Full {
+			resp.DigestHash ^= 0xBAD // corrupt every delta
+		}
+		return resp
+	}
+	fp.fetch["B"] = script
+
+	rep := d.RunRound() // first contact: FULL, digest fine
+	if rep.FullFetches != 1 {
+		t.Fatalf("first round: %+v", rep)
+	}
+	peerStore.UpsertDirect(device.Info{Name: "D", Addr: bt("D")}, 231)
+
+	rep = d.RunRound() // corrupted delta -> resync -> FULL applied
+	if rep.FetchErrors != 0 || rep.FullFetches != 1 || rep.DeltaFetches != 0 {
+		t.Fatalf("mismatch round: %+v, want a full resync", rep)
+	}
+	if _, ok := st.Lookup(bt("D")); !ok {
+		t.Fatal("D not learned through the resync")
+	}
+}
+
+// TestDeltaRoundRefreshesBridgeLinkQuality pins delta/full behavioural
+// parity for the local hop: when our link to a bridge drifts while the
+// bridge's table is unchanged (empty deltas), the stored via-bridge routes
+// must be re-priced with the current inquiry quality, exactly as re-merging
+// a full table would.
+func TestDeltaRoundRefreshesBridgeLinkQuality(t *testing.T) {
+	fp, st, d := newFakeSetup(false)
+	peerStore := newPeerStore()
+	peerStore.UpsertDirect(device.Info{Name: "X", Addr: bt("X")}, 236)
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	d.RunRound()
+	e, _ := st.Lookup(bt("X"))
+	best, _ := e.Best()
+	if best.QualitySum != 240+236 {
+		t.Fatalf("initial X route = %+v", best)
+	}
+
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 185}}
+	rep := d.RunRound()
+	if rep.DeltaFetches != 1 {
+		t.Fatalf("drift round: %+v, want a delta fetch", rep)
+	}
+	e, _ = st.Lookup(bt("X"))
+	best, _ = e.Best()
+	if best.QualitySum != 185+236 || best.QualityMin != 185 {
+		t.Fatalf("X route after drift = %+v, want sum %d min 185 (stale bridge quality?)", best, 185+236)
+	}
+}
+
+// TestBridgeBlipForcesFullResync reproduces the lost-knowledge hazard of
+// delta sync: B (also reachable via C) misses enough inquiries that the
+// aging sweep erases every via-B route — including X, known only through
+// B. B's own storage never changed, so when B reappears an empty delta
+// would leave X lost forever; the discoverer must drop B's sync state with
+// the swept routes and take a FULL table instead.
+func TestBridgeBlipForcesFullResync(t *testing.T) {
+	fp, st, d := newFakeSetup(false)
+
+	bStore := newPeerStore() // self "B"
+	bStore.UpsertDirect(device.Info{Name: "X", Addr: bt("X")}, 236)
+	cStore := storage.New(storage.Config{Clock: clock.NewManual()})
+	cStore.AddSelfAddr(bt("C"))
+	cStore.UpsertDirect(device.Info{Name: "B", Addr: bt("B")}, 234)
+
+	respond := func(macs ...string) {
+		fp.responses = nil
+		for _, m := range macs {
+			fp.responses = append(fp.responses, plugin.InquiryResult{Addr: bt(m), Quality: 240})
+		}
+	}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: bStore}
+	fp.fetch["C"] = fetchScript{info: device.Info{Name: "C", Addr: bt("C")}, store: cStore}
+
+	respond("B", "C")
+	d.RunRound()
+	if _, ok := st.Lookup(bt("X")); !ok {
+		t.Fatal("X not learned via B")
+	}
+
+	// B goes silent; C keeps vouching for it, so B survives via C while
+	// the sweep erases B's direct route and the via-B knowledge (X).
+	respond("C")
+	for i := 0; i <= storage.DefaultMaxMissedLoops; i++ {
+		d.RunRound()
+	}
+	if _, ok := st.Lookup(bt("X")); ok {
+		t.Fatal("X survived the lost-bridge sweep")
+	}
+	if e, ok := st.Lookup(bt("B")); !ok || e.HasDirect() {
+		t.Fatalf("B should persist via C without a direct route: %+v, %v", e, ok)
+	}
+
+	// B reappears, its storage unchanged: the fetch must be FULL (not an
+	// empty delta) and X must come back.
+	respond("B", "C")
+	rep := d.RunRound()
+	if rep.FullFetches == 0 {
+		t.Fatalf("reappearance round: %+v, want a full fetch of B", rep)
+	}
+	if _, ok := st.Lookup(bt("X")); !ok {
+		t.Fatal("X never re-learned after B reappeared — delta sync lost it")
+	}
+}
+
+// TestDisableDeltaSyncUsesLegacyExchange pins the S2 baseline: with the
+// flag set every fetch is a full exchange and no handshake is attempted.
+func TestDisableDeltaSyncUsesLegacyExchange(t *testing.T) {
+	fp := &fakePlugin{addr: bt("self"), fetch: make(map[string]fetchScript)}
+	st := storage.New(storage.Config{Clock: clock.NewManual()})
+	st.AddSelfAddr(fp.addr)
+	d := New(Config{Store: st, Plugin: fp, Clock: clock.NewManual(), DisableDeltaSync: true})
+
+	peerStore := newPeerStore()
+	peerStore.UpsertDirect(device.Info{Name: "C", Addr: bt("C")}, 238)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	var bytes [2]int64
+	for i := range bytes {
+		rep := d.RunRound()
+		if rep.FullFetches != 1 || rep.DeltaFetches != 0 {
+			t.Fatalf("round %d: %+v, want full fetches only", i, rep)
+		}
+		bytes[i] = rep.SyncBytes
+		if fp.dials != i+1 {
+			t.Fatalf("round %d took %d dials total, want %d", i, fp.dials, i+1)
+		}
+	}
+	// Nothing changed between the rounds, yet the full exchange re-sends
+	// the table: that is exactly the redundancy delta sync removes.
+	if bytes[1] != bytes[0] {
+		t.Fatalf("full exchange bytes varied without changes: %v", bytes)
+	}
+}
+
+// TestFullSyncDigestMismatchRecordsNoState: a FULL whose advertised digest
+// does not cover its entries reveals a responder whose digest bookkeeping
+// diverged from its table. The entries are still merged (freshest view
+// available), but no sync state may be recorded — a delta verified against
+// an unverifiable baseline would mismatch every round, degrading to a
+// wasted delta attempt plus an in-connection resync forever.
+func TestFullSyncDigestMismatchRecordsNoState(t *testing.T) {
+	ps := &peerSync{lastQuality: 200}
+	entries := []phproto.NeighborEntry{{
+		Info: device.Info{Name: "C", Addr: bt("C")}, QualitySum: 238, QualityMin: 238,
+	}}
+	sr, ok := ps.apply(&phproto.NeighborhoodSync{
+		Full: true, Epoch: 7, ToGen: 9, Entries: entries,
+		DigestCount: 1, DigestHash: 0xdeadbeef, // does not match entries
+	})
+	if !ok || !sr.full || len(sr.entries) != 1 {
+		t.Fatalf("unverifiable FULL not usable: %+v, %v", sr, ok)
+	}
+	if ps.epoch != 0 || ps.gen != 0 || ps.hashes != nil || ps.digest != 0 {
+		t.Fatalf("sync state recorded from an unverifiable FULL: %+v", ps)
+	}
+	if ps.lastQuality != 200 {
+		t.Fatalf("lastQuality = %d, want preserved", ps.lastQuality)
+	}
+
+	// A verifiable FULL records state as usual.
+	count, hash := phproto.DigestOf(entries)
+	sr, ok = ps.apply(&phproto.NeighborhoodSync{
+		Full: true, Epoch: 7, ToGen: 9, Entries: entries,
+		DigestCount: count, DigestHash: hash,
+	})
+	if !ok || !sr.full {
+		t.Fatalf("verifiable FULL rejected: %+v, %v", sr, ok)
+	}
+	if ps.epoch != 7 || ps.gen != 9 || len(ps.hashes) != 1 {
+		t.Fatalf("sync state not recorded from a verifiable FULL: %+v", ps)
+	}
+}
+
+// TestDeltaWithoutBaselineRejected: a responder answering a first-contact
+// (or post-reset) sync request with a DELTA echoing our zero (epoch, gen)
+// offers entries against a baseline we never had. The fetcher must reject
+// the frame and resync in full — not crash on its empty shadow.
+func TestDeltaWithoutBaselineRejected(t *testing.T) {
+	ps := &peerSync{lastQuality: -1}
+	_, ok := ps.apply(&phproto.NeighborhoodSync{
+		Entries:     []phproto.NeighborEntry{{Info: device.Info{Name: "C", Addr: bt("C")}}},
+		DigestCount: 1,
+	})
+	if ok {
+		t.Fatal("delta accepted with no FULL baseline")
+	}
+	if ps.epoch != 0 || ps.gen != 0 || ps.hashes != nil {
+		t.Fatalf("rejected delta mutated state: %+v", ps)
+	}
+}

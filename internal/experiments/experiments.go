@@ -98,6 +98,7 @@ var registry = []registration{
 	{"F6.1", "Coverage amplification through a bridge tunnel (fig 6.1)", RunTunnel},
 	{"A1", "Ablation: route selection policies (§3.4)", RunRouteAblation},
 	{"S1", "City block: 1,000 mobile nodes on the spatial-grid index", RunScale},
+	{"S2", "Dense plaza: delta vs full neighbourhood sync under churn", RunPlaza},
 }
 
 // IDs returns the registered experiment IDs in canonical order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func quickCfg() Config {
 
 func TestRegistryListsAllIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1", "S1"}
+	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1", "S1", "S2"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -212,6 +213,34 @@ func TestScaleScenarioQuick(t *testing.T) {
 		if !found {
 			t.Fatalf("no links %s:\n%s", measure, res.Table)
 		}
+	}
+}
+
+func TestDensePlazaDeltaBeatsFullSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale experiment")
+	}
+	res, err := Run("S2", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the lowest churn level the delta rows must report at least a 5x
+	// byte reduction versus retransmitting full tables.
+	var reduction float64
+	for _, line := range strings.Split(res.Table, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 8 && f[0] == "0%" && f[1] == "delta" {
+			if _, err := fmt.Sscanf(f[7], "%f", &reduction); err != nil {
+				t.Fatalf("unparseable reduction %q:\n%s", f[7], res.Table)
+			}
+		}
+	}
+	if reduction < 5 {
+		t.Fatalf("low-churn delta reduction = %.1fx, want >= 5x:\n%s", reduction, res.Table)
+	}
+	// Both sync modes must actually have run.
+	if !strings.Contains(res.Table, "delta") || !strings.Contains(res.Table, "full") {
+		t.Fatalf("table missing modes:\n%s", res.Table)
 	}
 }
 

@@ -98,6 +98,37 @@ func Ratio(a, b int) string {
 	return fmt.Sprintf("%.0f%%", 100*float64(a)/float64(b))
 }
 
+// ByteCounter accumulates per-round byte totals — discovery traffic in the
+// delta-sync experiments. Each AddRound records one round's bytes; the
+// summary answers "how much wire traffic does a round cost".
+type ByteCounter struct {
+	rounds []float64
+	total  int64
+}
+
+// AddRound records one round's byte count.
+func (c *ByteCounter) AddRound(n int64) {
+	c.rounds = append(c.rounds, float64(n))
+	c.total += n
+}
+
+// Total returns the bytes accumulated over all rounds.
+func (c *ByteCounter) Total() int64 { return c.total }
+
+// Rounds returns how many rounds were recorded.
+func (c *ByteCounter) Rounds() int { return len(c.rounds) }
+
+// AvgPerRound returns the mean bytes per round (0 with no rounds).
+func (c *ByteCounter) AvgPerRound() float64 {
+	if len(c.rounds) == 0 {
+		return 0
+	}
+	return float64(c.total) / float64(len(c.rounds))
+}
+
+// Summary returns the full distribution of per-round byte counts.
+func (c *ByteCounter) Summary() Summary { return Summarize(c.rounds) }
+
 // Counter accumulates named integer counts with stable ordering.
 type Counter struct {
 	names  []string

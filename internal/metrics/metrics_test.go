@@ -98,6 +98,25 @@ func TestRatio(t *testing.T) {
 	}
 }
 
+func TestByteCounter(t *testing.T) {
+	var c ByteCounter
+	if c.Total() != 0 || c.Rounds() != 0 || c.AvgPerRound() != 0 {
+		t.Fatalf("zero counter: total=%d rounds=%d avg=%g", c.Total(), c.Rounds(), c.AvgPerRound())
+	}
+	c.AddRound(100)
+	c.AddRound(300)
+	if c.Total() != 400 || c.Rounds() != 2 {
+		t.Fatalf("total=%d rounds=%d", c.Total(), c.Rounds())
+	}
+	if got := c.AvgPerRound(); got != 200 {
+		t.Fatalf("avg = %g, want 200", got)
+	}
+	s := c.Summary()
+	if s.N != 2 || s.Min != 100 || s.Max != 300 || s.Sum != 400 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
 func TestCounter(t *testing.T) {
 	c := NewCounter()
 	c.Add("b", 1)

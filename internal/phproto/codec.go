@@ -62,6 +62,28 @@ func (e *encoder) info(i device.Info) {
 	e.services(i.Services)
 }
 
+func (e *encoder) neighborEntry(en NeighborEntry) {
+	e.info(en.Info)
+	e.u8(en.Jumps)
+	e.addr(en.Bridge)
+	e.u32(en.QualitySum)
+	e.u8(en.QualityMin)
+}
+
+func (e *encoder) neighborEntries(entries []NeighborEntry) {
+	e.u16(uint16(len(entries)))
+	for _, en := range entries {
+		e.neighborEntry(en)
+	}
+}
+
+func (e *encoder) addrs(as []device.Addr) {
+	e.u16(uint16(len(as)))
+	for _, a := range as {
+		e.addr(a)
+	}
+}
+
 // decoder consumes a frame payload. The first error sticks; all subsequent
 // reads return zero values, so message decoders can read unconditionally
 // and check d.err once.
@@ -74,6 +96,14 @@ type decoder struct {
 func (d *decoder) fail(what string) {
 	if d.err == nil {
 		d.err = fmt.Errorf("%w: truncated %s at offset %d", ErrMalformed, what, d.off)
+	}
+}
+
+// failTooMany reports a declared element count above the decodable cap —
+// the frame read fine, it just announces more than any valid sender emits.
+func (d *decoder) failTooMany(n int, what string, max int) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %d %s (max %d)", ErrMalformed, n, what, max)
 	}
 }
 
@@ -171,7 +201,7 @@ func (d *decoder) services() []device.ServiceInfo {
 		return nil
 	}
 	if n > MaxServices {
-		d.fail("service count")
+		d.failTooMany(n, "services", MaxServices)
 		return nil
 	}
 	if n == 0 {
@@ -184,6 +214,62 @@ func (d *decoder) services() []device.ServiceInfo {
 			return nil
 		}
 		out = append(out, s)
+	}
+	return out
+}
+
+func (d *decoder) neighborEntry() NeighborEntry {
+	var en NeighborEntry
+	en.Info = d.info()
+	en.Jumps = d.u8()
+	en.Bridge = d.addr()
+	en.QualitySum = d.u32()
+	en.QualityMin = d.u8()
+	return en
+}
+
+func (d *decoder) neighborEntries() []NeighborEntry {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxEntries {
+		d.failTooMany(n, "neighbourhood entries", MaxEntries)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]NeighborEntry, 0, n)
+	for i := 0; i < n; i++ {
+		en := d.neighborEntry()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, en)
+	}
+	return out
+}
+
+func (d *decoder) addrs() []device.Addr {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxEntries {
+		d.failTooMany(n, "addresses", MaxEntries)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]device.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		a := d.addr()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, a)
 	}
 	return out
 }

@@ -42,6 +42,17 @@ const (
 	// CmdData carries one framed application payload; used by workloads
 	// that need sequenced packages (task migration, §5.3).
 	CmdData
+	// CmdNeighborhoodSyncRequest opens a versioned neighbourhood fetch: the
+	// fetcher states the responder epoch and generation it has already
+	// merged, so the responder can answer with just the changes.
+	CmdNeighborhoodSyncRequest
+	// CmdNeighborhoodSync answers a sync request with either a DELTA
+	// (changed entries + tombstones) or a FULL table, plus the responder's
+	// table digest for end-to-end verification.
+	CmdNeighborhoodSync
+	// CmdDigest carries a storage digest (epoch, generation, entry count,
+	// table hash) — the observability answer to InfoDigest.
+	CmdDigest
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +76,12 @@ func (c Command) String() string {
 		return "PH_ACK"
 	case CmdData:
 		return "PH_DATA"
+	case CmdNeighborhoodSyncRequest:
+		return "NEIGHBORHOOD_SYNC_REQUEST"
+	case CmdNeighborhoodSync:
+		return "NEIGHBORHOOD_SYNC"
+	case CmdDigest:
+		return "DIGEST"
 	default:
 		return fmt.Sprintf("cmd(%d)", uint8(c))
 	}
@@ -104,6 +121,10 @@ const (
 	InfoDevice InfoKind = iota + 1
 	InfoServices
 	InfoNeighborhood
+	// InfoDigest asks for the responder's storage digest (epoch,
+	// generation, entry count, table hash). Legacy daemons close the
+	// connection on it; callers must treat that as "not supported".
+	InfoDigest
 )
 
 // String implements fmt.Stringer.
@@ -115,6 +136,8 @@ func (k InfoKind) String() string {
 		return "services"
 	case InfoNeighborhood:
 		return "neighborhood"
+	case InfoDigest:
+		return "digest"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -200,38 +223,9 @@ type Neighborhood struct {
 // Cmd implements Message.
 func (*Neighborhood) Cmd() Command { return CmdNeighborhood }
 
-func (m *Neighborhood) encodeTo(e *encoder) {
-	e.u16(uint16(len(m.Entries)))
-	for _, en := range m.Entries {
-		e.info(en.Info)
-		e.u8(en.Jumps)
-		e.addr(en.Bridge)
-		e.u32(en.QualitySum)
-		e.u8(en.QualityMin)
-	}
-}
-
+func (m *Neighborhood) encodeTo(e *encoder) { e.neighborEntries(m.Entries) }
 func (m *Neighborhood) decodeFrom(d *decoder) error {
-	n := int(d.u16())
-	if d.err != nil {
-		return d.err
-	}
-	if n > MaxEntries {
-		return fmt.Errorf("%w: %d neighbourhood entries", ErrMalformed, n)
-	}
-	m.Entries = make([]NeighborEntry, 0, n)
-	for i := 0; i < n; i++ {
-		var en NeighborEntry
-		en.Info = d.info()
-		en.Jumps = d.u8()
-		en.Bridge = d.addr()
-		en.QualitySum = d.u32()
-		en.QualityMin = d.u8()
-		if d.err != nil {
-			return d.err
-		}
-		m.Entries = append(m.Entries, en)
-	}
+	m.Entries = d.neighborEntries()
 	return d.err
 }
 
@@ -412,6 +406,12 @@ func newMessage(cmd Command) (Message, error) {
 		return &Ack{}, nil
 	case CmdData:
 		return &Data{}, nil
+	case CmdNeighborhoodSyncRequest:
+		return &NeighborhoodSyncRequest{}, nil
+	case CmdNeighborhoodSync:
+		return &NeighborhoodSync{}, nil
+	case CmdDigest:
+		return &DigestInfo{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownCommand, uint8(cmd))
 	}

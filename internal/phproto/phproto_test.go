@@ -92,6 +92,7 @@ func TestCommandStrings(t *testing.T) {
 	for _, c := range []Command{
 		CmdInfoRequest, CmdDeviceInfo, CmdServiceList, CmdNeighborhood,
 		CmdHelloNew, CmdHelloBridge, CmdHelloReconnect, CmdAck, CmdData,
+		CmdNeighborhoodSyncRequest, CmdNeighborhoodSync, CmdDigest,
 	} {
 		if strings.HasPrefix(c.String(), "cmd(") {
 			t.Errorf("command %d has no name", c)
@@ -103,7 +104,7 @@ func TestCommandStrings(t *testing.T) {
 }
 
 func TestInfoKindStrings(t *testing.T) {
-	for _, k := range []InfoKind{InfoDevice, InfoServices, InfoNeighborhood} {
+	for _, k := range []InfoKind{InfoDevice, InfoServices, InfoNeighborhood, InfoDigest} {
 		if strings.HasPrefix(k.String(), "kind(") {
 			t.Errorf("kind %d has no name", k)
 		}
@@ -184,7 +185,7 @@ func TestCorruptBytesNeverPanic(t *testing.T) {
 		bytes.Repeat([]byte{0xAB}, 64),
 		bytes.Repeat([]byte{0x00}, 64),
 	}
-	for cmd := Command(1); cmd <= CmdData; cmd++ {
+	for cmd := Command(1); cmd <= CmdDigest; cmd++ {
 		for _, p := range payloads {
 			var hdr [5]byte
 			hdr[0] = byte(cmd)

@@ -1,0 +1,159 @@
+package phproto
+
+import (
+	"hash/fnv"
+
+	"peerhood/internal/device"
+)
+
+// This file defines the versioned neighbourhood exchange that replaces the
+// retransmit-everything fetch of fig 3.7 for peers that support it. The
+// fetcher opens with the responder (epoch, generation) it last merged; the
+// responder answers with a DELTA — only the entries whose transmitted form
+// changed since that generation, plus tombstones for devices that left its
+// table — or falls back to FULL when it cannot cover the gap (first
+// contact, journal truncation, or a restart detected through the epoch).
+// Legacy peers keep using CmdNeighborhood; both framings stay decodable.
+
+// NeighborhoodSyncRequest opens a versioned neighbourhood fetch.
+type NeighborhoodSyncRequest struct {
+	// Epoch is the responder's storage epoch the fetcher last synced
+	// against; zero means first contact.
+	Epoch uint64
+	// Gen is the responder generation the fetcher has fully merged.
+	Gen uint64
+}
+
+// Cmd implements Message.
+func (*NeighborhoodSyncRequest) Cmd() Command { return CmdNeighborhoodSyncRequest }
+
+func (m *NeighborhoodSyncRequest) encodeTo(e *encoder) {
+	e.u64(m.Epoch)
+	e.u64(m.Gen)
+}
+
+func (m *NeighborhoodSyncRequest) decodeFrom(d *decoder) error {
+	m.Epoch = d.u64()
+	m.Gen = d.u64()
+	return d.err
+}
+
+// NeighborhoodSync answers a NeighborhoodSyncRequest.
+type NeighborhoodSync struct {
+	// Full marks a complete table transmission; Entries then holds every
+	// wire-visible device and Tombstones is empty.
+	Full bool
+	// Epoch identifies the responder's storage instance; a change since the
+	// last fetch means the responder restarted and counts from zero again.
+	Epoch uint64
+	// FromGen is the generation this delta starts from (the requested one);
+	// zero for Full.
+	FromGen uint64
+	// ToGen is the responder generation the receiver reaches after applying
+	// this message.
+	ToGen uint64
+	// Entries are the rows whose transmitted form changed in
+	// (FromGen, ToGen] — or the whole table when Full.
+	Entries []NeighborEntry
+	// Tombstones lists devices that left the responder's table in
+	// (FromGen, ToGen].
+	Tombstones []device.Addr
+	// DigestCount and DigestHash describe the responder's full table at
+	// ToGen, so the fetcher can verify its reconstruction end to end and
+	// fall back to a full fetch on mismatch.
+	DigestCount uint32
+	DigestHash  uint64
+}
+
+// Cmd implements Message.
+func (*NeighborhoodSync) Cmd() Command { return CmdNeighborhoodSync }
+
+func (m *NeighborhoodSync) encodeTo(e *encoder) {
+	if m.Full {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u64(m.Epoch)
+	e.u64(m.FromGen)
+	e.u64(m.ToGen)
+	e.neighborEntries(m.Entries)
+	e.addrs(m.Tombstones)
+	e.u32(m.DigestCount)
+	e.u64(m.DigestHash)
+}
+
+func (m *NeighborhoodSync) decodeFrom(d *decoder) error {
+	m.Full = d.u8() == 1
+	m.Epoch = d.u64()
+	m.FromGen = d.u64()
+	m.ToGen = d.u64()
+	m.Entries = d.neighborEntries()
+	m.Tombstones = d.addrs()
+	m.DigestCount = d.u32()
+	m.DigestHash = d.u64()
+	return d.err
+}
+
+// FullSync builds a FULL NeighborhoodSync over the given entries, with the
+// digest computed over exactly what is transmitted (the daemon uses it when
+// a load penalty skews advertised entries away from the stored table).
+func FullSync(epoch, gen uint64, entries []NeighborEntry) *NeighborhoodSync {
+	count, hash := DigestOf(entries)
+	return &NeighborhoodSync{
+		Full:        true,
+		Epoch:       epoch,
+		ToGen:       gen,
+		Entries:     entries,
+		DigestCount: count,
+		DigestHash:  hash,
+	}
+}
+
+// DigestInfo carries a storage digest on the wire (the InfoDigest answer).
+type DigestInfo struct {
+	Epoch   uint64
+	Gen     uint64
+	Entries uint32
+	Hash    uint64
+}
+
+// Cmd implements Message.
+func (*DigestInfo) Cmd() Command { return CmdDigest }
+
+func (m *DigestInfo) encodeTo(e *encoder) {
+	e.u64(m.Epoch)
+	e.u64(m.Gen)
+	e.u32(m.Entries)
+	e.u64(m.Hash)
+}
+
+func (m *DigestInfo) decodeFrom(d *decoder) error {
+	m.Epoch = d.u64()
+	m.Gen = d.u64()
+	m.Entries = d.u32()
+	m.Hash = d.u64()
+	return d.err
+}
+
+// Hash returns a stable fingerprint of the entry's transmitted form (FNV-64a
+// over its wire encoding). Two entries hash equal iff they encode equal, so
+// the storage can detect "this mutation changed nothing a peer would see"
+// and skip bumping its generation.
+func (en NeighborEntry) Hash() uint64 {
+	e := &encoder{}
+	e.neighborEntry(en)
+	h := fnv.New64a()
+	_, _ = h.Write(e.buf)
+	return h.Sum64()
+}
+
+// DigestOf summarises a transmitted table as (entry count, XOR of entry
+// hashes). XOR makes the digest order-independent and incrementally
+// maintainable: adding or removing an entry XORs its hash in or out.
+func DigestOf(entries []NeighborEntry) (count uint32, hash uint64) {
+	for _, en := range entries {
+		hash ^= en.Hash()
+	}
+	return uint32(len(entries)), hash
+}

@@ -1,0 +1,564 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+	"peerhood/internal/rng"
+)
+
+// replica mirrors a peer's view of one storage's transmitted table, applied
+// through the same FULL/DELTA messages the wire carries.
+type replica struct {
+	epoch   uint64
+	gen     uint64
+	entries map[device.Addr]phproto.NeighborEntry
+}
+
+func (r *replica) applyFull(epoch, gen uint64, entries []phproto.NeighborEntry) {
+	r.epoch, r.gen = epoch, gen
+	r.entries = make(map[device.Addr]phproto.NeighborEntry, len(entries))
+	for _, en := range entries {
+		r.entries[en.Info.Addr] = en
+	}
+}
+
+func (r *replica) applyDelta(t *testing.T, d Delta) {
+	t.Helper()
+	if d.FromGen != r.gen {
+		t.Fatalf("delta from gen %d applied to replica at gen %d", d.FromGen, r.gen)
+	}
+	for _, en := range d.Entries {
+		r.entries[en.Info.Addr] = en
+	}
+	for _, a := range d.Tombstones {
+		delete(r.entries, a)
+	}
+	r.gen = d.ToGen
+}
+
+// checkAgainst asserts the replica equals the source's transmitted table and
+// that the source's incremental digest equals a from-scratch recomputation.
+func (r *replica) checkAgainst(t *testing.T, s *Storage, step int) {
+	t.Helper()
+	wire := s.WireEntries()
+	dg := s.Digest()
+	count, hash := phproto.DigestOf(wire)
+	if int(count) != dg.Entries || hash != dg.Hash {
+		t.Fatalf("step %d: incremental digest (n=%d h=%x) != recomputed (n=%d h=%x)",
+			step, dg.Entries, dg.Hash, count, hash)
+	}
+	if len(r.entries) != len(wire) {
+		t.Fatalf("step %d: replica has %d entries, source transmits %d", step, len(r.entries), len(wire))
+	}
+	for _, en := range wire {
+		got, ok := r.entries[en.Info.Addr]
+		if !ok {
+			t.Fatalf("step %d: replica missing %v", step, en.Info.Addr)
+		}
+		if !reflect.DeepEqual(got, en) {
+			t.Fatalf("step %d: replica row for %v:\n got  %+v\n want %+v", step, en.Info.Addr, got, en)
+		}
+	}
+}
+
+// syncOnce pulls a delta (or a full table when the journal cannot cover the
+// gap) from src into r, verifying the advertised digest.
+func syncOnce(t *testing.T, src *Storage, r *replica) {
+	t.Helper()
+	resp := src.SyncResponse(r.epoch, r.gen)
+	if resp.Full {
+		r.applyFull(resp.Epoch, resp.ToGen, resp.Entries)
+	} else {
+		r.applyDelta(t, Delta{
+			FromGen:    resp.FromGen,
+			ToGen:      resp.ToGen,
+			Entries:    resp.Entries,
+			Tombstones: resp.Tombstones,
+		})
+	}
+	count, hash := phproto.DigestOf(mapValues(r.entries))
+	if count != resp.DigestCount || hash != resp.DigestHash {
+		t.Fatalf("replica digest (n=%d h=%x) != advertised (n=%d h=%x), full=%v",
+			count, hash, resp.DigestCount, resp.DigestHash, resp.Full)
+	}
+}
+
+func mapValues(m map[device.Addr]phproto.NeighborEntry) []phproto.NeighborEntry {
+	out := make([]phproto.NeighborEntry, 0, len(m))
+	for _, en := range m {
+		out = append(out, en)
+	}
+	return out
+}
+
+// TestDeltaChainReconstructsStorage is the delta analogue of the
+// grid≡full-scan property test: for any random mutation sequence, a FULL
+// fetch followed by a chain of DELTAs reconstructs exactly the table the
+// source transmits — including through journal truncation, which must force
+// a FULL fallback rather than a wrong delta.
+func TestDeltaChainReconstructsStorage(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		for _, journalLimit := range []int{16, DefaultJournalLimit} {
+			t.Run(fmt.Sprintf("seed=%d/journal=%d", seed, journalLimit), func(t *testing.T) {
+				src := rng.New(seed)
+				s := New(Config{Clock: clock.NewManual(), JournalLimit: journalLimit})
+				s.AddSelfAddr(btAddr("self"))
+
+				macs := []string{"aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"}
+				addrAt := func(i int) device.Addr { return btAddr(macs[i]) }
+				mob := []device.Mobility{device.Static, device.Hybrid, device.Dynamic}
+
+				r := &replica{}
+				syncOnce(t, s, r) // first contact: FULL of an empty table
+				r.checkAgainst(t, s, -1)
+
+				for step := 0; step < 400; step++ {
+					i := src.Intn(len(macs))
+					target := addrAt(i)
+					switch src.Intn(6) {
+					case 0, 1: // direct contact with some quality
+						s.UpsertDirect(device.Info{
+							Name:     "dev-" + macs[i],
+							Addr:     target,
+							Mobility: mob[src.Intn(3)],
+						}, 200+src.Intn(56))
+					case 2: // bridged report
+						j := src.Intn(len(macs))
+						s.MergeNeighborhood(target, 200+src.Intn(56), []phproto.NeighborEntry{{
+							Info:       device.Info{Name: "dev-" + macs[j], Addr: addrAt(j), Mobility: mob[src.Intn(3)]},
+							Jumps:      uint8(src.Intn(3)),
+							QualitySum: uint32(200 + src.Intn(56)),
+							QualityMin: uint8(200 + src.Intn(56)),
+						}})
+					case 3: // bridge reports an empty table: drops its routes
+						s.MergeNeighborhood(target, 200+src.Intn(56), nil)
+					case 4: // the device stops answering inquiries
+						s.AgeRound(device.TechBluetooth, map[device.Addr]bool{})
+					case 5:
+						s.RemoveDirect(target)
+					}
+					if src.Intn(4) == 0 { // sync roughly every 4 mutations
+						syncOnce(t, s, r)
+						r.checkAgainst(t, s, step)
+					}
+				}
+				syncOnce(t, s, r)
+				r.checkAgainst(t, s, 400)
+			})
+		}
+	}
+}
+
+func TestUnchangedMutationsDoNotAdvanceGeneration(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	gen := s.Digest().Gen
+	if gen == 0 {
+		t.Fatal("first upsert did not advance the generation")
+	}
+	// Same device, same quality, over and over: peers see nothing new.
+	for i := 0; i < 10; i++ {
+		s.UpsertDirect(info("b", "bb", device.Static), 240)
+	}
+	if got := s.Digest().Gen; got != gen {
+		t.Fatalf("identical refreshes advanced gen %d -> %d", gen, got)
+	}
+	s.UpsertDirect(info("b", "bb", device.Static), 250)
+	if got := s.Digest().Gen; got <= gen {
+		t.Fatal("quality change did not advance the generation")
+	}
+}
+
+func TestWireEntriesSinceEmptyDelta(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	dg := s.Digest()
+	delta, dg2, ok := s.WireEntriesSince(dg.Gen)
+	if !ok {
+		t.Fatal("up-to-date generation not coverable")
+	}
+	if len(delta.Entries) != 0 || len(delta.Tombstones) != 0 {
+		t.Fatalf("delta = %+v, want empty", delta)
+	}
+	if dg2 != dg {
+		t.Fatalf("digest changed with no mutation: %+v vs %+v", dg, dg2)
+	}
+}
+
+func TestWireEntriesSinceProducesTombstone(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	gen := s.Digest().Gen
+	s.RemoveDirect(btAddr("bb"))
+	delta, _, ok := s.WireEntriesSince(gen)
+	if !ok {
+		t.Fatal("journal lost one-mutation history")
+	}
+	if len(delta.Tombstones) != 1 || delta.Tombstones[0] != btAddr("bb") {
+		t.Fatalf("delta = %+v, want tombstone for bb", delta)
+	}
+}
+
+func TestWireEntriesSinceFutureGenerationRejected(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	if _, _, ok := s.WireEntriesSince(s.Digest().Gen + 100); ok {
+		t.Fatal("a generation from the future was served as a delta")
+	}
+}
+
+func TestJournalTruncationForcesFull(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), JournalLimit: 8})
+	s.UpsertDirect(info("b", "bb", device.Static), 200)
+	gen := s.Digest().Gen
+	for q := 201; q < 240; q++ { // 39 distinct changes blow the 8-slot journal
+		s.UpsertDirect(info("b", "bb", device.Static), q)
+	}
+	if _, _, ok := s.WireEntriesSince(gen); ok {
+		t.Fatal("truncated journal still claimed to cover an ancient generation")
+	}
+	resp := s.SyncResponse(s.Digest().Epoch, gen)
+	if !resp.Full {
+		t.Fatalf("SyncResponse = %+v, want FULL fallback", resp)
+	}
+}
+
+func TestOversizeDeltaFallsBackToFull(t *testing.T) {
+	// A journal bigger than the wire's per-frame entry cap can cover more
+	// distinct devices than one delta frame may carry; the responder must
+	// serve FULL instead of an undecodable delta.
+	s := New(Config{Clock: clock.NewManual(), JournalLimit: 3 * phproto.MaxEntries})
+	for i := 0; i < phproto.MaxEntries+50; i++ {
+		s.UpsertDirect(device.Info{
+			Name: fmt.Sprintf("d%05d", i),
+			Addr: btAddr(fmt.Sprintf("%05d", i)),
+		}, 240)
+	}
+	if _, _, ok := s.WireEntriesSince(0); ok {
+		t.Fatalf("delta covering %d devices claimed to be servable (wire cap %d)",
+			phproto.MaxEntries+50, phproto.MaxEntries)
+	}
+	if resp := s.SyncResponse(s.Digest().Epoch, 0); !resp.Full {
+		t.Fatal("oversize window not answered with FULL")
+	}
+}
+
+func TestSyncResponseEpochMismatchForcesFull(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	resp := s.SyncResponse(s.Digest().Epoch+1, s.Digest().Gen)
+	if !resp.Full {
+		t.Fatal("epoch mismatch (peer restart) answered with a delta")
+	}
+}
+
+func TestDistinctStoragesHaveDistinctEpochs(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	if a.Digest().Epoch == b.Digest().Epoch {
+		t.Fatal("two storages share an epoch")
+	}
+	if a.Digest().Epoch == 0 {
+		t.Fatal("zero epoch would read as first contact on the wire")
+	}
+}
+
+func TestMergeNeighborhoodDeltaTombstoneDropsBridgedRoute(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	s.MergeNeighborhoodDelta(btAddr("bb"), 240, []phproto.NeighborEntry{
+		{Info: info("c", "cc", device.Dynamic), Jumps: 0, QualitySum: 235, QualityMin: 235},
+	}, nil)
+	if _, ok := s.Lookup(btAddr("cc")); !ok {
+		t.Fatal("delta entry not merged")
+	}
+	res := s.MergeNeighborhoodDelta(btAddr("bb"), 240, nil, []device.Addr{btAddr("cc")})
+	if res.Removed != 1 {
+		t.Fatalf("res = %+v, want 1 removed", res)
+	}
+	if _, ok := s.Lookup(btAddr("cc")); ok {
+		t.Fatal("tombstoned device still stored")
+	}
+}
+
+func TestMergeNeighborhoodDeltaTombstoneKeepsOtherRoutes(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	s.UpsertDirect(info("c", "cc", device.Dynamic), 235)
+	// bb reports it can reach cc; we also see cc directly.
+	s.MergeNeighborhoodDelta(btAddr("bb"), 240, []phproto.NeighborEntry{
+		{Info: info("c", "cc", device.Dynamic), Jumps: 0, QualitySum: 235, QualityMin: 235},
+	}, nil)
+	// bb loses cc: only the via-bb route goes, the direct one stays.
+	s.MergeNeighborhoodDelta(btAddr("bb"), 240, nil, []device.Addr{btAddr("cc")})
+	e, ok := s.Lookup(btAddr("cc"))
+	if !ok || !e.HasDirect() {
+		t.Fatalf("direct route lost with the tombstone: %+v, %v", e, ok)
+	}
+	for _, r := range e.Routes {
+		if r.Bridge == btAddr("bb") {
+			t.Fatalf("via-bb route survived its tombstone: %+v", e.Routes)
+		}
+	}
+}
+
+func TestAgeRoundReportsLostBridges(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	s.MergeNeighborhood(btAddr("bb"), 240, []phproto.NeighborEntry{
+		{Info: info("x", "xx", device.Dynamic), Jumps: 0, QualitySum: 235, QualityMin: 235},
+	})
+	none := map[device.Addr]bool{}
+	var removed, lost []device.Addr
+	for i := 0; i <= DefaultMaxMissedLoops; i++ {
+		removed, lost = s.AgeRound(device.TechBluetooth, none)
+	}
+	if len(lost) != 1 || lost[0] != btAddr("bb") {
+		t.Fatalf("lost bridges = %v, want [bb]", lost)
+	}
+	found := false
+	for _, a := range removed {
+		if a == btAddr("xx") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("removed = %v, want xx swept with its bridge", removed)
+	}
+}
+
+// capEvictionStorage builds a storage where device dd was reported by
+// three bridges but MaxAlternates kept only two routes. It returns the
+// storage, the evicted route's bridge, and the surviving bridges.
+func capEvictionStorage(t *testing.T) (*Storage, device.Addr, []device.Addr) {
+	t.Helper()
+	s := New(Config{Clock: clock.NewManual(), MaxAlternates: 2})
+	s.AddSelfAddr(btAddr("self"))
+	bridges := []string{"b1", "b2", "b3"}
+	for i, b := range bridges {
+		s.UpsertDirect(info(b, b, device.Static), 210+10*i)
+		s.MergeNeighborhood(btAddr(b), 210+10*i, []phproto.NeighborEntry{
+			{Info: info("d", "dd", device.Static), QualitySum: 200, QualityMin: 200},
+		})
+	}
+	e, ok := s.Lookup(btAddr("dd"))
+	if !ok || len(e.Routes) != 2 {
+		t.Fatalf("dd entry = %+v (ok=%v), want 2 routes after the cap", e, ok)
+	}
+	var evicted device.Addr
+	var surviving []device.Addr
+	for _, b := range bridges {
+		kept := false
+		for _, r := range e.Routes {
+			if r.Bridge == btAddr(b) {
+				kept = true
+			}
+		}
+		if kept {
+			surviving = append(surviving, btAddr(b))
+		} else {
+			evicted = btAddr(b)
+		}
+	}
+	if evicted.IsZero() {
+		t.Fatalf("no route evicted: %+v", e.Routes)
+	}
+	return s, evicted, surviving
+}
+
+// TestAlternatesCapEvictionReported: a route dropped by the MaxAlternates
+// cap is knowledge lost on our side only — the bridge's storage is
+// unchanged, so its deltas would never re-offer it. When the device later
+// loses its remembered routes, the storage must report the evicted
+// bridge so the discoverer resets its sync state and re-learns the route
+// from a full fetch. While other routes survive, nothing is reported:
+// resetting on every eviction would degrade a dense neighbourhood to
+// permanent full sync.
+func TestAlternatesCapEvictionReported(t *testing.T) {
+	s, evicted, surviving := capEvictionStorage(t)
+	if got := s.TakeEvictedBridges(device.TechBluetooth); len(got) != 0 {
+		t.Fatalf("evictions reported while dd is still reachable: %v", got)
+	}
+	// The surviving bridges stop reporting dd; its last routes die.
+	for _, b := range surviving {
+		s.MergeNeighborhood(b, 220, nil)
+	}
+	if _, ok := s.Lookup(btAddr("dd")); ok {
+		t.Fatal("dd still stored after its bridges dropped it")
+	}
+	if got := s.TakeEvictedBridges(device.TechWLAN); len(got) != 0 {
+		t.Fatalf("wlan evictions from a bluetooth cap: %v", got)
+	}
+	got := s.TakeEvictedBridges(device.TechBluetooth)
+	if len(got) != 1 || got[0] != evicted {
+		t.Fatalf("evicted bridges = %v, want [%v]", got, evicted)
+	}
+	if again := s.TakeEvictedBridges(device.TechBluetooth); len(again) != 0 {
+		t.Fatalf("evictions not drained: %v", again)
+	}
+}
+
+// TestEvictionForgottenWhenBridgeLosesDevice: a tombstone from the evicted
+// route's bridge means that bridge no longer reaches the device either —
+// removing the device then must not reset the bridge's sync state.
+func TestEvictionForgottenWhenBridgeLosesDevice(t *testing.T) {
+	s, evicted, surviving := capEvictionStorage(t)
+	s.MergeNeighborhoodDelta(evicted, 210, nil, []device.Addr{btAddr("dd")})
+	for _, b := range surviving {
+		s.MergeNeighborhood(b, 220, nil)
+	}
+	if _, ok := s.Lookup(btAddr("dd")); ok {
+		t.Fatal("dd still stored after its bridges dropped it")
+	}
+	if got := s.TakeEvictedBridges(device.TechBluetooth); len(got) != 0 {
+		t.Fatalf("reset requested for a bridge that tombstoned the device: %v", got)
+	}
+}
+
+func TestRefreshBridgeLinkTracksLinkDrift(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	s.MergeNeighborhoodDelta(btAddr("bb"), 240, []phproto.NeighborEntry{
+		{Info: info("x", "xx", device.Dynamic), Jumps: 0, QualitySum: 230, QualityMin: 230},
+	}, nil)
+	e, _ := s.Lookup(btAddr("xx"))
+	best, _ := e.Best()
+	if best.QualitySum != 470 || best.QualityMin != 230 {
+		t.Fatalf("initial route = %+v", best)
+	}
+	if best.BridgeMobility != device.Static {
+		t.Fatalf("initial bridge mobility = %v", best.BridgeMobility)
+	}
+
+	// We walk away from bb: its link drops, the peer's table is unchanged
+	// (empty delta), but the via-bb route must be re-priced.
+	s.RefreshBridgeLink(btAddr("bb"), 180)
+	e, _ = s.Lookup(btAddr("xx"))
+	best, _ = e.Best()
+	if best.QualitySum != 180+230 || best.QualityMin != 180 {
+		t.Fatalf("refreshed route = %+v, want sum %d min 180", best, 180+230)
+	}
+
+	// Re-pricing is a wire-visible change: peers must hear about it.
+	gen := s.Digest().Gen
+	s.RefreshBridgeLink(btAddr("bb"), 180) // identical: no-op
+	if s.Digest().Gen != gen {
+		t.Fatal("identical refresh advanced the generation")
+	}
+	s.RefreshBridgeLink(btAddr("bb"), 220)
+	if s.Digest().Gen <= gen {
+		t.Fatal("quality drift did not advance the generation")
+	}
+
+	// bb's descriptor turns dynamic: the via-bb route must re-rank the
+	// way every full-exchange merge would (fig 3.13 prefers static
+	// bridges), even though bb's own table rows are unchanged.
+	mobSum := best.MobilitySum
+	s.UpdateInfo(info("b", "bb", device.Dynamic))
+	s.RefreshBridgeLink(btAddr("bb"), 220)
+	e, _ = s.Lookup(btAddr("xx"))
+	best, _ = e.Best()
+	if best.BridgeMobility != device.Dynamic {
+		t.Fatalf("bridge mobility not refreshed: %+v", best)
+	}
+	if want := mobSum + int(device.Dynamic) - int(device.Static); best.MobilitySum != want {
+		t.Fatalf("mobility sum = %d, want %d", best.MobilitySum, want)
+	}
+}
+
+func TestEntryGenStamped(t *testing.T) {
+	s := newTestStorage("self")
+	s.UpsertDirect(info("b", "bb", device.Static), 240)
+	e, _ := s.Lookup(btAddr("bb"))
+	if e.Gen == 0 {
+		t.Fatal("entry not stamped with its mutation generation")
+	}
+	prev := e.Gen
+	s.UpsertDirect(info("b", "bb", device.Static), 250)
+	e, _ = s.Lookup(btAddr("bb"))
+	if e.Gen <= prev {
+		t.Fatalf("gen not re-stamped on change: %d -> %d", prev, e.Gen)
+	}
+}
+
+// TestConcurrentMutationAndSync exercises the versioned paths under the race
+// detector: mutators, delta readers, and digest readers in parallel.
+func TestConcurrentMutationAndSync(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual(), JournalLimit: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(int64(w))
+			for i := 0; i < 200; i++ {
+				mac := fmt.Sprintf("m%d", src.Intn(8))
+				switch src.Intn(3) {
+				case 0:
+					s.UpsertDirect(device.Info{Name: mac, Addr: btAddr(mac)}, 200+src.Intn(56))
+				case 1:
+					s.RemoveDirect(btAddr(mac))
+				case 2:
+					s.AgeRound(device.TechBluetooth, nil)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var gen uint64
+			for i := 0; i < 200; i++ {
+				if delta, _, ok := s.WireEntriesSince(gen); ok {
+					gen = delta.ToGen
+				} else {
+					gen = s.Digest().Gen
+					s.WireEntries()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// After the dust settles the incremental digest must still match a
+	// recomputation.
+	count, hash := phproto.DigestOf(s.WireEntries())
+	dg := s.Digest()
+	if int(count) != dg.Entries || hash != dg.Hash {
+		t.Fatalf("incremental digest diverged: (n=%d h=%x) vs (n=%d h=%x)", dg.Entries, dg.Hash, count, hash)
+	}
+}
+
+// TestOversizeTableServedAsTruncatedSnapshot: a table beyond the wire's
+// entry cap cannot be transmitted whole. The FULL fallback must serve a
+// decodable truncated snapshot under the unsyncable epoch-0 convention —
+// not an over-cap frame the fetcher would reject as malformed (and then
+// misread as a legacy peer).
+func TestOversizeTableServedAsTruncatedSnapshot(t *testing.T) {
+	s := newTestStorage("self")
+	for i := 0; i < phproto.MaxEntries+1; i++ {
+		s.UpsertDirect(info("d", fmt.Sprintf("%05d", i), device.Static), 240)
+	}
+	resp := s.SyncResponse(0, 0)
+	if !resp.Full || resp.Epoch != 0 || len(resp.Entries) != phproto.MaxEntries {
+		t.Fatalf("full=%v epoch=%d entries=%d, want truncated epoch-0 snapshot",
+			resp.Full, resp.Epoch, len(resp.Entries))
+	}
+	count, hash := phproto.DigestOf(resp.Entries)
+	if count != resp.DigestCount || hash != resp.DigestHash {
+		t.Fatal("snapshot digest does not cover the transmitted entries")
+	}
+	var buf bytes.Buffer
+	if err := phproto.Write(&buf, resp); err != nil {
+		t.Fatalf("encoding truncated snapshot: %v", err)
+	}
+	if _, err := phproto.ReadExpect[*phproto.NeighborhoodSync](&buf); err != nil {
+		t.Fatalf("decoding truncated snapshot: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"peerhood/internal/clock"
@@ -35,6 +36,10 @@ const (
 	// DefaultMaxAlternates bounds the remembered candidate routes per
 	// device (one per distinct first hop).
 	DefaultMaxAlternates = 8
+	// DefaultJournalLimit bounds the change journal backing delta
+	// neighbourhood sync. A fetcher further behind than the journal covers
+	// is served a FULL table instead of a delta.
+	DefaultJournalLimit = 4096
 )
 
 // Config parametrises a Storage. Zero fields take defaults.
@@ -44,6 +49,10 @@ type Config struct {
 	MaxMissedLoops   int
 	MaxJumps         int
 	MaxAlternates    int
+	// JournalLimit bounds the change journal (in records) that backs
+	// WireEntriesSince. Older changes are forgotten; peers that far behind
+	// fall back to a full fetch.
+	JournalLimit int
 
 	// QualityFirst swaps the fig 3.13 comparison order to prefer link
 	// quality over bridge mobility. The thesis argues static bridges make
@@ -68,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxAlternates == 0 {
 		c.MaxAlternates = DefaultMaxAlternates
 	}
+	if c.JournalLimit == 0 {
+		c.JournalLimit = DefaultJournalLimit
+	}
 	return c
 }
 
@@ -91,6 +103,14 @@ type Route struct {
 	// The thesis considered and rejected this aggregate (§3.4.3); it is
 	// kept for the ablation experiments.
 	MobilitySum int
+	// RemoteQualitySum and RemoteQualityMin are the aggregates the bridge
+	// reported for its part of the route; QualitySum/QualityMin add the
+	// local first hop on top. Kept so delta sync can refresh the local
+	// hop's drift without a re-report (RefreshBridgeLink) — the full
+	// exchange re-derives them on every fetch instead. Zero for direct
+	// routes.
+	RemoteQualitySum int
+	RemoteQualityMin int
 }
 
 // Direct reports whether the route is a direct link.
@@ -122,6 +142,37 @@ type Entry struct {
 	// neighbourhood) was last fetched; the service-check interval compares
 	// against it (fig 3.12).
 	LastFetched time.Time
+	// Gen is the storage generation that last changed this entry's
+	// transmitted form (descriptor or best route). Refreshes that peers
+	// cannot observe — LastSeen, an identical re-reported route — do not
+	// advance it.
+	Gen uint64
+	// evictedVia lists bridges whose route to this device the MaxAlternates
+	// cap dropped and that have not since re-reported or tombstoned it —
+	// bridges that may still reach the device after every remembered route
+	// dies. Folded into the sync-state reset set when the entry is removed.
+	evictedVia []device.Addr
+}
+
+// noteEvictedVia remembers a capacity-evicted route's bridge.
+func (e *Entry) noteEvictedVia(bridge device.Addr) {
+	for _, a := range e.evictedVia {
+		if a == bridge {
+			return
+		}
+	}
+	e.evictedVia = append(e.evictedVia, bridge)
+}
+
+// forgetEvictedVia drops a bridge whose knowledge of this device is
+// current again (it re-reported the device) or gone (it tombstoned it).
+func (e *Entry) forgetEvictedVia(bridge device.Addr) {
+	for i, a := range e.evictedVia {
+		if a == bridge {
+			e.evictedVia = append(e.evictedVia[:i], e.evictedVia[i+1:]...)
+			return
+		}
+	}
 }
 
 // Best returns the entry's preferred route.
@@ -146,25 +197,77 @@ func (e *Entry) clone() Entry {
 	out := *e
 	out.Info = e.Info.Clone()
 	out.Routes = append([]Route(nil), e.Routes...)
+	out.evictedVia = append([]device.Addr(nil), e.evictedVia...)
 	return out
 }
 
 // Storage is the device table of one PeerHood daemon. It is safe for
 // concurrent use by the discovery loops of several plugins and the library.
+//
+// The storage is versioned for delta neighbourhood sync: a monotonic
+// generation counter advances on every mutation that changes what peers
+// would receive over the wire, a bounded journal remembers which devices
+// changed at which generation (including removals, served as tombstones),
+// and a running digest fingerprints the whole transmitted table. Peers fetch
+// FULL once and then request only the changes since the generation they
+// last merged (WireEntriesSince / SyncResponse).
 type Storage struct {
-	cfg Config
+	cfg   Config
+	epoch uint64
 
 	mu      sync.RWMutex
 	self    map[device.Addr]bool
 	entries map[device.Addr]*Entry
+
+	// gen is the generation of the last wire-visible mutation.
+	gen uint64
+	// wireHash fingerprints each wire-visible entry's transmitted form;
+	// digestHash is the XOR of all of them (phproto.DigestOf convention).
+	wireHash   map[device.Addr]uint64
+	digestHash uint64
+	// journal records (generation, device) for every wire-visible change,
+	// oldest first. journalFloor is the highest generation the journal no
+	// longer covers: deltas can be served for any since-generation >= it.
+	journal      []journalRec
+	journalFloor uint64
+	// evicted collects bridges whose capacity-evicted route could have
+	// kept a just-removed device reachable. The loss is local — the
+	// bridge's own storage is unchanged, so its deltas would never
+	// re-offer the row the way every full exchange does — and the
+	// discoverer must reset that bridge's sync state (TakeEvictedBridges),
+	// exactly as it does for AgeRound's lostBridges. Recorded only at
+	// entry removal: while other routes survive, the evicted one is dead
+	// weight and resetting on every eviction would degrade a dense
+	// neighbourhood to permanent full sync.
+	evicted map[device.Addr]bool
 }
 
-// New returns an empty Storage.
+type journalRec struct {
+	gen  uint64
+	addr device.Addr
+}
+
+// epochSeq disambiguates storages created in the same wall-clock nanosecond
+// (simulated worlds create hundreds per second).
+var epochSeq atomic.Uint64
+
+func newEpoch() uint64 {
+	e := uint64(time.Now().UnixNano())*0x9E3779B97F4A7C15 + epochSeq.Add(1)
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// New returns an empty Storage with a fresh epoch.
 func New(cfg Config) *Storage {
 	return &Storage{
-		cfg:     cfg.withDefaults(),
-		self:    make(map[device.Addr]bool),
-		entries: make(map[device.Addr]*Entry),
+		cfg:      cfg.withDefaults(),
+		epoch:    newEpoch(),
+		self:     make(map[device.Addr]bool),
+		entries:  make(map[device.Addr]*Entry),
+		wireHash: make(map[device.Addr]uint64),
+		evicted:  make(map[device.Addr]bool),
 	}
 }
 
@@ -175,6 +278,7 @@ func (s *Storage) AddSelfAddr(a device.Addr) {
 	s.mu.Lock()
 	s.self[a] = true
 	delete(s.entries, a)
+	s.touchLocked(a)
 	s.mu.Unlock()
 }
 
@@ -213,7 +317,7 @@ func (s *Storage) Snapshot() []Entry {
 		out = append(out, e.clone())
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return out[i].Info.Addr.String() < out[j].Info.Addr.String()
+		return out[i].Info.Addr.Less(out[j].Info.Addr)
 	})
 	return out
 }
@@ -290,6 +394,7 @@ func (s *Storage) UpsertDirect(info device.Info, quality int) {
 		MobilitySum:    int(e.Info.Mobility),
 	}
 	s.putRouteLocked(e, route)
+	s.touchLocked(info.Addr)
 }
 
 // UpdateInfo replaces a device's descriptor after an information fetch and
@@ -314,6 +419,7 @@ func (s *Storage) UpdateInfo(info device.Info) {
 		}
 	}
 	s.resortLocked(e)
+	s.touchLocked(info.Addr)
 }
 
 // NeedsFetch reports whether the device's full information is stale with
@@ -361,54 +467,17 @@ func (s *Storage) MergeNeighborhood(bridge device.Addr, bridgeQuality int, nb []
 
 	reported := make(map[device.Addr]bool, len(nb))
 	for _, ne := range nb {
-		target := ne.Info.Addr
-		reported[target] = true
-		switch {
-		case s.self[target]:
-			// Own device comparison filter (fig 3.13).
-			res.Rejected++
-			continue
-		case target == bridge:
-			res.Rejected++
-			continue
-		case !ne.Bridge.IsZero() && s.self[ne.Bridge]:
-			// The neighbour's route to this device passes through us:
-			// adopting it would create a two-hop relay loop.
-			res.Rejected++
-			continue
-		}
-		jumps := int(ne.Jumps) + 1
-		if jumps > s.cfg.MaxJumps {
-			res.Rejected++
-			continue
-		}
-		route := Route{
-			Jumps:          jumps,
-			Bridge:         bridge,
-			QualitySum:     bridgeQuality + int(ne.QualitySum),
-			QualityMin:     minInt(bridgeQuality, int(ne.QualityMin)),
-			BridgeMobility: bridgeMobility,
-			MobilitySum:    int(bridgeMobility) + int(ne.Info.Mobility),
-		}
-		e, ok := s.entries[target]
-		if !ok {
-			e = &Entry{Info: ne.Info.Clone(), LastSeen: now, LastFetched: now}
-			s.entries[target] = e
-			res.Added++
-		} else {
-			res.Updated++
-			e.LastSeen = now
-			// Prefer the richer descriptor: a bridged report may carry
-			// services we have not fetched ourselves yet.
-			if len(e.Info.Services) == 0 && len(ne.Info.Services) > 0 {
-				e.Info = ne.Info.Clone()
-			}
-		}
-		s.putRouteLocked(e, route)
+		reported[ne.Info.Addr] = true
+		s.mergeCandidateLocked(bridge, bridgeQuality, bridgeMobility, ne, now, &res)
 	}
 
 	// Drop bridged routes the bridge stopped reporting.
 	for addr, e := range s.entries {
+		if !reported[addr] {
+			// The bridge no longer knows this device: a capacity-evicted
+			// via-bridge route is not recoverable from it either.
+			e.forgetEvictedVia(bridge)
+		}
 		changed := false
 		kept := e.Routes[:0]
 		for _, r := range e.Routes {
@@ -420,11 +489,156 @@ func (s *Storage) MergeNeighborhood(bridge device.Addr, bridgeQuality int, nb []
 			kept = append(kept, r)
 		}
 		e.Routes = kept
-		if changed && len(e.Routes) == 0 {
-			delete(s.entries, addr)
+		if changed {
+			if len(e.Routes) == 0 {
+				s.removeEntryLocked(addr, e)
+			}
+			s.touchLocked(addr)
 		}
 	}
 	return res
+}
+
+// MergeNeighborhoodDelta folds a delta sync from a direct neighbour into the
+// table. Changed rows pass through the same fig 3.13 candidate rules as a
+// full merge; tombstones drop the route via this bridge (the bridge lost the
+// device, so it is unreachable through it). Unlike the full merge there is
+// no "stopped reporting" sweep: absence from a delta means unchanged.
+func (s *Storage) MergeNeighborhoodDelta(bridge device.Addr, bridgeQuality int, changed []phproto.NeighborEntry, tombstones []device.Addr) MergeResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var res MergeResult
+	now := s.cfg.Clock.Now()
+
+	bridgeMobility := device.Dynamic
+	if be, ok := s.entries[bridge]; ok {
+		bridgeMobility = be.Info.Mobility
+	}
+
+	for _, ne := range changed {
+		s.mergeCandidateLocked(bridge, bridgeQuality, bridgeMobility, ne, now, &res)
+	}
+
+	for _, addr := range tombstones {
+		e, ok := s.entries[addr]
+		if !ok {
+			continue
+		}
+		// The bridge lost this device: a capacity-evicted via-bridge route
+		// is not recoverable from it either.
+		e.forgetEvictedVia(bridge)
+		dropped := false
+		kept := e.Routes[:0]
+		for _, r := range e.Routes {
+			if r.Bridge == bridge {
+				dropped = true
+				res.Removed++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		e.Routes = kept
+		if dropped {
+			if len(e.Routes) == 0 {
+				s.removeEntryLocked(addr, e)
+			}
+			s.touchLocked(addr)
+		}
+	}
+	return res
+}
+
+// RefreshBridgeLink recomputes the first-hop aggregates of every route
+// through bridge: the link-quality sums from the current inquiry
+// measurement, and the bridge-mobility fields from the bridge's current
+// descriptor. The full exchange gets both for free — each fetch re-merges
+// every reported row with the fresh inquiry quality and descriptor — but a
+// delta leaves unchanged rows alone, so the local hop's drift must be
+// folded in explicitly; without this, walking away from a bridge would
+// leave via-bridge routes priced at the link quality of the round their
+// row last changed, and a bridge that turns from dynamic to static would
+// never re-rank the routes it carries (fig 3.13 prefers static bridges).
+func (s *Storage) RefreshBridgeLink(bridge device.Addr, quality int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mob := device.Dynamic
+	if be, ok := s.entries[bridge]; ok {
+		mob = be.Info.Mobility
+	}
+	for addr, e := range s.entries {
+		changed := false
+		for i := range e.Routes {
+			r := &e.Routes[i]
+			if r.Direct() || r.Bridge != bridge {
+				continue
+			}
+			sum := quality + r.RemoteQualitySum
+			minq := min(quality, r.RemoteQualityMin)
+			if r.QualitySum != sum || r.QualityMin != minq || r.BridgeMobility != mob {
+				r.QualitySum, r.QualityMin = sum, minq
+				r.MobilitySum += int(mob) - int(r.BridgeMobility)
+				r.BridgeMobility = mob
+				changed = true
+			}
+		}
+		if changed {
+			s.resortLocked(e)
+			s.touchLocked(addr)
+		}
+	}
+}
+
+// mergeCandidateLocked applies one reported row's fig 3.13 comparison: the
+// row becomes a candidate route via the reporting bridge with one more jump,
+// filtered against self-echoes, relay loops, and the jump cap.
+func (s *Storage) mergeCandidateLocked(bridge device.Addr, bridgeQuality int, bridgeMobility device.Mobility, ne phproto.NeighborEntry, now time.Time, res *MergeResult) {
+	target := ne.Info.Addr
+	switch {
+	case s.self[target]:
+		// Own device comparison filter (fig 3.13).
+		res.Rejected++
+		return
+	case target == bridge:
+		res.Rejected++
+		return
+	case !ne.Bridge.IsZero() && s.self[ne.Bridge]:
+		// The neighbour's route to this device passes through us:
+		// adopting it would create a two-hop relay loop.
+		res.Rejected++
+		return
+	}
+	jumps := int(ne.Jumps) + 1
+	if jumps > s.cfg.MaxJumps {
+		res.Rejected++
+		return
+	}
+	route := Route{
+		Jumps:            jumps,
+		Bridge:           bridge,
+		QualitySum:       bridgeQuality + int(ne.QualitySum),
+		QualityMin:       min(bridgeQuality, int(ne.QualityMin)),
+		BridgeMobility:   bridgeMobility,
+		MobilitySum:      int(bridgeMobility) + int(ne.Info.Mobility),
+		RemoteQualitySum: int(ne.QualitySum),
+		RemoteQualityMin: int(ne.QualityMin),
+	}
+	e, ok := s.entries[target]
+	if !ok {
+		e = &Entry{Info: ne.Info.Clone(), LastSeen: now, LastFetched: now}
+		s.entries[target] = e
+		res.Added++
+	} else {
+		res.Updated++
+		e.LastSeen = now
+		// Prefer the richer descriptor: a bridged report may carry
+		// services we have not fetched ourselves yet.
+		if len(e.Info.Services) == 0 && len(ne.Info.Services) > 0 {
+			e.Info = ne.Info.Clone()
+		}
+	}
+	s.putRouteLocked(e, route)
+	s.touchLocked(target)
 }
 
 // AgeRound applies one discovery loop's aging for tech (fig 3.12):
@@ -432,12 +646,15 @@ func (s *Storage) MergeNeighborhood(bridge device.Addr, bridgeQuality int, nb []
 // direct neighbour of this technology gets "older" and its direct route is
 // erased after MaxMissedLoops. Devices left with no routes are removed,
 // along with any routes bridged through a device that just lost its direct
-// route (we can no longer dial that bridge). Returns the removed addresses.
-func (s *Storage) AgeRound(tech device.Tech, responded map[device.Addr]bool) []device.Addr {
+// route (we can no longer dial that bridge). Returns the removed addresses
+// and the devices whose direct route was erased this round — the
+// discoverer must reset its delta-sync state for the latter, because the
+// sweep just deleted via-them knowledge their own (unchanged) storage would
+// never re-send as a delta.
+func (s *Storage) AgeRound(tech device.Tech, responded map[device.Addr]bool) (removed, lostBridges []device.Addr) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	var lostBridges []device.Addr
 	for addr, e := range s.entries {
 		if addr.Tech != tech || !e.HasDirect() || responded[addr] {
 			continue
@@ -454,33 +671,39 @@ func (s *Storage) AgeRound(tech device.Tech, responded map[device.Addr]bool) []d
 			kept = append(kept, r)
 		}
 		e.Routes = kept
+		s.touchLocked(addr)
 		lostBridges = append(lostBridges, addr)
 	}
 
 	// A device whose direct route vanished can no longer serve as our first
 	// hop: drop routes bridged through it.
-	var removed []device.Addr
 	for _, bridge := range lostBridges {
 		for addr, e := range s.entries {
+			dropped := false
 			kept := e.Routes[:0]
 			for _, r := range e.Routes {
 				if r.Bridge == bridge {
+					dropped = true
 					continue
 				}
 				kept = append(kept, r)
 			}
 			e.Routes = kept
-			_ = addr
+			if dropped {
+				s.touchLocked(addr)
+			}
 		}
 	}
 	for addr, e := range s.entries {
 		if len(e.Routes) == 0 {
-			delete(s.entries, addr)
+			s.removeEntryLocked(addr, e)
+			s.touchLocked(addr)
 			removed = append(removed, addr)
 		}
 	}
-	sort.Slice(removed, func(i, j int) bool { return removed[i].String() < removed[j].String() })
-	return removed
+	sort.Slice(removed, func(i, j int) bool { return removed[i].Less(removed[j]) })
+	sort.Slice(lostBridges, func(i, j int) bool { return lostBridges[i].Less(lostBridges[j]) })
+	return removed, lostBridges
 }
 
 // RemoveDirect erases the direct route to a immediately (used when a dial
@@ -501,8 +724,9 @@ func (s *Storage) RemoveDirect(a device.Addr) {
 	}
 	e.Routes = kept
 	if len(e.Routes) == 0 {
-		delete(s.entries, a)
+		s.removeEntryLocked(a, e)
 	}
+	s.touchLocked(a)
 }
 
 // WireEntries renders the storage as the neighbourhood message transmitted
@@ -510,22 +734,215 @@ func (s *Storage) RemoveDirect(a device.Addr) {
 // (§3.3 — sending the whole DeviceStorage is what gives the network total
 // environment awareness).
 func (s *Storage) WireEntries() []phproto.NeighborEntry {
-	snap := s.Snapshot()
-	out := make([]phproto.NeighborEntry, 0, len(snap))
-	for _, e := range snap {
-		best, ok := e.Best()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wireEntriesLocked()
+}
+
+func (s *Storage) wireEntriesLocked() []phproto.NeighborEntry {
+	out := make([]phproto.NeighborEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		en, ok := wireEntryOf(e)
 		if !ok {
 			continue
 		}
-		out = append(out, phproto.NeighborEntry{
-			Info:       e.Info.Clone(),
-			Jumps:      uint8(minInt(best.Jumps, 255)),
-			Bridge:     best.Bridge,
-			QualitySum: uint32(maxInt(best.QualitySum, 0)),
-			QualityMin: uint8(clampInt(best.QualityMin, 0, 255)),
-		})
+		en.Info = en.Info.Clone()
+		out = append(out, en)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Info.Addr.Less(out[j].Info.Addr)
+	})
 	return out
+}
+
+// wireEntryOf renders one entry's transmitted form. The Info is NOT cloned —
+// callers that let the entry escape the storage lock must clone it.
+func wireEntryOf(e *Entry) (phproto.NeighborEntry, bool) {
+	best, ok := e.Best()
+	if !ok {
+		return phproto.NeighborEntry{}, false
+	}
+	return phproto.NeighborEntry{
+		Info:       e.Info,
+		Jumps:      uint8(min(best.Jumps, 255)),
+		Bridge:     best.Bridge,
+		QualitySum: uint32(max(best.QualitySum, 0)),
+		QualityMin: uint8(min(max(best.QualityMin, 0), 255)),
+	}, true
+}
+
+// Versioned delta sync.
+//
+// touchLocked is the single choke point every mutation above funnels
+// through: it re-fingerprints the device's transmitted form and, only if
+// that form actually changed, advances the generation, stamps the entry,
+// maintains the running table digest, and journals the change. A refresh
+// peers cannot observe — LastSeen, an identical re-reported route — leaves
+// the generation untouched, which is what makes a static neighbourhood's
+// deltas empty.
+func (s *Storage) touchLocked(addr device.Addr) {
+	var newHash uint64
+	visible := false
+	if e, ok := s.entries[addr]; ok {
+		if en, ok := wireEntryOf(e); ok {
+			newHash = en.Hash()
+			visible = true
+		}
+	}
+	old, had := s.wireHash[addr]
+	if visible == had && (!visible || old == newHash) {
+		return
+	}
+	s.gen++
+	if had {
+		s.digestHash ^= old
+	}
+	if visible {
+		s.digestHash ^= newHash
+		s.wireHash[addr] = newHash
+		s.entries[addr].Gen = s.gen
+	} else {
+		delete(s.wireHash, addr)
+	}
+	s.journal = append(s.journal, journalRec{gen: s.gen, addr: addr})
+	if len(s.journal) > s.cfg.JournalLimit {
+		// Forget the older half; peers behind the new floor get FULL.
+		drop := len(s.journal) / 2
+		s.journal = append(s.journal[:0], s.journal[drop:]...)
+		s.journalFloor = s.journal[0].gen - 1
+	}
+}
+
+// Digest summarises the storage's transmitted state for the sync handshake
+// and for observability (phctl digest).
+type Digest struct {
+	// Epoch identifies this storage instance; it changes on restart, which
+	// is how peers detect that the generation counter started over.
+	Epoch uint64
+	// Gen is the generation of the last wire-visible mutation.
+	Gen uint64
+	// Entries is the number of wire-visible devices.
+	Entries int
+	// Hash is the XOR of the per-entry fingerprints (phproto.DigestOf
+	// convention over WireEntries).
+	Hash uint64
+}
+
+// Digest returns the storage's current digest.
+func (s *Storage) Digest() Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.digestLocked()
+}
+
+func (s *Storage) digestLocked() Digest {
+	return Digest{Epoch: s.epoch, Gen: s.gen, Entries: len(s.wireHash), Hash: s.digestHash}
+}
+
+// Delta is the changed slice of the transmitted table between two
+// generations.
+type Delta struct {
+	// FromGen/ToGen bound the covered change window (FromGen exclusive).
+	FromGen, ToGen uint64
+	// Entries holds the current transmitted form of every device whose
+	// wire row changed in the window.
+	Entries []phproto.NeighborEntry
+	// Tombstones lists devices that left the table in the window.
+	Tombstones []device.Addr
+}
+
+// WireEntriesSince returns the changes to the transmitted table since the
+// given generation, alongside the current digest. ok is false when the
+// journal no longer covers that far back (or the generation is from another
+// epoch's future) — the caller must fall back to WireEntries.
+func (s *Storage) WireEntriesSince(gen uint64) (Delta, Digest, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	delta, ok := s.deltaLocked(gen)
+	return delta, s.digestLocked(), ok
+}
+
+func (s *Storage) deltaLocked(gen uint64) (Delta, bool) {
+	if gen < s.journalFloor || gen > s.gen {
+		return Delta{}, false
+	}
+	delta := Delta{FromGen: gen, ToGen: s.gen}
+	if gen == s.gen {
+		return delta, true
+	}
+	// The journal is append-only in generation order: walk the suffix
+	// newer than gen and coalesce repeated changes to one row each —
+	// the device's *current* state (or a tombstone if it is gone).
+	touched := make(map[device.Addr]bool)
+	for i := len(s.journal) - 1; i >= 0 && s.journal[i].gen > gen; i-- {
+		touched[s.journal[i].addr] = true
+	}
+	if len(touched) > phproto.MaxEntries {
+		// A journal larger than the wire's entry cap (Config.JournalLimit
+		// above phproto.MaxEntries) can cover windows no frame could
+		// carry; serve FULL rather than an undecodable delta.
+		return Delta{}, false
+	}
+	addrs := make([]device.Addr, 0, len(touched))
+	for a := range touched {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	for _, a := range addrs {
+		if e, ok := s.entries[a]; ok {
+			if en, ok := wireEntryOf(e); ok {
+				en.Info = en.Info.Clone()
+				delta.Entries = append(delta.Entries, en)
+				continue
+			}
+		}
+		delta.Tombstones = append(delta.Tombstones, a)
+	}
+	return delta, true
+}
+
+// SyncResponse answers a versioned neighbourhood fetch: a DELTA when the
+// epoch matches and the journal covers the requested generation, otherwise
+// a FULL table. The daemon's responder calls it directly unless a load
+// penalty skews its advertised entries (then it builds phproto.FullSync
+// over the penalised rows itself).
+func (s *Storage) SyncResponse(epoch, gen uint64) *phproto.NeighborhoodSync {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if epoch == s.epoch {
+		if delta, ok := s.deltaLocked(gen); ok {
+			return &phproto.NeighborhoodSync{
+				Epoch:       s.epoch,
+				FromGen:     delta.FromGen,
+				ToGen:       delta.ToGen,
+				Entries:     delta.Entries,
+				Tombstones:  delta.Tombstones,
+				DigestCount: uint32(len(s.wireHash)),
+				DigestHash:  s.digestHash,
+			}
+		}
+	}
+	entries := s.wireEntriesLocked()
+	if len(entries) > phproto.MaxEntries {
+		// A table beyond the wire's entry cap cannot be transmitted whole
+		// (deltaLocked refuses over-cap windows for the same reason).
+		// Serve the deterministic prefix as an unsyncable epoch-0
+		// snapshot — the load-penalty convention — so the peer keeps a
+		// partial view instead of choking on an undecodable frame.
+		return phproto.FullSync(0, 0, entries[:phproto.MaxEntries])
+	}
+	// The incremental digest equals DigestOf over the transmitted table
+	// (the reconstruction property test checks this every step), so the
+	// FULL fallback need not re-hash every entry the way the daemon's
+	// load-penalty path — whose advertised entries are skewed — must.
+	return &phproto.NeighborhoodSync{
+		Full:        true,
+		Epoch:       s.epoch,
+		ToGen:       s.gen,
+		Entries:     entries,
+		DigestCount: uint32(len(s.wireHash)),
+		DigestHash:  s.digestHash,
+	}
 }
 
 // AlternateRoutes returns every candidate route to a, best first,
@@ -559,10 +976,45 @@ func (s *Storage) putRouteLocked(e *Entry, route Route) {
 		kept = append(kept, r)
 	}
 	e.Routes = append(kept, route)
+	if !route.Direct() {
+		e.forgetEvictedVia(route.Bridge)
+	}
 	s.resortLocked(e)
 	if len(e.Routes) > s.cfg.MaxAlternates {
+		for _, r := range e.Routes[s.cfg.MaxAlternates:] {
+			if !r.Direct() {
+				e.noteEvictedVia(r.Bridge)
+			}
+		}
 		e.Routes = e.Routes[:s.cfg.MaxAlternates]
 	}
+}
+
+// removeEntryLocked drops a device that ran out of routes, remembering
+// which bridges' capacity-evicted routes could have kept it reachable.
+func (s *Storage) removeEntryLocked(addr device.Addr, e *Entry) {
+	for _, b := range e.evictedVia {
+		s.evicted[b] = true
+	}
+	delete(s.entries, addr)
+}
+
+// TakeEvictedBridges drains and returns the bridges of tech that may still
+// reach a device removed since the last call, through a route the
+// MaxAlternates cap evicted. The discoverer resets those bridges'
+// delta-sync state: the evicted knowledge exists only on our side, so
+// nothing short of a full fetch could restore it.
+func (s *Storage) TakeEvictedBridges(tech device.Tech) []device.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []device.Addr
+	for a := range s.evicted {
+		if a.Tech == tech {
+			out = append(out, a)
+			delete(s.evicted, a)
+		}
+	}
+	return out
 }
 
 func (s *Storage) resortLocked(e *Entry) {
@@ -623,28 +1075,4 @@ func (s *Storage) String() string {
 			e.Info.Name, e.Info.Addr, best.Jumps, bridge, best.QualitySum, e.Info.Mobility)
 	}
 	return b.String()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
 }

@@ -266,13 +266,13 @@ func TestAgeRoundErasesAfterMaxMissedLoops(t *testing.T) {
 	s.UpsertDirect(info("B", "B", device.Dynamic), 240)
 
 	none := map[device.Addr]bool{}
-	if removed := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
+	if removed, _ := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
 		t.Fatalf("removed after 1 miss: %v", removed)
 	}
-	if removed := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
+	if removed, _ := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
 		t.Fatalf("removed after 2 misses: %v", removed)
 	}
-	removed := s.AgeRound(device.TechBluetooth, none)
+	removed, _ := s.AgeRound(device.TechBluetooth, none)
 	if len(removed) != 1 || removed[0] != btAddr("B") {
 		t.Fatalf("removed = %v, want [B] after exceeding MaxMissedLoops", removed)
 	}
@@ -291,7 +291,7 @@ func TestAgeRoundResponseResetsCounter(t *testing.T) {
 	// B responds: UpsertDirect resets MissedLoops.
 	s.UpsertDirect(info("B", "B", device.Dynamic), 230)
 	for i := 0; i < 2; i++ {
-		if removed := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
+		if removed, _ := s.AgeRound(device.TechBluetooth, none); len(removed) != 0 {
 			t.Fatalf("round %d removed %v after reset", i, removed)
 		}
 	}
@@ -306,7 +306,7 @@ func TestAgeRoundCascadesThroughLostBridge(t *testing.T) {
 	})
 	none := map[device.Addr]bool{}
 	s.AgeRound(device.TechBluetooth, none) // miss 1
-	removed := s.AgeRound(device.TechBluetooth, none)
+	removed, _ := s.AgeRound(device.TechBluetooth, none)
 	if len(removed) != 2 {
 		t.Fatalf("removed = %v, want B and T (route via lost bridge)", removed)
 	}

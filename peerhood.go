@@ -227,6 +227,10 @@ type NodeConfig struct {
 	// LegacyDiscovery uses the pre-thesis one-level neighbourhood fetch
 	// (baseline F3.3).
 	LegacyDiscovery bool
+	// FullSyncOnly disables the versioned delta neighbourhood exchange on
+	// this node's fetches, re-transmitting the peer's whole table every
+	// round (baseline for experiment S2's delta-vs-full comparison).
+	FullSyncOnly bool
 	// ServiceCheckInterval is the fig 3.12 re-fetch interval; zero
 	// fetches every round.
 	ServiceCheckInterval time.Duration
@@ -292,6 +296,7 @@ func (w *World) NewNode(cfg NodeConfig) (*Node, error) {
 		Clock:                w.clk,
 		ServiceCheckInterval: cfg.ServiceCheckInterval,
 		LegacyOneHop:         cfg.LegacyDiscovery,
+		DisableDeltaSync:     cfg.FullSyncOnly,
 		QualityFirst:         cfg.QualityFirst,
 		LoadPenalty:          loadPenalty,
 	})
