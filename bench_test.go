@@ -56,6 +56,11 @@ func BenchmarkA1RouteAblation(b *testing.B)          { benchExperiment(b, "A1") 
 
 func BenchmarkS1CityBlock(b *testing.B) { benchExperiment(b, "S1") }
 
+// BenchmarkS3CommuterCorridor runs the predictive-vs-reactive handover
+// corridor in quick mode (its internal time compression is clamped, so
+// most of an iteration is scaled-clock waiting, not CPU).
+func BenchmarkS3CommuterCorridor(b *testing.B) { benchExperiment(b, "S3") }
+
 // BenchmarkS2DensePlaza runs the delta-vs-full sync scenario in quick mode
 // (40 nodes, two churn levels).
 func BenchmarkS2DensePlaza(b *testing.B) { benchExperiment(b, "S2") }

@@ -3,11 +3,18 @@
 // fetch each other's data, fig 3.7) and prints the device descriptor,
 // registered services, neighbourhood routing table, and the storage digest
 // driving delta neighbourhood sync (epoch, generation, entry count, table
-// hash).
+// hash). The watch subcommand instead dials the library engine port,
+// subscribes to the neighbourhood event stream (EVENT_SUBSCRIBE), and
+// tails device/link/handover events to stdout until interrupted.
 //
 // Usage:
 //
 //	phctl -addr 127.0.0.1:7001 [device|services|neighborhood|digest|all]
+//	phctl -addr 127.0.0.1:7001 watch [event-type ...]
+//
+// Event types for watch: device-appeared, device-lost, link-degrading,
+// link-recovered, link-lost, handover-started, handover-completed,
+// handover-failed. No types means everything.
 package main
 
 import (
@@ -18,9 +25,11 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
 	"time"
 
 	"peerhood/internal/device"
+	"peerhood/internal/events"
 	"peerhood/internal/phproto"
 )
 
@@ -38,7 +47,14 @@ func main() {
 		what = flag.Arg(0)
 	}
 
-	conn, err := dialDaemonPort(*addr, *timeout)
+	if what == "watch" {
+		if err := watch(*addr, *timeout, flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	conn, err := dialPort(*addr, device.PortDaemon, *timeout)
 	if err != nil {
 		log.Fatalf("dialing daemon: %v", err)
 	}
@@ -99,15 +115,97 @@ func main() {
 	}
 }
 
-// dialDaemonPort opens a TCP connection to the daemon and sends the
-// tcpnet port preamble selecting the daemon information port.
-func dialDaemonPort(addr string, timeout time.Duration) (net.Conn, error) {
+// watch subscribes to the daemon's neighbourhood event stream on the
+// library engine port and tails events to stdout. typeNames filters the
+// subscription; empty means everything.
+func watch(addr string, timeout time.Duration, typeNames []string) error {
+	mask, err := maskFor(typeNames)
+	if err != nil {
+		return err
+	}
+	conn, err := dialPort(addr, device.PortEngine, timeout)
+	if err != nil {
+		return fmt.Errorf("dialing engine port: %w", err)
+	}
+	defer conn.Close()
+
+	// The handshake is bounded; the tail itself is not.
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := phproto.Write(conn, &phproto.EventSubscribe{Mask: uint32(mask)}); err != nil {
+		return fmt.Errorf("subscribing: %w", err)
+	}
+	ack, err := phproto.ReadExpect[*phproto.Ack](conn)
+	if err != nil {
+		return fmt.Errorf("awaiting subscribe ack: %w", err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("subscription refused: %s", ack.Reason)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	fmt.Fprintf(os.Stderr, "watching %s (mask %#x); ctrl-c to stop\n", addr, uint32(mask))
+	for {
+		ev, err := phproto.ReadExpect[*phproto.EventNotice](conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("event stream: %w", err)
+		}
+		ts := time.Unix(0, ev.UnixNanos).Format("15:04:05.000")
+		line := fmt.Sprintf("%s #%-6d %-19s %v", ts, ev.Seq, events.Type(ev.Type), ev.Addr)
+		if ev.Quality >= 0 {
+			line += fmt.Sprintf(" q=%d", ev.Quality)
+		}
+		if ev.TimeToThreshold > 0 {
+			line += fmt.Sprintf(" ttt=%s", ev.TimeToThreshold)
+		}
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		fmt.Println(line)
+	}
+}
+
+// maskFor resolves event-type names to a subscription mask.
+func maskFor(names []string) (events.Mask, error) {
+	if len(names) == 0 {
+		return 0, nil
+	}
+	byName := make(map[string]events.Type)
+	for t := events.DeviceAppeared; t.Valid(); t++ {
+		byName[t.String()] = t
+	}
+	var types []events.Type
+	for _, n := range names {
+		t, ok := byName[n]
+		if !ok {
+			return 0, fmt.Errorf("unknown event type %q (have %v)", n, keys(byName))
+		}
+		types = append(types, t)
+	}
+	return events.MaskOf(types...), nil
+}
+
+func keys(m map[string]events.Type) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dialPort opens a TCP connection to the daemon process and sends the
+// tcpnet port preamble selecting a logical port (daemon information port
+// or library engine port).
+func dialPort(addr string, port uint16, timeout time.Duration) (net.Conn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	var preamble [2]byte
-	binary.BigEndian.PutUint16(preamble[:], device.PortDaemon)
+	binary.BigEndian.PutUint16(preamble[:], port)
 	if _, err := c.Write(preamble[:]); err != nil {
 		_ = c.Close()
 		return nil, err
@@ -119,7 +217,7 @@ func dialDaemonPort(addr string, timeout time.Duration) (net.Conn, error) {
 	}
 	if ok[0] != 1 {
 		_ = c.Close()
-		return nil, fmt.Errorf("daemon port refused (is %s a peerhoodd?)", addr)
+		return nil, fmt.Errorf("port %d refused (is %s a peerhoodd?)", port, addr)
 	}
 	return c, nil
 }

@@ -255,11 +255,15 @@ func (s *Service) handle(conn plugin.Conn, hello *phproto.HelloBridge, via plugi
 	p := &pair{id: s.nextID, in: conn, out: out}
 	s.pairs[p.id] = p
 	s.stats.ChainsEstablished++
+	// Add while still holding s.mu with closed re-checked above: once
+	// Close has set closed under this lock it may already be past
+	// wg.Wait, and an Add after that point races the Wait and leaks the
+	// pumps.
+	s.wg.Add(2)
 	s.mu.Unlock()
 
 	// Two pumps per pair (the even/odd directions of fig 4.4). The first
 	// failure in either direction tears the pair down.
-	s.wg.Add(2)
 	go s.pump(p, p.in, p.out)
 	go s.pump(p, p.out, p.in)
 }

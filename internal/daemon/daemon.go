@@ -15,6 +15,8 @@ import (
 	"peerhood/internal/clock"
 	"peerhood/internal/device"
 	"peerhood/internal/discovery"
+	"peerhood/internal/events"
+	"peerhood/internal/linkmon"
 	"peerhood/internal/phproto"
 	"peerhood/internal/plugin"
 	"peerhood/internal/storage"
@@ -57,6 +59,15 @@ type Config struct {
 	// bridge service wires its connection load in here, implementing the
 	// §4 bottleneck-avoidance suggestion.
 	LoadPenalty func() int
+
+	// LinkHorizon is the link monitor's degradation-prediction horizon:
+	// how far ahead a predicted threshold crossing classifies a link as
+	// degrading. Zero takes the linkmon default (10 s).
+	LinkHorizon time.Duration
+	// LinkWindow is the link monitor's slope window in samples; larger
+	// windows average more noise out of the trend at the cost of slower
+	// reaction. Zero takes the linkmon default (8).
+	LinkWindow int
 }
 
 // ErrStopped reports operations on a stopped daemon.
@@ -64,9 +75,11 @@ var ErrStopped = errors.New("daemon: stopped")
 
 // Daemon is one device's PeerHood daemon.
 type Daemon struct {
-	cfg   Config
-	clk   clock.Clock
-	store *storage.Storage
+	cfg     Config
+	clk     clock.Clock
+	store   *storage.Storage
+	bus     *events.Bus
+	monitor *linkmon.Monitor
 
 	mu          sync.Mutex
 	plugins     []plugin.Plugin
@@ -88,6 +101,7 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real()
 	}
+	bus := events.NewBus(cfg.Clock)
 	d := &Daemon{
 		cfg: cfg,
 		clk: cfg.Clock,
@@ -97,6 +111,14 @@ func New(cfg Config) (*Daemon, error) {
 			MaxJumps:         cfg.MaxJumps,
 			MaxMissedLoops:   cfg.MaxMissedLoops,
 			QualityFirst:     cfg.QualityFirst,
+		}),
+		bus: bus,
+		monitor: linkmon.New(linkmon.Config{
+			Clock:     cfg.Clock,
+			Bus:       bus,
+			Threshold: cfg.QualityThreshold,
+			Horizon:   cfg.LinkHorizon,
+			Window:    cfg.LinkWindow,
 		}),
 		services: make(map[string]device.ServiceInfo),
 		nextPort: device.PortServiceBase,
@@ -130,6 +152,16 @@ func (d *Daemon) Clock() clock.Clock { return d.clk }
 
 // Storage returns the daemon's device table.
 func (d *Daemon) Storage() *storage.Storage { return d.store }
+
+// Bus returns the daemon's neighbourhood event bus. Discovery, the link
+// monitor, and handover threads publish on it; applications subscribe
+// in-process (library.Events) or over the wire (EVENT_SUBSCRIBE).
+func (d *Daemon) Bus() *events.Bus { return d.bus }
+
+// LinkMonitor returns the daemon's link-quality monitor. Discovery feeds
+// it every inquiry response; handover threads feed their connection
+// samples and consume its degradation predictions.
+func (d *Daemon) LinkMonitor() *linkmon.Monitor { return d.monitor }
 
 // Plugins returns the attached plugins.
 func (d *Daemon) Plugins() []plugin.Plugin {
@@ -259,6 +291,8 @@ func (d *Daemon) Start(autoDiscover bool) error {
 			ServiceCheckInterval: d.cfg.ServiceCheckInterval,
 			LegacyOneHop:         d.cfg.LegacyOneHop,
 			DisableDeltaSync:     d.cfg.DisableDeltaSync,
+			Bus:                  d.bus,
+			Monitor:              d.monitor,
 		})
 		d.mu.Lock()
 		d.discoverers = append(d.discoverers, disc)
@@ -311,6 +345,9 @@ func (d *Daemon) Stop() {
 		_ = c.Close()
 	}
 	d.wg.Wait()
+	// Closing the bus after the goroutines are gone means no publisher can
+	// race the close; open subscriptions see their channels close.
+	d.bus.Close()
 }
 
 // acceptLoop serves information fetches arriving on one plugin.

@@ -1,0 +1,85 @@
+package daemon_test
+
+import (
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/events"
+	"peerhood/internal/geo"
+	"peerhood/internal/linkmon"
+	"peerhood/internal/mobility"
+	"peerhood/internal/phtest"
+)
+
+// drain pulls every buffered event without blocking.
+func drain(sub *events.Subscription) []events.Event {
+	var out []events.Event
+	for {
+		select {
+		case e := <-sub.C():
+			out = append(out, e)
+			continue
+		default:
+		}
+		return out
+	}
+}
+
+func TestDiscoveryPublishesAppearAndLost(t *testing.T) {
+	w := phtest.InstantWorld(t, 21)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(3, 0), device.Static)
+
+	sub := a.Daemon.Bus().Subscribe(events.MaskOf(events.DeviceAppeared, events.DeviceLost))
+	defer sub.Close()
+
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+	got := drain(sub)
+	if len(got) != 1 || got[0].Type != events.DeviceAppeared || got[0].Addr != b.Addr() {
+		t.Fatalf("events after first round = %v", got)
+	}
+	if got[0].Detail != "B" {
+		t.Fatalf("appear detail = %q, want device name", got[0].Detail)
+	}
+
+	// A second round of the same neighbourhood publishes nothing new.
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+	if again := drain(sub); len(again) != 0 {
+		t.Fatalf("duplicate appear events: %v", again)
+	}
+
+	// B leaves coverage; after MaxMissedLoops rounds the aging sweep
+	// removes it and DeviceLost fires once.
+	b.Device.SetModel(mobility.Static{At: geo.Pt(500, 0)})
+	for i := 0; i < 4; i++ {
+		a.Daemon.RunDiscoveryRound()
+	}
+	lost := drain(sub)
+	if len(lost) != 1 || lost[0].Type != events.DeviceLost || lost[0].Addr != b.Addr() {
+		t.Fatalf("events after departure = %v", lost)
+	}
+}
+
+func TestDiscoveryFeedsLinkMonitor(t *testing.T) {
+	w := phtest.InstantWorld(t, 22)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(3, 0), device.Static)
+
+	phtest.RunRounds([]*phtest.Node{a, b}, 2)
+	st, ok := a.Daemon.LinkMonitor().State(b.Addr())
+	if !ok {
+		t.Fatal("monitor has no state for the discovered neighbour")
+	}
+	if st.Samples < 2 || st.Class != linkmon.ClassStable {
+		t.Fatalf("state = %+v", st)
+	}
+
+	// Aging the device out marks the link lost and drops the state.
+	b.Device.SetModel(mobility.Static{At: geo.Pt(500, 0)})
+	for i := 0; i < 4; i++ {
+		a.Daemon.RunDiscoveryRound()
+	}
+	if _, ok := a.Daemon.LinkMonitor().State(b.Addr()); ok {
+		t.Fatal("monitor state survived device loss")
+	}
+}

@@ -22,6 +22,8 @@ import (
 
 	"peerhood/internal/clock"
 	"peerhood/internal/device"
+	"peerhood/internal/events"
+	"peerhood/internal/linkmon"
 	"peerhood/internal/phproto"
 	"peerhood/internal/plugin"
 	"peerhood/internal/rng"
@@ -54,6 +56,15 @@ type Config struct {
 	// fetch instead of the versioned delta handshake — the baseline side
 	// of experiment S2's delta-vs-full comparison.
 	DisableDeltaSync bool
+
+	// Bus, if set, receives DeviceAppeared when a never-before-stored
+	// device is successfully fetched and DeviceLost when the aging sweep
+	// removes one — the discovery half of the neighbourhood event feed.
+	Bus *events.Bus
+	// Monitor, if set, is fed every inquiry response's link quality, so
+	// each discovery round doubles as a trend sample for every direct
+	// neighbour.
+	Monitor *linkmon.Monitor
 }
 
 // RoundReport summarises one discovery round.
@@ -235,6 +246,9 @@ func (d *Discoverer) RunRound() RoundReport {
 	responded := make(map[device.Addr]bool, len(responses))
 	for _, r := range responses {
 		responded[r.Addr] = true
+		if d.cfg.Monitor != nil {
+			d.cfg.Monitor.Observe(r.Addr, r.Quality)
+		}
 		_, known := d.cfg.Store.Lookup(r.Addr)
 		if known && !d.cfg.Store.NeedsFetch(r.Addr, d.cfg.ServiceCheckInterval) {
 			// Known and fresh: refresh presence and quality only
@@ -259,6 +273,14 @@ func (d *Discoverer) RunRound() RoundReport {
 		}
 		d.cfg.Store.UpsertDirect(info, r.Quality)
 		d.cfg.Store.UpdateInfo(info)
+		if !known && d.cfg.Bus != nil {
+			d.cfg.Bus.Publish(events.Event{
+				Type:    events.DeviceAppeared,
+				Addr:    r.Addr,
+				Quality: r.Quality,
+				Detail:  info.Name,
+			})
+		}
 		if d.cfg.LegacyOneHop {
 			kept := sr.entries[:0]
 			for _, e := range sr.entries {
@@ -301,6 +323,12 @@ func (d *Discoverer) RunRound() RoundReport {
 	rep.Removed, lostBridges = d.cfg.Store.AgeRound(d.cfg.Plugin.Tech(), responded)
 	for _, a := range rep.Removed {
 		delete(d.peers, a)
+		if d.cfg.Monitor != nil {
+			d.cfg.Monitor.MarkLost(a)
+		}
+		if d.cfg.Bus != nil {
+			d.cfg.Bus.Publish(events.Event{Type: events.DeviceLost, Addr: a, Quality: -1})
+		}
 	}
 	for _, a := range lostBridges {
 		// The aging sweep just deleted our via-a knowledge while a's own

@@ -1,0 +1,260 @@
+// Package events is the neighbourhood event bus: a per-daemon in-process
+// pub/sub channel over which discovery, the link monitor, and handover
+// threads push typed connectivity-change notifications to applications,
+// instead of applications polling the device storage. Adaptive-mobile-
+// systems work argues the middleware must *feed* connectivity events to
+// applications; this bus is that feed. Subscriptions are buffered and
+// lossy under backpressure (a slow subscriber drops events rather than
+// stalling the protocol stack), with the drop count observable.
+package events
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+)
+
+// Type identifies an event kind.
+type Type uint8
+
+// Event kinds. Wire encodings (phproto) transmit the raw value, so new
+// kinds must be appended, never renumbered.
+const (
+	// DeviceAppeared fires when discovery successfully fetches a device
+	// that was not in the storage.
+	DeviceAppeared Type = iota + 1
+	// DeviceLost fires when the aging sweep removes a device.
+	DeviceLost
+	// LinkDegrading fires when the link monitor classifies a link as
+	// degrading: trend level falling with a predicted time-to-threshold.
+	LinkDegrading
+	// LinkRecovered fires when a previously degrading link stabilises.
+	LinkRecovered
+	// LinkLost fires when a monitored link's quality collapses to zero or
+	// its device ages out.
+	LinkLost
+	// HandoverStarted fires when a handover thread begins re-routing a
+	// connection (reactively or predictively).
+	HandoverStarted
+	// HandoverCompleted fires after a successful transport substitution.
+	HandoverCompleted
+	// HandoverFailed fires when every candidate route failed.
+	HandoverFailed
+)
+
+// maxType is the highest valid Type (bounds Mask construction and wire
+// decoding).
+const maxType = HandoverFailed
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case DeviceAppeared:
+		return "device-appeared"
+	case DeviceLost:
+		return "device-lost"
+	case LinkDegrading:
+		return "link-degrading"
+	case LinkRecovered:
+		return "link-recovered"
+	case LinkLost:
+		return "link-lost"
+	case HandoverStarted:
+		return "handover-started"
+	case HandoverCompleted:
+		return "handover-completed"
+	case HandoverFailed:
+		return "handover-failed"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t names a known event kind.
+func (t Type) Valid() bool { return t >= DeviceAppeared && t <= maxType }
+
+// Mask filters event types as a bitmask; bit (t-1) selects type t.
+// The zero Mask means "everything" so callers need no special case.
+type Mask uint32
+
+// MaskAll selects every event type explicitly.
+const MaskAll Mask = 1<<uint(maxType) - 1
+
+// MaskOf builds a mask selecting exactly the given types.
+func MaskOf(types ...Type) Mask {
+	var m Mask
+	for _, t := range types {
+		if t.Valid() {
+			m |= 1 << (uint(t) - 1)
+		}
+	}
+	return m
+}
+
+// Has reports whether the mask selects t. The zero mask selects all.
+func (m Mask) Has(t Type) bool {
+	if m == 0 {
+		return true
+	}
+	return m&(1<<(uint(t)-1)) != 0
+}
+
+// Event is one neighbourhood notification.
+type Event struct {
+	// Seq is the bus-assigned monotonic sequence number.
+	Seq uint64
+	// Time is the (simulated) time the event was published.
+	Time time.Time
+	// Type is the event kind.
+	Type Type
+	// Addr is the subject device or link peer.
+	Addr device.Addr
+	// Quality is the sampled or smoothed link quality where meaningful
+	// (link and handover events); -1 otherwise.
+	Quality int
+	// TimeToThreshold is the predicted time until the link crosses the
+	// quality threshold (LinkDegrading only; 0 elsewhere).
+	TimeToThreshold time.Duration
+	// Detail is a free-form human-readable annotation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %v", e.Seq, e.Type, e.Addr)
+	if e.Quality >= 0 {
+		s += fmt.Sprintf(" q=%d", e.Quality)
+	}
+	if e.TimeToThreshold > 0 {
+		s += fmt.Sprintf(" ttt=%s", e.TimeToThreshold)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// SubscriptionBuffer is each subscription's channel capacity.
+const SubscriptionBuffer = 64
+
+// Bus is the per-daemon event bus.
+type Bus struct {
+	clk clock.Clock
+
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[*Subscription]struct{}
+	closed bool
+}
+
+// NewBus returns a Bus stamping event times from clk (nil uses the real
+// clock).
+func NewBus(clk clock.Clock) *Bus {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Bus{clk: clk, subs: make(map[*Subscription]struct{})}
+}
+
+// Publish stamps e with the next sequence number and the current time and
+// delivers it to every matching subscription without blocking: a
+// subscriber whose buffer is full loses the event (counted on the
+// subscription). Publishing on a closed bus is a no-op.
+func (b *Bus) Publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.seq++
+	e.Seq = b.seq
+	e.Time = b.clk.Now()
+	for s := range b.subs {
+		if !s.mask.Has(e.Type) {
+			continue
+		}
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// Subscribe registers a new subscription filtered by mask (zero mask =
+// everything). On a closed bus the returned subscription is already
+// closed.
+func (b *Bus) Subscribe(mask Mask) *Subscription {
+	s := &Subscription{bus: b, mask: mask, ch: make(chan Event, SubscriptionBuffer)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.ch)
+		s.closed = true
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Close closes the bus and every open subscription. Idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		close(s.ch)
+		s.closed = true
+	}
+	b.subs = nil
+}
+
+// Subscribers returns how many subscriptions are open.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Subscription is one subscriber's buffered event feed.
+type Subscription struct {
+	bus  *Bus
+	mask Mask
+
+	// ch, dropped and closed are guarded by bus.mu.
+	ch      chan Event
+	dropped int
+	closed  bool
+}
+
+// C returns the delivery channel. It is closed when the subscription or
+// the bus closes; buffered events remain readable after that.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// Mask returns the subscription's filter.
+func (s *Subscription) Mask() Mask { return s.mask }
+
+// Dropped returns how many events were lost to a full buffer.
+func (s *Subscription) Dropped() int {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	return s.dropped
+}
+
+// Close unsubscribes and closes the channel. Idempotent.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.bus.subs, s)
+	close(s.ch)
+}

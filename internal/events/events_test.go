@@ -1,0 +1,174 @@
+package events
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+)
+
+func addr(mac string) device.Addr {
+	return device.Addr{Tech: device.TechBluetooth, MAC: mac}
+}
+
+func TestPublishSubscribeRoundTrip(t *testing.T) {
+	clk := clock.NewManual()
+	b := NewBus(clk)
+	defer b.Close()
+	sub := b.Subscribe(0)
+	defer sub.Close()
+
+	clk.Advance(5 * time.Second)
+	b.Publish(Event{Type: DeviceAppeared, Addr: addr("aa"), Quality: 240})
+	b.Publish(Event{Type: LinkDegrading, Addr: addr("aa"), Quality: 231, TimeToThreshold: 3 * time.Second})
+
+	e1 := <-sub.C()
+	if e1.Type != DeviceAppeared || e1.Seq != 1 || e1.Addr != addr("aa") {
+		t.Fatalf("e1 = %+v", e1)
+	}
+	if !e1.Time.Equal(clk.Now()) {
+		t.Fatalf("e1.Time = %v, want %v", e1.Time, clk.Now())
+	}
+	e2 := <-sub.C()
+	if e2.Type != LinkDegrading || e2.Seq != 2 || e2.TimeToThreshold != 3*time.Second {
+		t.Fatalf("e2 = %+v", e2)
+	}
+}
+
+func TestMaskFiltering(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.Subscribe(MaskOf(HandoverStarted, HandoverCompleted))
+	defer sub.Close()
+
+	b.Publish(Event{Type: DeviceAppeared, Addr: addr("aa")})
+	b.Publish(Event{Type: HandoverStarted, Addr: addr("aa")})
+	b.Publish(Event{Type: LinkLost, Addr: addr("aa")})
+	b.Publish(Event{Type: HandoverCompleted, Addr: addr("aa")})
+
+	got := []Type{(<-sub.C()).Type, (<-sub.C()).Type}
+	if got[0] != HandoverStarted || got[1] != HandoverCompleted {
+		t.Fatalf("got %v", got)
+	}
+	select {
+	case e := <-sub.C():
+		t.Fatalf("unexpected event %v", e)
+	default:
+	}
+}
+
+func TestZeroMaskMeansAll(t *testing.T) {
+	var m Mask
+	for ty := DeviceAppeared; ty <= maxType; ty++ {
+		if !m.Has(ty) {
+			t.Fatalf("zero mask rejects %v", ty)
+		}
+		if !MaskAll.Has(ty) {
+			t.Fatalf("MaskAll rejects %v", ty)
+		}
+	}
+	if MaskOf(DeviceLost).Has(DeviceAppeared) {
+		t.Fatal("narrow mask accepts unselected type")
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.Subscribe(0)
+	defer sub.Close()
+
+	total := SubscriptionBuffer + 7
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			b.Publish(Event{Type: DeviceAppeared, Addr: addr("aa")})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if d := sub.Dropped(); d != 7 {
+		t.Fatalf("dropped = %d, want 7", d)
+	}
+	// The buffered prefix is still intact and in order.
+	first := <-sub.C()
+	if first.Seq != 1 {
+		t.Fatalf("first buffered seq = %d", first.Seq)
+	}
+}
+
+func TestCloseBusClosesSubscriptions(t *testing.T) {
+	b := NewBus(nil)
+	sub := b.Subscribe(0)
+	b.Publish(Event{Type: DeviceLost, Addr: addr("aa")})
+	b.Close()
+	b.Close() // idempotent
+
+	// The buffered event drains, then the channel reports closed.
+	if e, ok := <-sub.C(); !ok || e.Type != DeviceLost {
+		t.Fatalf("drain = %+v, %v", e, ok)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel still open after bus close")
+	}
+	// Publishing and subscribing after close are safe no-ops.
+	b.Publish(Event{Type: DeviceLost})
+	late := b.Subscribe(0)
+	if _, ok := <-late.C(); ok {
+		t.Fatal("late subscription delivered an event")
+	}
+	late.Close()
+	sub.Close()
+}
+
+func TestSubscriptionCloseUnsubscribes(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.Subscribe(0)
+	if b.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d", b.Subscribers())
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	if b.Subscribers() != 0 {
+		t.Fatalf("subscribers after close = %d", b.Subscribers())
+	}
+	b.Publish(Event{Type: DeviceAppeared}) // must not panic on closed channel
+}
+
+func TestTypeStringsAndValidity(t *testing.T) {
+	for ty := DeviceAppeared; ty <= maxType; ty++ {
+		if !ty.Valid() {
+			t.Fatalf("%v invalid", ty)
+		}
+		if s := ty.String(); s == "" || s[0] == 'e' {
+			t.Fatalf("missing String for %d: %q", ty, s)
+		}
+	}
+	if Type(0).Valid() || Type(250).Valid() {
+		t.Fatal("out-of-range type valid")
+	}
+	if Type(250).String() != "event(250)" {
+		t.Fatalf("fallback string = %q", Type(250).String())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 3, Type: LinkDegrading, Addr: addr("aa"), Quality: 233, TimeToThreshold: 2 * time.Second, Detail: "x"}
+	s := e.String()
+	for _, want := range []string{"#3", "link-degrading", "q=233", "ttt=2s", "x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	quiet := Event{Seq: 1, Type: DeviceLost, Addr: addr("bb"), Quality: -1}
+	if strings.Contains(quiet.String(), "q=") {
+		t.Fatalf("quality rendered for quality-less event: %q", quiet.String())
+	}
+}

@@ -99,6 +99,7 @@ var registry = []registration{
 	{"A1", "Ablation: route selection policies (§3.4)", RunRouteAblation},
 	{"S1", "City block: 1,000 mobile nodes on the spatial-grid index", RunScale},
 	{"S2", "Dense plaza: delta vs full neighbourhood sync under churn", RunPlaza},
+	{"S3", "Commuter corridor: predictive vs reactive handover across coverage zones", RunCommuter},
 }
 
 // IDs returns the registered experiment IDs in canonical order.

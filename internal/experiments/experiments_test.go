@@ -12,7 +12,7 @@ func quickCfg() Config {
 
 func TestRegistryListsAllIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1", "S1", "S2"}
+	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1", "S1", "S2", "S3"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -241,6 +241,51 @@ func TestDensePlazaDeltaBeatsFullSync(t *testing.T) {
 	// Both sync modes must actually have run.
 	if !strings.Contains(res.Table, "delta") || !strings.Contains(res.Table, "full") {
 		t.Fatalf("table missing modes:\n%s", res.Table)
+	}
+}
+
+func TestCommuterCorridorQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale experiment")
+	}
+	res, err := Run("S3", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both trigger modes must have run in every sweep cell.
+	for _, mode := range []string{"reactive", "predictive"} {
+		if !strings.Contains(res.Table, mode) {
+			t.Fatalf("table missing %s rows:\n%s", mode, res.Table)
+		}
+	}
+	// The predictive machinery must actually have fired: at least one
+	// predictive-mode row with a non-zero PREDICTIVE column, and every
+	// reactive row pinned at zero. (The disruption *ordering* under
+	// monotonic degradation is pinned deterministically by the manual-
+	// clock property test in internal/handover; the corridor's timing
+	// runs on a scaled wall clock, so the table is not bit-stable.)
+	firedPredictive := false
+	for _, line := range strings.Split(res.Table, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 5 {
+			continue
+		}
+		switch f[0] {
+		case "predictive":
+			if f[4] != "0.0" {
+				firedPredictive = true
+			}
+		case "reactive":
+			if f[4] != "0.0" {
+				t.Fatalf("reactive row reports predictive handovers:\n%s", res.Table)
+			}
+		}
+	}
+	if !firedPredictive {
+		t.Fatalf("no predictive handovers fired anywhere:\n%s", res.Table)
+	}
+	if len(res.Notes) == 0 || !strings.Contains(strings.Join(res.Notes, "\n"), "walking speed") {
+		t.Fatalf("notes missing the walking-speed comparison: %v", res.Notes)
 	}
 }
 

@@ -8,17 +8,31 @@
 // failing it falls back to service reconnection on another provider
 // (§5.2.2), asking the application for permission first. Connections whose
 // "sending" flag is off are left alone (result routing, §5.3).
+//
+// On top of the thesis' reactive trigger, the thread can act on the link
+// monitor's predictions (internal/linkmon): every quality sample is fed
+// into the per-daemon monitor, and when the monitored link classifies as
+// Degrading with a predicted time-to-threshold inside the configured
+// horizon, the thread pre-warms the alternate-route candidates and
+// executes the PH_RECONNECT *before* quality crosses 230 — so the
+// replacement transport is built while the old link still carries
+// traffic. The reactive path stays in place as the fallback (and as the
+// A/B baseline for experiment S3). Lifecycle transitions are published on
+// the daemon's neighbourhood event bus.
 package handover
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"peerhood/internal/clock"
 	"peerhood/internal/device"
+	"peerhood/internal/events"
 	"peerhood/internal/library"
+	"peerhood/internal/linkmon"
 	"peerhood/internal/storage"
 )
 
@@ -75,6 +89,10 @@ const (
 	// EventGaveUp fires when neither routing handover nor service
 	// reconnection is possible this round.
 	EventGaveUp
+	// EventPredictiveStart fires when the link monitor's degradation
+	// prediction triggers a proactive handover while quality is still
+	// above the threshold.
+	EventPredictiveStart
 )
 
 // String implements fmt.Stringer.
@@ -92,6 +110,8 @@ func (e Event) String() string {
 		return "service-reconnect"
 	case EventGaveUp:
 		return "gave-up"
+	case EventPredictiveStart:
+		return "predictive-start"
 	default:
 		return fmt.Sprintf("event(%d)", int(e))
 	}
@@ -108,15 +128,27 @@ type Stats struct {
 	FailedHandovers  int64
 	Reconnects       int64
 	RefusedReconnect int64
+	// PredictiveHandovers counts handovers triggered by the link
+	// monitor's prediction while quality was still above the threshold
+	// (included in Handovers).
+	PredictiveHandovers int64
 }
 
-// Defaults mirror the thesis' simulation parameters (§5.2.1).
+// Defaults mirror the thesis' simulation parameters (§5.2.1); the
+// predictive additions default to a horizon of a few monitoring ticks.
 const (
 	DefaultThreshold        = 230
 	DefaultLowLimit         = 3
 	DefaultInterval         = time.Second
 	DefaultMaxRouteAttempts = 3
 	DefaultMaxFailures      = 2
+	// DefaultPredictHorizon: act when the predicted threshold crossing is
+	// within this much simulated time.
+	DefaultPredictHorizon = 5 * time.Second
+	// DefaultPredictCooldown: minimum spacing between predictive
+	// triggers, so one long smooth decay cannot fire a second proactive
+	// handover while the first swap's trend state is still settling.
+	DefaultPredictCooldown = 10 * time.Second
 )
 
 // Config parametrises a handover thread.
@@ -151,22 +183,41 @@ type Config struct {
 	AllowReconnect func(p storage.ServiceProvider) bool
 	// Observer receives lifecycle events; may be nil.
 	Observer Observer
+
+	// Predictive enables proactive handover: when the link monitor
+	// classifies the connection's link as Degrading with a predicted
+	// time-to-threshold within PredictHorizon, the thread re-routes
+	// before quality crosses the threshold.
+	Predictive bool
+	// PredictHorizon is the act-ahead window (default 5 s).
+	PredictHorizon time.Duration
+	// PredictCooldown is the minimum spacing between predictive triggers
+	// (default 10 s).
+	PredictCooldown time.Duration
+	// Monitor overrides the link monitor consulted for predictions; nil
+	// uses the daemon's.
+	Monitor *linkmon.Monitor
 }
 
 // Thread is one connection's handover monitor.
 type Thread struct {
-	lib *library.Library
-	vc  *library.VirtualConnection
-	clk clock.Clock
-	cfg Config
+	lib     *library.Library
+	vc      *library.VirtualConnection
+	clk     clock.Clock
+	cfg     Config
+	monitor *linkmon.Monitor
+	bus     *events.Bus
 
-	mu       sync.Mutex
-	state    State
-	lowCount int
-	failures int
-	stats    Stats
-	stop     chan struct{}
-	done     chan struct{}
+	mu         sync.Mutex
+	state      State
+	lowCount   int
+	failures   int
+	stats      Stats
+	lastPred   time.Time // last predictive trigger (cooldown anchor)
+	havePred   bool
+	warmRoutes []storage.Route // pre-warmed candidates (fig 5.5 state 0)
+	stop       chan struct{}
+	done       chan struct{}
 }
 
 // ErrNoConnection reports a nil connection or library.
@@ -195,12 +246,24 @@ func New(cfg Config) (*Thread, error) {
 	if !cfg.AllowDirectReturn && !cfg.DisallowDirectReturn {
 		cfg.AllowDirectReturn = true
 	}
+	if cfg.PredictHorizon == 0 {
+		cfg.PredictHorizon = DefaultPredictHorizon
+	}
+	if cfg.PredictCooldown == 0 {
+		cfg.PredictCooldown = DefaultPredictCooldown
+	}
+	monitor := cfg.Monitor
+	if monitor == nil {
+		monitor = cfg.Library.Daemon().LinkMonitor()
+	}
 	return &Thread{
-		lib:   cfg.Library,
-		vc:    cfg.Conn,
-		clk:   cfg.Library.Clock(),
-		cfg:   cfg,
-		state: StateMonitoring,
+		lib:     cfg.Library,
+		vc:      cfg.Conn,
+		clk:     cfg.Library.Clock(),
+		cfg:     cfg,
+		monitor: monitor,
+		bus:     cfg.Library.Daemon().Bus(),
+		state:   StateMonitoring,
 	}, nil
 }
 
@@ -231,6 +294,15 @@ func (t *Thread) emit(e Event, detail string) {
 	}
 }
 
+// publish pushes a handover lifecycle event onto the daemon's
+// neighbourhood event bus.
+func (t *Thread) publish(ty events.Type, quality int, detail string) {
+	if t.bus == nil {
+		return
+	}
+	t.bus.Publish(events.Event{Type: ty, Addr: t.vc.Target(), Quality: quality, Detail: detail})
+}
+
 // Step runs one monitoring tick. Deterministic tests and experiments call
 // it directly; Start loops it on the configured interval.
 func (t *Thread) Step() {
@@ -255,11 +327,20 @@ func (t *Thread) Step() {
 	}
 
 	q := t.vc.Quality()
+	remote := t.vc.RemoteAddr()
+	var st linkmon.State
+	if t.monitor != nil {
+		// Every monitoring tick doubles as a trend sample for the active
+		// link, so predictions stay current even between discovery rounds.
+		st = t.monitor.Observe(remote, q)
+	}
+
 	t.mu.Lock()
 	if q >= t.cfg.Threshold {
 		t.lowCount = 0
 		t.state = StateMonitoring
 		t.mu.Unlock()
+		t.aboveThreshold(q, st)
 		return
 	}
 	t.lowCount++
@@ -306,6 +387,75 @@ func (t *Thread) Step() {
 	t.mu.Unlock()
 }
 
+// aboveThreshold runs the proactive half of the monitoring state: while
+// quality is still acceptable, consult the link monitor's classification.
+// A degrading link gets its alternate-route candidates pre-warmed
+// (fig 5.5's state 0, refreshed on trend evidence rather than blindly),
+// and — in predictive mode — a proactive handover once the predicted
+// time-to-threshold falls inside the horizon.
+func (t *Thread) aboveThreshold(q int, st linkmon.State) {
+	if t.monitor == nil || st.Class != linkmon.ClassDegrading {
+		t.mu.Lock()
+		t.warmRoutes = nil
+		t.mu.Unlock()
+		return
+	}
+	t.prewarm()
+	if !t.cfg.Predictive {
+		return
+	}
+	// The monitor predicts the crossing of the daemon-wide threshold.
+	// When this thread watches a different floor, re-derive the crossing
+	// time from the same trend (the Degrading class gate — min samples,
+	// fit, negative slope — has already been applied by the monitor).
+	ttt := st.TimeToThreshold
+	if t.cfg.Threshold != t.monitor.Threshold() {
+		if st.Slope >= 0 {
+			return
+		}
+		if floor := float64(t.cfg.Threshold); st.Level > floor {
+			ttt = time.Duration((st.Level - floor) / -st.Slope * float64(time.Second))
+		} else {
+			ttt = 0
+		}
+	}
+	if ttt > t.cfg.PredictHorizon {
+		return
+	}
+	now := t.clk.Now()
+	t.mu.Lock()
+	if t.havePred && now.Sub(t.lastPred) < t.cfg.PredictCooldown {
+		t.mu.Unlock()
+		return
+	}
+	t.lastPred, t.havePred = now, true
+	t.state = StateHandover
+	t.mu.Unlock()
+
+	t.emit(EventPredictiveStart, fmt.Sprintf("quality=%d ttt=%s slope=%+.2f/s", q, ttt, st.Slope))
+	ok := t.routingHandover()
+	t.mu.Lock()
+	if ok {
+		t.stats.PredictiveHandovers++
+		t.failures = 0
+	}
+	// A failed predictive attempt does not count towards the service-
+	// reconnection escalation: the link still works, and the reactive
+	// fallback owns that decision once quality actually crosses.
+	t.state = StateMonitoring
+	t.mu.Unlock()
+}
+
+// prewarm refreshes the alternate-route candidate list while the link is
+// degrading, so the eventual handover (predictive or reactive) starts
+// from an already-selected route set.
+func (t *Thread) prewarm() {
+	routes := t.lib.Daemon().Storage().AlternateRoutes(t.vc.Target(), t.vc.Bridge())
+	t.mu.Lock()
+	t.warmRoutes = routes
+	t.mu.Unlock()
+}
+
 // routingHandover implements fig 5.5's state 2: try alternate routes to
 // the same device, best first, re-attaching the logical connection with
 // PH_RECONNECT. It reports success.
@@ -315,13 +465,24 @@ func (t *Thread) routingHandover() bool {
 	currentBridge := t.vc.Bridge()
 	store := t.lib.Daemon().Storage()
 
-	routes := store.AlternateRoutes(target, currentBridge)
+	t.mu.Lock()
+	routes := t.warmRoutes
+	t.warmRoutes = nil
+	t.mu.Unlock()
+	if len(routes) == 0 {
+		routes = store.AlternateRoutes(target, currentBridge)
+	}
 	t.emit(EventHandoverStart, fmt.Sprintf("candidates=%d", len(routes)))
+	t.publish(events.HandoverStarted, t.vc.Quality(), fmt.Sprintf("candidates=%d", len(routes)))
 
 	// Fig 5.5 state 0 stores "the best quality way": candidates whose
 	// every hop clears the threshold are tried before below-threshold
 	// ones, regardless of jump count — switching to a route that is
-	// already as weak as the current one would just re-trigger.
+	// already as weak as the current one would just re-trigger. Within
+	// each class, candidates with the strongest *first hop* go first: the
+	// first hop is the link this device will actually hold, and for a
+	// moving node it is what separates the bridge ahead from the one
+	// already falling behind.
 	good := make([]storage.Route, 0, len(routes))
 	poor := make([]storage.Route, 0, len(routes))
 	for _, r := range routes {
@@ -331,6 +492,9 @@ func (t *Thread) routingHandover() bool {
 			poor = append(poor, r)
 		}
 	}
+	firstHop := func(r storage.Route) int { return r.QualitySum - r.RemoteQualitySum }
+	sort.SliceStable(good, func(i, j int) bool { return firstHop(good[i]) > firstHop(good[j]) })
+	sort.SliceStable(poor, func(i, j int) bool { return firstHop(poor[i]) > firstHop(poor[j]) })
 	routes = append(good, poor...)
 
 	attempts := 0
@@ -360,17 +524,25 @@ func (t *Thread) routingHandover() bool {
 		if err != nil {
 			continue
 		}
+		oldRemote := t.vc.RemoteAddr()
 		t.vc.SwapRoute(raw, r.Bridge)
 		t.mu.Lock()
 		t.stats.Handovers++
 		t.mu.Unlock()
+		if t.monitor != nil && oldRemote != t.vc.RemoteAddr() {
+			// The abandoned link's trend must not ghost into the next
+			// classification of the same peer.
+			t.monitor.Forget(oldRemote)
+		}
 		t.emit(EventHandoverDone, r.String())
+		t.publish(events.HandoverCompleted, t.vc.Quality(), r.String())
 		return true
 	}
 	t.mu.Lock()
 	t.stats.FailedHandovers++
 	t.mu.Unlock()
 	t.emit(EventHandoverFailed, fmt.Sprintf("attempts=%d", attempts))
+	t.publish(events.HandoverFailed, t.vc.Quality(), fmt.Sprintf("attempts=%d", attempts))
 	return false
 }
 

@@ -1,0 +1,347 @@
+package handover_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/events"
+	"peerhood/internal/geo"
+	"peerhood/internal/handover"
+	"peerhood/internal/mobility"
+	"peerhood/internal/phtest"
+)
+
+// Geometry notes (see handover_test.go): quality(d) = 180 + 75*(1 - d/10),
+// so 2 m reads 240, 1 m reads 247, and the 230 threshold sits at 3.33 m.
+
+type degrader interface{ StartDegradation(rate float64) }
+
+// eventLog records observer events with their tick index.
+type eventLog struct {
+	mu    sync.Mutex
+	ticks map[handover.Event][]int
+	tick  int
+}
+
+func newEventLog() *eventLog { return &eventLog{ticks: make(map[handover.Event][]int)} }
+
+func (l *eventLog) observer() handover.Observer {
+	return func(e handover.Event, detail string) {
+		l.mu.Lock()
+		l.ticks[e] = append(l.ticks[e], l.tick)
+		l.mu.Unlock()
+	}
+}
+
+func (l *eventLog) setTick(n int) {
+	l.mu.Lock()
+	l.tick = n
+	l.mu.Unlock()
+}
+
+func (l *eventLog) first(e handover.Event) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts := l.ticks[e]
+	if len(ts) == 0 {
+		return 0, false
+	}
+	return ts[0], true
+}
+
+func (l *eventLog) count(e handover.Event) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ticks[e])
+}
+
+// degradingScenario builds the fig 5.8 triangle on a manual clock — client
+// A at (0,0), server B at (2,0) (quality 240, above threshold), bridge C
+// at (1,0) — connects A to B, starts a 1 unit/s artificial degradation,
+// and ticks the handover thread once per simulated second until a
+// handover completes or maxTicks pass. It returns the tick at which the
+// first handover-start event fired, the instantaneous quality at that
+// tick, and the thread for stats inspection.
+func degradingScenario(t *testing.T, seed int64, predictive bool, maxTicks int) (startTick, startQuality int, th *handover.Thread, log *eventLog) {
+	t.Helper()
+	w, clk := phtest.ManualWorld(t, seed)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+	c := phtest.AddNode(t, w, "C", geo.Pt(1, 0), device.Static)
+	phtest.AttachBridge(t, c)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	t.Cleanup(func() { _ = vc.Close() })
+	if q := vc.Quality(); q < 230 {
+		t.Fatalf("initial quality = %d, want above threshold", q)
+	}
+
+	log = newEventLog()
+	th, err = handover.New(handover.Config{
+		Library:    a.Lib,
+		Conn:       vc,
+		Predictive: predictive,
+		Observer:   log.observer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, ok := vc.Transport().(degrader)
+	if !ok {
+		t.Fatal("transport does not support degradation")
+	}
+	d.StartDegradation(1)
+
+	qualityAt := make(map[int]int)
+	for tick := 1; tick <= maxTicks; tick++ {
+		clk.Advance(time.Second)
+		log.setTick(tick)
+		qualityAt[tick] = vc.Quality()
+		th.Step()
+		if vc.Swaps() > 0 {
+			break
+		}
+	}
+	if vc.Swaps() != 1 {
+		t.Fatalf("swaps = %d after %d ticks (stats %+v)", vc.Swaps(), maxTicks, th.Stats())
+	}
+	if vc.Bridge() != c.Addr() {
+		t.Fatalf("handover bridge = %v, want C", vc.Bridge())
+	}
+	echoOnce(t, vc, "after")
+
+	start := handover.EventHandoverStart
+	if predictive {
+		start = handover.EventPredictiveStart
+	}
+	tick, ok := log.first(start)
+	if !ok {
+		t.Fatalf("no %v event (log %v)", start, log.ticks)
+	}
+	return tick, qualityAt[tick], th, log
+}
+
+// TestPredictiveFiresStrictlyBeforeReactive is the acceptance property:
+// under an identical monotonic 1/s degradation on a manual clock, the
+// predictive trigger must fire strictly before the reactive 230-threshold
+// trigger, while the link is still above the threshold.
+func TestPredictiveFiresStrictlyBeforeReactive(t *testing.T) {
+	reactTick, reactQ, reactTh, _ := degradingScenario(t, 31, false, 40)
+	predTick, predQ, predTh, _ := degradingScenario(t, 31, true, 40)
+
+	if predTick >= reactTick {
+		t.Fatalf("predictive trigger tick %d not strictly before reactive %d", predTick, reactTick)
+	}
+	if predQ < handover.DefaultThreshold {
+		t.Fatalf("predictive fired below threshold: quality %d", predQ)
+	}
+	if reactQ >= handover.DefaultThreshold {
+		t.Fatalf("reactive fired above threshold: quality %d", reactQ)
+	}
+	if st := predTh.Stats(); st.PredictiveHandovers != 1 || st.Handovers != 1 {
+		t.Fatalf("predictive stats = %+v", st)
+	}
+	if st := reactTh.Stats(); st.PredictiveHandovers != 0 || st.Handovers != 1 {
+		t.Fatalf("reactive stats = %+v", st)
+	}
+	// The reactive baseline needs LowLimit+1 below-threshold samples; the
+	// predictive path must not have spent any.
+	if st := predTh.Stats(); st.QualityLowTicks != 0 {
+		t.Fatalf("predictive consumed %d low ticks", st.QualityLowTicks)
+	}
+}
+
+// TestOscillationDoesNotFlap pins the trigger hysteresis: quality
+// bouncing just around the 230 threshold — with a viable alternate route
+// available — must cause neither reactive nor predictive handover, and
+// the low-tick/event accounting must match the below-threshold samples
+// exactly.
+func TestOscillationDoesNotFlap(t *testing.T) {
+	w, clk := phtest.ManualWorld(t, 32)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(3.2, 0), device.Static)
+	c := phtest.AddNode(t, w, "C", geo.Pt(1.6, 1), device.Static)
+	phtest.AttachBridge(t, c)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	log := newEventLog()
+	th, err := handover.New(handover.Config{
+		Library:    a.Lib,
+		Conn:       vc,
+		Predictive: true,
+		Observer:   log.observer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const ticks = 40
+	lowSamples := 0
+	for i := 0; i < ticks; i++ {
+		// Even ticks: 3.6 m -> 228 (low). Odd ticks: 3.2 m -> 231 (fine).
+		at := geo.Pt(3.2, 0)
+		if i%2 == 0 {
+			at = geo.Pt(3.6, 0)
+		}
+		b.Device.SetModel(mobility.Static{At: at})
+		clk.Advance(time.Second)
+		log.setTick(i + 1)
+		if vc.Quality() < handover.DefaultThreshold {
+			lowSamples++
+		}
+		th.Step()
+	}
+
+	if vc.Swaps() != 0 {
+		t.Fatalf("oscillation caused %d handovers", vc.Swaps())
+	}
+	st := th.Stats()
+	if st.Handovers != 0 || st.FailedHandovers != 0 || st.PredictiveHandovers != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if lowSamples == 0 {
+		t.Fatal("scenario never dipped below threshold — nothing was tested")
+	}
+	if st.QualityLowTicks != int64(lowSamples) {
+		t.Fatalf("QualityLowTicks = %d, want %d", st.QualityLowTicks, lowSamples)
+	}
+	if got := log.count(handover.EventQualityLow); got != lowSamples {
+		t.Fatalf("EventQualityLow count = %d, want %d", got, lowSamples)
+	}
+	for _, e := range []handover.Event{handover.EventHandoverStart, handover.EventPredictiveStart} {
+		if n := log.count(e); n != 0 {
+			t.Fatalf("%v fired %d times during oscillation", e, n)
+		}
+	}
+
+	// Prove restraint, not inability: a sustained drop does hand over via C.
+	b.Device.SetModel(mobility.Static{At: geo.Pt(6, 0)})
+	for i := 0; i < 6; i++ {
+		clk.Advance(time.Second)
+		th.Step()
+	}
+	if vc.Swaps() != 1 || vc.Bridge() != c.Addr() {
+		t.Fatalf("sustained drop: swaps = %d bridge = %v", vc.Swaps(), vc.Bridge())
+	}
+}
+
+// TestPredictiveFailureDoesNotEscalate verifies a failed predictive
+// attempt neither counts towards the service-reconnection escalation nor
+// re-fires every tick (the cooldown bounds it).
+func TestPredictiveFailureDoesNotEscalate(t *testing.T) {
+	w, clk := phtest.ManualWorld(t, 33)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 2)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	log := newEventLog()
+	th, err := handover.New(handover.Config{
+		Library:         a.Lib,
+		Conn:            vc,
+		Predictive:      true,
+		PredictCooldown: 10 * time.Second,
+		Observer:        log.observer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Transport().(degrader).StartDegradation(1)
+
+	// Ten above-threshold ticks: the prediction fires, finds no routes
+	// (no bridge in this world), and must then hold off for the cooldown.
+	for i := 1; i <= 10; i++ {
+		clk.Advance(time.Second)
+		log.setTick(i)
+		if vc.Quality() < handover.DefaultThreshold {
+			break
+		}
+		th.Step()
+	}
+	if n := log.count(handover.EventPredictiveStart); n != 1 {
+		t.Fatalf("predictive fired %d times within one cooldown window", n)
+	}
+	st := th.Stats()
+	if st.PredictiveHandovers != 0 || st.Reconnects != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if th.State() != handover.StateMonitoring {
+		t.Fatalf("state = %v", th.State())
+	}
+}
+
+// TestHandoverPublishesBusEvents checks the handover half of the
+// neighbourhood event bus: a completed handover publishes
+// HandoverStarted then HandoverCompleted for the target device.
+func TestHandoverPublishesBusEvents(t *testing.T) {
+	w, clk := phtest.ManualWorld(t, 34)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+	c := phtest.AddNode(t, w, "C", geo.Pt(1, 0), device.Static)
+	phtest.AttachBridge(t, c)
+	registerEcho(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b, c}, 3)
+
+	sub := a.Daemon.Bus().Subscribe(events.MaskOf(
+		events.HandoverStarted, events.HandoverCompleted, events.LinkDegrading))
+	defer sub.Close()
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	th, err := handover.New(handover.Config{Library: a.Lib, Conn: vc, Predictive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Transport().(degrader).StartDegradation(1)
+	for i := 0; i < 20 && vc.Swaps() == 0; i++ {
+		clk.Advance(time.Second)
+		th.Step()
+	}
+	if vc.Swaps() != 1 {
+		t.Fatalf("no handover (stats %+v)", th.Stats())
+	}
+
+	var got []events.Type
+	for {
+		select {
+		case e := <-sub.C():
+			got = append(got, e.Type)
+			continue
+		default:
+		}
+		break
+	}
+	want := []events.Type{events.LinkDegrading, events.HandoverStarted, events.HandoverCompleted}
+	if len(got) != len(want) {
+		t.Fatalf("bus events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bus events = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package library_test
+
+import (
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/events"
+	"peerhood/internal/geo"
+	"peerhood/internal/phproto"
+	"peerhood/internal/phtest"
+)
+
+// TestEventSubscribeWirePath exercises the engine-port event stream end
+// to end: dial the peer's engine port, EVENT_SUBSCRIBE with a mask, read
+// the PH_OK, publish on the peer's bus, and decode the EVENT frames.
+func TestEventSubscribeWirePath(t *testing.T) {
+	w := phtest.InstantWorld(t, 41)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+
+	conn, err := a.Plugin.Dial(b.Addr(), device.PortEngine)
+	if err != nil {
+		t.Fatalf("dial engine: %v", err)
+	}
+	defer conn.Close()
+
+	mask := events.MaskOf(events.LinkDegrading, events.DeviceLost)
+	if err := phproto.Write(conn, &phproto.EventSubscribe{Mask: uint32(mask)}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := phproto.ReadExpect[*phproto.Ack](conn)
+	if err != nil || !ack.OK {
+		t.Fatalf("subscribe ack = %+v, %v", ack, err)
+	}
+
+	subject := device.Addr{Tech: device.TechBluetooth, MAC: "watched"}
+	b.Daemon.Bus().Publish(events.Event{Type: events.DeviceAppeared, Addr: subject, Quality: 250}) // filtered out
+	b.Daemon.Bus().Publish(events.Event{
+		Type:            events.LinkDegrading,
+		Addr:            subject,
+		Quality:         233,
+		TimeToThreshold: 1500 * time.Millisecond,
+		Detail:          "slope=-1.00/s",
+	})
+
+	got, err := phproto.ReadExpect[*phproto.EventNotice](conn)
+	if err != nil {
+		t.Fatalf("reading event: %v", err)
+	}
+	if events.Type(got.Type) != events.LinkDegrading || got.Addr != subject {
+		t.Fatalf("event = %+v", got)
+	}
+	if got.Quality != 233 || got.TimeToThreshold != 1500*time.Millisecond || got.Detail != "slope=-1.00/s" {
+		t.Fatalf("event payload = %+v", got)
+	}
+	if got.Seq == 0 || got.UnixNanos == 0 {
+		t.Fatalf("missing stamp: %+v", got)
+	}
+}
+
+// TestEventStreamEndsOnLibraryStop verifies a live stream does not wedge
+// Stop: the library closes the subscription and the transport, and the
+// subscriber sees EOF.
+func TestEventStreamEndsOnLibraryStop(t *testing.T) {
+	w := phtest.InstantWorld(t, 42)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+
+	conn, err := a.Plugin.Dial(b.Addr(), device.PortEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := phproto.Write(conn, &phproto.EventSubscribe{}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := phproto.ReadExpect[*phproto.Ack](conn); err != nil || !ack.OK {
+		t.Fatalf("ack = %+v, %v", ack, err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := phproto.Read(conn)
+		done <- err
+	}()
+	b.Lib.Stop() // must not hang on the open stream
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stream delivered an event after Stop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber still blocked after library Stop")
+	}
+}
+
+// TestInProcessEventsAPI covers Library.Events, the in-process
+// subscription applications use.
+func TestInProcessEventsAPI(t *testing.T) {
+	w := phtest.InstantWorld(t, 43)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+
+	sub := a.Lib.Events(events.MaskOf(events.DeviceAppeared))
+	defer sub.Close()
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	select {
+	case e := <-sub.C():
+		if e.Type != events.DeviceAppeared || e.Addr != b.Addr() {
+			t.Fatalf("event = %+v", e)
+		}
+	default:
+		t.Fatal("no DeviceAppeared on the in-process feed")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"peerhood/internal/clock"
 	"peerhood/internal/daemon"
 	"peerhood/internal/device"
+	"peerhood/internal/events"
 	"peerhood/internal/phproto"
 	"peerhood/internal/plugin"
 	"peerhood/internal/rng"
@@ -104,6 +105,7 @@ type Library struct {
 	handlers      map[uint16]handlerEntry
 	bridgeHandler BridgeHandler
 	vcs           map[uint64]*VirtualConnection
+	eventStreams  map[plugin.Conn]*events.Subscription
 	started       bool
 	stopped       bool
 	wg            sync.WaitGroup
@@ -140,12 +142,13 @@ func New(cfg Config) (*Library, error) {
 		seed = int64(h.Sum64())
 	}
 	return &Library{
-		d:        cfg.Daemon,
-		clk:      cfg.Daemon.Clock(),
-		cfg:      cfg,
-		src:      rng.New(seed),
-		handlers: make(map[uint16]handlerEntry),
-		vcs:      make(map[uint64]*VirtualConnection),
+		d:            cfg.Daemon,
+		clk:          cfg.Daemon.Clock(),
+		cfg:          cfg,
+		src:          rng.New(seed),
+		handlers:     make(map[uint16]handlerEntry),
+		vcs:          make(map[uint64]*VirtualConnection),
+		eventStreams: make(map[plugin.Conn]*events.Subscription),
 	}, nil
 }
 
@@ -195,6 +198,10 @@ func (l *Library) Stop() {
 	for _, vc := range l.vcs {
 		vcs = append(vcs, vc)
 	}
+	streams := make(map[plugin.Conn]*events.Subscription, len(l.eventStreams))
+	for c, s := range l.eventStreams {
+		streams[c] = s
+	}
 	l.mu.Unlock()
 
 	for _, e := range engines {
@@ -202,6 +209,12 @@ func (l *Library) Stop() {
 	}
 	for _, vc := range vcs {
 		_ = vc.Close()
+	}
+	for c, s := range streams {
+		// Closing the subscription ends the streaming goroutine's range
+		// loop; closing the transport unblocks any in-flight write.
+		s.Close()
+		_ = c.Close()
 	}
 	l.wg.Wait()
 }
@@ -455,8 +468,60 @@ func (l *Library) handleIncoming(p plugin.Plugin, conn plugin.Conn) {
 		bh(conn, m, p)
 	case *phproto.HelloReconnect:
 		l.handleReconnect(conn, m)
+	case *phproto.EventSubscribe:
+		l.handleEventSubscribe(conn, m)
 	default:
 		_ = conn.Close()
+	}
+}
+
+// Events subscribes in-process to the daemon's neighbourhood event bus
+// (the library half of the middleware's "push connectivity changes to the
+// application" contract). A zero mask selects every event type.
+func (l *Library) Events(mask events.Mask) *events.Subscription {
+	return l.d.Bus().Subscribe(mask)
+}
+
+// handleEventSubscribe serves one EVENT_SUBSCRIBE stream: acknowledge,
+// then forward matching bus events as EVENT frames until the subscriber
+// hangs up or the library stops. It runs on the engine's per-connection
+// goroutine.
+func (l *Library) handleEventSubscribe(conn plugin.Conn, m *phproto.EventSubscribe) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: "library stopped"})
+		_ = conn.Close()
+		return
+	}
+	sub := l.d.Bus().Subscribe(events.Mask(m.Mask))
+	l.eventStreams[conn] = sub
+	l.mu.Unlock()
+
+	defer func() {
+		sub.Close()
+		_ = conn.Close()
+		l.mu.Lock()
+		delete(l.eventStreams, conn)
+		l.mu.Unlock()
+	}()
+
+	if err := phproto.Write(conn, &phproto.Ack{OK: true}); err != nil {
+		return
+	}
+	for e := range sub.C() {
+		notice := &phproto.EventNotice{
+			Seq:             e.Seq,
+			UnixNanos:       e.Time.UnixNano(),
+			Type:            uint8(e.Type),
+			Addr:            e.Addr,
+			Quality:         int32(e.Quality),
+			TimeToThreshold: e.TimeToThreshold,
+			Detail:          e.Detail,
+		}
+		if err := phproto.Write(conn, notice); err != nil {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,362 @@
+// Package linkmon is the per-daemon link-quality monitoring and
+// prediction subsystem. The thesis' soft handover (ch. 5) is purely
+// reactive — the per-connection thread waits for quality to sit below the
+// 230 threshold before re-attaching, so every handover begins on an
+// already-degraded link. The monitor closes that gap: every quality
+// sample of an active link or discovered neighbour (discovery inquiry
+// responses, handover-thread ticks) feeds a per-link trend — EWMA level
+// plus a windowed least-squares slope — and each link is continuously
+// classified as Stable, Degrading (with a predicted time until the level
+// crosses the threshold), or Lost. Classification transitions publish
+// LinkDegrading / LinkRecovered / LinkLost on the neighbourhood event
+// bus, and the handover subsystem consumes the predictions to re-route
+// *before* the break (micro-mobility studies show proactive state set up
+// ahead of movement cuts disruption dramatically versus reactive repair).
+package linkmon
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/events"
+	"peerhood/internal/metrics"
+)
+
+// Class is a link's health classification.
+type Class int
+
+// Link classes.
+const (
+	// ClassStable: level above threshold and no imminent predicted
+	// crossing.
+	ClassStable Class = iota + 1
+	// ClassDegrading: the trend predicts the level will cross the
+	// threshold within the horizon (or already sits below it).
+	ClassDegrading
+	// ClassLost: quality collapsed to zero or the device aged out.
+	ClassLost
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassStable:
+		return "stable"
+	case ClassDegrading:
+		return "degrading"
+	case ClassLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// State is one monitored link's externally visible trend state.
+type State struct {
+	// Addr is the link peer (transport remote for active links, the
+	// neighbour for discovery samples).
+	Addr device.Addr
+	// Class is the current classification.
+	Class Class
+	// Level is the EWMA-smoothed quality.
+	Level float64
+	// Slope is the windowed least-squares quality slope per second.
+	Slope float64
+	// TimeToThreshold is the predicted time until Level crosses the
+	// threshold; 0 unless Class is ClassDegrading (0 there means the
+	// level already sits at or below the threshold).
+	TimeToThreshold time.Duration
+	// Samples is how many quality samples this link has accumulated.
+	Samples int
+	// LastQuality is the most recent raw sample.
+	LastQuality int
+	// LastSample is when the most recent sample arrived.
+	LastSample time.Time
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	out := fmt.Sprintf("%v %s level=%.1f slope=%+.2f/s", s.Addr, s.Class, s.Level, s.Slope)
+	if s.Class == ClassDegrading {
+		out += fmt.Sprintf(" ttt=%s", s.TimeToThreshold)
+	}
+	return out
+}
+
+// Defaults.
+const (
+	// DefaultThreshold is the thesis' 230 link-quality threshold.
+	DefaultThreshold = 230
+	// DefaultHorizon is how far ahead a predicted crossing must lie for
+	// the link to classify as degrading.
+	DefaultHorizon = 10 * time.Second
+	// DefaultAlpha is the EWMA smoothing factor.
+	DefaultAlpha = 0.4
+	// DefaultWindow is the slope window in samples.
+	DefaultWindow = 8
+	// DefaultMinSamples is how many samples a link needs before it may
+	// classify as degrading — one noisy dip must not look like a trend.
+	DefaultMinSamples = 3
+	// DefaultMinFit is the minimum least-squares R² for a Degrading
+	// verdict: quality oscillating around the threshold has a slope near
+	// zero *and* a fit near zero, while genuine decay fits almost
+	// perfectly — the gate is what keeps predictive handover from
+	// flapping on noise.
+	DefaultMinFit = 0.5
+)
+
+// Config parametrises a Monitor. All fields are optional except Clock
+// when deterministic time matters (nil falls back to the real clock).
+type Config struct {
+	// Clock stamps samples; defaults to the real clock.
+	Clock clock.Clock
+	// Bus receives LinkDegrading/LinkRecovered/LinkLost transitions; nil
+	// disables publishing.
+	Bus *events.Bus
+	// Threshold is the quality floor predictions are made against
+	// (default 230).
+	Threshold int
+	// Horizon bounds how far ahead a predicted crossing classifies the
+	// link as degrading (default 10 s).
+	Horizon time.Duration
+	// Alpha is the EWMA smoothing factor (default 0.4).
+	Alpha float64
+	// Window is the slope window in samples (default 8).
+	Window int
+	// MinSamples gates degrading classification (default 3).
+	MinSamples int
+	// MinFit is the minimum trend R² for a Degrading verdict (default
+	// 0.5). Negative disables the gate.
+	MinFit float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.Horizon == 0 {
+		c.Horizon = DefaultHorizon
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	switch {
+	case c.MinFit == 0:
+		c.MinFit = DefaultMinFit
+	case c.MinFit < 0:
+		c.MinFit = 0
+	}
+	return c
+}
+
+// Stats counts monitor activity.
+type Stats struct {
+	Samples     int64
+	Degradation int64 // Stable->Degrading transitions
+	Recoveries  int64 // Degrading->Stable transitions
+	Losses      int64 // ->Lost transitions
+}
+
+// Monitor tracks the quality trend of every link it is fed samples for.
+// It is sample-driven rather than loop-driven: discovery feeds inquiry
+// qualities for every neighbour each round, and handover threads feed
+// their connection's quality each monitoring tick — so "sampling rate"
+// follows the subsystems that already touch the radio, and deterministic
+// tests drive it sample by sample.
+type Monitor struct {
+	cfg Config
+
+	mu    sync.Mutex
+	links map[device.Addr]*link
+	stats Stats
+}
+
+type link struct {
+	trend       *metrics.Trend
+	class       Class
+	ttt         time.Duration
+	lastQuality int
+	lastSample  time.Time
+}
+
+// New returns a Monitor.
+func New(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), links: make(map[device.Addr]*link)}
+}
+
+// Threshold returns the configured quality floor.
+func (m *Monitor) Threshold() int { return m.cfg.Threshold }
+
+// Horizon returns the configured degradation horizon.
+func (m *Monitor) Horizon() time.Duration { return m.cfg.Horizon }
+
+// Observe feeds one quality sample for a link and returns the updated
+// state. A sample of 0 classifies the link as lost immediately (the
+// radio reports 0 for broken or out-of-range links).
+func (m *Monitor) Observe(addr device.Addr, quality int) State {
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	lk := m.links[addr]
+	if lk == nil {
+		lk = &link{trend: metrics.NewTrend(m.cfg.Alpha, m.cfg.Window), class: ClassStable}
+		m.links[addr] = lk
+	}
+	m.stats.Samples++
+	lk.trend.Observe(now, float64(quality))
+	lk.lastQuality = quality
+	lk.lastSample = now
+
+	prev := lk.class
+	lk.class, lk.ttt = m.classifyLocked(lk, quality)
+	st := stateLocked(addr, lk)
+	ev, publish := m.transitionLocked(prev, lk, st)
+	// Publish while still holding m.mu: concurrent Observe calls for the
+	// same link (discovery loop + handover tick) must not invert the
+	// order of transition events on the bus, or subscribers would be left
+	// believing a stale final state. Bus.Publish is non-blocking and
+	// takes only the bus lock, which never calls back into the monitor.
+	if publish && m.cfg.Bus != nil {
+		m.cfg.Bus.Publish(ev)
+	}
+	m.mu.Unlock()
+	return st
+}
+
+// classifyLocked derives (class, time-to-threshold) from the link trend.
+// Degrading strictly means "a genuine downward trend predicted to cross
+// (or having crossed) the threshold": the slope must be negative and the
+// window's least-squares fit must clear MinFit, so noise oscillating
+// around the threshold — slope near zero, fit near zero — stays Stable
+// instead of flapping. A steadily *poor* link is also Stable by this
+// definition; the reactive threshold logic owns that case.
+func (m *Monitor) classifyLocked(lk *link, quality int) (Class, time.Duration) {
+	if quality <= 0 {
+		return ClassLost, 0
+	}
+	if lk.trend.N() < m.cfg.MinSamples {
+		return ClassStable, 0
+	}
+	if lk.trend.Slope() >= 0 || lk.trend.Fit() < m.cfg.MinFit {
+		return ClassStable, 0
+	}
+	ttt, crossing := lk.trend.TimeToCross(float64(m.cfg.Threshold))
+	if crossing && ttt <= m.cfg.Horizon {
+		return ClassDegrading, ttt
+	}
+	return ClassStable, 0
+}
+
+// transitionLocked updates transition counters and renders the bus event
+// for a classification change, if any.
+func (m *Monitor) transitionLocked(prev Class, lk *link, st State) (events.Event, bool) {
+	if lk.class == prev {
+		return events.Event{}, false
+	}
+	switch lk.class {
+	case ClassDegrading:
+		m.stats.Degradation++
+		return events.Event{
+			Type:            events.LinkDegrading,
+			Addr:            st.Addr,
+			Quality:         int(st.Level),
+			TimeToThreshold: st.TimeToThreshold,
+			Detail:          fmt.Sprintf("slope=%+.2f/s", st.Slope),
+		}, true
+	case ClassLost:
+		m.stats.Losses++
+		return events.Event{Type: events.LinkLost, Addr: st.Addr, Quality: 0}, true
+	default: // recovered to stable
+		m.stats.Recoveries++
+		return events.Event{Type: events.LinkRecovered, Addr: st.Addr, Quality: int(st.Level)}, true
+	}
+}
+
+func stateLocked(addr device.Addr, lk *link) State {
+	return State{
+		Addr:            addr,
+		Class:           lk.class,
+		Level:           lk.trend.Level(),
+		Slope:           lk.trend.Slope(),
+		TimeToThreshold: lk.ttt,
+		Samples:         lk.trend.N(),
+		LastQuality:     lk.lastQuality,
+		LastSample:      lk.lastSample,
+	}
+}
+
+// MarkLost forces a link to the lost class (aging sweep removed its
+// device) and publishes LinkLost if it was not already lost. The trend
+// state is dropped: a device that reappears starts a fresh trend.
+func (m *Monitor) MarkLost(addr device.Addr) {
+	m.mu.Lock()
+	lk, ok := m.links[addr]
+	if ok {
+		if lk.class != ClassLost {
+			m.stats.Losses++
+			if m.cfg.Bus != nil {
+				// Under the lock for the same event-ordering reason as
+				// Observe.
+				m.cfg.Bus.Publish(events.Event{Type: events.LinkLost, Addr: addr, Quality: 0})
+			}
+		}
+		delete(m.links, addr)
+	}
+	m.mu.Unlock()
+}
+
+// Forget drops a link's trend state without publishing (e.g. after a
+// handover abandons the link deliberately).
+func (m *Monitor) Forget(addr device.Addr) {
+	m.mu.Lock()
+	delete(m.links, addr)
+	m.mu.Unlock()
+}
+
+// State returns a link's current state.
+func (m *Monitor) State(addr device.Addr) (State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lk, ok := m.links[addr]
+	if !ok {
+		return State{}, false
+	}
+	return stateLocked(addr, lk), true
+}
+
+// States returns every monitored link's state, ordered by address for
+// deterministic rendering.
+func (m *Monitor) States() []State {
+	m.mu.Lock()
+	out := make([]State, 0, len(m.links))
+	for a, lk := range m.links {
+		out = append(out, stateLocked(a, lk))
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr.Tech != out[j].Addr.Tech {
+			return out[i].Addr.Tech < out[j].Addr.Tech
+		}
+		return out[i].Addr.MAC < out[j].Addr.MAC
+	})
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

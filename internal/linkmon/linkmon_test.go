@@ -1,0 +1,227 @@
+package linkmon
+
+import (
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/events"
+)
+
+func addr(mac string) device.Addr {
+	return device.Addr{Tech: device.TechBluetooth, MAC: mac}
+}
+
+// feed observes a sequence of samples one simulated second apart.
+func feed(m *Monitor, clk *clock.Manual, a device.Addr, qs ...int) State {
+	var st State
+	for i, q := range qs {
+		if i > 0 {
+			clk.Advance(time.Second)
+		}
+		st = m.Observe(a, q)
+	}
+	return st
+}
+
+func TestStableLinkStaysStable(t *testing.T) {
+	clk := clock.NewManual()
+	m := New(Config{Clock: clk})
+	st := feed(m, clk, addr("aa"), 250, 249, 250, 251, 250, 250)
+	if st.Class != ClassStable {
+		t.Fatalf("class = %v, want stable", st.Class)
+	}
+	if st.Samples != 6 || st.LastQuality != 250 {
+		t.Fatalf("state = %+v", st)
+	}
+	if s := m.Stats(); s.Degradation != 0 || s.Losses != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMonotonicDecayClassifiesDegradingWithPrediction(t *testing.T) {
+	clk := clock.NewManual()
+	bus := events.NewBus(clk)
+	defer bus.Close()
+	sub := bus.Subscribe(events.MaskOf(events.LinkDegrading))
+	defer sub.Close()
+
+	m := New(Config{Clock: clk, Bus: bus, Horizon: 30 * time.Second})
+	// 255 down 1/s: level ~ t-ish above 230, slope -1 -> crossing within
+	// the 30 s horizon once the level drops under 260-ish.
+	st := feed(m, clk, addr("aa"), 255, 254, 253, 252, 251, 250)
+	if st.Class != ClassDegrading {
+		t.Fatalf("class = %v, want degrading (state %v)", st.Class, st)
+	}
+	if st.TimeToThreshold <= 0 || st.TimeToThreshold > 30*time.Second {
+		t.Fatalf("ttt = %v", st.TimeToThreshold)
+	}
+	if st.Slope >= 0 {
+		t.Fatalf("slope = %v, want negative", st.Slope)
+	}
+	select {
+	case e := <-sub.C():
+		if e.Type != events.LinkDegrading || e.Addr != addr("aa") || e.TimeToThreshold <= 0 {
+			t.Fatalf("event = %+v", e)
+		}
+	default:
+		t.Fatal("no LinkDegrading published")
+	}
+	// Exactly one transition event despite several degrading samples.
+	feed(m, clk, addr("aa"), 249, 248)
+	select {
+	case e := <-sub.C():
+		t.Fatalf("duplicate degrading event %v", e)
+	default:
+	}
+}
+
+func TestMinSamplesGateBlocksEarlyVerdict(t *testing.T) {
+	clk := clock.NewManual()
+	m := New(Config{Clock: clk, MinSamples: 4, Horizon: time.Hour})
+	st := feed(m, clk, addr("aa"), 240, 200) // steep drop, but only 2 samples
+	if st.Class != ClassStable {
+		t.Fatalf("class = %v after %d samples, want stable", st.Class, st.Samples)
+	}
+}
+
+func TestRecoveryPublishesLinkRecovered(t *testing.T) {
+	clk := clock.NewManual()
+	bus := events.NewBus(clk)
+	defer bus.Close()
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+
+	m := New(Config{Clock: clk, Bus: bus, Horizon: 30 * time.Second})
+	a := addr("aa")
+	if st := feed(m, clk, a, 250, 247, 244, 241, 238); st.Class != ClassDegrading {
+		t.Fatalf("setup: class = %v", st.Class)
+	}
+	// Quality climbs back: slope flips positive, classification recovers.
+	st := feed(m, clk, a, 244, 250, 255, 255, 255, 255)
+	if st.Class != ClassStable {
+		t.Fatalf("class after recovery = %v (%v)", st.Class, st)
+	}
+	var got []events.Type
+	for {
+		select {
+		case e := <-sub.C():
+			got = append(got, e.Type)
+			continue
+		default:
+		}
+		break
+	}
+	want := []events.Type{events.LinkDegrading, events.LinkRecovered}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	if s := m.Stats(); s.Degradation != 1 || s.Recoveries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestZeroQualityIsLost(t *testing.T) {
+	clk := clock.NewManual()
+	bus := events.NewBus(clk)
+	defer bus.Close()
+	sub := bus.Subscribe(events.MaskOf(events.LinkLost))
+	defer sub.Close()
+
+	m := New(Config{Clock: clk, Bus: bus})
+	st := feed(m, clk, addr("aa"), 240, 235, 0)
+	if st.Class != ClassLost {
+		t.Fatalf("class = %v, want lost", st.Class)
+	}
+	select {
+	case e := <-sub.C():
+		if e.Type != events.LinkLost {
+			t.Fatalf("event = %v", e)
+		}
+	default:
+		t.Fatal("no LinkLost published")
+	}
+}
+
+func TestMarkLostPublishesOnceAndForgets(t *testing.T) {
+	clk := clock.NewManual()
+	bus := events.NewBus(clk)
+	defer bus.Close()
+	sub := bus.Subscribe(events.MaskOf(events.LinkLost))
+	defer sub.Close()
+
+	m := New(Config{Clock: clk, Bus: bus})
+	a := addr("aa")
+	feed(m, clk, a, 240, 238)
+	m.MarkLost(a)
+	m.MarkLost(a) // unknown now: no second event
+	if _, ok := m.State(a); ok {
+		t.Fatal("state survived MarkLost")
+	}
+	n := 0
+	for {
+		select {
+		case <-sub.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("LinkLost events = %d, want 1", n)
+	}
+	// A re-appearing device starts a fresh trend with no stale slope.
+	st := m.Observe(a, 240)
+	if st.Samples != 1 || st.Class != ClassStable {
+		t.Fatalf("fresh state = %+v", st)
+	}
+}
+
+func TestForgetIsSilent(t *testing.T) {
+	clk := clock.NewManual()
+	bus := events.NewBus(clk)
+	defer bus.Close()
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+	m := New(Config{Clock: clk, Bus: bus})
+	feed(m, clk, addr("aa"), 240)
+	m.Forget(addr("aa"))
+	select {
+	case e := <-sub.C():
+		t.Fatalf("Forget published %v", e)
+	default:
+	}
+	if _, ok := m.State(addr("aa")); ok {
+		t.Fatal("state survived Forget")
+	}
+}
+
+func TestOscillationAroundThresholdStaysStable(t *testing.T) {
+	clk := clock.NewManual()
+	m := New(Config{Clock: clk, Horizon: 10 * time.Second})
+	a := addr("aa")
+	qs := []int{235, 226, 236, 225, 235, 226, 236, 225, 235, 226, 236, 225}
+	st := feed(m, clk, a, qs...)
+	if st.Class != ClassStable {
+		t.Fatalf("oscillation classified %v (%v)", st.Class, st)
+	}
+	if s := m.Stats(); s.Degradation != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatesSortedAndComplete(t *testing.T) {
+	clk := clock.NewManual()
+	m := New(Config{Clock: clk})
+	m.Observe(addr("bb"), 240)
+	m.Observe(addr("aa"), 250)
+	sts := m.States()
+	if len(sts) != 2 || sts[0].Addr.MAC != "aa" || sts[1].Addr.MAC != "bb" {
+		t.Fatalf("states = %v", sts)
+	}
+	if m.Threshold() != DefaultThreshold || m.Horizon() != DefaultHorizon {
+		t.Fatalf("defaults: %d %v", m.Threshold(), m.Horizon())
+	}
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average: each Observe folds a
+// new sample into the running level with weight Alpha. The first sample
+// initialises the level directly, so an EWMA never starts from an
+// artificial zero.
+type EWMA struct {
+	alpha float64
+	level float64
+	n     int
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1];
+// values outside that range are clamped. Higher alpha follows the signal
+// faster, lower alpha smooths harder.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average and returns the new level.
+func (e *EWMA) Observe(v float64) float64 {
+	if e.n == 0 {
+		e.level = v
+	} else {
+		e.level += e.alpha * (v - e.level)
+	}
+	e.n++
+	return e.level
+}
+
+// Level returns the current smoothed value (0 before any sample).
+func (e *EWMA) Level() float64 { return e.level }
+
+// N returns how many samples have been observed.
+func (e *EWMA) N() int { return e.n }
+
+// Reset discards all state.
+func (e *EWMA) Reset() { e.level, e.n = 0, 0 }
+
+// Trend estimates both the level and the slope of a sampled signal: an
+// EWMA smooths the level while a sliding window of timestamped samples
+// yields a least-squares slope in units per second. The link monitor uses
+// it to predict when a degrading link will cross the quality threshold;
+// it is equally usable standalone for experiment summaries.
+type Trend struct {
+	ewma   EWMA
+	window int
+	ts     []time.Time
+	vs     []float64
+}
+
+// DefaultTrendWindow is the sliding-window length used when NewTrend is
+// given a non-positive window.
+const DefaultTrendWindow = 8
+
+// NewTrend returns a Trend smoothing with alpha over a sliding window of
+// the given sample count.
+func NewTrend(alpha float64, window int) *Trend {
+	if window <= 0 {
+		window = DefaultTrendWindow
+	}
+	t := &Trend{window: window}
+	t.ewma = *NewEWMA(alpha)
+	return t
+}
+
+// Observe folds one timestamped sample into the trend.
+func (t *Trend) Observe(at time.Time, v float64) {
+	t.ewma.Observe(v)
+	t.ts = append(t.ts, at)
+	t.vs = append(t.vs, v)
+	if len(t.vs) > t.window {
+		// Shift rather than re-slice so the backing arrays stay bounded.
+		copy(t.ts, t.ts[1:])
+		copy(t.vs, t.vs[1:])
+		t.ts = t.ts[:t.window]
+		t.vs = t.vs[:t.window]
+	}
+}
+
+// Level returns the EWMA-smoothed signal level.
+func (t *Trend) Level() float64 { return t.ewma.Level() }
+
+// N returns how many samples have ever been observed.
+func (t *Trend) N() int { return t.ewma.N() }
+
+// Window returns how many samples currently sit in the slope window.
+func (t *Trend) Window() int { return len(t.vs) }
+
+// Slope returns the least-squares slope over the sliding window in units
+// per second: negative for a falling signal. With fewer than two samples,
+// or a window of zero time span, it returns 0.
+func (t *Trend) Slope() float64 {
+	n := len(t.vs)
+	if n < 2 {
+		return 0
+	}
+	t0 := t.ts[0]
+	var sumX, sumY, sumXY, sumXX float64
+	for i := 0; i < n; i++ {
+		x := t.ts[i].Sub(t0).Seconds()
+		y := t.vs[i]
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	fn := float64(n)
+	den := fn*sumXX - sumX*sumX
+	if den == 0 || math.IsNaN(den) {
+		return 0
+	}
+	return (fn*sumXY - sumX*sumY) / den
+}
+
+// Fit returns the R² of the window's least-squares line: 1 when the
+// samples sit exactly on a line (a genuine trend), near 0 when the slope
+// explains nothing (noise or oscillation). A constant signal fits its
+// zero-slope line perfectly (1). Fewer than two samples yield 0.
+func (t *Trend) Fit() float64 {
+	n := len(t.vs)
+	if n < 2 {
+		return 0
+	}
+	t0 := t.ts[0]
+	var sumX, sumY float64
+	for i := 0; i < n; i++ {
+		sumX += t.ts[i].Sub(t0).Seconds()
+		sumY += t.vs[i]
+	}
+	meanX, meanY := sumX/float64(n), sumY/float64(n)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx := t.ts[i].Sub(t0).Seconds() - meanX
+		dy := t.vs[i] - meanY
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if syy == 0 {
+		return 1
+	}
+	if sxx == 0 {
+		return 0
+	}
+	r2 := (sxy * sxy) / (sxx * syy)
+	if math.IsNaN(r2) {
+		return 0
+	}
+	return r2
+}
+
+// TimeToCross predicts how long until the trend's level reaches the given
+// floor at the current slope. It returns (0, true) when the level is
+// already at or below the floor, (d, true) for a falling signal that will
+// cross in d, and (0, false) for a flat or rising signal that never will.
+func (t *Trend) TimeToCross(floor float64) (time.Duration, bool) {
+	level := t.Level()
+	if t.N() == 0 {
+		return 0, false
+	}
+	if level <= floor {
+		return 0, true
+	}
+	slope := t.Slope()
+	if slope >= 0 {
+		return 0, false
+	}
+	secs := (level - floor) / -slope
+	if math.IsInf(secs, 0) || math.IsNaN(secs) || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs * float64(time.Second)), true
+}
+
+// Reset discards all state.
+func (t *Trend) Reset() {
+	t.ewma.Reset()
+	t.ts = t.ts[:0]
+	t.vs = t.vs[:0]
+}

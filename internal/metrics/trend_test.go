@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEWMAFirstSampleInitialises(t *testing.T) {
+	e := NewEWMA(0.2)
+	if e.Level() != 0 || e.N() != 0 {
+		t.Fatalf("fresh EWMA = %v/%d", e.Level(), e.N())
+	}
+	e.Observe(100)
+	if e.Level() != 100 {
+		t.Fatalf("level after first sample = %v, want 100", e.Level())
+	}
+	e.Observe(0)
+	if e.Level() != 80 { // 100 + 0.2*(0-100)
+		t.Fatalf("level = %v, want 80", e.Level())
+	}
+	if e.N() != 2 {
+		t.Fatalf("n = %d", e.N())
+	}
+}
+
+func TestEWMAClampAlpha(t *testing.T) {
+	e := NewEWMA(5)
+	e.Observe(10)
+	e.Observe(20)
+	if e.Level() != 20 { // alpha clamped to 1: follows exactly
+		t.Fatalf("level = %v, want 20", e.Level())
+	}
+	e2 := NewEWMA(-1)
+	e2.Observe(10)
+	e2.Observe(20)
+	if e2.Level() <= 10 || e2.Level() >= 20 {
+		t.Fatalf("level = %v, want within (10, 20)", e2.Level())
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(42)
+	e.Reset()
+	if e.Level() != 0 || e.N() != 0 {
+		t.Fatalf("after reset: %v/%d", e.Level(), e.N())
+	}
+}
+
+func trendAt(alpha float64, window int, start time.Time, step time.Duration, values ...float64) *Trend {
+	tr := NewTrend(alpha, window)
+	for i, v := range values {
+		tr.Observe(start.Add(time.Duration(i)*step), v)
+	}
+	return tr
+}
+
+func TestTrendSlopeLinearSignal(t *testing.T) {
+	start := time.Unix(0, 0)
+	// 255, 254, ... one unit down per second: slope must be -1/s exactly.
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 255 - float64(i)
+	}
+	tr := trendAt(1, 8, start, time.Second, vals...)
+	if s := tr.Slope(); math.Abs(s-(-1)) > 1e-9 {
+		t.Fatalf("slope = %v, want -1", s)
+	}
+	if tr.Window() != 8 {
+		t.Fatalf("window = %d, want 8 (sliding)", tr.Window())
+	}
+	if tr.N() != 10 {
+		t.Fatalf("n = %d, want 10", tr.N())
+	}
+}
+
+func TestTrendSlopeFlatAndRising(t *testing.T) {
+	start := time.Unix(0, 0)
+	flat := trendAt(1, 8, start, time.Second, 230, 230, 230, 230)
+	if s := flat.Slope(); s != 0 {
+		t.Fatalf("flat slope = %v", s)
+	}
+	rising := trendAt(1, 8, start, time.Second, 200, 210, 220, 230)
+	if s := rising.Slope(); math.Abs(s-10) > 1e-9 {
+		t.Fatalf("rising slope = %v, want 10", s)
+	}
+}
+
+func TestTrendSlopeDegenerate(t *testing.T) {
+	start := time.Unix(0, 0)
+	if s := NewTrend(1, 4).Slope(); s != 0 {
+		t.Fatalf("empty slope = %v", s)
+	}
+	one := trendAt(1, 4, start, time.Second, 240)
+	if s := one.Slope(); s != 0 {
+		t.Fatalf("one-sample slope = %v", s)
+	}
+	// Two samples at the identical instant: zero time span must not divide
+	// by zero.
+	same := NewTrend(1, 4)
+	same.Observe(start, 240)
+	same.Observe(start, 200)
+	if s := same.Slope(); s != 0 {
+		t.Fatalf("zero-span slope = %v", s)
+	}
+}
+
+func TestTrendOscillationHasNearZeroSlope(t *testing.T) {
+	start := time.Unix(0, 0)
+	// Quality bouncing around 230 must not read as a degradation trend.
+	tr := trendAt(0.3, 8, start, time.Second, 235, 225, 236, 224, 235, 225, 236, 224)
+	if s := tr.Slope(); math.Abs(s) > 1.5 {
+		t.Fatalf("oscillation slope = %v, want ~0", s)
+	}
+	// A residual slope may predict an eventual crossing, but only far
+	// beyond any realistic prediction horizon.
+	if d, ok := tr.TimeToCross(100); ok && d < time.Minute {
+		t.Fatalf("oscillation predicted an imminent crossing: %v", d)
+	}
+}
+
+func TestTimeToCross(t *testing.T) {
+	start := time.Unix(0, 0)
+	// Level ~246 falling 1/s: threshold 230 is ~16 s ahead. Alpha 1 keeps
+	// the EWMA equal to the latest sample so the arithmetic is exact.
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 255 - float64(i)
+	}
+	tr := trendAt(1, 8, start, time.Second, vals...)
+	d, ok := tr.TimeToCross(230)
+	if !ok {
+		t.Fatal("no crossing predicted for a falling signal")
+	}
+	if math.Abs(d.Seconds()-16) > 0.5 {
+		t.Fatalf("time to cross = %v, want ~16s", d)
+	}
+
+	// Already below: immediate.
+	low := trendAt(1, 8, start, time.Second, 200, 199)
+	if d, ok := low.TimeToCross(230); !ok || d != 0 {
+		t.Fatalf("below-floor crossing = %v, %v", d, ok)
+	}
+
+	// Rising: never.
+	up := trendAt(1, 8, start, time.Second, 231, 240, 250)
+	if _, ok := up.TimeToCross(230); ok {
+		t.Fatal("rising signal predicted a crossing")
+	}
+
+	// No samples: never.
+	if _, ok := NewTrend(1, 4).TimeToCross(230); ok {
+		t.Fatal("empty trend predicted a crossing")
+	}
+}
+
+func TestTrendFit(t *testing.T) {
+	start := time.Unix(0, 0)
+	linear := trendAt(1, 8, start, time.Second, 255, 254, 253, 252, 251)
+	if f := linear.Fit(); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("linear fit = %v, want 1", f)
+	}
+	osc := trendAt(1, 8, start, time.Second, 235, 225, 236, 224, 235, 225, 236, 224)
+	if f := osc.Fit(); f > 0.2 {
+		t.Fatalf("oscillation fit = %v, want near 0", f)
+	}
+	flat := trendAt(1, 8, start, time.Second, 230, 230, 230)
+	if f := flat.Fit(); f != 1 {
+		t.Fatalf("constant fit = %v, want 1", f)
+	}
+	if f := NewTrend(1, 4).Fit(); f != 0 {
+		t.Fatalf("empty fit = %v", f)
+	}
+	same := NewTrend(1, 4)
+	same.Observe(start, 240)
+	same.Observe(start, 200)
+	if f := same.Fit(); f != 0 {
+		t.Fatalf("zero-span fit = %v", f)
+	}
+}
+
+func TestTrendReset(t *testing.T) {
+	tr := trendAt(0.5, 4, time.Unix(0, 0), time.Second, 1, 2, 3)
+	tr.Reset()
+	if tr.N() != 0 || tr.Window() != 0 || tr.Level() != 0 || tr.Slope() != 0 {
+		t.Fatalf("after reset: n=%d window=%d level=%v slope=%v", tr.N(), tr.Window(), tr.Level(), tr.Slope())
+	}
+}

@@ -1,0 +1,79 @@
+package phproto
+
+import (
+	"time"
+
+	"peerhood/internal/device"
+)
+
+// This file defines the neighbourhood event stream: applications (or
+// remote tools like `phctl watch`) dial the library engine port, send an
+// EVENT_SUBSCRIBE naming the event-type mask they care about, receive a
+// PH_OK, and then a stream of EVENT frames until either side closes the
+// connection. The frames mirror internal/events.Event; translation lives
+// with the bus owner so this package stays free of bus imports.
+
+// EventSubscribe opens a neighbourhood event stream.
+type EventSubscribe struct {
+	// Mask is the events.Mask bitmask of types the subscriber wants; zero
+	// subscribes to everything.
+	Mask uint32
+}
+
+// Cmd implements Message.
+func (*EventSubscribe) Cmd() Command { return CmdEventSubscribe }
+
+func (m *EventSubscribe) encodeTo(e *encoder) { e.u32(m.Mask) }
+
+func (m *EventSubscribe) decodeFrom(d *decoder) error {
+	m.Mask = d.u32()
+	return d.err
+}
+
+// EventNotice carries one neighbourhood event on a subscribed stream.
+type EventNotice struct {
+	// Seq is the bus-assigned monotonic sequence number. It is global to
+	// the bus, not to this subscription: events filtered out by the
+	// subscription mask consume numbers too, so gaps are normal on a
+	// filtered stream and are NOT a loss signal.
+	Seq uint64
+	// UnixNanos is the publication time as nanoseconds since the Unix
+	// epoch (simulated time on simulated worlds).
+	UnixNanos int64
+	// Type is the events.Type value.
+	Type uint8
+	// Addr is the subject device or link peer.
+	Addr device.Addr
+	// Quality is the sampled or smoothed link quality; -1 when the event
+	// carries none.
+	Quality int32
+	// TimeToThreshold is the predicted time until the link crosses the
+	// quality threshold (LinkDegrading only).
+	TimeToThreshold time.Duration
+	// Detail is a free-form annotation.
+	Detail string
+}
+
+// Cmd implements Message.
+func (*EventNotice) Cmd() Command { return CmdEvent }
+
+func (m *EventNotice) encodeTo(e *encoder) {
+	e.u64(m.Seq)
+	e.u64(uint64(m.UnixNanos))
+	e.u8(m.Type)
+	e.addr(m.Addr)
+	e.u32(uint32(m.Quality))
+	e.u64(uint64(m.TimeToThreshold))
+	e.str(m.Detail)
+}
+
+func (m *EventNotice) decodeFrom(d *decoder) error {
+	m.Seq = d.u64()
+	m.UnixNanos = int64(d.u64())
+	m.Type = d.u8()
+	m.Addr = d.addr()
+	m.Quality = int32(d.u32())
+	m.TimeToThreshold = time.Duration(d.u64())
+	m.Detail = d.str()
+	return d.err
+}

@@ -1,0 +1,63 @@
+package phproto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+)
+
+func TestEventSubscribeRoundTrip(t *testing.T) {
+	got := roundTrip(t, &EventSubscribe{Mask: 0b101101}).(*EventSubscribe)
+	if got.Mask != 0b101101 {
+		t.Fatalf("mask = %b", got.Mask)
+	}
+	zero := roundTrip(t, &EventSubscribe{}).(*EventSubscribe)
+	if zero.Mask != 0 {
+		t.Fatalf("zero mask = %b", zero.Mask)
+	}
+}
+
+func TestEventNoticeRoundTrip(t *testing.T) {
+	in := &EventNotice{
+		Seq:             42,
+		UnixNanos:       time.Date(2026, 7, 29, 12, 0, 0, 0, time.UTC).UnixNano(),
+		Type:            3,
+		Addr:            device.Addr{Tech: device.TechWLAN, MAC: "aa:bb"},
+		Quality:         231,
+		TimeToThreshold: 2500 * time.Millisecond,
+		Detail:          "slope=-1.00/s",
+	}
+	got := roundTrip(t, in).(*EventNotice)
+	if *got != *in {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestEventNoticeNegativeQuality(t *testing.T) {
+	in := &EventNotice{Seq: 1, Type: 1, Quality: -1}
+	got := roundTrip(t, in).(*EventNotice)
+	if got.Quality != -1 {
+		t.Fatalf("quality = %d, want -1", got.Quality)
+	}
+}
+
+func TestEventCommandStrings(t *testing.T) {
+	if CmdEventSubscribe.String() != "EVENT_SUBSCRIBE" || CmdEvent.String() != "EVENT" {
+		t.Fatalf("strings = %q, %q", CmdEventSubscribe.String(), CmdEvent.String())
+	}
+}
+
+func TestEventNoticeTruncatedPayloadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &EventNotice{Seq: 9, Detail: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Shrink the payload but keep the declared length intact: the decoder
+	// must fail rather than fabricate fields.
+	if _, err := Read(bytes.NewReader(b[:len(b)-1])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

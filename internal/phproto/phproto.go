@@ -53,6 +53,13 @@ const (
 	// CmdDigest carries a storage digest (epoch, generation, entry count,
 	// table hash) — the observability answer to InfoDigest.
 	CmdDigest
+	// CmdEventSubscribe opens a neighbourhood event stream on the library
+	// engine port (EVENT_SUBSCRIBE): the subscriber states a type mask
+	// and, after a PH_OK, receives EVENT frames until either side closes.
+	CmdEventSubscribe
+	// CmdEvent carries one neighbourhood event (EVENT) on a subscribed
+	// stream.
+	CmdEvent
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +89,10 @@ func (c Command) String() string {
 		return "NEIGHBORHOOD_SYNC"
 	case CmdDigest:
 		return "DIGEST"
+	case CmdEventSubscribe:
+		return "EVENT_SUBSCRIBE"
+	case CmdEvent:
+		return "EVENT"
 	default:
 		return fmt.Sprintf("cmd(%d)", uint8(c))
 	}
@@ -412,6 +423,10 @@ func newMessage(cmd Command) (Message, error) {
 		return &NeighborhoodSync{}, nil
 	case CmdDigest:
 		return &DigestInfo{}, nil
+	case CmdEventSubscribe:
+		return &EventSubscribe{}, nil
+	case CmdEvent:
+		return &EventNotice{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownCommand, uint8(cmd))
 	}

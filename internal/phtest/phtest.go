@@ -31,6 +31,26 @@ func InstantWorld(t *testing.T, seed int64) *simnet.World {
 	return w
 }
 
+// ManualWorld returns an instant-network world driven by a manual clock:
+// nothing sleeps, and Now() only moves when the test advances it — the
+// fixture for trend/prediction tests that need exact control over sample
+// timestamps. Unlike InstantWorld, bandwidth is unlimited too: a write
+// that slept simulated time would deadlock when nothing advances the
+// clock concurrently.
+func ManualWorld(t *testing.T, seed int64) (*simnet.World, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual()
+	opts := []simnet.Option{simnet.WithQualityNoise(0)}
+	for _, tech := range device.Techs() {
+		p := simnet.DefaultParams(tech).Instant()
+		p.Bandwidth = 0
+		opts = append(opts, simnet.WithParams(tech, p))
+	}
+	w := simnet.NewWorld(clk, seed, opts...)
+	t.Cleanup(func() { w.Close() })
+	return w, clk
+}
+
 // ScaledWorld returns a world on a scaled clock with the given per-tech
 // parameters (nil keeps calibrated defaults). End-to-end timing tests use
 // it.

@@ -33,9 +33,11 @@ import (
 	"peerhood/internal/daemon"
 	"peerhood/internal/device"
 	"peerhood/internal/discovery"
+	"peerhood/internal/events"
 	"peerhood/internal/geo"
 	"peerhood/internal/handover"
 	"peerhood/internal/library"
+	"peerhood/internal/linkmon"
 	"peerhood/internal/mobility"
 	"peerhood/internal/plugin"
 	"peerhood/internal/simnet"
@@ -76,6 +78,18 @@ type (
 	Point = geo.Point
 	// MobilityModel moves a simulated device over time.
 	MobilityModel = mobility.Model
+	// Event is one neighbourhood bus notification (device appeared/lost,
+	// link degrading/recovered/lost, handover lifecycle).
+	Event = events.Event
+	// EventType identifies an Event kind.
+	EventType = events.Type
+	// EventMask filters event types in Events subscriptions.
+	EventMask = events.Mask
+	// EventSubscription is a live neighbourhood event feed.
+	EventSubscription = events.Subscription
+	// LinkState is one monitored link's trend state (level, slope,
+	// classification, predicted time-to-threshold).
+	LinkState = linkmon.State
 )
 
 // Re-exported constants.
@@ -94,7 +108,21 @@ const (
 	// QualityThreshold is the 230 link-quality threshold used for route
 	// acceptance and handover triggering throughout the thesis.
 	QualityThreshold = simnet.QualityThreshold
+
+	// Neighbourhood event types (see Events / phctl watch).
+	EventDeviceAppeared    = events.DeviceAppeared
+	EventDeviceLost        = events.DeviceLost
+	EventLinkDegrading     = events.LinkDegrading
+	EventLinkRecovered     = events.LinkRecovered
+	EventLinkLost          = events.LinkLost
+	EventHandoverStarted   = events.HandoverStarted
+	EventHandoverCompleted = events.HandoverCompleted
+	EventHandoverFailed    = events.HandoverFailed
 )
+
+// MaskOf builds an EventMask selecting exactly the given event types; the
+// zero mask selects everything.
+func MaskOf(types ...EventType) EventMask { return events.MaskOf(types...) }
 
 // Pt is shorthand for a Point.
 func Pt(x, y float64) Point { return geo.Pt(x, y) }
@@ -242,6 +270,12 @@ type NodeConfig struct {
 	// QualityFirst swaps route selection from mobility-first to
 	// quality-first (ablation A1).
 	QualityFirst bool
+	// LinkHorizon is the link monitor's degradation-prediction horizon
+	// (0 = linkmon default, 10 s).
+	LinkHorizon time.Duration
+	// LinkWindow is the link monitor's trend window in samples (0 =
+	// linkmon default, 8); larger windows average out more quality noise.
+	LinkWindow int
 }
 
 // Node is one PeerHood device: daemon + library + bridge, ready to
@@ -299,6 +333,8 @@ func (w *World) NewNode(cfg NodeConfig) (*Node, error) {
 		DisableDeltaSync:     cfg.FullSyncOnly,
 		QualityFirst:         cfg.QualityFirst,
 		LoadPenalty:          loadPenalty,
+		LinkHorizon:          cfg.LinkHorizon,
+		LinkWindow:           cfg.LinkWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -437,6 +473,20 @@ func (n *Node) StorageTable() string { return n.daemon.Storage().String() }
 // attached plugin.
 func (n *Node) RunDiscoveryRound() { n.daemon.RunDiscoveryRound() }
 
+// Events subscribes to the node's neighbourhood event bus: device
+// appearances and losses from discovery, link degradation predictions
+// from the link monitor, and handover lifecycle notifications. A zero
+// mask subscribes to everything. Close the subscription when done; it
+// also closes when the node stops.
+func (n *Node) Events(mask EventMask) *EventSubscription {
+	return n.lib.Events(mask)
+}
+
+// LinkStates snapshots the link monitor's view of every observed link.
+func (n *Node) LinkStates() []LinkState {
+	return n.daemon.LinkMonitor().States()
+}
+
 // Connect establishes a connection to a named service on a target device,
 // directly or through bridges, using the best stored route.
 func (n *Node) Connect(target Addr, service string, opts ...library.ConnectOption) (*Connection, error) {
@@ -459,6 +509,15 @@ type HandoverConfig struct {
 	AllowReconnect   func(p ServiceProvider) bool
 	Observer         handover.Observer
 	ManualSteps      bool // do not start the background loop
+
+	// Predictive enables proactive handover on the link monitor's
+	// degradation predictions: re-route while quality is still above the
+	// threshold, keeping the reactive trigger as fallback.
+	Predictive bool
+	// PredictHorizon is the act-ahead window (default 5 s).
+	PredictHorizon time.Duration
+	// PredictCooldown spaces predictive triggers (default 10 s).
+	PredictCooldown time.Duration
 }
 
 // MonitorHandover attaches a handover thread to a connection and (unless
@@ -475,6 +534,9 @@ func (n *Node) MonitorHandover(conn *Connection, cfg HandoverConfig) (*HandoverT
 		DisallowDirectReturn: cfg.ThesisMode,
 		AllowReconnect:       cfg.AllowReconnect,
 		Observer:             cfg.Observer,
+		Predictive:           cfg.Predictive,
+		PredictHorizon:       cfg.PredictHorizon,
+		PredictCooldown:      cfg.PredictCooldown,
 	})
 	if err != nil {
 		return nil, err
