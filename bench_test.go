@@ -61,6 +61,11 @@ func BenchmarkS1CityBlock(b *testing.B) { benchExperiment(b, "S1") }
 // most of an iteration is scaled-clock waiting, not CPU).
 func BenchmarkS3CommuterCorridor(b *testing.B) { benchExperiment(b, "S3") }
 
+// BenchmarkS4UrbanBlackout replays the scripted fault-plane corridor (two
+// blackouts, interference, relay crash/restart) in both handover modes on
+// a manual clock — pure compute, no wall-clock waiting.
+func BenchmarkS4UrbanBlackout(b *testing.B) { benchExperiment(b, "S4") }
+
 // BenchmarkS2DensePlaza runs the delta-vs-full sync scenario in quick mode
 // (40 nodes, two churn levels).
 func BenchmarkS2DensePlaza(b *testing.B) { benchExperiment(b, "S2") }

@@ -147,6 +147,13 @@ func (d *Daemon) AddPlugin(p plugin.Plugin) error {
 // Name returns the device name.
 func (d *Daemon) Name() string { return d.cfg.Name }
 
+// Config returns a copy of the daemon's configuration. Crash/restart
+// harnesses (the fault plane's churn events) rebuild a replacement daemon
+// from it: a new Daemon gets a fresh storage epoch, so peers that had
+// delta-synced with the old instance detect the restart and fall back to a
+// full neighbourhood fetch.
+func (d *Daemon) Config() Config { return d.cfg }
+
 // Clock returns the daemon's clock.
 func (d *Daemon) Clock() clock.Clock { return d.clk }
 

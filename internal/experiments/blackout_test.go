@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBlackoutExperimentDeterministic pins S4's headline guarantee: the
+// whole experiment — stream metrics, sync counters, bus counters, and the
+// fault trace embedded in the notes — is a pure function of its seed.
+// Two consecutive invocations must agree byte for byte.
+func TestBlackoutExperimentDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}
+	r1, err := Run("S4", cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	r2, err := Run("S4", cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if r1.Table != r2.Table {
+		t.Fatalf("same-seed tables differ:\n--- first\n%s--- second\n%s", r1.Table, r2.Table)
+	}
+	if !reflect.DeepEqual(r1.Notes, r2.Notes) {
+		t.Fatalf("same-seed notes (incl. fault trace) differ:\n%v\n%v", r1.Notes, r2.Notes)
+	}
+}
+
+// TestBlackoutExperimentShape sanity-checks that the scripted weather
+// actually bit: messages were lost, disruption accrued, handovers
+// happened, and the epoch-changing restart forced full-sync fallbacks.
+func TestBlackoutExperimentShape(t *testing.T) {
+	res, err := Run("S4", Config{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatalf("Run(S4): %v", err)
+	}
+	for _, mode := range []string{"reactive", "predictive"} {
+		if !strings.Contains(res.Table, mode) {
+			t.Fatalf("table missing %s row:\n%s", mode, res.Table)
+		}
+	}
+	st, err := blackoutTrial(Config{Seed: 42}.withDefaults(), 42, false)
+	if err != nil {
+		t.Fatalf("blackoutTrial: %v", err)
+	}
+	if st.sent == 0 || st.lost == 0 {
+		t.Fatalf("no stream loss under scripted blackouts: sent=%d lost=%d", st.sent, st.lost)
+	}
+	if st.lost >= st.sent {
+		t.Fatalf("nothing delivered: sent=%d lost=%d", st.sent, st.lost)
+	}
+	if st.disruption == 0 {
+		t.Fatal("no disruption measured under two blackouts")
+	}
+	if st.handovers == 0 {
+		t.Fatal("no handovers across the corridor")
+	}
+	if st.fullFetches == 0 {
+		t.Fatal("relay restart with a fresh epoch forced no full-sync fallbacks")
+	}
+	if st.deltaFetches == 0 {
+		t.Fatal("steady-state rounds produced no delta syncs")
+	}
+	if st.busEvents == 0 || st.busLinkLost == 0 {
+		t.Fatalf("event bus silent: events=%d linkLost=%d", st.busEvents, st.busLinkLost)
+	}
+	if len(st.trace) != 6 {
+		t.Fatalf("fault trace has %d entries, want 6:\n%s", len(st.trace), strings.Join(st.trace, "\n"))
+	}
+}

@@ -100,6 +100,7 @@ var registry = []registration{
 	{"S1", "City block: 1,000 mobile nodes on the spatial-grid index", RunScale},
 	{"S2", "Dense plaza: delta vs full neighbourhood sync under churn", RunPlaza},
 	{"S3", "Commuter corridor: predictive vs reactive handover across coverage zones", RunCommuter},
+	{"S4", "Urban blackout: scripted blackouts, crash/restart churn, deterministic replay", RunBlackout},
 }
 
 // IDs returns the registered experiment IDs in canonical order.

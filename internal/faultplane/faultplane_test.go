@@ -1,0 +1,371 @@
+package faultplane
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/simnet"
+)
+
+// world returns a deterministic instant manual-clock world with Bluetooth
+// radios named after their devices at the given positions.
+func world(t *testing.T, seed int64, at map[string]geo.Point) (*simnet.World, *clock.Manual, map[string]*simnet.Radio) {
+	t.Helper()
+	clk := clock.NewManual()
+	opts := []simnet.Option{simnet.WithQualityNoise(0)}
+	for _, tech := range device.Techs() {
+		p := simnet.DefaultParams(tech).Instant()
+		p.Bandwidth = 0
+		opts = append(opts, simnet.WithParams(tech, p))
+	}
+	w := simnet.NewWorld(clk, seed, opts...)
+	t.Cleanup(func() { w.Close() })
+	radios := make(map[string]*simnet.Radio)
+	for name, pos := range at {
+		d, err := w.AddDevice(name, mobility.Static{At: pos})
+		if err != nil {
+			t.Fatalf("AddDevice(%s): %v", name, err)
+		}
+		r, err := d.AddRadio(device.TechBluetooth)
+		if err != nil {
+			t.Fatalf("AddRadio(%s): %v", name, err)
+		}
+		radios[name] = r
+	}
+	return w, clk, radios
+}
+
+func plane(t *testing.T, w *simnet.World, resolve func(string) (NodeHandle, bool)) *Plane {
+	t.Helper()
+	p, err := New(Config{World: w, Resolve: resolve})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func dial(t *testing.T, radios map[string]*simnet.Radio, from, to string) *simnet.Conn {
+	t.Helper()
+	l, err := radios[to].Listen(9)
+	if err != nil {
+		t.Fatalf("Listen(%s): %v", to, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := radios[from].Dial(radios[to].Addr(), 9)
+	if err != nil {
+		t.Fatalf("Dial(%s->%s): %v", from, to, err)
+	}
+	return c
+}
+
+func TestNewRequiresWorld(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without a world succeeded")
+	}
+}
+
+func TestPartitionSeversAndHealRestores(t *testing.T) {
+	w, _, radios := world(t, 1, map[string]geo.Point{
+		"a": geo.Pt(0, 0), "b": geo.Pt(1, 0), "c": geo.Pt(2, 0),
+	})
+	p := plane(t, w, nil)
+	ab := dial(t, radios, "a", "b")
+	ac := dial(t, radios, "a", "c")
+
+	run := p.Load(Script{Events: []Event{
+		{At: 0, Do: Partition{Segments: [][]string{{"a", "c"}, {"b"}}}},
+	}})
+	if n := run.ApplyDue(); n != 1 {
+		t.Fatalf("ApplyDue = %d, want 1", n)
+	}
+	if !p.Partitioned() {
+		t.Fatal("plane not partitioned")
+	}
+	// a|c on one side of the cut keep their link; a|b lose theirs.
+	if _, err := ac.Write([]byte("x")); err != nil {
+		t.Fatalf("same-segment write: %v", err)
+	}
+	if _, err := ab.Write([]byte("x")); err == nil {
+		t.Fatal("cross-segment write survived the partition")
+	}
+	if res := radios["a"].Inquire(); len(res) != 1 || res[0].Addr != radios["c"].Addr() {
+		t.Fatalf("partition inquiry = %v, want only c", res)
+	}
+	if _, err := radios["a"].Dial(radios["b"].Addr(), 9); err == nil {
+		t.Fatal("cross-segment dial succeeded")
+	}
+
+	heal := p.Load(Script{Events: []Event{{At: 0, Do: Heal{}}}})
+	heal.ApplyDue()
+	if p.Partitioned() {
+		t.Fatal("still partitioned after heal")
+	}
+	if res := radios["a"].Inquire(); len(res) != 2 {
+		t.Fatalf("post-heal inquiry found %d radios, want 2", len(res))
+	}
+}
+
+func TestPartitionUnlistedDevicesShareImplicitSegment(t *testing.T) {
+	w, _, radios := world(t, 2, map[string]geo.Point{
+		"a": geo.Pt(0, 0), "b": geo.Pt(1, 0), "x": geo.Pt(2, 0), "y": geo.Pt(3, 0),
+	})
+	p := plane(t, w, nil)
+	p.Load(Script{Events: []Event{{At: 0, Do: Partition{Segments: [][]string{{"a"}, {"b"}}}}}}).ApplyDue()
+
+	// x and y are unlisted: they see each other but neither a nor b.
+	res := radios["x"].Inquire()
+	if len(res) != 1 || res[0].Addr != radios["y"].Addr() {
+		t.Fatalf("unlisted inquiry = %v, want only y", res)
+	}
+}
+
+func TestBlackoutWindowExpiresByTime(t *testing.T) {
+	w, clk, radios := world(t, 3, map[string]geo.Point{
+		"in": geo.Pt(0, 0), "out": geo.Pt(6, 0), "far": geo.Pt(8, 0),
+	})
+	p := plane(t, w, nil)
+	conn := dial(t, radios, "in", "out")
+
+	run := p.Load(Script{Events: []Event{
+		{At: time.Second, Do: Blackout{
+			Region:   geo.Rect{Min: geo.Pt(-2, -2), Max: geo.Pt(2, 2)},
+			Duration: 5 * time.Second,
+		}},
+	}})
+	if n := run.ApplyDue(); n != 0 {
+		t.Fatal("blackout fired before its time")
+	}
+	clk.Advance(time.Second)
+	if n := run.ApplyDue(); n != 1 {
+		t.Fatal("blackout did not fire at t=1s")
+	}
+	if p.ActiveBlackouts() != 1 {
+		t.Fatalf("ActiveBlackouts = %d, want 1", p.ActiveBlackouts())
+	}
+	// The node in the region lost its link and is invisible; nodes
+	// outside the region still see each other.
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write into the blackout region survived")
+	}
+	if res := radios["out"].Inquire(); len(res) != 1 || res[0].Addr != radios["far"].Addr() {
+		t.Fatalf("blackout inquiry = %v, want only far", res)
+	}
+
+	// The window closes on its own once its time passes.
+	clk.Advance(5 * time.Second)
+	if p.ActiveBlackouts() != 0 {
+		t.Fatal("blackout window did not expire")
+	}
+	if res := radios["out"].Inquire(); len(res) != 2 {
+		t.Fatalf("post-blackout inquiry found %d radios, want 2", len(res))
+	}
+	if !run.Done() {
+		t.Fatal("run not done")
+	}
+}
+
+func TestImpairAndClearByDeviceName(t *testing.T) {
+	w, _, radios := world(t, 4, map[string]geo.Point{"a": geo.Pt(0, 0), "b": geo.Pt(1, 0)})
+	p := plane(t, w, nil)
+	conn := dial(t, radios, "a", "b")
+
+	p.Load(Script{Events: []Event{
+		{At: 0, Do: Impair{From: "a", To: "b", Profile: simnet.Impairment{LossProb: 1}}},
+	}}).ApplyDue()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := w.Stats().MessagesDropped; got != 1 {
+		t.Fatalf("MessagesDropped = %d, want 1", got)
+	}
+
+	p.Load(Script{Events: []Event{{At: 0, Do: ClearImpair{From: "a", To: "b"}}}}).ApplyDue()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("write after clear: %v", err)
+	}
+	if got := w.Stats().MessagesDropped; got != 1 {
+		t.Fatalf("MessagesDropped after clear = %d, want still 1", got)
+	}
+}
+
+func TestHealClearsImpairments(t *testing.T) {
+	w, _, radios := world(t, 5, map[string]geo.Point{"a": geo.Pt(0, 0), "b": geo.Pt(1, 0)})
+	p := plane(t, w, nil)
+	conn := dial(t, radios, "a", "b")
+
+	p.Load(Script{Events: []Event{
+		{At: 0, Do: Impair{From: "a", To: "b", Profile: simnet.Impairment{LossProb: 1}, Symmetric: true}},
+		{At: 0, Do: Heal{}},
+	}}).ApplyDue()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := w.Stats().MessagesDropped; got != 0 {
+		t.Fatalf("MessagesDropped after heal = %d, want 0", got)
+	}
+}
+
+func TestImpairUnknownDeviceIsRecordedError(t *testing.T) {
+	w, _, _ := world(t, 6, map[string]geo.Point{"a": geo.Pt(0, 0)})
+	p := plane(t, w, nil)
+	run := p.Load(Script{Events: []Event{
+		{At: 0, Do: Impair{From: "a", To: "ghost", Profile: simnet.Impairment{LossProb: 1}}},
+	}})
+	run.ApplyDue()
+	if run.Err() == nil {
+		t.Fatal("impairing a ghost device reported no error")
+	}
+}
+
+// fakeNode implements NodeHandle for crash/restart bookkeeping.
+type fakeNode struct {
+	name              string
+	crashes, restarts int
+	failNext          error
+}
+
+func (f *fakeNode) Name() string { return f.name }
+func (f *fakeNode) Crash() error {
+	f.crashes++
+	return f.failNext
+}
+func (f *fakeNode) Restart() error {
+	f.restarts++
+	return f.failNext
+}
+
+func TestCrashRestartThroughResolver(t *testing.T) {
+	w, clk, radios := world(t, 7, map[string]geo.Point{"a": geo.Pt(0, 0), "b": geo.Pt(1, 0)})
+	fake := &fakeNode{name: "b"}
+	p := plane(t, w, func(name string) (NodeHandle, bool) {
+		if name == fake.name {
+			return fake, true
+		}
+		return nil, false
+	})
+
+	run := p.Load(Script{Events: []Event{
+		{At: 0, Do: Crash{Node: "b"}},
+		{At: 2 * time.Second, Do: Restart{Node: "b"}},
+		{At: 3 * time.Second, Do: Crash{Node: "ghost"}},
+	}})
+	run.ApplyDue()
+	if fake.crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", fake.crashes)
+	}
+	dev, _ := w.Device("b")
+	if !dev.IsDown() {
+		t.Fatal("crashed device not powered down")
+	}
+	if res := radios["a"].Inquire(); len(res) != 0 {
+		t.Fatalf("crashed node still discoverable: %v", res)
+	}
+
+	clk.Advance(2 * time.Second)
+	run.ApplyDue()
+	if fake.restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", fake.restarts)
+	}
+	if dev.IsDown() {
+		t.Fatal("restarted device still down")
+	}
+
+	clk.Advance(time.Second)
+	run.ApplyDue()
+	if run.Err() == nil {
+		t.Fatal("crashing an unresolvable node reported no error")
+	}
+}
+
+func TestCheckActionRecordsFailure(t *testing.T) {
+	w, _, _ := world(t, 8, map[string]geo.Point{"a": geo.Pt(0, 0)})
+	p := plane(t, w, nil)
+	boom := errors.New("boom")
+	calls := 0
+	run := p.Load(Script{Events: []Event{
+		{At: 0, Do: Check{Name: "ok", Fn: func() error { calls++; return nil }}},
+		{At: 0, Do: Check{Name: "bad", Fn: func() error { calls++; return boom }}},
+	}})
+	run.ApplyDue()
+	if calls != 2 {
+		t.Fatalf("checks ran %d times, want 2", calls)
+	}
+	if err := run.Err(); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want wrapped boom", err)
+	}
+}
+
+func TestPlayAppliesInOrderAndTraceIsDeterministic(t *testing.T) {
+	runOnce := func() []string {
+		w, _, _ := world(t, 9, map[string]geo.Point{"a": geo.Pt(0, 0), "b": geo.Pt(1, 0)})
+		p := plane(t, w, nil)
+		run := p.Load(Script{Events: []Event{
+			// Deliberately unordered: Load sorts by At.
+			{At: 0, Do: Heal{}},
+			{At: 0, Do: Partition{Segments: [][]string{{"a"}, {"b"}}}},
+		}})
+		if err := run.Play(); err != nil {
+			t.Fatalf("Play: %v", err)
+		}
+		if !run.Done() {
+			t.Fatal("Play returned before Done")
+		}
+		return p.Trace()
+	}
+	tr1, tr2 := runOnce(), runOnce()
+	if len(tr1) != 2 {
+		t.Fatalf("trace = %v, want 2 entries", tr1)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("same-seed traces differ:\n%v\n%v", tr1, tr2)
+	}
+}
+
+func TestDetachRemovesFilter(t *testing.T) {
+	w, _, radios := world(t, 10, map[string]geo.Point{"a": geo.Pt(0, 0), "b": geo.Pt(1, 0)})
+	p := plane(t, w, nil)
+	p.Load(Script{Events: []Event{{At: 0, Do: Partition{Segments: [][]string{{"a"}, {"b"}}}}}}).ApplyDue()
+	if res := radios["a"].Inquire(); len(res) != 0 {
+		t.Fatal("partition not in force")
+	}
+	p.Detach()
+	if res := radios["a"].Inquire(); len(res) != 1 {
+		t.Fatal("detach did not lift the partition")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for _, tc := range []struct {
+		a    Action
+		want string
+	}{
+		{Partition{Segments: [][]string{{"a", "b"}, {"c"}}}, "partition a,b | c"},
+		{Heal{}, "heal"},
+		{Crash{Node: "n"}, "crash n"},
+		{Restart{Node: "n"}, "restart n"},
+		{Check{Name: "inv"}, "check inv"},
+		{ClearImpair{From: "a", To: "b"}, "clear-impair a<->b"},
+	} {
+		if got := tc.a.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	imp := Impair{From: "a", To: "b", Profile: simnet.Impairment{LossProb: 0.5}}
+	if got := imp.String(); got != fmt.Sprintf("impair a->b loss=0.50 burst=%s/%s", time.Duration(0), time.Duration(0)) {
+		t.Errorf("Impair.String() = %q", got)
+	}
+}

@@ -1,0 +1,261 @@
+package faultplane
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/simnet"
+)
+
+// Script is an ordered, clock-scheduled list of fault events plus
+// assertions — declarative failure weather. Experiments and tests build
+// one, Load it on a Plane, and drive it with Run.ApplyDue (manual clock)
+// or Run.Play (scaled/real clock).
+type Script struct {
+	Events []Event
+}
+
+// Event schedules one action At a simulated-time offset from Run start.
+type Event struct {
+	At time.Duration
+	Do Action
+}
+
+// Action is one fault-plane operation.
+type Action interface {
+	fmt.Stringer
+	apply(p *Plane) error
+}
+
+// Partition splits the world into isolated segments: devices in different
+// segments cannot discover, dial, or keep links to each other. Devices not
+// named in any segment form an implicit segment of their own. A new
+// Partition replaces the previous one; Heal removes it.
+type Partition struct {
+	Segments [][]string
+}
+
+func (a Partition) apply(p *Plane) error {
+	segs := make(map[string]int)
+	for i, seg := range a.Segments {
+		for _, name := range seg {
+			segs[name] = i + 1 // unlisted devices stay at the zero segment
+		}
+	}
+	p.mu.Lock()
+	p.partitioned = true
+	p.segments = segs
+	p.mu.Unlock()
+	return nil
+}
+
+func (a Partition) String() string {
+	parts := make([]string, len(a.Segments))
+	for i, seg := range a.Segments {
+		parts[i] = strings.Join(seg, ",")
+	}
+	return "partition " + strings.Join(parts, " | ")
+}
+
+// Blackout takes every radio whose device is inside Region off the air for
+// Duration: existing links touching the region break, and no new links or
+// discoveries involve it until the window closes (closing needs no event —
+// the filter expires it by time).
+type Blackout struct {
+	Region   geo.Rect
+	Duration time.Duration
+}
+
+func (a Blackout) apply(p *Plane) error {
+	if a.Duration <= 0 {
+		return fmt.Errorf("blackout duration %s must be positive", a.Duration)
+	}
+	p.mu.Lock()
+	p.blackouts = append(p.blackouts, blackoutWindow{region: a.Region, until: p.clk.Now().Add(a.Duration)})
+	p.mu.Unlock()
+	return nil
+}
+
+func (a Blackout) String() string {
+	return fmt.Sprintf("blackout [%.0f,%.0f]x[%.0f,%.0f] for %s",
+		a.Region.Min.X, a.Region.Max.X, a.Region.Min.Y, a.Region.Max.Y, a.Duration)
+}
+
+// Impair installs an impairment profile on the From->To direction of
+// every shared-technology radio pair between two devices (Symmetric
+// applies it both ways). Heal clears it along with all other weather.
+type Impair struct {
+	From, To  string
+	Profile   simnet.Impairment
+	Symmetric bool
+}
+
+func (a Impair) apply(p *Plane) error {
+	addrs, err := p.pairAddrs(a.From, a.To)
+	if err != nil {
+		return err
+	}
+	for _, pr := range addrs {
+		p.w.SetLinkImpairment(pr[0], pr[1], &a.Profile)
+		if a.Symmetric {
+			p.w.SetLinkImpairment(pr[1], pr[0], &a.Profile)
+		}
+	}
+	p.mu.Lock()
+	p.impaired = append(p.impaired, impairedPair{from: a.From, to: a.To})
+	p.mu.Unlock()
+	return nil
+}
+
+func (a Impair) String() string {
+	arrow := "->"
+	if a.Symmetric {
+		arrow = "<->"
+	}
+	return fmt.Sprintf("impair %s%s%s loss=%.2f burst=%s/%s", a.From, arrow, a.To,
+		a.Profile.LossProb, a.Profile.MeanGood, a.Profile.MeanBad)
+}
+
+// ClearImpair removes the impairments Impair installed between two devices
+// (both directions).
+type ClearImpair struct {
+	From, To string
+}
+
+func (a ClearImpair) apply(p *Plane) error {
+	addrs, err := p.pairAddrs(a.From, a.To)
+	if err != nil {
+		return err
+	}
+	for _, pr := range addrs {
+		p.w.SetLinkImpairment(pr[0], pr[1], nil)
+		p.w.SetLinkImpairment(pr[1], pr[0], nil)
+	}
+	return nil
+}
+
+func (a ClearImpair) String() string { return fmt.Sprintf("clear-impair %s<->%s", a.From, a.To) }
+
+// pairAddrs returns the (from, to) radio address pairs for every
+// technology both named devices carry.
+func (p *Plane) pairAddrs(from, to string) ([][2]device.Addr, error) {
+	df, ok := p.w.Device(from)
+	if !ok {
+		return nil, fmt.Errorf("no device %q", from)
+	}
+	dt, ok := p.w.Device(to)
+	if !ok {
+		return nil, fmt.Errorf("no device %q", to)
+	}
+	var out [][2]device.Addr
+	for _, tech := range device.Techs() {
+		rf, okF := df.Radio(tech)
+		rt, okT := dt.Radio(tech)
+		if okF && okT {
+			out = append(out, [2]device.Addr{rf.Addr(), rt.Addr()})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("devices %q and %q share no technology", from, to)
+	}
+	return out, nil
+}
+
+// Heal clears all standing weather: the partition, every open blackout
+// window, and every script-installed impairment. (It does not resurrect
+// crashed nodes — schedule Restart events for those.)
+type Heal struct{}
+
+func (Heal) apply(p *Plane) error {
+	p.mu.Lock()
+	p.partitioned = false
+	p.segments = nil
+	p.blackouts = nil
+	impaired := p.impaired
+	p.impaired = nil
+	p.mu.Unlock()
+	for _, pr := range impaired {
+		if addrs, err := p.pairAddrs(pr.from, pr.to); err == nil {
+			for _, ab := range addrs {
+				p.w.SetLinkImpairment(ab[0], ab[1], nil)
+				p.w.SetLinkImpairment(ab[1], ab[0], nil)
+			}
+		}
+	}
+	return nil
+}
+
+func (Heal) String() string { return "heal" }
+
+// Crash kills a node's daemon (through its NodeHandle) and powers its
+// simulated device down, so it vanishes from the air mid-transfer: links
+// break, inquiries stop seeing it, peers age it out.
+type Crash struct {
+	Node string
+}
+
+func (a Crash) apply(p *Plane) error {
+	h, err := p.handle(a.Node)
+	if err != nil {
+		return err
+	}
+	if dev, ok := p.w.Device(a.Node); ok {
+		dev.SetDown(true)
+	}
+	return h.Crash()
+}
+
+func (a Crash) String() string { return "crash " + a.Node }
+
+// Restart powers a crashed node's device back on and rebuilds its daemon
+// with a fresh storage epoch — peers that had synced with it detect the
+// epoch change and fall back to a full neighbourhood resync.
+type Restart struct {
+	Node string
+}
+
+func (a Restart) apply(p *Plane) error {
+	h, err := p.handle(a.Node)
+	if err != nil {
+		return err
+	}
+	if dev, ok := p.w.Device(a.Node); ok {
+		dev.SetDown(false)
+	}
+	return h.Restart()
+}
+
+func (a Restart) String() string { return "restart " + a.Node }
+
+func (p *Plane) handle(name string) (NodeHandle, error) {
+	if p.resolve == nil {
+		return nil, fmt.Errorf("no node resolver configured (node %q)", name)
+	}
+	h, ok := p.resolve(name)
+	if !ok {
+		return nil, fmt.Errorf("no node %q", name)
+	}
+	return h, nil
+}
+
+// Check runs an in-script assertion; a non-nil error is recorded on the
+// Run (and in the trace) without stopping playback.
+type Check struct {
+	Name string
+	Fn   func() error
+}
+
+func (a Check) apply(*Plane) error {
+	if a.Fn == nil {
+		return nil
+	}
+	if err := a.Fn(); err != nil {
+		return fmt.Errorf("check %s: %w", a.Name, err)
+	}
+	return nil
+}
+
+func (a Check) String() string { return "check " + a.Name }

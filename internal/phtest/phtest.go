@@ -4,12 +4,14 @@
 package phtest
 
 import (
+	"errors"
 	"testing"
 
 	"peerhood/internal/bridge"
 	"peerhood/internal/clock"
 	"peerhood/internal/daemon"
 	"peerhood/internal/device"
+	"peerhood/internal/faultplane"
 	"peerhood/internal/geo"
 	"peerhood/internal/library"
 	"peerhood/internal/mobility"
@@ -70,6 +72,9 @@ type Node struct {
 	Daemon *daemon.Daemon
 	Lib    *library.Library
 	Bridge *bridge.Service // nil unless AttachBridge was called
+
+	w       *simnet.World
+	crashed bool
 }
 
 // AttachBridge installs the hidden bridge service on the node.
@@ -125,6 +130,8 @@ func AddMovingNode(t *testing.T, w *simnet.World, name string, model mobility.Mo
 	if err := d.Start(false); err != nil {
 		t.Fatalf("daemon.Start(%s): %v", name, err)
 	}
+	// Stop is idempotent, so the started daemon gets its own cleanup
+	// immediately: a t.Fatalf below must not leak its goroutines.
 	t.Cleanup(d.Stop)
 	lib, err := library.New(library.Config{Daemon: d})
 	if err != nil {
@@ -133,8 +140,91 @@ func AddMovingNode(t *testing.T, w *simnet.World, name string, model mobility.Mo
 	if err := lib.Start(); err != nil {
 		t.Fatalf("library.Start(%s): %v", name, err)
 	}
-	t.Cleanup(lib.Stop)
-	return &Node{Device: dev, Radio: radio, Plugin: p, Daemon: d, Lib: lib}
+	n := &Node{Device: dev, Radio: radio, Plugin: p, Daemon: d, Lib: lib, w: w}
+	// This cleanup reads the *current* daemon and library so that nodes a
+	// fault script has crashed and restarted still shut down cleanly.
+	t.Cleanup(func() {
+		n.Lib.Stop()
+		n.Daemon.Stop()
+	})
+	return n
+}
+
+// Name returns the node's device name.
+func (n *Node) Name() string { return n.Device.Name() }
+
+// Crash stops the node's daemon and library abruptly (the bridge, if
+// attached, dies with its library). The simulated device stays in the
+// world; pair with Device.SetDown or a faultplane.Crash event to take its
+// radio off the air too. Idempotent.
+func (n *Node) Crash() error {
+	if n.crashed {
+		return nil
+	}
+	n.crashed = true
+	if n.Bridge != nil {
+		_ = n.Bridge.Close()
+		n.Bridge = nil
+	}
+	n.Lib.Stop()
+	n.Daemon.Stop()
+	return nil
+}
+
+// Restart rebuilds the crashed node's daemon and library on the same
+// radio. The new daemon has a fresh storage epoch, so peers that had
+// delta-synced with the old instance fall back to a full resync. A bridge
+// is not re-attached; call AttachBridge again if the scenario needs one.
+func (n *Node) Restart() error {
+	if !n.crashed {
+		return errors.New("phtest: Restart on a node that was not crashed")
+	}
+	d, err := daemon.New(n.Daemon.Config())
+	if err != nil {
+		return err
+	}
+	p := plugin.NewSim(n.w, n.Radio)
+	if err := d.AddPlugin(p); err != nil {
+		return err
+	}
+	if err := d.Start(false); err != nil {
+		return err
+	}
+	lib, err := library.New(library.Config{Daemon: d})
+	if err != nil {
+		d.Stop()
+		return err
+	}
+	if err := lib.Start(); err != nil {
+		d.Stop()
+		return err
+	}
+	n.Plugin, n.Daemon, n.Lib = p, d, lib
+	n.crashed = false
+	return nil
+}
+
+// NewPlane returns a fault-injection plane over w whose crash/restart
+// events resolve against the given nodes. The plane's link filter is
+// uninstalled when the test ends.
+func NewPlane(t *testing.T, w *simnet.World, nodes ...*Node) *faultplane.Plane {
+	t.Helper()
+	byName := make(map[string]*Node, len(nodes))
+	for _, n := range nodes {
+		byName[n.Name()] = n
+	}
+	p, err := faultplane.New(faultplane.Config{
+		World: w,
+		Resolve: func(name string) (faultplane.NodeHandle, bool) {
+			n, ok := byName[name]
+			return n, ok
+		},
+	})
+	if err != nil {
+		t.Fatalf("faultplane.New: %v", err)
+	}
+	t.Cleanup(p.Detach)
+	return p
 }
 
 // RunRounds drives n synchronous discovery rounds across all nodes, in

@@ -1,0 +1,153 @@
+package phtest
+
+import (
+	"testing"
+	"time"
+
+	"peerhood/internal/faultplane"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/simnet"
+)
+
+func TestInstantWorldNodesDiscoverEachOther(t *testing.T) {
+	w := InstantWorld(t, 1)
+	a := AddNode(t, w, "a", geo.Pt(0, 0), 0)
+	b := AddNode(t, w, "b", geo.Pt(3, 0), 0)
+	RunRounds([]*Node{a, b}, 1)
+
+	if _, ok := a.Daemon.Storage().Lookup(b.Addr()); !ok {
+		t.Fatal("a did not discover b")
+	}
+	if _, ok := b.Daemon.Storage().Lookup(a.Addr()); !ok {
+		t.Fatal("b did not discover a")
+	}
+	if a.Name() != "a" || b.Addr() != b.Radio.Addr() {
+		t.Fatal("node accessors inconsistent")
+	}
+}
+
+func TestManualWorldOnlyMovesOnAdvance(t *testing.T) {
+	w, clk := ManualWorld(t, 1)
+	before := w.Clock().Now()
+	a := AddNode(t, w, "a", geo.Pt(0, 0), 0)
+	b := AddNode(t, w, "b", geo.Pt(3, 0), 0)
+	RunRounds([]*Node{a, b}, 2) // instant params: no clock waiting needed
+	if !w.Clock().Now().Equal(before) {
+		t.Fatal("manual clock moved without Advance")
+	}
+	clk.Advance(5 * time.Second)
+	if got := w.Clock().Since(before); got != 5*time.Second {
+		t.Fatalf("Since = %v, want 5s", got)
+	}
+}
+
+func TestScaledWorldAppliesOptions(t *testing.T) {
+	w := ScaledWorld(t, 1, 1000, simnet.WithLinearScan())
+	a := AddNode(t, w, "a", geo.Pt(0, 0), 0)
+	AddNode(t, w, "b", geo.Pt(3, 0), 0)
+	a.Daemon.RunDiscoveryRound()
+	// WithLinearScan scans every radio per inquiry; the grid stays unused.
+	if st := w.Stats(); st.GridRefreshes != 0 || st.InquiryCandidates == 0 {
+		t.Fatalf("linear-scan option not in force: %+v", st)
+	}
+}
+
+func TestAddMovingNodeFollowsModel(t *testing.T) {
+	w, clk := ManualWorld(t, 1)
+	n := AddMovingNode(t, w, "walker", mobility.Walk(geo.Pt(0, 0), geo.Pt(10, 0), 2), 0)
+	clk.Advance(3 * time.Second)
+	if got := n.Device.Position(); got.Dist(geo.Pt(6, 0)) > 1e-9 {
+		t.Fatalf("walker at %v after 3s, want (6.0,0.0)", got)
+	}
+}
+
+func TestAttachBridge(t *testing.T) {
+	w := InstantWorld(t, 1)
+	n := AddNode(t, w, "a", geo.Pt(0, 0), 0)
+	if b := AttachBridge(t, n); n.Bridge != b || b == nil {
+		t.Fatal("AttachBridge did not install the bridge")
+	}
+}
+
+func TestCrashRestartGivesFreshEpoch(t *testing.T) {
+	w := InstantWorld(t, 1)
+	a := AddNode(t, w, "a", geo.Pt(0, 0), 0)
+	b := AddNode(t, w, "b", geo.Pt(3, 0), 0)
+	RunRounds([]*Node{a, b}, 1)
+
+	oldEpoch := b.Daemon.Storage().Digest().Epoch
+	if err := b.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if err := b.Crash(); err != nil {
+		t.Fatalf("second Crash not idempotent: %v", err)
+	}
+	if err := b.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	dg := b.Daemon.Storage().Digest()
+	if dg.Epoch == oldEpoch {
+		t.Fatal("restart kept the old storage epoch")
+	}
+	if dg.Entries != 0 {
+		t.Fatalf("restarted storage has %d entries, want empty", dg.Entries)
+	}
+	// The rebuilt daemon serves discovery again on the same radio.
+	RunRounds([]*Node{a, b}, 1)
+	if _, ok := b.Daemon.Storage().Lookup(a.Addr()); !ok {
+		t.Fatal("restarted daemon did not rediscover a")
+	}
+}
+
+func TestRestartWithoutCrashFails(t *testing.T) {
+	w := InstantWorld(t, 1)
+	n := AddNode(t, w, "a", geo.Pt(0, 0), 0)
+	if err := n.Restart(); err == nil {
+		t.Fatal("Restart on a live node succeeded")
+	}
+}
+
+func TestNewPlaneRunsFaultScripts(t *testing.T) {
+	w, clk := ManualWorld(t, 1)
+	a := AddNode(t, w, "a", geo.Pt(0, 0), 0)
+	b := AddNode(t, w, "b", geo.Pt(3, 0), 0)
+	nodes := []*Node{a, b}
+	RunRounds(nodes, 1)
+
+	plane := NewPlane(t, w, nodes...)
+	run := plane.Load(faultplane.Script{Events: []faultplane.Event{
+		{At: time.Second, Do: faultplane.Partition{Segments: [][]string{{"a"}, {"b"}}}},
+		{At: 2 * time.Second, Do: faultplane.Crash{Node: "b"}},
+		{At: 3 * time.Second, Do: faultplane.Restart{Node: "b"}},
+		{At: 4 * time.Second, Do: faultplane.Heal{}},
+	}})
+
+	clk.Advance(time.Second)
+	run.ApplyDue()
+	if res := a.Radio.Inquire(); len(res) != 0 {
+		t.Fatal("partition did not hide b from a")
+	}
+
+	clk.Advance(time.Second)
+	run.ApplyDue()
+	if !b.Device.IsDown() {
+		t.Fatal("crash did not power b down")
+	}
+
+	clk.Advance(2 * time.Second)
+	run.ApplyDue()
+	if err := run.Err(); err != nil {
+		t.Fatalf("script errors: %v", err)
+	}
+	if !run.Done() {
+		t.Fatal("script not done")
+	}
+	RunRounds(nodes, 1)
+	if _, ok := b.Daemon.Storage().Lookup(a.Addr()); !ok {
+		t.Fatal("restarted b did not rediscover a after heal")
+	}
+	if len(plane.Trace()) != 4 {
+		t.Fatalf("trace = %v, want 4 entries", plane.Trace())
+	}
+}

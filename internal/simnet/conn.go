@@ -17,11 +17,12 @@ type link struct {
 	a, b      *Conn
 	bandwidth float64 // bytes per simulated second
 
-	mu        sync.Mutex
-	broken    bool
-	breakErr  error
-	biasRate  float64 // quality units lost per simulated second
-	biasStart time.Time
+	mu          sync.Mutex
+	broken      bool
+	breakErr    error
+	biasRate    float64 // quality units lost per simulated second
+	biasStart   time.Time
+	biasAccrued float64 // degradation banked by earlier rates
 }
 
 func newLink(w *World, id int64, ra, rb *Radio, bandwidth float64) *link {
@@ -64,14 +65,13 @@ func (lk *link) brokenErr() error {
 func (lk *link) bias() float64 {
 	lk.mu.Lock()
 	defer lk.mu.Unlock()
-	if lk.biasRate == 0 {
-		return 0
+	b := lk.biasAccrued
+	if lk.biasRate != 0 {
+		if elapsed := lk.w.clk.Since(lk.biasStart).Seconds(); elapsed > 0 {
+			b += lk.biasRate * elapsed
+		}
 	}
-	elapsed := lk.w.clk.Since(lk.biasStart).Seconds()
-	if elapsed < 0 {
-		return 0
-	}
-	return lk.biasRate * elapsed
+	return b
 }
 
 // Conn is one endpoint of an established link. It implements
@@ -83,6 +83,9 @@ type Conn struct {
 	local  *Radio
 	remote *Radio
 	rd     pipe
+
+	// imp impairs writes from this endpoint (guarded by link.mu).
+	imp *impairState
 
 	closeOnce sync.Once
 }
@@ -100,7 +103,10 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return c.rd.read(p)
 }
 
-// Write sends bytes to the peer, sleeping to model the link's bandwidth.
+// Write sends bytes to the peer, sleeping to model the link's bandwidth
+// and any impairment jitter. An impairment may silently drop the whole
+// payload (loss is per Write call, so framed protocols lose whole frames,
+// never fragments): the writer still sees success, as on a real radio.
 func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.link.brokenErr(); err != nil {
 		return 0, err
@@ -108,15 +114,24 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if c.rd.closedLocally() {
 		return 0, ErrClosed
 	}
+	delay := time.Duration(0)
 	if c.link.bandwidth > 0 && len(p) > 0 {
-		d := time.Duration(float64(len(p)) / c.link.bandwidth * float64(time.Second))
-		if d > 0 {
-			c.link.w.clk.Sleep(d)
-		}
+		delay = time.Duration(float64(len(p)) / c.link.bandwidth * float64(time.Second))
+	}
+	delay += c.link.writeJitter(c)
+	if delay > 0 {
+		c.link.w.clk.Sleep(delay)
 	}
 	// The sleep may have outlived the link.
 	if err := c.link.brokenErr(); err != nil {
 		return 0, err
+	}
+	if c.link.dropWrite(c) {
+		w := c.link.w
+		w.mu.Lock()
+		w.stats.MessagesDropped++
+		w.mu.Unlock()
+		return len(p), nil
 	}
 	if err := c.peer.rd.write(p); err != nil {
 		return 0, err
@@ -154,15 +169,20 @@ func (c *Conn) Close() error {
 }
 
 // Quality returns the connection's current link quality on the 0–255 scale:
-// the radio-to-radio quality minus any artificial degradation, or 0 once
-// the link is broken or out of range. This is what the thesis' roaming and
-// handover threads continuously monitor.
+// the radio-to-radio quality minus any artificial degradation and
+// impairment penalty, or 0 once the link is broken, out of range, or in an
+// impairment burst outage. This is what the thesis' roaming and handover
+// threads continuously monitor.
 func (c *Conn) Quality() int {
 	if c.link.brokenErr() != nil {
 		return 0
 	}
+	penalty, outage := c.link.impairPenalty()
+	if outage {
+		return 0
+	}
 	base := c.local.QualityTo(c.remote.addr)
-	q := float64(base) - c.link.bias()
+	q := float64(base) - c.link.bias() - float64(penalty)
 	return int(rng.Clamp(q, 0, QualityMax))
 }
 
@@ -170,12 +190,29 @@ func (c *Conn) Quality() int {
 // units per simulated second from now on, reproducing the thesis'
 // simulation device: "we simulate the first connection deterioration
 // subtracting the monitored link quality value artificially by 1 every
-// second" (§5.2.1). A rate of 0 cancels degradation.
+// second" (§5.2.1). A second call replaces the rate: degradation accrued
+// so far is kept (quality never snaps back up) and decay continues at the
+// new rate — the two rates never stack. A rate of 0 cancels degradation
+// entirely, discarding the accrued penalty. Calling on a broken link is a
+// no-op.
 func (c *Conn) StartDegradation(rate float64) {
-	c.link.mu.Lock()
-	c.link.biasRate = rate
-	c.link.biasStart = c.link.w.clk.Now()
-	c.link.mu.Unlock()
+	lk := c.link
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.broken {
+		return
+	}
+	now := lk.w.clk.Now()
+	if rate == 0 {
+		lk.biasRate, lk.biasAccrued = 0, 0
+		return
+	}
+	if lk.biasRate != 0 {
+		if elapsed := now.Sub(lk.biasStart).Seconds(); elapsed > 0 {
+			lk.biasAccrued += lk.biasRate * elapsed
+		}
+	}
+	lk.biasRate, lk.biasStart = rate, now
 }
 
 // Break forcibly severs the link (fault injection for tests/experiments).

@@ -1,0 +1,226 @@
+package simnet
+
+import (
+	"slices"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/rng"
+)
+
+// Impairment describes one direction of a link's failure weather: silent
+// frame loss, delivery jitter, Gilbert–Elliott burst outages, and a
+// measured-quality penalty. Each established link direction carries its own
+// impairment state with a forked deterministic random source, so runs
+// replay bit-identically from the world seed when the write sequence is
+// deterministic (manual-clock harnesses).
+//
+// A Write call is the simulator's unit of loss: protocol layers frame each
+// message as a single Write (phproto frames, migration records), so a
+// dropped Write is a dropped frame, never a torn one. Request/response
+// protocols with no read deadline can therefore stall on a lossy link —
+// scripted scenarios apply loss to streaming links and use blackouts or
+// partitions (which *break* links, failing readers) for control traffic.
+type Impairment struct {
+	// LossProb is the probability that one Write's payload is silently
+	// dropped while the direction is in the good state: the writer sees
+	// success, the reader never sees the bytes.
+	LossProb float64
+
+	// JitterMin/JitterMax bound extra per-write delivery latency, sampled
+	// uniformly. Like bandwidth, jitter sleeps simulated time — do not use
+	// it on a manual clock unless something else advances the clock.
+	JitterMin time.Duration
+	JitterMax time.Duration
+
+	// MeanGood and MeanBad are the Gilbert–Elliott dwell times: the
+	// direction alternates between a good and a bad state with
+	// exponentially distributed holding times. Both must be positive to
+	// enable the burst model.
+	MeanGood time.Duration
+	MeanBad  time.Duration
+
+	// BadLossProb is the per-write drop probability in the bad state;
+	// zero means 1 (a full burst outage).
+	BadLossProb float64
+
+	// QualityPenalty is subtracted from the connection's measured quality
+	// while the impairment is installed; during a bad burst the quality
+	// reads 0 (the radio looks gone), which is what link monitors and
+	// handover triggers key off.
+	QualityPenalty int
+}
+
+// burstEnabled reports whether the Gilbert–Elliott chain is configured.
+func (im Impairment) burstEnabled() bool {
+	return im.MeanGood > 0 && im.MeanBad > 0
+}
+
+// impairKey addresses one link direction in the world registry.
+type impairKey struct {
+	from, to device.Addr
+}
+
+// impairState is the live per-direction impairment: the profile plus the
+// evolving Gilbert–Elliott chain. Guarded by the owning link's mutex.
+type impairState struct {
+	prof Impairment
+	src  *rng.Source
+	bad  bool
+	// next is the scheduled time of the next good<->bad flip; zero when
+	// the burst model is disabled.
+	next time.Time
+}
+
+func newImpairState(prof Impairment, src *rng.Source, now time.Time) *impairState {
+	st := &impairState{prof: prof, src: src}
+	if prof.burstEnabled() {
+		st.next = now.Add(st.dwell(false))
+	}
+	return st
+}
+
+// dwell samples the holding time of the given state.
+func (st *impairState) dwell(bad bool) time.Duration {
+	mean := st.prof.MeanGood
+	if bad {
+		mean = st.prof.MeanBad
+	}
+	d := time.Duration(st.src.Exp(float64(mean)))
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// advance evolves the Gilbert–Elliott chain to now.
+func (st *impairState) advance(now time.Time) {
+	if st.next.IsZero() {
+		return
+	}
+	for !st.next.After(now) {
+		st.bad = !st.bad
+		st.next = st.next.Add(st.dwell(st.bad))
+	}
+}
+
+// drop decides whether one write at now is lost.
+func (st *impairState) drop(now time.Time) bool {
+	st.advance(now)
+	if st.bad {
+		p := st.prof.BadLossProb
+		if p <= 0 {
+			p = 1
+		}
+		return st.src.Bool(p)
+	}
+	return st.src.Bool(st.prof.LossProb)
+}
+
+// jitter samples this write's extra delivery latency.
+func (st *impairState) jitter() time.Duration {
+	if st.prof.JitterMax <= 0 {
+		return 0
+	}
+	lo, hi := float64(st.prof.JitterMin), float64(st.prof.JitterMax)
+	if hi < lo {
+		hi = lo
+	}
+	return time.Duration(st.src.Uniform(lo, hi))
+}
+
+// SetLinkImpairment installs (or, with nil, clears) an impairment on the
+// from->to direction of traffic between two radios: it applies to the
+// matching direction of every established link between them and to links
+// dialed later. Impair both directions for a symmetric profile; impair one
+// for asymmetric up/down degradation.
+func (w *World) SetLinkImpairment(from, to device.Addr, imp *Impairment) {
+	key := impairKey{from: from, to: to}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if imp == nil {
+		delete(w.impairments, key)
+	} else {
+		w.impairments[key] = *imp
+	}
+	// Visit live links in id order, not map order: each match consumes a
+	// fork of the world rng, so the assignment order must be identical
+	// across same-seed runs for the replay guarantee to hold.
+	ids := make([]int64, 0, len(w.links))
+	for id := range w.links {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		lk := w.links[id]
+		for _, c := range [2]*Conn{lk.a, lk.b} {
+			if c.local.addr == from && c.remote.addr == to {
+				c.setImpairment(imp, w.src, w.clk.Now())
+			}
+		}
+	}
+}
+
+// impairmentForLocked returns the registered profile for a direction.
+// Callers hold w.mu.
+func (w *World) impairmentForLocked(from, to device.Addr) (Impairment, bool) {
+	imp, ok := w.impairments[impairKey{from: from, to: to}]
+	return imp, ok
+}
+
+// SetImpairment installs (or, with nil, clears) an impairment on writes
+// from this endpoint to its peer, for this link only. World-level
+// registrations via SetLinkImpairment outlive the link; this does not.
+func (c *Conn) SetImpairment(imp *Impairment) {
+	c.setImpairment(imp, c.link.w.src, c.link.w.clk.Now())
+}
+
+func (c *Conn) setImpairment(imp *Impairment, src *rng.Source, now time.Time) {
+	c.link.mu.Lock()
+	defer c.link.mu.Unlock()
+	if imp == nil {
+		c.imp = nil
+		return
+	}
+	c.imp = newImpairState(*imp, src.Fork(), now)
+}
+
+// dropWrite decides whether c's write of one payload is lost to
+// impairment, evolving the burst chain as a side effect.
+func (lk *link) dropWrite(c *Conn) bool {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if c.imp == nil {
+		return false
+	}
+	return c.imp.drop(lk.w.clk.Now())
+}
+
+// writeJitter samples c's extra delivery latency for one write.
+func (lk *link) writeJitter(c *Conn) time.Duration {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if c.imp == nil {
+		return 0
+	}
+	return c.imp.jitter()
+}
+
+// impairPenalty returns the quality penalty both directions contribute,
+// and whether either direction is in a burst outage (quality reads 0).
+func (lk *link) impairPenalty() (penalty int, outage bool) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	now := lk.w.clk.Now()
+	for _, c := range [2]*Conn{lk.a, lk.b} {
+		if c.imp == nil {
+			continue
+		}
+		c.imp.advance(now)
+		if c.imp.bad {
+			return 0, true
+		}
+		penalty += c.imp.prof.QualityPenalty
+	}
+	return penalty, false
+}

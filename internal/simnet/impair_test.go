@@ -1,0 +1,299 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+)
+
+// manualWorld returns an instant, unlimited-bandwidth world on a manual
+// clock (writes must not sleep, since nothing advances the clock).
+func manualWorld(t *testing.T, seed int64) (*World, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual()
+	opts := []Option{WithQualityNoise(0)}
+	for _, tech := range device.Techs() {
+		p := DefaultParams(tech).Instant()
+		p.Bandwidth = 0
+		opts = append(opts, WithParams(tech, p))
+	}
+	w := NewWorld(clk, seed, opts...)
+	t.Cleanup(func() { w.Close() })
+	return w, clk
+}
+
+// dialPair connects a to b on port 10 and returns both endpoints.
+func dialPair(t *testing.T, a, b *Radio) (cli, srv *Conn) {
+	t.Helper()
+	l, err := b.Listen(10)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv, err = l.Accept()
+	}()
+	cli, derr := a.Dial(b.Addr(), 10)
+	if derr != nil {
+		t.Fatalf("Dial: %v", derr)
+	}
+	<-done
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	return cli, srv
+}
+
+func TestImpairmentLossDropsWholeWrites(t *testing.T) {
+	w, _ := manualWorld(t, 7)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(1, 0))
+	cli, srv := dialPair(t, a, b)
+
+	cli.SetImpairment(&Impairment{LossProb: 1})
+	for i := 0; i < 5; i++ {
+		if n, err := cli.Write([]byte("gone")); err != nil || n != 4 {
+			t.Fatalf("lossy write: n=%d err=%v", n, err)
+		}
+	}
+	if got := w.Stats().MessagesDropped; got != 5 {
+		t.Fatalf("MessagesDropped = %d, want 5", got)
+	}
+
+	// Clearing the impairment lets bytes through again, whole-frame: the
+	// reader sees exactly the surviving writes, no fragments.
+	cli.SetImpairment(nil)
+	if _, err := cli.Write([]byte("kept")); err != nil {
+		t.Fatalf("clean write: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := srv.Read(buf)
+	if err != nil || string(buf[:n]) != "kept" {
+		t.Fatalf("read = %q, %v; want \"kept\"", buf[:n], err)
+	}
+}
+
+func TestImpairmentBurstOutageAndQuality(t *testing.T) {
+	w, clk := manualWorld(t, 7)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(1, 0))
+	cli, _ := dialPair(t, a, b)
+
+	base := cli.Quality()
+	if base == 0 {
+		t.Fatal("baseline quality 0")
+	}
+
+	cli.SetImpairment(&Impairment{
+		MeanGood:       2 * time.Second,
+		MeanBad:        2 * time.Second,
+		QualityPenalty: 30,
+	})
+	if q := cli.Quality(); q != base-30 {
+		t.Fatalf("good-state quality = %d, want %d", q, base-30)
+	}
+
+	// Advance far enough that the Gilbert–Elliott chain must have flipped
+	// through a bad state at least once; sample densely to catch one.
+	sawOutage, sawGood := false, false
+	for i := 0; i < 400 && !(sawOutage && sawGood); i++ {
+		clk.Advance(100 * time.Millisecond)
+		switch q := cli.Quality(); q {
+		case 0:
+			sawOutage = true
+		case base - 30:
+			sawGood = true
+		default:
+			t.Fatalf("quality = %d, want 0 or %d", q, base-30)
+		}
+	}
+	if !sawOutage || !sawGood {
+		t.Fatalf("burst chain never alternated: outage=%v good=%v", sawOutage, sawGood)
+	}
+}
+
+func TestImpairmentDeterministicReplay(t *testing.T) {
+	run := func() (dropped int64, pattern []bool) {
+		w, clk := manualWorld(t, 99)
+		defer w.Close()
+		a := addBT(t, w, "a", geo.Pt(0, 0))
+		b := addBT(t, w, "b", geo.Pt(1, 0))
+		cli, _ := dialPair(t, a, b)
+		cli.SetImpairment(&Impairment{
+			LossProb: 0.3,
+			MeanGood: time.Second,
+			MeanBad:  500 * time.Millisecond,
+		})
+		before := w.Stats().MessagesDropped
+		for i := 0; i < 200; i++ {
+			clk.Advance(50 * time.Millisecond)
+			prev := w.Stats().MessagesDropped
+			if _, err := cli.Write([]byte("x")); err != nil {
+				panic(err)
+			}
+			pattern = append(pattern, w.Stats().MessagesDropped > prev)
+		}
+		return w.Stats().MessagesDropped - before, pattern
+	}
+	d1, p1 := run()
+	d2, p2 := run()
+	if d1 != d2 {
+		t.Fatalf("drop counts differ: %d vs %d", d1, d2)
+	}
+	if d1 == 0 || d1 == 200 {
+		t.Fatalf("degenerate drop count %d", d1)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("drop pattern diverges at write %d", i)
+		}
+	}
+}
+
+func TestSetLinkImpairmentAppliesToLiveAndFutureLinks(t *testing.T) {
+	w, _ := manualWorld(t, 3)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(1, 0))
+	cli, srv := dialPair(t, a, b)
+
+	w.SetLinkImpairment(a.Addr(), b.Addr(), &Impairment{LossProb: 1})
+	if _, err := cli.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// The reverse direction is untouched (asymmetric degradation).
+	if _, err := srv.Write([]byte("up")); err != nil {
+		t.Fatalf("reverse write: %v", err)
+	}
+	buf := make([]byte, 8)
+	if n, err := cli.Read(buf); err != nil || string(buf[:n]) != "up" {
+		t.Fatalf("reverse read = %q, %v", buf[:n], err)
+	}
+	if got := w.Stats().MessagesDropped; got != 1 {
+		t.Fatalf("MessagesDropped = %d, want 1", got)
+	}
+
+	// A future link between the same radios inherits the registration.
+	cli.Close()
+	srv.Close()
+	cli2, _ := dialPair(t, a, b)
+	if _, err := cli2.Write([]byte("y")); err != nil {
+		t.Fatalf("write on new link: %v", err)
+	}
+	if got := w.Stats().MessagesDropped; got != 2 {
+		t.Fatalf("MessagesDropped = %d, want 2", got)
+	}
+
+	// Clearing the registration restores delivery on new links.
+	w.SetLinkImpairment(a.Addr(), b.Addr(), nil)
+	cli2.Close()
+	cli3, srv3 := dialPair(t, a, b)
+	if _, err := cli3.Write([]byte("z")); err != nil {
+		t.Fatalf("write after clear: %v", err)
+	}
+	if n, err := srv3.Read(buf); err != nil || string(buf[:n]) != "z" {
+		t.Fatalf("read after clear = %q, %v", buf[:n], err)
+	}
+}
+
+func TestLinkFilterSeversDiscoversAndDials(t *testing.T) {
+	w, _ := manualWorld(t, 5)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(1, 0))
+	cli, _ := dialPair(t, a, b)
+
+	block := func(x, y *Radio) bool {
+		n1, n2 := x.Device().Name(), y.Device().Name()
+		return !(n1 == "a" && n2 == "b" || n1 == "b" && n2 == "a")
+	}
+	w.SetLinkFilter(block)
+
+	// The installed filter severed the existing link.
+	if _, err := cli.Write([]byte("x")); err == nil {
+		t.Fatal("write on filtered link succeeded")
+	}
+	// Inquiries no longer see the peer; dials fail as out of range.
+	if res := a.Inquire(); len(res) != 0 {
+		t.Fatalf("inquiry found %d radios through the filter", len(res))
+	}
+	if q := a.QualityTo(b.Addr()); q != 0 {
+		t.Fatalf("QualityTo through filter = %d, want 0", q)
+	}
+	if _, err := a.Dial(b.Addr(), 10); err == nil {
+		t.Fatal("dial through filter succeeded")
+	}
+
+	// Healing restores everything.
+	w.SetLinkFilter(nil)
+	if res := a.Inquire(); len(res) != 1 {
+		t.Fatalf("inquiry after heal found %d radios, want 1", len(res))
+	}
+}
+
+func TestStartDegradationReplacesWithoutSnapBack(t *testing.T) {
+	w, clk := manualWorld(t, 11)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(1, 0))
+	cli, _ := dialPair(t, a, b)
+
+	base := cli.Quality()
+	cli.StartDegradation(2)
+	clk.Advance(5 * time.Second)
+	if q := cli.Quality(); q != base-10 {
+		t.Fatalf("after 5s at rate 2: quality = %d, want %d", q, base-10)
+	}
+
+	// Replacing the rate keeps the accrued 10 units and continues at the
+	// new rate — neither snapping back to base nor stacking both rates.
+	cli.StartDegradation(1)
+	if q := cli.Quality(); q != base-10 {
+		t.Fatalf("immediately after replace: quality = %d, want %d", q, base-10)
+	}
+	clk.Advance(4 * time.Second)
+	if q := cli.Quality(); q != base-14 {
+		t.Fatalf("4s after replace: quality = %d, want %d (accrued 10 + 4×1)", q, base-14)
+	}
+
+	// Rate 0 cancels degradation entirely.
+	cli.StartDegradation(0)
+	if q := cli.Quality(); q != base {
+		t.Fatalf("after cancel: quality = %d, want %d", q, base)
+	}
+}
+
+func TestStartDegradationBreakRace(t *testing.T) {
+	// Concurrent StartDegradation, Quality, and Break must be race-clean
+	// (run under -race), and StartDegradation after Break a no-op.
+	w, _ := manualWorld(t, 13)
+	a := addBT(t, w, "a", geo.Pt(0, 0))
+	b := addBT(t, w, "b", geo.Pt(1, 0))
+	cli, _ := dialPair(t, a, b)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(rate float64) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				cli.StartDegradation(rate)
+				_ = cli.Quality()
+			}
+		}(float64(i))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cli.Break()
+	}()
+	wg.Wait()
+
+	cli.StartDegradation(5)
+	if q := cli.Quality(); q != 0 {
+		t.Fatalf("quality on broken link = %d, want 0", q)
+	}
+}

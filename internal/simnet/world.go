@@ -63,6 +63,9 @@ type Stats struct {
 	LinksBroken       int64
 	BytesWritten      int64
 	MessagesDelivered int64
+	// MessagesDropped counts writes silently lost to link impairments
+	// (fault injection; see Impairment).
+	MessagesDropped int64
 	// GridRefreshes counts full re-indexing passes of the spatial grid;
 	// InquiryCandidates sums the radios examined per inquiry (for a full
 	// scan this grows by the world's radio count each inquiry, for the
@@ -116,6 +119,13 @@ type World struct {
 	params       map[device.Tech]TechParams
 	qualityNoise float64
 	stats        Stats
+	// linkFilter, when set, vetoes radio pairs: a pair it rejects cannot
+	// discover each other, dial, or keep an established link (fault
+	// injection: partitions, regional blackouts).
+	linkFilter func(a, b *Radio) bool
+	// impairments maps a directional radio pair to the impairment applied
+	// to links dialed between them (see SetLinkImpairment).
+	impairments map[impairKey]Impairment
 
 	checkStop chan struct{}
 	checkDone chan struct{}
@@ -140,6 +150,7 @@ func NewWorld(clk clock.Clock, seed int64, opts ...Option) *World {
 		listeners:    make(map[listenKey]*Listener),
 		links:        make(map[int64]*link),
 		params:       make(map[device.Tech]TechParams),
+		impairments:  make(map[impairKey]Impairment),
 		qualityNoise: 3,
 	}
 	for _, t := range device.Techs() {
@@ -173,6 +184,35 @@ func (w *World) SetParams(t device.Tech, p TechParams) {
 		delete(w.grids, t)
 	}
 	w.params[t] = p
+}
+
+// SetLinkFilter installs (or, with nil, clears) a radio-pair veto: a pair
+// the filter rejects cannot discover each other, dial, or keep an
+// established link — existing links between vetoed pairs are broken
+// immediately. The fault plane composes partitions and regional blackouts
+// into this single hook; the filter must be symmetric in its arguments and
+// must not call back into the World.
+func (w *World) SetLinkFilter(f func(a, b *Radio) bool) {
+	w.mu.Lock()
+	w.linkFilter = f
+	w.mu.Unlock()
+	if f != nil {
+		w.CheckLinks()
+	}
+}
+
+// allowedLocked reports whether the link filter permits the pair. Callers
+// hold w.mu.
+func (w *World) allowedLocked(a, b *Radio) bool {
+	return w.linkFilter == nil || w.linkFilter(a, b)
+}
+
+// allowed is allowedLocked for callers not holding w.mu.
+func (w *World) allowed(a, b *Radio) bool {
+	w.mu.Lock()
+	f := w.linkFilter
+	w.mu.Unlock()
+	return f == nil || f(a, b)
 }
 
 // Stats returns a snapshot of the world counters.
@@ -441,6 +481,9 @@ func (r *Radio) Inquire() []InquiryResult {
 		if other.dev.IsDown() {
 			continue
 		}
+		if !r.w.allowedLocked(r, other) {
+			continue
+		}
 		// Asymmetric technologies: a radio whose own inquiry overlapped any
 		// part of our inquiry window was not discoverable during it.
 		if p.Asymmetric && other.inquiringUntil.After(start) {
@@ -468,6 +511,9 @@ func (r *Radio) QualityTo(a device.Addr) int {
 		return 0
 	}
 	if r.dev.IsDown() || other.dev.IsDown() {
+		return 0
+	}
+	if !r.w.allowed(r, other) {
 		return 0
 	}
 	p := r.w.Params(r.addr.Tech)
@@ -585,6 +631,14 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 			w.mu.Unlock()
 			return nil, fmt.Errorf("%w: %v", ErrOutOfRange, to)
 		}
+		// A filtered pair (partition, blackout) is indistinguishable from
+		// an out-of-coverage one at the radio level.
+		if !w.allowed(r, target) {
+			w.mu.Lock()
+			w.stats.DialsOutOfRange++
+			w.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrOutOfRange, to)
+		}
 		return target, nil
 	}
 
@@ -620,6 +674,12 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 	}
 	w.nextLinkID++
 	lk := newLink(w, w.nextLinkID, r, target, p.Bandwidth)
+	if imp, ok := w.impairmentForLocked(r.addr, to); ok {
+		lk.a.imp = newImpairState(imp, w.src.Fork(), w.clk.Now())
+	}
+	if imp, ok := w.impairmentForLocked(to, r.addr); ok {
+		lk.b.imp = newImpairState(imp, w.src.Fork(), w.clk.Now())
+	}
 	w.links[lk.id] = lk
 	w.stats.DialsSucceeded++
 	w.mu.Unlock()
@@ -662,6 +722,9 @@ func (w *World) CheckLinks() int {
 func (w *World) linkAliveLocked(lk *link) bool {
 	ra, rb := lk.a.local, lk.b.local
 	if ra.dev.IsDown() || rb.dev.IsDown() {
+		return false
+	}
+	if !w.allowedLocked(ra, rb) {
 		return false
 	}
 	p := w.params[ra.addr.Tech]

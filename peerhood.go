@@ -34,6 +34,7 @@ import (
 	"peerhood/internal/device"
 	"peerhood/internal/discovery"
 	"peerhood/internal/events"
+	"peerhood/internal/faultplane"
 	"peerhood/internal/geo"
 	"peerhood/internal/handover"
 	"peerhood/internal/library"
@@ -90,6 +91,30 @@ type (
 	// LinkState is one monitored link's trend state (level, slope,
 	// classification, predicted time-to-threshold).
 	LinkState = linkmon.State
+	// Impairment is a per-link-direction failure-weather profile: silent
+	// frame loss, delivery jitter, Gilbert–Elliott burst outages, and a
+	// measured-quality penalty (fault injection).
+	Impairment = simnet.Impairment
+	// FaultScript is an ordered, clock-scheduled list of fault events
+	// (partitions, blackouts, impairments, crash/restart churn) plus
+	// assertions — declarative failure weather for a world.
+	FaultScript = faultplane.Script
+	// FaultEvent schedules one fault action at a time offset.
+	FaultEvent = faultplane.Event
+	// Rect is an axis-aligned region, used by blackout events.
+	Rect = geo.Rect
+
+	// The fault actions, so a whole script can be written against this
+	// package alone (internal/faultplane is unreachable from outside the
+	// module).
+	FaultPartition   = faultplane.Partition
+	FaultBlackout    = faultplane.Blackout
+	FaultImpair      = faultplane.Impair
+	FaultClearImpair = faultplane.ClearImpair
+	FaultHeal        = faultplane.Heal
+	FaultCrash       = faultplane.Crash
+	FaultRestart     = faultplane.Restart
+	FaultCheck       = faultplane.Check
 )
 
 // Re-exported constants.
@@ -156,6 +181,11 @@ type WorldConfig struct {
 	// original full-scan neighbour lookup — the reference behaviour for
 	// equivalence tests and A/B benchmarks.
 	LinearScan bool
+	// Clock, if set, drives the world directly and overrides TimeScale.
+	// Scripted fault scenarios pass clock.NewManual() here so the whole
+	// run — including the fault plane's schedule — replays
+	// bit-identically from the seed.
+	Clock clock.Clock
 }
 
 // World is a simulated wireless environment holding PeerHood nodes.
@@ -165,14 +195,18 @@ type World struct {
 
 	mu    sync.Mutex
 	nodes []*Node
+	fault *faultplane.Plane
 }
 
 // NewWorld creates a simulated world.
 func NewWorld(cfg WorldConfig) *World {
 	var clk clock.Clock
-	if cfg.TimeScale > 1 {
+	switch {
+	case cfg.Clock != nil:
+		clk = cfg.Clock
+	case cfg.TimeScale > 1:
 		clk = clock.Scaled(cfg.TimeScale)
-	} else {
+	default:
 		clk = clock.Real()
 	}
 	var opts []simnet.Option
@@ -195,6 +229,44 @@ func NewWorld(cfg WorldConfig) *World {
 // Sim exposes the underlying simulator for advanced scenarios (fault
 // injection, parameter overrides in experiments).
 func (w *World) Sim() *simnet.World { return w.sim }
+
+// Fault returns the world's fault-injection plane, creating it (and
+// installing its link filter) on first use. Load a FaultScript on it to
+// schedule partitions, regional blackouts, link impairments, and node
+// crash/restart churn; crash and restart events resolve node names against
+// this world's nodes.
+func (w *World) Fault() *faultplane.Plane {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fault == nil {
+		p, err := faultplane.New(faultplane.Config{
+			World: w.sim,
+			Clock: w.clk,
+			Resolve: func(name string) (faultplane.NodeHandle, bool) {
+				n, ok := w.findNode(name)
+				return n, ok
+			},
+		})
+		if err != nil {
+			// Unreachable: the world is always non-nil here.
+			panic(err)
+		}
+		w.fault = p
+	}
+	return w.fault
+}
+
+// findNode returns the named node.
+func (w *World) findNode(name string) (*Node, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, n := range w.nodes {
+		if n.Name() == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
 
 // Clock returns the world's clock.
 func (w *World) Clock() clock.Clock { return w.clk }
@@ -276,19 +348,28 @@ type NodeConfig struct {
 	// LinkWindow is the link monitor's trend window in samples (0 =
 	// linkmon default, 8); larger windows average out more quality noise.
 	LinkWindow int
+	// MaxMissedLoops is how many discovery rounds a stored device may go
+	// unseen before it ages out (0 = storage default, 2). Fault-heavy
+	// scenarios raise it so short blackouts do not wipe whole tables.
+	MaxMissedLoops int
 }
 
 // Node is one PeerHood device: daemon + library + bridge, ready to
-// register services and connect.
+// register services and connect. The daemon/library/bridge stack can be
+// torn down and rebuilt by Crash/Restart (fault-plane churn) while the
+// simulated device and its radios stay in the world.
 type Node struct {
-	world  *World
-	dev    *simnet.Device
-	daemon *daemon.Daemon
-	lib    *library.Library
-	bridge *bridge.Service
+	world *World
+	dev   *simnet.Device
+	cfg   NodeConfig
+	techs []Tech
 
 	mu      sync.Mutex
+	daemon  *daemon.Daemon
+	lib     *library.Library
+	bridge  *bridge.Service
 	threads []*handover.Thread
+	crashed bool
 	stopped bool
 }
 
@@ -310,8 +391,29 @@ func (w *World) NewNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, t := range techs {
+		if _, err := dev.AddRadio(t); err != nil {
+			return nil, err
+		}
+	}
 
-	n := &Node{world: w, dev: dev}
+	n := &Node{world: w, dev: dev, cfg: cfg, techs: techs}
+	if err := n.start(); err != nil {
+		return nil, err
+	}
+
+	w.mu.Lock()
+	w.nodes = append(w.nodes, n)
+	w.mu.Unlock()
+	return n, nil
+}
+
+// start builds and starts the node's daemon, library, and bridge on the
+// device's existing radios. NewNode calls it once; Restart calls it again
+// after a Crash, which is why a fresh daemon (and so a fresh storage
+// epoch) is built every time.
+func (n *Node) start() error {
+	cfg, w := n.cfg, n.world
 
 	// Bridge load feeds the daemon's advertised-quality penalty (§4).
 	loadPenalty := func() int {
@@ -335,23 +437,23 @@ func (w *World) NewNode(cfg NodeConfig) (*Node, error) {
 		LoadPenalty:          loadPenalty,
 		LinkHorizon:          cfg.LinkHorizon,
 		LinkWindow:           cfg.LinkWindow,
+		MaxMissedLoops:       cfg.MaxMissedLoops,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	for _, t := range techs {
-		radio, err := dev.AddRadio(t)
-		if err != nil {
-			return nil, err
+	for _, t := range n.techs {
+		radio, ok := n.dev.Radio(t)
+		if !ok {
+			return fmt.Errorf("peerhood: device %q lost its %v radio", cfg.Name, t)
 		}
 		if err := d.AddPlugin(pluginFor(w.sim, radio)); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := d.Start(cfg.AutoDiscover); err != nil {
-		return nil, err
+		return err
 	}
-	n.daemon = d
 
 	lib, err := library.New(library.Config{
 		Daemon:      d,
@@ -360,38 +462,121 @@ func (w *World) NewNode(cfg NodeConfig) (*Node, error) {
 	})
 	if err != nil {
 		d.Stop()
-		return nil, err
+		return err
 	}
 	if err := lib.Start(); err != nil {
 		d.Stop()
-		return nil, err
+		return err
 	}
-	n.lib = lib
 
+	var b *bridge.Service
 	if !cfg.DisableBridge {
-		b, err := bridge.Attach(bridge.Config{Library: lib, MaxPairs: cfg.BridgeMaxPairs})
+		b, err = bridge.Attach(bridge.Config{Library: lib, MaxPairs: cfg.BridgeMaxPairs})
 		if err != nil {
 			lib.Stop()
 			d.Stop()
-			return nil, err
+			return err
 		}
-		n.mu.Lock()
-		n.bridge = b
-		n.mu.Unlock()
 	}
 
-	w.mu.Lock()
-	w.nodes = append(w.nodes, n)
-	w.mu.Unlock()
-	return n, nil
+	n.mu.Lock()
+	n.daemon, n.lib, n.bridge = d, lib, b
+	n.mu.Unlock()
+	return nil
+}
+
+// d returns the node's current daemon.
+func (n *Node) d() *daemon.Daemon {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.daemon
+}
+
+// l returns the node's current library.
+func (n *Node) l() *library.Library {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lib
 }
 
 // Name returns the node's device name.
-func (n *Node) Name() string { return n.daemon.Name() }
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Crash tears the node's daemon, library, and bridge down abruptly,
+// leaving registered handover threads orphaned (their monitored
+// connections die with the library) and the simulated device in the
+// world. It implements the fault plane's NodeHandle; a faultplane.Crash
+// event also powers the device's radios down. Idempotent.
+func (n *Node) Crash() error {
+	n.mu.Lock()
+	if n.crashed || n.stopped {
+		n.mu.Unlock()
+		return nil
+	}
+	n.crashed = true
+	threads := n.threads
+	n.threads = nil
+	b := n.bridge
+	lib, d := n.lib, n.daemon
+	n.bridge = nil
+	n.mu.Unlock()
+
+	for _, th := range threads {
+		th.Stop()
+	}
+	if b != nil {
+		_ = b.Close()
+	}
+	lib.Stop()
+	d.Stop()
+	return nil
+}
+
+// Restart rebuilds a crashed node's daemon, library, and bridge on the
+// same radios. The replacement daemon starts with an empty storage table
+// and a fresh epoch: peers that had delta-synced with the old instance
+// detect the restart on their next fetch and fall back to a full
+// neighbourhood resync — the recovery path the fault plane's churn events
+// exist to exercise.
+func (n *Node) Restart() error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return errors.New("peerhood: Restart on a stopped node")
+	}
+	if !n.crashed {
+		n.mu.Unlock()
+		return errors.New("peerhood: Restart on a node that was not crashed")
+	}
+	n.mu.Unlock()
+
+	if err := n.start(); err != nil {
+		return err
+	}
+	// A Stop may have raced the rebuild (a background fault script
+	// restarting a node while the world shuts down): it saw crashed=true
+	// and stopped nothing, so the components start() just built are ours
+	// to tear down.
+	n.mu.Lock()
+	if n.stopped {
+		b, lib, d := n.bridge, n.lib, n.daemon
+		n.bridge = nil
+		n.mu.Unlock()
+		if b != nil {
+			_ = b.Close()
+		}
+		lib.Stop()
+		d.Stop()
+		return errors.New("peerhood: node stopped during Restart")
+	}
+	n.crashed = false
+	n.mu.Unlock()
+	return nil
+}
 
 // Addr returns the node's primary (first-technology) radio address.
 func (n *Node) Addr() Addr {
-	ps := n.daemon.Plugins()
+	ps := n.d().Plugins()
 	if len(ps) == 0 {
 		return Addr{}
 	}
@@ -400,7 +585,7 @@ func (n *Node) Addr() Addr {
 
 // AddrFor returns the node's radio address for a technology.
 func (n *Node) AddrFor(t Tech) (Addr, bool) {
-	p, ok := n.daemon.PluginFor(t)
+	p, ok := n.d().PluginFor(t)
 	if !ok {
 		return Addr{}, false
 	}
@@ -409,19 +594,19 @@ func (n *Node) AddrFor(t Tech) (Addr, bool) {
 
 // Info returns the descriptor the node advertises on its primary radio.
 func (n *Node) Info() DeviceInfo {
-	ps := n.daemon.Plugins()
+	ps := n.d().Plugins()
 	if len(ps) == 0 {
 		return DeviceInfo{}
 	}
-	info, _ := n.daemon.InfoFor(ps[0].Tech())
+	info, _ := n.d().InfoFor(ps[0].Tech())
 	return info
 }
 
 // Library exposes the node's PeerHood library.
-func (n *Node) Library() *library.Library { return n.lib }
+func (n *Node) Library() *library.Library { return n.l() }
 
 // Daemon exposes the node's daemon.
-func (n *Node) Daemon() *daemon.Daemon { return n.daemon }
+func (n *Node) Daemon() *daemon.Daemon { return n.d() }
 
 // BridgeService exposes the node's bridge (nil if disabled).
 func (n *Node) BridgeService() *bridge.Service {
@@ -442,36 +627,36 @@ func (n *Node) Position() Point { return n.dev.Position() }
 // RegisterService registers a named service with a connection handler
 // (the thesis' RegisterService + Engine callback pair).
 func (n *Node) RegisterService(name, attr string, h Handler) (ServiceInfo, error) {
-	return n.lib.RegisterService(name, attr, h)
+	return n.l().RegisterService(name, attr, h)
 }
 
 // UnregisterService removes a service.
-func (n *Node) UnregisterService(name string) { n.lib.UnregisterService(name) }
+func (n *Node) UnregisterService(name string) { n.l().UnregisterService(name) }
 
 // Devices returns the node's device storage (GetDeviceList).
-func (n *Node) Devices() []Entry { return n.lib.GetDeviceList() }
+func (n *Node) Devices() []Entry { return n.l().GetDeviceList() }
 
 // Providers returns known providers of a named service (GetServiceList).
 func (n *Node) Providers(service string) []ServiceProvider {
-	return n.lib.GetServiceList(service)
+	return n.l().GetServiceList(service)
 }
 
 // LookupDevice returns the storage entry for an address.
 func (n *Node) LookupDevice(a Addr) (Entry, bool) {
-	return n.daemon.Storage().Lookup(a)
+	return n.d().Storage().Lookup(a)
 }
 
 // FindDevice returns the storage entry for a device name.
 func (n *Node) FindDevice(name string) (Entry, bool) {
-	return n.daemon.Storage().FindByName(name)
+	return n.d().Storage().FindByName(name)
 }
 
 // StorageTable renders the node's device storage as a table (fig 3.6).
-func (n *Node) StorageTable() string { return n.daemon.Storage().String() }
+func (n *Node) StorageTable() string { return n.d().Storage().String() }
 
 // RunDiscoveryRound performs one synchronous discovery round on every
 // attached plugin.
-func (n *Node) RunDiscoveryRound() { n.daemon.RunDiscoveryRound() }
+func (n *Node) RunDiscoveryRound() { n.d().RunDiscoveryRound() }
 
 // Events subscribes to the node's neighbourhood event bus: device
 // appearances and losses from discovery, link degradation predictions
@@ -479,18 +664,18 @@ func (n *Node) RunDiscoveryRound() { n.daemon.RunDiscoveryRound() }
 // mask subscribes to everything. Close the subscription when done; it
 // also closes when the node stops.
 func (n *Node) Events(mask EventMask) *EventSubscription {
-	return n.lib.Events(mask)
+	return n.l().Events(mask)
 }
 
 // LinkStates snapshots the link monitor's view of every observed link.
 func (n *Node) LinkStates() []LinkState {
-	return n.daemon.LinkMonitor().States()
+	return n.d().LinkMonitor().States()
 }
 
 // Connect establishes a connection to a named service on a target device,
 // directly or through bridges, using the best stored route.
 func (n *Node) Connect(target Addr, service string, opts ...library.ConnectOption) (*Connection, error) {
-	return n.lib.Connect(target, service, opts...)
+	return n.l().Connect(target, service, opts...)
 }
 
 // WithClientInfo re-exports the Connect option enabling server dial-back
@@ -524,7 +709,7 @@ type HandoverConfig struct {
 // ManualSteps) starts it. The node stops it on Stop.
 func (n *Node) MonitorHandover(conn *Connection, cfg HandoverConfig) (*HandoverThread, error) {
 	th, err := handover.New(handover.Config{
-		Library:              n.lib,
+		Library:              n.l(),
 		Conn:                 conn,
 		Threshold:            cfg.Threshold,
 		LowLimit:             cfg.LowLimit,
@@ -551,6 +736,8 @@ func (n *Node) MonitorHandover(conn *Connection, cfg HandoverConfig) (*HandoverT
 }
 
 // Stop shuts the node down: handover threads, bridge, library, daemon.
+// A crashed node's components are already stopped; Stop then only seals
+// the node against Restart.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	if n.stopped {
@@ -558,18 +745,23 @@ func (n *Node) Stop() {
 		return
 	}
 	n.stopped = true
+	crashed := n.crashed
 	threads := n.threads
 	b := n.bridge
+	lib, d := n.lib, n.daemon
 	n.mu.Unlock()
 
+	if crashed {
+		return
+	}
 	for _, th := range threads {
 		th.Stop()
 	}
 	if b != nil {
 		_ = b.Close()
 	}
-	n.lib.Stop()
-	n.daemon.Stop()
+	lib.Stop()
+	d.Stop()
 }
 
 // pluginFor wraps a simulated radio in the plugin interface.
