@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` text output into a small
+// JSON document, for the benchmark trajectory: each PR runs the grid,
+// sync, and handover benches, writes BENCH_<pr>.json, and CI uploads it as
+// an artifact, so ns/op and allocs/op can be compared across the repo's
+// history without re-running old commits.
+//
+// Usage:
+//
+//	go test -run=NONE -bench='Storage|S1CityBlock|RoutingHandover' \
+//	    -benchmem -benchtime=1x ./... | go run ./cmd/benchjson -pr pr5
+//
+// Lines that are not benchmark results (package headers, PASS/ok) are
+// ignored, so the whole `go test` stream can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted trajectory point.
+type Document struct {
+	PR         string      `json:"pr"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Generated  time.Time   `json:"generated"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	pr := flag.String("pr", "", "trajectory label, e.g. pr5 or a commit sha (required)")
+	out := flag.String("out", "", "output path (default BENCH_<pr>.json)")
+	flag.Parse()
+	if *pr == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -pr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *pr)
+	}
+
+	doc := Document{
+		PR:        *pr,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the stream so benchjson composes into pipelines without
+		// swallowing the human-readable output.
+		fmt.Println(line)
+		if b, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: reading stdin: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark result lines on stdin")
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), path)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   100   123456 ns/op   789 B/op   12 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: trimProcs(fields[0]), Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = val
+			seen = true
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		}
+	}
+	return b, seen
+}
+
+// trimProcs drops the -GOMAXPROCS suffix from a benchmark name.
+func trimProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -9,12 +9,18 @@
 //
 // Usage:
 //
-//	phctl -addr 127.0.0.1:7001 [device|services|neighborhood|digest|all]
+//	phctl -addr 127.0.0.1:7001 [device|services|neighborhood|devices|digest|all]
 //	phctl -addr 127.0.0.1:7001 watch [event-type ...]
+//
+// The devices subcommand fetches the neighbourhood through the versioned
+// sync exchange (negotiating sibling advertisements) and renders it
+// grouped by cross-interface device identity: one block per physical
+// device, one row per radio interface with its technology.
 //
 // Event types for watch: device-appeared, device-lost, link-degrading,
 // link-recovered, link-lost, handover-started, handover-completed,
-// handover-failed. No types means everything.
+// handover-failed, vertical-handover. No types means everything;
+// vertical-handover lines (bearer-technology changes) are marked with ⇅.
 package main
 
 import (
@@ -79,6 +85,12 @@ func main() {
 			fmt.Printf("  %v\n", s)
 		}
 	}
+	if what == "devices" {
+		if err := showDevices(conn); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if what == "neighborhood" || what == "all" {
 		nb, err := fetch[*phproto.Neighborhood](conn, phproto.InfoNeighborhood)
 		if err != nil {
@@ -113,6 +125,49 @@ func main() {
 		fmt.Printf("  entries:    %d\n", dg.Entries)
 		fmt.Printf("  table hash: %016x\n", dg.Hash)
 	}
+}
+
+// showDevices renders the responder's neighbourhood grouped by
+// cross-interface device identity. It negotiates the sibling-carrying
+// entry form through a first-contact versioned sync request; a legacy
+// daemon (which cannot advertise identities) still answers it with a FULL
+// table whose rows simply group as singletons.
+func showDevices(conn net.Conn) error {
+	if err := phproto.Write(conn, &phproto.NeighborhoodSyncRequest{Flags: phproto.SyncFlagSiblings}); err != nil {
+		return fmt.Errorf("requesting sync: %w", err)
+	}
+	resp, err := phproto.ReadExpect[*phproto.NeighborhoodSync](conn)
+	if err != nil {
+		return fmt.Errorf("reading sync (legacy daemon? try 'neighborhood'): %w", err)
+	}
+
+	groups := make(map[device.ID][]phproto.NeighborEntry)
+	for _, en := range resp.Entries {
+		id := en.Info.Identity()
+		groups[id] = append(groups[id], en)
+	}
+	ids := make([]device.ID, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	fmt.Printf("devices (%d identities, %d interfaces):\n", len(groups), len(resp.Entries))
+	for _, id := range ids {
+		ens := groups[id]
+		sort.Slice(ens, func(i, j int) bool { return ens[i].Info.Addr.Less(ens[j].Info.Addr) })
+		fmt.Printf("%s (%d interface(s))\n", ens[0].Info.Name, len(ens))
+		fmt.Printf("  %-5s %-28s %5s  %-28s %7s %8s\n", "TECH", "ADDR", "JUMPS", "BRIDGE", "QUALITY", "MOBILITY")
+		for _, en := range ens {
+			bridge := "-"
+			if !en.Bridge.IsZero() {
+				bridge = en.Bridge.String()
+			}
+			fmt.Printf("  %-5s %-28s %5d  %-28s %7d %8s\n",
+				en.Info.Addr.Tech, en.Info.Addr, en.Jumps, bridge, en.QualitySum, en.Info.Mobility)
+		}
+	}
+	return nil
 }
 
 // watch subscribes to the daemon's neighbourhood event stream on the
@@ -153,7 +208,13 @@ func watch(addr string, timeout time.Duration, typeNames []string) error {
 			return fmt.Errorf("event stream: %w", err)
 		}
 		ts := time.Unix(0, ev.UnixNanos).Format("15:04:05.000")
-		line := fmt.Sprintf("%s #%-6d %-19s %v", ts, ev.Seq, events.Type(ev.Type), ev.Addr)
+		// Bearer changes are the events an adaptive application reacts to;
+		// mark them so they stand out of the stream.
+		marker := "  "
+		if events.Type(ev.Type) == events.VerticalHandover {
+			marker = "⇅ "
+		}
+		line := fmt.Sprintf("%s%s #%-6d %-19s %v", marker, ts, ev.Seq, events.Type(ev.Type), ev.Addr)
 		if ev.Quality >= 0 {
 			line += fmt.Sprintf(" q=%d", ev.Quality)
 		}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +46,13 @@ type Config struct {
 	// handshake (baseline for experiment S2). The responder still answers
 	// sync requests from peers that ask.
 	DisableDeltaSync bool
+	// DisableIdentity makes this daemon behave like a pre-identity peer on
+	// both sides of the wire: it advertises no sibling interfaces, closes
+	// the connection on InfoDeviceEx (exactly as a legacy daemon presents),
+	// strips sibling advertisements from everything it serves, and its
+	// discoverers fetch without the identity capability bit. The interop
+	// baseline for vertical handover.
+	DisableIdentity bool
 	// QualityThreshold, MaxJumps, MaxMissedLoops configure the storage;
 	// zero values take the storage defaults (230, 8, 2).
 	QualityThreshold int
@@ -190,7 +198,10 @@ func (d *Daemon) PluginFor(t device.Tech) (plugin.Plugin, bool) {
 }
 
 // InfoFor returns the descriptor this daemon advertises on the given
-// technology: identity, mobility, and registered services.
+// technology: identity, mobility, registered services, and — unless the
+// identity plane is disabled — the device's other radio interfaces as
+// sibling addresses, from which peers derive the cross-interface device
+// identity.
 func (d *Daemon) InfoFor(t device.Tech) (device.Info, bool) {
 	p, ok := d.PluginFor(t)
 	if !ok {
@@ -206,6 +217,16 @@ func (d *Daemon) InfoFor(t device.Tech) (device.Info, bool) {
 	}
 	for _, s := range d.services {
 		info.Services = append(info.Services, s)
+	}
+	if !d.cfg.DisableIdentity {
+		for _, q := range d.plugins {
+			if q.Tech() != t {
+				info.Siblings = append(info.Siblings, q.Addr())
+			}
+		}
+		sort.Slice(info.Siblings, func(i, j int) bool {
+			return info.Siblings[i].Less(info.Siblings[j])
+		})
 	}
 	return info, true
 }
@@ -298,6 +319,7 @@ func (d *Daemon) Start(autoDiscover bool) error {
 			ServiceCheckInterval: d.cfg.ServiceCheckInterval,
 			LegacyOneHop:         d.cfg.LegacyOneHop,
 			DisableDeltaSync:     d.cfg.DisableDeltaSync,
+			DisableIdentity:      d.cfg.DisableIdentity,
 			Bus:                  d.bus,
 			Monitor:              d.monitor,
 		})
@@ -400,6 +422,16 @@ func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
 		case *phproto.InfoRequest:
 			switch req.Kind {
 			case phproto.InfoDevice:
+				// The plain request predates the identity plane; strip the
+				// sibling advertisement so the answer stays legacy-decodable.
+				info, _ := d.InfoFor(p.Tech())
+				info.Siblings = nil
+				resp = &phproto.DeviceInfo{Info: info}
+			case phproto.InfoDeviceEx:
+				if d.cfg.DisableIdentity {
+					// Present exactly as a legacy daemon: hang up.
+					return
+				}
 				info, _ := d.InfoFor(p.Tech())
 				resp = &phproto.DeviceInfo{Info: info}
 			case phproto.InfoServices:
@@ -434,10 +466,19 @@ func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
 // while the penalty lasts and re-establishes delta sync on the first
 // unpenalised fetch.
 func (d *Daemon) neighborhoodSync(req *phproto.NeighborhoodSyncRequest) *phproto.NeighborhoodSync {
+	wantSiblings := req.Flags&phproto.SyncFlagSiblings != 0 && !d.cfg.DisableIdentity
 	if d.cfg.LoadPenalty != nil && d.cfg.LoadPenalty() > 0 {
-		return phproto.FullSync(0, 0, d.advertisedEntries())
+		entries := d.advertisedEntries()
+		if !wantSiblings {
+			entries = phproto.StripSiblings(entries)
+		}
+		return phproto.FullSync(0, 0, entries)
 	}
-	return d.store.SyncResponse(req.Epoch, req.Gen)
+	// The storage decides strip-vs-sync for non-capable fetchers under one
+	// lock: a sibling-free table keeps the normal versioned answer
+	// (including deltas), a sibling-carrying one is served stripped as an
+	// unsyncable epoch-0 snapshot.
+	return d.store.SyncResponse(req.Epoch, req.Gen, wantSiblings)
 }
 
 // advertisedEntries renders the storage for transmission, applying the

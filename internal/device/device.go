@@ -51,6 +51,34 @@ func ParseTech(s string) (Tech, error) {
 // Techs returns all known technologies in stable order.
 func Techs() []Tech { return []Tech{TechBluetooth, TechWLAN, TechGPRS} }
 
+// TechRank is a technology's static attribute profile, used by vertical-
+// handover policies to compare candidate bearers. Values are ordinal ranks,
+// not physical units: higher Bandwidth is faster, higher Cost is more
+// expensive to the user (metered GPRS vs free local radio), higher Power
+// drains the battery faster.
+type TechRank struct {
+	Bandwidth int
+	Cost      int
+	Power     int
+}
+
+// RankOf returns the attribute ranks for t. Unknown technologies rank worst
+// on every axis so policies never prefer them by accident.
+func RankOf(t Tech) TechRank {
+	switch t {
+	case TechBluetooth:
+		return TechRank{Bandwidth: 2, Cost: 1, Power: 1}
+	case TechWLAN:
+		return TechRank{Bandwidth: 3, Cost: 1, Power: 3}
+	case TechGPRS:
+		// Wide-area and always on, but slow, metered, and battery-hungry
+		// relative to its throughput.
+		return TechRank{Bandwidth: 1, Cost: 3, Power: 2}
+	default:
+		return TechRank{Bandwidth: 0, Cost: 99, Power: 99}
+	}
+}
+
 // Addr is the unique address of one radio interface: technology plus MAC.
 // The thesis uses the interface MAC address as the device-unique identifier
 // because it is unique even among interfaces of the same device (§2.3).
@@ -150,6 +178,33 @@ type Info struct {
 	Checksum uint32
 	Mobility Mobility
 	Services []ServiceInfo
+	// Siblings lists the device's other radio interfaces (§2.2's
+	// multi-plugin design made explicit on the wire): a dual-radio device
+	// advertises, on each interface, the addresses of the rest. Receivers
+	// derive the cross-interface device identity from it (Identity);
+	// legacy peers that never advertise siblings simply form singleton
+	// identities, one per interface.
+	Siblings []Addr
+}
+
+// ID is a stable cross-interface device identity: the canonical (smallest)
+// radio address among all of a device's known interfaces. Two storage
+// entries with the same ID are two radios of one physical device, which is
+// what lets handover propose "same peer, different technology" routes.
+type ID string
+
+// Identity returns the device identity derived from the descriptor: the
+// least address of {Addr} ∪ Siblings. An interface that advertises no
+// siblings forms a singleton identity (the pre-identity behaviour), so
+// identities degrade gracefully for legacy peers.
+func (i Info) Identity() ID {
+	least := i.Addr
+	for _, s := range i.Siblings {
+		if s.Less(least) {
+			least = s
+		}
+	}
+	return ID(least.String())
 }
 
 // Clone returns a deep copy of i, so stored descriptors cannot alias
@@ -158,6 +213,9 @@ func (i Info) Clone() Info {
 	out := i
 	if i.Services != nil {
 		out.Services = append([]ServiceInfo(nil), i.Services...)
+	}
+	if i.Siblings != nil {
+		out.Siblings = append([]Addr(nil), i.Siblings...)
 	}
 	return out
 }

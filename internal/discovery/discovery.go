@@ -57,6 +57,13 @@ type Config struct {
 	// of experiment S2's delta-vs-full comparison.
 	DisableDeltaSync bool
 
+	// DisableIdentity makes this discoverer fetch like a pre-identity
+	// peer: plain InfoDevice instead of InfoDeviceEx, and sync requests
+	// without the SyncFlagSiblings capability bit (so responders serve
+	// legacy-form entries). The interop baseline for the cross-interface
+	// identity plane.
+	DisableIdentity bool
+
 	// Bus, if set, receives DeviceAppeared when a never-before-stored
 	// device is successfully fetched and DeviceLost when the aging sweep
 	// removes one — the discovery half of the neighbourhood event feed.
@@ -471,9 +478,10 @@ func (d *Discoverer) dialCounted(to device.Addr, rep *RoundReport) (*countingCon
 }
 
 // fetchVersioned runs the versioned exchange on one short connection:
-// device info, then the (epoch, generation) handshake, then — if the
-// response does not continue the remembered state or its digest cannot be
-// reproduced — an explicit full resync on the same connection.
+// device info (extended, so the peer's sibling interfaces ride along),
+// then the (epoch, generation) handshake, then — if the response does not
+// continue the remembered state or its digest cannot be reproduced — an
+// explicit full resync on the same connection.
 func (d *Discoverer) fetchVersioned(to device.Addr, ps *peerSync, rep *RoundReport) (device.Info, syncResult, error) {
 	cc, cleanup, err := d.dialCounted(to, rep)
 	if err != nil {
@@ -481,11 +489,22 @@ func (d *Discoverer) fetchVersioned(to device.Addr, ps *peerSync, rep *RoundRepo
 	}
 	defer cleanup()
 
-	info, err := requestDeviceInfo(cc)
+	infoKind := phproto.InfoDeviceEx
+	var flags uint8 = phproto.SyncFlagSiblings
+	if d.cfg.DisableIdentity {
+		infoKind, flags = phproto.InfoDevice, 0
+	}
+	info, err := requestDeviceInfoKind(cc, infoKind)
 	if err != nil {
+		if infoKind == phproto.InfoDeviceEx {
+			// A hang-up on InfoDeviceEx is how a pre-identity daemon
+			// presents; re-fetch with the legacy exchange (a transient
+			// fault looks the same, but the legacy verdict decays).
+			return device.Info{}, syncResult{}, fmt.Errorf("%w: %v", errSyncUnsupported, err)
+		}
 		return device.Info{}, syncResult{}, err
 	}
-	if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{Epoch: ps.epoch, Gen: ps.gen}); err != nil {
+	if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{Epoch: ps.epoch, Gen: ps.gen, Flags: flags}); err != nil {
 		return device.Info{}, syncResult{}, fmt.Errorf("discovery: requesting sync: %w", err)
 	}
 	resp, err := phproto.ReadExpect[*phproto.NeighborhoodSync](cc)
@@ -497,7 +516,7 @@ func (d *Discoverer) fetchVersioned(to device.Addr, ps *peerSync, rep *RoundRepo
 	sr, ok := ps.apply(resp)
 	if !ok {
 		// Wrong continuation or digest mismatch: resync from scratch.
-		if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{}); err != nil {
+		if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{Flags: flags}); err != nil {
 			return device.Info{}, syncResult{}, fmt.Errorf("discovery: requesting resync: %w", err)
 		}
 		full, err := phproto.ReadExpect[*phproto.NeighborhoodSync](cc)
@@ -552,7 +571,11 @@ func fetchFullConn(conn plugin.Conn) (device.Info, []phproto.NeighborEntry, erro
 }
 
 func requestDeviceInfo(conn plugin.Conn) (device.Info, error) {
-	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: phproto.InfoDevice}); err != nil {
+	return requestDeviceInfoKind(conn, phproto.InfoDevice)
+}
+
+func requestDeviceInfoKind(conn plugin.Conn, kind phproto.InfoKind) (device.Info, error) {
+	if err := phproto.Write(conn, &phproto.InfoRequest{Kind: kind}); err != nil {
 		return device.Info{}, fmt.Errorf("discovery: requesting device info: %w", err)
 	}
 	di, err := phproto.ReadExpect[*phproto.DeviceInfo](conn)

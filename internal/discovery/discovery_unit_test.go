@@ -77,6 +77,13 @@ func serveScript(c plugin.Conn, s fetchScript) {
 		case *phproto.InfoRequest:
 			switch req.Kind {
 			case phproto.InfoDevice:
+				info := s.info
+				info.Siblings = nil
+				_ = phproto.Write(c, &phproto.DeviceInfo{Info: info})
+			case phproto.InfoDeviceEx:
+				if s.store == nil && s.sync == nil {
+					return // legacy daemon: hang up on identity requests
+				}
 				_ = phproto.Write(c, &phproto.DeviceInfo{Info: s.info})
 			case phproto.InfoNeighborhood:
 				nb := s.nb
@@ -92,7 +99,7 @@ func serveScript(c plugin.Conn, s fetchScript) {
 			case s.sync != nil:
 				_ = phproto.Write(c, s.sync(req))
 			case s.store != nil:
-				_ = phproto.Write(c, s.store.SyncResponse(req.Epoch, req.Gen))
+				_ = phproto.Write(c, s.store.SyncResponse(req.Epoch, req.Gen, req.Flags&phproto.SyncFlagSiblings != 0))
 			default:
 				return // legacy daemon: hang up on the handshake
 			}

@@ -197,7 +197,7 @@ func TestSyncDigestMismatchForcesResync(t *testing.T) {
 	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
 	script := fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
 	script.sync = func(req *phproto.NeighborhoodSyncRequest) *phproto.NeighborhoodSync {
-		resp := peerStore.SyncResponse(req.Epoch, req.Gen)
+		resp := peerStore.SyncResponse(req.Epoch, req.Gen, true)
 		if !resp.Full {
 			resp.DigestHash ^= 0xBAD // corrupt every delta
 		}

@@ -43,11 +43,16 @@ const (
 	HandoverCompleted
 	// HandoverFailed fires when every candidate route failed.
 	HandoverFailed
+	// VerticalHandover fires after a transport substitution that changed
+	// the connection's bearer technology (same peer, different radio). It
+	// accompanies the HandoverCompleted of the same switch, so bearer
+	// changes are observable without parsing details.
+	VerticalHandover
 )
 
 // maxType is the highest valid Type (bounds Mask construction and wire
 // decoding).
-const maxType = HandoverFailed
+const maxType = VerticalHandover
 
 // String implements fmt.Stringer.
 func (t Type) String() string {
@@ -68,6 +73,8 @@ func (t Type) String() string {
 		return "handover-completed"
 	case HandoverFailed:
 		return "handover-failed"
+	case VerticalHandover:
+		return "vertical-handover"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}

@@ -101,6 +101,7 @@ var registry = []registration{
 	{"S2", "Dense plaza: delta vs full neighbourhood sync under churn", RunPlaza},
 	{"S3", "Commuter corridor: predictive vs reactive handover across coverage zones", RunCommuter},
 	{"S4", "Urban blackout: scripted blackouts, crash/restart churn, deterministic replay", RunBlackout},
+	{"S5", "Hotspot archipelago: policy-driven vertical handover across WLAN islands on a GPRS umbrella", RunHotspot},
 }
 
 // IDs returns the registered experiment IDs in canonical order.

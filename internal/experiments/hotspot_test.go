@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"peerhood"
+)
+
+// TestHotspotExperimentDeterministic pins S5's replay guarantee: the whole
+// experiment — all four modes' metrics and the notes — is a pure function
+// of its seed. Two consecutive invocations must agree byte for byte.
+func TestHotspotExperimentDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}
+	r1, err := Run("S5", cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	r2, err := Run("S5", cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if r1.Table != r2.Table {
+		t.Fatalf("same-seed tables differ:\n--- first\n%s--- second\n%s", r1.Table, r2.Table)
+	}
+	if !reflect.DeepEqual(r1.Notes, r2.Notes) {
+		t.Fatalf("same-seed notes differ:\n%v\n%v", r1.Notes, r2.Notes)
+	}
+}
+
+// TestHotspotExperimentShape is the S5 acceptance property: vertical
+// handover (dual-radio, bandwidth-first policy) cuts disruption against
+// the single-radio wlan-only baseline, rides the preferred bearer for a
+// meaningful share of the stream, and the predictive trigger removes the
+// below-threshold stream ticks the reactive trigger tolerates.
+func TestHotspotExperimentShape(t *testing.T) {
+	cfg := Config{Seed: 42, Quick: true}.withDefaults()
+	run := func(m hotspotMode) hotspotStats {
+		t.Helper()
+		st, err := hotspotTrial(cfg, cfg.Seed, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		return st
+	}
+	gprs := run(hotspotMode{name: "gprs-only", techs: []peerhood.Tech{peerhood.GPRS}})
+	wlan := run(hotspotMode{name: "wlan-only", techs: []peerhood.Tech{peerhood.WLAN}})
+	reactive := run(hotspotMode{name: "dual/reactive", techs: []peerhood.Tech{peerhood.WLAN, peerhood.GPRS}})
+	predictive := run(hotspotMode{name: "dual/predictive", techs: []peerhood.Tech{peerhood.WLAN, peerhood.GPRS}, predictive: true})
+
+	// The umbrella baseline never needs a handover and never rides WLAN.
+	if gprs.handovers != 0 || gprs.wlanBytes != 0 || gprs.disruption != 0 {
+		t.Fatalf("gprs-only baseline not clean: %+v", gprs)
+	}
+	// The island-hopping baseline goes dark between islands.
+	if wlan.disruption == 0 || wlan.lost == 0 {
+		t.Fatalf("wlan-only baseline saw no gaps: %+v", wlan)
+	}
+	// Vertical handover is the acceptance headline: both dual modes must
+	// switch bearers in both directions and cut disruption against the
+	// single-radio island hopper.
+	for _, st := range []hotspotStats{reactive, predictive} {
+		if st.verticalUp == 0 || st.verticalDown == 0 {
+			t.Fatalf("dual mode made no vertical switches: %+v", st)
+		}
+		if st.busVertical == 0 {
+			t.Fatal("no VerticalHandover events on the bus")
+		}
+		if st.disruption*2 >= wlan.disruption {
+			t.Fatalf("vertical handover did not cut disruption: dual %v vs wlan-only %v",
+				st.disruption, wlan.disruption)
+		}
+		if st.wlanBytes == 0 {
+			t.Fatalf("dual mode carried nothing on the preferred bearer: %+v", st)
+		}
+		if st.lost*10 > st.sent {
+			t.Fatalf("dual mode lost too much: %+v", st)
+		}
+	}
+	// Prediction moves the down-switch ahead of the 230 crossing.
+	if predictive.predictive == 0 {
+		t.Fatalf("predictive mode never fired proactively: %+v", predictive)
+	}
+	if predictive.lowTicks >= reactive.lowTicks {
+		t.Fatalf("prediction did not reduce below-threshold stream ticks: predictive %d vs reactive %d",
+			predictive.lowTicks, reactive.lowTicks)
+	}
+}
+
+// TestHotspotLegacyInterop pins the acceptance requirement that peers
+// without sibling advertisements still fully interoperate. A pre-identity
+// peer is modelled with NodeConfig.DisableIdentity: it hangs up on
+// InfoDeviceEx exactly as a legacy daemon would (forcing the modern
+// fetcher through the legacy-exchange fallback), sends sync requests
+// without the capability flag (forcing the modern responder onto stripped
+// wire forms), and advertises no siblings.
+func TestHotspotLegacyInterop(t *testing.T) {
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 9, Instant: true})
+	defer w.Close()
+	for _, tech := range []peerhood.Tech{peerhood.WLAN, peerhood.GPRS} {
+		w.Sim().SetParams(tech, ArchipelagoParams(tech))
+	}
+
+	legacy, err := w.NewNode(peerhood.NodeConfig{
+		Name: "legacy", Position: peerhood.Pt(0, 0),
+		Techs:           []peerhood.Tech{peerhood.WLAN, peerhood.GPRS},
+		DisableIdentity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := w.NewNode(peerhood.NodeConfig{
+		Name: "modern", Position: peerhood.Pt(5, 0),
+		Techs: []peerhood.Tech{peerhood.WLAN, peerhood.GPRS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	echo := func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		defer c.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}
+	if _, err := legacy.RegisterService("echo", "", echo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := modern.RegisterService("echo", "", echo); err != nil {
+		t.Fatal(err)
+	}
+
+	w.RunDiscoveryRounds(3)
+
+	// Modern -> legacy: both interfaces discovered as independent rows
+	// (no identity to group them), service reachable, preference a no-op.
+	lgprs, _ := legacy.AddrFor(peerhood.GPRS)
+	lwlan, _ := legacy.AddrFor(peerhood.WLAN)
+	for _, a := range []peerhood.Addr{lgprs, lwlan} {
+		if _, ok := modern.LookupDevice(a); !ok {
+			t.Fatalf("modern node did not discover legacy interface %v", a)
+		}
+	}
+	if sibs := modern.SiblingsOf(lgprs); len(sibs) != 0 {
+		t.Fatalf("legacy peer grew siblings: %v", sibs)
+	}
+	conn, err := modern.Connect(lgprs, "echo", peerhood.WithTech(peerhood.WLAN))
+	if err != nil {
+		t.Fatalf("modern->legacy connect: %v", err)
+	}
+	if conn.Target() != lgprs {
+		t.Fatalf("WithTech against a legacy peer retargeted to %v, want no-op %v", conn.Target(), lgprs)
+	}
+	roundTrip(t, conn)
+
+	// Legacy -> modern: the no-flag fetcher receives stripped wire forms
+	// and keeps full awareness of a sibling-advertising peer.
+	mgprs, _ := modern.AddrFor(peerhood.GPRS)
+	mwlan, _ := modern.AddrFor(peerhood.WLAN)
+	for _, a := range []peerhood.Addr{mgprs, mwlan} {
+		e, ok := legacy.LookupDevice(a)
+		if !ok {
+			t.Fatalf("legacy node did not discover modern interface %v", a)
+		}
+		if len(e.Info.Siblings) != 0 {
+			t.Fatalf("stripped wire form leaked siblings to the legacy node: %v", e.Info.Siblings)
+		}
+	}
+	conn2, err := legacy.Connect(mwlan, "echo")
+	if err != nil {
+		t.Fatalf("legacy->modern connect: %v", err)
+	}
+	roundTrip(t, conn2)
+}
+
+func roundTrip(t *testing.T, conn *peerhood.Connection) {
+	t.Helper()
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+}
+
+// TestHotspotExperimentTable smoke-checks the rendered result.
+func TestHotspotExperimentTable(t *testing.T) {
+	res, err := Run("S5", Config{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatalf("Run(S5): %v", err)
+	}
+	for _, mode := range []string{"gprs-only", "wlan-only", "dual/reactive", "dual/predictive"} {
+		if !strings.Contains(res.Table, mode) {
+			t.Fatalf("table missing %s row:\n%s", mode, res.Table)
+		}
+	}
+}

@@ -19,6 +19,17 @@
 // traffic. The reactive path stays in place as the fallback (and as the
 // A/B baseline for experiment S3). Lifecycle transitions are published on
 // the daemon's neighbourhood event bus.
+//
+// The thread is technology-aware: candidates come from the storage's
+// identity plane (AlternateRoutesByIdentity), so "same peer, different
+// radio" — a sibling interface reached directly or through a
+// cross-technology first hop — competes with routed alternates. A
+// pluggable selection Policy ranks them (strongest-link by default;
+// bandwidth-first and cost-first express bearer preferences), a per-tech
+// hysteresis dwell keeps BT↔WLAN from flapping at an island edge, and a
+// discretionary upgrade path switches onto a preferred bearer while the
+// link is healthy. Vertical switches ride the existing PH_RECONNECT
+// machinery and work in both reactive and predictive modes.
 package handover
 
 import (
@@ -93,6 +104,15 @@ const (
 	// prediction triggers a proactive handover while quality is still
 	// above the threshold.
 	EventPredictiveStart
+	// EventVerticalHandover fires after a transport substitution that
+	// changed the local bearer technology (same peer, different radio —
+	// directly on a sibling interface or through a cross-technology first
+	// hop). It follows the EventHandoverDone of the same switch.
+	EventVerticalHandover
+	// EventUpgradeStart fires when the selection policy starts a
+	// discretionary vertical switch while the current link is healthy
+	// (e.g. bandwidth-first riding into a WLAN island).
+	EventUpgradeStart
 )
 
 // String implements fmt.Stringer.
@@ -112,6 +132,10 @@ func (e Event) String() string {
 		return "gave-up"
 	case EventPredictiveStart:
 		return "predictive-start"
+	case EventVerticalHandover:
+		return "vertical-handover"
+	case EventUpgradeStart:
+		return "upgrade-start"
 	default:
 		return fmt.Sprintf("event(%d)", int(e))
 	}
@@ -132,6 +156,12 @@ type Stats struct {
 	// monitor's prediction while quality was still above the threshold
 	// (included in Handovers).
 	PredictiveHandovers int64
+	// VerticalHandovers counts transport substitutions that changed the
+	// local bearer technology (included in Handovers). VerticalUp moved to
+	// a higher-bandwidth-rank bearer, VerticalDown to a lower one.
+	VerticalHandovers int64
+	VerticalUp        int64
+	VerticalDown      int64
 }
 
 // Defaults mirror the thesis' simulation parameters (§5.2.1); the
@@ -149,6 +179,18 @@ const (
 	// triggers, so one long smooth decay cannot fire a second proactive
 	// handover while the first swap's trend state is still settling.
 	DefaultPredictCooldown = 10 * time.Second
+	// DefaultTechHold is the per-tech hysteresis dwell: after a vertical
+	// switch, discretionary (policy-upgrade) switches are suppressed and
+	// rescue candidates keeping the current technology are preferred for
+	// this long, so an island edge cannot flap BT↔WLAN↔BT.
+	DefaultTechHold = 15 * time.Second
+	// DefaultUpgradeMargin is how far above the threshold a candidate's
+	// weakest hop must sit before a discretionary upgrade considers it:
+	// jumping onto a barely-usable bearer would immediately re-trigger.
+	DefaultUpgradeMargin = 10
+	// DefaultUpgradeCooldown spaces failed discretionary upgrade attempts,
+	// bounding dial churn when the preferred bearer keeps refusing.
+	DefaultUpgradeCooldown = 5 * time.Second
 )
 
 // Config parametrises a handover thread.
@@ -197,27 +239,46 @@ type Config struct {
 	// Monitor overrides the link monitor consulted for predictions; nil
 	// uses the daemon's.
 	Monitor *linkmon.Monitor
+
+	// Policy ranks handover candidates — routed alternates and vertical
+	// (sibling-interface) ones alike — and drives discretionary upgrades
+	// onto preferred bearers. nil means strongest-link, which reproduces
+	// the pre-identity ordering.
+	Policy Policy
+	// TechHold is the per-tech hysteresis dwell after a vertical switch
+	// (default 15 s).
+	TechHold time.Duration
+	// UpgradeMargin is the quality headroom above the threshold a
+	// candidate needs before a discretionary upgrade takes it (default 10).
+	UpgradeMargin int
+	// UpgradeCooldown spaces failed upgrade attempts (default 5 s).
+	UpgradeCooldown time.Duration
 }
 
 // Thread is one connection's handover monitor.
 type Thread struct {
-	lib     *library.Library
-	vc      *library.VirtualConnection
-	clk     clock.Clock
-	cfg     Config
-	monitor *linkmon.Monitor
-	bus     *events.Bus
+	lib        *library.Library
+	vc         *library.VirtualConnection
+	clk        clock.Clock
+	cfg        Config
+	monitor    *linkmon.Monitor
+	bus        *events.Bus
+	multiRadio bool
 
-	mu         sync.Mutex
-	state      State
-	lowCount   int
-	failures   int
-	stats      Stats
-	lastPred   time.Time // last predictive trigger (cooldown anchor)
-	havePred   bool
-	warmRoutes []storage.Route // pre-warmed candidates (fig 5.5 state 0)
-	stop       chan struct{}
-	done       chan struct{}
+	mu           sync.Mutex
+	state        State
+	lowCount     int
+	failures     int
+	stats        Stats
+	lastPred     time.Time // last predictive trigger (cooldown anchor)
+	havePred     bool
+	lastVertical time.Time // last vertical switch (tech-hold anchor)
+	haveVertical bool
+	lastUpTry    time.Time // last failed discretionary upgrade attempt
+	haveUpTry    bool
+	warmCands    []storage.Candidate // pre-warmed candidates (fig 5.5 state 0)
+	stop         chan struct{}
+	done         chan struct{}
 }
 
 // ErrNoConnection reports a nil connection or library.
@@ -252,6 +313,18 @@ func New(cfg Config) (*Thread, error) {
 	if cfg.PredictCooldown == 0 {
 		cfg.PredictCooldown = DefaultPredictCooldown
 	}
+	if cfg.Policy == nil {
+		cfg.Policy, _ = PolicyByName(PolicyStrongestLink)
+	}
+	if cfg.TechHold == 0 {
+		cfg.TechHold = DefaultTechHold
+	}
+	if cfg.UpgradeMargin == 0 {
+		cfg.UpgradeMargin = DefaultUpgradeMargin
+	}
+	if cfg.UpgradeCooldown == 0 {
+		cfg.UpgradeCooldown = DefaultUpgradeCooldown
+	}
 	monitor := cfg.Monitor
 	if monitor == nil {
 		monitor = cfg.Library.Daemon().LinkMonitor()
@@ -264,6 +337,11 @@ func New(cfg Config) (*Thread, error) {
 		monitor: monitor,
 		bus:     cfg.Library.Daemon().Bus(),
 		state:   StateMonitoring,
+		// Plugins are fixed before the daemon starts, so this is stable
+		// for the thread's life: a single-radio node can never produce a
+		// candidate on another bearer, and the healthy-tick upgrade scan
+		// would be pure waste.
+		multiRadio: len(cfg.Library.Daemon().Plugins()) > 1,
 	}, nil
 }
 
@@ -396,8 +474,12 @@ func (t *Thread) Step() {
 func (t *Thread) aboveThreshold(q int, st linkmon.State) {
 	if t.monitor == nil || st.Class != linkmon.ClassDegrading {
 		t.mu.Lock()
-		t.warmRoutes = nil
+		t.warmCands = nil
 		t.mu.Unlock()
+		// A healthy link is when discretionary vertical switches happen:
+		// the selection policy may prefer another bearer that just came in
+		// reach (fig 5.5's state 0, extended across technologies).
+		t.maybeUpgrade(q)
 		return
 	}
 	t.prewarm()
@@ -414,7 +496,13 @@ func (t *Thread) aboveThreshold(q int, st linkmon.State) {
 			return
 		}
 		if floor := float64(t.cfg.Threshold); st.Level > floor {
-			ttt = time.Duration((st.Level - floor) / -st.Slope * float64(time.Second))
+			secs := (st.Level - floor) / -st.Slope
+			if secs > t.cfg.PredictHorizon.Seconds() {
+				// Also guards the duration conversion against overflow on
+				// near-zero slopes (see metrics.Trend.TimeToCross).
+				return
+			}
+			ttt = time.Duration(secs * float64(time.Second))
 		} else {
 			ttt = 0
 		}
@@ -446,97 +534,118 @@ func (t *Thread) aboveThreshold(q int, st linkmon.State) {
 	t.mu.Unlock()
 }
 
-// prewarm refreshes the alternate-route candidate list while the link is
-// degrading, so the eventual handover (predictive or reactive) starts
-// from an already-selected route set.
+// prewarm refreshes the candidate list while the link is degrading, so the
+// eventual handover (predictive or reactive) starts from an
+// already-selected set.
 func (t *Thread) prewarm() {
-	routes := t.lib.Daemon().Storage().AlternateRoutes(t.vc.Target(), t.vc.Bridge())
+	cands := t.candidates()
 	t.mu.Lock()
-	t.warmRoutes = routes
+	t.warmCands = cands
 	t.mu.Unlock()
 }
 
-// routingHandover implements fig 5.5's state 2: try alternate routes to
-// the same device, best first, re-attaching the logical connection with
-// PH_RECONNECT. It reports success.
+// candidates gathers every identity-aware way to re-attach the connection:
+// alternate routes to the current interface plus routes to each sibling
+// interface of the peer's identity, minus the currently failing first hop
+// and minus anything the local device has no radio to dial.
+func (t *Thread) candidates() []storage.Candidate {
+	cands := t.lib.Daemon().Storage().AlternateRoutesByIdentity(t.vc.Target(), t.vc.Bridge())
+	kept := cands[:0]
+	for _, c := range cands {
+		if _, ok := t.lib.Daemon().PluginFor(c.FirstHop().Tech); !ok {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// inTechHold reports whether the per-tech hysteresis dwell since the last
+// vertical switch is still running.
+func (t *Thread) inTechHold() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.haveVertical && t.clk.Now().Sub(t.lastVertical) < t.cfg.TechHold
+}
+
+// rank orders candidates by descending policy score. During the tech-hold
+// dwell, candidates that keep the current bearer technology are tried
+// first regardless of score — a rescue may still leave the technology when
+// nothing same-tech works, but an island edge cannot flap the bearer back
+// and forth within one dwell.
+func (t *Thread) rank(cands []storage.Candidate) []storage.Candidate {
+	currentTech := t.vc.RemoteAddr().Tech
+	hold := t.inTechHold()
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = t.cfg.Policy.Score(c, t.cfg.Threshold)
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if hold {
+			iSame := cands[i].FirstHop().Tech == currentTech
+			jSame := cands[j].FirstHop().Tech == currentTech
+			if iSame != jSame {
+				return iSame
+			}
+		}
+		return scores[i] > scores[j]
+	})
+	out := make([]storage.Candidate, len(cands))
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
+	return out
+}
+
+// routingHandover implements fig 5.5's state 2, technology-aware: try the
+// policy-ranked candidates — routed alternates and vertical ones — best
+// first, re-attaching the logical connection with PH_RECONNECT. It reports
+// success.
 func (t *Thread) routingHandover() bool {
 	target := t.vc.Target()
-	svc := t.vc.Service()
 	currentBridge := t.vc.Bridge()
-	store := t.lib.Daemon().Storage()
 
 	t.mu.Lock()
-	routes := t.warmRoutes
-	t.warmRoutes = nil
+	cands := t.warmCands
+	t.warmCands = nil
 	t.mu.Unlock()
-	if len(routes) == 0 {
-		routes = store.AlternateRoutes(target, currentBridge)
+	if len(cands) == 0 {
+		cands = t.candidates()
 	}
-	t.emit(EventHandoverStart, fmt.Sprintf("candidates=%d", len(routes)))
-	t.publish(events.HandoverStarted, t.vc.Quality(), fmt.Sprintf("candidates=%d", len(routes)))
+	t.emit(EventHandoverStart, fmt.Sprintf("candidates=%d", len(cands)))
+	t.publish(events.HandoverStarted, t.vc.Quality(), fmt.Sprintf("candidates=%d", len(cands)))
 
-	// Fig 5.5 state 0 stores "the best quality way": candidates whose
-	// every hop clears the threshold are tried before below-threshold
-	// ones, regardless of jump count — switching to a route that is
-	// already as weak as the current one would just re-trigger. Within
-	// each class, candidates with the strongest *first hop* go first: the
-	// first hop is the link this device will actually hold, and for a
-	// moving node it is what separates the bridge ahead from the one
-	// already falling behind.
-	good := make([]storage.Route, 0, len(routes))
-	poor := make([]storage.Route, 0, len(routes))
-	for _, r := range routes {
-		if r.QualityMin >= t.cfg.Threshold {
-			good = append(good, r)
-		} else {
-			poor = append(poor, r)
-		}
-	}
-	firstHop := func(r storage.Route) int { return r.QualitySum - r.RemoteQualitySum }
-	sort.SliceStable(good, func(i, j int) bool { return firstHop(good[i]) > firstHop(good[j]) })
-	sort.SliceStable(poor, func(i, j int) bool { return firstHop(poor[i]) > firstHop(poor[j]) })
-	routes = append(good, poor...)
+	// The policy encodes fig 5.5 state 0's "best quality way" (every
+	// built-in ranks above-threshold candidates first — switching to a
+	// route as weak as the current one would just re-trigger) plus
+	// whatever bearer preference the application configured.
+	cands = t.rank(cands)
 
 	attempts := 0
-	for _, r := range routes {
+	for _, c := range cands {
 		if attempts >= t.cfg.MaxRouteAttempts {
 			break
 		}
-		if r.Direct() && !t.cfg.AllowDirectReturn {
+		if c.Route.Direct() && !c.Vertical && !t.cfg.AllowDirectReturn {
 			// Thesis-faithful mode: the implementation never returned to
-			// a direct route (fig 5.7 limitation).
+			// a direct route (fig 5.7 limitation). Vertical directs are new
+			// links, not returns — the limitation predates multi-radio.
 			continue
 		}
-		if r.Direct() && currentBridge.IsZero() {
+		if c.Route.Direct() && c.Target == target && currentBridge.IsZero() {
 			// Already direct and direct is failing: dialing the same link
 			// again cannot help.
 			continue
 		}
 		attempts++
-		raw, err := t.lib.ConnectVia(library.Via{
-			Route:       r,
-			Target:      target,
-			ServiceName: svc.Name,
-			ServicePort: svc.Port,
-			ConnID:      t.vc.ID(),
-			Reconnect:   true,
-		})
-		if err != nil {
-			continue
+		if t.trySwitch(c) {
+			return true
 		}
-		oldRemote := t.vc.RemoteAddr()
-		t.vc.SwapRoute(raw, r.Bridge)
-		t.mu.Lock()
-		t.stats.Handovers++
-		t.mu.Unlock()
-		if t.monitor != nil && oldRemote != t.vc.RemoteAddr() {
-			// The abandoned link's trend must not ghost into the next
-			// classification of the same peer.
-			t.monitor.Forget(oldRemote)
-		}
-		t.emit(EventHandoverDone, r.String())
-		t.publish(events.HandoverCompleted, t.vc.Quality(), r.String())
-		return true
 	}
 	t.mu.Lock()
 	t.stats.FailedHandovers++
@@ -546,18 +655,148 @@ func (t *Thread) routingHandover() bool {
 	return false
 }
 
+// trySwitch builds the candidate's transport with PH_RECONNECT and, on
+// success, substitutes it under the application, accounting for vertical
+// switches (bearer-technology change) with their per-tech hold and events.
+func (t *Thread) trySwitch(c storage.Candidate) bool {
+	svc := t.vc.Service()
+	raw, err := t.lib.ConnectVia(library.Via{
+		Route:       c.Route,
+		Target:      c.Target,
+		ServiceName: svc.Name,
+		ServicePort: svc.Port,
+		ConnID:      t.vc.ID(),
+		Reconnect:   true,
+	})
+	if err != nil {
+		return false
+	}
+	oldRemote := t.vc.RemoteAddr()
+	prevTech := oldRemote.Tech
+	if c.Target != t.vc.Target() {
+		t.vc.SwapRouteTo(raw, c.Target, c.Route.Bridge)
+	} else {
+		t.vc.SwapRoute(raw, c.Route.Bridge)
+	}
+	newTech := t.vc.RemoteAddr().Tech
+	vertical := newTech != prevTech
+	t.mu.Lock()
+	t.stats.Handovers++
+	if vertical {
+		t.stats.VerticalHandovers++
+		if device.RankOf(newTech).Bandwidth >= device.RankOf(prevTech).Bandwidth {
+			t.stats.VerticalUp++
+		} else {
+			t.stats.VerticalDown++
+		}
+		t.lastVertical, t.haveVertical = t.clk.Now(), true
+	}
+	t.mu.Unlock()
+	if t.monitor != nil && oldRemote != t.vc.RemoteAddr() {
+		// The abandoned link's trend must not ghost into the next
+		// classification of the same peer.
+		t.monitor.Forget(oldRemote)
+	}
+	t.emit(EventHandoverDone, c.Route.String())
+	t.publish(events.HandoverCompleted, t.vc.Quality(), c.Route.String())
+	if vertical {
+		detail := fmt.Sprintf("%v->%v %s", prevTech, newTech, c.Route)
+		t.emit(EventVerticalHandover, detail)
+		t.publish(events.VerticalHandover, t.vc.Quality(), detail)
+	}
+	return true
+}
+
+// maybeUpgrade runs the discretionary half of the policy: while the link
+// is healthy, switch to a candidate on a *different* bearer technology
+// that the policy scores strictly above the current transport and whose
+// weakest hop clears the threshold with margin. Same-tech route churn is
+// left to the rescue path; the tech hold and the upgrade cooldown bound
+// flapping and dial churn.
+func (t *Thread) maybeUpgrade(q int) {
+	if !t.multiRadio || t.inTechHold() {
+		return
+	}
+	now := t.clk.Now()
+	t.mu.Lock()
+	if t.haveUpTry && now.Sub(t.lastUpTry) < t.cfg.UpgradeCooldown {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+
+	currentTech := t.vc.RemoteAddr().Tech
+	// The current transport as a candidate: its first hop is the link we
+	// hold, measured at q just now.
+	current := storage.Candidate{
+		Target: t.vc.Target(),
+		Route:  storage.Route{Bridge: t.vc.Bridge(), QualitySum: q, QualityMin: q},
+	}
+	if !t.vc.Bridge().IsZero() {
+		current.Route.Jumps = 1
+	}
+	curScore := t.cfg.Policy.Score(current, t.cfg.Threshold)
+
+	var best *storage.Candidate
+	var bestScore float64
+	for _, c := range t.candidates() {
+		if c.FirstHop().Tech == currentTech {
+			continue
+		}
+		if c.Route.QualityMin < t.cfg.Threshold+t.cfg.UpgradeMargin {
+			continue
+		}
+		s := t.cfg.Policy.Score(c, t.cfg.Threshold)
+		if best == nil || s > bestScore {
+			best, bestScore = &c, s
+		}
+	}
+	if best == nil || bestScore <= curScore {
+		return
+	}
+
+	t.mu.Lock()
+	t.state = StateHandover
+	t.mu.Unlock()
+	t.emit(EventUpgradeStart, fmt.Sprintf("%v->%v score %.0f>%.0f", currentTech, best.FirstHop().Tech, bestScore, curScore))
+	t.publish(events.HandoverStarted, q, fmt.Sprintf("policy-upgrade %v->%v", currentTech, best.FirstHop().Tech))
+	ok := t.trySwitch(*best)
+	t.mu.Lock()
+	if !ok {
+		t.lastUpTry, t.haveUpTry = now, true
+	}
+	t.state = StateMonitoring
+	t.mu.Unlock()
+	if !ok {
+		t.emit(EventHandoverFailed, "policy-upgrade attempt failed")
+		t.publish(events.HandoverFailed, q, "policy-upgrade attempt failed")
+	}
+}
+
 // serviceReconnect implements §5.2.2: find another provider of the same
 // service, ask permission, and restart the application-level exchange on
-// it.
+// it. "Another provider" means another device identity: the lost device's
+// sibling interfaces advertise the same services but are the same peer —
+// reaching them is the routing handover's job (PH_RECONNECT keeps the
+// exchange), and reconnecting to one with a fresh PH_NEW under the same
+// connection ID would displace the far end's live connection state.
 func (t *Thread) serviceReconnect() {
 	svc := t.vc.Service()
 	target := t.vc.Target()
 	store := t.lib.Daemon().Storage()
 
+	// Siblings resolves the identity even when target's own row has aged
+	// out (a surviving sibling that advertises it still links them) — a
+	// Lookup-based identity would miss exactly the dead-interface case
+	// this escalation runs in.
+	exclude := map[device.Addr]bool{target: true}
+	for _, sib := range store.Siblings(target) {
+		exclude[sib.Info.Addr] = true
+	}
 	var chosen *storage.ServiceProvider
 	for _, p := range store.FindService(svc.Name) {
-		if p.Entry.Info.Addr == target {
-			continue // the provider we are losing
+		if exclude[p.Entry.Info.Addr] {
+			continue // the device we are losing (any of its interfaces)
 		}
 		chosen = &p
 		break

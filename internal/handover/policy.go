@@ -1,0 +1,108 @@
+package handover
+
+import (
+	"fmt"
+
+	"peerhood/internal/device"
+	"peerhood/internal/storage"
+)
+
+// Policy scores handover candidates. The thread ranks every candidate —
+// routed alternates to the current interface and vertical ones on sibling
+// interfaces alike — by descending score, both when rescuing a failing
+// link (reactive or predictive) and when considering a discretionary
+// upgrade onto a preferred bearer while the link is healthy.
+//
+// Scores are comparable only within one policy. Every built-in policy puts
+// the fig 3.9 equity class first (candidates whose every hop clears the
+// quality threshold beat candidates with a weak hop, whatever their other
+// attributes), because switching onto an already-weak route would just
+// re-trigger the monitor.
+type Policy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Score returns the candidate's preference; higher is better.
+	// threshold is the thread's quality floor (230 in the thesis).
+	Score(c storage.Candidate, threshold int) float64
+}
+
+// Built-in policy names (NodeConfig.HandoverPolicy, HandoverConfig.Policy).
+const (
+	// PolicyStrongestLink reproduces the pre-identity ordering: above-
+	// threshold candidates first, strongest first hop within each class.
+	PolicyStrongestLink = "strongest-link"
+	// PolicyBandwidthFirst prefers the bearer with the highest bandwidth
+	// rank (WLAN > Bluetooth > GPRS), then link strength — the adaptive-
+	// application profile: ride hotspot islands whenever one is in reach.
+	PolicyBandwidthFirst = "bandwidth-first"
+	// PolicyCostFirst prefers the cheapest bearer (free local radios over
+	// metered GPRS), then link strength.
+	PolicyCostFirst = "cost-first"
+)
+
+// PolicyByName resolves a policy name; the empty string means
+// strongest-link.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", PolicyStrongestLink:
+		return strongestLink{}, nil
+	case PolicyBandwidthFirst:
+		return bandwidthFirst{}, nil
+	case PolicyCostFirst:
+		return costFirst{}, nil
+	default:
+		return nil, fmt.Errorf("handover: unknown policy %q (have %s, %s, %s)",
+			name, PolicyStrongestLink, PolicyBandwidthFirst, PolicyCostFirst)
+	}
+}
+
+// firstHopQuality is the quality of the link this device would actually
+// hold: the route's local first hop (the aggregates minus what the bridge
+// reported for the rest of the route; the whole sum for direct routes).
+func firstHopQuality(r storage.Route) int {
+	return r.QualitySum - r.RemoteQualitySum
+}
+
+// goodClass reports the fig 3.9 equity class: every hop above threshold.
+func goodClass(c storage.Candidate, threshold int) float64 {
+	if c.Route.QualityMin >= threshold {
+		return 1
+	}
+	return 0
+}
+
+// Score-band widths. Each criterion dominates everything below it.
+const (
+	classBand = 1e9
+	rankBand  = 1e6
+)
+
+type strongestLink struct{}
+
+func (strongestLink) Name() string { return PolicyStrongestLink }
+
+func (strongestLink) Score(c storage.Candidate, threshold int) float64 {
+	return goodClass(c, threshold)*classBand + float64(firstHopQuality(c.Route))
+}
+
+type bandwidthFirst struct{}
+
+func (bandwidthFirst) Name() string { return PolicyBandwidthFirst }
+
+func (bandwidthFirst) Score(c storage.Candidate, threshold int) float64 {
+	rank := device.RankOf(c.FirstHop().Tech)
+	return goodClass(c, threshold)*classBand +
+		float64(rank.Bandwidth)*rankBand +
+		float64(firstHopQuality(c.Route))
+}
+
+type costFirst struct{}
+
+func (costFirst) Name() string { return PolicyCostFirst }
+
+func (costFirst) Score(c storage.Candidate, threshold int) float64 {
+	rank := device.RankOf(c.FirstHop().Tech)
+	return goodClass(c, threshold)*classBand +
+		float64(100-rank.Cost)*rankBand +
+		float64(firstHopQuality(c.Route))
+}

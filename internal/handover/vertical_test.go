@@ -1,0 +1,237 @@
+package handover_test
+
+import (
+	"testing"
+	"time"
+
+	"peerhood"
+	"peerhood/internal/handover"
+	"peerhood/internal/phtest"
+)
+
+// The vertical-handover pins run on phtest's S5-backed multi-radio
+// fixture: a WLAN+GPRS server under the archipelago radio profile (15 m
+// hard-edged WLAN island over a 500 m GPRS umbrella), driven on a manual
+// clock so every trigger tick is exact. WLAN quality is
+// 225 + 30*(1 - d/15): the 230 threshold sits at 12.5 m, and walking away
+// at 1.4 m/s decays it at 2.8/s.
+
+// verticalScenario connects a dual-radio commuter to the server over WLAN
+// (via the identity-plane tech preference), walks it out of the island,
+// and ticks the thread once per simulated second until the first swap. It
+// returns the tick of the swap and the instantaneous quality at it.
+func verticalScenario(t *testing.T, seed int64, predictive bool) (swapTick, swapQuality int, conn *peerhood.Connection, th *peerhood.HandoverThread) {
+	t.Helper()
+	w, clk := phtest.MultiTechManualWorld(t, seed)
+	server := phtest.AddMultiTechNode(t, w, "server", peerhood.Pt(0, 0), peerhood.Static,
+		peerhood.WLAN, peerhood.GPRS)
+	commuter := phtest.AddMultiTechNode(t, w, "commuter", peerhood.Pt(1, 0), peerhood.Dynamic,
+		peerhood.WLAN, peerhood.GPRS)
+	registerEchoNode(t, server)
+	w.RunDiscoveryRounds(3)
+
+	gprsAddr, _ := server.AddrFor(peerhood.GPRS)
+	wlanAddr, _ := server.AddrFor(peerhood.WLAN)
+	conn, err := commuter.Connect(gprsAddr, "echo", peerhood.WithTech(peerhood.WLAN))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if conn.Target() != wlanAddr {
+		t.Fatalf("preference dialed %v, want the WLAN interface", conn.Target())
+	}
+	if q := conn.Quality(); q < handover.DefaultThreshold {
+		t.Fatalf("initial quality = %d, want above threshold", q)
+	}
+
+	th, err = commuter.MonitorHandover(conn, peerhood.HandoverConfig{
+		ManualSteps: true,
+		Predictive:  predictive,
+		Policy:      peerhood.PolicyBandwidthFirst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	commuter.SetModel(peerhood.Walk(peerhood.Pt(1, 0), peerhood.Pt(30, 0), 1.4))
+	qualityAt := make(map[int]int)
+	for tick := 1; tick <= 20; tick++ {
+		clk.Advance(time.Second)
+		w.CheckLinks()
+		commuter.RunDiscoveryRound()
+		qualityAt[tick] = conn.Quality()
+		th.Step()
+		if conn.Swaps() > 0 {
+			swapTick = tick
+			break
+		}
+	}
+	if conn.Swaps() != 1 {
+		t.Fatalf("swaps = %d after walking out of the island (stats %+v)", conn.Swaps(), th.Stats())
+	}
+	return swapTick, qualityAt[swapTick], conn, th
+}
+
+// TestVerticalSwitchCompletesBeforeThreshold is the predictive-mode
+// acceptance pin: walking out of the WLAN island, the vertical down-switch
+// onto the GPRS umbrella must complete strictly before the 230 crossing —
+// the sample that triggered it still reads above the threshold — while
+// the reactive baseline on identical geometry switches only after it.
+func TestVerticalSwitchCompletesBeforeThreshold(t *testing.T) {
+	reactTick, reactQ, reactConn, reactTh := verticalScenario(t, 51, false)
+	predTick, predQ, predConn, predTh := verticalScenario(t, 51, true)
+
+	for name, conn := range map[string]*peerhood.Connection{"reactive": reactConn, "predictive": predConn} {
+		if got := conn.RemoteAddr().Tech; got != peerhood.GPRS {
+			t.Fatalf("%s: post-switch bearer = %v, want GPRS", name, got)
+		}
+		if got := conn.Target().Tech; got != peerhood.GPRS {
+			t.Fatalf("%s: post-switch target = %v, want the GPRS sibling", name, conn.Target())
+		}
+	}
+	if st := predTh.Stats(); st.VerticalDown != 1 || st.VerticalHandovers != 1 || st.PredictiveHandovers != 1 {
+		t.Fatalf("predictive stats = %+v", st)
+	}
+	if st := reactTh.Stats(); st.VerticalDown != 1 || st.PredictiveHandovers != 0 {
+		t.Fatalf("reactive stats = %+v", st)
+	}
+	if predQ < handover.DefaultThreshold {
+		t.Fatalf("predictive vertical switch fired below threshold: quality %d", predQ)
+	}
+	if reactQ >= handover.DefaultThreshold {
+		t.Fatalf("reactive vertical switch fired above threshold: quality %d", reactQ)
+	}
+	if predTick >= reactTick {
+		t.Fatalf("predictive switch tick %d not strictly before reactive %d", predTick, reactTick)
+	}
+	// The predictive run must not have consumed any below-threshold ticks:
+	// the stream never rode a bad link.
+	if st := predTh.Stats(); st.QualityLowTicks != 0 {
+		t.Fatalf("predictive consumed %d low ticks", st.QualityLowTicks)
+	}
+}
+
+// TestVerticalHoldNoFlap pins the per-tech hysteresis (the PR 3 no-flap
+// pin, lifted to bearers): WLAN quality oscillating around the threshold
+// at the island edge — with the GPRS umbrella permanently available as a
+// vertical candidate — must cause no bearer change at all; a sustained
+// exit switches down exactly once; and the island coming back into
+// comfortable reach must not pull the connection up again until the tech
+// hold has elapsed.
+func TestVerticalHoldNoFlap(t *testing.T) {
+	const hold = 30 * time.Second
+	w, clk := phtest.MultiTechManualWorld(t, 52)
+	server := phtest.AddMultiTechNode(t, w, "server", peerhood.Pt(0, 0), peerhood.Static,
+		peerhood.WLAN, peerhood.GPRS)
+	commuter := phtest.AddMultiTechNode(t, w, "commuter", peerhood.Pt(12.0, 0), peerhood.Static,
+		peerhood.WLAN, peerhood.GPRS)
+	registerEchoNode(t, server)
+	w.RunDiscoveryRounds(3)
+
+	gprsAddr, _ := server.AddrFor(peerhood.GPRS)
+	conn, err := commuter.Connect(gprsAddr, "echo", peerhood.WithTech(peerhood.WLAN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	th, err := commuter.MonitorHandover(conn, peerhood.HandoverConfig{
+		ManualSteps: true,
+		Predictive:  true,
+		Policy:      peerhood.PolicyBandwidthFirst,
+		TechHold:    hold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: oscillate the island edge. 12.0 m reads ~231 (fine),
+	// 12.9 m reads ~229 (low). Neither trigger may fire: the lows are
+	// never consecutive enough for the reactive counter, the trend fit
+	// gate blocks prediction, and bandwidth-first never downgrades a
+	// healthy WLAN link onto GPRS.
+	lowSamples := 0
+	for i := 0; i < 40; i++ {
+		at := peerhood.Pt(12.0, 0)
+		if i%2 == 0 {
+			at = peerhood.Pt(12.9, 0)
+		}
+		commuter.SetModel(peerhood.StayAt(at))
+		clk.Advance(time.Second)
+		w.CheckLinks()
+		commuter.RunDiscoveryRound()
+		if conn.Quality() < handover.DefaultThreshold {
+			lowSamples++
+		}
+		th.Step()
+	}
+	if lowSamples == 0 {
+		t.Fatal("oscillation never dipped below threshold — nothing was tested")
+	}
+	if conn.Swaps() != 0 {
+		t.Fatalf("edge oscillation flapped the bearer: %d swaps (stats %+v)", conn.Swaps(), th.Stats())
+	}
+
+	// Phase 2: a sustained exit switches down onto the umbrella once.
+	commuter.SetModel(peerhood.StayAt(peerhood.Pt(20, 0)))
+	for i := 0; i < 8 && conn.Swaps() == 0; i++ {
+		clk.Advance(time.Second)
+		w.CheckLinks()
+		commuter.RunDiscoveryRound()
+		th.Step()
+	}
+	if conn.Swaps() != 1 || conn.RemoteAddr().Tech != peerhood.GPRS {
+		t.Fatalf("sustained exit: swaps=%d bearer=%v (stats %+v)",
+			conn.Swaps(), conn.RemoteAddr().Tech, th.Stats())
+	}
+	downAt := clk.Now()
+
+	// Phase 3: walk back deep into the island. The policy wants WLAN
+	// back, but the tech hold must keep the bearer pinned to GPRS until
+	// the dwell expires.
+	commuter.SetModel(peerhood.StayAt(peerhood.Pt(5, 0)))
+	for clk.Now().Sub(downAt) < hold-2*time.Second {
+		clk.Advance(time.Second)
+		w.CheckLinks()
+		commuter.RunDiscoveryRound()
+		th.Step()
+		if conn.Swaps() != 1 {
+			t.Fatalf("bearer changed %s into a %s tech hold (stats %+v)",
+				clk.Now().Sub(downAt), hold, th.Stats())
+		}
+	}
+	// Hold expired: the discretionary upgrade takes the island back.
+	for i := 0; i < 10 && conn.Swaps() == 1; i++ {
+		clk.Advance(time.Second)
+		w.CheckLinks()
+		commuter.RunDiscoveryRound()
+		th.Step()
+	}
+	if conn.Swaps() != 2 || conn.RemoteAddr().Tech != peerhood.WLAN {
+		t.Fatalf("post-hold upgrade: swaps=%d bearer=%v (stats %+v)",
+			conn.Swaps(), conn.RemoteAddr().Tech, th.Stats())
+	}
+	st := th.Stats()
+	if st.VerticalDown != 1 || st.VerticalUp != 1 {
+		t.Fatalf("vertical accounting = %+v, want exactly one down and one up", st)
+	}
+}
+
+func registerEchoNode(t *testing.T, n *peerhood.Node) {
+	t.Helper()
+	if _, err := n.RegisterService("echo", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		defer c.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatalf("RegisterService: %v", err)
+	}
+}

@@ -271,6 +271,7 @@ type ConnectOption func(*connectOptions)
 
 type connectOptions struct {
 	sendClientInfo bool
+	preferTech     device.Tech
 }
 
 // WithClientInfo makes Connect send the local device descriptor in the
@@ -278,6 +279,15 @@ type connectOptions struct {
 // disconnection (§5.3 method 2).
 func WithClientInfo() ConnectOption {
 	return func(o *connectOptions) { o.sendClientInfo = true }
+}
+
+// WithTech states a technology preference for the connection: when the
+// target device's identity has a stored sibling interface of technology t
+// that advertises the service and is reachable, Connect dials that
+// interface instead. A preference, not a requirement — without such a
+// sibling the original target is used.
+func WithTech(t device.Tech) ConnectOption {
+	return func(o *connectOptions) { o.preferTech = t }
 }
 
 // Connect establishes a virtual connection to a named service on the
@@ -293,6 +303,19 @@ func (l *Library) Connect(target device.Addr, service string, opts ...ConnectOpt
 	entry, ok := l.d.Storage().Lookup(target)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownDevice, target)
+	}
+	if o.preferTech != 0 && target.Tech != o.preferTech {
+		// Identity-aware retarget: the same device on the preferred bearer.
+		for _, sib := range l.d.Storage().Siblings(target) {
+			if sib.Info.Addr.Tech != o.preferTech || len(sib.Routes) == 0 {
+				continue
+			}
+			if _, ok := sib.Info.FindService(service); !ok {
+				continue
+			}
+			entry, target = sib, sib.Info.Addr
+			break
+		}
 	}
 	svc, ok := entry.Info.FindService(service)
 	if !ok {
@@ -357,10 +380,6 @@ type Via struct {
 // thread uses it with Reconnect to build replacement transports (§5.2.1),
 // and the bridge service uses it to extend chains hop by hop.
 func (l *Library) ConnectVia(v Via) (plugin.Conn, error) {
-	p, ok := l.d.PluginFor(v.Target.Tech)
-	if !ok {
-		return nil, fmt.Errorf("%w: no %v plugin", ErrNoRoute, v.Target.Tech)
-	}
 	ttl := v.TTL
 	if ttl == 0 {
 		ttl = l.cfg.BridgeTTL
@@ -395,6 +414,14 @@ func (l *Library) ConnectVia(v Via) (plugin.Conn, error) {
 		hello = m
 	}
 
+	// The dial goes out on the first hop's radio, which need not share the
+	// target's technology: a WLAN hotspot can bridge towards a peer's GPRS
+	// interface. Selecting the plugin by target tech (the pre-identity
+	// behaviour) made every cross-technology route undialable.
+	p, ok := l.d.PluginFor(firstHop.Tech)
+	if !ok {
+		return nil, fmt.Errorf("%w: no %v plugin", ErrNoRoute, firstHop.Tech)
+	}
 	raw, err := l.dialRetry(p, firstHop, device.PortEngine)
 	if err != nil {
 		return nil, err
@@ -584,13 +611,26 @@ func (l *Library) handleReconnect(conn plugin.Conn, m *phproto.HelloReconnect) {
 
 func (l *Library) register(vc *VirtualConnection) {
 	l.mu.Lock()
+	old := l.vcs[vc.ID()]
 	l.vcs[vc.ID()] = vc
 	l.mu.Unlock()
+	if old != nil && old != vc {
+		// A fresh connection claimed a logical ID already in use: the
+		// displaced connection can never be reconnected to again, and
+		// leaving it open would leak its handler (blocked forever waiting
+		// for a swap that cannot come).
+		_ = old.Close()
+	}
 }
 
-func (l *Library) unregister(id uint64) {
+// unregister removes vc from the reconnect table — only if it still owns
+// its ID, so closing a connection that was displaced by a newer one does
+// not tear the newer one's registration down.
+func (l *Library) unregister(vc *VirtualConnection) {
 	l.mu.Lock()
-	delete(l.vcs, id)
+	if l.vcs[vc.id] == vc {
+		delete(l.vcs, vc.id)
+	}
 	l.mu.Unlock()
 }
 

@@ -179,6 +179,19 @@ func (vc *VirtualConnection) SwapRoute(newConn plugin.Conn, bridge device.Addr) 
 	}
 }
 
+// SwapRouteTo is SwapRoute with the logical target switched to another
+// interface of the same device: a vertical handover re-attaches the
+// connection through a sibling radio, so subsequent route lookups (and the
+// handover thread's candidate queries) must key on the interface actually
+// in use. The connection ID and swap accounting are unchanged — it is the
+// same logical connection on a different bearer.
+func (vc *VirtualConnection) SwapRouteTo(newConn plugin.Conn, target device.Addr, bridge device.Addr) {
+	vc.mu.Lock()
+	vc.target = target
+	vc.mu.Unlock()
+	vc.SwapRoute(newConn, bridge)
+}
+
 // MarkRestart records a service reconnection and swaps in the transport to
 // the new provider. target is the new service owner.
 func (vc *VirtualConnection) MarkRestart(newConn plugin.Conn, target device.Addr, bridge device.Addr) {
@@ -250,7 +263,7 @@ func (vc *VirtualConnection) Close() error {
 	c := vc.cur
 	vc.mu.Unlock()
 
-	vc.lib.unregister(vc.id)
+	vc.lib.unregister(vc)
 	return c.Close()
 }
 

@@ -181,8 +181,19 @@ func (t *Trend) TimeToCross(floor float64) (time.Duration, bool) {
 	if math.IsInf(secs, 0) || math.IsNaN(secs) || secs < 0 {
 		return 0, false
 	}
+	// A near-zero slope on a high level predicts a crossing further out
+	// than time.Duration can hold; converting would overflow negative and
+	// masquerade as an imminent crossing. Far beyond any horizon is
+	// "never" for every caller.
+	if secs > maxDurationSeconds {
+		return 0, false
+	}
 	return time.Duration(secs * float64(time.Second)), true
 }
+
+// maxDurationSeconds is the largest second count representable as a
+// time.Duration without overflow.
+const maxDurationSeconds = float64(math.MaxInt64) / float64(time.Second)
 
 // Reset discards all state.
 func (t *Trend) Reset() {

@@ -153,6 +153,25 @@ func TestTimeToCross(t *testing.T) {
 	if _, ok := NewTrend(1, 4).TimeToCross(230); ok {
 		t.Fatal("empty trend predicted a crossing")
 	}
+
+	// Near-zero negative slope: the crossing is so far out that the
+	// duration conversion would overflow negative and read as imminent
+	// (the bug that made predictive handover fire on a healthy GPRS
+	// umbrella). It must report "never" instead.
+	flat := NewTrend(1, 8)
+	for i := 0; i < 8; i++ {
+		v := 250.0
+		if i == 3 {
+			v = 250 - 1e-9
+		}
+		flat.Observe(start.Add(time.Duration(i)*time.Second), v)
+	}
+	if d, ok := flat.TimeToCross(230); ok && d < 0 {
+		t.Fatalf("near-flat trend produced a negative (overflowed) crossing: %v", d)
+	}
+	if d, ok := flat.TimeToCross(230); ok && d < time.Hour {
+		t.Fatalf("near-flat trend predicted an imminent crossing: %v ", d)
+	}
 }
 
 func TestTrendFit(t *testing.T) {

@@ -7,6 +7,18 @@ import (
 	"peerhood/internal/device"
 )
 
+// extMarker introduces an extended (sibling-carrying) encoding of a device
+// descriptor or neighbourhood entry. Both start, in their legacy form, with
+// a u16 string length that the codec caps at MaxStringLen (4096), so 0xFFFF
+// can never open a legacy payload: a decoder that sees it knows an
+// extension version byte and the extended layout follow, and a legacy
+// payload decodes exactly as before. Extended forms are only sent to peers
+// that negotiated them (InfoDeviceEx, SyncFlagSiblings).
+const extMarker uint16 = 0xFFFF
+
+// extVersion is the current extended-encoding version.
+const extVersion uint8 = 1
+
 // encoder builds a frame payload. Write order must mirror decoder exactly.
 type encoder struct {
 	buf []byte
@@ -54,6 +66,9 @@ func (e *encoder) services(ss []device.ServiceInfo) {
 	}
 }
 
+// info writes the legacy descriptor layout. Siblings are NOT written here:
+// they ride in the extended forms (infoAny, neighborEntry) so every message
+// that embeds a descriptor without negotiation (hellos) stays legacy.
 func (e *encoder) info(i device.Info) {
 	e.str(i.Name)
 	e.addr(i.Addr)
@@ -62,7 +77,35 @@ func (e *encoder) info(i device.Info) {
 	e.services(i.Services)
 }
 
+// infoAny writes i in the extended form when it carries siblings and the
+// legacy form otherwise, so descriptors without siblings encode (and hash)
+// byte-identically to the pre-identity wire.
+func (e *encoder) infoAny(i device.Info) {
+	if len(i.Siblings) == 0 {
+		e.info(i)
+		return
+	}
+	e.u16(extMarker)
+	e.u8(extVersion)
+	e.info(i)
+	e.addrs(i.Siblings)
+}
+
+// neighborEntry writes the entry, using the extended form only when its
+// descriptor advertises siblings (see infoAny for the compatibility rule).
+// Senders serving legacy peers must strip siblings first (StripSiblings).
 func (e *encoder) neighborEntry(en NeighborEntry) {
+	if len(en.Info.Siblings) == 0 {
+		e.legacyNeighborEntry(en)
+		return
+	}
+	e.u16(extMarker)
+	e.u8(extVersion)
+	e.legacyNeighborEntry(en)
+	e.addrs(en.Info.Siblings)
+}
+
+func (e *encoder) legacyNeighborEntry(en NeighborEntry) {
 	e.info(en.Info)
 	e.u8(en.Jumps)
 	e.addr(en.Bridge)
@@ -104,6 +147,24 @@ func (d *decoder) fail(what string) {
 func (d *decoder) failTooMany(n int, what string, max int) {
 	if d.err == nil {
 		d.err = fmt.Errorf("%w: %d %s (max %d)", ErrMalformed, n, what, max)
+	}
+}
+
+// peekExt reports whether the next two bytes announce an extended encoding,
+// without consuming anything. A short remainder is simply "not extended" —
+// the legacy decode path will produce the precise truncation error.
+func (d *decoder) peekExt() bool {
+	if d.err != nil || d.off+2 > len(d.buf) {
+		return false
+	}
+	return binary.BigEndian.Uint16(d.buf[d.off:d.off+2]) == extMarker
+}
+
+// extHeader consumes an extended-encoding introducer (marker + version).
+func (d *decoder) extHeader() {
+	d.u16() // marker, already peeked
+	if v := d.u8(); d.err == nil && v != extVersion {
+		d.err = fmt.Errorf("%w: unsupported extension version %d", ErrMalformed, v)
 	}
 }
 
@@ -219,13 +280,43 @@ func (d *decoder) services() []device.ServiceInfo {
 }
 
 func (d *decoder) neighborEntry() NeighborEntry {
+	ext := d.peekExt()
+	if ext {
+		d.extHeader()
+	}
 	var en NeighborEntry
 	en.Info = d.info()
 	en.Jumps = d.u8()
 	en.Bridge = d.addr()
 	en.QualitySum = d.u32()
 	en.QualityMin = d.u8()
+	if ext {
+		en.Info.Siblings = d.addrs()
+		if d.err == nil && len(en.Info.Siblings) == 0 {
+			// The extended form exists only to carry siblings; an empty list
+			// would re-encode in the legacy form and break the canonical-
+			// encoding invariant the fuzz round trip pins.
+			d.err = fmt.Errorf("%w: extended entry without siblings", ErrMalformed)
+		}
+	}
 	return en
+}
+
+// infoAny decodes a descriptor in either the legacy or the extended form
+// (see encoder.infoAny).
+func (d *decoder) infoAny() device.Info {
+	ext := d.peekExt()
+	if ext {
+		d.extHeader()
+	}
+	i := d.info()
+	if ext {
+		i.Siblings = d.addrs()
+		if d.err == nil && len(i.Siblings) == 0 {
+			d.err = fmt.Errorf("%w: extended descriptor without siblings", ErrMalformed)
+		}
+	}
+	return i
 }
 
 func (d *decoder) neighborEntries() []NeighborEntry {

@@ -28,9 +28,20 @@ func fuzzSeedMessages() []Message {
 		QualitySum: 460,
 		QualityMin: 231,
 	}
+	dual := info
+	dual.Siblings = []device.Addr{
+		{Tech: device.TechWLAN, MAC: "02:70:68:00:00:08"},
+		{Tech: device.TechGPRS, MAC: "02:70:68:00:00:09"},
+	}
+	dualEntry := entry
+	dualEntry.Info = dual
 	return []Message{
 		&InfoRequest{Kind: InfoNeighborhood},
+		&InfoRequest{Kind: InfoDeviceEx},
 		&DeviceInfo{Info: info},
+		&DeviceInfo{Info: dual},
+		&NeighborhoodSyncRequest{Epoch: 11, Gen: 42, Flags: SyncFlagSiblings},
+		FullSync(12, 45, []NeighborEntry{dualEntry, entry}),
 		&ServiceList{Services: info.Services},
 		&Neighborhood{Entries: []NeighborEntry{entry}},
 		&HelloNew{ServicePort: 4001, ServiceName: "echo", ConnID: 7, HasClient: true, Client: info},

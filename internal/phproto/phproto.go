@@ -136,6 +136,11 @@ const (
 	// generation, entry count, table hash). Legacy daemons close the
 	// connection on it; callers must treat that as "not supported".
 	InfoDigest
+	// InfoDeviceEx asks for the device descriptor in its extended form,
+	// which additionally advertises the responder's sibling interface
+	// addresses (the cross-interface identity plane). Legacy daemons close
+	// the connection on it; callers fall back to InfoDevice.
+	InfoDeviceEx
 )
 
 // String implements fmt.Stringer.
@@ -149,6 +154,8 @@ func (k InfoKind) String() string {
 		return "neighborhood"
 	case InfoDigest:
 		return "digest"
+	case InfoDeviceEx:
+		return "device-ex"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -177,7 +184,10 @@ func (m *InfoRequest) decodeFrom(d *decoder) error {
 	return d.err
 }
 
-// DeviceInfo carries one device descriptor.
+// DeviceInfo carries one device descriptor. A descriptor with sibling
+// interface addresses encodes in the extended form, which only InfoDeviceEx
+// requesters receive — answers to plain InfoDevice are stripped by the
+// responder so legacy fetchers keep decoding them.
 type DeviceInfo struct {
 	Info device.Info
 }
@@ -185,10 +195,10 @@ type DeviceInfo struct {
 // Cmd implements Message.
 func (*DeviceInfo) Cmd() Command { return CmdDeviceInfo }
 
-func (m *DeviceInfo) encodeTo(e *encoder) { e.info(m.Info) }
+func (m *DeviceInfo) encodeTo(e *encoder) { e.infoAny(m.Info) }
 
 func (m *DeviceInfo) decodeFrom(d *decoder) error {
-	m.Info = d.info()
+	m.Info = d.infoAny()
 	return d.err
 }
 
@@ -226,7 +236,11 @@ type NeighborEntry struct {
 	QualityMin uint8
 }
 
-// Neighborhood carries a device's routing table.
+// Neighborhood carries a device's routing table. It is the legacy full
+// exchange, fetched by peers that may predate the identity plane, so it
+// always encodes in the legacy entry form: sibling advertisements are
+// stripped at encode time (identity-capable peers use the versioned sync
+// exchange instead, which negotiates the extended form).
 type Neighborhood struct {
 	Entries []NeighborEntry
 }
@@ -234,7 +248,7 @@ type Neighborhood struct {
 // Cmd implements Message.
 func (*Neighborhood) Cmd() Command { return CmdNeighborhood }
 
-func (m *Neighborhood) encodeTo(e *encoder) { e.neighborEntries(m.Entries) }
+func (m *Neighborhood) encodeTo(e *encoder) { e.neighborEntries(StripSiblings(m.Entries)) }
 func (m *Neighborhood) decodeFrom(d *decoder) error {
 	m.Entries = d.neighborEntries()
 	return d.err

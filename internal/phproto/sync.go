@@ -15,6 +15,17 @@ import (
 // contact, journal truncation, or a restart detected through the epoch).
 // Legacy peers keep using CmdNeighborhood; both framings stay decodable.
 
+// Sync-request capability flags.
+const (
+	// SyncFlagSiblings announces that the fetcher decodes the extended
+	// (sibling-carrying) entry form. A responder answering a request
+	// without it must serve legacy-form entries — and, because its table
+	// digest covers the extended forms, it serves them as an unsyncable
+	// epoch-0 snapshot (the load-penalty convention) rather than a delta
+	// the fetcher could never digest-verify.
+	SyncFlagSiblings uint8 = 1 << 0
+)
+
 // NeighborhoodSyncRequest opens a versioned neighbourhood fetch.
 type NeighborhoodSyncRequest struct {
 	// Epoch is the responder's storage epoch the fetcher last synced
@@ -22,6 +33,10 @@ type NeighborhoodSyncRequest struct {
 	Epoch uint64
 	// Gen is the responder generation the fetcher has fully merged.
 	Gen uint64
+	// Flags carries the fetcher's capability bits. It is a trailing
+	// optional byte: requests from peers that predate it decode with
+	// Flags 0, and a zero Flags encodes byte-identically to them.
+	Flags uint8
 }
 
 // Cmd implements Message.
@@ -30,11 +45,17 @@ func (*NeighborhoodSyncRequest) Cmd() Command { return CmdNeighborhoodSyncReques
 func (m *NeighborhoodSyncRequest) encodeTo(e *encoder) {
 	e.u64(m.Epoch)
 	e.u64(m.Gen)
+	if m.Flags != 0 {
+		e.u8(m.Flags)
+	}
 }
 
 func (m *NeighborhoodSyncRequest) decodeFrom(d *decoder) error {
 	m.Epoch = d.u64()
 	m.Gen = d.u64()
+	if d.err == nil && d.off < len(d.buf) {
+		m.Flags = d.u8()
+	}
 	return d.err
 }
 
@@ -134,6 +155,27 @@ func (m *DigestInfo) decodeFrom(d *decoder) error {
 	m.Entries = d.u32()
 	m.Hash = d.u64()
 	return d.err
+}
+
+// StripSiblings returns entries with every sibling advertisement removed,
+// sharing the input slice when nothing carries one. Responders use it to
+// render a table for peers that did not negotiate the extended entry form:
+// a stripped entry encodes — and therefore hashes — exactly as the
+// pre-identity wire did.
+func StripSiblings(entries []NeighborEntry) []NeighborEntry {
+	out := entries
+	copied := false
+	for i, en := range entries {
+		if len(en.Info.Siblings) == 0 {
+			continue
+		}
+		if !copied {
+			out = append([]NeighborEntry(nil), entries...)
+			copied = true
+		}
+		out[i].Info.Siblings = nil
+	}
+	return out
 }
 
 // Hash returns a stable fingerprint of the entry's transmitted form (FNV-64a

@@ -1,0 +1,66 @@
+package phtest
+
+import (
+	"testing"
+
+	"peerhood"
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/experiments"
+	"peerhood/internal/geo"
+)
+
+// This file is the multi-radio fixture: worlds whose nodes carry several
+// technologies, on the S5 hotspot-archipelago radio profile
+// (experiments.ArchipelagoParams — a 500 m GPRS umbrella, hard-edged 15 m
+// WLAN islands, Bluetooth at its instant defaults), so unit-level
+// multi-tech tests and the S5 experiment share one deterministic
+// geometry. Unlike the rest of phtest these fixtures build nodes through
+// the public peerhood API, because multi-radio nodes are exactly what
+// that API bundles (daemon + library + bridge over every attached radio).
+
+// MultiTechWorld returns a deterministic instant multi-radio world on the
+// real clock. Drive discovery with World.RunDiscoveryRounds; the world is
+// closed via t.Cleanup.
+func MultiTechWorld(t *testing.T, seed int64) *peerhood.World {
+	t.Helper()
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: seed, Instant: true})
+	applyArchipelago(w)
+	t.Cleanup(func() { _ = w.Close() })
+	return w
+}
+
+// MultiTechManualWorld is MultiTechWorld on a manual clock: nothing
+// sleeps, and time only moves when the test advances it — the fixture for
+// the vertical-handover trigger and hysteresis pins.
+func MultiTechManualWorld(t *testing.T, seed int64) (*peerhood.World, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual()
+	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: seed, Clock: clk, Instant: true})
+	applyArchipelago(w)
+	t.Cleanup(func() { _ = w.Close() })
+	return w, clk
+}
+
+func applyArchipelago(w *peerhood.World) {
+	for _, tech := range device.Techs() {
+		w.Sim().SetParams(tech, experiments.ArchipelagoParams(tech))
+	}
+}
+
+// AddMultiTechNode creates a started node carrying the given radios (one
+// Bluetooth radio when none are named) at a fixed position. The world's
+// cleanup stops it.
+func AddMultiTechNode(t *testing.T, w *peerhood.World, name string, at geo.Point, mob device.Mobility, techs ...device.Tech) *peerhood.Node {
+	t.Helper()
+	n, err := w.NewNode(peerhood.NodeConfig{
+		Name:     name,
+		Position: at,
+		Mobility: mob,
+		Techs:    techs,
+	})
+	if err != nil {
+		t.Fatalf("NewNode(%s): %v", name, err)
+	}
+	return n
+}

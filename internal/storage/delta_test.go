@@ -72,7 +72,7 @@ func (r *replica) checkAgainst(t *testing.T, s *Storage, step int) {
 // gap) from src into r, verifying the advertised digest.
 func syncOnce(t *testing.T, src *Storage, r *replica) {
 	t.Helper()
-	resp := src.SyncResponse(r.epoch, r.gen)
+	resp := src.SyncResponse(r.epoch, r.gen, true)
 	if resp.Full {
 		r.applyFull(resp.Epoch, resp.ToGen, resp.Entries)
 	} else {
@@ -224,7 +224,7 @@ func TestJournalTruncationForcesFull(t *testing.T) {
 	if _, _, ok := s.WireEntriesSince(gen); ok {
 		t.Fatal("truncated journal still claimed to cover an ancient generation")
 	}
-	resp := s.SyncResponse(s.Digest().Epoch, gen)
+	resp := s.SyncResponse(s.Digest().Epoch, gen, true)
 	if !resp.Full {
 		t.Fatalf("SyncResponse = %+v, want FULL fallback", resp)
 	}
@@ -245,7 +245,7 @@ func TestOversizeDeltaFallsBackToFull(t *testing.T) {
 		t.Fatalf("delta covering %d devices claimed to be servable (wire cap %d)",
 			phproto.MaxEntries+50, phproto.MaxEntries)
 	}
-	if resp := s.SyncResponse(s.Digest().Epoch, 0); !resp.Full {
+	if resp := s.SyncResponse(s.Digest().Epoch, 0, true); !resp.Full {
 		t.Fatal("oversize window not answered with FULL")
 	}
 }
@@ -253,7 +253,7 @@ func TestOversizeDeltaFallsBackToFull(t *testing.T) {
 func TestSyncResponseEpochMismatchForcesFull(t *testing.T) {
 	s := newTestStorage("self")
 	s.UpsertDirect(info("b", "bb", device.Static), 240)
-	resp := s.SyncResponse(s.Digest().Epoch+1, s.Digest().Gen)
+	resp := s.SyncResponse(s.Digest().Epoch+1, s.Digest().Gen, true)
 	if !resp.Full {
 		t.Fatal("epoch mismatch (peer restart) answered with a delta")
 	}
@@ -545,7 +545,7 @@ func TestOversizeTableServedAsTruncatedSnapshot(t *testing.T) {
 	for i := 0; i < phproto.MaxEntries+1; i++ {
 		s.UpsertDirect(info("d", fmt.Sprintf("%05d", i), device.Static), 240)
 	}
-	resp := s.SyncResponse(0, 0)
+	resp := s.SyncResponse(0, 0, true)
 	if !resp.Full || resp.Epoch != 0 || len(resp.Entries) != phproto.MaxEntries {
 		t.Fatalf("full=%v epoch=%d entries=%d, want truncated epoch-0 snapshot",
 			resp.Full, resp.Epoch, len(resp.Entries))

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"testing"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+)
+
+func wlanAddr(mac string) device.Addr { return device.Addr{Tech: device.TechWLAN, MAC: mac} }
+func gprsAddr(mac string) device.Addr { return device.Addr{Tech: device.TechGPRS, MAC: mac} }
+
+// TestIdentityGroupsInterfaces: two interfaces advertising each other as
+// siblings group under one identity, queryable from either side, and the
+// identity-aware route listing marks the sibling's routes vertical.
+func TestIdentityGroupsInterfaces(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual()})
+	wl, gp := wlanAddr("W1"), gprsAddr("G1")
+
+	s.UpsertDirect(device.Info{Name: "dual", Addr: wl, Siblings: []device.Addr{gp}}, 240)
+	s.UpsertDirect(device.Info{Name: "dual", Addr: gp, Siblings: []device.Addr{wl}}, 235)
+
+	we, _ := s.Lookup(wl)
+	ge, _ := s.Lookup(gp)
+	if we.Identity() != ge.Identity() || we.Identity() == "" {
+		t.Fatalf("identities differ: %q vs %q", we.Identity(), ge.Identity())
+	}
+	sibs := s.Siblings(wl)
+	if len(sibs) != 1 || sibs[0].Info.Addr != gp {
+		t.Fatalf("Siblings(wlan) = %v", sibs)
+	}
+
+	cands := s.AlternateRoutesByIdentity(wl, device.Addr{})
+	var direct, vertical int
+	for _, c := range cands {
+		if c.Vertical {
+			vertical++
+			if c.Target != gp {
+				t.Fatalf("vertical candidate targets %v", c.Target)
+			}
+		} else {
+			direct++
+		}
+	}
+	if direct != 1 || vertical != 1 {
+		t.Fatalf("candidates = %v, want one direct and one vertical", cands)
+	}
+}
+
+// TestIdentityRelinksOneSidedKnowledge: an interface learned without
+// sibling info (a legacy-path report) is re-linked when its sibling's
+// descriptor arrives naming it.
+func TestIdentityRelinksOneSidedKnowledge(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual()})
+	wl, gp := wlanAddr("W1"), gprsAddr("G1")
+
+	// GPRS row first, with no sibling knowledge: a singleton identity.
+	s.UpsertDirect(device.Info{Name: "dual", Addr: gp}, 235)
+	// The WLAN row arrives naming the GPRS interface: both must re-group,
+	// whichever address happens to be the canonical one.
+	s.UpsertDirect(device.Info{Name: "dual", Addr: wl, Siblings: []device.Addr{gp}}, 240)
+
+	if sibs := s.Siblings(gp); len(sibs) != 1 || sibs[0].Info.Addr != wl {
+		t.Fatalf("Siblings(gprs) = %v after relink", sibs)
+	}
+	ge, _ := s.Lookup(gp)
+	if len(ge.Info.Siblings) != 1 || ge.Info.Siblings[0] != wl {
+		t.Fatalf("reciprocal sibling not back-filled: %v", ge.Info.Siblings)
+	}
+}
+
+// TestIdentitySurvivesInterfaceDeath: when an interface's own row dies,
+// the identity still resolves through a surviving sibling that advertises
+// it — the lookup path that lets handover rescue a connection whose
+// bearer aged out.
+func TestIdentitySurvivesInterfaceDeath(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual()})
+	wl, gp := wlanAddr("W1"), gprsAddr("G1")
+	s.UpsertDirect(device.Info{Name: "dual", Addr: wl, Siblings: []device.Addr{gp}}, 240)
+	s.UpsertDirect(device.Info{Name: "dual", Addr: gp, Siblings: []device.Addr{wl}}, 235)
+
+	s.RemoveDirect(wl)
+	if _, ok := s.Lookup(wl); ok {
+		t.Fatal("wlan row survived RemoveDirect")
+	}
+	cands := s.AlternateRoutesByIdentity(wl, device.Addr{})
+	if len(cands) != 1 || !cands[0].Vertical || cands[0].Target != gp {
+		t.Fatalf("dead-interface candidates = %v, want the GPRS sibling", cands)
+	}
+	if sibs := s.Siblings(wl); len(sibs) != 1 || sibs[0].Info.Addr != gp {
+		t.Fatalf("Siblings(dead wlan) = %v", sibs)
+	}
+}
+
+// TestSyncResponseLegacyDegradesOnSiblings: a fetcher that did not
+// negotiate the extended entry form gets the normal versioned answer
+// while the table is sibling-free, and a stripped unsyncable epoch-0
+// snapshot once any row carries siblings — decided atomically with the
+// render, so no concurrent adoption can leak an extended entry.
+func TestSyncResponseLegacyDegradesOnSiblings(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual()})
+	s.UpsertDirect(device.Info{Name: "plain", Addr: wlanAddr("P1")}, 240)
+
+	resp := s.SyncResponse(s.Digest().Epoch, s.Digest().Gen, false)
+	if !resp.Full && resp.Epoch != s.Digest().Epoch {
+		t.Fatalf("sibling-free legacy answer lost sync: %+v", resp)
+	}
+	if resp.Epoch == 0 {
+		t.Fatalf("sibling-free table needlessly degraded to an epoch-0 snapshot: %+v", resp)
+	}
+
+	s.UpsertDirect(device.Info{Name: "dual", Addr: wlanAddr("W1"), Siblings: []device.Addr{gprsAddr("G1")}}, 238)
+	resp = s.SyncResponse(s.Digest().Epoch, s.Digest().Gen, false)
+	if !resp.Full || resp.Epoch != 0 {
+		t.Fatalf("sibling-carrying table served a syncable legacy answer: %+v", resp)
+	}
+	for _, en := range resp.Entries {
+		if len(en.Info.Siblings) != 0 {
+			t.Fatalf("legacy answer leaked siblings: %v", en.Info.Addr)
+		}
+	}
+	count, hash := phproto.DigestOf(resp.Entries)
+	if count != resp.DigestCount || hash != resp.DigestHash {
+		t.Fatal("stripped snapshot's digest does not cover what was sent")
+	}
+
+	// A capable fetcher keeps the extended forms and the real epoch.
+	ext := s.SyncResponse(s.Digest().Epoch, s.Digest().Gen, true)
+	if ext.Epoch != s.Digest().Epoch {
+		t.Fatalf("extended answer degraded: %+v", ext)
+	}
+}
+
+// TestSiblingAdoptionFromBridgedReport: a bridged row carrying sibling
+// info enriches a stored row that has none, and the adoption is
+// wire-visible (generation advances) so it propagates onward.
+func TestSiblingAdoptionFromBridgedReport(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual()})
+	bridge := wlanAddr("B1")
+	wl, gp := wlanAddr("W1"), gprsAddr("G1")
+
+	s.UpsertDirect(device.Info{Name: "bridge", Addr: bridge}, 240)
+	s.MergeNeighborhood(bridge, 240, []phproto.NeighborEntry{
+		{Info: device.Info{Name: "dual", Addr: wl}, QualitySum: 238, QualityMin: 238},
+	})
+	genBefore := s.Digest().Gen
+
+	s.MergeNeighborhood(bridge, 240, []phproto.NeighborEntry{
+		{Info: device.Info{Name: "dual", Addr: wl, Siblings: []device.Addr{gp}}, QualitySum: 238, QualityMin: 238},
+	})
+	e, _ := s.Lookup(wl)
+	if len(e.Info.Siblings) != 1 || e.Info.Siblings[0] != gp {
+		t.Fatalf("sibling info not adopted from the bridged report: %v", e.Info.Siblings)
+	}
+	if s.Digest().Gen == genBefore {
+		t.Fatal("sibling adoption did not advance the generation (delta sync would never carry it)")
+	}
+
+	// The candidate exclusion applies to vertical routes too: excluding
+	// the bridge must drop the via-bridge route to the (future) sibling.
+	s.MergeNeighborhood(bridge, 240, []phproto.NeighborEntry{
+		{Info: device.Info{Name: "dual", Addr: wl, Siblings: []device.Addr{gp}}, QualitySum: 238, QualityMin: 238},
+		{Info: device.Info{Name: "dual", Addr: gp, Siblings: []device.Addr{wl}}, QualitySum: 232, QualityMin: 232},
+	})
+	if cands := s.AlternateRoutesByIdentity(wl, bridge); len(cands) != 0 {
+		t.Fatalf("excludeBridge leaked candidates: %v", cands)
+	}
+}

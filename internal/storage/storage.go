@@ -152,7 +152,13 @@ type Entry struct {
 	// bridges that may still reach the device after every remembered route
 	// dies. Folded into the sync-state reset set when the entry is removed.
 	evictedVia []device.Addr
+	// id caches Info.Identity() so the identity index stays consistent with
+	// the descriptor across partial updates.
+	id device.ID
 }
+
+// Identity returns the entry's cross-interface device identity.
+func (e *Entry) Identity() device.ID { return e.id }
 
 // noteEvictedVia remembers a capacity-evicted route's bridge.
 func (e *Entry) noteEvictedVia(bridge device.Addr) {
@@ -218,6 +224,11 @@ type Storage struct {
 	mu      sync.RWMutex
 	self    map[device.Addr]bool
 	entries map[device.Addr]*Entry
+	// ids groups stored interfaces by cross-interface device identity
+	// (device.ID): the identity plane over the per-interface rows. Rows stay
+	// the wire unit; the index only adds the "same peer, other radio" view
+	// that Siblings and AlternateRoutesByIdentity serve.
+	ids map[device.ID]map[device.Addr]bool
 
 	// gen is the generation of the last wire-visible mutation.
 	gen uint64
@@ -266,6 +277,7 @@ func New(cfg Config) *Storage {
 		epoch:    newEpoch(),
 		self:     make(map[device.Addr]bool),
 		entries:  make(map[device.Addr]*Entry),
+		ids:      make(map[device.ID]map[device.Addr]bool),
 		wireHash: make(map[device.Addr]uint64),
 		evicted:  make(map[device.Addr]bool),
 	}
@@ -277,9 +289,77 @@ func New(cfg Config) *Storage {
 func (s *Storage) AddSelfAddr(a device.Addr) {
 	s.mu.Lock()
 	s.self[a] = true
+	if e, ok := s.entries[a]; ok {
+		s.dropIdentityLocked(a, e.id)
+	}
 	delete(s.entries, a)
 	s.touchLocked(a)
 	s.mu.Unlock()
+}
+
+// reindexIdentityLocked re-files the entry under the identity its current
+// descriptor derives. Every mutation that may change Info funnels through
+// it, so the identity index (and the entry's cached id) never drifts from
+// the descriptors — including across delta syncs and the full resyncs that
+// follow a peer's epoch reset, which simply replay descriptors through the
+// same path.
+func (s *Storage) reindexIdentityLocked(addr device.Addr, e *Entry) {
+	id := e.Info.Identity()
+	if e.id == id {
+		return
+	}
+	s.dropIdentityLocked(addr, e.id)
+	e.id = id
+	m := s.ids[id]
+	if m == nil {
+		m = make(map[device.Addr]bool)
+		s.ids[id] = m
+	}
+	m[addr] = true
+}
+
+// dropIdentityLocked removes addr from the identity group id.
+func (s *Storage) dropIdentityLocked(addr device.Addr, id device.ID) {
+	if id == "" {
+		return
+	}
+	if m := s.ids[id]; m != nil {
+		delete(m, addr)
+		if len(m) == 0 {
+			delete(s.ids, id)
+		}
+	}
+}
+
+// relinkSiblingsLocked back-fills sibling knowledge onto already-stored
+// interfaces that e's fresh descriptor names but that were themselves
+// learned without sibling advertisements (a legacy-path report, or a row
+// stored before the device's identity reached us). Without this, the group
+// an interface joins would depend on which interface happened to carry the
+// canonical (smallest) address.
+func (s *Storage) relinkSiblingsLocked(addr device.Addr, e *Entry) {
+	if len(e.Info.Siblings) == 0 {
+		return
+	}
+	for _, sib := range e.Info.Siblings {
+		se, ok := s.entries[sib]
+		if !ok || len(se.Info.Siblings) > 0 || se.id == e.id {
+			continue
+		}
+		// The reciprocal view: the sibling's interfaces are e's interfaces
+		// minus itself, plus e's own address.
+		recip := make([]device.Addr, 0, len(e.Info.Siblings))
+		recip = append(recip, addr)
+		for _, o := range e.Info.Siblings {
+			if o != sib {
+				recip = append(recip, o)
+			}
+		}
+		sort.Slice(recip, func(i, j int) bool { return recip[i].Less(recip[j]) })
+		se.Info.Siblings = recip
+		s.reindexIdentityLocked(sib, se)
+		s.touchLocked(sib)
+	}
 }
 
 // IsSelf reports whether a is one of the local device's addresses.
@@ -384,6 +464,8 @@ func (s *Storage) UpsertDirect(info device.Info, quality int) {
 	} else if info.Name != "" {
 		e.Info = info.Clone()
 	}
+	s.reindexIdentityLocked(info.Addr, e)
+	s.relinkSiblingsLocked(info.Addr, e)
 	e.MissedLoops = 0
 	e.LastSeen = now
 	route := Route{
@@ -410,6 +492,8 @@ func (s *Storage) UpdateInfo(info device.Info) {
 		return
 	}
 	e.Info = info.Clone()
+	s.reindexIdentityLocked(info.Addr, e)
+	s.relinkSiblingsLocked(info.Addr, e)
 	e.LastFetched = s.cfg.Clock.Now()
 	// Direct routes carry the target's own mobility; refresh it.
 	for i := range e.Routes {
@@ -636,7 +720,14 @@ func (s *Storage) mergeCandidateLocked(bridge device.Addr, bridgeQuality int, br
 		if len(e.Info.Services) == 0 && len(ne.Info.Services) > 0 {
 			e.Info = ne.Info.Clone()
 		}
+		// Same for sibling knowledge: adopt a report's identity links when
+		// we have none for this interface.
+		if len(e.Info.Siblings) == 0 && len(ne.Info.Siblings) > 0 {
+			e.Info.Siblings = append([]device.Addr(nil), ne.Info.Siblings...)
+		}
 	}
+	s.reindexIdentityLocked(target, e)
+	s.relinkSiblingsLocked(target, e)
 	s.putRouteLocked(e, route)
 	s.touchLocked(target)
 }
@@ -906,9 +997,28 @@ func (s *Storage) deltaLocked(gen uint64) (Delta, bool) {
 // a FULL table. The daemon's responder calls it directly unless a load
 // penalty skews its advertised entries (then it builds phproto.FullSync
 // over the penalised rows itself).
-func (s *Storage) SyncResponse(epoch, gen uint64) *phproto.NeighborhoodSync {
+//
+// extended states whether the fetcher negotiated the sibling-carrying
+// entry form. A fetcher that did not cannot decode extended entries, and
+// our digest covers them — so when the table holds any, the whole answer
+// degrades to a stripped, unsyncable epoch-0 snapshot (the load-penalty
+// convention). The check and the render happen under one lock, so a
+// concurrent sibling adoption cannot slip an extended entry into a
+// legacy-form answer.
+func (s *Storage) SyncResponse(epoch, gen uint64, extended bool) *phproto.NeighborhoodSync {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if !extended {
+		for addr := range s.wireHash {
+			if e, ok := s.entries[addr]; ok && len(e.Info.Siblings) > 0 {
+				entries := phproto.StripSiblings(s.wireEntriesLocked())
+				if len(entries) > phproto.MaxEntries {
+					entries = entries[:phproto.MaxEntries]
+				}
+				return phproto.FullSync(0, 0, entries)
+			}
+		}
+	}
 	if epoch == s.epoch {
 		if delta, ok := s.deltaLocked(gen); ok {
 			return &phproto.NeighborhoodSync{
@@ -965,6 +1075,111 @@ func (s *Storage) AlternateRoutes(a device.Addr, excludeBridge device.Addr) []Ro
 	return out
 }
 
+// identityOfLocked resolves the device identity of interface a. When a's
+// own entry is gone (an aged-out radio), a surviving entry that advertises
+// a as a sibling still resolves it: the identity outlives any single
+// interface row, which is what lets handover rescue a connection whose
+// bearer's entry died while the peer stayed reachable on another radio.
+func (s *Storage) identityOfLocked(a device.Addr) (device.ID, bool) {
+	if e, ok := s.entries[a]; ok {
+		return e.id, true
+	}
+	for _, se := range s.entries {
+		for _, sib := range se.Info.Siblings {
+			if sib == a {
+				return se.id, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Siblings returns the stored entries for the other interfaces of a's
+// device identity, in address order. A device known through only one
+// interface (or a legacy peer that never advertised siblings) has none.
+func (s *Storage) Siblings(a device.Addr) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.identityOfLocked(a)
+	if !ok {
+		return nil
+	}
+	var out []Entry
+	for addr := range s.ids[id] {
+		if addr == a {
+			continue
+		}
+		if se, ok := s.entries[addr]; ok {
+			out = append(out, se.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Info.Addr.Less(out[j].Info.Addr) })
+	return out
+}
+
+// Candidate is one identity-aware way to reach a logical peer: a stored
+// route to one of its interfaces. Vertical candidates target a sibling
+// interface — "same peer, different radio" — and exist only because the
+// identity index groups the per-interface rows.
+type Candidate struct {
+	// Target is the interface address the route reaches.
+	Target device.Addr
+	// Route is the stored route to Target.
+	Route Route
+	// Vertical marks a candidate on a sibling interface of the queried one.
+	Vertical bool
+}
+
+// FirstHop returns the interface the local device must dial to use the
+// candidate: the route's bridge, or the target itself when direct. Its
+// technology is the radio the local device will actually hold.
+func (c Candidate) FirstHop() device.Addr {
+	if c.Route.Direct() {
+		return c.Target
+	}
+	return c.Route.Bridge
+}
+
+// AlternateRoutesByIdentity is the identity-aware AlternateRoutes: every
+// candidate route to a's device — routes to a itself, then routes to each
+// sibling interface of its identity — excluding routes whose first hop is
+// excludeBridge (the failing bridge of §5.2.2). Routes keep their stored
+// best-first order within each interface; cross-candidate ranking is the
+// caller's policy decision.
+func (s *Storage) AlternateRoutesByIdentity(a device.Addr, excludeBridge device.Addr) []Candidate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.identityOfLocked(a)
+	if !ok {
+		return nil
+	}
+	var out []Candidate
+	add := func(target device.Addr, entry *Entry, vertical bool) {
+		for _, r := range entry.Routes {
+			if !excludeBridge.IsZero() && r.Bridge == excludeBridge {
+				continue
+			}
+			out = append(out, Candidate{Target: target, Route: r, Vertical: vertical})
+		}
+	}
+	if e, ok := s.entries[a]; ok {
+		add(a, e, false)
+	}
+	members := make([]device.Addr, 0, len(s.ids[id]))
+	for addr := range s.ids[id] {
+		if addr != a {
+			members = append(members, addr)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+	for _, addr := range members {
+		if se, ok := s.entries[addr]; ok {
+			add(addr, se, true)
+		}
+	}
+	return out
+}
+
 // putRouteLocked installs route as the candidate for its first hop,
 // keeping Routes sorted best-first and capped at MaxAlternates.
 func (s *Storage) putRouteLocked(e *Entry, route Route) {
@@ -996,6 +1211,7 @@ func (s *Storage) removeEntryLocked(addr device.Addr, e *Entry) {
 	for _, b := range e.evictedVia {
 		s.evicted[b] = true
 	}
+	s.dropIdentityLocked(addr, e.id)
 	delete(s.entries, addr)
 }
 

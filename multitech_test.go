@@ -4,32 +4,22 @@ import (
 	"testing"
 
 	"peerhood"
+	"peerhood/internal/phtest"
 )
+
+// The multi-radio worlds in this file come from phtest's S5-backed fixture
+// (the hotspot-archipelago radio profile): one helper call per world/node.
 
 // TestMultiTechDiscovery: a device carrying Bluetooth and WLAN radios
 // (PeerHood's multi-plugin design, §2.2) is discovered independently on
-// each technology; each interface is its own storage entry, keyed by its
-// MAC (§2.3).
+// each technology; each interface stays its own storage row, keyed by its
+// MAC (§2.3) — and the identity plane groups the two rows as one device.
 func TestMultiTechDiscovery(t *testing.T) {
-	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 31, Instant: true})
-	defer w.Close()
-
-	dual, err := w.NewNode(peerhood.NodeConfig{
-		Name:     "dual",
-		Position: peerhood.Pt(5, 0),
-		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	observer, err := w.NewNode(peerhood.NodeConfig{
-		Name:     "observer",
-		Position: peerhood.Pt(0, 0),
-		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	w := phtest.MultiTechWorld(t, 31)
+	dual := phtest.AddMultiTechNode(t, w, "dual", peerhood.Pt(5, 0), peerhood.Static,
+		peerhood.Bluetooth, peerhood.WLAN)
+	observer := phtest.AddMultiTechNode(t, w, "observer", peerhood.Pt(0, 0), peerhood.Static,
+		peerhood.Bluetooth, peerhood.WLAN)
 
 	w.RunDiscoveryRounds(2)
 
@@ -46,31 +36,35 @@ func TestMultiTechDiscovery(t *testing.T) {
 	if _, ok := observer.LookupDevice(wlanAddr); !ok {
 		t.Fatal("WLAN interface not discovered")
 	}
+
+	// The identity plane: each interface advertises the other as a
+	// sibling, so the observer groups the two rows under one device.
+	sibs := observer.SiblingsOf(btAddr)
+	if len(sibs) != 1 || sibs[0].Info.Addr != wlanAddr {
+		t.Fatalf("SiblingsOf(bt) = %v, want the WLAN interface", sibs)
+	}
+	sibs = observer.SiblingsOf(wlanAddr)
+	if len(sibs) != 1 || sibs[0].Info.Addr != btAddr {
+		t.Fatalf("SiblingsOf(wlan) = %v, want the BT interface", sibs)
+	}
+	be, _ := observer.LookupDevice(btAddr)
+	we, _ := observer.LookupDevice(wlanAddr)
+	if be.Identity() != we.Identity() {
+		t.Fatalf("interfaces carry different identities: %q vs %q", be.Identity(), we.Identity())
+	}
 }
 
 // TestServiceReachableOnEitherTech: a service registered once is
 // advertised on every radio, and the observer can connect over whichever
-// technology it prefers.
+// technology it prefers — by interface address or by the WithTech
+// preference, which resolves the sibling interface through the identity
+// plane.
 func TestServiceReachableOnEitherTech(t *testing.T) {
-	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 32, Instant: true})
-	defer w.Close()
-
-	dual, err := w.NewNode(peerhood.NodeConfig{
-		Name:     "dual",
-		Position: peerhood.Pt(5, 0),
-		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	observer, err := w.NewNode(peerhood.NodeConfig{
-		Name:     "observer",
-		Position: peerhood.Pt(0, 0),
-		Techs:    []peerhood.Tech{peerhood.Bluetooth, peerhood.WLAN},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	w := phtest.MultiTechWorld(t, 32)
+	dual := phtest.AddMultiTechNode(t, w, "dual", peerhood.Pt(5, 0), peerhood.Static,
+		peerhood.Bluetooth, peerhood.WLAN)
+	observer := phtest.AddMultiTechNode(t, w, "observer", peerhood.Pt(0, 0), peerhood.Static,
+		peerhood.Bluetooth, peerhood.WLAN)
 
 	if _, err := dual.RegisterService("echo", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
 		defer c.Close()
@@ -101,42 +95,46 @@ func TestServiceReachableOnEitherTech(t *testing.T) {
 		if err != nil {
 			t.Fatalf("connect over %v: %v", tech, err)
 		}
-		if _, err := conn.Write([]byte("x")); err != nil {
-			t.Fatalf("write over %v: %v", tech, err)
-		}
-		buf := make([]byte, 8)
-		if _, err := conn.Read(buf); err != nil {
-			t.Fatalf("read over %v: %v", tech, err)
-		}
-		_ = conn.Close()
+		echoRoundTrip(t, conn, tech)
 	}
+
+	// Tech preference: name the BT interface but ask for WLAN — the
+	// identity plane retargets the dial onto the sibling.
+	btAddr, _ := dual.AddrFor(peerhood.Bluetooth)
+	wlanAddr, _ := dual.AddrFor(peerhood.WLAN)
+	conn, err := observer.Connect(btAddr, "echo", peerhood.WithTech(peerhood.WLAN))
+	if err != nil {
+		t.Fatalf("connect with WLAN preference: %v", err)
+	}
+	if got := conn.Target(); got != wlanAddr {
+		t.Fatalf("WithTech(WLAN) dialed %v, want %v", got, wlanAddr)
+	}
+	echoRoundTrip(t, conn, peerhood.WLAN)
+}
+
+func echoRoundTrip(t *testing.T, conn *peerhood.Connection, tech peerhood.Tech) {
+	t.Helper()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("write over %v: %v", tech, err)
+	}
+	buf := make([]byte, 8)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read over %v: %v", tech, err)
+	}
+	_ = conn.Close()
 }
 
 // TestChainedHandovers: a connection hands over twice in a row (bridge A
 // then bridge B), each time excluding its current first hop — the
 // walking-past-successive-bridges pattern of fig 5.6.
 func TestChainedHandovers(t *testing.T) {
-	w := peerhood.NewWorld(peerhood.WorldConfig{Seed: 33, Instant: true})
-	defer w.Close()
-
-	server, err := w.NewNode(peerhood.NodeConfig{Name: "server", Position: peerhood.Pt(0, 0)})
-	if err != nil {
-		t.Fatal(err)
-	}
+	w := phtest.MultiTechWorld(t, 33)
+	server := phtest.AddMultiTechNode(t, w, "server", peerhood.Pt(0, 0), peerhood.Static)
 	// Both bridges sit ~3.1 m from phone and server: every bridge hop
 	// clears the 230 threshold while the 6 m direct link (~210) does not.
-	b1, err := w.NewNode(peerhood.NodeConfig{Name: "b1", Position: peerhood.Pt(3, 0.8)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b2, err := w.NewNode(peerhood.NodeConfig{Name: "b2", Position: peerhood.Pt(3, -0.8)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	phone, err := w.NewNode(peerhood.NodeConfig{Name: "phone", Position: peerhood.Pt(6, 0), Mobility: peerhood.Dynamic})
-	if err != nil {
-		t.Fatal(err)
-	}
+	b1 := phtest.AddMultiTechNode(t, w, "b1", peerhood.Pt(3, 0.8), peerhood.Static)
+	b2 := phtest.AddMultiTechNode(t, w, "b2", peerhood.Pt(3, -0.8), peerhood.Static)
+	phone := phtest.AddMultiTechNode(t, w, "phone", peerhood.Pt(6, 0), peerhood.Dynamic)
 
 	if _, err := server.RegisterService("sink", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
 		defer c.Close()

@@ -143,6 +143,13 @@ const (
 	EventHandoverStarted   = events.HandoverStarted
 	EventHandoverCompleted = events.HandoverCompleted
 	EventHandoverFailed    = events.HandoverFailed
+	EventVerticalHandover  = events.VerticalHandover
+
+	// Handover selection policies (NodeConfig.HandoverPolicy,
+	// HandoverConfig.Policy).
+	PolicyStrongestLink  = handover.PolicyStrongestLink
+	PolicyBandwidthFirst = handover.PolicyBandwidthFirst
+	PolicyCostFirst      = handover.PolicyCostFirst
 )
 
 // MaskOf builds an EventMask selecting exactly the given event types; the
@@ -352,6 +359,15 @@ type NodeConfig struct {
 	// unseen before it ages out (0 = storage default, 2). Fault-heavy
 	// scenarios raise it so short blackouts do not wipe whole tables.
 	MaxMissedLoops int
+	// HandoverPolicy names the default candidate-selection policy for
+	// handover threads attached to this node's connections:
+	// PolicyStrongestLink (default), PolicyBandwidthFirst, or
+	// PolicyCostFirst. HandoverConfig.Policy overrides it per thread.
+	HandoverPolicy string
+	// DisableIdentity makes the node behave like a pre-identity peer: no
+	// sibling-interface advertisement, no identity-capable fetching, legacy
+	// wire forms served — the interop baseline for vertical handover.
+	DisableIdentity bool
 }
 
 // Node is one PeerHood device: daemon + library + bridge, ready to
@@ -433,6 +449,7 @@ func (n *Node) start() error {
 		ServiceCheckInterval: cfg.ServiceCheckInterval,
 		LegacyOneHop:         cfg.LegacyDiscovery,
 		DisableDeltaSync:     cfg.FullSyncOnly,
+		DisableIdentity:      cfg.DisableIdentity,
 		QualityFirst:         cfg.QualityFirst,
 		LoadPenalty:          loadPenalty,
 		LinkHorizon:          cfg.LinkHorizon,
@@ -682,6 +699,15 @@ func (n *Node) Connect(target Addr, service string, opts ...library.ConnectOptio
 // (§5.3).
 func WithClientInfo() library.ConnectOption { return library.WithClientInfo() }
 
+// WithTech re-exports the Connect option stating a per-connection bearer
+// preference: dial the target device's sibling interface of technology t
+// when its identity has one stored and reachable.
+func WithTech(t Tech) library.ConnectOption { return library.WithTech(t) }
+
+// SiblingsOf returns the stored entries for the other interfaces of a's
+// device identity (the cross-interface identity plane).
+func (n *Node) SiblingsOf(a Addr) []Entry { return n.d().Storage().Siblings(a) }
+
 // HandoverConfig tunes MonitorHandover. Zero values take the thesis'
 // defaults (threshold 230, low-limit 3, 1 s interval).
 type HandoverConfig struct {
@@ -703,11 +729,35 @@ type HandoverConfig struct {
 	PredictHorizon time.Duration
 	// PredictCooldown spaces predictive triggers (default 10 s).
 	PredictCooldown time.Duration
+
+	// Policy names the candidate-selection policy (PolicyStrongestLink,
+	// PolicyBandwidthFirst, PolicyCostFirst); empty uses the node's
+	// HandoverPolicy, and failing that strongest-link.
+	Policy string
+	// TechHold is the per-tech hysteresis dwell after a vertical switch
+	// (default 15 s): discretionary bearer changes are suppressed and
+	// same-tech rescue candidates preferred, so BT↔WLAN cannot flap.
+	TechHold time.Duration
+	// UpgradeMargin is the quality headroom above the threshold a
+	// candidate needs before a discretionary upgrade takes it (default 10).
+	UpgradeMargin int
+	// UpgradeCooldown spaces failed discretionary upgrade attempts
+	// (default 5 s), bounding dial churn when the preferred bearer keeps
+	// refusing.
+	UpgradeCooldown time.Duration
 }
 
 // MonitorHandover attaches a handover thread to a connection and (unless
 // ManualSteps) starts it. The node stops it on Stop.
 func (n *Node) MonitorHandover(conn *Connection, cfg HandoverConfig) (*HandoverThread, error) {
+	policyName := cfg.Policy
+	if policyName == "" {
+		policyName = n.cfg.HandoverPolicy
+	}
+	policy, err := handover.PolicyByName(policyName)
+	if err != nil {
+		return nil, err
+	}
 	th, err := handover.New(handover.Config{
 		Library:              n.l(),
 		Conn:                 conn,
@@ -722,6 +772,10 @@ func (n *Node) MonitorHandover(conn *Connection, cfg HandoverConfig) (*HandoverT
 		Predictive:           cfg.Predictive,
 		PredictHorizon:       cfg.PredictHorizon,
 		PredictCooldown:      cfg.PredictCooldown,
+		Policy:               policy,
+		TechHold:             cfg.TechHold,
+		UpgradeMargin:        cfg.UpgradeMargin,
+		UpgradeCooldown:      cfg.UpgradeCooldown,
 	})
 	if err != nil {
 		return nil, err
