@@ -336,3 +336,28 @@ func BenchmarkConnectDirectInstant(b *testing.B) {
 		_ = conn.Close()
 	}
 }
+
+// BenchmarkS6Metropolis steps the sharded constant-density city (S6) and
+// reports the per-node superstep cost at each scale. The event-driven
+// scheduler makes one superstep cost O(active events) rather than O(N),
+// so with density held constant the ns/node-step metric should stay flat
+// from 1k to 100k nodes — that flatness is the scaling curve CI records
+// in the benchmark trajectory.
+func BenchmarkS6Metropolis(b *testing.B) {
+	for _, count := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("nodes=%d", count), func(b *testing.B) {
+			sw, err := experiments.MetropolisWorld(42, count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sw.Close()
+			sw.Step() // one-time placement/init
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(count)), "ns/node-step")
+		})
+	}
+}

@@ -11,6 +11,15 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
 // ignored, so the whole `go test` stream can be piped through unfiltered.
+//
+// With -baseline, the freshly parsed results are additionally compared
+// against an earlier document and the exit status reports regressions:
+//
+//	... | go run ./cmd/benchjson -pr pr6 \
+//	    -baseline BENCH_pr5.json -gate 'DiscoveryRound' -maxregress 25
+//
+// fails (exit 1) if any benchmark matching -gate is more than 25% slower
+// (ns/op) than the same-named entry in BENCH_pr5.json.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -34,6 +44,8 @@ type Benchmark struct {
 	// BytesPerOp and AllocsPerOp are present only under -benchmem.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "ns/node-step").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Document is the emitted trajectory point.
@@ -49,6 +61,9 @@ type Document struct {
 func main() {
 	pr := flag.String("pr", "", "trajectory label, e.g. pr5 or a commit sha (required)")
 	out := flag.String("out", "", "output path (default BENCH_<pr>.json)")
+	baseline := flag.String("baseline", "", "earlier BENCH_<pr>.json to gate against (optional)")
+	gate := flag.String("gate", ".", "regexp selecting which benchmarks the baseline gate checks")
+	maxregress := flag.Float64("maxregress", 25, "max tolerated ns/op regression vs -baseline, percent")
 	flag.Parse()
 	if *pr == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -pr is required")
@@ -94,6 +109,66 @@ func main() {
 		log.Fatalf("benchjson: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), path)
+
+	if *baseline != "" {
+		base, err := loadDocument(*baseline)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		re, err := regexp.Compile(*gate)
+		if err != nil {
+			log.Fatalf("benchjson: bad -gate: %v", err)
+		}
+		regressions := checkRegressions(doc, base, re, *maxregress)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regression >%g%% vs %s (gate %q)\n",
+			*maxregress, *baseline, *gate)
+	}
+}
+
+// loadDocument reads an earlier trajectory point.
+func loadDocument(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Document{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// checkRegressions compares cur against base, returning one message per
+// gate-matching benchmark whose ns/op worsened by more than maxPct percent.
+// Benchmarks present on only one side are skipped: the gate guards known
+// benches against slowdowns, it does not force the sets to match.
+func checkRegressions(cur, base Document, gate *regexp.Regexp, maxPct float64) []string {
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	var out []string
+	for _, b := range cur.Benchmarks {
+		if !gate.MatchString(b.Name) {
+			continue
+		}
+		old, ok := baseNs[b.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		pct := (b.NsPerOp - old) / old * 100
+		if pct > maxPct {
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%%, limit +%g%%)",
+				b.Name, old, b.NsPerOp, pct, maxPct))
+		}
+	}
+	return out
 }
 
 // parseLine parses one `go test -bench` result line:
@@ -125,6 +200,14 @@ func parseLine(line string) (Benchmark, bool) {
 		case "allocs/op":
 			v := val
 			b.AllocsPerOp = &v
+		default:
+			// Custom b.ReportMetric units, e.g. S6's ns/node-step.
+			if strings.Contains(fields[i+1], "/") {
+				if b.Extra == nil {
+					b.Extra = make(map[string]float64)
+				}
+				b.Extra[fields[i+1]] = val
+			}
 		}
 	}
 	return b, seen

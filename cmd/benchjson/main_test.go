@@ -1,0 +1,77 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkDiscoveryRoundInstant/grid/nodes=1024-8   138   8616368 ns/op   120 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected a valid result line")
+	}
+	if b.Name != "BenchmarkDiscoveryRoundInstant/grid/nodes=1024" {
+		t.Errorf("name = %q, GOMAXPROCS suffix not trimmed", b.Name)
+	}
+	if b.Iterations != 138 || b.NsPerOp != 8616368 {
+		t.Errorf("iters/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 120 || b.AllocsPerOp == nil || *b.AllocsPerOp != 3 {
+		t.Errorf("benchmem fields not parsed: %+v", b)
+	}
+}
+
+func TestParseLineCustomUnit(t *testing.T) {
+	b, ok := parseLine("BenchmarkS6Metropolis/nodes=100000-8   1   187000000000 ns/op   1871 ns/node-step")
+	if !ok {
+		t.Fatal("parseLine rejected a line with a custom metric")
+	}
+	if got := b.Extra["ns/node-step"]; got != 1871 {
+		t.Errorf("Extra[ns/node-step] = %g, want 1871", got)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tpeerhood\t1.2s",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"Benchmark only three",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestCheckRegressions(t *testing.T) {
+	base := Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 1000},
+	}}
+	cur := Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1200}, // +20%: within a 25% budget
+		{Name: "BenchmarkB", NsPerOp: 1300}, // +30%: over budget
+		{Name: "BenchmarkNew", NsPerOp: 99},
+	}}
+
+	got := checkRegressions(cur, base, regexp.MustCompile("."), 25)
+	if len(got) != 1 {
+		t.Fatalf("regressions = %v, want exactly the +30%% one", got)
+	}
+	if want := "BenchmarkB"; !regexp.MustCompile(want).MatchString(got[0]) {
+		t.Errorf("regression message %q does not name %s", got[0], want)
+	}
+
+	// The gate regexp restricts which benches are compared at all.
+	if got := checkRegressions(cur, base, regexp.MustCompile("^BenchmarkA$"), 25); len(got) != 0 {
+		t.Errorf("gated run reported %v, want none", got)
+	}
+
+	// Tightening the budget flags the +20% too.
+	if got := checkRegressions(cur, base, regexp.MustCompile("."), 10); len(got) != 2 {
+		t.Errorf("10%% budget reported %v, want 2 regressions", got)
+	}
+}

@@ -102,6 +102,7 @@ var registry = []registration{
 	{"S3", "Commuter corridor: predictive vs reactive handover across coverage zones", RunCommuter},
 	{"S4", "Urban blackout: scripted blackouts, crash/restart churn, deterministic replay", RunBlackout},
 	{"S5", "Hotspot archipelago: policy-driven vertical handover across WLAN islands on a GPRS umbrella", RunHotspot},
+	{"S6", "Metropolis: 100k-node constant-density city on the sharded event-driven substrate", RunMetropolis},
 }
 
 // IDs returns the registered experiment IDs in canonical order.

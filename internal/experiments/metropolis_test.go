@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetropolisRegistered: S6 is runnable through the registry like
+// every other experiment.
+func TestMetropolisRegistered(t *testing.T) {
+	found := false
+	for _, id := range IDs() {
+		if id == "S6" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("S6 not registered")
+	}
+	res, err := Run("s6", Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "S6" || res.Table == "" {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[len(res.Notes)-1], "per-node step cost spread") {
+		t.Fatalf("missing scaling note: %v", res.Notes)
+	}
+}
+
+// TestMetropolisSameSeedReplayIsByteIdentical: the S6 table (counters and
+// world digests, everything simulated) must replay byte-identically for
+// the same seed. Wall-clock readings live in the Notes and are excluded.
+func TestMetropolisSameSeedReplayIsByteIdentical(t *testing.T) {
+	run := func() string {
+		t.Helper()
+		res, err := Run("S6", Config{Seed: 99, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("same-seed S6 tables diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

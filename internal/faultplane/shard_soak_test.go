@@ -1,0 +1,149 @@
+package faultplane_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/faultplane"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/rng"
+	"peerhood/internal/simnet"
+)
+
+// soakHandle is a concurrency-safe no-op crash/restart handle.
+type soakHandle struct{ name string }
+
+func (h soakHandle) Name() string   { return h.name }
+func (h soakHandle) Crash() error   { return nil }
+func (h soakHandle) Restart() error { return nil }
+
+// shardSoakRun drives a 5 000-node sharded world through partition,
+// blackout, and crash/restart churn and returns its per-step digests.
+func shardSoakRun(t *testing.T, seed int64) []string {
+	t.Helper()
+	const n = 5000
+	src := rng.New(seed)
+
+	sw := simnet.NewShardedWorld(simnet.ShardedConfig{
+		Seed:         seed,
+		QualityNoise: 2,
+		AutoLink:     true,
+	})
+	defer sw.Close()
+
+	names := make([]string, n)
+	area := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1000, 1000)}
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		start := geo.Pt(src.Uniform(0, 1000), src.Uniform(0, 1000))
+		var model mobility.Model
+		if i%4 == 0 {
+			model = mobility.Static{At: start}
+		} else {
+			// Max speed must stay below slack/quantum (15 m/s for WLAN's
+			// 60 m regions) or the walkers land on the unbucketed
+			// always-candidate list and every inquiry scans all of them.
+			model = mobility.NewRandomWaypoint(start, area, 1, 6, time.Second, rng.New(seed+int64(i)))
+		}
+		if _, err := sw.AddNode(simnet.ShardNodeSpec{
+			Name:  names[i],
+			Model: model,
+			Techs: []device.Tech{device.TechWLAN},
+			// Stagger rounds so each superstep carries ~n/8 inquiries.
+			DiscoveryEvery: 8 * time.Second,
+			DiscoveryPhase: time.Duration(1+i%8) * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plane, err := faultplane.NewShardPlane(faultplane.ShardConfig{
+		World:   sw,
+		Resolve: func(name string) (faultplane.NodeHandle, bool) { return soakHandle{name: name}, true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition thirds, roll blackouts across districts, and churn a
+	// band of nodes through crash/restart while the world keeps stepping.
+	var events []faultplane.Event
+	events = append(events,
+		faultplane.Event{At: 4 * time.Second, Do: faultplane.Partition{
+			Segments: [][]string{names[:1500], names[1500:3200]}}},
+		faultplane.Event{At: 6 * time.Second, Do: faultplane.Blackout{
+			Region: geo.Rect{Min: geo.Pt(100, 100), Max: geo.Pt(450, 450)}, Duration: 5 * time.Second}},
+		faultplane.Event{At: 12 * time.Second, Do: faultplane.Heal{}},
+		faultplane.Event{At: 14 * time.Second, Do: faultplane.Blackout{
+			Region: geo.Rect{Min: geo.Pt(500, 500), Max: geo.Pt(900, 900)}, Duration: 6 * time.Second}},
+		faultplane.Event{At: 22 * time.Second, Do: faultplane.Heal{}},
+	)
+	for i := 0; i < 40; i++ {
+		victim := names[(i*97)%n]
+		crashAt := time.Duration(5+i%12) * time.Second
+		events = append(events,
+			faultplane.Event{At: crashAt, Do: faultplane.Crash{Node: victim}},
+			faultplane.Event{At: crashAt + 6*time.Second, Do: faultplane.Restart{Node: victim}},
+		)
+	}
+	run := plane.Load(faultplane.Script{Events: events})
+
+	digests := make([]string, 0, 30)
+	for step := 0; step < 30; step++ {
+		sw.Step()
+		run.ApplyDue()
+		digests = append(digests, sw.Digest())
+	}
+	if err := run.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Done() {
+		t.Fatal("soak script did not finish")
+	}
+	st := sw.Stats()
+	if st.Inquiries == 0 || st.DialsAttempted == 0 || st.LinksBroken == 0 {
+		t.Fatalf("soak too quiet to be a soak: %+v", st)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return digests
+}
+
+// TestShardSoak5kChurn runs 5 000 mobile nodes with partition, blackout,
+// and crash/restart churn — twice — and requires byte-identical per-step
+// digests plus no goroutine leak once the world closes. Running it under
+// the race detector (the CI race job does) validates the parallel phase's
+// no-shared-writes discipline at scale.
+func TestShardSoak5kChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5k-node soak skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	d1 := shardSoakRun(t, 606)
+	d2 := shardSoakRun(t, 606)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("same-seed soak diverged at step %d:\n  %s\n  %s", i, d1[i], d2[i])
+		}
+	}
+
+	// Shard workers are spawned per superstep and joined before Step
+	// returns, so a closed world must leave no goroutines behind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after Close: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

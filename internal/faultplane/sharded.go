@@ -1,0 +1,217 @@
+package faultplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"peerhood/internal/simnet"
+)
+
+// ShardPlane drives the same declarative Scripts against a
+// simnet.ShardedWorld that Plane drives against the classic World. Every
+// action maps onto the sharded world's own deterministic fault surface
+// (Partition/Blackout/Heal/SetImpairment/SetDown), each applied event
+// forces a full link sweep, and the trace format is identical — so the
+// equivalence tests can compare fault traces between the two substrates
+// string-for-string.
+type ShardPlane struct {
+	w       *simnet.ShardedWorld
+	resolve func(name string) (NodeHandle, bool)
+
+	mu       sync.Mutex
+	impaired []impairedPair
+	trace    []string
+}
+
+// ShardConfig parametrises a ShardPlane.
+type ShardConfig struct {
+	// World is the sharded radio environment (required).
+	World *simnet.ShardedWorld
+	// Resolve maps a node name to its crash/restart handle; nil disables
+	// Crash/Restart actions.
+	Resolve func(name string) (NodeHandle, bool)
+}
+
+// NewShardPlane returns a ShardPlane over cfg.World.
+func NewShardPlane(cfg ShardConfig) (*ShardPlane, error) {
+	if cfg.World == nil {
+		return nil, errors.New("faultplane: ShardConfig.World is required")
+	}
+	return &ShardPlane{w: cfg.World, resolve: cfg.Resolve}, nil
+}
+
+// World returns the plane's sharded world.
+func (p *ShardPlane) World() *simnet.ShardedWorld { return p.w }
+
+// Trace returns the ordered log of applied script events, in the same
+// format as Plane.Trace.
+func (p *ShardPlane) Trace() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.trace...)
+}
+
+func (p *ShardPlane) record(line string) {
+	p.mu.Lock()
+	p.trace = append(p.trace, line)
+	p.mu.Unlock()
+}
+
+// Load binds a script to the plane, anchored at the current simulated
+// time. Events are applied in At order (stable for equal times).
+func (p *ShardPlane) Load(s Script) *ShardRun {
+	events := append([]Event(nil), s.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &ShardRun{p: p, start: p.w.Now(), events: events}
+}
+
+// ShardRun is one playback of a Script on a sharded world. The sharded
+// world has no background clock, so playback is always synchronous:
+// call ApplyDue between supersteps.
+type ShardRun struct {
+	p     *ShardPlane
+	start time.Duration
+
+	events []Event
+	idx    int
+	errs   []error
+}
+
+// ApplyDue applies, in order, every not-yet-applied event whose time has
+// come, and returns how many fired.
+func (r *ShardRun) ApplyDue() int {
+	now := r.p.w.Now()
+	n := 0
+	for r.idx < len(r.events) && r.start+r.events[r.idx].At <= now {
+		ev := r.events[r.idx]
+		r.idx++
+		r.apply(ev)
+		n++
+	}
+	return n
+}
+
+// Done reports whether every event has been applied.
+func (r *ShardRun) Done() bool { return r.idx >= len(r.events) }
+
+// Err returns the accumulated event errors joined, or nil.
+func (r *ShardRun) Err() error { return errors.Join(r.errs...) }
+
+// apply executes one event, forces a link sweep, and records the outcome
+// in the plane trace — mirroring Run.apply, including its format.
+func (r *ShardRun) apply(ev Event) {
+	err := r.p.applyAction(ev.Do)
+	r.p.w.CheckLinks()
+	line := fmt.Sprintf("t=%s %s", ev.At, ev.Do)
+	if err != nil {
+		line += " err=" + err.Error()
+		r.errs = append(r.errs, fmt.Errorf("faultplane: t=%s %s: %w", ev.At, ev.Do, err))
+	}
+	r.p.record(line)
+}
+
+// applyAction maps one script action onto the sharded world.
+func (p *ShardPlane) applyAction(a Action) error {
+	switch act := a.(type) {
+	case Partition:
+		p.w.Partition(act.Segments)
+		return nil
+	case Blackout:
+		return p.w.Blackout(act.Region, act.Duration)
+	case Impair:
+		from, to, err := p.sharedTechPair(act.From, act.To)
+		if err != nil {
+			return err
+		}
+		p.w.SetImpairment(from, to, &act.Profile)
+		if act.Symmetric {
+			p.w.SetImpairment(to, from, &act.Profile)
+		}
+		p.mu.Lock()
+		p.impaired = append(p.impaired, impairedPair{from: act.From, to: act.To})
+		p.mu.Unlock()
+		return nil
+	case ClearImpair:
+		from, to, err := p.sharedTechPair(act.From, act.To)
+		if err != nil {
+			return err
+		}
+		p.w.SetImpairment(from, to, nil)
+		p.w.SetImpairment(to, from, nil)
+		return nil
+	case Heal:
+		p.w.Heal()
+		p.mu.Lock()
+		impaired := p.impaired
+		p.impaired = nil
+		p.mu.Unlock()
+		for _, pr := range impaired {
+			if from, to, err := p.sharedTechPair(pr.from, pr.to); err == nil {
+				p.w.SetImpairment(from, to, nil)
+				p.w.SetImpairment(to, from, nil)
+			}
+		}
+		return nil
+	case Crash:
+		h, err := p.handle(act.Node)
+		if err != nil {
+			return err
+		}
+		if id, ok := p.w.NodeByName(act.Node); ok {
+			p.w.SetDown(id, true)
+		}
+		return h.Crash()
+	case Restart:
+		h, err := p.handle(act.Node)
+		if err != nil {
+			return err
+		}
+		if id, ok := p.w.NodeByName(act.Node); ok {
+			p.w.SetDown(id, false)
+		}
+		return h.Restart()
+	case Check:
+		return act.apply(nil)
+	default:
+		return fmt.Errorf("action %s not supported on a sharded world", a)
+	}
+}
+
+// sharedTechPair resolves two node names and verifies they share a
+// technology, with the same error texts as the classic plane's pairAddrs.
+func (p *ShardPlane) sharedTechPair(from, to string) (simnet.NodeID, simnet.NodeID, error) {
+	fid, ok := p.w.NodeByName(from)
+	if !ok {
+		return 0, 0, fmt.Errorf("no device %q", from)
+	}
+	tid, ok := p.w.NodeByName(to)
+	if !ok {
+		return 0, 0, fmt.Errorf("no device %q", to)
+	}
+	var maskF, maskT uint8
+	for _, t := range p.w.NodeTechs(fid) {
+		maskF |= 1 << uint(t)
+	}
+	for _, t := range p.w.NodeTechs(tid) {
+		maskT |= 1 << uint(t)
+	}
+	if maskF&maskT == 0 {
+		return 0, 0, fmt.Errorf("devices %q and %q share no technology", from, to)
+	}
+	return fid, tid, nil
+}
+
+// handle resolves a crash/restart handle, with the classic plane's errors.
+func (p *ShardPlane) handle(name string) (NodeHandle, error) {
+	if p.resolve == nil {
+		return nil, fmt.Errorf("no node resolver configured (node %q)", name)
+	}
+	h, ok := p.resolve(name)
+	if !ok {
+		return nil, fmt.Errorf("no node %q", name)
+	}
+	return h, nil
+}

@@ -1,0 +1,279 @@
+package faultplane
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/simnet"
+)
+
+// shardWorld builds a sharded world of static Bluetooth nodes at the
+// given positions, with deterministic parameters and no self-discovery.
+func shardWorld(t *testing.T, at map[string]geo.Point) (*simnet.ShardedWorld, map[string]simnet.NodeID) {
+	t.Helper()
+	p := simnet.DefaultParams(device.TechBluetooth).Instant()
+	p.Bandwidth = 0
+	sw := simnet.NewShardedWorld(simnet.ShardedConfig{
+		Seed:   42,
+		Params: map[device.Tech]simnet.TechParams{device.TechBluetooth: p},
+	})
+	t.Cleanup(func() { sw.Close() })
+	ids := make(map[string]simnet.NodeID, len(at))
+	// Insertion order must be deterministic for link keys; sort by name.
+	names := make([]string, 0, len(at))
+	for name := range at {
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		id, err := sw.AddNode(simnet.ShardNodeSpec{
+			Name:  name,
+			Model: mobility.Static{At: at[name]},
+			Techs: []device.Tech{device.TechBluetooth},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	return sw, ids
+}
+
+func shardPlane(t *testing.T, w *simnet.ShardedWorld, resolve func(string) (NodeHandle, bool)) *ShardPlane {
+	t.Helper()
+	p, err := NewShardPlane(ShardConfig{World: w, Resolve: resolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// applyNow loads a single immediate event and applies it.
+func applyNow(t *testing.T, p *ShardPlane, do Action) *ShardRun {
+	t.Helper()
+	run := p.Load(Script{Events: []Event{{At: 0, Do: do}}})
+	if n := run.ApplyDue(); n != 1 {
+		t.Fatalf("ApplyDue fired %d events, want 1", n)
+	}
+	return run
+}
+
+func TestNewShardPlaneRequiresWorld(t *testing.T) {
+	if _, err := NewShardPlane(ShardConfig{}); err == nil {
+		t.Fatal("expected error for nil world")
+	}
+}
+
+func TestShardPartitionSeversAndHealRestores(t *testing.T) {
+	sw, ids := shardWorld(t, map[string]geo.Point{
+		"a": geo.Pt(0, 0), "b": geo.Pt(5, 0),
+	})
+	p := shardPlane(t, sw, nil)
+	if err := sw.Connect(ids["a"], ids["b"], device.TechBluetooth); err != nil {
+		t.Fatal(err)
+	}
+
+	applyNow(t, p, Partition{Segments: [][]string{{"a"}, {"b"}}})
+	if sw.Linked(ids["a"], ids["b"], device.TechBluetooth) {
+		t.Fatal("partition did not break the link")
+	}
+	if err := sw.Connect(ids["a"], ids["b"], device.TechBluetooth); err == nil {
+		t.Fatal("connect across partition succeeded")
+	}
+
+	applyNow(t, p, Heal{})
+	if err := sw.Connect(ids["a"], ids["b"], device.TechBluetooth); err != nil {
+		t.Fatalf("connect after heal: %v", err)
+	}
+}
+
+func TestShardBlackoutBreaksLinksAndExpires(t *testing.T) {
+	sw, ids := shardWorld(t, map[string]geo.Point{
+		"a": geo.Pt(0, 0), "b": geo.Pt(5, 0),
+	})
+	p := shardPlane(t, sw, nil)
+	if err := sw.Connect(ids["a"], ids["b"], device.TechBluetooth); err != nil {
+		t.Fatal(err)
+	}
+
+	applyNow(t, p, Blackout{
+		Region:   geo.Rect{Min: geo.Pt(-1, -1), Max: geo.Pt(1, 1)},
+		Duration: 2 * time.Second,
+	})
+	if sw.ActiveLinks() != 0 {
+		t.Fatal("blackout did not break the covered link")
+	}
+	if err := sw.Connect(ids["a"], ids["b"], device.TechBluetooth); err == nil {
+		t.Fatal("connect inside blackout succeeded")
+	}
+	sw.StepUntil(3 * time.Second)
+	if err := sw.Connect(ids["a"], ids["b"], device.TechBluetooth); err != nil {
+		t.Fatalf("connect after blackout expiry: %v", err)
+	}
+
+	run := applyNow(t, p, Blackout{Duration: 0})
+	if run.Err() == nil {
+		t.Fatal("zero-duration blackout must error")
+	}
+}
+
+func TestShardImpairClearAndHeal(t *testing.T) {
+	sw, ids := shardWorld(t, map[string]geo.Point{
+		"a": geo.Pt(0, 0), "b": geo.Pt(5, 0),
+	})
+	p := shardPlane(t, sw, nil)
+
+	applyNow(t, p, Impair{From: "a", To: "b",
+		Profile: simnet.Impairment{LossProb: 0.5}, Symmetric: true})
+	if _, ok := sw.ImpairmentFor(ids["a"], ids["b"]); !ok {
+		t.Fatal("impairment a->b not installed")
+	}
+	if _, ok := sw.ImpairmentFor(ids["b"], ids["a"]); !ok {
+		t.Fatal("symmetric impairment b->a not installed")
+	}
+
+	applyNow(t, p, ClearImpair{From: "a", To: "b"})
+	if _, ok := sw.ImpairmentFor(ids["a"], ids["b"]); ok {
+		t.Fatal("impairment survived ClearImpair")
+	}
+
+	applyNow(t, p, Impair{From: "a", To: "b", Profile: simnet.Impairment{LossProb: 1}})
+	applyNow(t, p, Heal{})
+	if _, ok := sw.ImpairmentFor(ids["a"], ids["b"]); ok {
+		t.Fatal("impairment survived Heal")
+	}
+
+	run := applyNow(t, p, Impair{From: "ghost", To: "b"})
+	if err := run.Err(); err == nil || !strings.Contains(err.Error(), `no device "ghost"`) {
+		t.Fatalf("unknown device error = %v", err)
+	}
+	trace := p.Trace()
+	last := trace[len(trace)-1]
+	if !strings.Contains(last, `err=no device "ghost"`) {
+		t.Fatalf("trace line %q missing err suffix", last)
+	}
+}
+
+func TestShardCrashRestartThroughResolver(t *testing.T) {
+	sw, ids := shardWorld(t, map[string]geo.Point{
+		"a": geo.Pt(0, 0), "b": geo.Pt(5, 0),
+	})
+	node := &fakeNode{name: "a"}
+	p := shardPlane(t, sw, func(name string) (NodeHandle, bool) {
+		if name == "a" {
+			return node, true
+		}
+		return nil, false
+	})
+	if err := sw.Connect(ids["a"], ids["b"], device.TechBluetooth); err != nil {
+		t.Fatal(err)
+	}
+
+	applyNow(t, p, Crash{Node: "a"})
+	if node.crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", node.crashes)
+	}
+	if !sw.IsDown(ids["a"]) {
+		t.Fatal("crash did not power the node down")
+	}
+	if sw.ActiveLinks() != 0 {
+		t.Fatal("crash did not break the node's link")
+	}
+
+	applyNow(t, p, Restart{Node: "a"})
+	if node.restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", node.restarts)
+	}
+	if sw.IsDown(ids["a"]) {
+		t.Fatal("restart did not power the node up")
+	}
+
+	run := applyNow(t, p, Crash{Node: "ghost"})
+	if err := run.Err(); err == nil || !strings.Contains(err.Error(), `no node "ghost"`) {
+		t.Fatalf("unknown node error = %v", err)
+	}
+}
+
+func TestShardCrashWithoutResolverErrors(t *testing.T) {
+	sw, _ := shardWorld(t, map[string]geo.Point{"a": geo.Pt(0, 0)})
+	p := shardPlane(t, sw, nil)
+	run := applyNow(t, p, Crash{Node: "a"})
+	if err := run.Err(); err == nil || !strings.Contains(err.Error(), "no node resolver configured") {
+		t.Fatalf("resolver-less crash error = %v", err)
+	}
+}
+
+var errTest = errors.New("induced failure")
+
+// bogusAction exercises the unsupported-action default branch.
+type bogusAction struct{}
+
+func (bogusAction) String() string       { return "bogus" }
+func (bogusAction) apply(p *Plane) error { return nil }
+
+func TestShardCheckAndUnsupportedAction(t *testing.T) {
+	sw, _ := shardWorld(t, map[string]geo.Point{"a": geo.Pt(0, 0)})
+	p := shardPlane(t, sw, nil)
+
+	run := p.Load(Script{Events: []Event{
+		{At: 0, Do: Check{Name: "ok", Fn: func() error { return nil }}},
+		{At: 0, Do: Check{Name: "boom", Fn: func() error { return errTest }}},
+		{At: 0, Do: bogusAction{}},
+	}})
+	if n := run.ApplyDue(); n != 3 {
+		t.Fatalf("ApplyDue fired %d events, want 3", n)
+	}
+	if !run.Done() {
+		t.Fatal("run not done")
+	}
+	err := run.Err()
+	if err == nil || !strings.Contains(err.Error(), "check boom") {
+		t.Fatalf("check failure not recorded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "not supported on a sharded world") {
+		t.Fatalf("unsupported action not recorded: %v", err)
+	}
+	if got := len(p.Trace()); got != 3 {
+		t.Fatalf("trace has %d lines, want 3", got)
+	}
+	if p.World() != sw {
+		t.Fatal("World() accessor mismatch")
+	}
+}
+
+func TestShardLoadAppliesInAtOrder(t *testing.T) {
+	sw, _ := shardWorld(t, map[string]geo.Point{
+		"a": geo.Pt(0, 0), "b": geo.Pt(5, 0),
+	})
+	p := shardPlane(t, sw, nil)
+	run := p.Load(Script{Events: []Event{
+		{At: 2 * time.Second, Do: Heal{}},
+		{At: 1 * time.Second, Do: Partition{Segments: [][]string{{"a"}, {"b"}}}},
+	}})
+	if n := run.ApplyDue(); n != 0 {
+		t.Fatalf("events fired before their time: %d", n)
+	}
+	sw.StepUntil(1 * time.Second)
+	if n := run.ApplyDue(); n != 1 {
+		t.Fatalf("ApplyDue at 1s fired %d, want 1", n)
+	}
+	sw.StepUntil(2 * time.Second)
+	if n := run.ApplyDue(); n != 1 {
+		t.Fatalf("ApplyDue at 2s fired %d, want 1", n)
+	}
+	trace := p.Trace()
+	if len(trace) != 2 || !strings.HasPrefix(trace[0], "t=1s partition") || !strings.HasPrefix(trace[1], "t=2s heal") {
+		t.Fatalf("trace out of order: %v", trace)
+	}
+}

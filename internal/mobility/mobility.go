@@ -231,7 +231,20 @@ func (rw *RandomWaypoint) PositionAt(elapsed time.Duration) geo.Point {
 // MaxSpeed implements SpeedBounded.
 func (rw *RandomWaypoint) MaxSpeed() float64 { return rw.maxSpeed }
 
+// rwRetain bounds the memoised history: once the segment log exceeds it,
+// the older half is dropped. Values are unchanged — each segment is fixed
+// once generated — so only queries that jump back past the retained
+// window (hours of simulated time) would notice, and those get the oldest
+// retained position instead of the exact one. Without the bound a
+// 100k-node day-long run leaks gigabytes of dead history.
+const rwRetain = 256
+
 func (rw *RandomWaypoint) extendTo(elapsed time.Duration) {
+	if len(rw.segs) > rwRetain {
+		keep := rwRetain / 2
+		n := copy(rw.segs, rw.segs[len(rw.segs)-keep:])
+		rw.segs = rw.segs[:n]
+	}
 	for rw.segs[len(rw.segs)-1].end < elapsed {
 		tail := rw.segs[len(rw.segs)-1]
 		dest := geo.Pt(

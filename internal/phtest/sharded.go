@@ -1,0 +1,81 @@
+package phtest
+
+import (
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/faultplane"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/simnet"
+)
+
+// InstantShardedWorld returns a sharded world where every technology is
+// deterministic and instantaneous (no faults, no response misses, no
+// quality noise, zero bandwidth) — the sharded counterpart of
+// ManualWorld. The world is closed via t.Cleanup.
+func InstantShardedWorld(t *testing.T, seed int64) *simnet.ShardedWorld {
+	t.Helper()
+	return ShardedWorldWith(t, simnet.ShardedConfig{Seed: seed})
+}
+
+// ShardedWorldWith returns a sharded world built from cfg; technologies
+// without explicit parameters get the deterministic instant defaults.
+// The world is closed via t.Cleanup.
+func ShardedWorldWith(t *testing.T, cfg simnet.ShardedConfig) *simnet.ShardedWorld {
+	t.Helper()
+	params := make(map[device.Tech]simnet.TechParams, len(device.Techs()))
+	for _, tech := range device.Techs() {
+		p := simnet.DefaultParams(tech).Instant()
+		p.Bandwidth = 0
+		params[tech] = p
+	}
+	for tech, p := range cfg.Params {
+		params[tech] = p
+	}
+	cfg.Params = params
+	w := simnet.NewShardedWorld(cfg)
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// AddShardNode adds a static node with the given technologies (Bluetooth
+// if none are named) to a sharded world, failing the test on error.
+func AddShardNode(t *testing.T, w *simnet.ShardedWorld, name string, at geo.Point, techs ...device.Tech) simnet.NodeID {
+	t.Helper()
+	return AddMovingShardNode(t, w, name, mobility.Static{At: at}, techs...)
+}
+
+// AddMovingShardNode is AddShardNode with an arbitrary mobility model.
+func AddMovingShardNode(t *testing.T, w *simnet.ShardedWorld, name string, model mobility.Model, techs ...device.Tech) simnet.NodeID {
+	t.Helper()
+	if len(techs) == 0 {
+		techs = []device.Tech{device.TechBluetooth}
+	}
+	id, err := w.AddNode(simnet.ShardNodeSpec{Name: name, Model: model, Techs: techs})
+	if err != nil {
+		t.Fatalf("AddNode(%s): %v", name, err)
+	}
+	return id
+}
+
+// NewShardPlane returns a fault-injection plane over the sharded world w
+// whose crash/restart events resolve against the given handles.
+func NewShardPlane(t *testing.T, w *simnet.ShardedWorld, nodes ...faultplane.NodeHandle) *faultplane.ShardPlane {
+	t.Helper()
+	byName := make(map[string]faultplane.NodeHandle, len(nodes))
+	for _, n := range nodes {
+		byName[n.Name()] = n
+	}
+	p, err := faultplane.NewShardPlane(faultplane.ShardConfig{
+		World: w,
+		Resolve: func(name string) (faultplane.NodeHandle, bool) {
+			n, ok := byName[name]
+			return n, ok
+		},
+	})
+	if err != nil {
+		t.Fatalf("faultplane.NewShardPlane: %v", err)
+	}
+	return p
+}

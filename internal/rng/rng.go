@@ -22,6 +22,27 @@ func New(seed int64) *Source {
 	return &Source{r: rand.New(rand.NewSource(seed))}
 }
 
+// NewCompact returns a Source whose generator state is 32 bytes
+// (xoshiro256++ seeded through a splitmix64 expander) instead of the
+// ~5 KB additive-LFG state behind New. Same API, same determinism
+// guarantees; the sequence differs from an identically-seeded New. Use it
+// for per-entity streams in 100k-entity worlds, where the default
+// generator's state alone would dominate the heap.
+func NewCompact(seed int64) *Source {
+	// One allocation for the whole Source→Rand→generator chain: at 100k+
+	// streams the garbage collector's mark phase notices every object it
+	// does not have to trace.
+	b := &struct {
+		src Source
+		rnd rand.Rand
+		x   xoshiro
+	}{}
+	b.x.Seed(seed)
+	b.rnd = *rand.New(&b.x)
+	b.src.r = &b.rnd
+	return &b.src
+}
+
 // Fork derives an independent child source from s. Components that roll dice
 // on their own cadence (e.g. each radio) get forked sources so that adding a
 // component does not perturb the stream seen by the others.
@@ -29,6 +50,14 @@ func (s *Source) Fork() *Source {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return New(s.r.Int63())
+}
+
+// ForkCompact derives an independent child source with compact generator
+// state; see NewCompact.
+func (s *Source) ForkCompact() *Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return NewCompact(s.r.Int63())
 }
 
 // Float64 returns a uniform value in [0, 1).
@@ -111,3 +140,36 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 func Clamp(v, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, v))
 }
+
+// xoshiro is a xoshiro256++ generator implementing math/rand.Source64.
+type xoshiro struct{ s [4]uint64 }
+
+// Seed fills the state through a splitmix64 expander, as the xoshiro
+// authors recommend (the raw seed must not reach the state directly: the
+// all-zero state is a fixed point).
+func (x *xoshiro) Seed(seed int64) {
+	z := uint64(seed)
+	for i := range x.s {
+		z += 0x9e3779b97f4a7c15
+		w := z
+		w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9
+		w = (w ^ (w >> 27)) * 0x94d049bb133111eb
+		x.s[i] = w ^ (w >> 31)
+	}
+}
+
+func rotl(v uint64, k uint) uint64 { return v<<k | v>>(64-k) }
+
+func (x *xoshiro) Uint64() uint64 {
+	out := rotl(x.s[0]+x.s[3], 23) + x.s[0]
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return out
+}
+
+func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }

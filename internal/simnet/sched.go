@@ -1,0 +1,170 @@
+package simnet
+
+import (
+	"math"
+	"time"
+
+	"peerhood/internal/geo"
+)
+
+// The event scheduler replaces per-tick polling in the sharded world: a
+// node only costs work when something about it can actually change. Two
+// wake-up kinds exist, both derived from mobility.SpeedBounded:
+//
+//   - evCrossing: the earliest time a node's true position could drift
+//     further than the region slack from its bucketed region, at which
+//     point it must be re-bucketed so 3x3-region candidate queries stay a
+//     superset of the in-range set (the same drift-bounded-exactness
+//     argument as the PR 1 grid, at region granularity).
+//   - evDiscovery: a node's periodic inquiry round.
+//
+// A stationary node (speed bound 0) never generates crossing events, and
+// a passive node (DiscoveryEvery 0) never generates discovery events, so
+// idle nodes cost nothing per superstep. Established links are likewise
+// re-checked on a schedule — the earliest time the pair's closing speed
+// could carry them out of mutual coverage — kept in a separate serial
+// queue drained during the merge phase.
+
+type eventKind uint8
+
+const (
+	// evCrossing re-buckets a node before its drift exceeds the slack.
+	evCrossing eventKind = iota
+	// evDiscovery runs one node's periodic inquiry round.
+	evDiscovery
+)
+
+// shardEvent is one scheduled wake-up in a shard's queue.
+type shardEvent struct {
+	at   time.Duration
+	node NodeID
+	kind eventKind
+}
+
+// eventBefore orders events by (time, node, kind); the total order makes
+// within-shard processing — and therefore RNG consumption per node —
+// independent of insertion order.
+func eventBefore(a, b shardEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.kind < b.kind
+}
+
+// eventQueue is a binary min-heap of shardEvents.
+type eventQueue struct{ h []shardEvent }
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+func (q *eventQueue) push(e shardEvent) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) peek() (shardEvent, bool) {
+	if len(q.h) == 0 {
+		return shardEvent{}, false
+	}
+	return q.h[0], true
+}
+
+func (q *eventQueue) pop() shardEvent {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && eventBefore(q.h[l], q.h[small]) {
+			small = l
+		}
+		if r < last && eventBefore(q.h[r], q.h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.h[i], q.h[small] = q.h[small], q.h[i]
+		i = small
+	}
+	return top
+}
+
+// distToCellEdge returns the distance from p to the nearest boundary of
+// cell c on a grid of the given size. A point exactly on an edge — or
+// outside the cell entirely — is at distance 0.
+func distToCellEdge(p geo.Point, c geo.Cell, size float64) float64 {
+	minX, minY := float64(c.CX)*size, float64(c.CY)*size
+	d := math.Min(
+		math.Min(p.X-minX, minX+size-p.X),
+		math.Min(p.Y-minY, minY+size-p.Y),
+	)
+	return math.Max(0, d)
+}
+
+// minCrossingDelay keeps a node sitting exactly on a cell edge from
+// scheduling a zero-delay self-wakeup loop within one superstep.
+const minCrossingDelay = time.Millisecond
+
+// crossingAfter returns how long a node at p, bucketed in cell c and
+// moving at most speed m/s, is guaranteed to stay within slackEff metres
+// of c — the delay until its next boundary-crossing event must fire. The
+// second return is false for stationary nodes (speed bound 0): they never
+// need re-bucketing.
+//
+// slackEff is the region slack minus one superstep of worst-case motion:
+// an event due mid-superstep is only applied at the superstep's end, so
+// that much drift budget must be held in reserve for the wake-up latency.
+func crossingAfter(p geo.Point, c geo.Cell, size, speed, slackEff float64) (time.Duration, bool) {
+	if speed <= 0 {
+		return 0, false
+	}
+	if math.IsInf(speed, 1) {
+		// No bound: the caller keeps such nodes unbucketed instead.
+		return 0, false
+	}
+	secs := (distToCellEdge(p, c, size) + slackEff) / speed
+	d := time.Duration(secs * float64(time.Second))
+	if d < minCrossingDelay {
+		d = minCrossingDelay
+	}
+	return d, true
+}
+
+// linkCheckAfter returns how long an established link over a technology
+// with the given coverage radius cannot possibly break by movement: the
+// remaining range margin divided by the pair's combined speed bound. The
+// second return is false when both endpoints are stationary — such links
+// are only re-checked by forced sweeps (fault events, crashes). quantum
+// floors the delay: a link already at the edge is re-checked every
+// superstep, never busily within one.
+func linkCheckAfter(dist, radius, closing float64, quantum time.Duration) (time.Duration, bool) {
+	if closing <= 0 {
+		return 0, false
+	}
+	if math.IsInf(closing, 1) {
+		return quantum, true
+	}
+	margin := radius - dist
+	if margin < 0 {
+		margin = 0
+	}
+	d := time.Duration(margin / closing * float64(time.Second))
+	if d < quantum {
+		d = quantum
+	}
+	return d, true
+}

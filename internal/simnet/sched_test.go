@@ -1,0 +1,324 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/rng"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	src := rng.New(7)
+	var q eventQueue
+	n := 500
+	for i := 0; i < n; i++ {
+		q.push(shardEvent{
+			at:   time.Duration(src.Intn(50)) * time.Second,
+			node: NodeID(src.Intn(40)),
+			kind: eventKind(src.Intn(2)),
+		})
+	}
+	if q.len() != n {
+		t.Fatalf("queue holds %d events, want %d", q.len(), n)
+	}
+	prev, _ := q.peek()
+	for q.len() > 0 {
+		e := q.pop()
+		if eventBefore(e, prev) {
+			t.Fatalf("pop order violated: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestDistToCellEdge(t *testing.T) {
+	c := geo.Cell{CX: 1, CY: 2} // covers [20,40)x[40,60) at size 20
+	cases := []struct {
+		p    geo.Point
+		want float64
+	}{
+		{geo.Pt(30, 50), 10}, // dead centre
+		{geo.Pt(22, 50), 2},  // near the left edge
+		{geo.Pt(30, 58.5), 1.5},
+		{geo.Pt(20, 50), 0},   // exactly on an edge
+		{geo.Pt(40, 50), 0},   // exactly on the far edge (owned by the next cell)
+		{geo.Pt(100, 100), 0}, // outside entirely
+	}
+	for _, tc := range cases {
+		if got := distToCellEdge(tc.p, c, 20); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("distToCellEdge(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCrossingAfter(t *testing.T) {
+	cell := geo.Cell{CX: 0, CY: 0}
+	mid := geo.Pt(10, 10)
+
+	// Stationary nodes (speed bound 0) never need re-bucketing.
+	if _, ok := crossingAfter(mid, cell, 20, 0, 5); ok {
+		t.Error("stationary node scheduled a crossing event")
+	}
+	if _, ok := crossingAfter(mid, cell, 20, -1, 5); ok {
+		t.Error("negative speed bound scheduled a crossing event")
+	}
+	// Unbounded models are the caller's problem (unbucketed list), never
+	// a finite crossing time.
+	if _, ok := crossingAfter(mid, cell, 20, math.Inf(1), 5); ok {
+		t.Error("unbounded speed scheduled a crossing event")
+	}
+
+	// Interior: 10 m to the nearest edge plus 5 m slack at 2 m/s = 7.5 s.
+	d, ok := crossingAfter(mid, cell, 20, 2, 5)
+	if !ok || d != 7500*time.Millisecond {
+		t.Errorf("crossingAfter(interior) = %v, %t; want 7.5s, true", d, ok)
+	}
+
+	// A node exactly on a cell edge with zero effective slack cannot get a
+	// zero delay (that would busy-loop); it gets the minimum instead.
+	d, ok = crossingAfter(geo.Pt(0, 10), cell, 20, 3, 0)
+	if !ok || d != minCrossingDelay {
+		t.Errorf("crossingAfter(on edge, no slack) = %v, %t; want %v, true", d, ok, minCrossingDelay)
+	}
+}
+
+func TestLinkCheckAfter(t *testing.T) {
+	q := time.Second
+	// Both endpoints static: never breaks by movement, no schedule.
+	if _, ok := linkCheckAfter(5, 10, 0, q); ok {
+		t.Error("static pair got a re-check schedule")
+	}
+	// Unbounded closing speed: re-check every superstep.
+	if d, ok := linkCheckAfter(5, 10, math.Inf(1), q); !ok || d != q {
+		t.Errorf("unbounded closing = %v, %t; want quantum, true", d, ok)
+	}
+	// 20 m of margin at 2 m/s combined = 10 s until it could break.
+	if d, ok := linkCheckAfter(10, 30, 2, q); !ok || d != 10*time.Second {
+		t.Errorf("margin case = %v, %t; want 10s, true", d, ok)
+	}
+	// Already at (or past) the edge: floored to the quantum, not zero.
+	if d, ok := linkCheckAfter(30, 30, 2, q); !ok || d != q {
+		t.Errorf("edge case = %v, %t; want quantum, true", d, ok)
+	}
+	if d, ok := linkCheckAfter(35, 30, 2, q); !ok || d != q {
+		t.Errorf("past-edge case = %v, %t; want quantum, true", d, ok)
+	}
+}
+
+// TestShardedIdleNodesCostNothing pins the event scheduler's whole point:
+// a world of stationary, passive nodes schedules no events at all, so
+// supersteps do no per-node work.
+func TestShardedIdleNodesCostNothing(t *testing.T) {
+	w := NewShardedWorld(ShardedConfig{Seed: 1})
+	for i := 0; i < 200; i++ {
+		_, err := w.AddNode(ShardNodeSpec{
+			Name:  fmt.Sprintf("idle%d", i),
+			Model: mobility.Static{At: geo.Pt(float64(i%20)*5, float64(i/20)*5)},
+			Techs: []device.Tech{device.TechWLAN},
+			// DiscoveryEvery 0: discoverable but never inquires.
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		w.Step()
+	}
+	s := w.Stats()
+	if s.Steps != 50 {
+		t.Fatalf("Steps = %d, want 50", s.Steps)
+	}
+	if s.Inquiries != 0 || s.Rebuckets != 0 || s.LinkChecks != 0 {
+		t.Fatalf("idle world did work: %+v", s)
+	}
+	for i, sh := range w.shards {
+		if sh.q.len() != 0 {
+			t.Fatalf("shard %d holds %d events in an idle world", i, sh.q.len())
+		}
+	}
+}
+
+// shardedDiscoveryLog records every discovery round's outcome as a
+// canonical line; twin worlds must produce identical logs.
+type shardedDiscoveryLog struct {
+	lines []string
+}
+
+func (l *shardedDiscoveryLog) hook() DiscoveryHook {
+	return func(at time.Duration, node NodeID, tech device.Tech, results []ShardInquiry) {
+		l.lines = append(l.lines, fmt.Sprintf("t=%s n=%d tech=%d res=%v", at, node, tech, results))
+	}
+}
+
+// buildWakeupWorld populates a sharded world with an adversarial mix for
+// the scheduler: static clusters, pedestrian walks, random waypoints, a
+// node starting exactly on a region edge, and an unbounded-speed model
+// that must live on the unbucketed always-candidate list.
+func buildWakeupWorld(t *testing.T, cfg ShardedConfig) *ShardedWorld {
+	t.Helper()
+	w := NewShardedWorld(cfg)
+	add := func(name string, m mobility.Model, techs ...device.Tech) {
+		t.Helper()
+		if _, err := w.AddNode(ShardNodeSpec{
+			Name: name, Model: m, Techs: techs,
+			DiscoveryEvery: 2 * time.Second,
+			DiscoveryPhase: time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Static cluster inside one WLAN region (region size 60 for WLAN).
+	for i := 0; i < 8; i++ {
+		add(fmt.Sprintf("s%d", i), mobility.Static{At: geo.Pt(float64(i)*4, 10)},
+			device.TechBluetooth, device.TechWLAN)
+	}
+	// Walkers crossing region boundaries in assorted directions.
+	for i := 0; i < 12; i++ {
+		start := geo.Pt(float64(i%4)*30, float64(i/4)*30)
+		dest := geo.Pt(float64((i*37)%160)-50, float64((i*53)%160)-50)
+		add(fmt.Sprintf("w%d", i), mobility.Walk(start, dest, 1.0+float64(i%4)),
+			device.TechWLAN)
+	}
+	// Random waypoints inside a 200x200 box.
+	for i := 0; i < 8; i++ {
+		rw := mobility.NewRandomWaypoint(
+			geo.Pt(float64(i)*20, 100),
+			geo.Rect{Min: geo.Pt(-20, -20), Max: geo.Pt(180, 180)},
+			1, 6, 3*time.Second, rng.New(9000+int64(i)),
+		)
+		add(fmt.Sprintf("rw%d", i), rw, device.TechBluetooth, device.TechWLAN)
+	}
+	// Exactly on a region edge at t=0 (region size 60): the crossing
+	// scheduler sees distToCellEdge == 0.
+	add("edge", mobility.Walk(geo.Pt(60, 0), geo.Pt(-40, 0), 2.5), device.TechWLAN)
+	// Unbounded-speed model: must be an always-candidate, never bucketed.
+	add("orbit", orbitModel{center: geo.Pt(30, 30)}, device.TechWLAN)
+	return w
+}
+
+// TestShardedNoMissedWakeups compares the event-driven scheduler against
+// the brute-force reference (every node re-bucketed every superstep, no
+// crossing events): with stochastic response probabilities, quality noise,
+// connect faults, and Bluetooth inquiry asymmetry all enabled, every
+// discovery round and the evolving auto-link set must match exactly —
+// i.e. crossing events never fire late enough to let a stale bucket leak
+// into results, and never perturb per-node RNG streams.
+func TestShardedNoMissedWakeups(t *testing.T) {
+	base := ShardedConfig{Seed: 505, QualityNoise: 3, AutoLink: true}
+	ev := buildWakeupWorld(t, base)
+
+	bf := base
+	bf.BruteForce = true
+	br := buildWakeupWorld(t, bf)
+
+	evLog, brLog := &shardedDiscoveryLog{}, &shardedDiscoveryLog{}
+	ev.cfg.OnDiscovery = evLog.hook()
+	br.cfg.OnDiscovery = brLog.hook()
+
+	for step := 0; step < 90; step++ {
+		ev.Step()
+		br.Step()
+		if len(evLog.lines) != len(brLog.lines) {
+			t.Fatalf("step %d: %d event-mode discoveries vs %d brute-force", step, len(evLog.lines), len(brLog.lines))
+		}
+		for i := range evLog.lines {
+			if evLog.lines[i] != brLog.lines[i] {
+				t.Fatalf("step %d: discovery diverged:\n  event: %s\n  brute: %s", step, evLog.lines[i], brLog.lines[i])
+			}
+		}
+		evLog.lines, brLog.lines = evLog.lines[:0], brLog.lines[:0]
+
+		got, want := ev.LinkKeys(), br.LinkKeys()
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("step %d: link sets diverged:\n  event: %v\n  brute: %v", step, got, want)
+		}
+	}
+
+	es, bs := ev.Stats(), br.Stats()
+	if es.Inquiries == 0 || es.InquiryResponses == 0 {
+		t.Fatalf("scenario produced no discovery traffic: %+v", es)
+	}
+	if es.Inquiries != bs.Inquiries || es.InquiryResponses != bs.InquiryResponses {
+		t.Fatalf("discovery counters diverged: event %+v, brute %+v", es, bs)
+	}
+	// The point of crossing events: far fewer re-buckets than the
+	// every-node-every-step reference.
+	if es.Rebuckets >= bs.Rebuckets {
+		t.Fatalf("event scheduler re-bucketed %d times, brute force %d — no saving", es.Rebuckets, bs.Rebuckets)
+	}
+}
+
+// TestShardedWorldBasics covers the small lifecycle surface: duplicate
+// names, tech validation, positions, power toggling, Connect, Close.
+func TestShardedWorldBasics(t *testing.T) {
+	w := NewShardedWorld(ShardedConfig{Seed: 3})
+	a, err := w.AddNode(ShardNodeSpec{Name: "a", Model: mobility.Static{At: geo.Pt(0, 0)}, Techs: []device.Tech{device.TechWLAN}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.AddNode(ShardNodeSpec{Name: "b", Model: mobility.Static{At: geo.Pt(10, 0)}, Techs: []device.Tech{device.TechWLAN}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddNode(ShardNodeSpec{Name: "a", Techs: []device.Tech{device.TechWLAN}}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := w.AddNode(ShardNodeSpec{Name: "x"}); err == nil {
+		t.Fatal("node without technologies accepted")
+	}
+	if _, err := w.AddNode(ShardNodeSpec{Name: "y", Techs: []device.Tech{device.Tech(9)}}); err == nil {
+		t.Fatal("invalid technology accepted")
+	}
+
+	if id, ok := w.NodeByName("b"); !ok || id != b {
+		t.Fatalf("NodeByName(b) = %v, %t", id, ok)
+	}
+	if name := w.NodeName(a); name != "a" {
+		t.Fatalf("NodeName(a) = %q", name)
+	}
+
+	w.Step()
+	if got := w.Position(b); got != geo.Pt(10, 0) {
+		t.Fatalf("Position(b) = %v", got)
+	}
+
+	if err := w.Connect(a, b, device.TechWLAN); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if !w.Linked(a, b, device.TechWLAN) || w.ActiveLinks() != 1 {
+		t.Fatal("link not established")
+	}
+	if err := w.Connect(a, b, device.TechBluetooth); err == nil {
+		t.Fatal("Connect across missing tech accepted")
+	}
+	if err := w.Connect(a, a, device.TechWLAN); err == nil {
+		t.Fatal("self-dial accepted")
+	}
+
+	w.SetDown(b, true)
+	if !w.IsDown(b) {
+		t.Fatal("SetDown did not stick")
+	}
+	if n := w.CheckLinks(); n != 1 {
+		t.Fatalf("CheckLinks broke %d links with b down, want 1", n)
+	}
+	w.SetDown(b, false)
+	if err := w.Connect(a, b, device.TechWLAN); err != nil {
+		t.Fatalf("reconnect after restart: %v", err)
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.ActiveLinks() != 0 {
+		t.Fatal("Close left links behind")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("Close is not idempotent")
+	}
+}

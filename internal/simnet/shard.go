@@ -1,0 +1,416 @@
+package simnet
+
+import (
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+)
+
+// A superstep runs in two phases. The parallel phase: each shard's worker
+// drains its event queue up to the step end, computing effects against the
+// frozen pre-step world state (region buckets, node flags, fault state) —
+// it mutates nothing shared, and each node's RNG is consumed only by that
+// node's own events. The serial merge phase: all effects are applied in
+// global (time, node, kind) order, then due link re-checks drain from the
+// serial link queue. State transitions therefore never depend on worker
+// scheduling, GOMAXPROCS, or the shard count.
+
+// shard is one event-queue partition with its worker's scratch space.
+type shard struct {
+	q     eventQueue
+	out   []effect
+	cand  []NodeID
+	stats ShardStats
+
+	// Per-superstep candidate cache: every inquirer in one region asks for
+	// the same (cell, time) candidate list, and a region's events all drain
+	// on the same shard, so the gather+sort+pack cost is paid once per cell
+	// per superstep instead of once per inquiry. The packed records also
+	// turn the scan itself into a sequential walk over pointer-free memory.
+	cands   map[candKey][]candRec
+	candBuf []candRec // arena the cached slices are carved from
+
+	// Result arenas, reset each superstep: inquiry results live only
+	// until the merge phase hands them to the discovery hook, so carving
+	// them from reusable buffers keeps a 100k-node step from allocating
+	// tens of thousands of short-lived slices for the collector to chase.
+	resBuf []ShardInquiry
+	drBuf  []discResult
+}
+
+// candKey addresses one cached candidate list.
+type candKey struct {
+	cell geo.Cell
+	at   time.Duration
+}
+
+// candRec is one candidate's hot fields, packed for the inquiry scan.
+type candRec struct {
+	id   NodeID
+	pos  geo.Point
+	mask uint8
+	down bool
+}
+
+// effect is one state transition computed in the parallel phase, applied
+// in the merge phase.
+type effect struct {
+	at   time.Duration
+	node NodeID
+	kind eventKind
+
+	// evCrossing
+	newCell geo.Cell
+
+	// nextAt re-arms the event (0 = none).
+	nextAt time.Duration
+
+	// evDiscovery: one entry per technology the node inquired on.
+	disc []discResult
+}
+
+// discResult is one technology's discovery outcome for one node.
+type discResult struct {
+	tech    device.Tech
+	results []ShardInquiry
+}
+
+func effectBefore(a, b *effect) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.kind < b.kind
+}
+
+// Step advances the world by one superstep (the quantum).
+func (w *ShardedWorld) Step() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.initLocked()
+	stepEnd := w.now + w.quantum
+
+	// Parallel phase: one worker per shard with due events. Workers read
+	// world state frozen under w.mu (held here across the whole step) and
+	// write only their shard's private effect buffer.
+	var wg sync.WaitGroup
+	due := false
+	for _, sh := range w.shards {
+		sh.out = sh.out[:0]
+		sh.candBuf = sh.candBuf[:0]
+		sh.resBuf = sh.resBuf[:0]
+		sh.drBuf = sh.drBuf[:0]
+		if sh.cands == nil {
+			sh.cands = make(map[candKey][]candRec)
+		} else {
+			clear(sh.cands)
+		}
+		if ev, ok := sh.q.peek(); ok && ev.at <= stepEnd {
+			due = true
+		}
+	}
+	if e, ok := w.linkq.peek(); ok && e.at <= stepEnd {
+		due = true
+	}
+	if due || w.cfg.BruteForce {
+		// An idle superstep (no events, no link checks) skips the
+		// snapshot entirely, keeping the do-nothing step O(1).
+		w.snapshotPositionsLocked(stepEnd)
+	}
+	for _, sh := range w.shards {
+		if ev, ok := sh.q.peek(); !ok || ev.at > stepEnd {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.run(w, stepEnd)
+		}(sh)
+	}
+	wg.Wait()
+
+	w.mergeLocked(stepEnd)
+	w.now = stepEnd
+	w.stats.Steps++
+	if w.cfg.BruteForce {
+		w.rebucketAllLocked()
+	}
+	w.expireBlackoutsLocked()
+}
+
+// StepUntil advances the world to at least t.
+func (w *ShardedWorld) StepUntil(t time.Duration) {
+	for w.Now() < t {
+		w.Step()
+	}
+}
+
+// run drains the shard's due events, appending effects to sh.out.
+func (sh *shard) run(w *ShardedWorld, stepEnd time.Duration) {
+	for {
+		ev, ok := sh.q.peek()
+		if !ok || ev.at > stepEnd {
+			return
+		}
+		sh.q.pop()
+		n := &w.nodes[ev.node]
+		switch ev.kind {
+		case evCrossing:
+			// Evaluated at stepEnd — the time the rebucket is applied —
+			// so the fresh bucket starts with zero drift.
+			pos := w.posAt(ev.node, stepEnd)
+			nc := geo.CellOf(pos, w.regionSize)
+			e := effect{at: ev.at, node: ev.node, kind: evCrossing, newCell: nc}
+			if delay, ok := crossingAfter(pos, nc, w.regionSize, n.speed, n.slackEff); ok {
+				e.nextAt = stepEnd + delay
+			}
+			sh.out = append(sh.out, e)
+			sh.stats.Rebuckets++
+		case evDiscovery:
+			e := effect{at: ev.at, node: ev.node, kind: evDiscovery, nextAt: ev.at + n.every}
+			e.disc = sh.inquire(w, n, ev.at)
+			sh.out = append(sh.out, e)
+		}
+	}
+}
+
+// inquire runs one node's discovery round at time at: one inquiry per
+// technology the node carries, against the 3x3 region neighbourhood of
+// its current position plus the unbucketed always-candidates. Candidates
+// are visited in ascending NodeID order, so the node's RNG consumption —
+// and therefore the whole run — is independent of bucket geometry; the
+// pre-RNG filters (tech, power, fault state, exact distance) mirror the
+// classic Radio.Inquire.
+func (sh *shard) inquire(w *ShardedWorld, n *shardNode, at time.Duration) []discResult {
+	sh.stats.Inquiries += int64(len(n.techs))
+	dstart := len(sh.drBuf)
+	for _, t := range n.techs {
+		sh.drBuf = append(sh.drBuf, discResult{tech: t})
+	}
+	// Carve with full slice expressions: growing the arena later must not
+	// alias the slices already handed out.
+	out := sh.drBuf[dstart:len(sh.drBuf):len(sh.drBuf)]
+	if n.down {
+		// A downed node's inquiry occupies the radio but hears nothing,
+		// like the classic world's.
+		return out
+	}
+	pos := w.posAt(n.id, at)
+	recs := sh.candidates(w, geo.CellOf(pos, w.regionSize), at)
+
+	for i, t := range n.techs {
+		p := w.params[t]
+		radius := p.CoverageRadius
+		rstart := len(sh.resBuf)
+		for j := range recs {
+			c := &recs[j]
+			if c.id == n.id {
+				continue
+			}
+			if c.mask&(1<<uint(t)) == 0 {
+				continue
+			}
+			sh.stats.InquiryCandidates++
+			if c.down {
+				continue
+			}
+			cpos := c.pos
+			// Bounding-box rejection before anything that touches the
+			// candidate's shardNode: most of the 3x3 neighbourhood lies
+			// outside the coverage square, and the skipped filters below
+			// neither consume randomness nor count stats, so the
+			// observable outcome is unchanged.
+			if cpos.X-pos.X > radius || pos.X-cpos.X > radius ||
+				cpos.Y-pos.Y > radius || pos.Y-cpos.Y > radius {
+				continue
+			}
+			if !w.allowedAtLocked(n.id, c.id, at, pos, cpos) {
+				continue
+			}
+			// Asymmetric technologies: a candidate whose own inquiry
+			// window extends past our start is not discoverable. (Only
+			// this branch dereferences the candidate's shardNode — the
+			// filters above run entirely on the packed records.)
+			if p.Asymmetric && w.nodes[c.id].inqUntil[t] > at {
+				continue
+			}
+			d := pos.Dist(cpos)
+			if d > radius {
+				continue
+			}
+			if !n.src.Bool(p.ResponseProb) {
+				continue
+			}
+			sh.resBuf = append(sh.resBuf, ShardInquiry{Node: c.id, Quality: qualityAt(d, p, w.cfg.QualityNoise, n.src)})
+			sh.stats.InquiryResponses++
+		}
+		out[i].results = sh.resBuf[rstart:len(sh.resBuf):len(sh.resBuf)]
+	}
+	return out
+}
+
+// candidates returns the packed candidate list for inquiries from cell at
+// time at: the cell's 3x3 region neighbourhood plus the unbucketed
+// always-candidates, sorted by NodeID, each with its hot filter fields.
+// The list is pure frozen-state data, so it is computed once per
+// (cell, time) per superstep and shared by every inquirer in the cell.
+func (sh *shard) candidates(w *ShardedWorld, cell geo.Cell, at time.Duration) []candRec {
+	key := candKey{cell: cell, at: at}
+	if recs, ok := sh.cands[key]; ok {
+		return recs
+	}
+	sh.cand = sh.cand[:0]
+	cell.Neighborhood(1, func(c geo.Cell) {
+		sh.cand = append(sh.cand, w.regions[c]...)
+	})
+	sh.cand = append(sh.cand, w.unbucketed...)
+	// Region lists are individually sorted and mutually disjoint; one
+	// global sort yields the canonical candidate order.
+	slices.Sort(sh.cand)
+
+	snapHit := at == w.snapAt
+	start := len(sh.candBuf)
+	for _, id := range sh.cand {
+		s := &w.snap[id]
+		pos := s.pos
+		if !snapHit {
+			pos = w.nodes[id].model.PositionAt(at)
+		}
+		sh.candBuf = append(sh.candBuf, candRec{id: id, pos: pos, mask: s.mask, down: s.down})
+	}
+	// Carve with a full slice expression: a later append that grows the
+	// arena must not alias this cached list.
+	recs := sh.candBuf[start:len(sh.candBuf):len(sh.candBuf)]
+	sh.cands[key] = recs
+	return recs
+}
+
+// mergeLocked applies every shard's effects in global (time, node, kind)
+// order, re-arms their follow-up events, and drains due link re-checks.
+func (w *ShardedWorld) mergeLocked(stepEnd time.Duration) {
+	w.effects = w.effects[:0]
+	for _, sh := range w.shards {
+		w.effects = append(w.effects, sh.out...)
+		w.stats.add(sh.stats)
+		sh.stats = ShardStats{}
+	}
+	sort.Slice(w.effects, func(i, j int) bool { return effectBefore(&w.effects[i], &w.effects[j]) })
+
+	for i := range w.effects {
+		e := &w.effects[i]
+		n := &w.nodes[e.node]
+		switch e.kind {
+		case evCrossing:
+			if !n.bucketed {
+				continue // demoted since scheduling; nothing to move
+			}
+			if e.newCell != n.cell {
+				w.regions[n.cell] = removeSorted(w.regions[n.cell], n.id)
+				if len(w.regions[n.cell]) == 0 {
+					delete(w.regions, n.cell)
+				}
+				n.cell = e.newCell
+				w.regions[n.cell] = insertSorted(w.regions[n.cell], n.id)
+			}
+			if e.nextAt > 0 {
+				w.pushEventLocked(shardEvent{at: e.nextAt, node: e.node, kind: evCrossing})
+			}
+		case evDiscovery:
+			for _, dr := range e.disc {
+				t := dr.tech
+				n.inqUntil[t] = e.at + w.params[t].InquiryDuration
+				if w.cfg.OnDiscovery != nil {
+					w.cfg.OnDiscovery(e.at, e.node, t, dr.results)
+				}
+				if w.cfg.AutoLink {
+					for _, r := range dr.results {
+						// Best effort, like a daemon redialing next round;
+						// faults and races with fault state are expected.
+						_ = w.connectLocked(e.node, r.Node, t, e.at)
+					}
+				}
+			}
+			if n.every > 0 && e.nextAt > 0 {
+				w.pushEventLocked(shardEvent{at: e.nextAt, node: e.node, kind: evDiscovery})
+			}
+		}
+	}
+	w.sweepDueLinksLocked(stepEnd)
+}
+
+// sweepDueLinksLocked processes scheduled link re-checks due by stepEnd,
+// in deterministic (time, key) order. Stale entries — the link broke or
+// was re-established since scheduling — are skipped by nextCheck mismatch.
+func (w *ShardedWorld) sweepDueLinksLocked(stepEnd time.Duration) {
+	for {
+		e, ok := w.linkq.peek()
+		if !ok || e.at > stepEnd {
+			return
+		}
+		w.linkq.pop()
+		lk, ok := w.links[e.key]
+		if !ok || lk.nextCheck != e.at {
+			continue
+		}
+		w.stats.LinkChecks++
+		if !w.linkAliveLocked(e.key, stepEnd) {
+			delete(w.links, e.key)
+			w.stats.LinksBroken++
+			continue
+		}
+		a, b := &w.nodes[e.key.A], &w.nodes[e.key.B]
+		d := w.posAt(e.key.A, stepEnd).Dist(w.posAt(e.key.B, stepEnd))
+		w.scheduleLinkCheckLocked(lk, d, w.params[e.key.Tech].CoverageRadius, a.speed+b.speed, stepEnd)
+	}
+}
+
+// rebucketAllLocked is the BruteForce reference: every bucketed node is
+// re-bucketed from its exact position every superstep, with no crossing
+// events. The event scheduler must produce identical discovery results.
+func (w *ShardedWorld) rebucketAllLocked() {
+	for i := range w.nodes {
+		n := &w.nodes[i]
+		if !n.bucketed {
+			continue
+		}
+		// Every bucketed node is scanned every step — that per-node cost is
+		// exactly what crossing events avoid, so it is what Rebuckets counts
+		// here (the event scheduler counts crossing events fired).
+		w.stats.Rebuckets++
+		nc := geo.CellOf(w.posAt(n.id, w.now), w.regionSize)
+		if nc == n.cell {
+			continue
+		}
+		w.regions[n.cell] = removeSorted(w.regions[n.cell], n.id)
+		if len(w.regions[n.cell]) == 0 {
+			delete(w.regions, n.cell)
+		}
+		n.cell = nc
+		w.regions[n.cell] = insertSorted(w.regions[n.cell], n.id)
+	}
+}
+
+// expireBlackoutsLocked compacts closed blackout windows. Compaction must
+// not run during the parallel phase (workers read the slice), so it
+// happens here, between supersteps.
+func (w *ShardedWorld) expireBlackoutsLocked() {
+	if len(w.blackouts) == 0 {
+		return
+	}
+	keep := w.blackouts[:0]
+	for _, bo := range w.blackouts {
+		if bo.until > w.now {
+			keep = append(keep, bo)
+		}
+	}
+	w.blackouts = keep
+}

@@ -1,0 +1,855 @@
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/rng"
+)
+
+// ShardedWorld is the scalable sibling of World: the plane is partitioned
+// into square regions keyed on the same grid math as the PR 1 radio index,
+// each superstep fans region-local work out to parallel shard workers, and
+// an event-driven scheduler replaces per-tick polling so idle nodes cost
+// nothing. It models the parts of the classic world whose per-tick scans
+// dominate at scale — discovery, link lifecycle, and the fault plane's
+// partitions/blackouts/crashes — not byte transport (no Conn/Listener).
+//
+// # Determinism contract
+//
+// Same seed, same node set, same scripted inputs ⇒ byte-identical run,
+// regardless of GOMAXPROCS or the configured shard count:
+//
+//   - every stochastic draw comes from a per-node stream derived purely
+//     from (world seed, NodeID), and a node's stream is consumed only by
+//     that node's own events;
+//   - the parallel phase of a superstep computes effects against frozen
+//     world state and mutates nothing shared;
+//   - effects are applied in a serial merge, globally sorted by
+//     (time, NodeID, kind), so the post-step state never depends on which
+//     worker computed what, or when.
+//
+// Methods are NOT safe for concurrent use from multiple goroutines; the
+// driving harness owns the world (the classic World keeps the
+// one-goroutine-per-daemon concurrency story, this one trades it for
+// scale).
+type ShardedWorld struct {
+	cfg        ShardedConfig
+	params     map[device.Tech]TechParams
+	quantum    time.Duration
+	regionSize float64
+	slack      float64
+
+	mu          sync.Mutex
+	initialized bool
+	closed      bool
+	now         time.Duration
+	nodes       []shardNode // value slice: one slab, not 100k GC-traced objects
+	byName      map[string]NodeID
+	regions     map[geo.Cell][]NodeID
+	unbucketed  []NodeID
+
+	// Per-superstep snapshot of the candidate filter's hot fields, one
+	// dense record per node so a candidate visit costs one cache line.
+	// Positions are filled in parallel stripes before the workers start;
+	// mask/down are kept current on AddNode/SetDown. The values are
+	// identical to what the models and nodes hold — the snapshot exists
+	// because chasing 100k scattered shardNode and mobility-model pointers
+	// per candidate visit is what breaks flat per-node scaling, not
+	// because any state differs.
+	snap    []nodeSnap
+	snapAt  time.Duration // snapshot position validity time; -1 until first snapshot
+	shards  []*shard
+	effects []effect
+	links   map[shardLinkKey]*shardLink
+	linkq   linkQueue
+	stats   ShardStats
+
+	partitioned bool
+	partSegs    []int32 // indexed by NodeID; meaningful when partitioned
+	blackouts   []shardBlackout
+	impairments map[[2]NodeID]Impairment
+}
+
+// NodeID identifies a node in a ShardedWorld. IDs are assigned densely in
+// AddNode order, so they double as the deterministic tie-break in the
+// merge phase.
+type NodeID int
+
+// ShardInquiry is one response to a sharded-world discovery round.
+type ShardInquiry struct {
+	Node    NodeID
+	Quality int
+}
+
+// DiscoveryHook observes one technology's discovery results for one node.
+// It runs inside the serial merge phase in deterministic order; it must
+// not call back into the world. The results slice is backed by a buffer
+// the next superstep reuses — copy the entries out to retain them.
+type DiscoveryHook func(at time.Duration, node NodeID, tech device.Tech, results []ShardInquiry)
+
+// ShardedConfig parametrises a ShardedWorld. The zero value of every
+// field is usable.
+type ShardedConfig struct {
+	// Seed roots every per-node random stream.
+	Seed int64
+
+	// Shards is the number of event-queue shards, each stepped by its own
+	// worker goroutine during the parallel phase. The default is 8 — a
+	// constant, NOT NumCPU, so default-configured runs replay identically
+	// across machines. Results are independent of the value either way.
+	Shards int
+
+	// Quantum is the superstep length (default 1s). Events due within a
+	// superstep are computed in parallel and applied at its end.
+	Quantum time.Duration
+
+	// RegionSize is the region edge length in metres; 0 derives it as
+	// twice the largest coverage radius among the technologies in use.
+	RegionSize float64
+
+	// QualityNoise is the stddev of Gaussian link-quality noise
+	// (default 0: sharded runs are exact unless asked otherwise).
+	QualityNoise float64
+
+	// AutoLink establishes a link to every peer a discovery round finds
+	// (the classic world's daemons dial explicitly; scale scenarios want
+	// the churn without per-node goroutines).
+	AutoLink bool
+
+	// BruteForce disables crossing-event scheduling and re-buckets every
+	// node every superstep. It is the reference the no-missed-wakeup
+	// tests compare the event scheduler against, and must produce
+	// identical discovery results.
+	BruteForce bool
+
+	// Params overrides technology parameters (nil entries fall back to
+	// DefaultParams).
+	Params map[device.Tech]TechParams
+
+	// OnDiscovery observes discovery results; see DiscoveryHook.
+	OnDiscovery DiscoveryHook
+}
+
+// ShardNodeSpec describes one node added to a ShardedWorld.
+type ShardNodeSpec struct {
+	// Name addresses the node in fault scripts; it must be unique.
+	Name string
+	// Model is the node's mobility model (nil = Static at the origin).
+	Model mobility.Model
+	// Techs lists the node's radio technologies (at least one).
+	Techs []device.Tech
+	// DiscoveryEvery is the period between discovery rounds; 0 makes the
+	// node passive (it is discoverable but never inquires — and costs
+	// nothing per superstep unless it also moves).
+	DiscoveryEvery time.Duration
+	// DiscoveryPhase offsets the first discovery round (default
+	// DiscoveryEvery). Staggering phases avoids thundering herds.
+	DiscoveryPhase time.Duration
+}
+
+// ShardStats counts sharded-world events.
+type ShardStats struct {
+	Steps             int64
+	Inquiries         int64
+	InquiryResponses  int64
+	InquiryCandidates int64
+	Rebuckets         int64
+	DialsAttempted    int64
+	DialsSucceeded    int64
+	DialsFaulted      int64
+	DialsOutOfRange   int64
+	LinkChecks        int64
+	LinksBroken       int64
+}
+
+func (s *ShardStats) add(o ShardStats) {
+	s.Inquiries += o.Inquiries
+	s.InquiryResponses += o.InquiryResponses
+	s.InquiryCandidates += o.InquiryCandidates
+	s.Rebuckets += o.Rebuckets
+}
+
+// shardNode is one node's state. Mutable fields are written only between
+// supersteps or in the serial merge phase; the parallel phase reads them
+// as frozen state.
+type shardNode struct {
+	id       NodeID
+	name     string
+	model    mobility.Model
+	speed    float64 // mobility speed bound, m/s (+Inf if undeclared)
+	slackEff float64 // region slack minus one quantum of worst-case drift
+	techs    []device.Tech
+	techMask uint8
+	every    time.Duration
+	phase    time.Duration
+	src      *rng.Source // per-node stream; consumed only by this node's events
+
+	down     bool
+	bucketed bool
+	cell     geo.Cell
+	inqUntil [4]time.Duration // per-tech inquiry-window end (asymmetric techs)
+}
+
+// nodeSnap is one node's entry in the per-superstep hot-field snapshot.
+type nodeSnap struct {
+	pos  geo.Point
+	mask uint8
+	down bool
+}
+
+type shardBlackout struct {
+	region geo.Rect
+	until  time.Duration
+}
+
+// shardLinkKey identifies a link; A < B canonically.
+type shardLinkKey struct {
+	A, B NodeID
+	Tech device.Tech
+}
+
+func linkKeyOf(a, b NodeID, t device.Tech) shardLinkKey {
+	if b < a {
+		a, b = b, a
+	}
+	return shardLinkKey{A: a, B: b, Tech: t}
+}
+
+func linkKeyBefore(a, b shardLinkKey) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.Tech < b.Tech
+}
+
+type shardLink struct {
+	key         shardLinkKey
+	established time.Duration
+	// nextCheck is the scheduled re-check time; a popped queue entry whose
+	// time does not match is stale and is skipped.
+	nextCheck time.Duration
+}
+
+// linkEntry is one scheduled link re-check in the serial link queue.
+type linkEntry struct {
+	at  time.Duration
+	key shardLinkKey
+}
+
+func linkEntryBefore(a, b linkEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return linkKeyBefore(a.key, b.key)
+}
+
+// linkQueue is a binary min-heap of linkEntries.
+type linkQueue struct{ h []linkEntry }
+
+func (q *linkQueue) push(e linkEntry) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !linkEntryBefore(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *linkQueue) peek() (linkEntry, bool) {
+	if len(q.h) == 0 {
+		return linkEntry{}, false
+	}
+	return q.h[0], true
+}
+
+func (q *linkQueue) pop() linkEntry {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && linkEntryBefore(q.h[l], q.h[small]) {
+			small = l
+		}
+		if r < last && linkEntryBefore(q.h[r], q.h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.h[i], q.h[small] = q.h[small], q.h[i]
+		i = small
+	}
+	return top
+}
+
+// NewShardedWorld creates an empty sharded world.
+func NewShardedWorld(cfg ShardedConfig) *ShardedWorld {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = time.Second
+	}
+	params := make(map[device.Tech]TechParams)
+	for _, t := range device.Techs() {
+		params[t] = DefaultParams(t)
+		if cfg.Params != nil {
+			if p, ok := cfg.Params[t]; ok {
+				params[t] = p
+			}
+		}
+	}
+	w := &ShardedWorld{
+		cfg:         cfg,
+		params:      params,
+		quantum:     cfg.Quantum,
+		byName:      make(map[string]NodeID),
+		regions:     make(map[geo.Cell][]NodeID),
+		links:       make(map[shardLinkKey]*shardLink),
+		impairments: make(map[[2]NodeID]Impairment),
+		snapAt:      -1,
+	}
+	w.shards = make([]*shard, cfg.Shards)
+	for i := range w.shards {
+		w.shards[i] = &shard{}
+	}
+	return w
+}
+
+// nodeSeed mixes the world seed with a node ID into an independent stream
+// seed (splitmix64 finalizer). Per-node streams — rather than one world
+// stream — are what make replay independent of shard count and scheduling.
+func nodeSeed(seed int64, id NodeID) int64 {
+	z := uint64(seed) + (uint64(id)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}
+
+// AddNode adds a node and returns its ID. Nodes may be added before or
+// between supersteps, never concurrently with one.
+func (w *ShardedWorld) AddNode(spec ShardNodeSpec) (NodeID, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if spec.Name == "" {
+		return 0, fmt.Errorf("simnet: sharded node needs a name")
+	}
+	if _, dup := w.byName[spec.Name]; dup {
+		return 0, fmt.Errorf("simnet: duplicate node %q", spec.Name)
+	}
+	if len(spec.Techs) == 0 {
+		return 0, fmt.Errorf("simnet: node %q needs at least one technology", spec.Name)
+	}
+	var mask uint8
+	for _, t := range spec.Techs {
+		if !t.Valid() {
+			return 0, fmt.Errorf("simnet: node %q: invalid technology %v", spec.Name, t)
+		}
+		mask |= 1 << uint(t)
+	}
+	model := spec.Model
+	if model == nil {
+		model = mobility.Static{}
+	}
+	id := NodeID(len(w.nodes))
+	n := shardNode{
+		id:       id,
+		name:     spec.Name,
+		model:    model,
+		speed:    mobility.MaxSpeedOf(model),
+		techs:    append([]device.Tech(nil), spec.Techs...),
+		techMask: mask,
+		every:    spec.DiscoveryEvery,
+		phase:    spec.DiscoveryPhase,
+		src:      rng.NewCompact(nodeSeed(w.cfg.Seed, id)),
+	}
+	if n.phase <= 0 {
+		n.phase = n.every
+	}
+	w.nodes = append(w.nodes, n)
+	w.byName[spec.Name] = id
+	w.snap = append(w.snap, nodeSnap{mask: mask})
+	w.snapAt = -1 // any standing snapshot no longer covers all nodes
+	if w.initialized {
+		w.placeLocked(&w.nodes[id])
+	}
+	return id, nil
+}
+
+// snapshotPositionsLocked computes every node's position at `at` once, in
+// parallel stripes of disjoint indices, so the parallel phase reads
+// positions from one dense cache-resident slice instead of locking each
+// candidate's mobility model per visit.
+func (w *ShardedWorld) snapshotPositionsLocked(at time.Duration) {
+	n := len(w.nodes)
+	const parallelMin = 4096
+	if workers := len(w.shards); workers > 1 && n >= parallelMin {
+		stripe := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += stripe {
+			hi := lo + stripe
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					w.snap[i].pos = w.nodes[i].model.PositionAt(at)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			w.snap[i].pos = w.nodes[i].model.PositionAt(at)
+		}
+	}
+	w.snapAt = at
+}
+
+// posAt returns a node's position at time at, served from the superstep
+// snapshot when it covers that instant. The fallback asks the model
+// directly, so callers never see a stale or missing value.
+func (w *ShardedWorld) posAt(id NodeID, at time.Duration) geo.Point {
+	if at == w.snapAt {
+		return w.snap[id].pos
+	}
+	return w.nodes[id].model.PositionAt(at)
+}
+
+// initLocked freezes the region geometry and buckets/schedules every node.
+// It runs at the first Step so all techs are known when the region size is
+// derived.
+func (w *ShardedWorld) initLocked() {
+	if w.initialized {
+		return
+	}
+	w.initialized = true
+	if w.regionSize = w.cfg.RegionSize; w.regionSize <= 0 {
+		var maxR float64
+		var seen uint8
+		for i := range w.nodes {
+			seen |= w.nodes[i].techMask
+		}
+		for _, t := range device.Techs() {
+			if seen&(1<<uint(t)) != 0 {
+				maxR = math.Max(maxR, w.params[t].CoverageRadius)
+			}
+		}
+		if maxR <= 0 {
+			maxR = DefaultParams(device.TechBluetooth).CoverageRadius
+		}
+		w.regionSize = 2 * maxR
+	}
+	// With L = 2R and slack = L/4 = R/2, a query's 3x3 region
+	// neighbourhood covers R + slack = 1.5R < 2R — the exactness margin.
+	w.slack = w.regionSize / 4
+	for i := range w.nodes {
+		w.placeLocked(&w.nodes[i])
+	}
+}
+
+// placeLocked buckets a node (or adds it to the always-candidate list when
+// its drift cannot be bounded within the slack) and schedules its events.
+func (w *ShardedWorld) placeLocked(n *shardNode) {
+	drift := n.speed * w.quantum.Seconds()
+	n.slackEff = w.slack - drift
+	if math.IsInf(n.speed, 1) || drift >= w.slack {
+		// The node can outrun the slack within one superstep: it cannot
+		// be bucketed exactly. It joins the unbucketed list — a candidate
+		// for every query — instead of degrading the whole world the way
+		// the classic grid's full-scan fallback does.
+		n.bucketed = false
+		w.unbucketed = insertSorted(w.unbucketed, n.id)
+	} else {
+		pos := n.model.PositionAt(w.now)
+		n.cell = geo.CellOf(pos, w.regionSize)
+		n.bucketed = true
+		w.regions[n.cell] = insertSorted(w.regions[n.cell], n.id)
+		if !w.cfg.BruteForce {
+			if delay, ok := crossingAfter(pos, n.cell, w.regionSize, n.speed, n.slackEff); ok {
+				w.pushEventLocked(shardEvent{at: w.now + delay, node: n.id, kind: evCrossing})
+			}
+		}
+	}
+	if n.every > 0 {
+		w.pushEventLocked(shardEvent{at: w.now + n.phase, node: n.id, kind: evDiscovery})
+	}
+}
+
+func insertSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+func removeSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// shardOfLocked returns the shard owning a node's events right now. The
+// assignment keys on the node's region so one region's events drain on one
+// worker; it only affects which queue holds an event, never the outcome.
+func (w *ShardedWorld) shardOfLocked(n *shardNode) *shard {
+	if !n.bucketed {
+		return w.shards[int(uint64(n.id)%uint64(len(w.shards)))]
+	}
+	h := uint64(uint32(n.cell.CX))*0x9e3779b1 ^ uint64(uint32(n.cell.CY))*0x85ebca6b
+	return w.shards[int(h%uint64(len(w.shards)))]
+}
+
+func (w *ShardedWorld) pushEventLocked(e shardEvent) {
+	w.shardOfLocked(&w.nodes[e.node]).q.push(e)
+}
+
+// Now returns the current simulated time (duration since world start).
+func (w *ShardedWorld) Now() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.now
+}
+
+// Quantum returns the superstep length.
+func (w *ShardedWorld) Quantum() time.Duration { return w.quantum }
+
+// RegionSize returns the region edge length (0 before the first Step).
+func (w *ShardedWorld) RegionSize() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.regionSize
+}
+
+// NodeCount returns the number of nodes.
+func (w *ShardedWorld) NodeCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.nodes)
+}
+
+// NodeByName resolves a node name.
+func (w *ShardedWorld) NodeByName(name string) (NodeID, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id, ok := w.byName[name]
+	return id, ok
+}
+
+// NodeName returns a node's name.
+func (w *ShardedWorld) NodeName(id NodeID) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nodes[id].name
+}
+
+// NodeTechs returns a node's technologies.
+func (w *ShardedWorld) NodeTechs(id NodeID) []device.Tech {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]device.Tech(nil), w.nodes[id].techs...)
+}
+
+// Position returns a node's position at the current simulated time.
+func (w *ShardedWorld) Position(id NodeID) geo.Point {
+	w.mu.Lock()
+	model, now := w.nodes[id].model, w.now
+	w.mu.Unlock()
+	return model.PositionAt(now)
+}
+
+// SetDown powers a node off (true) or on (false). Links of a downed node
+// break on the next CheckLinks or scheduled re-check.
+func (w *ShardedWorld) SetDown(id NodeID, down bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nodes[id].down = down
+	w.snap[id].down = down
+}
+
+// IsDown reports whether a node is powered off.
+func (w *ShardedWorld) IsDown(id NodeID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nodes[id].down
+}
+
+// Stats returns a snapshot of the world counters.
+func (w *ShardedWorld) Stats() ShardStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// ActiveLinks reports how many links are currently established.
+func (w *ShardedWorld) ActiveLinks() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.links)
+}
+
+// LinkKeys returns the established links as canonical "a<->b/tech" strings
+// in sorted order (tests compare link sets across worlds with this).
+func (w *ShardedWorld) LinkKeys() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keys := w.sortedLinkKeysLocked()
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s<->%s/%v", w.nodes[k.A].name, w.nodes[k.B].name, k.Tech)
+	}
+	return out
+}
+
+func (w *ShardedWorld) sortedLinkKeysLocked() []shardLinkKey {
+	keys := make([]shardLinkKey, 0, len(w.links))
+	for k := range w.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return linkKeyBefore(keys[i], keys[j]) })
+	return keys
+}
+
+// Linked reports whether a link is established between two nodes on tech.
+func (w *ShardedWorld) Linked(a, b NodeID, tech device.Tech) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.links[linkKeyOf(a, b, tech)]
+	return ok
+}
+
+// Partition splits the world into isolated segments by node name, exactly
+// like the fault plane's Partition action: nodes in different segments
+// cannot discover or link each other; unlisted nodes form an implicit
+// segment of their own. A new partition replaces the previous one.
+func (w *ShardedWorld) Partition(segments [][]string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.partitioned = true
+	w.partSegs = make([]int32, len(w.nodes))
+	for i, seg := range segments {
+		for _, name := range seg {
+			if id, ok := w.byName[name]; ok {
+				w.partSegs[id] = int32(i + 1)
+			}
+		}
+	}
+}
+
+// Blackout takes every node inside region off the air for d from the
+// current simulated time: existing links touching it break on the next
+// check, and no discoveries or links involve it until the window closes.
+func (w *ShardedWorld) Blackout(region geo.Rect, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("blackout duration %s must be positive", d)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.blackouts = append(w.blackouts, shardBlackout{region: region, until: w.now + d})
+	return nil
+}
+
+// Heal clears the partition and every open blackout window (impairment
+// bookkeeping is cleared by the fault plane, which installed it).
+func (w *ShardedWorld) Heal() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.partitioned = false
+	w.partSegs = nil
+	w.blackouts = nil
+}
+
+// SetImpairment registers (or, with nil, clears) an impairment profile on
+// the from->to direction. The sharded substrate does not move bytes, so
+// the profile has no behavioural effect here; it is carried so fault
+// scripts replay identically and future transport layers can consume it.
+func (w *ShardedWorld) SetImpairment(from, to NodeID, imp *Impairment) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := [2]NodeID{from, to}
+	if imp == nil {
+		delete(w.impairments, k)
+		return
+	}
+	w.impairments[k] = *imp
+}
+
+// ImpairmentFor returns the registered profile for a direction.
+func (w *ShardedWorld) ImpairmentFor(from, to NodeID) (Impairment, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	imp, ok := w.impairments[[2]NodeID{from, to}]
+	return imp, ok
+}
+
+// allowedAtLocked reports whether the fault state permits the pair at time
+// at, given their positions. It is read-only: the parallel phase calls it
+// concurrently, so expired blackout windows are skipped here and compacted
+// only between supersteps.
+func (w *ShardedWorld) allowedAtLocked(a, b NodeID, at time.Duration, pa, pb geo.Point) bool {
+	if w.partitioned && w.partSegs[a] != w.partSegs[b] {
+		return false
+	}
+	for _, bo := range w.blackouts {
+		if bo.until > at && (bo.region.Contains(pa) || bo.region.Contains(pb)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Connect establishes a link between two nodes on tech, mirroring the
+// classic Dial's checks: both up, not partitioned or blacked out, within
+// coverage, and surviving the technology's stochastic connect fault
+// (drawn from the initiating node's stream). Established links are
+// re-checked on the event schedule; Connect on an already-linked pair is
+// a no-op.
+func (w *ShardedWorld) Connect(from, to NodeID, tech device.Tech) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if from == to {
+		return fmt.Errorf("simnet: node %v dialing itself", from)
+	}
+	a, b := &w.nodes[from], &w.nodes[to]
+	if a.techMask&(1<<uint(tech)) == 0 || b.techMask&(1<<uint(tech)) == 0 {
+		return fmt.Errorf("%w: %v", ErrTechMismatch, tech)
+	}
+	return w.connectLocked(from, to, tech, w.now)
+}
+
+func (w *ShardedWorld) connectLocked(from, to NodeID, tech device.Tech, at time.Duration) error {
+	a, b := &w.nodes[from], &w.nodes[to]
+	w.stats.DialsAttempted++
+	if a.down || b.down {
+		return ErrRadioDown
+	}
+	p := w.params[tech]
+	pa, pb := w.posAt(from, at), w.posAt(to, at)
+	if pa.Dist(pb) > p.CoverageRadius || !w.allowedAtLocked(from, to, at, pa, pb) {
+		w.stats.DialsOutOfRange++
+		return fmt.Errorf("%w: %s", ErrOutOfRange, b.name)
+	}
+	key := linkKeyOf(from, to, tech)
+	if _, exists := w.links[key]; exists {
+		return nil
+	}
+	if a.src.Bool(p.FaultProb) {
+		w.stats.DialsFaulted++
+		return fmt.Errorf("%w: dialing %s", ErrConnectFault, b.name)
+	}
+	lk := &shardLink{key: key, established: at}
+	w.links[key] = lk
+	w.stats.DialsSucceeded++
+	w.scheduleLinkCheckLocked(lk, pa.Dist(pb), p.CoverageRadius, a.speed+b.speed, at)
+	return nil
+}
+
+func (w *ShardedWorld) scheduleLinkCheckLocked(lk *shardLink, dist, radius, closing float64, from time.Duration) {
+	if delay, ok := linkCheckAfter(dist, radius, closing, w.quantum); ok {
+		lk.nextCheck = from + delay
+		w.linkq.push(linkEntry{at: lk.nextCheck, key: lk.key})
+	}
+	// Static pairs (closing 0) get no schedule: only forced sweeps —
+	// fault events, crashes — can break them.
+}
+
+// linkAliveLocked reports whether a link holds at time at.
+func (w *ShardedWorld) linkAliveLocked(k shardLinkKey, at time.Duration) bool {
+	a, b := &w.nodes[k.A], &w.nodes[k.B]
+	if a.down || b.down {
+		return false
+	}
+	pa, pb := w.posAt(k.A, at), w.posAt(k.B, at)
+	if pa.Dist(pb) > w.params[k.Tech].CoverageRadius {
+		return false
+	}
+	return w.allowedAtLocked(k.A, k.B, at, pa, pb)
+}
+
+// CheckLinks breaks every established link whose endpoints are no longer
+// permitted or in mutual coverage, sweeping links in canonical key order.
+// The fault plane forces a sweep after each applied action; steady-state
+// breakage rides the event schedule instead.
+func (w *ShardedWorld) CheckLinks() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	broken := 0
+	for _, k := range w.sortedLinkKeysLocked() {
+		if !w.linkAliveLocked(k, w.now) {
+			delete(w.links, k)
+			w.stats.LinksBroken++
+			broken++
+		}
+	}
+	return broken
+}
+
+// Digest returns a short canonical fingerprint of the full world state:
+// clock, every node's power/bucket/inquiry state, the link set, fault
+// state, and counters. Two runs are byte-identical iff their digests match
+// at every compared step — the determinism regression tests pin exactly
+// that across GOMAXPROCS and shard counts.
+func (w *ShardedWorld) Digest() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "now=%d q=%d L=%g\n", w.now, w.quantum, w.regionSize)
+	for i := range w.nodes {
+		n := &w.nodes[i]
+		fmt.Fprintf(h, "n%d down=%t b=%t c=%d,%d inq=%d,%d,%d\n",
+			n.id, n.down, n.bucketed, n.cell.CX, n.cell.CY,
+			n.inqUntil[1], n.inqUntil[2], n.inqUntil[3])
+	}
+	for _, k := range w.sortedLinkKeysLocked() {
+		lk := w.links[k]
+		fmt.Fprintf(h, "l%d-%d/%d est=%d chk=%d\n", k.A, k.B, k.Tech, lk.established, lk.nextCheck)
+	}
+	fmt.Fprintf(h, "part=%t bo=%d imp=%d\n", w.partitioned, len(w.blackouts), len(w.impairments))
+	fmt.Fprintf(h, "stats=%+v\n", w.stats)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Close breaks every link and drops all scheduled events. The sharded
+// world spawns worker goroutines only for the duration of a Step, so
+// Close leaves no goroutines behind by construction — the soak tests
+// still verify that with a leak check.
+func (w *ShardedWorld) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.stats.LinksBroken += int64(len(w.links))
+	w.links = make(map[shardLinkKey]*shardLink)
+	w.linkq = linkQueue{}
+	for _, sh := range w.shards {
+		sh.q = eventQueue{}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package simnet_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"peerhood/internal/faultplane"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/rng"
+	"peerhood/internal/simnet"
+
+	"peerhood/internal/device"
+)
+
+// chaosSoakRun drives one fully-stochastic sharded world (default tech
+// parameters: response misses, connect faults, quality noise, AutoLink)
+// through a fault script and returns every per-step digest, the complete
+// discovery log, and the fault trace. The determinism contract says all
+// three depend only on (seed, node specs, script, quantum, region size) —
+// never on the shard count or on how many OS threads stepped the shards.
+func chaosSoakRun(t *testing.T, shards int) (digests, discLog, trace []string) {
+	t.Helper()
+	const seed = 777
+	src := rng.New(seed)
+
+	sw := simnet.NewShardedWorld(simnet.ShardedConfig{
+		Seed:         seed,
+		Shards:       shards,
+		QualityNoise: 2,
+		AutoLink:     true,
+		OnDiscovery: func(at time.Duration, node simnet.NodeID, tech device.Tech, results []simnet.ShardInquiry) {
+			discLog = append(discLog, fmt.Sprintf("t=%s n=%d tech=%d res=%v", at, node, tech, results))
+		},
+	})
+	defer sw.Close()
+
+	names := make([]string, 120)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+		start := geo.Pt(src.Uniform(-120, 120), src.Uniform(-120, 120))
+		var model mobility.Model
+		switch i % 3 {
+		case 0:
+			model = mobility.Static{At: start}
+		case 1:
+			model = mobility.Walk(start, geo.Pt(src.Uniform(-120, 120), src.Uniform(-120, 120)), src.Uniform(0.5, 5))
+		default:
+			model = mobility.NewRandomWaypoint(start,
+				geo.Rect{Min: geo.Pt(-130, -130), Max: geo.Pt(130, 130)},
+				1, 6, time.Second, rng.New(int64(40_000+i)))
+		}
+		techs := []device.Tech{device.TechBluetooth}
+		if i%2 == 0 {
+			techs = append(techs, device.TechWLAN)
+		}
+		if _, err := sw.AddNode(simnet.ShardNodeSpec{
+			Name: names[i], Model: model, Techs: techs,
+			DiscoveryEvery: time.Duration(2+i%3) * time.Second,
+			DiscoveryPhase: time.Duration(1+i%2) * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plane, err := faultplane.NewShardPlane(faultplane.ShardConfig{World: sw, Resolve: equivResolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := plane.Load(faultplane.Script{Events: []faultplane.Event{
+		{At: 3 * time.Second, Do: faultplane.Partition{Segments: [][]string{names[:40], names[40:90]}}},
+		{At: 5 * time.Second, Do: faultplane.Blackout{
+			Region:   geo.Rect{Min: geo.Pt(-60, -60), Max: geo.Pt(30, 30)},
+			Duration: 4 * time.Second,
+		}},
+		{At: 7 * time.Second, Do: faultplane.Crash{Node: names[5]}},
+		{At: 8 * time.Second, Do: faultplane.Impair{From: names[0], To: names[2],
+			Profile: simnet.Impairment{LossProb: 0.3}, Symmetric: true}},
+		{At: 10 * time.Second, Do: faultplane.Restart{Node: names[5]}},
+		{At: 12 * time.Second, Do: faultplane.Heal{}},
+		{At: 14 * time.Second, Do: faultplane.Partition{Segments: [][]string{names[90:]}}},
+		{At: 18 * time.Second, Do: faultplane.Heal{}},
+	}})
+
+	for step := 0; step < 24; step++ {
+		sw.Step()
+		run.ApplyDue()
+		digests = append(digests, sw.Digest())
+	}
+	if err := run.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Done() {
+		t.Fatal("chaos script did not finish")
+	}
+	return digests, discLog, plane.Trace()
+}
+
+// TestShardedDeterminismAcrossParallelism is the determinism regression
+// test: the same seed must replay byte-identically whatever the shard
+// count and whatever GOMAXPROCS says — serial on one thread or parallel
+// on all cores, per-step digests, discovery logs, and fault traces agree.
+func TestShardedDeterminismAcrossParallelism(t *testing.T) {
+	type config struct {
+		procs  int
+		shards int
+	}
+	configs := []config{
+		{procs: 1, shards: 1},
+		{procs: 1, shards: 8},
+		{procs: runtime.NumCPU(), shards: 1},
+		{procs: runtime.NumCPU(), shards: 3},
+		{procs: runtime.NumCPU(), shards: 8},
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var refDigests, refDisc, refTrace []string
+	for i, cfg := range configs {
+		runtime.GOMAXPROCS(cfg.procs)
+		digests, disc, trace := chaosSoakRun(t, cfg.shards)
+		if i == 0 {
+			refDigests, refDisc, refTrace = digests, disc, trace
+			if len(disc) == 0 {
+				t.Fatal("no discoveries fired")
+			}
+			continue
+		}
+		label := fmt.Sprintf("procs=%d shards=%d", cfg.procs, cfg.shards)
+		for s := range refDigests {
+			if digests[s] != refDigests[s] {
+				t.Fatalf("%s: digest diverged at step %d: %s vs %s", label, s, digests[s], refDigests[s])
+			}
+		}
+		if fmt.Sprint(disc) != fmt.Sprint(refDisc) {
+			t.Fatalf("%s: discovery log diverged (%d vs %d entries)", label, len(disc), len(refDisc))
+		}
+		if fmt.Sprint(trace) != fmt.Sprint(refTrace) {
+			t.Fatalf("%s: fault trace diverged:\n  got:  %v\n  want: %v", label, trace, refTrace)
+		}
+	}
+}
+
+// TestShardedSameSeedByteIdentical replays the chaos soak twice with the
+// same configuration and demands byte-for-byte identical observables —
+// the baseline replay guarantee the cross-parallelism test refines.
+func TestShardedSameSeedByteIdentical(t *testing.T) {
+	d1, l1, t1 := chaosSoakRun(t, 0) // 0 = default shard count
+	d2, l2, t2 := chaosSoakRun(t, 0)
+	if fmt.Sprint(d1) != fmt.Sprint(d2) {
+		t.Fatal("same-seed digests diverged")
+	}
+	if fmt.Sprint(l1) != fmt.Sprint(l2) {
+		t.Fatal("same-seed discovery logs diverged")
+	}
+	if fmt.Sprint(t1) != fmt.Sprint(t2) {
+		t.Fatal("same-seed fault traces diverged")
+	}
+}

@@ -1,0 +1,308 @@
+package simnet_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/faultplane"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/rng"
+	"peerhood/internal/simnet"
+)
+
+// The sharded world must be behaviourally identical to the classic
+// single-lock world wherever their models overlap. With deterministic
+// parameters (response probability 1, no quality noise, no connect
+// faults) neither world consumes randomness on any compared observable,
+// so the two substrates — one stepped by parallel shards and event
+// queues, one by a global mutex and full scans — must agree exactly on
+// discovery results, the evolving link set, and the fault-script trace.
+
+// equivHandle is a no-op crash/restart handle for fault scripts.
+type equivHandle struct{ name string }
+
+func (h equivHandle) Name() string   { return h.name }
+func (h equivHandle) Crash() error   { return nil }
+func (h equivHandle) Restart() error { return nil }
+
+func equivResolve(name string) (faultplane.NodeHandle, bool) {
+	return equivHandle{name: name}, true
+}
+
+// exactParams strips every stochastic choice and latency from t's
+// defaults and zeroes bandwidth so probe writes never sleep.
+func exactParams(t device.Tech) simnet.TechParams {
+	p := simnet.DefaultParams(t).Instant()
+	p.Bandwidth = 0
+	return p
+}
+
+// pairKey canonically names an (unordered) linked pair on one tech, in
+// the sharded world's LinkKeys format (endpoints ordered by node id).
+func pairKey(a, b int, names []string, tech device.Tech) string {
+	if b < a {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%s<->%s/%v", names[a], names[b], tech)
+}
+
+// resultSet renders a discovery result as a canonical sorted set of
+// name:quality entries, independent of substrate-specific ordering.
+func resultSet(entries map[string]int) string {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for _, k := range keys {
+		b = append(b, fmt.Sprintf("%s:%d;", k, entries[k])...)
+	}
+	return string(b)
+}
+
+// TestShardedEquivalentToLinearScanWorld is the cross-substrate property
+// test: randomized placements and mobility, a randomized fault script
+// (partitions, blackouts, crash/restart, impair including error paths,
+// heal), and randomized dialing — the sharded world and the classic
+// WithLinearScan world must produce identical discovery results, link
+// sets, and fault traces at every simulated second.
+func TestShardedEquivalentToLinearScanWorld(t *testing.T) {
+	const rounds = 28
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			seed := int64(7100 + trial)
+			src := rng.New(seed * 13)
+			n := 16 + src.Intn(8)
+
+			type spec struct {
+				name  string
+				techs []device.Tech
+				model func() mobility.Model // fresh instance per world
+			}
+			specs := make([]spec, n)
+			names := make([]string, n)
+			for i := range specs {
+				techs := []device.Tech{device.TechBluetooth}
+				if src.Bool(0.5) {
+					techs = append(techs, device.TechWLAN)
+				}
+				start := geo.Pt(src.Uniform(-60, 60), src.Uniform(-60, 60))
+				var mk func() mobility.Model
+				switch src.Intn(3) {
+				case 0:
+					mk = func() mobility.Model { return mobility.Static{At: start} }
+				case 1:
+					dest := geo.Pt(src.Uniform(-60, 60), src.Uniform(-60, 60))
+					speed := src.Uniform(0.5, 4)
+					mk = func() mobility.Model { return mobility.Walk(start, dest, speed) }
+				default:
+					rwSeed := src.Int63()
+					mk = func() mobility.Model {
+						return mobility.NewRandomWaypoint(start,
+							geo.Rect{Min: geo.Pt(-70, -70), Max: geo.Pt(70, 70)},
+							0.5, 5, 2*time.Second, rng.New(rwSeed))
+					}
+				}
+				specs[i] = spec{name: fmt.Sprintf("d%d", i), techs: techs, model: mk}
+				names[i] = specs[i].name
+			}
+
+			// Classic reference world: linear scan, one mutex, manual clock.
+			clk := clock.NewManual()
+			opts := []simnet.Option{simnet.WithQualityNoise(0), simnet.WithLinearScan()}
+			for _, tech := range device.Techs() {
+				opts = append(opts, simnet.WithParams(tech, exactParams(tech)))
+			}
+			lw := simnet.NewWorld(clk, seed, opts...)
+			radios := make([]map[device.Tech]*simnet.Radio, n)
+			listeners := make(map[device.Addr]*simnet.Listener)
+			addrName := make(map[device.Addr]string)
+			for i, sp := range specs {
+				d, err := lw.AddDevice(sp.name, sp.model())
+				if err != nil {
+					t.Fatal(err)
+				}
+				radios[i] = make(map[device.Tech]*simnet.Radio)
+				for _, tech := range sp.techs {
+					r, err := d.AddRadio(tech)
+					if err != nil {
+						t.Fatal(err)
+					}
+					l, err := r.Listen(1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					radios[i][tech] = r
+					listeners[r.Addr()] = l
+					addrName[r.Addr()] = sp.name
+				}
+			}
+			defer lw.Close()
+
+			// Sharded world: same nodes, every node inquiring once per
+			// superstep so each simulated second is comparable.
+			params := make(map[device.Tech]simnet.TechParams)
+			for _, tech := range device.Techs() {
+				params[tech] = exactParams(tech)
+			}
+			discovered := make(map[string]map[string]int)
+			sw := simnet.NewShardedWorld(simnet.ShardedConfig{
+				Seed:   seed,
+				Params: params,
+				OnDiscovery: func(at time.Duration, node simnet.NodeID, tech device.Tech, results []simnet.ShardInquiry) {
+					set := make(map[string]int, len(results))
+					for _, r := range results {
+						set[specs[r.Node].name] = r.Quality
+					}
+					discovered[fmt.Sprintf("%s/%d/%d", at, node, tech)] = set
+				},
+			})
+			for _, sp := range specs {
+				if _, err := sw.AddNode(simnet.ShardNodeSpec{
+					Name: sp.name, Model: sp.model(), Techs: sp.techs,
+					DiscoveryEvery: time.Second,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			defer sw.Close()
+
+			// Randomized fault script, shared verbatim by both planes.
+			var script faultplane.Script
+			addEvent := func(at time.Duration, do faultplane.Action) {
+				script.Events = append(script.Events, faultplane.Event{At: at, Do: do})
+			}
+			var segA, segB []string
+			for i := 0; i < n; i++ {
+				if src.Bool(0.5) {
+					segA = append(segA, specs[i].name)
+				} else if src.Bool(0.5) {
+					segB = append(segB, specs[i].name)
+				}
+			}
+			addEvent(3*time.Second, faultplane.Partition{Segments: [][]string{segA, segB}})
+			bx, by := src.Uniform(-50, 20), src.Uniform(-50, 20)
+			addEvent(time.Duration(5+src.Intn(3))*time.Second, faultplane.Blackout{
+				Region:   geo.Rect{Min: geo.Pt(bx, by), Max: geo.Pt(bx+40, by+40)},
+				Duration: time.Duration(3+src.Intn(4)) * time.Second,
+			})
+			victim := specs[src.Intn(n)].name
+			addEvent(9*time.Second, faultplane.Crash{Node: victim})
+			addEvent(14*time.Second, faultplane.Restart{Node: victim})
+			impA, impB := specs[src.Intn(n)].name, specs[src.Intn(n)].name
+			if impA != impB {
+				addEvent(11*time.Second, faultplane.Impair{From: impA, To: impB,
+					Profile: simnet.Impairment{LossProb: 0.5}, Symmetric: true})
+			}
+			// Error-path parity: both planes must record identical err= lines.
+			addEvent(12*time.Second, faultplane.Impair{From: "nosuch", To: specs[0].name,
+				Profile: simnet.Impairment{LossProb: 1}})
+			addEvent(16*time.Second, faultplane.Heal{})
+			addEvent(18*time.Second, faultplane.Blackout{Region: geo.Rect{}, Duration: 0}) // errors on both
+			addEvent(20*time.Second, faultplane.Partition{Segments: [][]string{{specs[0].name, specs[1].name}}})
+			addEvent(24*time.Second, faultplane.Heal{})
+
+			cPlane, err := faultplane.New(faultplane.Config{World: lw, Clock: clk, Resolve: equivResolve})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sPlane, err := faultplane.NewShardPlane(faultplane.ShardConfig{World: sw, Resolve: equivResolve})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cRun := cPlane.Load(script)
+			sRun := sPlane.Load(script)
+
+			conns := make(map[string]*simnet.Conn)
+			for round := 1; round <= rounds; round++ {
+				at := time.Duration(round) * time.Second
+				sw.Step()
+				clk.Advance(time.Second)
+
+				// Discovery: every node, every tech, exact same result sets.
+				for i, sp := range specs {
+					for _, tech := range sp.techs {
+						want := make(map[string]int)
+						for _, res := range radios[i][tech].Inquire() {
+							want[addrName[res.Addr]] = res.Quality
+						}
+						got := discovered[fmt.Sprintf("%s/%d/%d", at, simnet.NodeID(i), tech)]
+						if resultSet(got) != resultSet(want) {
+							t.Fatalf("round %d: %s/%v discovery diverged:\n  sharded: %v\n  classic: %v",
+								round, sp.name, tech, got, want)
+						}
+					}
+				}
+
+				// Fault events due at this second fire on both substrates
+				// (after the second's discoveries, so both see them from the
+				// next round on).
+				sRun.ApplyDue()
+				cRun.ApplyDue()
+				lw.CheckLinks()
+
+				// Prune dead classic links by probing; the sharded world's
+				// event-driven checks must have reaped exactly the same set.
+				for key, conn := range conns {
+					if _, err := conn.Write([]byte{0}); err != nil {
+						delete(conns, key)
+					}
+				}
+				cKeys := make([]string, 0, len(conns))
+				for key := range conns {
+					cKeys = append(cKeys, key)
+				}
+				sort.Strings(cKeys)
+				sKeys := sw.LinkKeys()
+				sort.Strings(sKeys)
+				if fmt.Sprint(cKeys) != fmt.Sprint(sKeys) {
+					t.Fatalf("round %d: link sets diverged:\n  classic: %v\n  sharded: %v", round, cKeys, sKeys)
+				}
+
+				// Randomized dialing: same pairs attempted on both; success
+				// must agree.
+				for k := 0; k < 3; k++ {
+					i, j := src.Intn(n), src.Intn(n)
+					if i == j {
+						continue
+					}
+					tech := specs[i].techs[src.Intn(len(specs[i].techs))]
+					rj, ok := radios[j][tech]
+					if !ok {
+						continue
+					}
+					key := pairKey(i, j, names, tech)
+					if _, linked := conns[key]; linked {
+						continue
+					}
+					conn, cErr := radios[i][tech].Dial(rj.Addr(), 1)
+					sErr := sw.Connect(simnet.NodeID(i), simnet.NodeID(j), tech)
+					if (cErr == nil) != (sErr == nil) {
+						t.Fatalf("round %d: dial %s: classic err=%v, sharded err=%v", round, key, cErr, sErr)
+					}
+					if cErr == nil {
+						if _, err := listeners[rj.Addr()].Accept(); err != nil {
+							t.Fatal(err)
+						}
+						conns[key] = conn
+					}
+				}
+			}
+
+			cTrace, sTrace := cPlane.Trace(), sPlane.Trace()
+			if fmt.Sprint(cTrace) != fmt.Sprint(sTrace) {
+				t.Fatalf("fault traces diverged:\n  classic: %v\n  sharded: %v", cTrace, sTrace)
+			}
+			if len(cTrace) == 0 {
+				t.Fatal("fault script never fired")
+			}
+		})
+	}
+}

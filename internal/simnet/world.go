@@ -529,6 +529,13 @@ func (r *Radio) QualityTo(a device.Addr) int {
 // qualityAtLocked maps distance to the 0–255 quality scale with Gaussian
 // noise. Callers hold w.mu.
 func (w *World) qualityAtLocked(dist float64, p TechParams) int {
+	return qualityAt(dist, p, w.qualityNoise, w.src)
+}
+
+// qualityAt maps distance to the 0–255 quality scale, adding Gaussian
+// noise of the given stddev sampled from src. It is the single quality
+// model shared by the classic World and the ShardedWorld.
+func qualityAt(dist float64, p TechParams, noise float64, src *rng.Source) int {
 	if dist > p.CoverageRadius {
 		return 0
 	}
@@ -537,8 +544,8 @@ func (w *World) qualityAtLocked(dist float64, p TechParams) int {
 		frac = dist / p.CoverageRadius
 	}
 	base := float64(p.EdgeQuality) + (QualityMax-float64(p.EdgeQuality))*(1-frac)
-	if w.qualityNoise > 0 {
-		base = w.src.Normal(base, w.qualityNoise)
+	if noise > 0 {
+		base = src.Normal(base, noise)
 	}
 	return int(rng.Clamp(base, 0, QualityMax))
 }
