@@ -98,6 +98,8 @@ func BenchmarkStorageMergeNeighborhood(b *testing.B) {
 			QualityMin: uint8(200 + i%50),
 		}
 	}
+	st.MergeNeighborhood(bridge, 240, entries) // warm: scratch, arena, journal
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.MergeNeighborhood(bridge, 240, entries)
@@ -138,6 +140,8 @@ func BenchmarkStorageWireEntriesSince(b *testing.B) {
 			Addr: device.Addr{Tech: device.TechBluetooth, MAC: fmt.Sprintf("m%03d", i)},
 		}, 190)
 	}
+	st.WireEntriesSince(since) // warm the responder's scratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		delta, _, ok := st.WireEntriesSince(since)
@@ -360,4 +364,24 @@ func BenchmarkS6Metropolis(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(count)), "ns/node-step")
 		})
 	}
+}
+
+// BenchmarkS8RushHour runs the quick-mode rush-hour soak (3 real daemons
+// over tcpnet loopback, 48 concurrent clients) and reports its throughput
+// and tail latency as custom metrics. This is the macro-benchmark the PR 7
+// allocation flattening protects: dials cross phproto hello/ack, streams
+// cross the engine, and background discovery crosses the storage merge.
+func BenchmarkS8RushHour(b *testing.B) {
+	var last experiments.RushHourOutcome
+	for i := 0; i < b.N; i++ {
+		o, err := experiments.RushHourSoak(experiments.Config{Seed: int64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatalf("experiment S8: %v", err)
+		}
+		last = o
+	}
+	b.ReportMetric(float64(last.Conns)/last.Elapsed.Seconds(), "conns/sec")
+	b.ReportMetric(float64(last.Bytes)/(1<<20)/last.Elapsed.Seconds(), "MiB/s")
+	b.ReportMetric(float64(last.DialP99.Microseconds()), "dial-p99-µs")
+	b.ReportMetric(float64(last.StreamP99.Microseconds()), "stream-p99-µs")
 }

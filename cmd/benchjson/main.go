@@ -19,7 +19,23 @@
 //	    -baseline BENCH_pr5.json -gate 'DiscoveryRound' -maxregress 25
 //
 // fails (exit 1) if any benchmark matching -gate is more than 25% slower
-// (ns/op) than the same-named entry in BENCH_pr5.json.
+// (ns/op) than the same-named entry in BENCH_pr5.json. When both sides
+// carry -benchmem columns the gate also compares allocs/op: allocation
+// counts are deterministic, so the default tolerance is zero — a single
+// new allocation per op on a gated bench fails the build (-maxallocregress
+// loosens this, in percent).
+//
+// Independent of any baseline, -allocbudget enforces absolute allocation
+// budgets on the freshly parsed results:
+//
+//	... | go run ./cmd/benchjson -pr pr7 \
+//	    -allocbudget 'StorageMergeNeighborhood$=0,EncoderEncode$=1'
+//
+// fails if a matching benchmark exceeds its budget or was run without
+// -benchmem. This is the allocation-budget contract for the daemon's hot
+// paths: the budgets live in the CI invocation next to the benches they
+// pin, and a regression fails the build even on the first PR that has no
+// baseline document yet.
 package main
 
 import (
@@ -64,6 +80,8 @@ func main() {
 	baseline := flag.String("baseline", "", "earlier BENCH_<pr>.json to gate against (optional)")
 	gate := flag.String("gate", ".", "regexp selecting which benchmarks the baseline gate checks")
 	maxregress := flag.Float64("maxregress", 25, "max tolerated ns/op regression vs -baseline, percent")
+	maxallocregress := flag.Float64("maxallocregress", 0, "max tolerated allocs/op regression vs -baseline, percent")
+	allocbudget := flag.String("allocbudget", "", "absolute allocation budgets, comma-separated regexp=maxAllocsPerOp pairs")
 	flag.Parse()
 	if *pr == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -pr is required")
@@ -110,6 +128,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), path)
 
+	failed := false
+	if *allocbudget != "" {
+		budgets, err := parseAllocBudgets(*allocbudget)
+		if err != nil {
+			log.Fatalf("benchjson: bad -allocbudget: %v", err)
+		}
+		violations := checkAllocBudgets(doc, budgets)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchjson: ALLOC BUDGET %s\n", v)
+		}
+		if len(violations) > 0 {
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: all allocation budgets hold (%s)\n", *allocbudget)
+		}
+	}
 	if *baseline != "" {
 		base, err := loadDocument(*baseline)
 		if err != nil {
@@ -119,16 +153,85 @@ func main() {
 		if err != nil {
 			log.Fatalf("benchjson: bad -gate: %v", err)
 		}
-		regressions := checkRegressions(doc, base, re, *maxregress)
+		regressions := checkRegressions(doc, base, re, *maxregress, *maxallocregress)
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", r)
 		}
 		if len(regressions) > 0 {
-			os.Exit(1)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: no regression >%g%% ns/op, >%g%% allocs/op vs %s (gate %q)\n",
+				*maxregress, *maxallocregress, *baseline, *gate)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: no regression >%g%% vs %s (gate %q)\n",
-			*maxregress, *baseline, *gate)
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// allocBudget is one absolute allocation ceiling.
+type allocBudget struct {
+	re  *regexp.Regexp
+	max float64
+}
+
+// parseAllocBudgets parses "regexp=max,regexp=max" budget specs.
+func parseAllocBudgets(spec string) ([]allocBudget, error) {
+	var out []allocBudget
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.LastIndexByte(part, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("%q is not regexp=maxAllocs", part)
+		}
+		re, err := regexp.Compile(part[:eq])
+		if err != nil {
+			return nil, err
+		}
+		max, err := strconv.ParseFloat(part[eq+1:], 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("%q: bad budget", part)
+		}
+		out = append(out, allocBudget{re: re, max: max})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no budgets in %q", spec)
+	}
+	return out, nil
+}
+
+// checkAllocBudgets enforces absolute allocs/op ceilings on the current
+// document. A budget whose regexp matches a benchmark that lacks the
+// -benchmem column is a violation too: a silently un-instrumented bench
+// must not pass as "within budget".
+func checkAllocBudgets(doc Document, budgets []allocBudget) []string {
+	var out []string
+	for _, budget := range budgets {
+		matched := false
+		for _, b := range doc.Benchmarks {
+			if !budget.re.MatchString(b.Name) {
+				continue
+			}
+			matched = true
+			if b.AllocsPerOp == nil {
+				out = append(out, fmt.Sprintf("%s: run without -benchmem, cannot verify budget %g",
+					b.Name, budget.max))
+				continue
+			}
+			if *b.AllocsPerOp > budget.max {
+				out = append(out, fmt.Sprintf("%s: %g allocs/op, budget %g",
+					b.Name, *b.AllocsPerOp, budget.max))
+			}
+		}
+		if !matched {
+			out = append(out, fmt.Sprintf("%s: no benchmark matched (budget %g unverified)",
+				budget.re, budget.max))
+		}
+	}
+	return out
 }
 
 // loadDocument reads an earlier trajectory point.
@@ -145,27 +248,44 @@ func loadDocument(path string) (Document, error) {
 }
 
 // checkRegressions compares cur against base, returning one message per
-// gate-matching benchmark whose ns/op worsened by more than maxPct percent.
-// Benchmarks present on only one side are skipped: the gate guards known
-// benches against slowdowns, it does not force the sets to match.
-func checkRegressions(cur, base Document, gate *regexp.Regexp, maxPct float64) []string {
-	baseNs := make(map[string]float64, len(base.Benchmarks))
+// gate-matching benchmark whose ns/op worsened by more than maxPct percent
+// or whose allocs/op worsened by more than maxAllocPct percent (compared
+// only when both sides carry the -benchmem column; a baseline of zero
+// allocs flags any non-zero count, since no percentage of zero is
+// meaningful). Benchmarks present on only one side are skipped: the gate
+// guards known benches against slowdowns, it does not force the sets to
+// match.
+func checkRegressions(cur, base Document, gate *regexp.Regexp, maxPct, maxAllocPct float64) []string {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseNs[b.Name] = b.NsPerOp
+		baseBy[b.Name] = b
 	}
 	var out []string
 	for _, b := range cur.Benchmarks {
 		if !gate.MatchString(b.Name) {
 			continue
 		}
-		old, ok := baseNs[b.Name]
-		if !ok || old <= 0 {
+		old, ok := baseBy[b.Name]
+		if !ok {
 			continue
 		}
-		pct := (b.NsPerOp - old) / old * 100
-		if pct > maxPct {
-			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%%, limit +%g%%)",
-				b.Name, old, b.NsPerOp, pct, maxPct))
+		if old.NsPerOp > 0 {
+			pct := (b.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			if pct > maxPct {
+				out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%%, limit +%g%%)",
+					b.Name, old.NsPerOp, b.NsPerOp, pct, maxPct))
+			}
+		}
+		if old.AllocsPerOp != nil && b.AllocsPerOp != nil {
+			oa, ca := *old.AllocsPerOp, *b.AllocsPerOp
+			switch {
+			case oa == 0 && ca > 0:
+				out = append(out, fmt.Sprintf("%s: 0 -> %g allocs/op (baseline was allocation-free)",
+					b.Name, ca))
+			case oa > 0 && (ca-oa)/oa*100 > maxAllocPct:
+				out = append(out, fmt.Sprintf("%s: %g -> %g allocs/op (+%.1f%%, limit +%g%%)",
+					b.Name, oa, ca, (ca-oa)/oa*100, maxAllocPct))
+			}
 		}
 	}
 	return out
@@ -201,13 +321,12 @@ func parseLine(line string) (Benchmark, bool) {
 			v := val
 			b.AllocsPerOp = &v
 		default:
-			// Custom b.ReportMetric units, e.g. S6's ns/node-step.
-			if strings.Contains(fields[i+1], "/") {
-				if b.Extra == nil {
-					b.Extra = make(map[string]float64)
-				}
-				b.Extra[fields[i+1]] = val
+			// Custom b.ReportMetric units, e.g. S6's "ns/node-step" or
+			// S8's "dial-p99-µs".
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
 			}
+			b.Extra[fields[i+1]] = val
 		}
 	}
 	return b, seen

@@ -29,6 +29,13 @@ func TestParseLineCustomUnit(t *testing.T) {
 	if got := b.Extra["ns/node-step"]; got != 1871 {
 		t.Errorf("Extra[ns/node-step] = %g, want 1871", got)
 	}
+	b, ok = parseLine("BenchmarkS8RushHour-8   1   2534867425 ns/op   4565 conns/sec   1656 dial-p99-µs")
+	if !ok {
+		t.Fatal("parseLine rejected the S8 line")
+	}
+	if b.Extra["conns/sec"] != 4565 || b.Extra["dial-p99-µs"] != 1656 {
+		t.Errorf("S8 extras = %v", b.Extra)
+	}
 }
 
 func TestParseLineRejectsNonResults(t *testing.T) {
@@ -57,7 +64,7 @@ func TestCheckRegressions(t *testing.T) {
 		{Name: "BenchmarkNew", NsPerOp: 99},
 	}}
 
-	got := checkRegressions(cur, base, regexp.MustCompile("."), 25)
+	got := checkRegressions(cur, base, regexp.MustCompile("."), 25, 0)
 	if len(got) != 1 {
 		t.Fatalf("regressions = %v, want exactly the +30%% one", got)
 	}
@@ -66,12 +73,100 @@ func TestCheckRegressions(t *testing.T) {
 	}
 
 	// The gate regexp restricts which benches are compared at all.
-	if got := checkRegressions(cur, base, regexp.MustCompile("^BenchmarkA$"), 25); len(got) != 0 {
+	if got := checkRegressions(cur, base, regexp.MustCompile("^BenchmarkA$"), 25, 0); len(got) != 0 {
 		t.Errorf("gated run reported %v, want none", got)
 	}
 
 	// Tightening the budget flags the +20% too.
-	if got := checkRegressions(cur, base, regexp.MustCompile("."), 10); len(got) != 2 {
+	if got := checkRegressions(cur, base, regexp.MustCompile("."), 10, 0); len(got) != 2 {
 		t.Errorf("10%% budget reported %v, want 2 regressions", got)
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestCheckRegressionsAllocs(t *testing.T) {
+	base := Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: fp(0)},
+		{Name: "BenchmarkTen", NsPerOp: 100, AllocsPerOp: fp(10)},
+		{Name: "BenchmarkNoMem", NsPerOp: 100},
+	}}
+	cur := Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: fp(1)},  // was allocation-free
+		{Name: "BenchmarkTen", NsPerOp: 100, AllocsPerOp: fp(11)},  // +10%
+		{Name: "BenchmarkNoMem", NsPerOp: 100, AllocsPerOp: fp(5)}, // baseline lacks the column
+	}}
+
+	// Zero tolerance: the 0->1 and the +10% both fail; NoMem is skipped
+	// because the baseline cannot be compared.
+	got := checkRegressions(cur, base, regexp.MustCompile("."), 1000, 0)
+	if len(got) != 2 {
+		t.Fatalf("alloc regressions = %v, want 2", got)
+	}
+	for _, want := range []string{"BenchmarkZero", "BenchmarkTen"} {
+		found := false
+		for _, msg := range got {
+			if regexp.MustCompile(want).MatchString(msg) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no message names %s in %v", want, got)
+		}
+	}
+
+	// Loosening the allocation tolerance passes the +10% but never the
+	// 0->1: any allocation on a previously allocation-free path fails.
+	got = checkRegressions(cur, base, regexp.MustCompile("."), 1000, 15)
+	if len(got) != 1 || !regexp.MustCompile("BenchmarkZero").MatchString(got[0]) {
+		t.Fatalf("15%% alloc budget reported %v, want only BenchmarkZero", got)
+	}
+}
+
+func TestParseAllocBudgets(t *testing.T) {
+	budgets, err := parseAllocBudgets("StorageMerge$=0, EncoderEncode$=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgets) != 2 || budgets[0].max != 0 || budgets[1].max != 1 {
+		t.Fatalf("budgets = %+v", budgets)
+	}
+	for _, bad := range []string{"", "noequals", "=5", "bad(regex=1", "Name=-1", "Name=x"} {
+		if _, err := parseAllocBudgets(bad); err == nil {
+			t.Errorf("parseAllocBudgets(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckAllocBudgets(t *testing.T) {
+	doc := Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkStorageMergeNeighborhood", AllocsPerOp: fp(0)},
+		{Name: "BenchmarkEncoderEncode", AllocsPerOp: fp(2)},
+		{Name: "BenchmarkNoMem"},
+	}}
+	mustBudgets := func(spec string) []allocBudget {
+		t.Helper()
+		b, err := parseAllocBudgets(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Within budget.
+	if got := checkAllocBudgets(doc, mustBudgets("StorageMergeNeighborhood$=0")); len(got) != 0 {
+		t.Errorf("violations = %v, want none", got)
+	}
+	// Over budget.
+	if got := checkAllocBudgets(doc, mustBudgets("EncoderEncode$=1")); len(got) != 1 {
+		t.Errorf("violations = %v, want the EncoderEncode overrun", got)
+	}
+	// Matching a bench that was run without -benchmem is a violation.
+	if got := checkAllocBudgets(doc, mustBudgets("NoMem$=0")); len(got) != 1 {
+		t.Errorf("violations = %v, want the missing-benchmem report", got)
+	}
+	// A budget that matches nothing is a violation (typo protection).
+	if got := checkAllocBudgets(doc, mustBudgets("DoesNotExist$=0")); len(got) != 1 {
+		t.Errorf("violations = %v, want the unmatched-budget report", got)
 	}
 }

@@ -6,6 +6,12 @@
 //
 //	experiments [-seed N] [-scale N] [-quick] [-v] [ID ...]
 //	experiments -list
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof S8
+//
+// The profile flags wrap whatever scenarios run: -cpuprofile records CPU
+// samples across all of them, -memprofile snapshots the live heap after
+// they finish (with a GC first, so the snapshot shows retained memory,
+// not garbage). Inspect either with `go tool pprof`.
 package main
 
 import (
@@ -13,17 +19,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"peerhood/internal/experiments"
 )
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 42, "random seed (echoed for reproducibility)")
-		scale = flag.Int("scale", 1000, "time compression: simulated seconds per wall second")
-		quick = flag.Bool("quick", false, "reduced trial counts for a fast smoke run")
-		verb  = flag.Bool("v", false, "log per-trial progress")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		seed    = flag.Int64("seed", 42, "random seed (echoed for reproducibility)")
+		scale   = flag.Int("scale", 1000, "time compression: simulated seconds per wall second")
+		quick   = flag.Bool("quick", false, "reduced trial counts for a fast smoke run")
+		verb    = flag.Bool("v", false, "log per-trial progress")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -33,6 +43,23 @@ func main() {
 			fmt.Printf("%-6s %s\n", id, title)
 		}
 		return
+	}
+
+	stopCPU := func() {}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}
 	}
 
 	var log io.Writer = io.Discard
@@ -55,5 +82,20 @@ func main() {
 		}
 		fmt.Println(res)
 	}
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // profile retained memory, not collectable garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		_ = f.Close()
+	}
+	stopCPU() // flush before os.Exit, which skips defers
 	os.Exit(exit)
 }

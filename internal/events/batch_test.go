@@ -1,0 +1,273 @@
+package events
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"peerhood/internal/race"
+)
+
+func TestBatchSubscribeDeliversBursts(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.SubscribeBatch(0)
+	defer sub.Close()
+
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Type: DeviceAppeared, Addr: addr("aa")})
+	}
+	batch, ok := sub.NextBatch(nil)
+	if !ok || len(batch) != 5 {
+		t.Fatalf("batch = %d events, ok=%v, want 5", len(batch), ok)
+	}
+	for i, e := range batch {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("batch[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+
+	// A blocked NextBatch wakes on the next publish.
+	got := make(chan []Event, 1)
+	go func() {
+		nb, _ := sub.NextBatch(batch[:0])
+		got <- nb
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish(Event{Type: DeviceLost, Addr: addr("bb")})
+	select {
+	case nb := <-got:
+		if len(nb) != 1 || nb[0].Type != DeviceLost {
+			t.Fatalf("woken batch = %+v", nb)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NextBatch did not wake on publish")
+	}
+}
+
+func TestBatchTryRecvIsSynchronous(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.SubscribeBatch(MaskOf(LinkLost))
+	defer sub.Close()
+
+	if _, ok := sub.TryRecv(); ok {
+		t.Fatal("TryRecv on empty ring returned an event")
+	}
+	b.Publish(Event{Type: DeviceAppeared, Addr: addr("aa")}) // filtered
+	b.Publish(Event{Type: LinkLost, Addr: addr("aa")})
+	e, ok := sub.TryRecv()
+	if !ok || e.Type != LinkLost {
+		t.Fatalf("TryRecv = %+v, %v", e, ok)
+	}
+	if _, ok := sub.TryRecv(); ok {
+		t.Fatal("drained ring still yields events")
+	}
+}
+
+func TestBatchSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.SubscribeBatch(0)
+	defer sub.Close()
+
+	total := SubscriptionBuffer + 9
+	for i := 0; i < total; i++ {
+		b.Publish(Event{Type: DeviceAppeared, Addr: addr("aa")})
+	}
+	if d := sub.Dropped(); d != 9 {
+		t.Fatalf("dropped = %d, want 9", d)
+	}
+	batch, ok := sub.NextBatch(nil)
+	if !ok || len(batch) != SubscriptionBuffer {
+		t.Fatalf("batch = %d events, want %d", len(batch), SubscriptionBuffer)
+	}
+	if batch[0].Seq != 1 {
+		t.Fatalf("first buffered seq = %d, want 1 (oldest kept)", batch[0].Seq)
+	}
+}
+
+func TestBatchCloseDrainsThenEnds(t *testing.T) {
+	b := NewBus(nil)
+	sub := b.SubscribeBatch(0)
+	b.Publish(Event{Type: DeviceLost, Addr: addr("aa")})
+	b.Close()
+
+	// Remaining ring content is readable after close, then ok=false.
+	batch, ok := sub.NextBatch(nil)
+	if !ok || len(batch) != 1 || batch[0].Type != DeviceLost {
+		t.Fatalf("drain = %+v, %v", batch, ok)
+	}
+	if batch, ok = sub.NextBatch(batch[:0]); ok || len(batch) != 0 {
+		t.Fatalf("NextBatch after drain = %+v, %v, want ok=false", batch, ok)
+	}
+	// Subscribing on the closed bus yields an already-ended subscription.
+	late := b.SubscribeBatch(0)
+	if _, ok := late.NextBatch(nil); ok {
+		t.Fatal("late batch subscription delivered events")
+	}
+	late.Close()
+	sub.Close()
+}
+
+func TestBatchSubscriptionCloseWakesBlockedConsumer(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.SubscribeBatch(0)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sub.NextBatch(nil)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("NextBatch returned ok=true after Close with empty ring")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the blocked NextBatch")
+	}
+}
+
+func TestBatchConcurrentPublishDrain(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	sub := b.SubscribeBatch(0)
+
+	const total = 10000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := 0
+	go func() {
+		defer wg.Done()
+		var buf []Event
+		for {
+			var ok bool
+			buf, ok = sub.NextBatch(buf[:0])
+			if !ok {
+				return
+			}
+			received += len(buf)
+		}
+	}()
+	for i := 0; i < total; i++ {
+		b.Publish(Event{Type: DeviceAppeared, Addr: addr("aa")})
+	}
+	sub.Close()
+	wg.Wait()
+	if got := received + sub.Dropped(); got != total {
+		t.Fatalf("received %d + dropped %d = %d, want %d", received, sub.Dropped(), got, total)
+	}
+}
+
+func TestModeMisusePanics(t *testing.T) {
+	b := NewBus(nil)
+	defer b.Close()
+	ch := b.Subscribe(0)
+	defer ch.Close()
+	ring := b.SubscribeBatch(0)
+	defer ring.Close()
+
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("C on batch sub", func() { _ = ring.C() })
+	expectPanic("TryRecv on channel sub", func() { _, _ = ch.TryRecv() })
+	expectPanic("NextBatch on channel sub", func() { _, _ = ch.NextBatch(nil) })
+}
+
+// publishBudget pins the satellite requirement: Publish with eight
+// batch-mode subscribers performs no allocations — delivery is a ring
+// append per subscriber, and the empty-to-non-empty wakeup is a
+// non-blocking send on a pre-allocated channel.
+const publishBudget = 0
+
+func TestPublishAllocFreeWithEightSubscribers(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	b := NewBus(nil)
+	defer b.Close()
+	subs := make([]*Subscription, 8)
+	for i := range subs {
+		subs[i] = b.SubscribeBatch(0)
+		defer subs[i].Close()
+	}
+	e := Event{Type: DeviceAppeared, Addr: addr("aa"), Quality: 240}
+	drain := func() {
+		for _, s := range subs {
+			for {
+				if _, ok := s.TryRecv(); !ok {
+					break
+				}
+			}
+		}
+	}
+	b.Publish(e)
+	drain()
+	allocs := testing.AllocsPerRun(200, func() {
+		b.Publish(e)
+		drain() // keep the rings from saturating mid-run
+	})
+	if allocs > publishBudget {
+		t.Fatalf("Publish with 8 subscribers = %.1f allocs/op, budget %d", allocs, publishBudget)
+	}
+}
+
+// BenchmarkBusPublish tracks the hot publish path (allocs/op gated by CI):
+// one event fanned out to eight batch-mode subscribers, drained in bursts.
+func BenchmarkBusPublish(b *testing.B) {
+	bus := NewBus(nil)
+	defer bus.Close()
+	subs := make([]*Subscription, 8)
+	for i := range subs {
+		subs[i] = bus.SubscribeBatch(0)
+		defer subs[i].Close()
+	}
+	e := Event{Type: DeviceAppeared, Addr: addr("aa"), Quality: 240}
+	var buf []Event
+	bus.Publish(e) // warm
+	for _, s := range subs {
+		buf, _ = s.NextBatch(buf[:0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(e)
+		if i%32 == 31 {
+			for _, s := range subs {
+				buf, _ = s.NextBatch(buf[:0])
+			}
+		}
+	}
+}
+
+// BenchmarkBusPublishChannel is the channel-mode baseline for comparison.
+func BenchmarkBusPublishChannel(b *testing.B) {
+	bus := NewBus(nil)
+	defer bus.Close()
+	subs := make([]*Subscription, 8)
+	for i := range subs {
+		subs[i] = bus.Subscribe(0)
+		defer subs[i].Close()
+	}
+	e := Event{Type: DeviceAppeared, Addr: addr("aa"), Quality: 240}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(e)
+		if i%32 == 31 {
+			for _, s := range subs {
+				for len(s.ch) > 0 {
+					<-s.ch
+				}
+			}
+		}
+	}
+}

@@ -144,8 +144,26 @@ func (e Event) String() string {
 	return s
 }
 
-// SubscriptionBuffer is each subscription's channel capacity.
+// SubscriptionBuffer is each subscription's buffering capacity: the
+// channel capacity of a channel-mode subscription, and the ring capacity
+// of a batch-mode one.
 const SubscriptionBuffer = 64
+
+// subMode selects how a subscription is consumed.
+type subMode uint8
+
+const (
+	// modeChannel delivers each event with a non-blocking channel send at
+	// publish time; the subscriber reads C(). Delivery is synchronous with
+	// Publish, which the deterministic simulation tests rely on.
+	modeChannel subMode = iota
+	// modeBatch appends each event to a per-subscriber ring at publish
+	// time; the subscriber pops the accumulated batch with NextBatch (or
+	// polls with TryRecv). This is the daemon hot path: a publish burst
+	// costs one ring append per event instead of a channel handoff, and
+	// the consumer drains the whole burst under one lock acquisition.
+	modeBatch
+)
 
 // Bus is the per-daemon event bus.
 type Bus struct {
@@ -183,6 +201,18 @@ func (b *Bus) Publish(e Event) {
 		if !s.mask.Has(e.Type) {
 			continue
 		}
+		if s.mode == modeBatch {
+			if s.n == len(s.ring) {
+				s.dropped++
+				continue
+			}
+			s.ring[(s.head+s.n)%len(s.ring)] = e
+			s.n++
+			if s.n == 1 {
+				s.signalLocked()
+			}
+			continue
+		}
 		select {
 		case s.ch <- e:
 		default:
@@ -191,9 +221,9 @@ func (b *Bus) Publish(e Event) {
 	}
 }
 
-// Subscribe registers a new subscription filtered by mask (zero mask =
-// everything). On a closed bus the returned subscription is already
-// closed.
+// Subscribe registers a new channel-mode subscription filtered by mask
+// (zero mask = everything): events arrive on C() as they are published.
+// On a closed bus the returned subscription is already closed.
 func (b *Bus) Subscribe(mask Mask) *Subscription {
 	s := &Subscription{bus: b, mask: mask, ch: make(chan Event, SubscriptionBuffer)}
 	b.mu.Lock()
@@ -207,7 +237,35 @@ func (b *Bus) Subscribe(mask Mask) *Subscription {
 	return s
 }
 
-// Close closes the bus and every open subscription. Idempotent.
+// SubscribeBatch registers a new batch-mode subscription filtered by mask
+// (zero mask = everything): publishes append to a per-subscriber ring and
+// the subscriber drains whole bursts with NextBatch (or polls with
+// TryRecv). Use it for high-rate consumers — per event it costs a ring
+// append instead of a channel handoff, and the consumer takes the lock
+// once per burst instead of once per event. On a closed bus the returned
+// subscription is already closed (NextBatch returns ok=false at once).
+func (b *Bus) SubscribeBatch(mask Mask) *Subscription {
+	s := &Subscription{
+		bus:    b,
+		mask:   mask,
+		mode:   modeBatch,
+		ring:   make([]Event, SubscriptionBuffer),
+		notify: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		s.closed = true
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Close closes the bus and every open subscription. Idempotent. Buffered
+// events stay readable: a channel-mode C() drains before reporting closed,
+// and a batch-mode NextBatch/TryRecv returns what the ring still holds
+// before reporting ok=false.
 func (b *Bus) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -216,8 +274,12 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	for s := range b.subs {
-		close(s.ch)
 		s.closed = true
+		if s.mode == modeBatch {
+			s.signalLocked()
+			continue
+		}
+		close(s.ch)
 	}
 	b.subs = nil
 }
@@ -229,20 +291,106 @@ func (b *Bus) Subscribers() int {
 	return len(b.subs)
 }
 
-// Subscription is one subscriber's buffered event feed.
+// Subscription is one subscriber's buffered event feed, consumed either
+// through C() (channel mode) or NextBatch/TryRecv (batch mode) according
+// to how it was created.
 type Subscription struct {
 	bus  *Bus
 	mask Mask
+	mode subMode
 
-	// ch, dropped and closed are guarded by bus.mu.
+	// ch is the channel-mode delivery channel (nil in batch mode).
+	// dropped and closed are guarded by bus.mu.
 	ch      chan Event
 	dropped int
 	closed  bool
+
+	// Batch-mode state, guarded by bus.mu: ring[head..head+n) holds the
+	// undelivered events. notify carries an "empty became non-empty" (or
+	// "closed") wakeup token for a blocked NextBatch; capacity 1 makes
+	// the publish-side signal non-blocking and idempotent.
+	ring    []Event
+	head, n int
+	notify  chan struct{}
 }
 
-// C returns the delivery channel. It is closed when the subscription or
-// the bus closes; buffered events remain readable after that.
-func (s *Subscription) C() <-chan Event { return s.ch }
+// signalLocked wakes a blocked NextBatch, if any. Callers hold bus.mu.
+func (s *Subscription) signalLocked() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// C returns the delivery channel of a channel-mode subscription. It is
+// closed when the subscription or the bus closes; buffered events remain
+// readable after that. It must not be called on a batch-mode subscription.
+func (s *Subscription) C() <-chan Event {
+	if s.mode != modeChannel {
+		panic("events: C() on a batch-mode subscription (use NextBatch or TryRecv)")
+	}
+	return s.ch
+}
+
+// NextBatch appends every undelivered event to buf and returns it,
+// blocking until at least one event is available. After the subscription
+// (or bus) closes it keeps returning remaining buffered events, then
+// returns ok=false. Passing buf with retained capacity (buf[:0] of the
+// previous batch) makes a steady-state consumer allocation-free. It must
+// only be called on a batch-mode subscription, from one goroutine at a
+// time.
+func (s *Subscription) NextBatch(buf []Event) (batch []Event, ok bool) {
+	if s.mode != modeBatch {
+		panic("events: NextBatch on a channel-mode subscription (use C)")
+	}
+	for {
+		s.bus.mu.Lock()
+		if s.n > 0 {
+			buf = s.popAllLocked(buf)
+			s.bus.mu.Unlock()
+			return buf, true
+		}
+		closed := s.closed
+		s.bus.mu.Unlock()
+		if closed {
+			return buf, false
+		}
+		<-s.notify
+	}
+}
+
+// TryRecv pops the oldest undelivered event without blocking; ok is false
+// when none is buffered. Poll-style consumers (the simulation experiment
+// drains) use it — delivery stays synchronous with Publish, so a
+// deterministic simulation drains deterministically. It must only be
+// called on a batch-mode subscription.
+func (s *Subscription) TryRecv() (Event, bool) {
+	if s.mode != modeBatch {
+		panic("events: TryRecv on a channel-mode subscription (use C)")
+	}
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if s.n == 0 {
+		return Event{}, false
+	}
+	e := s.ring[s.head]
+	s.ring[s.head] = Event{} // release the Detail string
+	s.head = (s.head + 1) % len(s.ring)
+	s.n--
+	return e, true
+}
+
+// popAllLocked moves the whole ring content into buf. Callers hold bus.mu.
+func (s *Subscription) popAllLocked(buf []Event) []Event {
+	for s.n > 0 {
+		buf = append(buf, s.ring[s.head])
+		s.ring[s.head] = Event{} // release the Detail string
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+	}
+	s.head = 0
+	return buf
+}
 
 // Mask returns the subscription's filter.
 func (s *Subscription) Mask() Mask { return s.mask }
@@ -254,7 +402,9 @@ func (s *Subscription) Dropped() int {
 	return s.dropped
 }
 
-// Close unsubscribes and closes the channel. Idempotent.
+// Close unsubscribes and ends delivery: channel mode closes the channel,
+// batch mode wakes any blocked NextBatch (which drains the ring, then
+// reports ok=false). Idempotent.
 func (s *Subscription) Close() {
 	s.bus.mu.Lock()
 	defer s.bus.mu.Unlock()
@@ -263,5 +413,9 @@ func (s *Subscription) Close() {
 	}
 	s.closed = true
 	delete(s.bus.subs, s)
+	if s.mode == modeBatch {
+		s.signalLocked()
+		return
+	}
 	close(s.ch)
 }

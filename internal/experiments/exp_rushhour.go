@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peerhood/internal/daemon"
+	"peerhood/internal/device"
+	"peerhood/internal/library"
+	"peerhood/internal/tcpnet"
+)
+
+// S8 "rush hour": a heavy-traffic soak of the REAL daemon stack — no
+// simulator. Several complete peerhoodd instances run over internal/tcpnet
+// on loopback (TCP data, UDP discovery), and a swarm of concurrent library
+// clients hammers them with the connection lifecycle the thesis' usage
+// scenarios imply at peak: connect to a service, stream request/response
+// traffic, periodically tear the transport out from under the connection
+// and PH_RECONNECT it (the §5.2.1 handover substitution), disconnect,
+// repeat. The scenario reports throughput (connections/sec, bytes/sec) and
+// tail latency (p50/p99 dial and per-message stream round trip) — the
+// numbers the PR 7 allocation flattening exists to protect: every dial
+// crosses the phproto hello/ack path, every stream message crosses the
+// engine, and every discovery round behind the scenes crosses the storage
+// merge, so steady-state garbage in any of them surfaces here as tail
+// latency.
+
+// Fixed scenario parameters.
+const (
+	rushMsgBytes   = 512 // request payload per stream message
+	rushMsgsPerCon = 4   // stream round trips per connection
+	rushChurnEvery = 3   // every Nth connection exercises PH_RECONNECT
+)
+
+func rushDaemons(quick bool) int {
+	if quick {
+		return 3
+	}
+	return 4
+}
+
+func rushClients(quick bool) int {
+	if quick {
+		return 48
+	}
+	return 1200
+}
+
+func rushDuration(quick bool) time.Duration {
+	if quick {
+		return 1500 * time.Millisecond
+	}
+	return 8 * time.Second
+}
+
+// rushNode is one complete daemon instance in the soak.
+type rushNode struct {
+	d   *daemon.Daemon
+	lib *library.Library
+	p   *tcpnet.Plugin
+}
+
+// rushWorkerStats is one client worker's private tally, merged after the
+// run (per-worker accumulation keeps the workers from serialising on a
+// shared lock, which would flatten the very contention the soak exists to
+// produce).
+type rushWorkerStats struct {
+	conns      int
+	reconnects int
+	errs       int
+	bytes      int64
+	dial       []time.Duration
+	stream     []time.Duration
+}
+
+// RushHourOutcome carries the raw S8 measurements, exported so the
+// benchmark suite can report conns/sec and tail latency as custom metrics
+// without re-parsing the rendered table.
+type RushHourOutcome struct {
+	Daemons    int
+	Clients    int
+	Peak       int64
+	Elapsed    time.Duration
+	Conns      int
+	Reconnects int
+	Errors     int
+	Bytes      int64
+	DialP50    time.Duration
+	DialP99    time.Duration
+	StreamP50  time.Duration
+	StreamP99  time.Duration
+}
+
+// RunRushHour executes the S8 scenario and renders its table.
+func RunRushHour(cfg Config) (Result, error) {
+	o, err := RushHourSoak(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	connsPerSec := float64(o.Conns) / o.Elapsed.Seconds()
+	mbPerSec := float64(o.Bytes) / (1 << 20) / o.Elapsed.Seconds()
+	t := newTable("metric", "value")
+	t.addf("daemons|%d", o.Daemons)
+	t.addf("concurrent clients|%d", o.Clients)
+	t.addf("peak in-flight conns|%d", o.Peak)
+	t.addf("duration|%.2fs", o.Elapsed.Seconds())
+	t.addf("connections|%d", o.Conns)
+	t.addf("connections/sec|%.0f", connsPerSec)
+	t.addf("payload bytes|%d", o.Bytes)
+	t.addf("throughput|%.2f MiB/s", mbPerSec)
+	t.addf("dial p50|%s", o.DialP50)
+	t.addf("dial p99|%s", o.DialP99)
+	t.addf("stream p50|%s", o.StreamP50)
+	t.addf("stream p99|%s", o.StreamP99)
+	t.addf("reconnect churns|%d", o.Reconnects)
+	t.addf("errors|%d", o.Errors)
+
+	notes := []string{
+		fmt.Sprintf("%d daemons served %d connections (%0.f conns/sec, %.2f MiB/s) from %d concurrent clients over real TCP sockets",
+			o.Daemons, o.Conns, connsPerSec, mbPerSec, o.Clients),
+		fmt.Sprintf("dial p99 %s, stream p99 %s, %d PH_RECONNECT transport churns, %d errors",
+			o.DialP99, o.StreamP99, o.Reconnects, o.Errors),
+	}
+	return Result{ID: "S8", Title: "Rush hour: heavy-traffic tcpnet soak", Table: t.String(), Notes: notes, Seed: cfg.withDefaults().Seed}, nil
+}
+
+// RushHourSoak stands up the daemons, runs the client swarm, and returns
+// the merged measurements.
+func RushHourSoak(cfg Config) (RushHourOutcome, error) {
+	cfg = cfg.withDefaults()
+	nd := rushDaemons(cfg.Quick)
+	nc := rushClients(cfg.Quick)
+	dur := rushDuration(cfg.Quick)
+
+	nodes := make([]*rushNode, 0, nd)
+	defer func() {
+		for _, n := range nodes {
+			n.lib.Stop()
+			n.d.Stop()
+			_ = n.p.Close()
+		}
+	}()
+
+	// Build the daemons in two passes so every plugin can list every other
+	// as a UDP discovery peer (a full mesh, like daemons sharing a LAN).
+	plugs := make([]*tcpnet.Plugin, nd)
+	for i := range plugs {
+		p, err := tcpnet.New(tcpnet.Config{Listen: "127.0.0.1:0", InquiryWait: 150 * time.Millisecond})
+		if err != nil {
+			return RushHourOutcome{}, fmt.Errorf("S8: plugin %d: %w", i, err)
+		}
+		plugs[i] = p
+	}
+	for i, p := range plugs {
+		for j, q := range plugs {
+			if i != j {
+				p.AddPeer(q.Addr().MAC)
+			}
+		}
+	}
+	for i, p := range plugs {
+		d, err := daemon.New(daemon.Config{Name: fmt.Sprintf("rush%d", i), Mobility: device.Static})
+		if err != nil {
+			return RushHourOutcome{}, fmt.Errorf("S8: daemon %d: %w", i, err)
+		}
+		if err := d.AddPlugin(p); err != nil {
+			return RushHourOutcome{}, err
+		}
+		if err := d.Start(false); err != nil {
+			return RushHourOutcome{}, err
+		}
+		lib, err := library.New(library.Config{Daemon: d})
+		if err != nil {
+			d.Stop()
+			return RushHourOutcome{}, err
+		}
+		if err := lib.Start(); err != nil {
+			d.Stop()
+			return RushHourOutcome{}, err
+		}
+		nodes = append(nodes, &rushNode{d: d, lib: lib, p: p})
+	}
+
+	// Every daemon serves "echo": one request in, one response out, until
+	// the client hangs up. Handlers survive PH_RECONNECT transparently —
+	// the virtual connection re-reads across the transport swap.
+	for _, n := range nodes {
+		if _, err := n.lib.RegisterService("echo", "rush", func(vc *library.VirtualConnection, _ library.ConnectionMeta) {
+			defer vc.Close()
+			buf := make([]byte, rushMsgBytes)
+			for {
+				if _, err := io.ReadFull(vc, buf); err != nil {
+					return
+				}
+				if _, err := vc.Write(buf); err != nil {
+					return
+				}
+			}
+		}); err != nil {
+			return RushHourOutcome{}, err
+		}
+	}
+
+	// Discovery: UDP inquiry finds the peers, TCP fetches descriptors and
+	// service lists. Two rounds so second-hand knowledge settles.
+	cfg.logf("S8: %d daemons discovering each other", nd)
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			n.d.RunDiscoveryRound()
+		}
+	}
+	for i, n := range nodes {
+		for j, m := range nodes {
+			if i == j {
+				continue
+			}
+			entry, ok := n.d.Storage().Lookup(m.p.Addr())
+			if !ok {
+				return RushHourOutcome{}, fmt.Errorf("S8: daemon %d never discovered daemon %d", i, j)
+			}
+			if _, ok := entry.Info.FindService("echo"); !ok {
+				return RushHourOutcome{}, fmt.Errorf("S8: daemon %d missing daemon %d's service list", i, j)
+			}
+		}
+	}
+
+	// The swarm: nc workers spread across the daemons' libraries, each
+	// targeting the other daemons round-robin.
+	cfg.logf("S8: launching %d concurrent clients for %v", nc, dur)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var inFlight atomic.Int64
+	var peak atomic.Int64
+	stats := make([]rushWorkerStats, nc)
+	start := time.Now()
+	for w := 0; w < nc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			home := nodes[w%nd]
+			st := &stats[w]
+			req := make([]byte, rushMsgBytes)
+			resp := make([]byte, rushMsgBytes)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target := nodes[(w+1+i%(nd-1))%nd]
+				if target == home {
+					target = nodes[(w+1)%nd]
+				}
+				cur := inFlight.Add(1)
+				if old := peak.Load(); cur > old {
+					peak.CompareAndSwap(old, cur)
+				}
+				st.runOneConn(home, target.p.Addr(), i, req, resp)
+				inFlight.Add(-1)
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge the per-worker tallies.
+	var total rushWorkerStats
+	for i := range stats {
+		st := &stats[i]
+		total.conns += st.conns
+		total.reconnects += st.reconnects
+		total.errs += st.errs
+		total.bytes += st.bytes
+		total.dial = append(total.dial, st.dial...)
+		total.stream = append(total.stream, st.stream...)
+	}
+	if total.conns == 0 {
+		return RushHourOutcome{}, fmt.Errorf("S8: no connection completed")
+	}
+
+	return RushHourOutcome{
+		Daemons:    nd,
+		Clients:    nc,
+		Peak:       peak.Load(),
+		Elapsed:    elapsed,
+		Conns:      total.conns,
+		Reconnects: total.reconnects,
+		Errors:     total.errs,
+		Bytes:      total.bytes,
+		DialP50:    percentile(total.dial, 50),
+		DialP99:    percentile(total.dial, 99),
+		StreamP50:  percentile(total.stream, 50),
+		StreamP99:  percentile(total.stream, 99),
+	}, nil
+}
+
+// runOneConn performs one full client lifecycle: dial, stream, maybe
+// churn the transport with PH_RECONNECT, stream again, close.
+func (st *rushWorkerStats) runOneConn(home *rushNode, target device.Addr, i int, req, resp []byte) {
+	t0 := time.Now()
+	vc, err := home.lib.Connect(target, "echo")
+	if err != nil {
+		st.errs++
+		return
+	}
+	st.dial = append(st.dial, time.Since(t0))
+	defer vc.Close()
+
+	for m := 0; m < rushMsgsPerCon; m++ {
+		t1 := time.Now()
+		if _, err := vc.Write(req); err != nil {
+			st.errs++
+			return
+		}
+		if _, err := io.ReadFull(vc, resp); err != nil {
+			st.errs++
+			return
+		}
+		st.stream = append(st.stream, time.Since(t1))
+		st.bytes += 2 * rushMsgBytes
+	}
+
+	if i%rushChurnEvery == 0 {
+		// Handover churn: rebuild the transport with PH_RECONNECT — the
+		// §5.2.1 substitution the handover thread performs — and prove the
+		// logical connection survives by streaming over the new socket.
+		entry, ok := home.d.Storage().Lookup(target)
+		if ok {
+			if route, has := entry.Best(); has {
+				raw, err := home.lib.ConnectVia(library.Via{
+					Route:       route,
+					Target:      target,
+					ServiceName: "echo",
+					ConnID:      vc.ID(),
+					Reconnect:   true,
+				})
+				if err == nil {
+					vc.Swap(raw)
+					st.reconnects++
+					t2 := time.Now()
+					if _, err := vc.Write(req); err == nil {
+						if _, err := io.ReadFull(vc, resp); err == nil {
+							st.stream = append(st.stream, time.Since(t2))
+							st.bytes += 2 * rushMsgBytes
+						}
+					}
+				} else {
+					st.errs++
+				}
+			}
+		}
+	}
+	st.conns++
+}
+
+// percentile returns the p-th percentile of the (unsorted) samples.
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := len(samples) * p / 100
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return samples[idx]
+}

@@ -103,6 +103,7 @@ var registry = []registration{
 	{"S4", "Urban blackout: scripted blackouts, crash/restart churn, deterministic replay", RunBlackout},
 	{"S5", "Hotspot archipelago: policy-driven vertical handover across WLAN islands on a GPRS umbrella", RunHotspot},
 	{"S6", "Metropolis: 100k-node constant-density city on the sharded event-driven substrate", RunMetropolis},
+	{"S8", "Rush hour: heavy-traffic soak of real daemons over tcpnet sockets", RunRushHour},
 }
 
 // IDs returns the registered experiment IDs in canonical order.

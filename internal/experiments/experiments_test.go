@@ -12,7 +12,7 @@ func quickCfg() Config {
 
 func TestRegistryListsAllIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1", "S1", "S2", "S3", "S4", "S5", "S6"}
+	want := []string{"T1", "F3.3", "F3.6", "F3.9", "F3.10", "G1", "E1", "E2", "E3", "E4", "F6.1", "A1", "S1", "S2", "S3", "S4", "S5", "S6", "S8"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRushHourQuick runs the S8 soak in quick mode: 3 real daemons over
+// tcpnet loopback sockets, 48 concurrent clients, ~1.5 s of churn. It is
+// the race-detector stress test for the whole daemon+library+tcpnet stack
+// under concurrent load (run with -race in CI).
+func TestRushHourQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("S8 opens hundreds of real sockets; skipped with -short")
+	}
+	o, err := RushHourSoak(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Daemons != 3 || o.Clients != 48 {
+		t.Fatalf("quick shape = %d daemons / %d clients, want 3/48", o.Daemons, o.Clients)
+	}
+	if o.Conns == 0 {
+		t.Fatal("no connection completed")
+	}
+	if o.Reconnects == 0 {
+		t.Fatal("no PH_RECONNECT churn exercised")
+	}
+	// The soak runs on loopback with no fault injection: failures here are
+	// real bugs (lost wakeups, swap races, leaked conns), not weather.
+	// Allow a whisper of slack for teardown racing the stop signal.
+	if o.Errors > o.Conns/100 {
+		t.Fatalf("%d errors across %d connections", o.Errors, o.Conns)
+	}
+	if o.DialP99 <= 0 || o.StreamP99 <= 0 {
+		t.Fatalf("missing latency percentiles: dial p99 %v, stream p99 %v", o.DialP99, o.StreamP99)
+	}
+}
+
+// TestRushHourRendersTable checks the registry wiring and the rendered
+// metrics the CI artifact greps for.
+func TestRushHourRendersTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("S8 opens hundreds of real sockets; skipped with -short")
+	}
+	res, err := Run("S8", Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"connections/sec", "dial p99", "stream p99", "reconnect churns", "MiB/s"} {
+		if !strings.Contains(res.Table, want) {
+			t.Fatalf("table missing %q:\n%s", want, res.Table)
+		}
+	}
+}

@@ -513,6 +513,13 @@ func (l *Library) Events(mask events.Mask) *events.Subscription {
 // then forward matching bus events as EVENT frames until the subscriber
 // hangs up or the library stops. It runs on the engine's per-connection
 // goroutine.
+//
+// The stream consumes the bus in batch mode: a publish burst accumulates
+// in the subscription's ring, and each NextBatch encodes the whole burst —
+// through one reused Encoder into one reused wire buffer — and ships it
+// with a single conn.Write. Per steady-state event that is zero
+// allocations and a fraction of a syscall, where the channel-mode loop
+// paid a channel handoff, a fresh frame buffer, and a write each.
 func (l *Library) handleEventSubscribe(conn plugin.Conn, m *phproto.EventSubscribe) {
 	l.mu.Lock()
 	if l.stopped {
@@ -521,7 +528,7 @@ func (l *Library) handleEventSubscribe(conn plugin.Conn, m *phproto.EventSubscri
 		_ = conn.Close()
 		return
 	}
-	sub := l.d.Bus().Subscribe(events.Mask(m.Mask))
+	sub := l.d.Bus().SubscribeBatch(events.Mask(m.Mask))
 	l.eventStreams[conn] = sub
 	l.mu.Unlock()
 
@@ -536,17 +543,36 @@ func (l *Library) handleEventSubscribe(conn plugin.Conn, m *phproto.EventSubscri
 	if err := phproto.Write(conn, &phproto.Ack{OK: true}); err != nil {
 		return
 	}
-	for e := range sub.C() {
-		notice := &phproto.EventNotice{
-			Seq:             e.Seq,
-			UnixNanos:       e.Time.UnixNano(),
-			Type:            uint8(e.Type),
-			Addr:            e.Addr,
-			Quality:         int32(e.Quality),
-			TimeToThreshold: e.TimeToThreshold,
-			Detail:          e.Detail,
+	var (
+		enc    phproto.Encoder
+		batch  []events.Event
+		wire   []byte
+		notice phproto.EventNotice
+	)
+	for {
+		var ok bool
+		batch, ok = sub.NextBatch(batch[:0])
+		if !ok {
+			return
 		}
-		if err := phproto.Write(conn, notice); err != nil {
+		wire = wire[:0]
+		for _, e := range batch {
+			notice = phproto.EventNotice{
+				Seq:             e.Seq,
+				UnixNanos:       e.Time.UnixNano(),
+				Type:            uint8(e.Type),
+				Addr:            e.Addr,
+				Quality:         int32(e.Quality),
+				TimeToThreshold: e.TimeToThreshold,
+				Detail:          e.Detail,
+			}
+			frame, err := enc.Encode(&notice)
+			if err != nil {
+				return
+			}
+			wire = append(wire, frame...)
+		}
+		if _, err := conn.Write(wire); err != nil {
 			return
 		}
 	}

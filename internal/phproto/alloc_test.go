@@ -1,0 +1,123 @@
+package phproto
+
+import (
+	"io"
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/race"
+)
+
+// skipUnderRace skips allocation pins in -race builds: the detector's
+// shadow-memory bookkeeping allocates on paths that are allocation-free in
+// normal builds.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+}
+
+// Allocation budgets for the encode hot paths. These are contracts, not
+// observations: the daemon encodes a frame for every discovery fetch,
+// sync response, and event notice, so a regression here multiplies across
+// every connection the daemon serves. Budgets are asserted exactly where
+// they are zero (a reused Encoder must not allocate at all in steady
+// state) and as ceilings elsewhere.
+const (
+	// encoderEncodeBudget: a reused Encoder encoding a message with a
+	// warm buffer performs no allocations.
+	encoderEncodeBudget = 0
+	// writeBudget: the pooled package-level Write may touch the pool but
+	// must not rebuild buffers per frame.
+	writeBudget = 0
+	// hashBudget: NeighborEntry.Hash encodes into a pooled buffer and
+	// folds FNV-64a inline.
+	hashBudget = 0
+)
+
+func benchInfo() device.Info {
+	return device.Info{
+		Name:     "alloc-probe",
+		Addr:     device.Addr{Tech: device.TechBluetooth, MAC: "02:70:68:00:00:01"},
+		Checksum: 777,
+		Mobility: device.Hybrid,
+		Services: []device.ServiceInfo{{Name: "echo", Attr: "a", Port: 11}},
+	}
+}
+
+// TestEncoderEncodeAllocFree pins the satellite requirement: encoding a
+// DeviceInfo answer (the InfoDevice response) through a reused Encoder is
+// allocation-free once the buffer is warm.
+func TestEncoderEncodeAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	var enc Encoder
+	msg := &DeviceInfo{Info: benchInfo()}
+	if _, err := enc.Encode(msg); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := enc.Encode(msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > encoderEncodeBudget {
+		t.Fatalf("Encoder.Encode(DeviceInfo) = %.1f allocs/op, budget %d", allocs, encoderEncodeBudget)
+	}
+}
+
+func TestWriteAllocFlat(t *testing.T) {
+	skipUnderRace(t)
+	msg := &DeviceInfo{Info: benchInfo()}
+	_ = Write(io.Discard, msg) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := Write(io.Discard, msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > writeBudget {
+		t.Fatalf("Write = %.1f allocs/op, budget %d", allocs, writeBudget)
+	}
+}
+
+func TestNeighborEntryHashAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	en := NeighborEntry{Info: benchInfo(), Jumps: 2, QualitySum: 700, QualityMin: 231}
+	_ = en.Hash()
+	allocs := testing.AllocsPerRun(200, func() { _ = en.Hash() })
+	if allocs > hashBudget {
+		t.Fatalf("NeighborEntry.Hash = %.1f allocs/op, budget %d", allocs, hashBudget)
+	}
+}
+
+// BenchmarkEncoderEncode tracks the zero-copy encode path in the benchmark
+// trajectory (allocs/op is gated by CI).
+func BenchmarkEncoderEncode(b *testing.B) {
+	var enc Encoder
+	msg := &DeviceInfo{Info: benchInfo()}
+	if _, err := enc.Encode(msg); err != nil { // warm the encoder's buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWritePooled tracks the pooled package-level Write.
+func BenchmarkWritePooled(b *testing.B) {
+	msg := &DeviceInfo{Info: benchInfo()}
+	if err := Write(io.Discard, msg); err != nil { // warm the encoder pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Write(io.Discard, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

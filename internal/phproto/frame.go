@@ -1,0 +1,115 @@
+package phproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the allocation-flat framing layer. The original Write built
+// every frame with a fresh `make([]byte, 5, ...)` header plus an append of
+// the separately-grown payload buffer, and Read allocated a payload slice
+// per frame; on a daemon serving discovery fetches, sync responses, and
+// event streams continuously, those per-message allocations dominated the
+// steady-state heap churn. Frames are now built append-style into a
+// reusable Encoder buffer (header reserved up front, length patched in
+// after encoding) and read into pooled payload buffers. The wire bytes are
+// unchanged — golden tests pin them against the legacy layout.
+
+// Encoder renders protocol frames into one reusable buffer. The zero value
+// is ready to use. An Encoder is not safe for concurrent use; the
+// package-level Write uses a pool of them, and long-lived single-writer
+// loops (event streams, responders) can hold their own to stay allocation-
+// free regardless of pool pressure.
+type Encoder struct {
+	enc encoder
+}
+
+// Encode renders m as one complete frame — command byte, big-endian
+// length, payload — into the Encoder's internal buffer and returns it.
+// The returned slice is only valid until the next Encode/WriteMsg call on
+// this Encoder; callers that keep frames must copy them.
+func (enc *Encoder) Encode(m Message) ([]byte, error) {
+	// Reserve the 5-byte header, encode the payload after it, then patch
+	// the header in place: one buffer, no copy.
+	enc.enc.buf = append(enc.enc.buf[:0], 0, 0, 0, 0, 0)
+	m.encodeTo(&enc.enc)
+	frame := enc.enc.buf
+	payload := len(frame) - frameHeaderSize
+	if payload > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payload)
+	}
+	frame[0] = byte(m.Cmd())
+	binary.BigEndian.PutUint32(frame[1:frameHeaderSize], uint32(payload))
+	return frame, nil
+}
+
+// WriteMsg encodes m and writes the complete frame to w as a single Write
+// call (frames must not interleave on shared transports, so the header and
+// payload always travel in one Write).
+func (enc *Encoder) WriteMsg(w io.Writer, m Message) error {
+	frame, err := enc.Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// frameHeaderSize is the 1-byte command plus 4-byte payload length.
+const frameHeaderSize = 5
+
+// maxPooledBuf caps the buffers retained by the encoder and read pools: a
+// rare huge frame (up to MaxFrameSize) must not pin megabytes in every
+// pool slot forever.
+const maxPooledBuf = 1 << 16
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// getEncoder/putEncoder manage the shared encoder pool. Oversized buffers
+// are dropped rather than pooled.
+func getEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+func putEncoder(enc *Encoder) {
+	if cap(enc.enc.buf) <= maxPooledBuf {
+		encoderPool.Put(enc)
+	}
+}
+
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 2048)
+		return &b
+	},
+}
+
+// getReadBuf returns a pooled payload buffer of at least n bytes.
+func getReadBuf(n int) *[]byte {
+	bp := readBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return bp
+}
+
+func putReadBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		readBufPool.Put(bp)
+	}
+}
+
+// appendHash64 is FNV-64a over b, allocation-free (hash/fnv's New64a
+// escapes to the heap through the hash.Hash64 interface).
+func appendHash64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

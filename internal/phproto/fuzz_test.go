@@ -100,6 +100,10 @@ func FuzzDecode(f *testing.F) {
 		if err := Write(&buf, m); err != nil {
 			t.Fatalf("re-encoding decoded %v: %v", m.Cmd(), err)
 		}
+		var enc Encoder
+		if frame, err := enc.Encode(m); err != nil || !bytes.Equal(frame, buf.Bytes()) {
+			t.Fatalf("Encoder.Encode diverges from Write for %v (err %v)", m.Cmd(), err)
+		}
 		m2, err := Read(&buf)
 		if err != nil {
 			t.Fatalf("re-decoding %v: %v", m.Cmd(), err)

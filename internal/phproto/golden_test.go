@@ -1,0 +1,159 @@
+package phproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"hash/fnv"
+	"testing"
+
+	"peerhood/internal/device"
+)
+
+// legacyFrame builds a frame exactly the way the pre-pooling Write did: a
+// fresh payload buffer, a fresh 5-byte header, one concatenation. The
+// zero-copy Encoder must reproduce these bytes for every message or wire
+// compatibility with deployed peers is broken.
+func legacyFrame(t *testing.T, m Message) []byte {
+	t.Helper()
+	e := &encoder{}
+	m.encodeTo(e)
+	if len(e.buf) > MaxFrameSize {
+		t.Fatalf("frame too large: %d", len(e.buf))
+	}
+	hdr := make([]byte, 5, 5+len(e.buf))
+	hdr[0] = byte(m.Cmd())
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(e.buf)))
+	return append(hdr, e.buf...)
+}
+
+// goldenMessages covers every message type, legacy and extended forms.
+func goldenMessages() []Message {
+	sib := []device.Addr{
+		{Tech: device.TechBluetooth, MAC: "02:70:68:00:00:01"},
+		{Tech: device.TechWLAN, MAC: "wl:01"},
+	}
+	return []Message{
+		&InfoRequest{Kind: InfoDevice},
+		&InfoRequest{Kind: InfoDigest},
+		&DeviceInfo{Info: sampleInfo()},
+		&DeviceInfo{Info: device.Info{Name: "multi", Addr: sib[0], Siblings: sib[1:]}},
+		&ServiceList{Services: sampleInfo().Services},
+		&Neighborhood{Entries: []NeighborEntry{{Info: sampleInfo(), Jumps: 2, QualitySum: 700, QualityMin: 231}}},
+		&HelloNew{ServicePort: 12, ServiceName: "echo", ConnID: 77, HasClient: true, Client: sampleInfo()},
+		&HelloBridge{Dest: sib[0], ServiceName: "pa", ServicePort: 12, ConnID: 99, TTL: 6, Reconnect: true},
+		&HelloReconnect{ConnID: 123456789},
+		&Ack{OK: false, Reason: "no route"},
+		&Data{Seq: 42, Payload: []byte("package-42")},
+		&NeighborhoodSyncRequest{Epoch: 7, Gen: 9, Flags: SyncFlagSiblings},
+		&NeighborhoodSync{Full: true, Epoch: 7, ToGen: 9, Entries: []NeighborEntry{{Info: sampleInfo()}}, DigestCount: 1, DigestHash: 0xdead},
+		&NeighborhoodSync{Epoch: 7, FromGen: 3, ToGen: 9, Tombstones: sib, DigestCount: 0, DigestHash: 0},
+		&EventSubscribe{Mask: 0x1ff},
+		&EventNotice{Seq: 4, UnixNanos: 12345, Type: 3, Addr: sib[0], Quality: 222, Detail: "x"},
+	}
+}
+
+// TestEncoderMatchesLegacyWire pins the pooled/zero-copy paths — the
+// package-level Write and a reused Encoder — byte-identical to the legacy
+// per-message-allocation framing, for every message form.
+func TestEncoderMatchesLegacyWire(t *testing.T) {
+	var enc Encoder
+	for _, m := range goldenMessages() {
+		want := legacyFrame(t, m)
+
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("%v: Write: %v", m.Cmd(), err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%v: Write bytes diverge from legacy framing\n got  %x\n want %x", m.Cmd(), buf.Bytes(), want)
+		}
+
+		frame, err := enc.Encode(m)
+		if err != nil {
+			t.Fatalf("%v: Encode: %v", m.Cmd(), err)
+		}
+		if !bytes.Equal(frame, want) {
+			t.Errorf("%v: Encoder bytes diverge from legacy framing\n got  %x\n want %x", m.Cmd(), frame, want)
+		}
+	}
+}
+
+// TestGoldenFrames pins exact wire bytes for representative frames, so a
+// codec change that silently altered the encoding of deployed messages
+// fails loudly rather than surviving as a self-consistent round trip.
+func TestGoldenFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Message
+		hex  string
+	}{
+		{
+			name: "info-request",
+			msg:  &InfoRequest{Kind: InfoNeighborhood},
+			hex:  "010000000103",
+		},
+		{
+			name: "ack-fail",
+			msg:  &Ack{OK: false, Reason: "no route"},
+			hex:  "08000000" + "0b" + "00" + "0008" + hex.EncodeToString([]byte("no route")),
+		},
+		{
+			name: "hello-reconnect",
+			msg:  &HelloReconnect{ConnID: 0x0102030405060708},
+			hex:  "07000000080102030405060708",
+		},
+		{
+			name: "sync-request-flagged",
+			msg:  &NeighborhoodSyncRequest{Epoch: 1, Gen: 2, Flags: 1},
+			hex:  "0a00000011" + "0000000000000001" + "0000000000000002" + "01",
+		},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := Write(&buf, tc.msg); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := hex.EncodeToString(buf.Bytes()); got != tc.hex {
+			t.Errorf("%s: frame = %s, want %s", tc.name, got, tc.hex)
+		}
+	}
+}
+
+// TestEncoderReuseDoesNotCorruptFrames drives one Encoder through frames of
+// shrinking and growing sizes; every frame must decode back to its message
+// (a stale-length or stale-suffix bug would surface as corruption).
+func TestEncoderReuseDoesNotCorruptFrames(t *testing.T) {
+	var enc Encoder
+	msgs := goldenMessages()
+	for i := 0; i < 3; i++ {
+		for _, m := range msgs {
+			frame, err := enc.Encode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(bytes.NewReader(frame))
+			if err != nil {
+				t.Fatalf("%v: decoding reused-encoder frame: %v", m.Cmd(), err)
+			}
+			if got.Cmd() != m.Cmd() {
+				t.Fatalf("decoded %v, want %v", got.Cmd(), m.Cmd())
+			}
+		}
+	}
+}
+
+// TestHashMatchesStdlibFNV pins the manual FNV-64a against hash/fnv: the
+// storage digest protocol depends on every node computing identical entry
+// hashes.
+func TestHashMatchesStdlibFNV(t *testing.T) {
+	for _, m := range goldenMessages() {
+		e := &encoder{}
+		m.encodeTo(e)
+		h := fnv.New64a()
+		_, _ = h.Write(e.buf)
+		if got := appendHash64(e.buf); got != h.Sum64() {
+			t.Fatalf("appendHash64 = %#x, fnv = %#x", got, h.Sum64())
+		}
+	}
+}

@@ -446,21 +446,18 @@ func newMessage(cmd Command) (Message, error) {
 	}
 }
 
-// Write encodes m as one frame onto w.
+// Write encodes m as one frame onto w, using a pooled Encoder so the
+// steady-state cost is the encode itself, not buffer churn.
 func Write(w io.Writer, m Message) error {
-	e := &encoder{}
-	m.encodeTo(e)
-	if len(e.buf) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(e.buf))
-	}
-	hdr := make([]byte, 5, 5+len(e.buf))
-	hdr[0] = byte(m.Cmd())
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(e.buf)))
-	_, err := w.Write(append(hdr, e.buf...))
+	enc := getEncoder()
+	err := enc.WriteMsg(w, m)
+	putEncoder(enc)
 	return err
 }
 
-// Read decodes the next frame from r.
+// Read decodes the next frame from r. The payload is read into a pooled
+// buffer; decoded messages never alias it (strings and byte fields are
+// copied out), so the buffer is recycled on return.
 func Read(r io.Reader) (Message, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -471,7 +468,9 @@ func Read(r io.Reader) (Message, error) {
 	if size > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
 	}
-	payload := make([]byte, size)
+	bp := getReadBuf(int(size))
+	defer putReadBuf(bp)
+	payload := (*bp)[:size]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}

@@ -1,8 +1,6 @@
 package phproto
 
 import (
-	"hash/fnv"
-
 	"peerhood/internal/device"
 )
 
@@ -183,11 +181,12 @@ func StripSiblings(entries []NeighborEntry) []NeighborEntry {
 // the storage can detect "this mutation changed nothing a peer would see"
 // and skip bumping its generation.
 func (en NeighborEntry) Hash() uint64 {
-	e := &encoder{}
-	e.neighborEntry(en)
-	h := fnv.New64a()
-	_, _ = h.Write(e.buf)
-	return h.Sum64()
+	enc := getEncoder()
+	enc.enc.buf = enc.enc.buf[:0]
+	enc.enc.neighborEntry(en)
+	h := appendHash64(enc.enc.buf)
+	putEncoder(enc)
+	return h
 }
 
 // DigestOf summarises a transmitted table as (entry count, XOR of entry

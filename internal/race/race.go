@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, mirroring
+// the runtime-internal convention. The allocation-budget tests skip under
+// race builds: the detector's shadow-memory bookkeeping allocates on paths
+// that are allocation-free in normal builds, so the pins would assert the
+// instrumentation, not the code.
+package race
+
+// Enabled is true in -race builds.
+const Enabled = true

@@ -9,6 +9,7 @@ package storage
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -251,7 +252,28 @@ type Storage struct {
 	// weight and resetting on every eviction would degrade a dense
 	// neighbourhood to permanent full sync.
 	evicted map[device.Addr]bool
+
+	// scratch holds reusable buffers for the merge/delta hot paths, so a
+	// steady-state discovery round performs no per-call map or slice
+	// allocations. All of it is guarded by mu — which is why the delta
+	// responders (WireEntriesSince, SyncResponse) take the write lock.
+	scratch struct {
+		reported map[device.Addr]bool // MergeNeighborhood's reported-set
+		touched  map[device.Addr]bool // deltaLocked's coalescing set
+		addrs    []device.Addr        // deltaLocked's sort buffer
+	}
+	// free recycles Entry boxes removed from the table, Routes and
+	// evictedVia backing arrays included, so churn — devices flapping in
+	// and out of coverage — does not box a fresh Entry per reappearance.
+	// Safe because no *Entry ever escapes the lock: every public API
+	// clones before returning.
+	free []*Entry
 }
+
+// maxFreeEntries bounds the Entry free list; beyond it removed entries are
+// left to the garbage collector (a one-off mass removal should not pin its
+// peak forever).
+const maxFreeEntries = 512
 
 type journalRec struct {
 	gen  uint64
@@ -458,13 +480,21 @@ func (s *Storage) UpsertDirect(info device.Info, quality int) {
 	}
 	now := s.cfg.Clock.Now()
 	e, ok := s.entries[info.Addr]
+	infoChanged := false
 	if !ok {
-		e = &Entry{Info: info.Clone()}
+		e = s.newEntryLocked()
+		e.Info = info.Clone()
 		s.entries[info.Addr] = e
+		infoChanged = true
 	} else if info.Name != "" {
 		e.Info = info.Clone()
+		infoChanged = true
 	}
-	s.reindexIdentityLocked(info.Addr, e)
+	// See mergeCandidateLocked: an untouched descriptor cannot change
+	// identity groups, so the bare inquiry-refresh path skips the reindex.
+	if infoChanged {
+		s.reindexIdentityLocked(info.Addr, e)
+	}
 	s.relinkSiblingsLocked(info.Addr, e)
 	e.MissedLoops = 0
 	e.LastSeen = now
@@ -549,7 +579,12 @@ func (s *Storage) MergeNeighborhood(bridge device.Addr, bridgeQuality int, nb []
 		bridgeMobility = be.Info.Mobility
 	}
 
-	reported := make(map[device.Addr]bool, len(nb))
+	reported := s.scratch.reported
+	if reported == nil {
+		reported = make(map[device.Addr]bool, len(nb))
+		s.scratch.reported = reported
+	}
+	clear(reported)
 	for _, ne := range nb {
 		reported[ne.Info.Addr] = true
 		s.mergeCandidateLocked(bridge, bridgeQuality, bridgeMobility, ne, now, &res)
@@ -708,10 +743,14 @@ func (s *Storage) mergeCandidateLocked(bridge device.Addr, bridgeQuality int, br
 		RemoteQualityMin: int(ne.QualityMin),
 	}
 	e, ok := s.entries[target]
+	infoChanged := false
 	if !ok {
-		e = &Entry{Info: ne.Info.Clone(), LastSeen: now, LastFetched: now}
+		e = s.newEntryLocked()
+		e.Info = ne.Info.Clone()
+		e.LastSeen, e.LastFetched = now, now
 		s.entries[target] = e
 		res.Added++
+		infoChanged = true
 	} else {
 		res.Updated++
 		e.LastSeen = now
@@ -719,14 +758,22 @@ func (s *Storage) mergeCandidateLocked(bridge device.Addr, bridgeQuality int, br
 		// services we have not fetched ourselves yet.
 		if len(e.Info.Services) == 0 && len(ne.Info.Services) > 0 {
 			e.Info = ne.Info.Clone()
+			infoChanged = true
 		}
 		// Same for sibling knowledge: adopt a report's identity links when
 		// we have none for this interface.
 		if len(e.Info.Siblings) == 0 && len(ne.Info.Siblings) > 0 {
 			e.Info.Siblings = append([]device.Addr(nil), ne.Info.Siblings...)
+			infoChanged = true
 		}
 	}
-	s.reindexIdentityLocked(target, e)
+	// Identity derives from the descriptor alone, so an untouched
+	// descriptor cannot change groups — skipping the reindex (and its
+	// Identity() string build) on the re-report path is what makes a
+	// steady-state merge allocation-free.
+	if infoChanged {
+		s.reindexIdentityLocked(target, e)
+	}
 	s.relinkSiblingsLocked(target, e)
 	s.putRouteLocked(e, route)
 	s.touchLocked(target)
@@ -946,9 +993,15 @@ type Delta struct {
 // given generation, alongside the current digest. ok is false when the
 // journal no longer covers that far back (or the generation is from another
 // epoch's future) — the caller must fall back to WireEntries.
+//
+// It takes the write lock (not RLock): deltaLocked builds its coalescing
+// set and sort buffer in the mu-guarded scratch, which makes the common
+// "nothing changed" answer allocation-free. Responders serve one sync at a
+// time per connection, so the lost read-side sharing is noise next to the
+// per-request garbage it removes.
 func (s *Storage) WireEntriesSince(gen uint64) (Delta, Digest, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delta, ok := s.deltaLocked(gen)
 	return delta, s.digestLocked(), ok
 }
@@ -964,7 +1017,15 @@ func (s *Storage) deltaLocked(gen uint64) (Delta, bool) {
 	// The journal is append-only in generation order: walk the suffix
 	// newer than gen and coalesce repeated changes to one row each —
 	// the device's *current* state (or a tombstone if it is gone).
-	touched := make(map[device.Addr]bool)
+	// Both the coalescing set and the sort buffer live in the mu-guarded
+	// scratch; only Delta's own slices (which escape to the caller) are
+	// allocated per call.
+	touched := s.scratch.touched
+	if touched == nil {
+		touched = make(map[device.Addr]bool)
+		s.scratch.touched = touched
+	}
+	clear(touched)
 	for i := len(s.journal) - 1; i >= 0 && s.journal[i].gen > gen; i-- {
 		touched[s.journal[i].addr] = true
 	}
@@ -974,11 +1035,20 @@ func (s *Storage) deltaLocked(gen uint64) (Delta, bool) {
 		// carry; serve FULL rather than an undecodable delta.
 		return Delta{}, false
 	}
-	addrs := make([]device.Addr, 0, len(touched))
+	addrs := s.scratch.addrs[:0]
 	for a := range touched {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	slices.SortFunc(addrs, func(a, b device.Addr) int {
+		if a.Less(b) {
+			return -1
+		}
+		if b.Less(a) {
+			return 1
+		}
+		return 0
+	})
+	s.scratch.addrs = addrs
 	for _, a := range addrs {
 		if e, ok := s.entries[a]; ok {
 			if en, ok := wireEntryOf(e); ok {
@@ -1006,8 +1076,10 @@ func (s *Storage) deltaLocked(gen uint64) (Delta, bool) {
 // concurrent sibling adoption cannot slip an extended entry into a
 // legacy-form answer.
 func (s *Storage) SyncResponse(epoch, gen uint64, extended bool) *phproto.NeighborhoodSync {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// Write lock: deltaLocked uses the mu-guarded scratch (see
+	// WireEntriesSince).
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !extended {
 		for addr := range s.wireHash {
 			if e, ok := s.entries[addr]; ok && len(e.Info.Siblings) > 0 {
@@ -1207,12 +1279,31 @@ func (s *Storage) putRouteLocked(e *Entry, route Route) {
 
 // removeEntryLocked drops a device that ran out of routes, remembering
 // which bridges' capacity-evicted routes could have kept it reachable.
+// The Entry box is recycled onto the free list: its descriptor is zeroed
+// (so the GC can reclaim the old services) but the Routes and evictedVia
+// backing arrays are kept for the next add.
 func (s *Storage) removeEntryLocked(addr device.Addr, e *Entry) {
 	for _, b := range e.evictedVia {
 		s.evicted[b] = true
 	}
 	s.dropIdentityLocked(addr, e.id)
 	delete(s.entries, addr)
+	*e = Entry{Routes: e.Routes[:0], evictedVia: e.evictedVia[:0]}
+	if len(s.free) < maxFreeEntries {
+		s.free = append(s.free, e)
+	}
+}
+
+// newEntryLocked returns a zeroed Entry, recycled from the free list when
+// one is available.
+func (s *Storage) newEntryLocked() *Entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Entry{}
 }
 
 // TakeEvictedBridges drains and returns the bridges of tech that may still
@@ -1233,10 +1324,18 @@ func (s *Storage) TakeEvictedBridges(tech device.Tech) []device.Addr {
 	return out
 }
 
+// resortLocked restores the best-first route order. Routes is capped at
+// MaxAlternates (+1 transiently), so a stable insertion sort beats
+// sort.SliceStable here: it is branch-cheap at this size and — unlike the
+// closure-and-interface machinery of the sort package on a hot path that
+// runs once per merged row — performs no allocations.
 func (s *Storage) resortLocked(e *Entry) {
-	sort.SliceStable(e.Routes, func(i, j int) bool {
-		return s.better(e.Routes[i], e.Routes[j])
-	})
+	rs := e.Routes
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && s.better(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
 }
 
 // better implements the fig 3.13 route comparison: fewer jumps win; ties go

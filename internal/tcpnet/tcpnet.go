@@ -117,6 +117,21 @@ func (p *Plugin) Addr() device.Addr { return p.addr }
 // DiscoveryCycle implements plugin.Plugin.
 func (p *Plugin) DiscoveryCycle() time.Duration { return p.cfg.DiscoveryCycle }
 
+// AddPeer adds a UDP discovery target (host:port) after construction.
+// Daemons whose listen ports are kernel-assigned (Listen "host:0") cannot
+// know each other's addresses up front; a full mesh is wired by creating
+// every plugin first and then cross-registering.
+func (p *Plugin) AddPeer(hostport string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, peer := range p.cfg.Peers {
+		if peer == hostport {
+			return
+		}
+	}
+	p.cfg.Peers = append(p.cfg.Peers, hostport)
+}
+
 // Inquire implements plugin.Plugin: probe every configured peer over UDP
 // and collect responses for the inquiry window.
 func (p *Plugin) Inquire() []plugin.InquiryResult {
@@ -125,12 +140,13 @@ func (p *Plugin) Inquire() []plugin.InquiryResult {
 		p.mu.Unlock()
 		return nil
 	}
+	peers := append([]string(nil), p.cfg.Peers...)
 	p.mu.Unlock()
 
 	probe := make([]byte, 1+8)
 	probe[0] = probeInquiry
 	binary.BigEndian.PutUint64(probe[1:], uint64(time.Now().UnixNano()))
-	for _, peer := range p.cfg.Peers {
+	for _, peer := range peers {
 		ua, err := net.ResolveUDPAddr("udp", peer)
 		if err != nil {
 			continue
