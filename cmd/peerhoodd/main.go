@@ -15,6 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +40,7 @@ func main() {
 		echo     = flag.Bool("echo", false, "register a demo echo service")
 		noBridge = flag.Bool("no-bridge", false, "disable the hidden bridge service")
 		interval = flag.Duration("print-interval", 10*time.Second, "device-storage print period (0 disables)")
+		httpAddr = flag.String("http", "", "host:port for the introspection HTTP listener serving Prometheus /metrics and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -75,10 +79,31 @@ func main() {
 	if err := d.AddPlugin(pl); err != nil {
 		log.Fatal(err)
 	}
+	pl.Instrument(d.Registry())
 	if err := d.Start(true); err != nil {
 		log.Fatal(err)
 	}
 	defer d.Stop()
+
+	if *httpAddr != "" {
+		// The pprof import registers its handlers on the default mux;
+		// /metrics joins them there. The listener is opt-in, so sharing
+		// the default mux is deliberate — this is a debug surface.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = d.Registry().WritePrometheus(w)
+		})
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("introspection listener: %v", err)
+		}
+		log.Printf("introspection: http://%s/metrics and /debug/pprof/", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("introspection listener: %v", err)
+			}
+		}()
+	}
 
 	lib, err := library.New(library.Config{Daemon: d})
 	if err != nil {

@@ -11,6 +11,15 @@
 //
 //	phctl -addr 127.0.0.1:7001 [device|services|neighborhood|devices|digest|all]
 //	phctl -addr 127.0.0.1:7001 watch [event-type ...]
+//	phctl -addr 127.0.0.1:7001 stats [prefix]
+//	phctl -addr 127.0.0.1:7001 [-tail n] trace
+//
+// The stats subcommand fetches the daemon's telemetry registry snapshot
+// (STATS_REQUEST) and prints one Prometheus-style series per line,
+// optionally filtered to names starting with prefix. The trace subcommand
+// subscribes to the daemon's span stream (TRACE_SUBSCRIBE), replays the
+// last -tail recorded spans, and tails new ones as handover / sync /
+// reconnect lifecycles complete.
 //
 // The devices subcommand fetches the neighbourhood through the versioned
 // sync exchange (negotiating sibling advertisements) and renders it
@@ -29,9 +38,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"peerhood/internal/device"
@@ -42,6 +53,7 @@ import (
 func main() {
 	addr := flag.String("addr", "", "daemon host:port (required)")
 	timeout := flag.Duration("timeout", 5*time.Second, "dial/read timeout")
+	tail := flag.Uint("tail", 32, "spans to replay before tailing (trace)")
 	flag.Parse()
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "phctl: -addr is required")
@@ -55,6 +67,22 @@ func main() {
 
 	if what == "watch" {
 		if err := watch(*addr, *timeout, flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if what == "stats" {
+		prefix := ""
+		if flag.NArg() > 1 {
+			prefix = flag.Arg(1)
+		}
+		if err := stats(*addr, *timeout, prefix); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if what == "trace" {
+		if err := trace(*addr, *timeout, uint32(*tail)); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -172,31 +200,25 @@ func showDevices(conn net.Conn) error {
 
 // watch subscribes to the daemon's neighbourhood event stream on the
 // library engine port and tails events to stdout. typeNames filters the
-// subscription; empty means everything.
+// subscription; empty means everything. It first asks for span-stamped
+// events (EventSubFlagSpans); a legacy daemon rejects the flagged
+// subscribe's trailing byte and hangs up, so on a failed handshake it
+// redials and re-subscribes flagless.
 func watch(addr string, timeout time.Duration, typeNames []string) error {
 	mask, err := maskFor(typeNames)
 	if err != nil {
 		return err
 	}
-	conn, err := dialPort(addr, device.PortEngine, timeout)
+	conn, err := subscribeEvents(addr, timeout, uint32(mask), phproto.EventSubFlagSpans)
 	if err != nil {
-		return fmt.Errorf("dialing engine port: %w", err)
+		legacy, lerr := subscribeEvents(addr, timeout, uint32(mask), 0)
+		if lerr != nil {
+			return fmt.Errorf("subscribing: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "daemon predates trace spans; watching without span IDs")
+		conn = legacy
 	}
 	defer conn.Close()
-
-	// The handshake is bounded; the tail itself is not.
-	_ = conn.SetDeadline(time.Now().Add(timeout))
-	if err := phproto.Write(conn, &phproto.EventSubscribe{Mask: uint32(mask)}); err != nil {
-		return fmt.Errorf("subscribing: %w", err)
-	}
-	ack, err := phproto.ReadExpect[*phproto.Ack](conn)
-	if err != nil {
-		return fmt.Errorf("awaiting subscribe ack: %w", err)
-	}
-	if !ack.OK {
-		return fmt.Errorf("subscription refused: %s", ack.Reason)
-	}
-	_ = conn.SetDeadline(time.Time{})
 
 	fmt.Fprintf(os.Stderr, "watching %s (mask %#x); ctrl-c to stop\n", addr, uint32(mask))
 	for {
@@ -207,7 +229,7 @@ func watch(addr string, timeout time.Duration, typeNames []string) error {
 			}
 			return fmt.Errorf("event stream: %w", err)
 		}
-		ts := time.Unix(0, ev.UnixNanos).Format("15:04:05.000")
+		ts := time.Unix(0, ev.UnixNanos).Format("2006-01-02 15:04:05.000")
 		// Bearer changes are the events an adaptive application reacts to;
 		// mark them so they stand out of the stream.
 		marker := "  "
@@ -221,8 +243,118 @@ func watch(addr string, timeout time.Duration, typeNames []string) error {
 		if ev.TimeToThreshold > 0 {
 			line += fmt.Sprintf(" ttt=%s", ev.TimeToThreshold)
 		}
+		if ev.Span != 0 {
+			line += fmt.Sprintf(" span=%016x", ev.Span)
+		}
 		if ev.Detail != "" {
 			line += " " + ev.Detail
+		}
+		fmt.Println(line)
+	}
+}
+
+// subscribeEvents dials the engine port and completes one EVENT_SUBSCRIBE
+// handshake, returning the connection with deadlines cleared for tailing.
+func subscribeEvents(addr string, timeout time.Duration, mask uint32, flags uint8) (net.Conn, error) {
+	conn, err := dialPort(addr, device.PortEngine, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dialing engine port: %w", err)
+	}
+	// The handshake is bounded; the tail itself is not.
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := phproto.Write(conn, &phproto.EventSubscribe{Mask: mask, Flags: flags}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	ack, err := phproto.ReadExpect[*phproto.Ack](conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("awaiting subscribe ack: %w", err)
+	}
+	if !ack.OK {
+		_ = conn.Close()
+		return nil, fmt.Errorf("subscription refused: %s", ack.Reason)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// stats fetches one telemetry snapshot from the daemon information port and
+// prints it in Prometheus text style, one series per line.
+func stats(addr string, timeout time.Duration, prefix string) error {
+	conn, err := dialPort(addr, device.PortDaemon, timeout)
+	if err != nil {
+		return fmt.Errorf("dialing daemon: %w", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	if err := phproto.Write(conn, &phproto.StatsRequest{Prefix: prefix}); err != nil {
+		return fmt.Errorf("requesting stats: %w", err)
+	}
+	st, err := phproto.ReadExpect[*phproto.Stats](conn)
+	if err != nil {
+		// A legacy daemon closes the connection on the unknown command.
+		return fmt.Errorf("reading stats (daemon predates telemetry?): %w", err)
+	}
+	fmt.Printf("# %s at %s: %d series\n",
+		addr, time.Unix(0, st.UnixNanos).Format(time.RFC3339Nano), len(st.Entries))
+	for _, en := range st.Entries {
+		fmt.Printf("%s %s\n", en.Name, formatStat(math.Float64frombits(en.Value)))
+	}
+	return nil
+}
+
+// formatStat renders counters as integers and everything else in the
+// shortest float form, matching Prometheus text conventions.
+func formatStat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// trace subscribes to the daemon's span stream on the engine port, replays
+// the last tail recorded spans, then tails live spans until interrupted.
+func trace(addr string, timeout time.Duration, tail uint32) error {
+	conn, err := dialPort(addr, device.PortEngine, timeout)
+	if err != nil {
+		return fmt.Errorf("dialing engine port: %w", err)
+	}
+	defer conn.Close()
+
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := phproto.Write(conn, &phproto.TraceSubscribe{Tail: tail}); err != nil {
+		return fmt.Errorf("subscribing: %w", err)
+	}
+	ack, err := phproto.ReadExpect[*phproto.Ack](conn)
+	if err != nil {
+		return fmt.Errorf("awaiting trace ack (daemon predates telemetry?): %w", err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("trace subscription refused: %s", ack.Reason)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	fmt.Fprintf(os.Stderr, "tracing %s (replaying up to %d spans); ctrl-c to stop\n", addr, tail)
+	for {
+		sp, err := phproto.ReadExpect[*phproto.TraceSpan](conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("span stream: %w", err)
+		}
+		start := time.Unix(0, sp.StartUnixNanos)
+		parent := "root"
+		if sp.Parent != 0 {
+			parent = fmt.Sprintf("%016x", sp.Parent)
+		}
+		line := fmt.Sprintf("%s %016x<-%s %-18s %s dur=%s",
+			start.Format("2006-01-02 15:04:05.000"), sp.ID, parent, sp.Name, sp.Addr,
+			time.Duration(sp.EndUnixNanos-sp.StartUnixNanos))
+		if sp.Detail != "" {
+			line += " " + sp.Detail
 		}
 		fmt.Println(line)
 	}

@@ -9,7 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"peerhood/internal/phproto"
 	"peerhood/internal/plugin"
 	"peerhood/internal/storage"
+	"peerhood/internal/telemetry"
 )
 
 // Config parametrises a Daemon. Name is required.
@@ -53,6 +56,11 @@ type Config struct {
 	// discoverers fetch without the identity capability bit. The interop
 	// baseline for vertical handover.
 	DisableIdentity bool
+	// DisableIntrospection makes this daemon present as a pre-telemetry
+	// peer: it closes the connection on STATS_REQUEST exactly as a legacy
+	// daemon would on the unknown command byte. The interop baseline for
+	// `phctl stats`' fallback path.
+	DisableIntrospection bool
 	// QualityThreshold, MaxJumps, MaxMissedLoops configure the storage;
 	// zero values take the storage defaults (230, 8, 2).
 	QualityThreshold int
@@ -88,6 +96,8 @@ type Daemon struct {
 	store   *storage.Storage
 	bus     *events.Bus
 	monitor *linkmon.Monitor
+	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
 
 	mu          sync.Mutex
 	plugins     []plugin.Plugin
@@ -110,6 +120,13 @@ func New(cfg Config) (*Daemon, error) {
 		cfg.Clock = clock.Real()
 	}
 	bus := events.NewBus(cfg.Clock)
+	// The telemetry plane is per-daemon and always on: handles are plain
+	// atomics, so an unscraped registry costs nothing measurable. The span
+	// ID space is seeded from the daemon name, which manual-clock
+	// experiments keep fixed — same-seed runs assign identical IDs.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(cfg.Name, cfg.Clock, telemetry.DefaultTraceCapacity)
+	bus.Instrument(reg)
 	d := &Daemon{
 		cfg: cfg,
 		clk: cfg.Clock,
@@ -119,6 +136,7 @@ func New(cfg Config) (*Daemon, error) {
 			MaxJumps:         cfg.MaxJumps,
 			MaxMissedLoops:   cfg.MaxMissedLoops,
 			QualityFirst:     cfg.QualityFirst,
+			Registry:         reg,
 		}),
 		bus: bus,
 		monitor: linkmon.New(linkmon.Config{
@@ -127,7 +145,11 @@ func New(cfg Config) (*Daemon, error) {
 			Threshold: cfg.QualityThreshold,
 			Horizon:   cfg.LinkHorizon,
 			Window:    cfg.LinkWindow,
+			Registry:  reg,
+			Tracer:    tracer,
 		}),
+		reg:      reg,
+		tracer:   tracer,
 		services: make(map[string]device.ServiceInfo),
 		nextPort: device.PortServiceBase,
 		conns:    make(map[io.Closer]struct{}),
@@ -177,6 +199,15 @@ func (d *Daemon) Bus() *events.Bus { return d.bus }
 // it every inquiry response; handover threads feed their connection
 // samples and consume its degradation predictions.
 func (d *Daemon) LinkMonitor() *linkmon.Monitor { return d.monitor }
+
+// Registry returns the daemon's telemetry registry: every layer running
+// under this daemon (storage, discovery, bus, handover threads) books its
+// counters here, and the STATS wire command and the /metrics endpoint
+// read from it.
+func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
+
+// Tracer returns the daemon's span tracer (handover/sync lifecycles).
+func (d *Daemon) Tracer() *telemetry.Tracer { return d.tracer }
 
 // Plugins returns the attached plugins.
 func (d *Daemon) Plugins() []plugin.Plugin {
@@ -322,6 +353,8 @@ func (d *Daemon) Start(autoDiscover bool) error {
 			DisableIdentity:      d.cfg.DisableIdentity,
 			Bus:                  d.bus,
 			Monitor:              d.monitor,
+			Registry:             d.reg,
+			Tracer:               d.tracer,
 		})
 		d.mu.Lock()
 		d.discoverers = append(d.discoverers, disc)
@@ -446,6 +479,12 @@ func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
 			}
 		case *phproto.NeighborhoodSyncRequest:
 			resp = d.neighborhoodSync(req)
+		case *phproto.StatsRequest:
+			if d.cfg.DisableIntrospection {
+				// Present exactly as a legacy daemon: hang up.
+				return
+			}
+			resp = d.statsSnapshot(req.Prefix)
 		default:
 			return
 		}
@@ -453,6 +492,25 @@ func (d *Daemon) serveInfo(p plugin.Plugin, conn plugin.Conn) {
 			return
 		}
 	}
+}
+
+// statsSnapshot flattens the telemetry registry into a STATS answer,
+// optionally restricted to series names starting with prefix. Snapshot
+// returns name-sorted points, so over-cap truncation keeps a
+// deterministic prefix.
+func (d *Daemon) statsSnapshot(prefix string) *phproto.Stats {
+	pts := d.reg.Snapshot()
+	out := &phproto.Stats{UnixNanos: d.clk.Now().UnixNano()}
+	for _, p := range pts {
+		if prefix != "" && !strings.HasPrefix(p.Name, prefix) {
+			continue
+		}
+		if len(out.Entries) == phproto.MaxStatEntries {
+			break
+		}
+		out.Entries = append(out.Entries, phproto.StatEntry{Name: p.Name, Value: math.Float64bits(p.Value)})
+	}
+	return out
 }
 
 // neighborhoodSync answers a versioned neighbourhood fetch. With an active

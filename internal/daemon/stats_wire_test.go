@@ -1,0 +1,129 @@
+package daemon_test
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"peerhood/internal/daemon"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/phproto"
+	"peerhood/internal/phtest"
+	"peerhood/internal/plugin"
+)
+
+// TestServeStats fetches a telemetry snapshot over the wire, as phctl's
+// stats subcommand does: unfiltered first, then prefix-filtered, checking
+// the entries mirror the daemon's registry.
+func TestServeStats(t *testing.T) {
+	w := phtest.InstantWorld(t, 61)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "b", geo.Pt(3, 0), device.Dynamic)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	conn, err := a.Plugin.Dial(b.Addr(), device.PortDaemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := phproto.Write(conn, &phproto.StatsRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := phproto.ReadExpect[*phproto.Stats](conn)
+	if err != nil {
+		t.Fatalf("reading stats: %v", err)
+	}
+	if len(full.Entries) == 0 || full.UnixNanos == 0 {
+		t.Fatalf("empty snapshot: %+v", full)
+	}
+	if !sort.SliceIsSorted(full.Entries, func(i, j int) bool {
+		return full.Entries[i].Name < full.Entries[j].Name
+	}) {
+		t.Fatal("stats entries not name-sorted")
+	}
+
+	if err := phproto.Write(conn, &phproto.StatsRequest{Prefix: "peerhood_discovery"}); err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := phproto.ReadExpect[*phproto.Stats](conn)
+	if err != nil {
+		t.Fatalf("reading filtered stats: %v", err)
+	}
+	if len(filtered.Entries) == 0 || len(filtered.Entries) >= len(full.Entries) {
+		t.Fatalf("filter did not narrow: %d of %d entries", len(filtered.Entries), len(full.Entries))
+	}
+	var rounds float64 = -1
+	for _, en := range filtered.Entries {
+		if !strings.HasPrefix(en.Name, "peerhood_discovery") {
+			t.Fatalf("entry %q escaped the prefix filter", en.Name)
+		}
+		if en.Name == "peerhood_discovery_rounds_total" {
+			rounds = math.Float64frombits(en.Value)
+		}
+	}
+	if rounds < 1 {
+		t.Fatalf("peerhood_discovery_rounds_total = %v after a discovery round", rounds)
+	}
+}
+
+// TestServeStatsLegacyPresentation pins the interop story for daemons
+// predating telemetry: with introspection disabled the daemon presents
+// exactly like a legacy peer — it hangs up on the unknown command — so
+// clients fall back instead of wedging.
+func TestServeStatsLegacyPresentation(t *testing.T) {
+	w := phtest.InstantWorld(t, 62)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Static)
+
+	dev, err := w.AddDevice("legacy", mobility.Static{At: geo.Pt(3, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio, err := dev.AddRadio(device.TechBluetooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(daemon.Config{
+		Name: "legacy", Mobility: device.Static, Clock: w.Clock(),
+		DisableIntrospection: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPlugin(plugin.NewSim(w, radio)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(false); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	conn, err := a.Plugin.Dial(radio.Addr(), device.PortDaemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := phproto.Write(conn, &phproto.StatsRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := phproto.ReadExpect[*phproto.Stats](conn); err == nil {
+		t.Fatalf("legacy-presenting daemon answered STATS_REQUEST: %+v", resp)
+	}
+
+	// The same connection discipline as other info requests: an ordinary
+	// request on a fresh connection still works.
+	conn2, err := a.Plugin.Dial(radio.Addr(), device.PortDaemon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := phproto.Write(conn2, &phproto.InfoRequest{Kind: phproto.InfoDevice}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := phproto.ReadExpect[*phproto.DeviceInfo](conn2); err != nil {
+		t.Fatalf("legacy-presenting daemon broke InfoDevice: %v", err)
+	}
+}

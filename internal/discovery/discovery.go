@@ -28,6 +28,7 @@ import (
 	"peerhood/internal/plugin"
 	"peerhood/internal/rng"
 	"peerhood/internal/storage"
+	"peerhood/internal/telemetry"
 )
 
 // Config parametrises one Discoverer (one per plugin, as in the thesis).
@@ -72,6 +73,15 @@ type Config struct {
 	// each discovery round doubles as a trend sample for every direct
 	// neighbour.
 	Monitor *linkmon.Monitor
+
+	// Registry, if set, receives the discovery counters (rounds, fetches
+	// by sync mode, errors, wire bytes, legacy fallbacks, digest
+	// resyncs). Telemetry handles are nil-safe, so an unset registry
+	// costs one predictable branch per observation.
+	Registry *telemetry.Registry
+	// Tracer, if set, records one span per neighbourhood fetch so
+	// same-seed runs can be compared sync-for-sync.
+	Tracer *telemetry.Tracer
 }
 
 // RoundReport summarises one discovery round.
@@ -116,6 +126,15 @@ type Discoverer struct {
 	rounds int64
 	stop   chan struct{}
 	done   chan struct{}
+
+	// Telemetry handles, resolved once in New; all nil-safe.
+	roundsCtr    *telemetry.Counter
+	fetchesFull  *telemetry.Counter
+	fetchesDelta *telemetry.Counter
+	fetchErrs    *telemetry.Counter
+	syncBytes    *telemetry.Counter
+	legacyFalls  *telemetry.Counter
+	resyncs      *telemetry.Counter
 }
 
 // legacyReprobeInterval is how many legacy fetches pass before the
@@ -226,10 +245,18 @@ func New(cfg Config) *Discoverer {
 	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(cfg.Plugin.Addr().String()))
+	r := cfg.Registry
 	return &Discoverer{
-		cfg:   cfg,
-		src:   rng.New(int64(h.Sum64())),
-		peers: make(map[device.Addr]*peerSync),
+		cfg:          cfg,
+		src:          rng.New(int64(h.Sum64())),
+		peers:        make(map[device.Addr]*peerSync),
+		roundsCtr:    r.Counter(`peerhood_discovery_rounds_total`),
+		fetchesFull:  r.Counter(`peerhood_discovery_fetches_total{kind="full"}`),
+		fetchesDelta: r.Counter(`peerhood_discovery_fetches_total{kind="delta"}`),
+		fetchErrs:    r.Counter(`peerhood_discovery_fetch_errors_total`),
+		syncBytes:    r.Counter(`peerhood_discovery_sync_bytes_total`),
+		legacyFalls:  r.Counter(`peerhood_discovery_legacy_fallbacks_total`),
+		resyncs:      r.Counter(`peerhood_discovery_resyncs_total`),
 	}
 }
 
@@ -264,9 +291,12 @@ func (d *Discoverer) RunRound() RoundReport {
 			continue
 		}
 		rep.Fetches++
+		sp := d.cfg.Tracer.Begin("sync.fetch", 0, r.Addr.String())
 		info, sr, err := d.fetchPeer(r.Addr, &rep)
 		if err != nil {
+			d.cfg.Tracer.End(sp, "error")
 			rep.FetchErrors++
+			d.fetchErrs.Inc()
 			if known {
 				// Fetch failed but the device did respond: keep it alive.
 				d.cfg.Store.UpsertDirect(device.Info{Addr: r.Addr}, r.Quality)
@@ -302,9 +332,13 @@ func (d *Discoverer) RunRound() RoundReport {
 		ps := d.peers[r.Addr]
 		if sr.full {
 			rep.FullFetches++
+			d.fetchesFull.Inc()
+			d.cfg.Tracer.End(sp, "full")
 			m = d.cfg.Store.MergeNeighborhood(r.Addr, r.Quality, sr.entries)
 		} else {
 			rep.DeltaFetches++
+			d.fetchesDelta.Inc()
+			d.cfg.Tracer.End(sp, "delta")
 			// The delta only carries the peer's changes; our own link to
 			// the peer (and its mobility class) may have drifted since the
 			// rows were merged. The refresh scan is skipped when neither
@@ -354,6 +388,8 @@ func (d *Discoverer) RunRound() RoundReport {
 	d.mu.Lock()
 	d.rounds++
 	d.mu.Unlock()
+	d.roundsCtr.Inc()
+	d.syncBytes.Add(uint64(rep.SyncBytes))
 	return rep
 }
 
@@ -457,6 +493,7 @@ func (d *Discoverer) fetchPeer(to device.Addr, rep *RoundReport) (device.Info, s
 	}
 	// The peer hung up on the handshake: treat it as legacy until the next
 	// re-probe and repeat this fetch as the full exchange.
+	d.legacyFalls.Inc()
 	ps.legacy = true
 	ps.sinceProbe = 0
 	info, nb, err := d.fetchFull(to, rep)
@@ -516,6 +553,7 @@ func (d *Discoverer) fetchVersioned(to device.Addr, ps *peerSync, rep *RoundRepo
 	sr, ok := ps.apply(resp)
 	if !ok {
 		// Wrong continuation or digest mismatch: resync from scratch.
+		d.resyncs.Inc()
 		if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{Flags: flags}); err != nil {
 			return device.Info{}, syncResult{}, fmt.Errorf("discovery: requesting resync: %w", err)
 		}

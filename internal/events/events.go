@@ -10,11 +10,13 @@ package events
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
 	"peerhood/internal/clock"
 	"peerhood/internal/device"
+	"peerhood/internal/telemetry"
 )
 
 // Type identifies an event kind.
@@ -127,6 +129,12 @@ type Event struct {
 	TimeToThreshold time.Duration
 	// Detail is a free-form human-readable annotation.
 	Detail string
+	// Span is the telemetry span ID of the lifecycle this event belongs
+	// to (0 when untraced): a LinkDegrading event carries the root span of
+	// the degradation episode, and the handover events it triggers carry
+	// IDs parented on it, so a consumer can stitch the causal chain
+	// LinkDegrading → HandoverStarted → HandoverCompleted back together.
+	Span uint64
 }
 
 // String implements fmt.Stringer.
@@ -169,10 +177,20 @@ const (
 type Bus struct {
 	clk clock.Clock
 
-	mu     sync.Mutex
-	seq    uint64
-	subs   map[*Subscription]struct{}
-	closed bool
+	mu      sync.Mutex
+	seq     uint64
+	subs    map[*Subscription]struct{}
+	closed  bool
+	nextSub int
+
+	// Telemetry, attached by Instrument: per-type publish/drop counters
+	// indexed by Type (nil handles absorb when uninstrumented, so Publish
+	// needs no telemetry branch), the registry for per-subscriber drop
+	// counters, and the first-drop warning sink.
+	reg       *telemetry.Registry
+	published [maxType + 1]*telemetry.Counter
+	dropByTyp [maxType + 1]*telemetry.Counter
+	warnf     func(format string, args ...any)
 }
 
 // NewBus returns a Bus stamping event times from clk (nil uses the real
@@ -182,6 +200,44 @@ func NewBus(clk clock.Clock) *Bus {
 		clk = clock.Real()
 	}
 	return &Bus{clk: clk, subs: make(map[*Subscription]struct{})}
+}
+
+// Instrument attaches a telemetry registry: every publish and drop is
+// counted per event type, and each subscription (existing and future)
+// gets its own drop counter, so a single slow consumer is attributable
+// from a metrics scrape. The first drop on each subscription also logs a
+// one-line warning (override the sink with SetWarnf). Call before or
+// after subscriptions exist; nil reg is a no-op.
+func (b *Bus) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reg = reg
+	if b.warnf == nil {
+		b.warnf = log.Printf
+	}
+	for t := DeviceAppeared; t <= maxType; t++ {
+		b.published[t] = reg.Counter(`peerhood_events_published_total{type="` + t.String() + `"}`)
+		b.dropByTyp[t] = reg.Counter(`peerhood_events_dropped_total{type="` + t.String() + `"}`)
+	}
+	for s := range b.subs {
+		if s.dropCounter == nil {
+			s.dropCounter = reg.Counter(subDropName(s.id))
+		}
+	}
+}
+
+// SetWarnf replaces the first-drop warning sink (nil silences it).
+func (b *Bus) SetWarnf(f func(format string, args ...any)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.warnf = f
+}
+
+func subDropName(id int) string {
+	return fmt.Sprintf(`peerhood_events_subscriber_dropped_total{sub="%d"}`, id)
 }
 
 // Publish stamps e with the next sequence number and the current time and
@@ -197,13 +253,16 @@ func (b *Bus) Publish(e Event) {
 	b.seq++
 	e.Seq = b.seq
 	e.Time = b.clk.Now()
+	if e.Type <= maxType {
+		b.published[e.Type].Inc()
+	}
 	for s := range b.subs {
 		if !s.mask.Has(e.Type) {
 			continue
 		}
 		if s.mode == modeBatch {
 			if s.n == len(s.ring) {
-				s.dropped++
+				s.noteDropLocked(&e)
 				continue
 			}
 			s.ring[(s.head+s.n)%len(s.ring)] = e
@@ -216,8 +275,25 @@ func (b *Bus) Publish(e Event) {
 		select {
 		case s.ch <- e:
 		default:
-			s.dropped++
+			s.noteDropLocked(&e)
 		}
+	}
+}
+
+// noteDropLocked books one lost event on the subscription: the legacy
+// per-subscription count, the telemetry counters (nil-safe when the bus is
+// uninstrumented), and — exactly once per subscription — a warning, so an
+// operator learns a consumer is too slow without the log scaling with the
+// drop rate. Callers hold b.mu.
+func (s *Subscription) noteDropLocked(e *Event) {
+	s.dropped++
+	b := s.bus
+	s.dropCounter.Inc()
+	if e.Type <= maxType {
+		b.dropByTyp[e.Type].Inc()
+	}
+	if s.dropped == 1 && b.warnf != nil {
+		b.warnf("events: subscriber %d dropped its first event (%s seq=%d); buffer full, further drops are only counted", s.id, e.Type, e.Seq)
 	}
 }
 
@@ -233,8 +309,19 @@ func (b *Bus) Subscribe(mask Mask) *Subscription {
 		s.closed = true
 		return s
 	}
-	b.subs[s] = struct{}{}
+	b.registerLocked(s)
 	return s
+}
+
+// registerLocked assigns the subscription its bus-unique id and, on an
+// instrumented bus, its drop counter. Callers hold b.mu.
+func (b *Bus) registerLocked(s *Subscription) {
+	b.nextSub++
+	s.id = b.nextSub
+	if b.reg != nil {
+		s.dropCounter = b.reg.Counter(subDropName(s.id))
+	}
+	b.subs[s] = struct{}{}
 }
 
 // SubscribeBatch registers a new batch-mode subscription filtered by mask
@@ -258,7 +345,7 @@ func (b *Bus) SubscribeBatch(mask Mask) *Subscription {
 		s.closed = true
 		return s
 	}
-	b.subs[s] = struct{}{}
+	b.registerLocked(s)
 	return s
 }
 
@@ -298,6 +385,11 @@ type Subscription struct {
 	bus  *Bus
 	mask Mask
 	mode subMode
+
+	// id is the bus-unique subscriber number (labels the drop counter);
+	// dropCounter is nil until the bus is instrumented.
+	id          int
+	dropCounter *telemetry.Counter
 
 	// ch is the channel-mode delivery channel (nil in batch mode).
 	// dropped and closed are guarded by bus.mu.

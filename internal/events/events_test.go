@@ -1,12 +1,14 @@
 package events
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"peerhood/internal/clock"
 	"peerhood/internal/device"
+	"peerhood/internal/telemetry"
 )
 
 func addr(mac string) device.Addr {
@@ -170,5 +172,75 @@ func TestEventString(t *testing.T) {
 	quiet := Event{Seq: 1, Type: DeviceLost, Addr: addr("bb"), Quality: -1}
 	if strings.Contains(quiet.String(), "q=") {
 		t.Fatalf("quality rendered for quality-less event: %q", quiet.String())
+	}
+}
+
+// TestBusInstrumented pins the telemetry surface: publishes and drops are
+// counted per type, each subscriber gets an attributable drop counter, and
+// the first drop (and only the first) warns.
+func TestBusInstrumented(t *testing.T) {
+	bus := NewBus(nil)
+	defer bus.Close()
+	reg := telemetry.NewRegistry()
+	var warnings []string
+	bus.Instrument(reg)
+	bus.SetWarnf(func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	})
+	sub := bus.Subscribe(MaskOf(DeviceAppeared))
+	defer sub.Close()
+	total := SubscriptionBuffer + 3
+	for i := 0; i < total; i++ {
+		bus.Publish(Event{Type: DeviceAppeared, Addr: addr("aa"), Quality: 240})
+	}
+	bus.Publish(Event{Type: DeviceLost, Addr: addr("aa"), Quality: -1})
+	if got := reg.Counter(`peerhood_events_published_total{type="device-appeared"}`).Value(); got != uint64(total) {
+		t.Fatalf("published{device-appeared} = %d, want %d", got, total)
+	}
+	if got := reg.Counter(`peerhood_events_published_total{type="device-lost"}`).Value(); got != 1 {
+		t.Fatalf("published{device-lost} = %d, want 1", got)
+	}
+	if got := reg.Counter(`peerhood_events_dropped_total{type="device-appeared"}`).Value(); got != 3 {
+		t.Fatalf("dropped{device-appeared} = %d, want 3", got)
+	}
+	if got := reg.Counter(subDropName(sub.id)).Value(); got != 3 {
+		t.Fatalf("subscriber drop counter = %d, want 3", got)
+	}
+	if sub.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", sub.Dropped())
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "first event") {
+		t.Fatalf("want exactly one first-drop warning, got %q", warnings)
+	}
+}
+
+// TestBusInstrumentExistingSubscription checks Instrument retrofits drop
+// counters onto subscriptions created before it was called.
+func TestBusInstrumentExistingSubscription(t *testing.T) {
+	bus := NewBus(nil)
+	defer bus.Close()
+	bus.SetWarnf(nil)
+	sub := bus.SubscribeBatch(0)
+	defer sub.Close()
+	reg := telemetry.NewRegistry()
+	bus.Instrument(reg)
+	for i := 0; i < SubscriptionBuffer+2; i++ {
+		bus.Publish(Event{Type: LinkLost, Addr: addr("aa"), Quality: 0})
+	}
+	if got := reg.Counter(subDropName(sub.id)).Value(); got != 2 {
+		t.Fatalf("retrofitted subscriber drop counter = %d, want 2", got)
+	}
+}
+
+// TestEventSpanDelivered checks the span ID rides through publish intact.
+func TestEventSpanDelivered(t *testing.T) {
+	bus := NewBus(nil)
+	defer bus.Close()
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+	bus.Publish(Event{Type: LinkDegrading, Addr: addr("aa"), Quality: 200, Span: 0xabcdef01})
+	e := <-sub.C()
+	if e.Span != 0xabcdef01 {
+		t.Fatalf("Span = %#x, want 0xabcdef01", e.Span)
 	}
 }

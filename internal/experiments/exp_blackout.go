@@ -6,6 +6,7 @@ import (
 
 	"peerhood"
 	"peerhood/internal/clock"
+	"peerhood/internal/daemon"
 	"peerhood/internal/device"
 	"peerhood/internal/events"
 	"peerhood/internal/faultplane"
@@ -71,6 +72,8 @@ func RunBlackout(cfg Config) (Result, error) {
 		fmt.Sprintf("full-sync fallbacks (%d reactive / %d predictive) combine the epoch-change recovery after relay5's restart, blackout-interrupted sync baselines, and loaded bridges' unsyncable epoch-0 snapshots",
 			trials[0].fullFetches, trials[1].fullFetches),
 		"storage MaxMissedLoops raised to 8 so a 5 s blackout ages tables without wiping them — recovery uses stale routes re-priced on first contact",
+		fmt.Sprintf("sync split and span counts read from the telemetry registries (the series phctl stats serves): %d trace spans recorded in the predictive run, commuter span log byte-identical across same-seed replays (TestBlackoutTraceDeterministic)",
+			trials[1].spanCount),
 	}
 	notes = append(notes, "fault trace (predictive run):")
 	notes = append(notes, trials[1].trace...)
@@ -95,6 +98,11 @@ type blackoutStats struct {
 	busLinkLost  int
 	busDropped   int
 	trace        []string
+	// spanTrace is the commuter's rendered trace-span log — handover and
+	// sync lifecycles with causal parent links — byte-identical across
+	// same-seed runs (pinned by TestBlackoutTraceDeterministic).
+	spanTrace string
+	spanCount uint64
 }
 
 // blackoutTrial runs one deterministic corridor traversal under the S4
@@ -236,12 +244,6 @@ func blackoutTrial(cfg Config, seed int64, predictive bool) (blackoutStats, erro
 			}
 		}
 	}
-	addReports := func(reps []peerhood.RoundReport) {
-		for _, rep := range reps {
-			st.fullFetches += rep.FullFetches
-			st.deltaFetches += rep.DeltaFetches
-		}
-	}
 
 	msg := make([]byte, msgBytes)
 	start := clk.Now()
@@ -257,11 +259,11 @@ func blackoutTrial(cfg Config, seed int64, predictive bool) (blackoutStats, erro
 			commuter.SetModel(peerhood.Walk(peerhood.Pt(22, 0.5), peerhood.Pt(1, 0.5), 1.4))
 		}
 		if i%5 == 0 { // commuter discovers every simulated second
-			addReports(commuter.Daemon().RunDiscoveryRound())
+			commuter.Daemon().RunDiscoveryRound()
 		}
 		if i%10 == 0 { // the backbone refreshes every two seconds
 			for _, n := range backbone {
-				addReports(n.Daemon().RunDiscoveryRound())
+				n.Daemon().RunDiscoveryRound()
 			}
 		}
 		if walking := clk.Since(start) <= 2*walkOut; walking {
@@ -300,6 +302,20 @@ func blackoutTrial(cfg Config, seed int64, predictive bool) (blackoutStats, erro
 	st.busLinkLost = counts[events.LinkLost]
 	st.busDropped = sub.Dropped()
 	st.trace = w.Fault().Trace()
+	// The sync split is read from the fleet's telemetry registries — the
+	// same `peerhood_discovery_fetches_total` series phctl stats exposes —
+	// instead of a private tally. relay5's pre-crash fetches die with its
+	// replaced daemon; its restart is what drives everyone ELSE full.
+	fleet := make([]*daemon.Daemon, 0, len(backbone)+1)
+	for _, n := range backbone {
+		fleet = append(fleet, n.Daemon())
+	}
+	fleet = append(fleet, commuter.Daemon())
+	tm := telemetrySums(fleet...)
+	st.fullFetches = int(tm[`peerhood_discovery_fetches_total{kind="full"}`])
+	st.deltaFetches = int(tm[`peerhood_discovery_fetches_total{kind="delta"}`])
+	st.spanTrace = spanLog(commuter.Daemon())
+	st.spanCount = spanTotal(fleet...)
 	if err := run.Err(); err != nil {
 		return blackoutStats{}, err
 	}

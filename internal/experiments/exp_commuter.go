@@ -33,6 +33,7 @@ func RunCommuter(cfg Config) (Result, error) {
 	}
 	trials := cfg.trials(6, 2)
 
+	var regCompleted, regFailed, regSpans int64
 	run := func(t *table, c cell) (reactive, predictive commuterSummary, err error) {
 		for _, predictiveMode := range []bool{false, true} {
 			var agg commuterAgg
@@ -44,6 +45,9 @@ func RunCommuter(cfg Config) (Result, error) {
 				}
 				agg.add(st)
 			}
+			regCompleted += agg.regCompleted
+			regFailed += agg.regFailed
+			regSpans += agg.regSpans
 			sum := agg.summary(trials)
 			mode := "reactive"
 			if predictiveMode {
@@ -93,6 +97,8 @@ func RunCommuter(cfg Config) (Result, error) {
 			walkPredictive.disruption, walkReactive.disruption, safeRatio(walkReactive.disruption, walkPredictive.disruption)),
 		"expected shape: predictive's edge peaks at walking/jogging speed; at stroll speed reactive already has margin (predictive's extra handovers show up as spurious rate), and at vehicle speed zones outpace any trigger (the thesis' short-setup caveat)",
 		"relay churn narrows the edge: a proactive re-route can land on a zone that blinks off moments later",
+		fmt.Sprintf("telemetry registry across all trials (the series phctl stats serves): peerhood_handover_completed_total=%d, peerhood_handover_failed_total=%d, %d trace spans recorded",
+			regCompleted, regFailed, regSpans),
 	}
 	return Result{Table: t.String(), Notes: notes}, nil
 }
@@ -115,12 +121,19 @@ type commuterStats struct {
 	disruption time.Duration
 	sentBytes  int64
 	gotBytes   int64
+	// Registry-sourced cross-checks: the commuter's telemetry counters
+	// (the series phctl stats serves) and its trace-span total.
+	regCompleted int64
+	regFailed    int64
+	regSpans     int64
 }
 
 type commuterAgg struct {
 	handovers, predictive, spurious float64
 	disruption                      float64
 	sent, got                       float64
+	regCompleted, regFailed         int64
+	regSpans                        int64
 }
 
 func (a *commuterAgg) add(s commuterStats) {
@@ -130,6 +143,9 @@ func (a *commuterAgg) add(s commuterStats) {
 	a.disruption += s.disruption.Seconds()
 	a.sent += float64(s.sentBytes)
 	a.got += float64(s.gotBytes)
+	a.regCompleted += s.regCompleted
+	a.regFailed += s.regFailed
+	a.regSpans += s.regSpans
 }
 
 type commuterSummary struct {
@@ -330,10 +346,14 @@ func commuterTrial(cfg Config, seed int64, speed, churn float64, predictive bool
 	clk.Sleep(2 * time.Second)
 
 	st := th.Stats()
+	tm := telemetrySums(commuter.Daemon())
 	out := commuterStats{
-		handovers:  st.Handovers,
-		predictive: st.PredictiveHandovers,
-		sentBytes:  sentBytes,
+		handovers:    st.Handovers,
+		predictive:   st.PredictiveHandovers,
+		sentBytes:    sentBytes,
+		regCompleted: int64(tm[`peerhood_handover_completed_total`]),
+		regFailed:    int64(tm[`peerhood_handover_failed_total`]),
+		regSpans:     int64(commuter.Daemon().Tracer().Total()),
 	}
 	if extra := st.Handovers - commuterNeededHandovers; extra > 0 {
 		out.spurious = extra

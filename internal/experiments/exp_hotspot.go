@@ -73,6 +73,12 @@ func RunHotspot(cfg Config) (Result, error) {
 		fmt.Sprintf("predictive vs reactive on identical geometry: %d vs %d below-threshold stream ticks — prediction moves the down-switch ahead of the crossing, so the stream rides a good-class bearer essentially always",
 			stats["dual/predictive"].lowTicks, stats["dual/reactive"].lowTicks),
 		"same-seed replays are byte-identical (manual clock, single-goroutine drive); legacy peers without sibling advertisements interoperate via the stripped wire forms (TestHotspotLegacyInterop)",
+		"dual/predictive telemetry registry (the series phctl stats serves): " + telemetryLine(dual.tm,
+			`peerhood_handover_completed_total`,
+			`peerhood_handover_vertical_total{dir="up"}`,
+			`peerhood_handover_vertical_total{dir="down"}`,
+			`peerhood_handover_reconnects_total`,
+			`peerhood_discovery_fetches_total{kind="delta"}`),
 	}
 	return Result{Table: t.String(), Notes: notes}, nil
 }
@@ -115,6 +121,12 @@ type hotspotStats struct {
 	wlanBytes    int64
 	totalBytes   int64
 	busVertical  int
+	// tm is the commuter's merged telemetry snapshot at trial end; the
+	// vertical-handover table columns quote its registry series. spanTrace
+	// is the commuter's rendered span log, byte-identical across same-seed
+	// runs (pinned by TestHotspotTraceDeterministic).
+	tm        map[string]float64
+	spanTrace string
 }
 
 func (s hotspotStats) wlanShare() float64 {
@@ -328,8 +340,14 @@ func hotspotTrial(cfg Config, seed int64, mode hotspotMode) (hotspotStats, error
 
 	hs := th.Stats()
 	st.handovers = hs.Handovers
-	st.verticalUp = hs.VerticalUp
-	st.verticalDown = hs.VerticalDown
 	st.predictive = hs.PredictiveHandovers
+	// The vertical split comes from the commuter's telemetry registry —
+	// the same `peerhood_handover_vertical_total{dir=...}` series phctl
+	// stats serves — rather than the thread's private tally (the two are
+	// incremented at the same switch site, so a drift is a bug).
+	st.tm = telemetrySums(commuter.Daemon())
+	st.verticalUp = int64(st.tm[`peerhood_handover_vertical_total{dir="up"}`])
+	st.verticalDown = int64(st.tm[`peerhood_handover_vertical_total{dir="down"}`])
+	st.spanTrace = spanLog(commuter.Daemon())
 	return st, nil
 }

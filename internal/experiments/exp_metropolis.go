@@ -10,6 +10,7 @@ import (
 	"peerhood/internal/mobility"
 	"peerhood/internal/rng"
 	"peerhood/internal/simnet"
+	"peerhood/internal/telemetry"
 )
 
 // MetropolisDensity is the S6 crowd density: nodes per square metre,
@@ -98,6 +99,14 @@ func RunMetropolis(cfg Config) (Result, error) {
 	notes := make([]string, 0, len(scales)+2)
 	costs := make([]float64, 0, len(scales))
 
+	// The sharded substrate carries no per-daemon registries (nodes are
+	// radio specs, not daemon stacks), so S6's adapter publishes the
+	// workload counters into one scenario registry, labelled per scale,
+	// and the table reads them back from the snapshot — the report quotes
+	// the telemetry plane, not the substrate's private struct.
+	reg := telemetry.NewRegistry()
+	digests := make(map[int]string, len(scales))
+
 	for _, n := range scales {
 		cfg.logf("S6: building %d-node city (side %.0f m)", n, metropolisSide(n))
 		sw, err := MetropolisWorld(cfg.Seed, n)
@@ -115,8 +124,11 @@ func RunMetropolis(cfg Config) (Result, error) {
 		wall := time.Since(wallStart)
 
 		st := sw.Stats()
-		tab.addf("%d|%.0f m|%d|%d|%d|%d|%s",
-			n, metropolisSide(n), steps+1, st.Inquiries, st.InquiryCandidates, st.Rebuckets, sw.Digest()[:8])
+		lbl := fmt.Sprintf(`{nodes="%d"}`, n)
+		reg.Counter(`peerhood_simnet_inquiries_total` + lbl).Add(uint64(st.Inquiries))
+		reg.Counter(`peerhood_simnet_inquiry_candidates_total` + lbl).Add(uint64(st.InquiryCandidates))
+		reg.Counter(`peerhood_simnet_crossings_total` + lbl).Add(uint64(st.Rebuckets))
+		digests[n] = sw.Digest()[:8]
 		perNodeStep := float64(wall.Nanoseconds()) / float64(n*steps)
 		costs = append(costs, perNodeStep)
 		notes = append(notes, fmt.Sprintf("%d nodes: %.0f ns per node-step (%s for %d steps)",
@@ -124,6 +136,20 @@ func RunMetropolis(cfg Config) (Result, error) {
 		if err := sw.Close(); err != nil {
 			return Result{}, err
 		}
+	}
+
+	series := make(map[string]float64)
+	for _, p := range reg.Snapshot() {
+		series[p.Name] = p.Value
+	}
+	for _, n := range scales {
+		lbl := fmt.Sprintf(`{nodes="%d"}`, n)
+		tab.addf("%d|%.0f m|%d|%.0f|%.0f|%.0f|%s",
+			n, metropolisSide(n), steps+1,
+			series[`peerhood_simnet_inquiries_total`+lbl],
+			series[`peerhood_simnet_inquiry_candidates_total`+lbl],
+			series[`peerhood_simnet_crossings_total`+lbl],
+			digests[n])
 	}
 
 	minC, maxC := costs[0], costs[0]

@@ -93,6 +93,10 @@ type RushHourOutcome struct {
 	DialP99    time.Duration
 	StreamP50  time.Duration
 	StreamP99  time.Duration
+	// Telemetry is the fleet's merged registry snapshot at soak end: the
+	// transport- and discovery-side view of the same run, read from the
+	// series a live peerhoodd serves on /metrics and phctl stats.
+	Telemetry map[string]float64
 }
 
 // RunRushHour executes the S8 scenario and renders its table.
@@ -118,6 +122,16 @@ func RunRushHour(cfg Config) (Result, error) {
 	t.addf("stream p99|%s", o.StreamP99)
 	t.addf("reconnect churns|%d", o.Reconnects)
 	t.addf("errors|%d", o.Errors)
+	// The transport's own view of the soak, read from the fleet's
+	// telemetry registries (the same series a live daemon serves on
+	// /metrics): every client dial and PH_RECONNECT crosses the tcpnet
+	// accept path, so accepts bound conns from below, and the byte
+	// counters include phproto framing the payload tally above excludes.
+	t.addf("tcpnet accepts|%.0f", o.Telemetry[`peerhood_tcpnet_accepts_total`])
+	t.addf("tcpnet dials ok|%.0f", o.Telemetry[`peerhood_tcpnet_dials_total{result="ok"}`])
+	t.addf("tcpnet bytes rx|%.0f", o.Telemetry[`peerhood_tcpnet_bytes_total{dir="rx"}`])
+	t.addf("tcpnet bytes tx|%.0f", o.Telemetry[`peerhood_tcpnet_bytes_total{dir="tx"}`])
+	t.addf("discovery fetches|%.0f", telemetryPrefixSum(o.Telemetry, `peerhood_discovery_fetches_total`))
 
 	notes := []string{
 		fmt.Sprintf("%d daemons served %d connections (%0.f conns/sec, %.2f MiB/s) from %d concurrent clients over real TCP sockets",
@@ -170,6 +184,7 @@ func RushHourSoak(cfg Config) (RushHourOutcome, error) {
 		if err := d.AddPlugin(p); err != nil {
 			return RushHourOutcome{}, err
 		}
+		p.Instrument(d.Registry())
 		if err := d.Start(false); err != nil {
 			return RushHourOutcome{}, err
 		}
@@ -284,6 +299,11 @@ func RushHourSoak(cfg Config) (RushHourOutcome, error) {
 		return RushHourOutcome{}, fmt.Errorf("S8: no connection completed")
 	}
 
+	fleet := make([]*daemon.Daemon, len(nodes))
+	for i, n := range nodes {
+		fleet[i] = n.d
+	}
+
 	return RushHourOutcome{
 		Daemons:    nd,
 		Clients:    nc,
@@ -297,6 +317,7 @@ func RushHourSoak(cfg Config) (RushHourOutcome, error) {
 		DialP99:    percentile(total.dial, 99),
 		StreamP50:  percentile(total.stream, 50),
 		StreamP99:  percentile(total.stream, 99),
+		Telemetry:  telemetrySums(fleet...),
 	}, nil
 }
 

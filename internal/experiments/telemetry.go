@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"peerhood/internal/daemon"
+)
+
+// This file is the scenario adapter between the telemetry plane and the
+// experiment reports: instead of each scenario keeping private tallies,
+// the S-series tables and notes quote the same registry series `phctl
+// stats` and the daemon's /metrics endpoint expose. Reading through one
+// adapter also keeps the reports honest — a counter that drifts from the
+// scenario's own accounting surfaces as a visible table discrepancy.
+
+// telemetrySums merges the telemetry registries of several daemons into
+// one name -> value map. Values are summed per series name, so counters
+// aggregate across the fleet while identically-named gauges average
+// poorly — scenarios only quote counters through this path.
+func telemetrySums(ds ...*daemon.Daemon) map[string]float64 {
+	out := make(map[string]float64)
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		for _, p := range d.Registry().Snapshot() {
+			out[p.Name] += p.Value
+		}
+	}
+	return out
+}
+
+// telemetryPrefixSum adds every merged series whose name starts with
+// prefix — the label-collapsing view of a counter family (for example all
+// `peerhood_tcpnet_dials_total{result=...}` outcomes together).
+func telemetryPrefixSum(m map[string]float64, prefix string) float64 {
+	var total float64
+	for name, v := range m {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// telemetryLine renders the named series as one deterministic note line
+// in the order given (map iteration order must not leak into replay-pinned
+// notes). Missing series render as 0 so a line's shape is stable.
+func telemetryLine(m map[string]float64, names ...string) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%.0f", n, m[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// spanLog concatenates the daemons' retained trace spans in fleet order —
+// the byte-identical-under-same-seed artifact the S4/S5 determinism tests
+// pin.
+func spanLog(ds ...*daemon.Daemon) string {
+	var b strings.Builder
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		b.WriteString(d.Tracer().Log())
+	}
+	return b.String()
+}
+
+// spanTotal sums how many spans the daemons ever recorded (ring evictions
+// included).
+func spanTotal(ds ...*daemon.Daemon) uint64 {
+	var total uint64
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		total += d.Tracer().Total()
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"peerhood"
+)
+
+// TestBlackoutTraceDeterministic pins the telemetry half of S4's replay
+// guarantee: the commuter's trace-span log — deterministic span IDs,
+// manual-clock timestamps, causal parent links — is byte-identical across
+// same-seed runs, and actually contains the handover and sync lifecycles
+// the scenario exercises.
+func TestBlackoutTraceDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}.withDefaults()
+	st1, err := blackoutTrial(cfg, cfg.Seed, true)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	st2, err := blackoutTrial(cfg, cfg.Seed, true)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if st1.spanTrace != st2.spanTrace {
+		t.Fatalf("same-seed span logs differ:\n--- first\n%s--- second\n%s", st1.spanTrace, st2.spanTrace)
+	}
+	if st1.spanTrace == "" {
+		t.Fatal("blackout run recorded no trace spans")
+	}
+	for _, want := range []string{"handover.routing", "handover.switch", "sync.fetch"} {
+		if !strings.Contains(st1.spanTrace, want) {
+			t.Errorf("span log missing %q spans:\n%s", want, st1.spanTrace)
+		}
+	}
+	if st1.spanCount == 0 {
+		t.Fatal("fleet span total is zero")
+	}
+}
+
+// TestHotspotTraceDeterministic is the S5 counterpart: the dual-radio
+// predictive walk's span log replays byte-identically and records the
+// vertical switches as handover.switch spans under their degradation
+// episodes.
+func TestHotspotTraceDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}.withDefaults()
+	mode := hotspotMode{
+		name:       "dual/predictive",
+		techs:      []peerhood.Tech{peerhood.WLAN, peerhood.GPRS},
+		predictive: true,
+	}
+	st1, err := hotspotTrial(cfg, cfg.Seed, mode)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	st2, err := hotspotTrial(cfg, cfg.Seed, mode)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if st1.spanTrace != st2.spanTrace {
+		t.Fatalf("same-seed span logs differ:\n--- first\n%s--- second\n%s", st1.spanTrace, st2.spanTrace)
+	}
+	if !strings.Contains(st1.spanTrace, "handover.switch") {
+		t.Fatalf("span log missing handover.switch spans:\n%s", st1.spanTrace)
+	}
+}

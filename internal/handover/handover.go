@@ -45,6 +45,7 @@ import (
 	"peerhood/internal/library"
 	"peerhood/internal/linkmon"
 	"peerhood/internal/storage"
+	"peerhood/internal/telemetry"
 )
 
 // State is the handover thread's externally visible state (fig 5.5).
@@ -265,6 +266,19 @@ type Thread struct {
 	bus        *events.Bus
 	multiRadio bool
 
+	// Telemetry handles, resolved once from the daemon's registry and
+	// tracer in New; all nil-safe, so threads on uninstrumented daemons
+	// pay a branch per observation and nothing else.
+	tracer       *telemetry.Tracer
+	hoCompleted  *telemetry.Counter
+	hoPredictive *telemetry.Counter
+	hoFailed     *telemetry.Counter
+	hoVertUp     *telemetry.Counter
+	hoVertDown   *telemetry.Counter
+	hoReconnects *telemetry.Counter
+	hoUpgrades   *telemetry.Counter
+	hoSeconds    *telemetry.Histogram
+
 	mu           sync.Mutex
 	state        State
 	lowCount     int
@@ -329,14 +343,24 @@ func New(cfg Config) (*Thread, error) {
 	if monitor == nil {
 		monitor = cfg.Library.Daemon().LinkMonitor()
 	}
+	reg := cfg.Library.Daemon().Registry()
 	return &Thread{
-		lib:     cfg.Library,
-		vc:      cfg.Conn,
-		clk:     cfg.Library.Clock(),
-		cfg:     cfg,
-		monitor: monitor,
-		bus:     cfg.Library.Daemon().Bus(),
-		state:   StateMonitoring,
+		lib:          cfg.Library,
+		vc:           cfg.Conn,
+		clk:          cfg.Library.Clock(),
+		cfg:          cfg,
+		monitor:      monitor,
+		bus:          cfg.Library.Daemon().Bus(),
+		tracer:       cfg.Library.Daemon().Tracer(),
+		hoCompleted:  reg.Counter(`peerhood_handover_completed_total`),
+		hoPredictive: reg.Counter(`peerhood_handover_predictive_total`),
+		hoFailed:     reg.Counter(`peerhood_handover_failed_total`),
+		hoVertUp:     reg.Counter(`peerhood_handover_vertical_total{dir="up"}`),
+		hoVertDown:   reg.Counter(`peerhood_handover_vertical_total{dir="down"}`),
+		hoReconnects: reg.Counter(`peerhood_handover_reconnects_total`),
+		hoUpgrades:   reg.Counter(`peerhood_handover_upgrades_total`),
+		hoSeconds:    reg.Histogram(`peerhood_handover_seconds`, telemetry.DurationBuckets),
+		state:        StateMonitoring,
 		// Plugins are fixed before the daemon starts, so this is stable
 		// for the thread's life: a single-radio node can never produce a
 		// candidate on another bearer, and the healthy-tick upgrade scan
@@ -373,12 +397,14 @@ func (t *Thread) emit(e Event, detail string) {
 }
 
 // publish pushes a handover lifecycle event onto the daemon's
-// neighbourhood event bus.
-func (t *Thread) publish(ty events.Type, quality int, detail string) {
+// neighbourhood event bus, stamped with the trace span it belongs to so
+// subscribers can causally link the lifecycle back through the link
+// monitor's degradation episode.
+func (t *Thread) publish(ty events.Type, quality int, detail string, span uint64) {
 	if t.bus == nil {
 		return
 	}
-	t.bus.Publish(events.Event{Type: ty, Addr: t.vc.Target(), Quality: quality, Detail: detail})
+	t.bus.Publish(events.Event{Type: ty, Addr: t.vc.Target(), Quality: quality, Detail: detail, Span: span})
 }
 
 // Step runs one monitoring tick. Deterministic tests and experiments call
@@ -436,7 +462,7 @@ func (t *Thread) Step() {
 	t.state = StateHandover
 	t.mu.Unlock()
 
-	if t.routingHandover() {
+	if t.routingHandover(st.Span) {
 		t.mu.Lock()
 		t.failures = 0
 		t.state = StateMonitoring
@@ -457,7 +483,7 @@ func (t *Thread) Step() {
 	t.failures = 0
 	t.state = StateReconnecting
 	t.mu.Unlock()
-	t.serviceReconnect()
+	t.serviceReconnect(st.Span)
 	t.mu.Lock()
 	if t.state == StateReconnecting {
 		t.state = StateMonitoring
@@ -521,10 +547,11 @@ func (t *Thread) aboveThreshold(q int, st linkmon.State) {
 	t.mu.Unlock()
 
 	t.emit(EventPredictiveStart, fmt.Sprintf("quality=%d ttt=%s slope=%+.2f/s", q, ttt, st.Slope))
-	ok := t.routingHandover()
+	ok := t.routingHandover(st.Span)
 	t.mu.Lock()
 	if ok {
 		t.stats.PredictiveHandovers++
+		t.hoPredictive.Inc()
 		t.failures = 0
 	}
 	// A failed predictive attempt does not count towards the service-
@@ -605,10 +632,14 @@ func (t *Thread) rank(cands []storage.Candidate) []storage.Candidate {
 // routingHandover implements fig 5.5's state 2, technology-aware: try the
 // policy-ranked candidates — routed alternates and vertical ones — best
 // first, re-attaching the logical connection with PH_RECONNECT. It reports
-// success.
-func (t *Thread) routingHandover() bool {
+// success. parent is the trace span this handover descends from (the link
+// monitor's degradation episode, or zero when the trigger had none), so
+// same-seed traces link verdict → handover → switch causally.
+func (t *Thread) routingHandover(parent uint64) bool {
 	target := t.vc.Target()
 	currentBridge := t.vc.Bridge()
+	began := t.clk.Now()
+	sp := t.tracer.Begin("handover.routing", parent, target.String())
 
 	t.mu.Lock()
 	cands := t.warmCands
@@ -618,7 +649,7 @@ func (t *Thread) routingHandover() bool {
 		cands = t.candidates()
 	}
 	t.emit(EventHandoverStart, fmt.Sprintf("candidates=%d", len(cands)))
-	t.publish(events.HandoverStarted, t.vc.Quality(), fmt.Sprintf("candidates=%d", len(cands)))
+	t.publish(events.HandoverStarted, t.vc.Quality(), fmt.Sprintf("candidates=%d", len(cands)), sp.ID)
 
 	// The policy encodes fig 5.5 state 0's "best quality way" (every
 	// built-in ranks above-threshold candidates first — switching to a
@@ -643,23 +674,30 @@ func (t *Thread) routingHandover() bool {
 			continue
 		}
 		attempts++
-		if t.trySwitch(c) {
+		if t.trySwitch(c, sp.ID) {
+			t.hoSeconds.Observe(t.clk.Now().Sub(began).Seconds())
+			t.tracer.End(sp, "done")
 			return true
 		}
 	}
 	t.mu.Lock()
 	t.stats.FailedHandovers++
 	t.mu.Unlock()
+	t.hoFailed.Inc()
+	t.hoSeconds.Observe(t.clk.Now().Sub(began).Seconds())
+	t.tracer.End(sp, "failed")
 	t.emit(EventHandoverFailed, fmt.Sprintf("attempts=%d", attempts))
-	t.publish(events.HandoverFailed, t.vc.Quality(), fmt.Sprintf("attempts=%d", attempts))
+	t.publish(events.HandoverFailed, t.vc.Quality(), fmt.Sprintf("attempts=%d", attempts), sp.ID)
 	return false
 }
 
 // trySwitch builds the candidate's transport with PH_RECONNECT and, on
 // success, substitutes it under the application, accounting for vertical
 // switches (bearer-technology change) with their per-tech hold and events.
-func (t *Thread) trySwitch(c storage.Candidate) bool {
+// parent is the routing/upgrade span this attempt belongs to.
+func (t *Thread) trySwitch(c storage.Candidate, parent uint64) bool {
 	svc := t.vc.Service()
+	sp := t.tracer.Begin("handover.switch", parent, c.Route.String())
 	raw, err := t.lib.ConnectVia(library.Via{
 		Route:       c.Route,
 		Target:      c.Target,
@@ -669,6 +707,7 @@ func (t *Thread) trySwitch(c storage.Candidate) bool {
 		Reconnect:   true,
 	})
 	if err != nil {
+		t.tracer.End(sp, "dial-failed")
 		return false
 	}
 	oldRemote := t.vc.RemoteAddr()
@@ -686,23 +725,27 @@ func (t *Thread) trySwitch(c storage.Candidate) bool {
 		t.stats.VerticalHandovers++
 		if device.RankOf(newTech).Bandwidth >= device.RankOf(prevTech).Bandwidth {
 			t.stats.VerticalUp++
+			t.hoVertUp.Inc()
 		} else {
 			t.stats.VerticalDown++
+			t.hoVertDown.Inc()
 		}
 		t.lastVertical, t.haveVertical = t.clk.Now(), true
 	}
 	t.mu.Unlock()
+	t.hoCompleted.Inc()
+	t.tracer.End(sp, "done")
 	if t.monitor != nil && oldRemote != t.vc.RemoteAddr() {
 		// The abandoned link's trend must not ghost into the next
 		// classification of the same peer.
 		t.monitor.Forget(oldRemote)
 	}
 	t.emit(EventHandoverDone, c.Route.String())
-	t.publish(events.HandoverCompleted, t.vc.Quality(), c.Route.String())
+	t.publish(events.HandoverCompleted, t.vc.Quality(), c.Route.String(), sp.ID)
 	if vertical {
 		detail := fmt.Sprintf("%v->%v %s", prevTech, newTech, c.Route)
 		t.emit(EventVerticalHandover, detail)
-		t.publish(events.VerticalHandover, t.vc.Quality(), detail)
+		t.publish(events.VerticalHandover, t.vc.Quality(), detail, sp.ID)
 	}
 	return true
 }
@@ -758,9 +801,12 @@ func (t *Thread) maybeUpgrade(q int) {
 	t.mu.Lock()
 	t.state = StateHandover
 	t.mu.Unlock()
+	// Discretionary switches have no degradation episode to descend from:
+	// the policy itself is the root cause, so the upgrade span is a root.
+	sp := t.tracer.Begin("handover.upgrade", 0, t.vc.Target().String())
 	t.emit(EventUpgradeStart, fmt.Sprintf("%v->%v score %.0f>%.0f", currentTech, best.FirstHop().Tech, bestScore, curScore))
-	t.publish(events.HandoverStarted, q, fmt.Sprintf("policy-upgrade %v->%v", currentTech, best.FirstHop().Tech))
-	ok := t.trySwitch(*best)
+	t.publish(events.HandoverStarted, q, fmt.Sprintf("policy-upgrade %v->%v", currentTech, best.FirstHop().Tech), sp.ID)
+	ok := t.trySwitch(*best, sp.ID)
 	t.mu.Lock()
 	if !ok {
 		t.lastUpTry, t.haveUpTry = now, true
@@ -768,9 +814,13 @@ func (t *Thread) maybeUpgrade(q int) {
 	t.state = StateMonitoring
 	t.mu.Unlock()
 	if !ok {
+		t.tracer.End(sp, "failed")
 		t.emit(EventHandoverFailed, "policy-upgrade attempt failed")
-		t.publish(events.HandoverFailed, q, "policy-upgrade attempt failed")
+		t.publish(events.HandoverFailed, q, "policy-upgrade attempt failed", sp.ID)
+		return
 	}
+	t.hoUpgrades.Inc()
+	t.tracer.End(sp, "done")
 }
 
 // serviceReconnect implements §5.2.2: find another provider of the same
@@ -780,10 +830,11 @@ func (t *Thread) maybeUpgrade(q int) {
 // reaching them is the routing handover's job (PH_RECONNECT keeps the
 // exchange), and reconnecting to one with a fresh PH_NEW under the same
 // connection ID would displace the far end's live connection state.
-func (t *Thread) serviceReconnect() {
+func (t *Thread) serviceReconnect(parent uint64) {
 	svc := t.vc.Service()
 	target := t.vc.Target()
 	store := t.lib.Daemon().Storage()
+	sp := t.tracer.Begin("handover.reconnect", parent, target.String())
 
 	// Siblings resolves the identity even when target's own row has aged
 	// out (a surviving sibling that advertises it still links them) — a
@@ -802,6 +853,7 @@ func (t *Thread) serviceReconnect() {
 		break
 	}
 	if chosen == nil {
+		t.tracer.End(sp, "no-provider")
 		t.emit(EventGaveUp, "no alternative provider")
 		return
 	}
@@ -809,6 +861,7 @@ func (t *Thread) serviceReconnect() {
 		t.mu.Lock()
 		t.stats.RefusedReconnect++
 		t.mu.Unlock()
+		t.tracer.End(sp, "refused")
 		t.emit(EventGaveUp, "reconnect refused by application")
 		return
 	}
@@ -830,9 +883,12 @@ func (t *Thread) serviceReconnect() {
 		t.mu.Lock()
 		t.stats.Reconnects++
 		t.mu.Unlock()
+		t.hoReconnects.Inc()
+		t.tracer.End(sp, "done")
 		t.emit(EventServiceReconnect, fmt.Sprintf("provider=%s", chosen.Entry.Info.Name))
 		return
 	}
+	t.tracer.End(sp, "failed")
 	t.emit(EventGaveUp, "all routes to alternative provider failed")
 }
 

@@ -9,6 +9,7 @@ import (
 	"peerhood/internal/geo"
 	"peerhood/internal/phproto"
 	"peerhood/internal/phtest"
+	"peerhood/internal/plugin"
 )
 
 // TestEventSubscribeWirePath exercises the engine-port event stream end
@@ -56,6 +57,56 @@ func TestEventSubscribeWirePath(t *testing.T) {
 	}
 	if got.Seq == 0 || got.UnixNanos == 0 {
 		t.Fatalf("missing stamp: %+v", got)
+	}
+}
+
+// TestEventStreamSpanStamping pins the negotiated span field: a
+// subscriber that set EventSubFlagSpans receives the originating trace
+// span on each EVENT frame, while a flagless (legacy-form) subscriber
+// on the same bus gets the span-free encoding.
+func TestEventStreamSpanStamping(t *testing.T) {
+	w := phtest.InstantWorld(t, 46)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+
+	subscribe := func(flags uint8) plugin.Conn {
+		conn, err := a.Plugin.Dial(b.Addr(), device.PortEngine)
+		if err != nil {
+			t.Fatalf("dial engine: %v", err)
+		}
+		if err := phproto.Write(conn, &phproto.EventSubscribe{Flags: flags}); err != nil {
+			t.Fatal(err)
+		}
+		if ack, err := phproto.ReadExpect[*phproto.Ack](conn); err != nil || !ack.OK {
+			t.Fatalf("ack = %+v, %v", ack, err)
+		}
+		return conn
+	}
+	flagged := subscribe(phproto.EventSubFlagSpans)
+	defer flagged.Close()
+	flagless := subscribe(0)
+	defer flagless.Close()
+
+	spanID := b.Daemon.Tracer().Event("test.origin", 0, "", "")
+	b.Daemon.Bus().Publish(events.Event{
+		Type: events.LinkDegrading,
+		Addr: device.Addr{Tech: device.TechBluetooth, MAC: "watched"},
+		Span: spanID,
+	})
+
+	got, err := phproto.ReadExpect[*phproto.EventNotice](flagged)
+	if err != nil {
+		t.Fatalf("flagged stream: %v", err)
+	}
+	if got.Span != spanID {
+		t.Fatalf("flagged notice span = %016x, want %016x", got.Span, spanID)
+	}
+	plain, err := phproto.ReadExpect[*phproto.EventNotice](flagless)
+	if err != nil {
+		t.Fatalf("flagless stream: %v", err)
+	}
+	if plain.Span != 0 {
+		t.Fatalf("flagless notice carries span %016x; legacy decoders reject the extra bytes", plain.Span)
 	}
 }
 

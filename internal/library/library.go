@@ -22,6 +22,7 @@ import (
 	"peerhood/internal/plugin"
 	"peerhood/internal/rng"
 	"peerhood/internal/storage"
+	"peerhood/internal/telemetry"
 )
 
 // Library errors.
@@ -106,6 +107,7 @@ type Library struct {
 	bridgeHandler BridgeHandler
 	vcs           map[uint64]*VirtualConnection
 	eventStreams  map[plugin.Conn]*events.Subscription
+	traceStreams  map[plugin.Conn]*telemetry.TraceSub
 	started       bool
 	stopped       bool
 	wg            sync.WaitGroup
@@ -149,6 +151,7 @@ func New(cfg Config) (*Library, error) {
 		handlers:     make(map[uint16]handlerEntry),
 		vcs:          make(map[uint64]*VirtualConnection),
 		eventStreams: make(map[plugin.Conn]*events.Subscription),
+		traceStreams: make(map[plugin.Conn]*telemetry.TraceSub),
 	}, nil
 }
 
@@ -202,6 +205,10 @@ func (l *Library) Stop() {
 	for c, s := range l.eventStreams {
 		streams[c] = s
 	}
+	traces := make(map[plugin.Conn]*telemetry.TraceSub, len(l.traceStreams))
+	for c, s := range l.traceStreams {
+		traces[c] = s
+	}
 	l.mu.Unlock()
 
 	for _, e := range engines {
@@ -214,6 +221,10 @@ func (l *Library) Stop() {
 		// Closing the subscription ends the streaming goroutine's range
 		// loop; closing the transport unblocks any in-flight write.
 		s.Close()
+		_ = c.Close()
+	}
+	for c, s := range traces {
+		l.d.Tracer().Unsubscribe(s)
 		_ = c.Close()
 	}
 	l.wg.Wait()
@@ -497,6 +508,8 @@ func (l *Library) handleIncoming(p plugin.Plugin, conn plugin.Conn) {
 		l.handleReconnect(conn, m)
 	case *phproto.EventSubscribe:
 		l.handleEventSubscribe(conn, m)
+	case *phproto.TraceSubscribe:
+		l.handleTraceSubscribe(conn, m)
 	default:
 		_ = conn.Close()
 	}
@@ -566,6 +579,11 @@ func (l *Library) handleEventSubscribe(conn plugin.Conn, m *phproto.EventSubscri
 				TimeToThreshold: e.TimeToThreshold,
 				Detail:          e.Detail,
 			}
+			if m.Flags&phproto.EventSubFlagSpans != 0 {
+				// Only negotiated subscribers get the trailing span field;
+				// a legacy decoder would reject the extra bytes.
+				notice.Span = e.Span
+			}
 			frame, err := enc.Encode(&notice)
 			if err != nil {
 				return
@@ -575,6 +593,65 @@ func (l *Library) handleEventSubscribe(conn plugin.Conn, m *phproto.EventSubscri
 		if _, err := conn.Write(wire); err != nil {
 			return
 		}
+	}
+}
+
+// handleTraceSubscribe serves one TRACE_SUBSCRIBE stream: acknowledge,
+// replay up to m.Tail already-finished spans from the tracer's ring, then
+// forward live spans as TRACE_SPAN frames until the subscriber hangs up or
+// the library stops. Like the event stream, delivery is lossy: a slow
+// subscriber drops spans rather than stalling the daemon's hot paths.
+func (l *Library) handleTraceSubscribe(conn plugin.Conn, m *phproto.TraceSubscribe) {
+	tracer := l.d.Tracer()
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: "library stopped"})
+		_ = conn.Close()
+		return
+	}
+	sub := tracer.Subscribe(0)
+	l.traceStreams[conn] = sub
+	l.mu.Unlock()
+
+	defer func() {
+		tracer.Unsubscribe(sub)
+		_ = conn.Close()
+		l.mu.Lock()
+		delete(l.traceStreams, conn)
+		l.mu.Unlock()
+	}()
+
+	if err := phproto.Write(conn, &phproto.Ack{OK: true}); err != nil {
+		return
+	}
+	if m.Tail > 0 {
+		tail := tracer.Spans()
+		if len(tail) > int(m.Tail) {
+			tail = tail[len(tail)-int(m.Tail):]
+		}
+		for _, sp := range tail {
+			if err := phproto.Write(conn, traceSpanFrame(sp)); err != nil {
+				return
+			}
+		}
+	}
+	for sp := range sub.C() {
+		if err := phproto.Write(conn, traceSpanFrame(sp)); err != nil {
+			return
+		}
+	}
+}
+
+func traceSpanFrame(sp telemetry.Span) *phproto.TraceSpan {
+	return &phproto.TraceSpan{
+		ID:             sp.ID,
+		Parent:         sp.Parent,
+		Name:           sp.Name,
+		Addr:           sp.Addr,
+		StartUnixNanos: sp.Start.UnixNano(),
+		EndUnixNanos:   sp.End.UnixNano(),
+		Detail:         sp.Detail,
 	}
 }
 

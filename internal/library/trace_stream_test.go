@@ -1,0 +1,101 @@
+package library_test
+
+import (
+	"testing"
+	"time"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/phproto"
+	"peerhood/internal/phtest"
+)
+
+// TestTraceSubscribeWirePath exercises the engine-port trace stream the
+// way phctl trace consumes it: dial, TRACE_SUBSCRIBE with a tail, read
+// the PH_OK, then decode replayed and live TRACE_SPAN frames and check
+// they carry the tracer's deterministic IDs and causal parents.
+func TestTraceSubscribeWirePath(t *testing.T) {
+	w := phtest.InstantWorld(t, 44)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+
+	// Finish two spans before subscribing, so the tail replay has history.
+	tr := b.Daemon.Tracer()
+	root := tr.Begin("test.root", 0, "bt:watched")
+	tr.End(root, "seeded")
+	tr.Event("test.event", root.ID, "", "seeded too")
+
+	conn, err := a.Plugin.Dial(b.Addr(), device.PortEngine)
+	if err != nil {
+		t.Fatalf("dial engine: %v", err)
+	}
+	defer conn.Close()
+	if err := phproto.Write(conn, &phproto.TraceSubscribe{Tail: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := phproto.ReadExpect[*phproto.Ack](conn)
+	if err != nil || !ack.OK {
+		t.Fatalf("subscribe ack = %+v, %v", ack, err)
+	}
+
+	first, err := phproto.ReadExpect[*phproto.TraceSpan](conn)
+	if err != nil {
+		t.Fatalf("reading replayed span: %v", err)
+	}
+	if first.ID != root.ID || first.Name != "test.root" || first.Addr != "bt:watched" || first.Detail != "seeded" {
+		t.Fatalf("replayed span = %+v, want the seeded root %016x", first, root.ID)
+	}
+	second, err := phproto.ReadExpect[*phproto.TraceSpan](conn)
+	if err != nil {
+		t.Fatalf("reading second replayed span: %v", err)
+	}
+	if second.Name != "test.event" || second.Parent != root.ID {
+		t.Fatalf("replayed event span = %+v, want parent %016x", second, root.ID)
+	}
+
+	// A span finished after subscribing streams live.
+	liveID := tr.Event("test.live", 0, "", "after subscribe")
+	live, err := phproto.ReadExpect[*phproto.TraceSpan](conn)
+	if err != nil {
+		t.Fatalf("reading live span: %v", err)
+	}
+	if live.ID != liveID || live.Name != "test.live" || live.Parent != 0 {
+		t.Fatalf("live span = %+v, want id %016x", live, liveID)
+	}
+}
+
+// TestTraceStreamEndsOnLibraryStop mirrors the event-stream guarantee:
+// Stop closes open trace subscriptions instead of wedging on them.
+func TestTraceStreamEndsOnLibraryStop(t *testing.T) {
+	w := phtest.InstantWorld(t, 45)
+	a := phtest.AddNode(t, w, "A", geo.Pt(0, 0), device.Static)
+	b := phtest.AddNode(t, w, "B", geo.Pt(2, 0), device.Static)
+
+	conn, err := a.Plugin.Dial(b.Addr(), device.PortEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := phproto.Write(conn, &phproto.TraceSubscribe{}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := phproto.ReadExpect[*phproto.Ack](conn); err != nil || !ack.OK {
+		t.Fatalf("ack = %+v, %v", ack, err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := phproto.Read(conn)
+		done <- err
+	}()
+	b.Lib.Stop() // must not hang on the open stream
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stream delivered a span after Stop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber still blocked after library Stop")
+	}
+}

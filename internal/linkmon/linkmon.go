@@ -24,6 +24,7 @@ import (
 	"peerhood/internal/device"
 	"peerhood/internal/events"
 	"peerhood/internal/metrics"
+	"peerhood/internal/telemetry"
 )
 
 // Class is a link's health classification.
@@ -76,6 +77,12 @@ type State struct {
 	LastQuality int
 	// LastSample is when the most recent sample arrived.
 	LastSample time.Time
+	// Span is the trace span ID of the current degradation episode: a root
+	// span opened on the Stable→Degrading transition and closed on
+	// recovery or loss. Zero while stable (or when tracing is off).
+	// Handover threads parent their spans on it, which is what links a
+	// LinkDegrading verdict to the handover it triggered.
+	Span uint64
 }
 
 // String implements fmt.Stringer.
@@ -132,6 +139,10 @@ type Config struct {
 	// MinFit is the minimum trend R² for a Degrading verdict (default
 	// 0.5). Negative disables the gate.
 	MinFit float64
+	// Registry receives sample/transition counters; nil disables.
+	Registry *telemetry.Registry
+	// Tracer opens a root span per degradation episode; nil disables.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +190,13 @@ type Stats struct {
 type Monitor struct {
 	cfg Config
 
+	// Telemetry handles resolved at construction (nil-safe when no
+	// registry is configured); the observe path stays allocation-free.
+	samples       *telemetry.Counter
+	transDegraded *telemetry.Counter
+	transStable   *telemetry.Counter
+	transLost     *telemetry.Counter
+
 	mu    sync.Mutex
 	links map[device.Addr]*link
 	stats Stats
@@ -190,11 +208,22 @@ type link struct {
 	ttt         time.Duration
 	lastQuality int
 	lastSample  time.Time
+	// span is the open degradation-episode root span (zero ID while
+	// stable or untraced).
+	span telemetry.Span
 }
 
 // New returns a Monitor.
 func New(cfg Config) *Monitor {
-	return &Monitor{cfg: cfg.withDefaults(), links: make(map[device.Addr]*link)}
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:           cfg,
+		samples:       cfg.Registry.Counter("peerhood_link_samples_total"),
+		transDegraded: cfg.Registry.Counter(`peerhood_link_transitions_total{to="degrading"}`),
+		transStable:   cfg.Registry.Counter(`peerhood_link_transitions_total{to="stable"}`),
+		transLost:     cfg.Registry.Counter(`peerhood_link_transitions_total{to="lost"}`),
+		links:         make(map[device.Addr]*link),
+	}
 }
 
 // Threshold returns the configured quality floor.
@@ -215,6 +244,7 @@ func (m *Monitor) Observe(addr device.Addr, quality int) State {
 		m.links[addr] = lk
 	}
 	m.stats.Samples++
+	m.samples.Inc()
 	lk.trend.Observe(now, float64(quality))
 	lk.lastQuality = quality
 	lk.lastSample = now
@@ -223,6 +253,10 @@ func (m *Monitor) Observe(addr device.Addr, quality int) State {
 	lk.class, lk.ttt = m.classifyLocked(lk, quality)
 	st := stateLocked(addr, lk)
 	ev, publish := m.transitionLocked(prev, lk, st)
+	// The transition may have opened (Degrading) or closed (Lost /
+	// Recovered) the episode span; the returned state carries the final
+	// word.
+	st.Span = lk.span.ID
 	// Publish while still holding m.mu: concurrent Observe calls for the
 	// same link (discovery loop + handover tick) must not invert the
 	// order of transition events on the bus, or subscribers would be left
@@ -268,19 +302,32 @@ func (m *Monitor) transitionLocked(prev Class, lk *link, st State) (events.Event
 	switch lk.class {
 	case ClassDegrading:
 		m.stats.Degradation++
+		m.transDegraded.Inc()
+		// Open the degradation-episode root span; everything the verdict
+		// triggers (handover, reconnect, sync) parents on its ID.
+		lk.span = m.cfg.Tracer.Begin("link.degrading", 0, st.Addr.String())
 		return events.Event{
 			Type:            events.LinkDegrading,
 			Addr:            st.Addr,
 			Quality:         int(st.Level),
 			TimeToThreshold: st.TimeToThreshold,
 			Detail:          fmt.Sprintf("slope=%+.2f/s", st.Slope),
+			Span:            lk.span.ID,
 		}, true
 	case ClassLost:
 		m.stats.Losses++
-		return events.Event{Type: events.LinkLost, Addr: st.Addr, Quality: 0}, true
+		m.transLost.Inc()
+		ev := events.Event{Type: events.LinkLost, Addr: st.Addr, Quality: 0, Span: lk.span.ID}
+		m.cfg.Tracer.End(lk.span, "lost")
+		lk.span = telemetry.Span{}
+		return ev, true
 	default: // recovered to stable
 		m.stats.Recoveries++
-		return events.Event{Type: events.LinkRecovered, Addr: st.Addr, Quality: int(st.Level)}, true
+		m.transStable.Inc()
+		ev := events.Event{Type: events.LinkRecovered, Addr: st.Addr, Quality: int(st.Level), Span: lk.span.ID}
+		m.cfg.Tracer.End(lk.span, "recovered")
+		lk.span = telemetry.Span{}
+		return ev, true
 	}
 }
 
@@ -294,6 +341,7 @@ func stateLocked(addr device.Addr, lk *link) State {
 		Samples:         lk.trend.N(),
 		LastQuality:     lk.lastQuality,
 		LastSample:      lk.lastSample,
+		Span:            lk.span.ID,
 	}
 }
 
@@ -306,10 +354,13 @@ func (m *Monitor) MarkLost(addr device.Addr) {
 	if ok {
 		if lk.class != ClassLost {
 			m.stats.Losses++
+			m.transLost.Inc()
+			ev := events.Event{Type: events.LinkLost, Addr: addr, Quality: 0, Span: lk.span.ID}
+			m.cfg.Tracer.End(lk.span, "lost")
 			if m.cfg.Bus != nil {
 				// Under the lock for the same event-ordering reason as
 				// Observe.
-				m.cfg.Bus.Publish(events.Event{Type: events.LinkLost, Addr: addr, Quality: 0})
+				m.cfg.Bus.Publish(ev)
 			}
 		}
 		delete(m.links, addr)

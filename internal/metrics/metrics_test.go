@@ -45,6 +45,38 @@ func TestPercentileEdges(t *testing.T) {
 	}
 }
 
+func TestPercentileSingleSample(t *testing.T) {
+	// Every percentile of a one-element sample is that element — the
+	// interpolation rank degenerates to index 0 at any p.
+	single := []float64{7.5}
+	for _, p := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := Percentile(single, p); got != 7.5 {
+			t.Fatalf("Percentile([7.5], %v) = %v, want 7.5", p, got)
+		}
+	}
+	s := Summarize(single)
+	if s.N != 1 || s.Min != 7.5 || s.Max != 7.5 || s.P50 != 7.5 || s.P95 != 7.5 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
+func TestPercentileOutOfRange(t *testing.T) {
+	// p outside [0, 1] clamps to the extremes rather than indexing out of
+	// bounds; the empty sample stays 0 at any p.
+	sorted := []float64{1, 2, 3}
+	if got := Percentile(sorted, -0.5); got != 1 {
+		t.Fatalf("p<0 = %v, want min", got)
+	}
+	if got := Percentile(sorted, 2); got != 3 {
+		t.Fatalf("p>1 = %v, want max", got)
+	}
+	for _, p := range []float64{-1, 0, 1, 2} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Fatalf("empty sample at p=%v = %v, want 0", p, got)
+		}
+	}
+}
+
 func TestPercentileMonotonic(t *testing.T) {
 	if err := quick.Check(func(raw []float64) bool {
 		vals := make([]float64, 0, len(raw))

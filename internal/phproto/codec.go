@@ -160,6 +160,15 @@ func (d *decoder) peekExt() bool {
 	return binary.BigEndian.Uint16(d.buf[d.off:d.off+2]) == extMarker
 }
 
+// more reports whether undecoded payload bytes remain. Messages use it to
+// decode trailing-optional fields: a newer sender appends them only when
+// non-zero, an older decoder that never looks fails Read's trailing-bytes
+// check and closes the connection — which is exactly the legacy-fallback
+// signal the negotiated extensions rely on.
+func (d *decoder) more() bool {
+	return d.err == nil && d.off < len(d.buf)
+}
+
 // extHeader consumes an extended-encoding introducer (marker + version).
 func (d *decoder) extHeader() {
 	d.u16() // marker, already peeked

@@ -13,20 +13,37 @@ import (
 // connection. The frames mirror internal/events.Event; translation lives
 // with the bus owner so this package stays free of bus imports.
 
+// EventSubFlagSpans asks the daemon to stamp each EVENT frame with the
+// trace span it originated from (EventNotice.Span). The flag rides in the
+// subscribe's trailing-optional Flags byte: a legacy daemon fails the
+// unexpected byte and closes, and the subscriber re-subscribes flagless.
+const EventSubFlagSpans uint8 = 1 << 0
+
 // EventSubscribe opens a neighbourhood event stream.
 type EventSubscribe struct {
 	// Mask is the events.Mask bitmask of types the subscriber wants; zero
 	// subscribes to everything.
 	Mask uint32
+	// Flags is trailing-optional (encoded only when non-zero), so a
+	// flagless subscribe stays byte-identical to the legacy form.
+	Flags uint8
 }
 
 // Cmd implements Message.
 func (*EventSubscribe) Cmd() Command { return CmdEventSubscribe }
 
-func (m *EventSubscribe) encodeTo(e *encoder) { e.u32(m.Mask) }
+func (m *EventSubscribe) encodeTo(e *encoder) {
+	e.u32(m.Mask)
+	if m.Flags != 0 {
+		e.u8(m.Flags)
+	}
+}
 
 func (m *EventSubscribe) decodeFrom(d *decoder) error {
 	m.Mask = d.u32()
+	if d.more() {
+		m.Flags = d.u8()
+	}
 	return d.err
 }
 
@@ -52,6 +69,11 @@ type EventNotice struct {
 	TimeToThreshold time.Duration
 	// Detail is a free-form annotation.
 	Detail string
+	// Span is the trace-span ID the event originated from (zero: none).
+	// It is trailing-optional and only encoded when non-zero; senders must
+	// leave it zero unless the subscriber asked via EventSubFlagSpans,
+	// because a legacy subscriber rejects the extra bytes.
+	Span uint64
 }
 
 // Cmd implements Message.
@@ -65,6 +87,9 @@ func (m *EventNotice) encodeTo(e *encoder) {
 	e.u32(uint32(m.Quality))
 	e.u64(uint64(m.TimeToThreshold))
 	e.str(m.Detail)
+	if m.Span != 0 {
+		e.u64(m.Span)
+	}
 }
 
 func (m *EventNotice) decodeFrom(d *decoder) error {
@@ -75,5 +100,8 @@ func (m *EventNotice) decodeFrom(d *decoder) error {
 	m.Quality = int32(d.u32())
 	m.TimeToThreshold = time.Duration(d.u64())
 	m.Detail = d.str()
+	if d.more() {
+		m.Span = d.u64()
+	}
 	return d.err
 }

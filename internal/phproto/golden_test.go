@@ -50,6 +50,12 @@ func goldenMessages() []Message {
 		&NeighborhoodSync{Epoch: 7, FromGen: 3, ToGen: 9, Tombstones: sib, DigestCount: 0, DigestHash: 0},
 		&EventSubscribe{Mask: 0x1ff},
 		&EventNotice{Seq: 4, UnixNanos: 12345, Type: 3, Addr: sib[0], Quality: 222, Detail: "x"},
+		&EventSubscribe{Mask: 0x1ff, Flags: EventSubFlagSpans},
+		&EventNotice{Seq: 4, UnixNanos: 12345, Type: 3, Addr: sib[0], Quality: 222, Detail: "x", Span: 0xabcdef0102030405},
+		&StatsRequest{Prefix: "peerhood_handover"},
+		&Stats{UnixNanos: 99, Entries: []StatEntry{{Name: `peerhood_events_dropped_total{type="link-lost"}`, Value: 0x4000000000000000}}},
+		&TraceSubscribe{Tail: 64},
+		&TraceSpan{ID: 7, Parent: 3, Name: "handover.routing", Addr: "bt:01", StartUnixNanos: 5, EndUnixNanos: 9, Detail: "done"},
 	}
 }
 

@@ -60,6 +60,19 @@ const (
 	// CmdEvent carries one neighbourhood event (EVENT) on a subscribed
 	// stream.
 	CmdEvent
+	// CmdStatsRequest asks the daemon port for a snapshot of its telemetry
+	// registry (STATS_REQUEST). Legacy daemons close the connection on it;
+	// callers must treat that as "not supported".
+	CmdStatsRequest
+	// CmdStats answers a stats request with the flattened metric points.
+	CmdStats
+	// CmdTraceSubscribe opens a trace-span stream on the library engine
+	// port (TRACE_SUBSCRIBE): after a PH_OK the subscriber receives
+	// TRACE_SPAN frames until either side closes. Legacy daemons close the
+	// connection on the subscribe.
+	CmdTraceSubscribe
+	// CmdTraceSpan carries one finished trace span on a subscribed stream.
+	CmdTraceSpan
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +106,14 @@ func (c Command) String() string {
 		return "EVENT_SUBSCRIBE"
 	case CmdEvent:
 		return "EVENT"
+	case CmdStatsRequest:
+		return "STATS_REQUEST"
+	case CmdStats:
+		return "STATS"
+	case CmdTraceSubscribe:
+		return "TRACE_SUBSCRIBE"
+	case CmdTraceSpan:
+		return "TRACE_SPAN"
 	default:
 		return fmt.Sprintf("cmd(%d)", uint8(c))
 	}
@@ -441,6 +462,14 @@ func newMessage(cmd Command) (Message, error) {
 		return &EventSubscribe{}, nil
 	case CmdEvent:
 		return &EventNotice{}, nil
+	case CmdStatsRequest:
+		return &StatsRequest{}, nil
+	case CmdStats:
+		return &Stats{}, nil
+	case CmdTraceSubscribe:
+		return &TraceSubscribe{}, nil
+	case CmdTraceSpan:
+		return &TraceSpan{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownCommand, uint8(cmd))
 	}

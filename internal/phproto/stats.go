@@ -1,0 +1,141 @@
+package phproto
+
+// This file defines the live-introspection extension: `phctl stats` (and
+// any other tool) dials the daemon information port and sends a
+// STATS_REQUEST; an instrumented daemon answers with a STATS frame
+// carrying its flattened telemetry registry. `phctl trace` dials the
+// library engine port and sends a TRACE_SUBSCRIBE; after a PH_OK it
+// receives TRACE_SPAN frames as handover and sync spans finish. Legacy
+// daemons predate both commands and close the connection on the unknown
+// byte — callers treat the hang-up as "not supported", the same fallback
+// discipline as the versioned neighbourhood sync.
+
+// MaxStatEntries caps one STATS frame; a registry beyond it is truncated
+// by the responder (name-sorted, so the kept prefix is deterministic).
+const MaxStatEntries = 4096
+
+// StatEntry is one flattened metric point: counters and gauges one entry
+// each, histograms flattened to their bucket/sum/count series. Value
+// carries the float64 bits so integers and histogram sums share one wire
+// form without loss.
+type StatEntry struct {
+	// Name is the full series name with any labels embedded
+	// (`peerhood_events_dropped_total{type="link-lost"}`).
+	Name string
+	// Value is math.Float64bits of the point's value.
+	Value uint64
+}
+
+// StatsRequest asks for a registry snapshot, optionally restricted to
+// series whose name starts with Prefix.
+type StatsRequest struct {
+	Prefix string
+}
+
+// Cmd implements Message.
+func (*StatsRequest) Cmd() Command { return CmdStatsRequest }
+
+func (m *StatsRequest) encodeTo(e *encoder) { e.str(m.Prefix) }
+
+func (m *StatsRequest) decodeFrom(d *decoder) error {
+	m.Prefix = d.str()
+	return d.err
+}
+
+// Stats answers a StatsRequest.
+type Stats struct {
+	// UnixNanos is the snapshot time (simulated time on simulated worlds).
+	UnixNanos int64
+	Entries   []StatEntry
+}
+
+// Cmd implements Message.
+func (*Stats) Cmd() Command { return CmdStats }
+
+func (m *Stats) encodeTo(e *encoder) {
+	e.u64(uint64(m.UnixNanos))
+	n := len(m.Entries)
+	if n > MaxStatEntries {
+		n = MaxStatEntries
+	}
+	e.u32(uint32(n))
+	for _, en := range m.Entries[:n] {
+		e.str(en.Name)
+		e.u64(en.Value)
+	}
+}
+
+func (m *Stats) decodeFrom(d *decoder) error {
+	m.UnixNanos = int64(d.u64())
+	n := int(d.u32())
+	if d.err != nil {
+		return d.err
+	}
+	if n > MaxStatEntries {
+		d.failTooMany(n, "stat entries", MaxStatEntries)
+		return d.err
+	}
+	m.Entries = make([]StatEntry, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Entries = append(m.Entries, StatEntry{Name: d.str(), Value: d.u64()})
+	}
+	return d.err
+}
+
+// TraceSubscribe opens a trace-span stream on the library engine port.
+type TraceSubscribe struct {
+	// Tail asks the daemon to replay up to this many already-finished
+	// spans from its ring before streaming live ones; zero replays none.
+	Tail uint32
+}
+
+// Cmd implements Message.
+func (*TraceSubscribe) Cmd() Command { return CmdTraceSubscribe }
+
+func (m *TraceSubscribe) encodeTo(e *encoder) { e.u32(m.Tail) }
+
+func (m *TraceSubscribe) decodeFrom(d *decoder) error {
+	m.Tail = d.u32()
+	return d.err
+}
+
+// TraceSpan carries one finished span. The fields mirror
+// telemetry.Span; IDs are the tracer's deterministic 64-bit values, so
+// spans streamed from a manual-clock daemon are comparable across
+// same-seed runs.
+type TraceSpan struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	// Addr is the rendered peer address the span concerns, empty when it
+	// concerns none (rendered, not structured: spans may describe routes
+	// and episodes, not just single radios).
+	Addr           string
+	StartUnixNanos int64
+	EndUnixNanos   int64
+	Detail         string
+}
+
+// Cmd implements Message.
+func (*TraceSpan) Cmd() Command { return CmdTraceSpan }
+
+func (m *TraceSpan) encodeTo(e *encoder) {
+	e.u64(m.ID)
+	e.u64(m.Parent)
+	e.str(m.Name)
+	e.str(m.Addr)
+	e.u64(uint64(m.StartUnixNanos))
+	e.u64(uint64(m.EndUnixNanos))
+	e.str(m.Detail)
+}
+
+func (m *TraceSpan) decodeFrom(d *decoder) error {
+	m.ID = d.u64()
+	m.Parent = d.u64()
+	m.Name = d.str()
+	m.Addr = d.str()
+	m.StartUnixNanos = int64(d.u64())
+	m.EndUnixNanos = int64(d.u64())
+	m.Detail = d.str()
+	return d.err
+}

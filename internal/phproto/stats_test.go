@@ -1,0 +1,106 @@
+package phproto
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"peerhood/internal/device"
+)
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := &Stats{
+		UnixNanos: 123456789,
+		Entries: []StatEntry{
+			{Name: "peerhood_handover_completed_total", Value: math.Float64bits(3)},
+			{Name: `peerhood_events_dropped_total{type="link-lost"}`, Value: math.Float64bits(0.5)},
+		},
+	}
+	got := roundTrip(t, in).(*Stats)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+	req := roundTrip(t, &StatsRequest{Prefix: "peerhood_storage"}).(*StatsRequest)
+	if req.Prefix != "peerhood_storage" {
+		t.Fatalf("prefix = %q", req.Prefix)
+	}
+}
+
+func TestStatsRejectsOverCount(t *testing.T) {
+	// A frame declaring more entries than MaxStatEntries must be rejected
+	// before allocation.
+	e := &encoder{}
+	e.u64(0)
+	e.u32(MaxStatEntries + 1)
+	frame := append([]byte{byte(CmdStats), 0, 0, 0, byte(len(e.buf))}, e.buf...)
+	if _, err := Read(bytes.NewReader(frame)); err == nil {
+		t.Fatal("over-count STATS decoded")
+	}
+}
+
+func TestTraceSpanRoundTrip(t *testing.T) {
+	in := &TraceSpan{
+		ID:             0x0102030400000007,
+		Parent:         0x0102030400000003,
+		Name:           "sync.fetch",
+		Addr:           "bt:02:70:68:00:00:01",
+		StartUnixNanos: 1000,
+		EndUnixNanos:   2500,
+		Detail:         "delta",
+	}
+	got := roundTrip(t, in).(*TraceSpan)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+	sub := roundTrip(t, &TraceSubscribe{Tail: 128}).(*TraceSubscribe)
+	if sub.Tail != 128 {
+		t.Fatalf("tail = %d", sub.Tail)
+	}
+}
+
+// TestEventSpanExtensionBackCompat pins the negotiated-extension contract:
+// the flagless/spanless forms encode byte-identically to the legacy wire
+// (so old peers keep decoding them), while the extended forms carry the
+// new fields through a round trip.
+func TestEventSpanExtensionBackCompat(t *testing.T) {
+	addr := device.Addr{Tech: device.TechBluetooth, MAC: "02:70:68:00:00:01"}
+
+	legacySub := legacyFrame(t, &EventSubscribe{Mask: 0x1ff})
+	var buf bytes.Buffer
+	if err := Write(&buf, &EventSubscribe{Mask: 0x1ff, Flags: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), legacySub) {
+		t.Fatalf("flagless subscribe diverged from legacy wire:\n got  %x\n want %x", buf.Bytes(), legacySub)
+	}
+
+	spanless := &EventNotice{Seq: 1, UnixNanos: 2, Type: 3, Addr: addr, Quality: 4, Detail: "d"}
+	legacyEv := legacyFrame(t, spanless)
+	buf.Reset()
+	if err := Write(&buf, spanless); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), legacyEv) {
+		t.Fatalf("spanless notice diverged from legacy wire:\n got  %x\n want %x", buf.Bytes(), legacyEv)
+	}
+
+	sub := roundTrip(t, &EventSubscribe{Mask: 0x3, Flags: EventSubFlagSpans}).(*EventSubscribe)
+	if sub.Mask != 0x3 || sub.Flags != EventSubFlagSpans {
+		t.Fatalf("flagged subscribe = %+v", sub)
+	}
+	spanful := &EventNotice{Seq: 1, UnixNanos: 2, Type: 3, Addr: addr, Quality: 4, Detail: "d", Span: 0xfeed}
+	got := roundTrip(t, spanful).(*EventNotice)
+	if !reflect.DeepEqual(got, spanful) {
+		t.Fatalf("spanful notice round trip = %+v, want %+v", got, spanful)
+	}
+	// A spanful frame is strictly longer: that length difference is the
+	// legacy-reject signal (old decoders fail Read's trailing-bytes check).
+	var spanfulBuf bytes.Buffer
+	if err := Write(&spanfulBuf, spanful); err != nil {
+		t.Fatal(err)
+	}
+	if spanfulBuf.Len() != len(legacyEv)+8 {
+		t.Fatalf("spanful frame length = %d, want legacy+8 = %d", spanfulBuf.Len(), len(legacyEv)+8)
+	}
+}

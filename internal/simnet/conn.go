@@ -130,6 +130,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		w := c.link.w
 		w.mu.Lock()
 		w.stats.MessagesDropped++
+		w.tFramesDropped.Inc()
 		w.mu.Unlock()
 		return len(p), nil
 	}
@@ -140,6 +141,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	w.stats.BytesWritten += int64(len(p))
 	w.stats.MessagesDelivered++
+	w.tBytes.Add(uint64(len(p)))
+	w.tFramesDelivered.Inc()
 	w.mu.Unlock()
 	return len(p), nil
 }

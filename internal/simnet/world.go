@@ -21,6 +21,7 @@ import (
 	"peerhood/internal/geo"
 	"peerhood/internal/mobility"
 	"peerhood/internal/rng"
+	"peerhood/internal/telemetry"
 )
 
 // Errors returned by dialing and link operations.
@@ -127,8 +128,38 @@ type World struct {
 	// to links dialed between them (see SetLinkImpairment).
 	impairments map[impairKey]Impairment
 
+	// Telemetry handles, resolved by Instrument; nil-safe, so an
+	// uninstrumented world pays one branch per event. They mirror the
+	// Stats fields that matter to live scrapes: frame fates, wire bytes,
+	// dial outcomes, and link breaks.
+	tFramesDelivered *telemetry.Counter
+	tFramesDropped   *telemetry.Counter
+	tBytes           *telemetry.Counter
+	tDialsOK         *telemetry.Counter
+	tDialsFaulted    *telemetry.Counter
+	tDialsRefused    *telemetry.Counter
+	tDialsRange      *telemetry.Counter
+	tLinksBroken     *telemetry.Counter
+
 	checkStop chan struct{}
 	checkDone chan struct{}
+}
+
+// Instrument resolves the world's telemetry handles against reg, so frame
+// deliveries, impairment drops, dial outcomes, and link breaks surface as
+// live counters next to the per-daemon ones. Call before traffic flows;
+// a nil registry leaves the world uninstrumented.
+func (w *World) Instrument(reg *telemetry.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tFramesDelivered = reg.Counter(`peerhood_simnet_frames_total{result="delivered"}`)
+	w.tFramesDropped = reg.Counter(`peerhood_simnet_frames_total{result="dropped"}`)
+	w.tBytes = reg.Counter(`peerhood_simnet_bytes_total`)
+	w.tDialsOK = reg.Counter(`peerhood_simnet_dials_total{result="ok"}`)
+	w.tDialsFaulted = reg.Counter(`peerhood_simnet_dials_total{result="faulted"}`)
+	w.tDialsRefused = reg.Counter(`peerhood_simnet_dials_total{result="refused"}`)
+	w.tDialsRange = reg.Counter(`peerhood_simnet_dials_total{result="out-of-range"}`)
+	w.tLinksBroken = reg.Counter(`peerhood_simnet_links_broken_total`)
 }
 
 type listenKey struct {
@@ -635,6 +666,7 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 		if d := r.dev.Position().Dist(target.dev.Position()); d > p.CoverageRadius {
 			w.mu.Lock()
 			w.stats.DialsOutOfRange++
+			w.tDialsRange.Inc()
 			w.mu.Unlock()
 			return nil, fmt.Errorf("%w: %v", ErrOutOfRange, to)
 		}
@@ -643,6 +675,7 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 		if !w.allowed(r, target) {
 			w.mu.Lock()
 			w.stats.DialsOutOfRange++
+			w.tDialsRange.Inc()
 			w.mu.Unlock()
 			return nil, fmt.Errorf("%w: %v", ErrOutOfRange, to)
 		}
@@ -663,6 +696,7 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 	if w.src.Bool(p.FaultProb) {
 		w.mu.Lock()
 		w.stats.DialsFaulted++
+		w.tDialsFaulted.Inc()
 		w.mu.Unlock()
 		return nil, fmt.Errorf("%w: dialing %v", ErrConnectFault, to)
 	}
@@ -676,6 +710,7 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 	l, ok := w.listeners[listenKey{addr: to, port: port}]
 	if !ok {
 		w.stats.DialsRefused++
+		w.tDialsRefused.Inc()
 		w.mu.Unlock()
 		return nil, fmt.Errorf("%w: %v port %d", ErrRefused, to, port)
 	}
@@ -689,6 +724,7 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 	}
 	w.links[lk.id] = lk
 	w.stats.DialsSucceeded++
+	w.tDialsOK.Inc()
 	w.mu.Unlock()
 
 	// Hand the server endpoint to the listener. The buffered channel models
@@ -700,6 +736,7 @@ func (r *Radio) Dial(to device.Addr, port uint16) (*Conn, error) {
 		lk.breakWith(ErrRefused)
 		w.mu.Lock()
 		w.stats.DialsRefused++
+		w.tDialsRefused.Inc()
 		w.mu.Unlock()
 		return nil, fmt.Errorf("%w: %v port %d", ErrRefused, to, port)
 	}
@@ -805,6 +842,7 @@ func (w *World) removeLink(id int64) {
 	w.mu.Lock()
 	delete(w.links, id)
 	w.stats.LinksBroken++
+	w.tLinksBroken.Inc()
 	w.mu.Unlock()
 }
 

@@ -19,6 +19,7 @@ import (
 	"peerhood/internal/clock"
 	"peerhood/internal/device"
 	"peerhood/internal/phproto"
+	"peerhood/internal/telemetry"
 )
 
 // Default configuration values.
@@ -60,6 +61,11 @@ type Config struct {
 	// the network backbone (§3.4.3); this flag exists for the A1 ablation
 	// that quantifies that argument.
 	QualityFirst bool
+
+	// Registry receives the storage's telemetry (merge counters, sync-serve
+	// counters, table-size gauge); nil disables. The handles are resolved
+	// once here, so the merge hot paths keep their 0 allocs/op budgets.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +274,16 @@ type Storage struct {
 	// Safe because no *Entry ever escapes the lock: every public API
 	// clones before returning.
 	free []*Entry
+
+	// Telemetry handles, resolved at construction (nil-safe when no
+	// registry is configured; see telemetry package).
+	mergesFull      *telemetry.Counter
+	mergesDelta     *telemetry.Counter
+	mergeRows       *telemetry.Counter
+	mergeRejects    *telemetry.Counter
+	syncServedFull  *telemetry.Counter
+	syncServedDelta *telemetry.Counter
+	entriesGauge    *telemetry.Gauge
 }
 
 // maxFreeEntries bounds the Entry free list; beyond it removed entries are
@@ -294,14 +310,23 @@ func newEpoch() uint64 {
 
 // New returns an empty Storage with a fresh epoch.
 func New(cfg Config) *Storage {
+	cfg = cfg.withDefaults()
 	return &Storage{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		epoch:    newEpoch(),
 		self:     make(map[device.Addr]bool),
 		entries:  make(map[device.Addr]*Entry),
 		ids:      make(map[device.ID]map[device.Addr]bool),
 		wireHash: make(map[device.Addr]uint64),
 		evicted:  make(map[device.Addr]bool),
+
+		mergesFull:      cfg.Registry.Counter(`peerhood_storage_merges_total{kind="full"}`),
+		mergesDelta:     cfg.Registry.Counter(`peerhood_storage_merges_total{kind="delta"}`),
+		mergeRows:       cfg.Registry.Counter("peerhood_storage_merge_rows_total"),
+		mergeRejects:    cfg.Registry.Counter("peerhood_storage_merge_rejected_total"),
+		syncServedFull:  cfg.Registry.Counter(`peerhood_storage_sync_served_total{kind="full"}`),
+		syncServedDelta: cfg.Registry.Counter(`peerhood_storage_sync_served_total{kind="delta"}`),
+		entriesGauge:    cfg.Registry.Gauge("peerhood_storage_entries"),
 	}
 }
 
@@ -570,8 +595,10 @@ type MergeResult struct {
 func (s *Storage) MergeNeighborhood(bridge device.Addr, bridgeQuality int, nb []phproto.NeighborEntry) MergeResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mergesFull.Inc()
 
 	var res MergeResult
+	defer s.bookMergeLocked(&res)
 	now := s.cfg.Clock.Now()
 
 	bridgeMobility := device.Dynamic
@@ -626,8 +653,10 @@ func (s *Storage) MergeNeighborhood(bridge device.Addr, bridgeQuality int, nb []
 func (s *Storage) MergeNeighborhoodDelta(bridge device.Addr, bridgeQuality int, changed []phproto.NeighborEntry, tombstones []device.Addr) MergeResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mergesDelta.Inc()
 
 	var res MergeResult
+	defer s.bookMergeLocked(&res)
 	now := s.cfg.Clock.Now()
 
 	bridgeMobility := device.Dynamic
@@ -666,6 +695,16 @@ func (s *Storage) MergeNeighborhoodDelta(bridge device.Addr, bridgeQuality int, 
 		}
 	}
 	return res
+}
+
+// bookMergeLocked records a finished merge's telemetry: row outcomes and
+// the table-size gauge. All handles are plain atomics (nil-safe when the
+// storage carries no registry), so the merge paths keep their 0 allocs/op
+// budgets. Callers hold s.mu.
+func (s *Storage) bookMergeLocked(res *MergeResult) {
+	s.mergeRows.Add(uint64(res.Added + res.Updated))
+	s.mergeRejects.Add(uint64(res.Rejected))
+	s.entriesGauge.Set(int64(len(s.entries)))
 }
 
 // RefreshBridgeLink recomputes the first-hop aggregates of every route
@@ -1087,12 +1126,14 @@ func (s *Storage) SyncResponse(epoch, gen uint64, extended bool) *phproto.Neighb
 				if len(entries) > phproto.MaxEntries {
 					entries = entries[:phproto.MaxEntries]
 				}
+				s.syncServedFull.Inc()
 				return phproto.FullSync(0, 0, entries)
 			}
 		}
 	}
 	if epoch == s.epoch {
 		if delta, ok := s.deltaLocked(gen); ok {
+			s.syncServedDelta.Inc()
 			return &phproto.NeighborhoodSync{
 				Epoch:       s.epoch,
 				FromGen:     delta.FromGen,
@@ -1111,12 +1152,14 @@ func (s *Storage) SyncResponse(epoch, gen uint64, extended bool) *phproto.Neighb
 		// Serve the deterministic prefix as an unsyncable epoch-0
 		// snapshot — the load-penalty convention — so the peer keeps a
 		// partial view instead of choking on an undecodable frame.
+		s.syncServedFull.Inc()
 		return phproto.FullSync(0, 0, entries[:phproto.MaxEntries])
 	}
 	// The incremental digest equals DigestOf over the transmitted table
 	// (the reconstruction property test checks this every step), so the
 	// FULL fallback need not re-hash every entry the way the daemon's
 	// load-penalty path — whose advertised entries are skewed — must.
+	s.syncServedFull.Inc()
 	return &phproto.NeighborhoodSync{
 		Full:        true,
 		Epoch:       s.epoch,

@@ -25,6 +25,7 @@ import (
 	"peerhood/internal/device"
 	"peerhood/internal/plugin"
 	"peerhood/internal/simnet"
+	"peerhood/internal/telemetry"
 )
 
 // Config parametrises a Plugin.
@@ -60,6 +61,55 @@ type Plugin struct {
 	quality   map[device.Addr]int // last measured per peer
 	closed    bool
 	wg        sync.WaitGroup
+
+	// Telemetry handles, resolved by Instrument; nil-safe, so an
+	// uninstrumented plugin pays one branch per event.
+	tDialsOK       *telemetry.Counter
+	tDialsRefused  *telemetry.Counter
+	tDialsUnreach  *telemetry.Counter
+	tAccepts       *telemetry.Counter
+	tBytesRx       *telemetry.Counter
+	tBytesTx       *telemetry.Counter
+	tProbesSent    *telemetry.Counter
+	tProbeReplies  *telemetry.Counter
+	tProbeRequests *telemetry.Counter
+}
+
+// bump increments the handle field c points at, reading it under the
+// plugin lock so Instrument can land while the accept and probe loops are
+// already running.
+func (p *Plugin) bump(c **telemetry.Counter) {
+	p.mu.Lock()
+	ctr := *c
+	p.mu.Unlock()
+	ctr.Inc()
+}
+
+// connCounters snapshots the byte counters for a new connection; the conn
+// keeps them for its lifetime, so its hot path never touches the lock.
+func (p *Plugin) connCounters() (rx, tx *telemetry.Counter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tBytesRx, p.tBytesTx
+}
+
+// Instrument resolves the plugin's telemetry handles against reg: dial
+// outcomes, accepted connections, connection bytes by direction, and the
+// UDP discovery probe traffic. Typically called right after the owning
+// daemon is constructed; a nil registry leaves the plugin uninstrumented.
+// Connections established before the call stay uncounted.
+func (p *Plugin) Instrument(reg *telemetry.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tDialsOK = reg.Counter(`peerhood_tcpnet_dials_total{result="ok"}`)
+	p.tDialsRefused = reg.Counter(`peerhood_tcpnet_dials_total{result="refused"}`)
+	p.tDialsUnreach = reg.Counter(`peerhood_tcpnet_dials_total{result="unreachable"}`)
+	p.tAccepts = reg.Counter(`peerhood_tcpnet_accepts_total`)
+	p.tBytesRx = reg.Counter(`peerhood_tcpnet_bytes_total{dir="rx"}`)
+	p.tBytesTx = reg.Counter(`peerhood_tcpnet_bytes_total{dir="tx"}`)
+	p.tProbesSent = reg.Counter(`peerhood_tcpnet_probes_total{kind="sent"}`)
+	p.tProbeReplies = reg.Counter(`peerhood_tcpnet_probes_total{kind="reply"}`)
+	p.tProbeRequests = reg.Counter(`peerhood_tcpnet_probes_total{kind="answered"}`)
 }
 
 var _ plugin.Plugin = (*Plugin)(nil)
@@ -152,6 +202,7 @@ func (p *Plugin) Inquire() []plugin.InquiryResult {
 			continue
 		}
 		_, _ = p.udp.WriteToUDP(probe, ua)
+		p.bump(&p.tProbesSent)
 	}
 
 	// Responses accumulate in p.quality via udpLoop; wait out the window
@@ -181,12 +232,14 @@ func (p *Plugin) Dial(to device.Addr, port uint16) (plugin.Conn, error) {
 	}
 	c, err := net.DialTimeout("tcp", to.MAC, 5*time.Second)
 	if err != nil {
+		p.bump(&p.tDialsUnreach)
 		return nil, fmt.Errorf("%w: %v", plugin.ErrUnreachable, err)
 	}
 	var preamble [2]byte
 	binary.BigEndian.PutUint16(preamble[:], port)
 	if _, err := c.Write(preamble[:]); err != nil {
 		_ = c.Close()
+		p.bump(&p.tDialsUnreach)
 		return nil, fmt.Errorf("%w: %v", plugin.ErrUnreachable, err)
 	}
 	// The accept side replies one byte: 1 = port bound, 0 = refused.
@@ -197,14 +250,18 @@ func (p *Plugin) Dial(to device.Addr, port uint16) (plugin.Conn, error) {
 	}
 	if _, err := io.ReadFull(c, ok[:]); err != nil {
 		_ = c.Close()
+		p.bump(&p.tDialsUnreach)
 		return nil, fmt.Errorf("%w: %v", plugin.ErrUnreachable, err)
 	}
 	_ = c.SetReadDeadline(time.Time{})
 	if ok[0] != 1 {
 		_ = c.Close()
+		p.bump(&p.tDialsRefused)
 		return nil, fmt.Errorf("%w: port %d on %v", plugin.ErrRefused, port, to)
 	}
-	return &conn{Conn: c, plugin: p, local: p.addr, remote: to}, nil
+	p.bump(&p.tDialsOK)
+	rx, tx := p.connCounters()
+	return &conn{Conn: c, plugin: p, local: p.addr, remote: to, rx: rx, tx: tx}, nil
 }
 
 // Listen implements plugin.Plugin.
@@ -291,8 +348,10 @@ func (p *Plugin) routeIncoming(c *net.TCPConn) {
 		_ = c.Close()
 		return
 	}
+	p.bump(&p.tAccepts)
 	remote := device.Addr{Tech: device.TechWLAN, MAC: c.RemoteAddr().String()}
-	wrapped := &conn{Conn: c, plugin: p, local: p.addr, remote: remote}
+	rx, tx := p.connCounters()
+	wrapped := &conn{Conn: c, plugin: p, local: p.addr, remote: remote, rx: rx, tx: tx}
 	select {
 	case ml.accept <- wrapped:
 	case <-ml.closed:
@@ -325,6 +384,7 @@ func (p *Plugin) udpLoop() {
 			resp = append(resp, buf[1:9]...)
 			resp = append(resp, p.addr.MAC...)
 			_, _ = p.udp.WriteToUDP(resp, from)
+			p.bump(&p.tProbeRequests)
 		case probeResponse:
 			if n < 10 {
 				continue
@@ -335,7 +395,9 @@ func (p *Plugin) udpLoop() {
 			addr := device.Addr{Tech: device.TechWLAN, MAC: mac}
 			p.mu.Lock()
 			p.quality[addr] = rttQuality(rtt)
+			ctr := p.tProbeReplies
 			p.mu.Unlock()
+			ctr.Inc()
 		}
 	}
 }
@@ -351,18 +413,32 @@ func rttQuality(rtt time.Duration) int {
 	return q
 }
 
-// conn wraps a TCP connection as a plugin.Conn.
+// conn wraps a TCP connection as a plugin.Conn. The byte counters are
+// fixed at creation, so the data path stays lock-free.
 type conn struct {
 	net.Conn
 	plugin *Plugin
 	local  device.Addr
 	remote device.Addr
+	rx, tx *telemetry.Counter
 }
 
 var _ plugin.Conn = (*conn)(nil)
 
 func (c *conn) LocalAddr() device.Addr  { return c.local }
 func (c *conn) RemoteAddr() device.Addr { return c.remote }
+
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.rx.Add(uint64(n))
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.tx.Add(uint64(n))
+	return n, err
+}
 
 // Quality returns the plugin's last measurement towards the peer, falling
 // back to "healthy" for peers we have no probe data on (an established

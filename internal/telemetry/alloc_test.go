@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"testing"
+
+	"peerhood/internal/race"
+)
+
+// The observe path — Counter.Add, Gauge.Set, Histogram.Observe, and their
+// nil-handle forms — is the telemetry plane's admission ticket into the
+// daemon's hot loops: it rides inside storage merges and bus publishes
+// whose own budgets are 0 allocs/op, so any allocation here would break
+// those contracts transitively. CI gates the benchmarks below through
+// `benchjson -allocbudget` next to the PR 7 pins.
+const observeBudget = 0
+
+func TestObservePathAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBuckets)
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	c.Inc() // warm
+	h.Observe(0.5)
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Add(2)
+		g.Set(7)
+		g.Add(-1)
+		h.Observe(0.042)
+		nc.Inc()
+		ng.Set(1)
+		nh.Observe(1)
+	})
+	if allocs > observeBudget {
+		t.Fatalf("observe path = %.1f allocs/op, budget %d", allocs, observeBudget)
+	}
+}
+
+func TestTracerEventAllocBounded(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	// Spans are values written into a preallocated ring; once the ring is
+	// full, recording stops allocating entirely. Not a hot-loop path, but
+	// pinning it keeps accidental per-span garbage out of handover steps.
+	tr := NewTracer("n", nil, 8)
+	for i := 0; i < 8; i++ {
+		tr.Event("warm", 0, "", "")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.Begin("handover.switch", 1, "bt:01")
+		tr.End(sp, "")
+	})
+	if allocs > observeBudget {
+		t.Fatalf("span record = %.1f allocs/op, budget %d", allocs, observeBudget)
+	}
+}
+
+// BenchmarkTelemetryObserve is the CI-gated observe-path benchmark: one
+// counter add, one gauge set, one histogram observation.
+func BenchmarkTelemetryObserve(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBuckets)
+	c.Inc()
+	h.Observe(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i))
+		h.Observe(float64(i&1023) / 100)
+	}
+}
+
+// BenchmarkTelemetryObserveNil measures the disabled-telemetry tax: the
+// nil-handle branch every instrumented hot path pays when no registry is
+// attached.
+func BenchmarkTelemetryObserveNil(b *testing.B) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i))
+		h.Observe(1)
+	}
+}

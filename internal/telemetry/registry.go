@@ -1,0 +1,345 @@
+// Package telemetry is the daemon's observability plane: a registry of
+// allocation-free counters, gauges, and fixed-bucket histograms, plus a
+// span tracer for the handover and sync lifecycles (tracer.go).
+//
+// Two disciplines shape the design:
+//
+//   - The observe path is allocation-free and lock-free. Handles
+//     (*Counter, *Gauge, *Histogram) are resolved by name once, at
+//     construction time, and then mutated with plain atomics; the registry
+//     mutex guards only registration and rendering. CI pins the observe
+//     path at 0 allocs/op alongside the storage/codec budgets.
+//
+//   - Every handle method is nil-safe. A component built without a
+//     registry (unit tests, bare libraries) carries nil handles and pays a
+//     single predictable branch per observation, so instrumentation never
+//     forces a dependency on the telemetry plane.
+//
+// Rendering follows the Prometheus text exposition format; names may embed
+// a label set in braces (`events_dropped_total{type="link_lost"}`), which
+// is rendered verbatim and grouped under the brace-free family name.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. By convention names end in
+// `_total` so downstream scrapers can assert monotonicity.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value (queue depth, active conns).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value. Safe on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (negative to decrease). Safe on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value; zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed upper-bound buckets. Bounds are
+// chosen at registration; the observe path is a linear scan over a handful
+// of bounds plus three atomic ops — no locks, no allocation.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS loop
+}
+
+// Observe records one sample. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations; zero on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values; zero on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DurationBuckets is the default bound set for phase-duration histograms,
+// in seconds of simulated time: 1ms up to ~30s of handover/sync latency.
+var DurationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// SizeBuckets is the default bound set for byte-size histograms.
+var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+)
+
+type metricEntry struct {
+	name string
+	kind int
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds one daemon's metrics, keyed by name. Registration is
+// idempotent: asking for an existing name returns the same handle, so
+// components rebuilt across restarts can re-resolve without double
+// counting within one registry's lifetime.
+//
+// All methods are safe on a nil *Registry and return nil handles, which
+// in turn absorb observations — the instrumented packages never need to
+// guard their telemetry calls.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metricEntry
+	ordered []*metricEntry // insertion order; sorted at render time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metricEntry)}
+}
+
+func (r *Registry) lookup(name string, kind int) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	}
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Nil-safe: a nil registry yields a nil (absorbing) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if needed. Bounds must be sorted
+// ascending; histogram names must not embed a label set (the bucket
+// rendering owns the braces). Bounds are copied.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if strings.ContainsRune(name, '{') {
+		panic(fmt.Sprintf("telemetry: histogram %q must not embed labels", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind != kindHistogram {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
+		}
+		return e.h
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not sorted", name))
+		}
+	}
+	e := &metricEntry{name: name, kind: kindHistogram, h: &Histogram{
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}}
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	return e.h
+}
+
+// Point is one flattened sample: histograms are exploded into their
+// `_bucket{le=...}`, `_sum`, and `_count` series, exactly as Prometheus
+// renders them, so wire consumers and scrapers see the same shape.
+type Point struct {
+	Name  string
+	Value float64
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// familyName strips the embedded label set, if any.
+func familyName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) sortedEntries() []*metricEntry {
+	r.mu.Lock()
+	es := make([]*metricEntry, len(r.ordered))
+	copy(es, r.ordered)
+	r.mu.Unlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	return es
+}
+
+// Snapshot returns every series as flattened points, sorted by name.
+// Values are read with individual atomic loads — the snapshot is not a
+// consistent cut, which is the standard contract for scrape-style metrics.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	var pts []Point
+	for _, e := range r.sortedEntries() {
+		switch e.kind {
+		case kindCounter:
+			pts = append(pts, Point{e.name, float64(e.c.Value())})
+		case kindGauge:
+			pts = append(pts, Point{e.name, float64(e.g.Value())})
+		case kindHistogram:
+			cum := uint64(0)
+			for i := range e.h.counts {
+				cum += e.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(e.h.bounds) {
+					le = formatFloat(e.h.bounds[i])
+				}
+				pts = append(pts, Point{e.name + `_bucket{le="` + le + `"}`, float64(cum)})
+			}
+			pts = append(pts, Point{e.name + "_sum", e.h.Sum()})
+			pts = append(pts, Point{e.name + "_count", float64(e.h.Count())})
+		}
+	}
+	return pts
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format, sorted by name, with one TYPE comment per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastFamily := ""
+	for _, e := range r.sortedEntries() {
+		fam := familyName(e.name)
+		if fam != lastFamily {
+			lastFamily = fam
+			typ := "counter"
+			switch e.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			b.WriteString("# TYPE " + fam + " " + typ + "\n")
+		}
+		switch e.kind {
+		case kindCounter:
+			b.WriteString(e.name + " " + strconv.FormatUint(e.c.Value(), 10) + "\n")
+		case kindGauge:
+			b.WriteString(e.name + " " + strconv.FormatInt(e.g.Value(), 10) + "\n")
+		case kindHistogram:
+			cum := uint64(0)
+			for i := range e.h.counts {
+				cum += e.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(e.h.bounds) {
+					le = formatFloat(e.h.bounds[i])
+				}
+				b.WriteString(e.name + `_bucket{le="` + le + `"} ` + strconv.FormatUint(cum, 10) + "\n")
+			}
+			b.WriteString(e.name + "_sum " + formatFloat(e.h.Sum()) + "\n")
+			b.WriteString(e.name + "_count " + strconv.FormatUint(e.h.Count(), 10) + "\n")
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

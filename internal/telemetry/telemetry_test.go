@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+)
+
+func TestRegistryIdempotentHandles(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counter handles")
+	}
+	c1.Add(3)
+	c2.Inc()
+	if got := c1.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := r.Gauge("depth").Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	h1 := r.Histogram("lat_seconds", DurationBuckets)
+	h2 := r.Histogram("lat_seconds", DurationBuckets)
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histogram handles")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestNilRegistryAndHandlesAbsorb(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total")
+	g := r.Gauge("b")
+	h := r.Histogram("c", SizeBuckets)
+	c.Inc()
+	g.Set(9)
+	h.Observe(123)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles did not absorb observations")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry render: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 2, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 53.5 {
+		t.Fatalf("sum = %v, want 53.5", h.Sum())
+	}
+	pts := r.Snapshot()
+	want := map[string]float64{
+		`h_bucket{le="1"}`:    2, // 0.5 and the boundary value 1 (le is inclusive)
+		`h_bucket{le="10"}`:   3,
+		`h_bucket{le="+Inf"}`: 4,
+		"h_sum":               53.5,
+		"h_count":             4,
+	}
+	got := map[string]float64{}
+	for _, p := range pts {
+		got[p.Name] = p.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`events_dropped_total{type="link_lost"}`).Add(2)
+	r.Counter(`events_dropped_total{type="device_lost"}`).Add(1)
+	r.Gauge("active_conns").Set(3)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE active_conns gauge\nactive_conns 3\n",
+		"# TYPE events_dropped_total counter\n",
+		`events_dropped_total{type="device_lost"} 1`,
+		`events_dropped_total{type="link_lost"} 2`,
+		"# TYPE lat histogram\n",
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="+Inf"} 1`,
+		"lat_sum 0.5\nlat_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with two labeled series.
+	if strings.Count(out, "# TYPE events_dropped_total") != 1 {
+		t.Errorf("family TYPE comment not deduplicated:\n%s", out)
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("two renders of an unchanged registry differ")
+	}
+}
+
+// TestRegistryConcurrency hammers registration and observation from many
+// goroutines; run under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DurationBuckets).Observe(float64(j) / 100)
+				if j%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Gauge("g").Value(); got != 8*500 {
+		t.Fatalf("gauge = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("h", DurationBuckets).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestTracerDeterministicIDs(t *testing.T) {
+	mk := func() string {
+		clk := clock.NewManual()
+		tr := NewTracer("node-1", clk, 64)
+		root := tr.Begin("link.degrading", 0, "bt:01")
+		clk.Advance(250 * time.Millisecond)
+		child := tr.Begin("handover.switch", root.ID, "bt:01")
+		clk.Advance(100 * time.Millisecond)
+		tr.End(child, "ok")
+		tr.End(root, "")
+		tr.Event("sync.delta", root.ID, "wl:02", "entries=3")
+		return tr.Log()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("same-seed trace logs differ:\n--- a\n%s--- b\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty trace log")
+	}
+	// Distinct origins must yield distinct ID spaces.
+	other := NewTracer("node-2", clock.NewManual(), 64)
+	if id := other.NextID(); id == NewTracer("node-1", clock.NewManual(), 64).NextID() {
+		t.Fatalf("distinct origins produced colliding span IDs: %x", id)
+	}
+	if !strings.Contains(a, "parent=0000000000000000 link.degrading") {
+		t.Errorf("root span malformed:\n%s", a)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer("n", clock.NewManual(), 4)
+	for i := 0; i < 10; i++ {
+		tr.Event("e", 0, "", "")
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	// Oldest-first: the retained spans are the last four recorded.
+	for i, sp := range spans {
+		if got, want := sp.ID&0xffffffff, uint64(7+i); got != want {
+			t.Fatalf("span[%d] seq = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestTracerSubscribeLossy(t *testing.T) {
+	tr := NewTracer("n", clock.NewManual(), 16)
+	sub := tr.Subscribe(2)
+	for i := 0; i < 5; i++ {
+		tr.Event("e", 0, "", "")
+	}
+	if sub.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", sub.Dropped())
+	}
+	got := 0
+	for {
+		select {
+		case <-sub.C():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 2 {
+		t.Fatalf("received %d spans, want 2", got)
+	}
+	tr.Unsubscribe(sub)
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel not closed after Unsubscribe")
+	}
+	tr.Unsubscribe(sub) // idempotent
+}
+
+func TestNilTracerAbsorbs(t *testing.T) {
+	var tr *Tracer
+	if tr.NextID() != 0 {
+		t.Fatal("nil tracer handed out a span ID")
+	}
+	sp := tr.Begin("x", 0, "")
+	if sp.ID != 0 {
+		t.Fatal("nil tracer began a real span")
+	}
+	tr.End(sp, "")
+	if tr.Event("x", 0, "", "") != 0 {
+		t.Fatal("nil tracer recorded an event")
+	}
+	if tr.Subscribe(1) != nil || tr.Spans() != nil || tr.Log() != "" || tr.Total() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+	tr.Unsubscribe(nil)
+}

@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peerhood/internal/clock"
+)
+
+// Span is one causally-linked step of a handover or sync lifecycle. A root
+// span (Parent == 0) is opened where the lifecycle starts — typically the
+// linkmon Stable→Degrading verdict — and children carry its ID through
+// handover.Thread, discovery sync, and the vconn reconnect, so the whole
+// chain can be reconstructed from the trace log or a live TRACE_SUBSCRIBE
+// stream.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string // lifecycle step: "link.degrading", "handover.switch", "sync.delta", ...
+	Addr   string // peer address the step concerns, if any
+	Start  time.Time
+	End    time.Time
+	Detail string
+}
+
+// String renders the span in the deterministic single-line form used by
+// the trace log and `phctl trace`: same-seed manual-clock runs must
+// produce byte-identical output, so everything here is fixed-width or
+// value-derived — no wall-clock, no map iteration.
+func (s Span) String() string {
+	var b strings.Builder
+	b.Grow(96 + len(s.Name) + len(s.Addr) + len(s.Detail))
+	b.WriteString("span=")
+	b.WriteString(hex16(s.ID))
+	b.WriteString(" parent=")
+	b.WriteString(hex16(s.Parent))
+	b.WriteString(" ")
+	b.WriteString(s.Name)
+	b.WriteString(" start=")
+	b.WriteString(strconv.FormatInt(s.Start.UnixNano(), 10))
+	b.WriteString(" dur=")
+	b.WriteString(s.End.Sub(s.Start).String())
+	if s.Addr != "" {
+		b.WriteString(" addr=")
+		b.WriteString(s.Addr)
+	}
+	if s.Detail != "" {
+		b.WriteString(" detail=")
+		b.WriteString(s.Detail)
+	}
+	return b.String()
+}
+
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// TraceSub is a lossy subscription to finished spans, mirroring the event
+// bus discipline: a slow consumer drops spans rather than stalling the
+// daemon.
+type TraceSub struct {
+	ch      chan Span
+	dropped atomic.Uint64
+}
+
+// C returns the delivery channel.
+func (s *TraceSub) C() <-chan Span { return s.ch }
+
+// Dropped returns how many spans were discarded because the channel was
+// full.
+func (s *TraceSub) Dropped() uint64 { return s.dropped.Load() }
+
+// Tracer records finished spans into a bounded ring and fans them out to
+// subscribers. Span IDs are deterministic: the high 32 bits are an FNV
+// hash of the tracer's origin (the daemon name), the low 32 bits a
+// monotonic sequence — so same-seed manual-clock runs, which create spans
+// in the same order, assign byte-identical IDs.
+//
+// All methods are nil-safe; a nil *Tracer absorbs spans and hands out
+// ID 0, which every consumer treats as "no span".
+type Tracer struct {
+	clk    clock.Clock
+	origin uint64
+	seq    atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int // ring write cursor
+	total uint64
+	subs  map[*TraceSub]struct{}
+}
+
+// DefaultTraceCapacity is the finished-span ring size used by daemons.
+const DefaultTraceCapacity = 1024
+
+// NewTracer returns a tracer whose span IDs are seeded from origin
+// (typically the daemon name). capacity bounds the finished-span ring;
+// values < 1 fall back to DefaultTraceCapacity.
+func NewTracer(origin string, clk clock.Clock, capacity int) *Tracer {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	if capacity < 1 {
+		capacity = DefaultTraceCapacity
+	}
+	h := fnv.New64a()
+	h.Write([]byte(origin))
+	return &Tracer{
+		clk:    clk,
+		origin: h.Sum64() << 32,
+		ring:   make([]Span, 0, capacity),
+		subs:   make(map[*TraceSub]struct{}),
+	}
+}
+
+// NextID allocates a fresh span ID without opening a span; zero on nil.
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.origin | (t.seq.Add(1) & 0xffffffff)
+}
+
+// Begin opens a span. The returned value is held by the caller (spans are
+// plain values, not handles) and finished with End. On a nil tracer the
+// zero Span is returned and End on it is a no-op.
+func (t *Tracer) Begin(name string, parent uint64, addr string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{ID: t.NextID(), Parent: parent, Name: name, Addr: addr, Start: t.clk.Now()}
+}
+
+// End stamps the span's end time and records it. No-op on a nil tracer or
+// a zero span.
+func (t *Tracer) End(sp Span, detail string) {
+	if t == nil || sp.ID == 0 {
+		return
+	}
+	sp.End = t.clk.Now()
+	if detail != "" {
+		sp.Detail = detail
+	}
+	t.record(sp)
+}
+
+// Event records an instantaneous span (Start == End) and returns its ID,
+// for lifecycle steps with no meaningful duration. Zero on a nil tracer.
+func (t *Tracer) Event(name string, parent uint64, addr, detail string) uint64 {
+	if t == nil {
+		return 0
+	}
+	now := t.clk.Now()
+	sp := Span{ID: t.NextID(), Parent: parent, Name: name, Addr: addr, Start: now, End: now, Detail: detail}
+	t.record(sp)
+	return sp.ID
+}
+
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	for s := range t.subs {
+		select {
+		case s.ch <- sp:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Subscribe registers a lossy subscription to finished spans. buffer < 1
+// falls back to 64. Returns nil on a nil tracer.
+func (t *Tracer) Subscribe(buffer int) *TraceSub {
+	if t == nil {
+		return nil
+	}
+	if buffer < 1 {
+		buffer = 64
+	}
+	s := &TraceSub{ch: make(chan Span, buffer)}
+	t.mu.Lock()
+	t.subs[s] = struct{}{}
+	t.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes a subscription and closes its channel.
+func (t *Tracer) Unsubscribe(s *TraceSub) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.subs[s]; ok {
+		delete(t.subs, s)
+		close(s.ch)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the finished spans still in the ring, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many spans have ever been recorded (ring evictions
+// included).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Log renders the retained spans as deterministic one-per-line text — the
+// form pinned byte-identical across same-seed S4/S5 runs.
+func (t *Tracer) Log() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, sp := range t.Spans() {
+		b.WriteString(sp.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -43,6 +43,7 @@ import (
 	"peerhood/internal/plugin"
 	"peerhood/internal/simnet"
 	"peerhood/internal/storage"
+	"peerhood/internal/telemetry"
 )
 
 // Re-exported core types. The aliases keep one set of types across the
@@ -199,6 +200,7 @@ type WorldConfig struct {
 type World struct {
 	sim *simnet.World
 	clk clock.Clock
+	reg *telemetry.Registry
 
 	mu    sync.Mutex
 	nodes []*Node
@@ -226,12 +228,19 @@ func NewWorld(cfg WorldConfig) *World {
 	if cfg.LinearScan {
 		opts = append(opts, simnet.WithLinearScan())
 	}
-	w := &World{sim: simnet.NewWorld(clk, cfg.Seed, opts...), clk: clk}
+	w := &World{sim: simnet.NewWorld(clk, cfg.Seed, opts...), clk: clk, reg: telemetry.NewRegistry()}
+	w.sim.Instrument(w.reg)
 	if cfg.LinkCheckInterval > 0 {
 		w.sim.StartAutoCheck(cfg.LinkCheckInterval)
 	}
 	return w
 }
+
+// Registry returns the world's telemetry registry: the radio substrate's
+// frame/dial/link counters, aggregated across every node (per-daemon
+// registries live on each node's Daemon). Scenario reports read it
+// through the experiments telemetry adapter.
+func (w *World) Registry() *telemetry.Registry { return w.reg }
 
 // Sim exposes the underlying simulator for advanced scenarios (fault
 // injection, parameter overrides in experiments).
