@@ -154,11 +154,19 @@ func (s *Service) handle(conn plugin.Conn, hello *phproto.HelloBridge, via plugi
 	closed := s.closed
 	s.mu.Unlock()
 
+	// A resume-flagged chain is acknowledged end to end with PH_RESUME_ACK
+	// (it carries the endpoint's receive position); everything else keeps
+	// the plain PH_OK/PH_FAIL of fig 4.3.
+	resume := hello.Flags&phproto.HelloFlagResume != 0
 	reject := func(reason string) {
 		s.mu.Lock()
 		s.stats.ChainsFailed++
 		s.mu.Unlock()
-		_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: reason})
+		if resume {
+			_ = phproto.Write(conn, &phproto.ResumeAck{OK: false, Reason: reason})
+		} else {
+			_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: reason})
+		}
 		_ = conn.Close()
 	}
 
@@ -194,6 +202,7 @@ func (s *Service) handle(conn plugin.Conn, hello *phproto.HelloBridge, via plugi
 
 	var out plugin.Conn
 	var lastReason string
+	var peerRecv uint32
 	for _, route := range entry.Routes {
 		if route.Bridge == prevHop {
 			continue
@@ -208,7 +217,7 @@ func (s *Service) handle(conn plugin.Conn, hello *phproto.HelloBridge, via plugi
 			lastReason = "bridge ttl exhausted"
 			continue
 		}
-		next, err := s.lib.ConnectVia(library.Via{
+		via := library.Via{
 			Route:       route,
 			Target:      hello.Dest,
 			ServiceName: hello.ServiceName,
@@ -217,10 +226,24 @@ func (s *Service) handle(conn plugin.Conn, hello *phproto.HelloBridge, via plugi
 			Reconnect:   hello.Reconnect,
 			Client:      client,
 			TTL:         hello.TTL - 1,
-		})
+		}
+		// Forward the continuity extension hop by hop: the session token
+		// (and for a resume, the requester's receive position) must reach
+		// the endpoint unchanged.
+		switch {
+		case resume:
+			via.Resume = &library.ResumeInfo{Token: hello.Token, RecvSeq: hello.RecvSeq}
+		case hello.Flags&phproto.HelloFlagContinuity != 0:
+			via.Continuity = true
+			via.Token = hello.Token
+		}
+		next, err := s.lib.ConnectVia(via)
 		if err != nil {
 			lastReason = err.Error()
 			continue
+		}
+		if resume {
+			peerRecv = via.Resume.PeerRecvSeq
 		}
 		out = next
 		break
@@ -234,8 +257,13 @@ func (s *Service) handle(conn plugin.Conn, hello *phproto.HelloBridge, via plugi
 	}
 
 	// Chain is up: propagate the acknowledgement to the requester
-	// (fig 4.3's connection acknowledgement).
-	if err := phproto.Write(conn, &phproto.Ack{OK: true}); err != nil {
+	// (fig 4.3's connection acknowledgement). A resume relays the
+	// endpoint's PH_RESUME_ACK position instead.
+	var ackMsg phproto.Message = &phproto.Ack{OK: true}
+	if resume {
+		ackMsg = &phproto.ResumeAck{OK: true, RecvSeq: peerRecv}
+	}
+	if err := phproto.Write(conn, ackMsg); err != nil {
 		_ = conn.Close()
 		_ = out.Close()
 		s.mu.Lock()

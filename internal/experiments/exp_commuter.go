@@ -33,7 +33,7 @@ func RunCommuter(cfg Config) (Result, error) {
 	}
 	trials := cfg.trials(6, 2)
 
-	var regCompleted, regFailed, regSpans int64
+	var regCompleted, regFailed, regSpans, regResumed int64
 	run := func(t *table, c cell) (reactive, predictive commuterSummary, err error) {
 		for _, predictiveMode := range []bool{false, true} {
 			var agg commuterAgg
@@ -48,6 +48,7 @@ func RunCommuter(cfg Config) (Result, error) {
 			regCompleted += agg.regCompleted
 			regFailed += agg.regFailed
 			regSpans += agg.regSpans
+			regResumed += agg.resumed
 			sum := agg.summary(trials)
 			mode := "reactive"
 			if predictiveMode {
@@ -97,6 +98,8 @@ func RunCommuter(cfg Config) (Result, error) {
 			walkPredictive.disruption, walkReactive.disruption, safeRatio(walkReactive.disruption, walkPredictive.disruption)),
 		"expected shape: predictive's edge peaks at walking/jogging speed; at stroll speed reactive already has margin (predictive's extra handovers show up as spurious rate), and at vehicle speed zones outpace any trigger (the thesis' short-setup caveat)",
 		"relay churn narrows the edge: a proactive re-route can land on a zone that blinks off moments later",
+		fmt.Sprintf("dropped bytes are the restart cost: the S3 stream runs a plain (pre-continuity) connection, so every completed handover restarted lossily (resumed %d of %d); S5's dual/predictive+cont row makes the same class of switches over the continuity window and drops 0 B",
+			regResumed, regCompleted),
 		fmt.Sprintf("telemetry registry across all trials (the series phctl stats serves): peerhood_handover_completed_total=%d, peerhood_handover_failed_total=%d, %d trace spans recorded",
 			regCompleted, regFailed, regSpans),
 	}
@@ -121,6 +124,12 @@ type commuterStats struct {
 	disruption time.Duration
 	sentBytes  int64
 	gotBytes   int64
+	// resumed splits handovers into zero-loss PH_RESUME re-attachments vs
+	// lossy restarts (restarted = handovers - resumed). S3's stream runs a
+	// plain connection, so this stays 0 and every switch pays the dropped-
+	// bytes column; the S5 dual/predictive+cont row is the same walk with
+	// the continuity window resuming instead.
+	resumed int64
 	// Registry-sourced cross-checks: the commuter's telemetry counters
 	// (the series phctl stats serves) and its trace-span total.
 	regCompleted int64
@@ -132,6 +141,7 @@ type commuterAgg struct {
 	handovers, predictive, spurious float64
 	disruption                      float64
 	sent, got                       float64
+	resumed                         int64
 	regCompleted, regFailed         int64
 	regSpans                        int64
 }
@@ -143,6 +153,7 @@ func (a *commuterAgg) add(s commuterStats) {
 	a.disruption += s.disruption.Seconds()
 	a.sent += float64(s.sentBytes)
 	a.got += float64(s.gotBytes)
+	a.resumed += s.resumed
 	a.regCompleted += s.regCompleted
 	a.regFailed += s.regFailed
 	a.regSpans += s.regSpans
@@ -159,9 +170,14 @@ type commuterSummary struct {
 func (a commuterAgg) summary(trials int) commuterSummary {
 	n := float64(trials)
 	s := commuterSummary{
-		handovers:    a.handovers / n,
-		predictive:   a.predictive / n,
-		disruption:   a.disruption / n,
+		handovers:  a.handovers / n,
+		predictive: a.predictive / n,
+		disruption: a.disruption / n,
+		// sent - got is honest loss only because a write torn mid-frame
+		// reports exactly the bytes the wire took and stops (pinned by
+		// TestWritePartialAccountingReturnsImmediately); a whole-buffer
+		// retry would re-send a prefix the receiver already counted and
+		// this difference would mix duplication into the loss figure.
 		droppedBytes: (a.sent - a.got) / n,
 	}
 	if a.handovers > 0 {
@@ -350,6 +366,7 @@ func commuterTrial(cfg Config, seed int64, speed, churn float64, predictive bool
 	out := commuterStats{
 		handovers:    st.Handovers,
 		predictive:   st.PredictiveHandovers,
+		resumed:      st.Resumes,
 		sentBytes:    sentBytes,
 		regCompleted: int64(tm[`peerhood_handover_completed_total`]),
 		regFailed:    int64(tm[`peerhood_handover_failed_total`]),

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"peerhood"
@@ -33,12 +34,14 @@ import (
 // by TestHotspotExperimentDeterministic).
 func RunHotspot(cfg Config) (Result, error) {
 	t := newTable("MODE", "HANDOVERS", "VERT UP", "VERT DOWN", "PREDICTIVE",
-		"DISRUPTION", "LOW-Q TICKS", "SENT", "LOST", "WLAN BYTES", "WLAN SHARE")
+		"DISRUPTION", "LOW-Q TICKS", "SENT", "LOST", "RESUMED", "DROPPED B", "DUP B",
+		"WLAN BYTES", "WLAN SHARE")
 	modes := []hotspotMode{
 		{name: "gprs-only", techs: []peerhood.Tech{peerhood.GPRS}},
 		{name: "wlan-only", techs: []peerhood.Tech{peerhood.WLAN}},
 		{name: "dual/reactive", techs: []peerhood.Tech{peerhood.WLAN, peerhood.GPRS}},
 		{name: "dual/predictive", techs: []peerhood.Tech{peerhood.WLAN, peerhood.GPRS}, predictive: true},
+		{name: "dual/predictive+cont", techs: []peerhood.Tech{peerhood.WLAN, peerhood.GPRS}, predictive: true, continuity: true},
 	}
 	stats := make(map[string]hotspotStats, len(modes))
 	for _, m := range modes {
@@ -47,6 +50,11 @@ func RunHotspot(cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("mode %s: %w", m.name, err)
 		}
 		stats[m.name] = st
+		dropped, dup := "-", "-"
+		if m.continuity {
+			dropped = fmt.Sprintf("%d", st.contDropped)
+			dup = fmt.Sprintf("%d", st.contDupBytes)
+		}
 		t.add(m.name,
 			fmt.Sprintf("%d", st.handovers),
 			fmt.Sprintf("%d", st.verticalUp),
@@ -56,12 +64,15 @@ func RunHotspot(cfg Config) (Result, error) {
 			fmt.Sprintf("%d", st.lowTicks),
 			fmt.Sprintf("%d", st.sent),
 			fmt.Sprintf("%d", st.lost),
+			fmt.Sprintf("%d", st.resumed),
+			dropped,
+			dup,
 			fmt.Sprintf("%d", st.wlanBytes),
 			fmt.Sprintf("%.0f%%", st.wlanShare()*100),
 		)
-		cfg.logf("S5 %s: handovers=%d up=%d down=%d disruption=%.1fs lost=%d/%d wlan=%.0f%%",
+		cfg.logf("S5 %s: handovers=%d up=%d down=%d disruption=%.1fs lost=%d/%d resumed=%d wlan=%.0f%%",
 			m.name, st.handovers, st.verticalUp, st.verticalDown,
-			st.disruption.Seconds(), st.lost, st.sent, st.wlanShare()*100)
+			st.disruption.Seconds(), st.lost, st.sent, st.resumed, st.wlanShare()*100)
 	}
 
 	dual, wlan, gprs := stats["dual/predictive"], stats["wlan-only"], stats["gprs-only"]
@@ -73,6 +84,9 @@ func RunHotspot(cfg Config) (Result, error) {
 		fmt.Sprintf("predictive vs reactive on identical geometry: %d vs %d below-threshold stream ticks — prediction moves the down-switch ahead of the crossing, so the stream rides a good-class bearer essentially always",
 			stats["dual/predictive"].lowTicks, stats["dual/reactive"].lowTicks),
 		"same-seed replays are byte-identical (manual clock, single-goroutine drive); legacy peers without sibling advertisements interoperate via the stripped wire forms (TestHotspotLegacyInterop)",
+		fmt.Sprintf("dual/predictive+cont adds the session-continuity window (PH_RESUME, 4 KiB send window): every vertical switch resumes instead of restarting — %d resumes, %d B dropped, %d B duplicated end to end, vs %d lost messages on the lossy dual/predictive row over the same walk",
+			stats["dual/predictive+cont"].resumed, stats["dual/predictive+cont"].contDropped,
+			stats["dual/predictive+cont"].contDupBytes, stats["dual/predictive"].lost),
 		"dual/predictive telemetry registry (the series phctl stats serves): " + telemetryLine(dual.tm,
 			`peerhood_handover_completed_total`,
 			`peerhood_handover_vertical_total{dir="up"}`,
@@ -108,6 +122,10 @@ type hotspotMode struct {
 	name       string
 	techs      []peerhood.Tech
 	predictive bool
+	// continuity runs the stream over the session-continuity window
+	// (WithContinuityWindow): handovers resume with PH_RESUME instead of
+	// restarting, and the trial verifies zero loss end to end.
+	continuity bool
 }
 
 type hotspotStats struct {
@@ -121,6 +139,19 @@ type hotspotStats struct {
 	wlanBytes    int64
 	totalBytes   int64
 	busVertical  int
+	// Continuity-mode accounting: resumed counts PH_RESUME re-attachments;
+	// contDropped is accepted-minus-delivered bytes after the final Flush
+	// (the zero-loss claim) and contDupBytes is delivered-minus-accepted
+	// (the no-duplicate-delivery claim) — both zero means exactly-once.
+	// contStreamErrs counts receiver bytes whose content disagrees with the
+	// sender's deterministic pattern (an ordering or corruption slip that a
+	// balanced byte count could mask); contHighWater is the send window's
+	// peak occupancy (the bounded-memory claim).
+	resumed        int64
+	contDropped    int64
+	contDupBytes   int64
+	contStreamErrs int64
+	contHighWater  int
 	// tm is the commuter's merged telemetry snapshot at trial end; the
 	// vertical-handover table columns quote its registry series. spanTrace
 	// is the commuter's rendered span log, byte-identical across same-seed
@@ -216,11 +247,31 @@ func hotspotTrial(cfg Config, seed int64, mode hotspotMode) (hotspotStats, error
 		return hotspotStats{}, err
 	}
 
+	// The sink keeps the server-side connection observable: the continuity
+	// mode settles its zero-loss books against the receiver's own counters.
+	// In that mode every stream byte also carries a position-derived pattern
+	// (message k is 64 bytes of k%251), so the receiver detects reordering
+	// or corruption that a balanced byte count would mask.
+	srvConnCh := make(chan *peerhood.Connection, 4)
+	var streamOff, streamErrs atomic.Int64
 	if _, err := server.RegisterService("sink", "", func(c *peerhood.Connection, m peerhood.ConnectionMeta) {
+		select {
+		case srvConnCh <- c:
+		default:
+		}
 		defer c.Close()
 		buf := make([]byte, 4096)
 		for {
-			if _, err := c.Read(buf); err != nil {
+			n, err := c.Read(buf)
+			if mode.continuity {
+				for _, got := range buf[:n] {
+					off := streamOff.Add(1) - 1
+					if got != byte(off/msgBytes%251) {
+						streamErrs.Add(1)
+					}
+				}
+			}
+			if err != nil {
 				return
 			}
 		}
@@ -244,6 +295,12 @@ func hotspotTrial(cfg Config, seed int64, mode hotspotMode) (hotspotStats, error
 		a, _ := server.AddrFor(peerhood.GPRS)
 		target = a
 		opts = append(opts, peerhood.WithTech(peerhood.WLAN))
+	}
+	if mode.continuity {
+		// 4 KiB bounds the replay buffer to 64 stream messages — enough to
+		// absorb any handover window on this corridor, small enough that the
+		// bounded-memory claim is a real constraint.
+		opts = append(opts, peerhood.WithContinuityWindow(4096))
 	}
 	conn, err := commuter.Connect(target, "sink", opts...)
 	if err != nil {
@@ -290,6 +347,7 @@ func hotspotTrial(cfg Config, seed int64, mode hotspotMode) (hotspotStats, error
 	}
 
 	msg := make([]byte, msgBytes)
+	msgIdx := 0
 	walkDur := time.Duration((walkTo - hotspotWalkFrom) / hotspotSpeed * float64(time.Second))
 	total := walkDur + 4*time.Second // drain ticks let recovery settle
 	var outageStart time.Time
@@ -312,12 +370,18 @@ func hotspotTrial(cfg Config, seed int64, mode hotspotMode) (hotspotStats, error
 			if q > 0 && q < peerhood.QualityThreshold {
 				st.lowTicks++
 			}
+			if mode.continuity {
+				for j := range msg {
+					msg[j] = byte(msgIdx % 251)
+				}
+			}
 			if _, werr := conn.Write(msg); werr != nil {
 				st.lost++
 				if !inOutage {
 					inOutage, outageStart = true, clk.Now()
 				}
 			} else {
+				msgIdx++
 				st.totalBytes += msgBytes
 				if conn.RemoteAddr().Tech == peerhood.WLAN {
 					st.wlanBytes += msgBytes
@@ -338,9 +402,28 @@ func hotspotTrial(cfg Config, seed int64, mode hotspotMode) (hotspotStats, error
 	}
 	drain()
 
+	if mode.continuity {
+		// Drain the send window over the surviving bearer, then settle the
+		// zero-loss books against the receiver's counters: every byte Write
+		// accepted must have been delivered exactly once.
+		if err := conn.Flush(); err != nil {
+			return hotspotStats{}, fmt.Errorf("final flush: %w", err)
+		}
+		srv := <-srvConnCh
+		cst, sst := conn.ContinuityStats(), srv.ContinuityStats()
+		if d := st.totalBytes - sst.DeliveredBytes; d > 0 {
+			st.contDropped = d
+		} else {
+			st.contDupBytes = -d
+		}
+		st.contStreamErrs = streamErrs.Load()
+		st.contHighWater = cst.SendHighWater
+	}
+
 	hs := th.Stats()
 	st.handovers = hs.Handovers
 	st.predictive = hs.PredictiveHandovers
+	st.resumed = hs.Resumes
 	// The vertical split comes from the commuter's telemetry registry —
 	// the same `peerhood_handover_vertical_total{dir=...}` series phctl
 	// stats serves — rather than the thread's private tally (the two are

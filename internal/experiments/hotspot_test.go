@@ -199,9 +199,49 @@ func TestHotspotExperimentTable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run(S5): %v", err)
 	}
-	for _, mode := range []string{"gprs-only", "wlan-only", "dual/reactive", "dual/predictive"} {
+	for _, mode := range []string{"gprs-only", "wlan-only", "dual/reactive", "dual/predictive", "dual/predictive+cont"} {
 		if !strings.Contains(res.Table, mode) {
 			t.Fatalf("table missing %s row:\n%s", mode, res.Table)
 		}
+	}
+}
+
+// TestHotspotContinuityZeroLoss is the continuity acceptance gate: on the
+// full S5 walk — vertical up- and down-switches included — the
+// predictive+continuity mode must resume (not restart) every handover and
+// deliver the stream exactly once: zero bytes dropped, zero bytes
+// duplicated, every delivered byte matching the sender's pattern, all
+// within the 4 KiB send window it was configured with.
+func TestHotspotContinuityZeroLoss(t *testing.T) {
+	cfg := Config{Seed: 42, Quick: true}.withDefaults()
+	st, err := hotspotTrial(cfg, cfg.Seed, hotspotMode{
+		name:       "dual/predictive+cont",
+		techs:      []peerhood.Tech{peerhood.WLAN, peerhood.GPRS},
+		predictive: true,
+		continuity: true,
+	})
+	if err != nil {
+		t.Fatalf("continuity trial: %v", err)
+	}
+	if st.verticalUp == 0 || st.verticalDown == 0 {
+		t.Fatalf("walk exercised no vertical handover: up=%d down=%d", st.verticalUp, st.verticalDown)
+	}
+	if st.resumed == 0 {
+		t.Fatalf("no handover resumed; all fell back to lossy restart: %+v", st)
+	}
+	if st.lost != 0 {
+		t.Fatalf("continuity mode lost %d messages", st.lost)
+	}
+	if st.contDropped != 0 {
+		t.Fatalf("dropped %d bytes across handover (want 0)", st.contDropped)
+	}
+	if st.contDupBytes != 0 {
+		t.Fatalf("delivered %d duplicate bytes (want 0)", st.contDupBytes)
+	}
+	if st.contStreamErrs != 0 {
+		t.Fatalf("%d delivered bytes disagree with the sender's pattern", st.contStreamErrs)
+	}
+	if st.contHighWater > 4096 {
+		t.Fatalf("send window high water %d exceeds the 4096-byte bound", st.contHighWater)
 	}
 }

@@ -163,6 +163,11 @@ type Stats struct {
 	VerticalHandovers int64
 	VerticalUp        int64
 	VerticalDown      int64
+	// Resumes counts handovers that re-attached a continuity session with
+	// PH_RESUME — zero in-flight loss (included in Handovers). A Handover
+	// without a Resume on a continuity connection, or any Reconnect, is a
+	// lossy restart; the split is what S3/S5 disruption accounting reads.
+	Resumes int64
 }
 
 // Defaults mirror the thesis' simulation parameters (§5.2.1); the
@@ -276,6 +281,7 @@ type Thread struct {
 	hoVertUp     *telemetry.Counter
 	hoVertDown   *telemetry.Counter
 	hoReconnects *telemetry.Counter
+	hoResumes    *telemetry.Counter
 	hoUpgrades   *telemetry.Counter
 	hoSeconds    *telemetry.Histogram
 
@@ -358,6 +364,7 @@ func New(cfg Config) (*Thread, error) {
 		hoVertUp:     reg.Counter(`peerhood_handover_vertical_total{dir="up"}`),
 		hoVertDown:   reg.Counter(`peerhood_handover_vertical_total{dir="down"}`),
 		hoReconnects: reg.Counter(`peerhood_handover_reconnects_total`),
+		hoResumes:    reg.Counter(`peerhood_handover_resumes_total`),
 		hoUpgrades:   reg.Counter(`peerhood_handover_upgrades_total`),
 		hoSeconds:    reg.Histogram(`peerhood_handover_seconds`, telemetry.DurationBuckets),
 		state:        StateMonitoring,
@@ -698,29 +705,53 @@ func (t *Thread) routingHandover(parent uint64) bool {
 func (t *Thread) trySwitch(c storage.Candidate, parent uint64) bool {
 	svc := t.vc.Service()
 	sp := t.tracer.Begin("handover.switch", parent, c.Route.String())
-	raw, err := t.lib.ConnectVia(library.Via{
+	via := library.Via{
 		Route:       c.Route,
 		Target:      c.Target,
 		ServiceName: svc.Name,
 		ServicePort: svc.Port,
 		ConnID:      t.vc.ID(),
 		Reconnect:   true,
-	})
+	}
+	// A continuity session re-attaches with PH_RESUME instead of
+	// PH_RECONNECT: the endpoint's receive position comes back in the ack
+	// and the un-acked tail is replayed on the new bearer — zero loss.
+	resuming := t.vc.ContinuityEnabled()
+	if resuming {
+		via.Reconnect = false
+		via.Resume = &library.ResumeInfo{
+			Token:   t.vc.ContinuityToken(),
+			RecvSeq: t.vc.ContinuityRecvSeq(),
+		}
+	}
+	raw, err := t.lib.ConnectVia(via)
 	if err != nil {
 		t.tracer.End(sp, "dial-failed")
 		return false
 	}
 	oldRemote := t.vc.RemoteAddr()
 	prevTech := oldRemote.Tech
-	if c.Target != t.vc.Target() {
+	switch {
+	case resuming && c.Target != t.vc.Target():
+		rsp := t.tracer.Begin("conn.resume", sp.ID, c.Target.String())
+		t.vc.ResumeSwapTo(raw, c.Target, c.Route.Bridge, via.Resume.PeerRecvSeq)
+		t.tracer.End(rsp, fmt.Sprintf("peer-recv=%d", via.Resume.PeerRecvSeq))
+	case resuming:
+		rsp := t.tracer.Begin("conn.resume", sp.ID, c.Target.String())
+		t.vc.ResumeSwap(raw, c.Route.Bridge, via.Resume.PeerRecvSeq)
+		t.tracer.End(rsp, fmt.Sprintf("peer-recv=%d", via.Resume.PeerRecvSeq))
+	case c.Target != t.vc.Target():
 		t.vc.SwapRouteTo(raw, c.Target, c.Route.Bridge)
-	} else {
+	default:
 		t.vc.SwapRoute(raw, c.Route.Bridge)
 	}
 	newTech := t.vc.RemoteAddr().Tech
 	vertical := newTech != prevTech
 	t.mu.Lock()
 	t.stats.Handovers++
+	if resuming {
+		t.stats.Resumes++
+	}
 	if vertical {
 		t.stats.VerticalHandovers++
 		if device.RankOf(newTech).Bandwidth >= device.RankOf(prevTech).Bandwidth {
@@ -734,6 +765,9 @@ func (t *Thread) trySwitch(c storage.Candidate, parent uint64) bool {
 	}
 	t.mu.Unlock()
 	t.hoCompleted.Inc()
+	if resuming {
+		t.hoResumes.Inc()
+	}
 	t.tracer.End(sp, "done")
 	if t.monitor != nil && oldRemote != t.vc.RemoteAddr() {
 		// The abandoned link's trend must not ghost into the next
@@ -868,18 +902,35 @@ func (t *Thread) serviceReconnect(parent uint64) {
 
 	newTarget := chosen.Entry.Info.Addr
 	for _, r := range chosen.Entry.Routes {
-		raw, err := t.lib.ConnectVia(library.Via{
+		via := library.Via{
 			Route:       r,
 			Target:      newTarget,
 			ServiceName: chosen.Service.Name,
 			ServicePort: chosen.Service.Port,
 			ConnID:      t.vc.ID(),
 			Reconnect:   false, // a fresh application-level connection
-		})
+		}
+		// A continuity session cannot resume on a different provider — the
+		// old window state belongs to the dead peer — but it negotiates a
+		// fresh session so continuity survives the *next* handover. A
+		// provider that hangs up on the extended hello is a failed
+		// candidate route (the application restart protocol expects framed
+		// streams on both sides).
+		var token uint64
+		if t.vc.ContinuityEnabled() {
+			token = t.lib.NewContinuityToken()
+			via.Continuity = true
+			via.Token = token
+		}
+		raw, err := t.lib.ConnectVia(via)
 		if err != nil {
 			continue
 		}
-		t.vc.MarkRestart(raw, newTarget, r.Bridge)
+		if t.vc.ContinuityEnabled() {
+			t.vc.MarkRestartContinuity(raw, newTarget, r.Bridge, token)
+		} else {
+			t.vc.MarkRestart(raw, newTarget, r.Bridge)
+		}
 		t.mu.Lock()
 		t.stats.Reconnects++
 		t.mu.Unlock()

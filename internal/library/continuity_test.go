@@ -1,0 +1,252 @@
+package library_test
+
+import (
+	"errors"
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/library"
+	"peerhood/internal/phtest"
+)
+
+// contEchoService is echoService with the server-side VirtualConnection
+// exposed, so tests can inspect the far end's continuity counters.
+func contEchoService(t *testing.T, n *phtest.Node) chan *library.VirtualConnection {
+	t.Helper()
+	srvCh := make(chan *library.VirtualConnection, 1)
+	_, err := n.Lib.RegisterService("echo", "test", func(vc *library.VirtualConnection, meta library.ConnectionMeta) {
+		srvCh <- vc
+		defer vc.Close()
+		buf := make([]byte, 256)
+		for {
+			nr, err := vc.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := vc.Write(buf[:nr]); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("RegisterService(echo): %v", err)
+	}
+	return srvCh
+}
+
+func TestContinuityEchoDirect(t *testing.T) {
+	w := phtest.InstantWorld(t, 20)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	contEchoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo", library.WithContinuity())
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer vc.Close()
+	if !vc.ContinuityEnabled() {
+		t.Fatal("continuity not negotiated against a continuity-capable peer")
+	}
+	if vc.ContinuityToken() == 0 {
+		t.Fatal("continuity token is zero")
+	}
+
+	buf := make([]byte, 64)
+	for _, msg := range []string{"ping", "a longer payload to frame", "x"} {
+		if _, err := vc.Write([]byte(msg)); err != nil {
+			t.Fatalf("Write(%q): %v", msg, err)
+		}
+		n, err := vc.Read(buf)
+		if err != nil || string(buf[:n]) != msg {
+			t.Fatalf("Read = %q, %v, want %q", buf[:n], err, msg)
+		}
+	}
+	// Flush drains the send window: everything written has been acked.
+	if err := vc.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st := vc.ContinuityStats()
+	if st.SendBuffered != 0 {
+		t.Fatalf("post-flush send buffer = %d bytes", st.SendBuffered)
+	}
+	if st.DupFrames != 0 || st.GapFrames != 0 {
+		t.Fatalf("clean run saw dup=%d gap=%d frames", st.DupFrames, st.GapFrames)
+	}
+}
+
+func TestContinuityResumeReplaysUnackedTail(t *testing.T) {
+	// The tentpole scenario: the bearer dies with un-acked bytes in flight,
+	// the connection re-attaches with PH_RESUME on a fresh transport, and
+	// the tail is replayed — nothing lost, nothing duplicated.
+	w := phtest.InstantWorld(t, 21)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	srvCh := contEchoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo", library.WithContinuity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	srv := <-srvCh
+
+	buf := make([]byte, 64)
+	if _, err := vc.Write([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := vc.Read(buf); err != nil || string(buf[:n]) != "alpha" {
+		t.Fatalf("pre-handover read = %q, %v", buf[:n], err)
+	}
+
+	// Kill the bearer, then write while it is dead: the bytes must land in
+	// the send window, not on the floor.
+	_ = vc.Transport().Close()
+	if n, err := vc.Write([]byte("gamma")); err != nil || n != 5 {
+		t.Fatalf("write on dead bearer = %d, %v (want buffered as written)", n, err)
+	}
+
+	// Re-attach over a fresh transport with PH_RESUME, as the handover
+	// thread would.
+	entry, _ := a.Daemon.Storage().Lookup(b.Addr())
+	route, _ := entry.Best()
+	resume := &library.ResumeInfo{Token: vc.ContinuityToken(), RecvSeq: vc.ContinuityRecvSeq()}
+	raw, err := a.Lib.ConnectVia(library.Via{
+		Route: route, Target: b.Addr(), ServiceName: "echo",
+		ServicePort: vc.Service().Port, ConnID: vc.ID(), Resume: resume,
+	})
+	if err != nil {
+		t.Fatalf("ConnectVia(resume): %v", err)
+	}
+	vc.ResumeSwap(raw, device.Addr{}, resume.PeerRecvSeq)
+
+	if n, err := vc.Read(buf); err != nil || string(buf[:n]) != "gamma" {
+		t.Fatalf("post-resume read = %q, %v", buf[:n], err)
+	}
+	if err := vc.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	if vc.Resumes() != 1 || vc.Swaps() != 1 || vc.Restarts() != 0 {
+		t.Fatalf("resumes=%d swaps=%d restarts=%d, want 1/1/0",
+			vc.Resumes(), vc.Swaps(), vc.Restarts())
+	}
+	cst, sst := vc.ContinuityStats(), srv.ContinuityStats()
+	if cst.RetransFrames == 0 {
+		t.Fatal("resume with a buffered tail replayed nothing")
+	}
+	if cst.DupFrames != 0 || sst.DupFrames != 0 {
+		t.Fatalf("duplicates delivered: client=%d server=%d", cst.DupFrames, sst.DupFrames)
+	}
+	if sst.DeliveredBytes != int64(len("alpha")+len("gamma")) {
+		t.Fatalf("server delivered %d bytes, want %d", sst.DeliveredBytes, len("alpha")+len("gamma"))
+	}
+}
+
+func TestContinuityLegacyPeerFallsBack(t *testing.T) {
+	// A peer whose engine predates the continuity extension hangs up on the
+	// flagged hello; Connect must retry the same route flagless and hand
+	// back a plain (lossy) connection rather than failing.
+	w := phtest.InstantWorld(t, 22)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+
+	// Swap b's library for one that mimics a legacy engine.
+	b.Lib.Stop()
+	legacy, err := library.New(library.Config{Daemon: b.Daemon, DisableContinuity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b.Lib = legacy
+	contEchoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo", library.WithContinuity())
+	if err != nil {
+		t.Fatalf("Connect against legacy peer: %v", err)
+	}
+	defer vc.Close()
+	if vc.ContinuityEnabled() {
+		t.Fatal("negotiated continuity against a legacy peer")
+	}
+	if _, err := vc.Write([]byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if n, err := vc.Read(buf); err != nil || string(buf[:n]) != "plain" {
+		t.Fatalf("legacy echo = %q, %v", buf[:n], err)
+	}
+}
+
+func TestResumeBadTokenRejected(t *testing.T) {
+	// PH_RESUME must prove session ownership: a wrong token is refused with
+	// an explicit PH_RESUME_ACK failure, not silently attached.
+	w := phtest.InstantWorld(t, 23)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	contEchoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo", library.WithContinuity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	entry, _ := a.Daemon.Storage().Lookup(b.Addr())
+	route, _ := entry.Best()
+	_, err = a.Lib.ConnectVia(library.Via{
+		Route: route, Target: b.Addr(), ServiceName: "echo",
+		ServicePort: vc.Service().Port, ConnID: vc.ID(),
+		Resume: &library.ResumeInfo{Token: vc.ContinuityToken() + 1, RecvSeq: 0},
+	})
+	if !errors.Is(err, library.ErrRejected) {
+		t.Fatalf("resume with bad token: %v, want ErrRejected", err)
+	}
+}
+
+func TestOnSwapCallbackMayTouchConnection(t *testing.T) {
+	// Regression pin: SwapRoute must invoke the OnSwap callback outside
+	// vc.mu. A callback that calls back into the connection's lock-taking
+	// accessors (the natural thing for an application to do) would deadlock
+	// if the callback ever ran under the lock.
+	w := phtest.InstantWorld(t, 24)
+	a := phtest.AddNode(t, w, "a", geo.Pt(0, 0), device.Dynamic)
+	b := phtest.AddNode(t, w, "b", geo.Pt(5, 0), device.Static)
+	contEchoService(t, b)
+	phtest.RunRounds([]*phtest.Node{a, b}, 1)
+
+	vc, err := a.Lib.Connect(b.Addr(), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+
+	reentered := make(chan int, 1)
+	vc.OnSwap(func(oldR, newR device.Addr) {
+		// Each of these takes vc.mu.
+		_ = vc.Bridge()
+		_ = vc.RemoteAddr()
+		reentered <- vc.Generation()
+	})
+
+	entry, _ := a.Daemon.Storage().Lookup(b.Addr())
+	route, _ := entry.Best()
+	raw, err := a.Lib.ConnectVia(library.Via{
+		Route: route, Target: b.Addr(), ServiceName: "echo",
+		ServicePort: vc.Service().Port, ConnID: vc.ID(), Reconnect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.SwapRoute(raw, device.Addr{})
+	if gen := <-reentered; gen != 2 {
+		t.Fatalf("generation observed from OnSwap = %d, want 2", gen)
+	}
+}

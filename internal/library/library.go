@@ -66,6 +66,12 @@ type Config struct {
 	// Seed makes connection-ID generation deterministic; 0 derives one
 	// from the daemon name.
 	Seed int64
+	// DisableContinuity makes the engine behave like a pre-continuity
+	// peer: extended hellos are dropped without an acknowledgement (a real
+	// legacy decoder rejects their trailing bytes and hangs up) and
+	// PH_RESUME is an unknown command. Interop tests and staged rollouts
+	// use it; callers fall back to today's lossy behaviour.
+	DisableContinuity bool
 }
 
 // ConnectionMeta describes an incoming connection to a service handler.
@@ -111,6 +117,14 @@ type Library struct {
 	started       bool
 	stopped       bool
 	wg            sync.WaitGroup
+
+	// Continuity telemetry, resolved once (nil-safe on a daemon without a
+	// registry).
+	contRetransFrames *telemetry.Counter
+	contRetransBytes  *telemetry.Counter
+	contDupFrames     *telemetry.Counter
+	contDupBytes      *telemetry.Counter
+	contResumes       *telemetry.Counter
 }
 
 type handlerEntry struct {
@@ -143,6 +157,7 @@ func New(cfg Config) (*Library, error) {
 		_, _ = h.Write([]byte(cfg.Daemon.Name()))
 		seed = int64(h.Sum64())
 	}
+	reg := cfg.Daemon.Registry()
 	return &Library{
 		d:            cfg.Daemon,
 		clk:          cfg.Daemon.Clock(),
@@ -152,6 +167,12 @@ func New(cfg Config) (*Library, error) {
 		vcs:          make(map[uint64]*VirtualConnection),
 		eventStreams: make(map[plugin.Conn]*events.Subscription),
 		traceStreams: make(map[plugin.Conn]*telemetry.TraceSub),
+
+		contRetransFrames: reg.Counter("peerhood_continuity_retransmit_frames_total"),
+		contRetransBytes:  reg.Counter("peerhood_continuity_retransmit_bytes_total"),
+		contDupFrames:     reg.Counter("peerhood_continuity_dup_frames_total"),
+		contDupBytes:      reg.Counter("peerhood_continuity_dup_bytes_total"),
+		contResumes:       reg.Counter("peerhood_continuity_resumes_total"),
 	}, nil
 }
 
@@ -283,6 +304,8 @@ type ConnectOption func(*connectOptions)
 type connectOptions struct {
 	sendClientInfo bool
 	preferTech     device.Tech
+	continuity     bool
+	windowBytes    int
 }
 
 // WithClientInfo makes Connect send the local device descriptor in the
@@ -290,6 +313,28 @@ type connectOptions struct {
 // disconnection (§5.3 method 2).
 func WithClientInfo() ConnectOption {
 	return func(o *connectOptions) { o.sendClientInfo = true }
+}
+
+// WithContinuity negotiates the session-continuity window on the
+// connection: the byte stream is framed with sequence numbers, the un-acked
+// tail is buffered and replayed across handovers (PH_RESUME), and the far
+// end deduplicates — zero byte loss, no duplicates, bearer changes
+// invisible to the application. A peer that cannot decode the extended
+// hello hangs up, and Connect falls back to a flagless attempt on the same
+// route: legacy peers keep today's lossy behaviour.
+func WithContinuity() ConnectOption {
+	return func(o *connectOptions) { o.continuity = true }
+}
+
+// WithContinuityWindow is WithContinuity with an explicit send-window bound
+// in bytes (<= 0 takes record.DefaultWindowBytes). The bound is the
+// connection's retransmission memory cost; a writer blocks once it is full
+// of un-acked data.
+func WithContinuityWindow(bytes int) ConnectOption {
+	return func(o *connectOptions) {
+		o.continuity = true
+		o.windowBytes = bytes
+	}
 }
 
 // WithTech states a technology preference for the connection: when the
@@ -344,8 +389,42 @@ func (l *Library) Connect(target device.Addr, service string, opts ...ConnectOpt
 	}
 
 	connID := l.newConnID()
+	var token uint64
+	if o.continuity {
+		token = l.NewContinuityToken()
+	}
 	var lastErr error
 	for _, route := range entry.Routes {
+		if o.continuity {
+			raw, err := l.ConnectVia(Via{
+				Route:       route,
+				Target:      target,
+				ServiceName: svc.Name,
+				ServicePort: svc.Port,
+				ConnID:      connID,
+				Client:      client,
+				Continuity:  true,
+				Token:       token,
+			})
+			if err == nil {
+				vc := newVirtualConnection(l, raw, connID, target, svc, route.Bridge)
+				vc.enableContinuity(token, o.windowBytes)
+				l.register(vc)
+				return vc, nil
+			}
+			lastErr = err
+			if errors.Is(err, ErrRejected) && route.Direct() {
+				// An explicit PH_FAIL on a direct route means the peer
+				// decoded the extended hello and refused the service; a
+				// flagless retry cannot change that verdict. Through a
+				// bridge the PH_FAIL may only mean the downstream leg choked
+				// on the extension, so bridged routes still get the retry.
+				continue
+			}
+			// Hang-up without an acknowledgement: a legacy peer (or bridge)
+			// choking on the extended hello. Retry the same route flagless —
+			// today's lossy behaviour.
+		}
 		raw, err := l.ConnectVia(Via{
 			Route:       route,
 			Target:      target,
@@ -365,6 +444,17 @@ func (l *Library) Connect(target device.Addr, service string, opts ...ConnectOpt
 	return nil, lastErr
 }
 
+// NewContinuityToken draws a fresh session-continuity token from the
+// library's deterministic source. The handover thread uses it when a lossy
+// service reconnection needs to renegotiate a continuity session.
+func (l *Library) NewContinuityToken() uint64 {
+	for {
+		if t := uint64(l.src.Int63()); t != 0 {
+			return t
+		}
+	}
+}
+
 // Via describes one low-level connection attempt along a specific route.
 type Via struct {
 	Route       storage.Route
@@ -381,6 +471,28 @@ type Via struct {
 	// TTL bounds the bridge chain; 0 takes the library default. Bridges
 	// pass the decremented TTL of the hello they are extending.
 	TTL uint8
+	// Continuity asks the far end to enable the session-continuity window;
+	// Token is the session secret sent with the PH_NEW (and forwarded hop
+	// by hop through bridges).
+	Continuity bool
+	Token      uint64
+	// Resume, when non-nil, makes the final hop deliver PH_RESUME instead
+	// of PH_NEW/PH_RECONNECT: re-attach to connection ConnID with the
+	// stated proof and receive position. On success Resume.PeerRecvSeq is
+	// filled from the endpoint's PH_RESUME_ACK.
+	Resume *ResumeInfo
+}
+
+// ResumeInfo carries a PH_RESUME's identity proof and receive position, and
+// returns the endpoint's position.
+type ResumeInfo struct {
+	// Token proves the caller originated the continuity session.
+	Token uint64
+	// RecvSeq is the caller's cumulative receive position.
+	RecvSeq uint32
+	// PeerRecvSeq is an out-parameter: the endpoint's cumulative receive
+	// position, from which the caller replays its un-acked tail.
+	PeerRecvSeq uint32
 }
 
 // ConnectVia performs the low-level connection establishment along one
@@ -399,6 +511,8 @@ func (l *Library) ConnectVia(v Via) (plugin.Conn, error) {
 	firstHop := v.Target
 	var hello phproto.Message
 	switch {
+	case v.Route.Direct() && v.Resume != nil:
+		hello = &phproto.HelloResume{ConnID: v.ConnID, Token: v.Resume.Token, RecvSeq: v.Resume.RecvSeq}
 	case v.Route.Direct() && v.Reconnect:
 		hello = &phproto.HelloReconnect{ConnID: v.ConnID}
 	case v.Route.Direct():
@@ -406,6 +520,10 @@ func (l *Library) ConnectVia(v Via) (plugin.Conn, error) {
 		if v.Client != nil {
 			m.HasClient = true
 			m.Client = v.Client.Clone()
+		}
+		if v.Continuity {
+			m.Flags = phproto.HelloFlagContinuity
+			m.Token = v.Token
 		}
 		hello = m
 	default:
@@ -421,6 +539,15 @@ func (l *Library) ConnectVia(v Via) (plugin.Conn, error) {
 		if v.Client != nil {
 			m.HasClient = true
 			m.Client = v.Client.Clone()
+		}
+		switch {
+		case v.Resume != nil:
+			m.Flags = phproto.HelloFlagResume
+			m.Token = v.Resume.Token
+			m.RecvSeq = v.Resume.RecvSeq
+		case v.Continuity:
+			m.Flags = phproto.HelloFlagContinuity
+			m.Token = v.Token
 		}
 		hello = m
 	}
@@ -440,6 +567,21 @@ func (l *Library) ConnectVia(v Via) (plugin.Conn, error) {
 	if err := phproto.Write(raw, hello); err != nil {
 		_ = raw.Close()
 		return nil, fmt.Errorf("library: sending hello: %w", err)
+	}
+	if v.Resume != nil {
+		// A resume is acknowledged end to end with PH_RESUME_ACK so the
+		// endpoint's receive position propagates back through any bridges.
+		rack, err := phproto.ReadExpect[*phproto.ResumeAck](raw)
+		if err != nil {
+			_ = raw.Close()
+			return nil, fmt.Errorf("library: awaiting resume acknowledgement: %w", err)
+		}
+		if !rack.OK {
+			_ = raw.Close()
+			return nil, fmt.Errorf("%w: %s", ErrRejected, rack.Reason)
+		}
+		v.Resume.PeerRecvSeq = rack.RecvSeq
+		return raw, nil
 	}
 	ack, err := phproto.ReadExpect[*phproto.Ack](raw)
 	if err != nil {
@@ -506,6 +648,13 @@ func (l *Library) handleIncoming(p plugin.Plugin, conn plugin.Conn) {
 		bh(conn, m, p)
 	case *phproto.HelloReconnect:
 		l.handleReconnect(conn, m)
+	case *phproto.HelloResume:
+		if l.cfg.DisableContinuity {
+			// A legacy engine does not know the command; it hangs up.
+			_ = conn.Close()
+			return
+		}
+		l.handleResume(conn, m)
 	case *phproto.EventSubscribe:
 		l.handleEventSubscribe(conn, m)
 	case *phproto.TraceSubscribe:
@@ -656,6 +805,14 @@ func traceSpanFrame(sp telemetry.Span) *phproto.TraceSpan {
 }
 
 func (l *Library) handleHelloNew(conn plugin.Conn, m *phproto.HelloNew) {
+	wantContinuity := m.Flags&phproto.HelloFlagContinuity != 0
+	if wantContinuity && l.cfg.DisableContinuity {
+		// Mimic a legacy engine faithfully: its decoder rejects the
+		// extended hello's trailing bytes and hangs up without an ack,
+		// which is the caller's signal to fall back flagless.
+		_ = conn.Close()
+		return
+	}
 	l.mu.Lock()
 	entry, ok := l.handlers[m.ServicePort]
 	if !ok && m.ServiceName != "" {
@@ -678,6 +835,11 @@ func (l *Library) handleHelloNew(conn plugin.Conn, m *phproto.HelloNew) {
 		return
 	}
 	vc := newVirtualConnection(l, conn, m.ConnID, conn.RemoteAddr(), entry.svc, device.Addr{})
+	if wantContinuity {
+		// Enabled before the handler goroutine starts and before the
+		// client (who is waiting on our ack) can send a first frame.
+		vc.enableContinuity(m.Token, 0)
+	}
 	l.register(vc)
 	meta := ConnectionMeta{
 		ConnID:    m.ConnID,
@@ -705,11 +867,56 @@ func (l *Library) handleReconnect(conn plugin.Conn, m *phproto.HelloReconnect) {
 		_ = conn.Close()
 		return
 	}
+	if vc.ContinuityEnabled() {
+		// A plain reconnect would silently restart the windowed stream
+		// mid-sequence; a continuity session must be re-attached with
+		// PH_RESUME so both sides retransmit from known positions.
+		_ = phproto.Write(conn, &phproto.Ack{OK: false, Reason: "resume required"})
+		_ = conn.Close()
+		return
+	}
 	if err := phproto.Write(conn, &phproto.Ack{OK: true}); err != nil {
 		_ = conn.Close()
 		return
 	}
 	vc.Swap(conn)
+}
+
+// handleResume re-attaches an incoming transport to a continuity session:
+// validate the identity proof, answer with our receive position, then
+// substitute the transport — the resume sweep retransmits our own un-acked
+// tail on it, and the caller replays its side from the position we sent.
+func (l *Library) handleResume(conn plugin.Conn, m *phproto.HelloResume) {
+	l.mu.Lock()
+	vc, ok := l.vcs[m.ConnID]
+	l.mu.Unlock()
+	reject := func(reason string) {
+		_ = phproto.Write(conn, &phproto.ResumeAck{OK: false, Reason: reason})
+		_ = conn.Close()
+	}
+	if !ok || vc.Closed() {
+		reject("unknown connection")
+		return
+	}
+	if !vc.ContinuityEnabled() {
+		reject("continuity not negotiated")
+		return
+	}
+	if vc.ContinuityToken() != m.Token {
+		reject("bad session token")
+		return
+	}
+	tracer := l.d.Tracer()
+	sp := tracer.Begin("conn.resume", 0, conn.RemoteAddr().String())
+	if err := phproto.Write(conn, &phproto.ResumeAck{OK: true, RecvSeq: vc.contRecvSeq()}); err != nil {
+		_ = conn.Close()
+		tracer.End(sp, "resume-ack write failed")
+		return
+	}
+	// The ack precedes the swap, so our retransmitted tail always follows
+	// it on the new transport — the caller reads the ack frame-aligned.
+	vc.ResumeSwap(conn, device.Addr{}, m.RecvSeq)
+	tracer.End(sp, fmt.Sprintf("peer-recv=%d", m.RecvSeq))
 }
 
 func (l *Library) register(vc *VirtualConnection) {

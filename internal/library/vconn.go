@@ -31,6 +31,12 @@ type VirtualConnection struct {
 	onSwap   func(oldRemote, newRemote device.Addr)
 	swapped  int // total successful swaps, for experiments
 	restarts int // service reconnections (§5.2.2)
+
+	// cont, when non-nil, is the session-continuity window layer
+	// (continuity.go): Read/Write go through sequence-numbered records and
+	// handovers resume instead of tearing the stream. Set once before any
+	// data flows, never mutated after, so the nil check is lock-free.
+	cont *continuityState
 }
 
 func newVirtualConnection(l *Library, raw plugin.Conn, id uint64, target device.Addr, svc device.ServiceInfo, bridge device.Addr) *VirtualConnection {
@@ -208,6 +214,9 @@ func (vc *VirtualConnection) MarkRestart(newConn plugin.Conn, target device.Addr
 // as-is only when the connection is no longer expected to be repaired
 // (closed, or the sending flag is off).
 func (vc *VirtualConnection) Read(p []byte) (int, error) {
+	if vc.cont != nil {
+		return vc.contRead(p)
+	}
 	for {
 		c, gen, genCh, err := vc.current()
 		if err != nil {
@@ -227,11 +236,19 @@ func (vc *VirtualConnection) Read(p []byte) (int, error) {
 }
 
 // Write writes to the current transport, waiting for a handover swap on
-// failure like Read. A retried Write resends the whole buffer; as the
-// thesis notes (§6), the base protocol can lose or duplicate in-flight
-// bytes across a handover — the framed reliability layer in
-// internal/migration removes the ambiguity for task payloads.
+// failure like Read. On a continuity connection (WithContinuity) a chunk
+// counts as written once it is buffered in the send window — the window
+// replays it across handovers, so the count is exactly what the peer will
+// eventually receive. On a legacy connection a write that dies mid-frame
+// reports the partial count with the error: retrying the whole buffer on
+// the new transport (the old behaviour) re-sent a prefix the peer may
+// already have read, so `sent - received` double-counted the tear as both
+// loss and duplication. Only writes the dying transport accepted nothing
+// of are retried after a swap.
 func (vc *VirtualConnection) Write(p []byte) (int, error) {
+	if vc.cont != nil {
+		return vc.contWrite(p)
+	}
 	for {
 		c, gen, genCh, err := vc.current()
 		if err != nil {
@@ -240,6 +257,9 @@ func (vc *VirtualConnection) Write(p []byte) (int, error) {
 		n, werr := c.Write(p)
 		if werr == nil {
 			return n, nil
+		}
+		if n > 0 {
+			return n, werr
 		}
 		if !vc.shouldAwaitSwap() {
 			return n, werr
@@ -263,6 +283,13 @@ func (vc *VirtualConnection) Close() error {
 	c := vc.cur
 	vc.mu.Unlock()
 
+	if ct := vc.cont; ct != nil {
+		// Wake continuity waiters blocked on the pull condition so they
+		// observe the close.
+		ct.mu.Lock()
+		ct.cond.Broadcast()
+		ct.mu.Unlock()
+	}
 	vc.lib.unregister(vc)
 	return c.Close()
 }

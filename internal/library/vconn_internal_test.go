@@ -1,0 +1,65 @@
+package library
+
+import (
+	"errors"
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/plugin"
+)
+
+// shortWriteConn accepts a fixed number of bytes and then fails — the shape
+// of a transport dying mid-frame under a handover.
+type shortWriteConn struct {
+	accept int
+	wrote  int
+	writes int
+}
+
+var errTorn = errors.New("transport torn")
+
+func (c *shortWriteConn) Read(p []byte) (int, error) { return 0, errTorn }
+func (c *shortWriteConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.accept <= 0 {
+		return 0, errTorn
+	}
+	n := len(p)
+	if n > c.accept {
+		n = c.accept
+	}
+	c.accept -= n
+	c.wrote += n
+	return n, errTorn
+}
+func (c *shortWriteConn) Close() error            { return nil }
+func (c *shortWriteConn) LocalAddr() device.Addr  { return device.Addr{} }
+func (c *shortWriteConn) RemoteAddr() device.Addr { return device.Addr{} }
+func (c *shortWriteConn) Quality() int            { return 255 }
+
+var _ plugin.Conn = (*shortWriteConn)(nil)
+
+// TestWritePartialAccountingReturnsImmediately pins the partial-write fix:
+// a legacy (non-continuity) write that dies mid-frame must report exactly
+// the bytes the transport accepted and return, NOT retry the whole buffer
+// on a later transport. The old behaviour re-sent a prefix the peer may
+// already have read, so experiment accounting (sent - received) counted the
+// tear as both loss and duplication.
+func TestWritePartialAccountingReturnsImmediately(t *testing.T) {
+	fake := &shortWriteConn{accept: 3}
+	vc := newVirtualConnection(nil, fake, 1, device.Addr{}, device.ServiceInfo{}, device.Addr{})
+
+	n, err := vc.Write([]byte("abcdefgh"))
+	if n != 3 {
+		t.Fatalf("partial write reported %d bytes, want 3 (what the wire took)", n)
+	}
+	if !errors.Is(err, errTorn) {
+		t.Fatalf("partial write err = %v, want the transport error", err)
+	}
+	if fake.writes != 1 {
+		t.Fatalf("transport saw %d writes, want 1 (no blind whole-buffer retry)", fake.writes)
+	}
+	if fake.wrote != 3 {
+		t.Fatalf("transport absorbed %d bytes, want 3", fake.wrote)
+	}
+}

@@ -47,6 +47,10 @@ func fuzzSeedMessages() []Message {
 		&HelloNew{ServicePort: 4001, ServiceName: "echo", ConnID: 7, HasClient: true, Client: info},
 		&HelloBridge{Dest: entry.Bridge, ServiceName: "echo", ServicePort: 4001, ConnID: 7, TTL: 3, Reconnect: true},
 		&HelloReconnect{ConnID: 7},
+		&HelloNew{ServicePort: 4001, ServiceName: "echo", ConnID: 8, Flags: HelloFlagContinuity, Token: 0xabad1dea},
+		&HelloBridge{Dest: entry.Bridge, ServiceName: "echo", ServicePort: 4001, ConnID: 8, TTL: 3, Flags: HelloFlagResume, Token: 0xabad1dea, RecvSeq: 5},
+		&HelloResume{ConnID: 8, Token: 0xabad1dea, RecvSeq: 5},
+		&ResumeAck{OK: true, RecvSeq: 2},
 		&Ack{OK: false, Reason: "no route"},
 		&Data{Seq: 9, Payload: []byte("task package")},
 		&NeighborhoodSyncRequest{Epoch: 11, Gen: 42},

@@ -41,8 +41,12 @@ func goldenMessages() []Message {
 		&ServiceList{Services: sampleInfo().Services},
 		&Neighborhood{Entries: []NeighborEntry{{Info: sampleInfo(), Jumps: 2, QualitySum: 700, QualityMin: 231}}},
 		&HelloNew{ServicePort: 12, ServiceName: "echo", ConnID: 77, HasClient: true, Client: sampleInfo()},
+		&HelloNew{ServicePort: 12, ServiceName: "echo", ConnID: 78, Flags: HelloFlagContinuity, Token: 0x1122334455667788},
 		&HelloBridge{Dest: sib[0], ServiceName: "pa", ServicePort: 12, ConnID: 99, TTL: 6, Reconnect: true},
+		&HelloBridge{Dest: sib[0], ServiceName: "pa", ServicePort: 12, ConnID: 99, TTL: 6, Flags: HelloFlagResume, Token: 0x11, RecvSeq: 3},
 		&HelloReconnect{ConnID: 123456789},
+		&HelloResume{ConnID: 99, Token: 0x1122334455667788, RecvSeq: 7},
+		&ResumeAck{OK: true, RecvSeq: 12},
 		&Ack{OK: false, Reason: "no route"},
 		&Data{Seq: 42, Payload: []byte("package-42")},
 		&NeighborhoodSyncRequest{Epoch: 7, Gen: 9, Flags: SyncFlagSiblings},
@@ -108,6 +112,28 @@ func TestGoldenFrames(t *testing.T) {
 			name: "hello-reconnect",
 			msg:  &HelloReconnect{ConnID: 0x0102030405060708},
 			hex:  "07000000080102030405060708",
+		},
+		{
+			// A flagless PH_NEW must stay byte-identical to the pre-continuity
+			// wire form: that identity IS the legacy interop story.
+			name: "hello-new-flagless",
+			msg:  &HelloNew{ServicePort: 12, ServiceName: "e", ConnID: 5},
+			hex:  "050000000e" + "000c" + "0001" + "65" + "0000000000000005" + "00",
+		},
+		{
+			name: "hello-new-continuity",
+			msg:  &HelloNew{ServicePort: 12, ServiceName: "e", ConnID: 5, Flags: HelloFlagContinuity, Token: 0x10},
+			hex:  "0500000017" + "000c" + "0001" + "65" + "0000000000000005" + "00" + "01" + "0000000000000010",
+		},
+		{
+			name: "resume",
+			msg:  &HelloResume{ConnID: 5, Token: 0x10, RecvSeq: 3},
+			hex:  "1300000014" + "0000000000000005" + "0000000000000010" + "00000003",
+		},
+		{
+			name: "resume-ack-ok",
+			msg:  &ResumeAck{OK: true, RecvSeq: 9},
+			hex:  "1400000007" + "01" + "0000" + "00000009",
 		},
 		{
 			name: "sync-request-flagged",

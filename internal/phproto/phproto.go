@@ -73,6 +73,15 @@ const (
 	CmdTraceSubscribe
 	// CmdTraceSpan carries one finished trace span on a subscribed stream.
 	CmdTraceSpan
+	// CmdHelloResume re-attaches to a continuity-enabled logical connection
+	// after a handover (PH_RESUME): it proves the session identity (ConnID +
+	// negotiated token) and states the client's receive position so the far
+	// end can retransmit only the un-acked tail. Legacy engines close the
+	// connection on it; callers fall back to PH_RECONNECT semantics.
+	CmdHelloResume
+	// CmdResumeAck answers a PH_RESUME with the responder's own receive
+	// position (the resume offset the client retransmits from).
+	CmdResumeAck
 )
 
 // String implements fmt.Stringer.
@@ -114,6 +123,10 @@ func (c Command) String() string {
 		return "TRACE_SUBSCRIBE"
 	case CmdTraceSpan:
 		return "TRACE_SPAN"
+	case CmdHelloResume:
+		return "PH_RESUME"
+	case CmdResumeAck:
+		return "PH_RESUME_ACK"
 	default:
 		return fmt.Sprintf("cmd(%d)", uint8(c))
 	}
@@ -275,6 +288,19 @@ func (m *Neighborhood) decodeFrom(d *decoder) error {
 	return d.err
 }
 
+// Hello continuity flags: the negotiated-extension bits a continuity-capable
+// caller appends to its hello. A legacy decoder rejects the trailing bytes
+// and hangs up, which the caller treats as "not supported" and retries
+// flagless — the same fallback discipline as every other extension here.
+const (
+	// HelloFlagContinuity asks the far end to enable the session-continuity
+	// window (sequence-numbered framing + resume) on this connection.
+	HelloFlagContinuity uint8 = 1 << 0
+	// HelloFlagResume marks a bridged chain's final hop as a PH_RESUME
+	// re-attachment rather than a PH_RECONNECT.
+	HelloFlagResume uint8 = 1 << 1
+)
+
 // HelloNew opens an application connection to a service. The optional
 // client descriptor implements the thesis' §5.3 "method 2": sending the
 // client's identity up front so a server can reconnect to return results
@@ -286,6 +312,13 @@ type HelloNew struct {
 	// HasClient marks Client as meaningful.
 	HasClient bool
 	Client    device.Info
+	// Flags carries the continuity extension bits; zero encodes in the
+	// legacy form so flagless hellos stay byte-identical on the wire.
+	Flags uint8
+	// Token is the session-continuity secret proving later PH_RESUME calls
+	// come from this connection's originator. Meaningful when Flags has
+	// HelloFlagContinuity.
+	Token uint64
 }
 
 // Cmd implements Message.
@@ -301,6 +334,10 @@ func (m *HelloNew) encodeTo(e *encoder) {
 	} else {
 		e.u8(0)
 	}
+	if m.Flags != 0 {
+		e.u8(m.Flags)
+		e.u64(m.Token)
+	}
 }
 
 func (m *HelloNew) decodeFrom(d *decoder) error {
@@ -310,6 +347,10 @@ func (m *HelloNew) decodeFrom(d *decoder) error {
 	if d.u8() == 1 {
 		m.HasClient = true
 		m.Client = d.info()
+	}
+	if d.more() {
+		m.Flags = d.u8()
+		m.Token = d.u64()
 	}
 	return d.err
 }
@@ -330,6 +371,15 @@ type HelloBridge struct {
 	// HasClient/Client mirror HelloNew and are forwarded hop by hop.
 	HasClient bool
 	Client    device.Info
+	// Flags/Token/RecvSeq carry the continuity extension hop by hop: with
+	// HelloFlagContinuity the final PH_NEW negotiates the window; with
+	// HelloFlagResume the final hop delivers a PH_RESUME (Token proves the
+	// identity, RecvSeq is the originator's receive position) and the
+	// endpoint's PH_RESUME_ACK propagates back through the chain. Zero
+	// flags encode in the legacy form.
+	Flags   uint8
+	Token   uint64
+	RecvSeq uint32
 }
 
 // Cmd implements Message.
@@ -352,6 +402,11 @@ func (m *HelloBridge) encodeTo(e *encoder) {
 	} else {
 		e.u8(0)
 	}
+	if m.Flags != 0 {
+		e.u8(m.Flags)
+		e.u64(m.Token)
+		e.u32(m.RecvSeq)
+	}
 }
 
 func (m *HelloBridge) decodeFrom(d *decoder) error {
@@ -364,6 +419,11 @@ func (m *HelloBridge) decodeFrom(d *decoder) error {
 	if d.u8() == 1 {
 		m.HasClient = true
 		m.Client = d.info()
+	}
+	if d.more() {
+		m.Flags = d.u8()
+		m.Token = d.u64()
+		m.RecvSeq = d.u32()
 	}
 	return d.err
 }
@@ -382,6 +442,67 @@ func (m *HelloReconnect) encodeTo(e *encoder) { e.u64(m.ConnID) }
 
 func (m *HelloReconnect) decodeFrom(d *decoder) error {
 	m.ConnID = d.u64()
+	return d.err
+}
+
+// HelloResume re-attaches to a continuity-enabled logical connection after
+// a handover. Unlike PH_RECONNECT it carries the session token negotiated at
+// PH_NEW time and the caller's cumulative receive position, so both ends can
+// retransmit exactly the un-acked tail over the new transport instead of
+// abandoning it.
+type HelloResume struct {
+	ConnID uint64
+	// Token must match the token the originator sent in its PH_NEW.
+	Token uint64
+	// RecvSeq is the caller's cumulative receive position: the highest
+	// in-order frame sequence it has delivered.
+	RecvSeq uint32
+}
+
+// Cmd implements Message.
+func (*HelloResume) Cmd() Command { return CmdHelloResume }
+
+func (m *HelloResume) encodeTo(e *encoder) {
+	e.u64(m.ConnID)
+	e.u64(m.Token)
+	e.u32(m.RecvSeq)
+}
+
+func (m *HelloResume) decodeFrom(d *decoder) error {
+	m.ConnID = d.u64()
+	m.Token = d.u64()
+	m.RecvSeq = d.u32()
+	return d.err
+}
+
+// ResumeAck answers a PH_RESUME: on OK it carries the responder's own
+// cumulative receive position, the offset from which the caller replays its
+// un-acked frames. In a bridged chain each hop copies the endpoint's RecvSeq
+// back so the originator sees the true far-end position.
+type ResumeAck struct {
+	OK     bool
+	Reason string
+	// RecvSeq is the responder's receive position (meaningful when OK).
+	RecvSeq uint32
+}
+
+// Cmd implements Message.
+func (*ResumeAck) Cmd() Command { return CmdResumeAck }
+
+func (m *ResumeAck) encodeTo(e *encoder) {
+	if m.OK {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.str(m.Reason)
+	e.u32(m.RecvSeq)
+}
+
+func (m *ResumeAck) decodeFrom(d *decoder) error {
+	m.OK = d.u8() == 1
+	m.Reason = d.str()
+	m.RecvSeq = d.u32()
 	return d.err
 }
 
@@ -470,6 +591,10 @@ func newMessage(cmd Command) (Message, error) {
 		return &TraceSubscribe{}, nil
 	case CmdTraceSpan:
 		return &TraceSpan{}, nil
+	case CmdHelloResume:
+		return &HelloResume{}, nil
+	case CmdResumeAck:
+		return &ResumeAck{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownCommand, uint8(cmd))
 	}

@@ -67,7 +67,21 @@ func TestRoundTripAllMessages(t *testing.T) {
 			TTL:         6,
 		},
 		&HelloBridge{Dest: device.Addr{Tech: device.TechGPRS, MAC: "x"}, TTL: 1, Reconnect: true, HasClient: true, Client: sampleInfo()},
+		&HelloNew{ServicePort: 12, ServiceName: "echo", ConnID: 79, Flags: HelloFlagContinuity, Token: 0xfeedface},
+		&HelloBridge{
+			Dest:        device.Addr{Tech: device.TechGPRS, MAC: "g1"},
+			ServiceName: "echo",
+			ServicePort: 12,
+			ConnID:      80,
+			TTL:         2,
+			Flags:       HelloFlagResume,
+			Token:       0xfeedface,
+			RecvSeq:     41,
+		},
 		&HelloReconnect{ConnID: 123456789},
+		&HelloResume{ConnID: 80, Token: 0xfeedface, RecvSeq: 41},
+		&ResumeAck{OK: true, RecvSeq: 17},
+		&ResumeAck{OK: false, Reason: "unknown session"},
 		&Ack{OK: true},
 		&Ack{OK: false, Reason: "no route to destination"},
 		&Data{Seq: 42, Payload: []byte("package-42")},
@@ -93,6 +107,7 @@ func TestCommandStrings(t *testing.T) {
 		CmdInfoRequest, CmdDeviceInfo, CmdServiceList, CmdNeighborhood,
 		CmdHelloNew, CmdHelloBridge, CmdHelloReconnect, CmdAck, CmdData,
 		CmdNeighborhoodSyncRequest, CmdNeighborhoodSync, CmdDigest,
+		CmdHelloResume, CmdResumeAck,
 	} {
 		if strings.HasPrefix(c.String(), "cmd(") {
 			t.Errorf("command %d has no name", c)

@@ -1,4 +1,4 @@
-package migration
+package record
 
 import (
 	"bytes"
@@ -37,6 +37,21 @@ func FuzzRecordReader(f *testing.F) {
 	f.Add(torn)
 	f.Add([]byte("PH"))
 	f.Add([]byte{'P'})
+	// Continuity window traffic: data frames, cumulative acks, a probe —
+	// the same reader parses these on the virtual-connection data path.
+	f.Add(seed(
+		Record{TaskID: 0xfeed, Seq: 1, Kind: KindWindowData, Payload: []byte("seg-one")},
+		Record{TaskID: 0xfeed, Seq: 2, Kind: KindWindowData, Payload: []byte("seg-two")},
+		Record{TaskID: 0xfeed, Seq: 2, Kind: KindWindowAck, Payload: U32Payload(2)},
+		Record{TaskID: 0xfeed, Seq: 0, Kind: KindWindowProbe, Payload: U32Payload(0)},
+	))
+	// A retransmitted tail after a resume: duplicate seqs are the reader's
+	// problem to pass through, the window's problem to drop.
+	f.Add(seed(
+		Record{TaskID: 0xbeef, Seq: 3, Kind: KindWindowData, Payload: []byte("dup")},
+		Record{TaskID: 0xbeef, Seq: 3, Kind: KindWindowData, Payload: []byte("dup")},
+		Record{TaskID: 0xbeef, Seq: 9, Kind: KindWindowAck, Payload: U32Payload(9)},
+	))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rr := NewRecordReader(bytes.NewReader(data))

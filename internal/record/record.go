@@ -1,0 +1,250 @@
+// Package record is the wire-level data-buffering layer the thesis says
+// PeerHood needs to guarantee data integrity across connection
+// substitutions (§6): self-delimiting, checksummed, sequence-numbered
+// records with receiver-side resynchronisation, plus the bounded
+// send/receive windows (window.go) the session-continuity layer builds on.
+// It is a leaf package — both internal/migration (task transfer) and
+// internal/library (VirtualConnection continuity) frame their streams with
+// it.
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// RecordKind discriminates record-layer frames.
+type RecordKind uint8
+
+// Record kinds.
+const (
+	// KindHeader opens a task: payload = count(u32) | replyPort(u16) |
+	// resumeFrom(u32).
+	KindHeader RecordKind = iota + 1
+	// KindData carries one task package.
+	KindData
+	// KindAck acknowledges the highest contiguous package received
+	// (payload = u32). Senders resume after it on handover.
+	KindAck
+	// KindResultHeader opens a result: payload = count(u32).
+	KindResultHeader
+	// KindResult carries one result package.
+	KindResult
+	// KindDone closes a result transfer.
+	KindDone
+)
+
+// String implements fmt.Stringer.
+func (k RecordKind) String() string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindResultHeader:
+		return "result-header"
+	case KindResult:
+		return "result"
+	case KindDone:
+		return "done"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one framed unit on the wire.
+type Record struct {
+	TaskID  uint64
+	Seq     uint32
+	Kind    RecordKind
+	Payload []byte
+}
+
+// Wire layout: magic(2) len(u32) taskID(u64) seq(u32) kind(u8) payload crc(u32).
+// len covers taskID..payload. The magic plus CRC let a reader resynchronise
+// on a stream torn by a transport substitution.
+var recordMagic = [2]byte{'P', 'H'}
+
+const (
+	recordHeaderLen = 2 + 4
+	recordBodyMin   = 8 + 4 + 1
+	// MaxRecordPayload bounds one record's payload.
+	MaxRecordPayload = 256 << 10
+)
+
+// ErrRecordTooLarge reports an oversized payload.
+var ErrRecordTooLarge = errors.New("record: record payload too large")
+
+// AppendRecord serialises r onto buf.
+func AppendRecord(buf []byte, r Record) ([]byte, error) {
+	if len(r.Payload) > MaxRecordPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(r.Payload))
+	}
+	body := make([]byte, 0, recordBodyMin+len(r.Payload))
+	body = binary.BigEndian.AppendUint64(body, r.TaskID)
+	body = binary.BigEndian.AppendUint32(body, r.Seq)
+	body = append(body, byte(r.Kind))
+	body = append(body, r.Payload...)
+
+	buf = append(buf, recordMagic[0], recordMagic[1])
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	return buf, nil
+}
+
+// WriteRecord writes one record to w as a single Write call, so transports
+// with atomic writes never tear it locally (relays still can).
+func WriteRecord(w io.Writer, r Record) error {
+	buf, err := AppendRecord(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// RecordReader decodes records from a byte stream, skipping garbage: after
+// a handover tears the stream mid-record, the reader scans forward to the
+// next magic whose length and CRC check out.
+type RecordReader struct {
+	r   io.Reader
+	buf []byte
+	// Resyncs counts how many times garbage was skipped (experiments
+	// report it as the visible cost of torn streams).
+	Resyncs int
+}
+
+// NewRecordReader returns a RecordReader over r.
+func NewRecordReader(r io.Reader) *RecordReader {
+	return &RecordReader{r: r}
+}
+
+// Next returns the next valid record, skipping any corrupt bytes. It
+// returns the reader's error (io.EOF included) once the stream ends.
+func (rr *RecordReader) Next() (Record, error) {
+	for {
+		rec, ok, err := rr.tryParse()
+		if ok {
+			return rec, nil
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		// Need more bytes.
+		chunk := make([]byte, 4096)
+		n, err := rr.r.Read(chunk)
+		if n > 0 {
+			rr.buf = append(rr.buf, chunk[:n]...)
+			continue
+		}
+		if err == nil {
+			err = io.ErrNoProgress
+		}
+		return Record{}, err
+	}
+}
+
+// tryParse attempts to decode one record from the buffer, discarding
+// garbage prefixes. ok=false with err=nil means "need more input".
+func (rr *RecordReader) tryParse() (Record, bool, error) {
+	for {
+		// Discard until a magic candidate leads the buffer.
+		idx := indexMagic(rr.buf)
+		if idx < 0 {
+			// Keep at most one byte (could be the first magic byte).
+			if len(rr.buf) > 1 {
+				rr.Resyncs++
+				rr.buf = rr.buf[len(rr.buf)-1:]
+			}
+			return Record{}, false, nil
+		}
+		if idx > 0 {
+			rr.Resyncs++
+			rr.buf = rr.buf[idx:]
+		}
+		if len(rr.buf) < recordHeaderLen {
+			return Record{}, false, nil
+		}
+		bodyLen := int(binary.BigEndian.Uint32(rr.buf[2:6]))
+		if bodyLen < recordBodyMin || bodyLen > recordBodyMin+MaxRecordPayload {
+			// Implausible length: not a real record boundary.
+			rr.Resyncs++
+			rr.buf = rr.buf[1:]
+			continue
+		}
+		total := recordHeaderLen + bodyLen + 4
+		if len(rr.buf) < total {
+			return Record{}, false, nil
+		}
+		body := rr.buf[recordHeaderLen : recordHeaderLen+bodyLen]
+		wantCRC := binary.BigEndian.Uint32(rr.buf[recordHeaderLen+bodyLen : total])
+		if crc32.ChecksumIEEE(body) != wantCRC {
+			rr.Resyncs++
+			rr.buf = rr.buf[1:]
+			continue
+		}
+		rec := Record{
+			TaskID: binary.BigEndian.Uint64(body[0:8]),
+			Seq:    binary.BigEndian.Uint32(body[8:12]),
+			Kind:   RecordKind(body[12]),
+		}
+		if len(body) > 13 {
+			rec.Payload = append([]byte(nil), body[13:]...)
+		}
+		rr.buf = append([]byte(nil), rr.buf[total:]...)
+		return rec, true, nil
+	}
+}
+
+func indexMagic(b []byte) int {
+	for i := 0; i+1 < len(b); i++ {
+		if b[i] == recordMagic[0] && b[i+1] == recordMagic[1] {
+			return i
+		}
+	}
+	// A trailing 'P' may start a magic.
+	if len(b) > 0 && b[len(b)-1] == recordMagic[0] {
+		return len(b) - 1
+	}
+	return -1
+}
+
+// Header payload helpers.
+
+// HeaderPayload encodes a task header.
+func HeaderPayload(count uint32, replyPort uint16, resumeFrom uint32) []byte {
+	out := make([]byte, 0, 10)
+	out = binary.BigEndian.AppendUint32(out, count)
+	out = binary.BigEndian.AppendUint16(out, replyPort)
+	out = binary.BigEndian.AppendUint32(out, resumeFrom)
+	return out
+}
+
+// ParseHeaderPayload decodes a task header.
+func ParseHeaderPayload(p []byte) (count uint32, replyPort uint16, resumeFrom uint32, err error) {
+	if len(p) != 10 {
+		return 0, 0, 0, fmt.Errorf("record: header payload %d bytes, want 10", len(p))
+	}
+	return binary.BigEndian.Uint32(p[0:4]),
+		binary.BigEndian.Uint16(p[4:6]),
+		binary.BigEndian.Uint32(p[6:10]), nil
+}
+
+// U32Payload encodes a bare uint32 payload (acks, result headers).
+func U32Payload(v uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, v)
+}
+
+// ParseU32Payload decodes a bare uint32 payload.
+func ParseU32Payload(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("record: u32 payload %d bytes, want 4", len(p))
+	}
+	return binary.BigEndian.Uint32(p), nil
+}

@@ -1,4 +1,4 @@
-package migration
+package record
 
 import (
 	"bytes"
@@ -100,6 +100,64 @@ func TestRecordReaderRejectsCorruptCRC(t *testing.T) {
 	}
 	if r.Seq != 8 {
 		t.Fatalf("got seq %d, want the CRC-valid record 8", r.Seq)
+	}
+}
+
+func TestRecordReaderTruncatedAtEOF(t *testing.T) {
+	// A record cut short by transport death with nothing after it: the
+	// reader must return EOF (stream over), not hang or fabricate a record.
+	whole, err := AppendRecord(nil, Record{TaskID: 3, Seq: 4, Kind: KindWindowData, Payload: []byte("in-flight tail")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(whole); cut++ {
+		rr := NewRecordReader(bytes.NewReader(whole[:cut]))
+		if r, err := rr.Next(); err != io.EOF {
+			t.Fatalf("cut=%d: got record %+v err %v, want EOF", cut, r, err)
+		}
+	}
+	// Preceded by a good record, the truncation must not eat it.
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, Record{TaskID: 3, Seq: 3, Kind: KindWindowData, Payload: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(whole[:len(whole)-3])
+	rr := NewRecordReader(&buf)
+	r, err := rr.Next()
+	if err != nil || string(r.Payload) != "ok" {
+		t.Fatalf("good record before truncation: %+v, %v", r, err)
+	}
+	if _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("after truncated tail: %v, want EOF", err)
+	}
+}
+
+func TestRecordReaderCorruptWindowAckThenValid(t *testing.T) {
+	// A window ack whose CRC was damaged in flight is skipped; the valid
+	// ack behind it still decodes — the sender just sees a later
+	// cumulative position (acks are cumulative, so nothing is lost).
+	bad, err := AppendRecord(nil, Record{TaskID: 11, Seq: 4, Kind: KindWindowAck, Payload: U32Payload(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[len(bad)-2] ^= 0x55
+	good, err := AppendRecord(nil, Record{TaskID: 11, Seq: 8, Kind: KindWindowAck, Payload: U32Payload(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRecordReader(bytes.NewReader(append(bad, good...)))
+	r, err := rr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != KindWindowAck || r.Seq != 8 {
+		t.Fatalf("got %+v, want the valid ack 8", r)
+	}
+	if v, err := ParseU32Payload(r.Payload); err != nil || v != 8 {
+		t.Fatalf("ack payload = %d, %v", v, err)
+	}
+	if rr.Resyncs == 0 {
+		t.Fatal("corrupt ack consumed without a resync")
 	}
 }
 

@@ -1,0 +1,198 @@
+package record
+
+// The continuity window: the record kinds and window state the library's
+// VirtualConnection continuity layer is built on. The thesis' §6 "Data
+// Buffering" requirement is implemented once, here, against the same
+// self-delimiting record framing the task-migration workload uses — a
+// virtual connection's byte stream is chopped into sequence-numbered
+// KindWindowData records, the receiver deduplicates and acknowledges
+// cumulatively, and the sender buffers the un-acked tail so a transport
+// substitution can replay exactly what the dying bearer lost.
+//
+// The scheme is go-back-N, not selective repeat: the receiver delivers
+// only in-order frames and drops anything else (counting it), so receiver
+// memory is bounded by undelivered in-order data and the sender's window
+// bound is the only buffer that grows with the ack round trip.
+
+// Window record kinds, continuing the task-record space.
+const (
+	// KindWindowData carries one continuity stream segment; Seq is the
+	// frame's stream sequence number (first frame = 1).
+	KindWindowData RecordKind = 7
+	// KindWindowAck acknowledges the highest in-order frame received
+	// (payload = u32, cumulative). Senders trim their window to it.
+	KindWindowAck RecordKind = 8
+	// KindWindowProbe solicits an immediate KindWindowAck — the drain
+	// handshake a sender uses to prove its window empty (Flush).
+	KindWindowProbe RecordKind = 9
+)
+
+// DefaultWindowBytes bounds a send window's buffered payload when the
+// caller does not choose a bound.
+const DefaultWindowBytes = 64 << 10
+
+// sendFreeListMax caps recycled payload buffers kept for reuse.
+const sendFreeListMax = 32
+
+// SendFrame is one buffered, sequence-numbered stream segment.
+type SendFrame struct {
+	Seq     uint32
+	Payload []byte
+}
+
+// SendWindow is the sender half of the continuity window: a bounded FIFO
+// of un-acked frames. It is not safe for concurrent use; callers hold
+// their own lock.
+type SendWindow struct {
+	max       int
+	frames    []SendFrame
+	bytes     int
+	nextSeq   uint32
+	acked     uint32
+	highWater int
+	free      [][]byte
+}
+
+// NewSendWindow returns a window bounding buffered payload at maxBytes
+// (DefaultWindowBytes when <= 0).
+func NewSendWindow(maxBytes int) *SendWindow {
+	if maxBytes <= 0 {
+		maxBytes = DefaultWindowBytes
+	}
+	return &SendWindow{max: maxBytes, nextSeq: 1}
+}
+
+// Max returns the window's byte bound.
+func (w *SendWindow) Max() int { return w.max }
+
+// Buffered returns the payload bytes currently held.
+func (w *SendWindow) Buffered() int { return w.bytes }
+
+// HighWater returns the largest Buffered value ever observed — the
+// window's actual memory cost.
+func (w *SendWindow) HighWater() int { return w.highWater }
+
+// Empty reports whether every sent frame has been acknowledged.
+func (w *SendWindow) Empty() bool { return len(w.frames) == 0 }
+
+// NextSeq returns the sequence number the next Append will take.
+func (w *SendWindow) NextSeq() uint32 { return w.nextSeq }
+
+// Acked returns the cumulative acknowledgement high mark.
+func (w *SendWindow) Acked() uint32 { return w.acked }
+
+// Fits reports whether n more payload bytes respect the bound. An empty
+// window always admits one frame, so a frame larger than the bound still
+// makes progress instead of deadlocking the writer.
+func (w *SendWindow) Fits(n int) bool {
+	return len(w.frames) == 0 || w.bytes+n <= w.max
+}
+
+// Append buffers a copy of p as the next frame and returns it. The
+// returned frame's payload belongs to the window: it may be recycled as
+// soon as the frame is acknowledged.
+func (w *SendWindow) Append(p []byte) SendFrame {
+	var buf []byte
+	if n := len(w.free); n > 0 {
+		buf = w.free[n-1][:0]
+		w.free = w.free[:n-1]
+	}
+	buf = append(buf, p...)
+	f := SendFrame{Seq: w.nextSeq, Payload: buf}
+	w.nextSeq++
+	w.frames = append(w.frames, f)
+	w.bytes += len(p)
+	if w.bytes > w.highWater {
+		w.highWater = w.bytes
+	}
+	return f
+}
+
+// Ack trims every frame up to and including seq (cumulative). Stale acks
+// are no-ops; acks beyond what was sent are clamped. It returns the
+// payload bytes freed.
+func (w *SendWindow) Ack(seq uint32) int {
+	if seq >= w.nextSeq {
+		seq = w.nextSeq - 1
+	}
+	if seq <= w.acked {
+		return 0
+	}
+	freed, i := 0, 0
+	for ; i < len(w.frames) && w.frames[i].Seq <= seq; i++ {
+		freed += len(w.frames[i].Payload)
+		if len(w.free) < sendFreeListMax {
+			w.free = append(w.free, w.frames[i].Payload)
+		}
+		w.frames[i].Payload = nil
+	}
+	if i > 0 {
+		w.frames = append(w.frames[:0], w.frames[i:]...)
+	}
+	w.bytes -= freed
+	w.acked = seq
+	return freed
+}
+
+// Unacked calls f for each buffered frame in sequence order — the
+// retransmission sweep after a transport substitution.
+func (w *SendWindow) Unacked(f func(SendFrame)) {
+	for _, fr := range w.frames {
+		f(fr)
+	}
+}
+
+// RecvVerdict classifies one received frame.
+type RecvVerdict int
+
+// Verdicts.
+const (
+	// RecvDeliver: the frame is the next in order — deliver it.
+	RecvDeliver RecvVerdict = iota + 1
+	// RecvDuplicate: already delivered — drop it, re-ack so the sender
+	// learns its retransmit landed.
+	RecvDuplicate
+	// RecvGap: ahead of the next expected frame — drop it (go-back-N) and
+	// re-ack; the duplicate cumulative ack asks the sender to retransmit
+	// from the gap.
+	RecvGap
+)
+
+// RecvWindow is the receiver half: in-order delivery with sequence-number
+// deduplication. Not safe for concurrent use.
+type RecvWindow struct {
+	next uint32
+	// Delivered counts bytes accepted in order; DupFrames/DupBytes and
+	// GapFrames/GapBytes count what deduplication dropped.
+	Delivered int64
+	DupFrames int64
+	DupBytes  int64
+	GapFrames int64
+	GapBytes  int64
+}
+
+// NewRecvWindow returns a receive window expecting frame 1 first.
+func NewRecvWindow() *RecvWindow { return &RecvWindow{next: 1} }
+
+// Accept classifies frame seq carrying n payload bytes and advances the
+// in-order position on delivery.
+func (w *RecvWindow) Accept(seq uint32, n int) RecvVerdict {
+	switch {
+	case seq == w.next:
+		w.next++
+		w.Delivered += int64(n)
+		return RecvDeliver
+	case seq < w.next:
+		w.DupFrames++
+		w.DupBytes += int64(n)
+		return RecvDuplicate
+	default:
+		w.GapFrames++
+		w.GapBytes += int64(n)
+		return RecvGap
+	}
+}
+
+// AckSeq returns the cumulative acknowledgement to send: the highest
+// in-order sequence delivered (0 before the first frame).
+func (w *RecvWindow) AckSeq() uint32 { return w.next - 1 }

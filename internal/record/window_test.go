@@ -1,0 +1,209 @@
+package record
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestSendWindowAppendAckTrim(t *testing.T) {
+	w := NewSendWindow(100)
+	if !w.Empty() || w.NextSeq() != 1 || w.Acked() != 0 {
+		t.Fatalf("fresh window: empty=%v next=%d acked=%d", w.Empty(), w.NextSeq(), w.Acked())
+	}
+	for i := 0; i < 4; i++ {
+		f := w.Append([]byte{byte(i), byte(i)})
+		if f.Seq != uint32(i+1) {
+			t.Fatalf("frame %d got seq %d", i, f.Seq)
+		}
+	}
+	if w.Buffered() != 8 || w.HighWater() != 8 {
+		t.Fatalf("buffered=%d highwater=%d", w.Buffered(), w.HighWater())
+	}
+	if freed := w.Ack(2); freed != 4 {
+		t.Fatalf("ack(2) freed %d, want 4", freed)
+	}
+	if w.Acked() != 2 || w.Buffered() != 4 {
+		t.Fatalf("after ack(2): acked=%d buffered=%d", w.Acked(), w.Buffered())
+	}
+	// Stale ack is a no-op.
+	if freed := w.Ack(1); freed != 0 {
+		t.Fatalf("stale ack freed %d", freed)
+	}
+	var seqs []uint32
+	w.Unacked(func(f SendFrame) { seqs = append(seqs, f.Seq) })
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("unacked seqs = %v", seqs)
+	}
+	if freed := w.Ack(4); freed != 4 || !w.Empty() {
+		t.Fatalf("final ack: freed=%d empty=%v", freed, w.Empty())
+	}
+	if w.HighWater() != 8 {
+		t.Fatalf("highwater moved to %d", w.HighWater())
+	}
+}
+
+func TestSendWindowSeqGapAckClamps(t *testing.T) {
+	// An ack beyond anything sent (a seq-gap ack — corrupted or from a
+	// confused peer) must clamp to the highest sent frame, not run ahead
+	// and desynchronise the window.
+	w := NewSendWindow(0)
+	w.Append([]byte("a"))
+	w.Append([]byte("bb"))
+	if freed := w.Ack(99); freed != 3 {
+		t.Fatalf("gap ack freed %d, want 3", freed)
+	}
+	if w.Acked() != 2 || !w.Empty() {
+		t.Fatalf("after gap ack: acked=%d empty=%v", w.Acked(), w.Empty())
+	}
+	// A later real ack at the clamped position stays a no-op.
+	if freed := w.Ack(2); freed != 0 {
+		t.Fatalf("post-clamp ack freed %d", freed)
+	}
+	if w.NextSeq() != 3 {
+		t.Fatalf("next seq %d, want 3", w.NextSeq())
+	}
+}
+
+func TestSendWindowFitsAdmitsOversizeWhenEmpty(t *testing.T) {
+	w := NewSendWindow(4)
+	if !w.Fits(10) {
+		t.Fatal("empty window refused an oversize frame")
+	}
+	w.Append(make([]byte, 10))
+	if w.Fits(1) {
+		t.Fatal("over-full window admitted another frame")
+	}
+	w.Ack(1)
+	if !w.Fits(4) {
+		t.Fatal("emptied window refused a fitting frame")
+	}
+}
+
+func TestSendWindowRecyclesPayloads(t *testing.T) {
+	w := NewSendWindow(0)
+	f1 := w.Append(bytes.Repeat([]byte("x"), 64))
+	w.Ack(f1.Seq)
+	f2 := w.Append([]byte("y"))
+	if cap(f2.Payload) < 64 {
+		t.Fatalf("recycled capacity %d, want >= 64", cap(f2.Payload))
+	}
+	if string(f2.Payload) != "y" {
+		t.Fatalf("recycled payload content %q", f2.Payload)
+	}
+}
+
+func TestRecvWindowVerdicts(t *testing.T) {
+	w := NewRecvWindow()
+	if w.AckSeq() != 0 {
+		t.Fatalf("fresh ack seq %d", w.AckSeq())
+	}
+	if v := w.Accept(1, 5); v != RecvDeliver {
+		t.Fatalf("frame 1 verdict %v", v)
+	}
+	if v := w.Accept(3, 5); v != RecvGap {
+		t.Fatalf("gap frame verdict %v", v)
+	}
+	if v := w.Accept(1, 5); v != RecvDuplicate {
+		t.Fatalf("dup frame verdict %v", v)
+	}
+	if v := w.Accept(2, 5); v != RecvDeliver {
+		t.Fatalf("frame 2 verdict %v", v)
+	}
+	if w.AckSeq() != 2 || w.Delivered != 10 || w.DupFrames != 1 || w.GapFrames != 1 {
+		t.Fatalf("state = %+v ackseq=%d", w, w.AckSeq())
+	}
+	if w.DupBytes != 5 || w.GapBytes != 5 {
+		t.Fatalf("dup/gap bytes = %d/%d", w.DupBytes, w.GapBytes)
+	}
+}
+
+func TestWindowPairReplaysLossless(t *testing.T) {
+	// Sender and receiver windows glued back-to-back with a lossy "wire":
+	// every frame is sent twice (duplicating) and the first copy of every
+	// third frame is dropped, then the unacked tail is replayed — the
+	// receiver must still deliver the exact byte stream once.
+	send := NewSendWindow(0)
+	recv := NewRecvWindow()
+	var delivered bytes.Buffer
+	deliver := func(f SendFrame) {
+		if recv.Accept(f.Seq, len(f.Payload)) == RecvDeliver {
+			delivered.Write(f.Payload)
+		}
+	}
+	var want bytes.Buffer
+	for i := 0; i < 30; i++ {
+		p := bytes.Repeat([]byte{byte('a' + i%26)}, i%7+1)
+		want.Write(p)
+		f := send.Append(p)
+		if i%5 != 3 {
+			deliver(f)
+			deliver(f) // the duplicate copy
+		}
+		send.Ack(recv.AckSeq())
+	}
+	// Handover: replay the unacked tail until the receiver has everything.
+	for !send.Empty() {
+		send.Unacked(deliver)
+		send.Ack(recv.AckSeq())
+	}
+	if !bytes.Equal(delivered.Bytes(), want.Bytes()) {
+		t.Fatalf("delivered %d bytes, want %d; streams differ", delivered.Len(), want.Len())
+	}
+	if recv.Delivered != int64(want.Len()) {
+		t.Fatalf("recv delivered %d, want %d", recv.Delivered, want.Len())
+	}
+	if recv.DupFrames == 0 || recv.GapFrames == 0 {
+		t.Fatalf("lossy wire produced no dups (%d) or gaps (%d)?", recv.DupFrames, recv.GapFrames)
+	}
+}
+
+func TestWindowRecordsRoundTripThroughRecordReader(t *testing.T) {
+	// The continuity layer frames window traffic as migration records; the
+	// kinds must survive the reader like any task record.
+	var buf bytes.Buffer
+	recs := []Record{
+		{TaskID: 42, Seq: 1, Kind: KindWindowData, Payload: []byte("segment")},
+		{TaskID: 42, Seq: 1, Kind: KindWindowAck, Payload: U32Payload(1)},
+		{TaskID: 42, Seq: 0, Kind: KindWindowProbe, Payload: U32Payload(0)},
+	}
+	for _, r := range recs {
+		if err := WriteRecord(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rr := NewRecordReader(&buf)
+	for i, want := range recs {
+		got, err := rr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("trailing err = %v", err)
+	}
+}
+
+// BenchmarkSendWindowCycle is the continuity hot path: append a frame,
+// ack it, repeat — steady state must not allocate (the free list recycles
+// payload buffers), which CI pins with -allocbudget.
+func BenchmarkSendWindowCycle(b *testing.B) {
+	w := NewSendWindow(4096)
+	p := bytes.Repeat([]byte("m"), 64)
+	// Warm the free list so -benchtime=1x reads steady state.
+	for i := 0; i < 8; i++ {
+		f := w.Append(p)
+		w.Ack(f.Seq)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := w.Append(p)
+		if w.Ack(f.Seq) != len(p) {
+			b.Fatal("ack freed nothing")
+		}
+	}
+}

@@ -713,6 +713,19 @@ func WithClientInfo() library.ConnectOption { return library.WithClientInfo() }
 // when its identity has one stored and reachable.
 func WithTech(t Tech) library.ConnectOption { return library.WithTech(t) }
 
+// WithContinuity re-exports the Connect option enabling the zero-loss
+// session-continuity window: handovers resume the byte stream (PH_RESUME)
+// instead of tearing it, with the un-acked tail replayed on the new bearer.
+// Legacy peers that do not speak the extension fall back to today's lossy
+// behaviour automatically.
+func WithContinuity() library.ConnectOption { return library.WithContinuity() }
+
+// WithContinuityWindow is WithContinuity with an explicit send-window bound
+// in bytes (<= 0 takes the default).
+func WithContinuityWindow(bytes int) library.ConnectOption {
+	return library.WithContinuityWindow(bytes)
+}
+
 // SiblingsOf returns the stored entries for the other interfaces of a's
 // device identity (the cross-interface identity plane).
 func (n *Node) SiblingsOf(a Addr) []Entry { return n.d().Storage().Siblings(a) }
