@@ -7,6 +7,8 @@ package peerhood_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -345,23 +347,63 @@ func BenchmarkConnectDirectInstant(b *testing.B) {
 // reports the per-node superstep cost at each scale. The event-driven
 // scheduler makes one superstep cost O(active events) rather than O(N),
 // so with density held constant the ns/node-step metric should stay flat
-// from 1k to 100k nodes — that flatness is the scaling curve CI records
-// in the benchmark trajectory.
+// across the scale sweep — that flatness is the scaling curve CI records
+// in the benchmark trajectory. Each scale also reports heap-B/node: the
+// live heap the stepped world retains per node (measured after a forced
+// GC), which the memory-flat work keeps flat from 10k to the million-node
+// tier. The 1M tier joins the sweep only when PH_S6_1M=1 — it costs
+// minutes and ~1 GB — and CI gates both metrics on it via benchjson's
+// -flatgate.
 func BenchmarkS6Metropolis(b *testing.B) {
-	for _, count := range []int{1000, 10000, 100000} {
+	scales := []int{1000, 10000, 100000}
+	if os.Getenv(experiments.MetropolisMillionEnv) == "1" {
+		scales = append(scales, 1000000)
+	}
+	for _, count := range scales {
 		b.Run(fmt.Sprintf("nodes=%d", count), func(b *testing.B) {
+			runtime.GC()
+			var m0 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			sw, err := experiments.MetropolisWorld(42, count)
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer sw.Close()
-			sw.Step() // one-time placement/init
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+			// Warm to steady state: the first supersteps pay placement, the
+			// full 10 s spread of discovery phases, and the growth of the
+			// per-shard arenas to their high-water marks (after which a step
+			// allocates almost nothing). Timing those start-up steps would
+			// measure arena growth and the GC assists it triggers — at 1M
+			// nodes that is hundreds of MB — instead of the steady per-step
+			// cost the flatness claim is about; the forced GC clears the
+			// warm-up garbage so the timed steps start from a settled heap.
+			for i := 0; i < 12; i++ {
 				sw.Step()
 			}
+			runtime.GC()
+			// One op is a full 10-superstep discovery cycle: with
+			// -benchtime=1x a single superstep is one sample, too noisy to
+			// gate a 25% flatness bound on — a stray GC cycle or scheduler
+			// blip doubles it, and per-step load swings with the discovery
+			// phase (DiscoveryPhase correlates with the dweller/through-
+			// traffic split, so steps alternate dense and sparse candidate
+			// sets). Ten steps cover every phase once, making each op the
+			// same workload at every scale.
+			const stepsPerOp = 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < stepsPerOp; s++ {
+					sw.Step()
+				}
+			}
 			b.StopTimer()
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(count)), "ns/node-step")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*stepsPerOp*int64(count)), "ns/node-step")
+			runtime.GC()
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			if m1.HeapAlloc > m0.HeapAlloc {
+				b.ReportMetric(float64(m1.HeapAlloc-m0.HeapAlloc)/float64(count), "heap-B/node")
+			}
 		})
 	}
 }

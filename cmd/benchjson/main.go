@@ -36,6 +36,22 @@
 // paths: the budgets live in the CI invocation next to the benches they
 // pin, and a regression fails the build even on the first PR that has no
 // baseline document yet.
+//
+// -membudget is the same contract for heap traffic: comma-separated
+// regexp=maxBytesPerOp pairs enforced against the -benchmem B/op column.
+//
+// -flatgate compares two benchmarks inside the fresh document — the
+// flatness contract for scaling sweeps, where the claim is "this metric
+// at the big scale stays within X% of the small scale", not "this bench
+// stayed fast since the last PR":
+//
+//	... | go run ./cmd/benchjson -pr pr10 -flatgate \
+//	    'S6Metropolis/nodes=1000000$:S6Metropolis/nodes=100000$:ns/node-step:25'
+//
+// Each comma-separated gate is curRegexp:baseRegexp:unit:maxPct, where
+// unit is ns/op, B/op, allocs/op, or a custom b.ReportMetric unit; the
+// gate fails when the cur value exceeds base by more than maxPct percent,
+// or when either side (or the unit) is missing.
 package main
 
 import (
@@ -82,6 +98,8 @@ func main() {
 	maxregress := flag.Float64("maxregress", 25, "max tolerated ns/op regression vs -baseline, percent")
 	maxallocregress := flag.Float64("maxallocregress", 0, "max tolerated allocs/op regression vs -baseline, percent")
 	allocbudget := flag.String("allocbudget", "", "absolute allocation budgets, comma-separated regexp=maxAllocsPerOp pairs")
+	membudget := flag.String("membudget", "", "absolute heap budgets, comma-separated regexp=maxBytesPerOp pairs")
+	flatgate := flag.String("flatgate", "", "in-document flatness gates, comma-separated curRegexp:baseRegexp:unit:maxPct")
 	flag.Parse()
 	if *pr == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -pr is required")
@@ -142,6 +160,36 @@ func main() {
 			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "benchjson: all allocation budgets hold (%s)\n", *allocbudget)
+		}
+	}
+	if *membudget != "" {
+		budgets, err := parseAllocBudgets(*membudget)
+		if err != nil {
+			log.Fatalf("benchjson: bad -membudget: %v", err)
+		}
+		violations := checkMemBudgets(doc, budgets)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchjson: MEM BUDGET %s\n", v)
+		}
+		if len(violations) > 0 {
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: all heap budgets hold (%s)\n", *membudget)
+		}
+	}
+	if *flatgate != "" {
+		gates, err := parseFlatGates(*flatgate)
+		if err != nil {
+			log.Fatalf("benchjson: bad -flatgate: %v", err)
+		}
+		violations := checkFlatGates(doc, gates)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchjson: FLAT GATE %s\n", v)
+		}
+		if len(violations) > 0 {
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: all flatness gates hold (%s)\n", *flatgate)
 		}
 	}
 	if *baseline != "" {
@@ -229,6 +277,141 @@ func checkAllocBudgets(doc Document, budgets []allocBudget) []string {
 		if !matched {
 			out = append(out, fmt.Sprintf("%s: no benchmark matched (budget %g unverified)",
 				budget.re, budget.max))
+		}
+	}
+	return out
+}
+
+// checkMemBudgets enforces absolute bytes/op ceilings, with the same
+// rules as checkAllocBudgets: a matching bench without the -benchmem
+// column, or a budget matching nothing, is a violation too.
+func checkMemBudgets(doc Document, budgets []allocBudget) []string {
+	var out []string
+	for _, budget := range budgets {
+		matched := false
+		for _, b := range doc.Benchmarks {
+			if !budget.re.MatchString(b.Name) {
+				continue
+			}
+			matched = true
+			if b.BytesPerOp == nil {
+				out = append(out, fmt.Sprintf("%s: run without -benchmem, cannot verify budget %g",
+					b.Name, budget.max))
+				continue
+			}
+			if *b.BytesPerOp > budget.max {
+				out = append(out, fmt.Sprintf("%s: %g B/op, budget %g",
+					b.Name, *b.BytesPerOp, budget.max))
+			}
+		}
+		if !matched {
+			out = append(out, fmt.Sprintf("%s: no benchmark matched (budget %g unverified)",
+				budget.re, budget.max))
+		}
+	}
+	return out
+}
+
+// flatGate is one in-document scaling comparison: the cur benchmark's
+// metric must stay within maxPct percent of the base benchmark's.
+type flatGate struct {
+	cur, base *regexp.Regexp
+	unit      string
+	maxPct    float64
+}
+
+// parseFlatGates parses "curRegexp:baseRegexp:unit:maxPct" gate specs.
+func parseFlatGates(spec string) ([]flatGate, error) {
+	var out []flatGate
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%q is not curRegexp:baseRegexp:unit:maxPct", part)
+		}
+		cur, err := regexp.Compile(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		base, err := regexp.Compile(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		if fields[2] == "" {
+			return nil, fmt.Errorf("%q: empty unit", part)
+		}
+		maxPct, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil || maxPct < 0 {
+			return nil, fmt.Errorf("%q: bad percentage", part)
+		}
+		out = append(out, flatGate{cur: cur, base: base, unit: fields[2], maxPct: maxPct})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no gates in %q", spec)
+	}
+	return out, nil
+}
+
+// metricOf extracts one named metric from a parsed benchmark.
+func metricOf(b Benchmark, unit string) (float64, bool) {
+	switch unit {
+	case "ns/op":
+		return b.NsPerOp, true
+	case "B/op":
+		if b.BytesPerOp == nil {
+			return 0, false
+		}
+		return *b.BytesPerOp, true
+	case "allocs/op":
+		if b.AllocsPerOp == nil {
+			return 0, false
+		}
+		return *b.AllocsPerOp, true
+	default:
+		v, ok := b.Extra[unit]
+		return v, ok
+	}
+}
+
+// checkFlatGates enforces in-document flatness gates. Both sides must
+// exist and carry the unit: a sweep tier that silently did not run must
+// not pass as flat.
+func checkFlatGates(doc Document, gates []flatGate) []string {
+	find := func(re *regexp.Regexp) (Benchmark, bool) {
+		for _, b := range doc.Benchmarks {
+			if re.MatchString(b.Name) {
+				return b, true
+			}
+		}
+		return Benchmark{}, false
+	}
+	var out []string
+	for _, g := range gates {
+		cur, okC := find(g.cur)
+		base, okB := find(g.base)
+		if !okC || !okB {
+			out = append(out, fmt.Sprintf("%s vs %s: benchmark missing (gate on %s unverified)",
+				g.cur, g.base, g.unit))
+			continue
+		}
+		cv, okC := metricOf(cur, g.unit)
+		bv, okB := metricOf(base, g.unit)
+		if !okC || !okB {
+			out = append(out, fmt.Sprintf("%s vs %s: no %s metric on both sides",
+				cur.Name, base.Name, g.unit))
+			continue
+		}
+		if bv <= 0 {
+			out = append(out, fmt.Sprintf("%s: base %s %s is zero, gate meaningless",
+				base.Name, g.unit, cur.Name))
+			continue
+		}
+		if pct := (cv - bv) / bv * 100; pct > g.maxPct {
+			out = append(out, fmt.Sprintf("%s: %g %s vs %g at %s (+%.1f%%, limit +%g%%)",
+				cur.Name, cv, g.unit, bv, base.Name, pct, g.maxPct))
 		}
 	}
 	return out

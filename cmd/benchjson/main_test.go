@@ -170,3 +170,97 @@ func TestCheckAllocBudgets(t *testing.T) {
 		t.Errorf("violations = %v, want the unmatched-budget report", got)
 	}
 }
+
+func TestCheckMemBudgets(t *testing.T) {
+	doc := Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkS6Metropolis/nodes=1000000", BytesPerOp: fp(1800)},
+		{Name: "BenchmarkDaemonHotPath", BytesPerOp: fp(4096)},
+		{Name: "BenchmarkNoMem"},
+	}}
+	mustBudgets := func(spec string) []allocBudget {
+		t.Helper()
+		b, err := parseAllocBudgets(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Within budget.
+	if got := checkMemBudgets(doc, mustBudgets("S6Metropolis/nodes=1000000$=4000")); len(got) != 0 {
+		t.Errorf("violations = %v, want none", got)
+	}
+	// Over budget.
+	if got := checkMemBudgets(doc, mustBudgets("DaemonHotPath$=1024")); len(got) != 1 {
+		t.Errorf("violations = %v, want the DaemonHotPath overrun", got)
+	}
+	// Matching a bench that was run without -benchmem is a violation.
+	if got := checkMemBudgets(doc, mustBudgets("NoMem$=0")); len(got) != 1 {
+		t.Errorf("violations = %v, want the missing-benchmem report", got)
+	}
+	// A budget that matches nothing is a violation (typo protection).
+	if got := checkMemBudgets(doc, mustBudgets("DoesNotExist$=0")); len(got) != 1 {
+		t.Errorf("violations = %v, want the unmatched-budget report", got)
+	}
+}
+
+func TestParseFlatGates(t *testing.T) {
+	gates, err := parseFlatGates("nodes=1000000$:nodes=100000$:ns/node-step:25, A$:B$:B/op:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 2 {
+		t.Fatalf("got %d gates, want 2", len(gates))
+	}
+	if gates[0].unit != "ns/node-step" || gates[0].maxPct != 25 {
+		t.Errorf("gate 0 = %+v", gates[0])
+	}
+	if !gates[1].cur.MatchString("BenchmarkA") || !gates[1].base.MatchString("BenchmarkB") {
+		t.Errorf("gate 1 regexps wrong: %+v", gates[1])
+	}
+	for _, bad := range []string{"", "a:b:c", "a:b:c:d:e", "(:b:ns/op:25", "a:(:ns/op:25", "a:b::25", "a:b:ns/op:x", "a:b:ns/op:-5"} {
+		if _, err := parseFlatGates(bad); err == nil {
+			t.Errorf("parseFlatGates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckFlatGates(t *testing.T) {
+	doc := Document{Benchmarks: []Benchmark{
+		{Name: "BenchmarkS6Metropolis/nodes=10000", NsPerOp: 100, BytesPerOp: fp(900),
+			Extra: map[string]float64{"heap-B/node": 1600}},
+		{Name: "BenchmarkS6Metropolis/nodes=100000", NsPerOp: 110,
+			Extra: map[string]float64{"ns/node-step": 950}},
+		{Name: "BenchmarkS6Metropolis/nodes=1000000", NsPerOp: 160,
+			Extra: map[string]float64{"ns/node-step": 1100, "heap-B/node": 2900}},
+	}}
+	mustGates := func(spec string) []flatGate {
+		t.Helper()
+		g, err := parseFlatGates(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	// Flat enough on a custom unit: 1100 vs 950 is +15.8%, inside 25%.
+	if got := checkFlatGates(doc, mustGates("nodes=1000000$:nodes=100000$:ns/node-step:25")); len(got) != 0 {
+		t.Errorf("violations = %v, want none", got)
+	}
+	// Over the limit: 160 vs 100 ns/op is +60%.
+	if got := checkFlatGates(doc, mustGates("nodes=1000000$:nodes=10000$:ns/op:25")); len(got) != 1 {
+		t.Errorf("violations = %v, want the ns/op blowup", got)
+	}
+	// Within a 2x (=+100%) heap gate: 2900 vs 1600 is +81%.
+	if got := checkFlatGates(doc, mustGates("nodes=1000000$:nodes=10000$:heap-B/node:100")); len(got) != 0 {
+		t.Errorf("violations = %v, want none", got)
+	}
+	// A missing benchmark must fail the gate, not silently pass.
+	if got := checkFlatGates(doc, mustGates("nodes=10000000$:nodes=10000$:ns/op:25")); len(got) != 1 {
+		t.Errorf("violations = %v, want the missing-bench report", got)
+	}
+	// A missing unit on either side must fail too.
+	if got := checkFlatGates(doc, mustGates("nodes=1000000$:nodes=10000$:B/op:25")); len(got) != 1 {
+		t.Errorf("violations = %v, want the missing-unit report", got)
+	}
+}

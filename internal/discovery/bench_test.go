@@ -1,0 +1,51 @@
+package discovery
+
+import (
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/plugin"
+)
+
+// BenchmarkDiscoverySyncRound measures the steady-state per-round sync
+// traffic against a 60-device peer in each exchange mode, reporting the
+// wire bytes one round moves as sync-B/round. This is the series the
+// hierarchical far-field state is sized against: flat versioned rounds
+// already move only deltas, hierarchical rounds move one aggregate frame
+// — O(occupied cells), independent of the peer's table size — and the
+// benchmark trajectory records both so BENCH documents pin the claim.
+func BenchmarkDiscoverySyncRound(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		hier bool
+	}{{"flat", false}, {"hierarchical", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var d *Discoverer
+			var fp *fakePlugin
+			if mode.hier {
+				fp, _, d = newHierSetup(8)
+			} else {
+				fp, _, d = newFakeSetup(false)
+			}
+			peerStore := populatedPeerStore(60)
+			fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+			fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+			first := d.RunRound() // first contact pays the mirror
+			if first.FetchErrors != 0 {
+				b.Fatalf("first contact failed: %+v", first)
+			}
+			var last int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := d.RunRound()
+				if rep.FetchErrors != 0 {
+					b.Fatalf("round failed: %+v", rep)
+				}
+				last = rep.SyncBytes
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last), "sync-B/round")
+		})
+	}
+}

@@ -1,0 +1,277 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+)
+
+// Hierarchical neighbourhood fetches (Config.Hierarchical): instead of
+// mirroring a peer's whole table, each round fetches the O(NumAggCells)
+// aggregate view, mirrors full rows only for the best MaxLocalCells cells
+// (ranked by best route quality, then population), and remembers the rest
+// as far-field digests. Cells whose verified hash is unchanged cost
+// nothing; distant cells can be pulled in on demand with RefineCell — the
+// hook lookup and handover paths use when they need a row the local
+// mirror does not hold. Per-peer memory and steady-state sync bytes are
+// then O(local rows + NumAggCells) instead of O(peer table size).
+
+// fetchHierarchical runs the aggregate/refine exchange on one short
+// connection. A flat NeighborhoodSync answer (a load-penalised responder
+// declining the scope) is merged whole; a hang-up after the device info
+// means a pre-scope peer and surfaces as errSyncUnsupported so fetchPeer
+// falls back to the flat exchange.
+func (d *Discoverer) fetchHierarchical(to device.Addr, ps *peerSync, rep *RoundReport) (device.Info, syncResult, error) {
+	cc, cleanup, err := d.dialCounted(to, rep)
+	if err != nil {
+		return device.Info{}, syncResult{}, err
+	}
+	defer cleanup()
+
+	info, err := requestDeviceInfoKind(cc, phproto.InfoDeviceEx)
+	if err != nil {
+		// A hang-up on InfoDeviceEx is how a pre-identity daemon presents.
+		return device.Info{}, syncResult{}, fmt.Errorf("%w: %v", errSyncUnsupported, err)
+	}
+	req := &phproto.NeighborhoodSyncRequest{
+		Epoch: ps.epoch,
+		Gen:   ps.gen,
+		Flags: phproto.SyncFlagSiblings,
+		Scope: phproto.ScopeAggregate,
+	}
+	if err := phproto.Write(cc, req); err != nil {
+		return device.Info{}, syncResult{}, fmt.Errorf("discovery: requesting aggregate: %w", err)
+	}
+	msg, err := phproto.Read(cc)
+	if err != nil {
+		// Hung up on the scoped request: a daemon predating the
+		// hierarchical exchange.
+		return device.Info{}, syncResult{}, fmt.Errorf("%w: %v", errSyncUnsupported, err)
+	}
+	var agg *phproto.NeighborhoodAggregate
+	switch resp := msg.(type) {
+	case *phproto.NeighborhoodSync:
+		// The responder declined the scope (load penalty serves its skewed
+		// snapshot flat). Merge it whole; the flat shadow replaces any
+		// hierarchical state until the next aggregate fetch.
+		sr, ok := ps.apply(resp)
+		if !ok {
+			return device.Info{}, syncResult{}, fmt.Errorf("discovery: unexpected flat answer to aggregate request from %v", to)
+		}
+		ps.hier, ps.cellHash, ps.far = false, nil, nil
+		return info, sr, nil
+	case *phproto.NeighborhoodAggregate:
+		agg = resp
+	default:
+		return device.Info{}, syncResult{}, fmt.Errorf("discovery: aggregate request answered with %v", msg.Cmd())
+	}
+
+	if ps.hier && agg.Epoch == ps.epoch && agg.Gen == ps.gen {
+		// Nothing changed anywhere in the peer's table.
+		return info, syncResult{aggregate: true}, nil
+	}
+
+	// Rank the occupied cells and mirror the best MaxLocalCells: best
+	// route quality first (those are the routes worth paying full rows
+	// for), population as the tie-break, cell id for determinism.
+	ranked := append([]phproto.CellSummary(nil), agg.Cells...)
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if a.BestQuality != b.BestQuality {
+			return a.BestQuality > b.BestQuality
+		}
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return a.Cell < b.Cell
+	})
+	if len(ranked) > d.cfg.MaxLocalCells {
+		ranked = ranked[:d.cfg.MaxLocalCells]
+	}
+
+	var sr syncResult
+	sr.aggregate = true
+	newCellHash := make(map[uint8]uint64, len(ranked))
+	newHashes := make(map[device.Addr]uint64, len(ps.hashes))
+	refined := make(map[uint8]bool, len(ranked))
+	for _, cs := range ranked {
+		if old, ok := ps.cellHash[cs.Cell]; ok && old == cs.Hash {
+			// Verified mirror already current: keep its rows as-is.
+			newCellHash[cs.Cell] = old
+			continue
+		}
+		if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{
+			Flags: phproto.SyncFlagSiblings,
+			Scope: phproto.ScopeCell,
+			Cell:  cs.Cell,
+		}); err != nil {
+			return device.Info{}, syncResult{}, fmt.Errorf("discovery: refining cell %d: %w", cs.Cell, err)
+		}
+		cellMsg, err := phproto.ReadExpect[*phproto.NeighborhoodCell](cc)
+		if err != nil {
+			return device.Info{}, syncResult{}, fmt.Errorf("discovery: reading cell %d: %w", cs.Cell, err)
+		}
+		var h uint64
+		for _, en := range cellMsg.Entries {
+			eh := en.Hash()
+			h ^= eh
+			newHashes[en.Info.Addr] = eh
+		}
+		if h != cellMsg.Hash {
+			// The rows do not reproduce their own advertised hash
+			// (truncation past MaxEntries presents the same way): this
+			// refinement cannot be trusted.
+			return device.Info{}, syncResult{}, fmt.Errorf("discovery: cell %d of %v failed digest verification", cs.Cell, to)
+		}
+		d.cellRefines.Inc()
+		sr.refined++
+		newCellHash[cs.Cell] = h
+		refined[cs.Cell] = true
+		sr.entries = append(sr.entries, cellMsg.Entries...)
+	}
+
+	// Reconcile the old shadow: rows in cells no longer mirrored are
+	// demoted to the far field, rows of refined cells that were not re-sent
+	// left the peer's table. Both become tombstones; rows of kept (hash-
+	// unchanged) cells carry over untouched.
+	for addr, h := range ps.hashes {
+		c := phproto.CellOf(addr)
+		if _, local := newCellHash[c]; !local {
+			sr.tombstones = append(sr.tombstones, addr)
+			continue
+		}
+		if refined[c] {
+			if _, present := newHashes[addr]; !present {
+				sr.tombstones = append(sr.tombstones, addr)
+			}
+			continue
+		}
+		newHashes[addr] = h
+	}
+	// Map iteration fed the tombstones; sort them so merge order — and
+	// with it the storage journal every downstream delta is cut from — is
+	// deterministic under same-seed replay.
+	sort.Slice(sr.tombstones, func(i, j int) bool { return sr.tombstones[i].Less(sr.tombstones[j]) })
+
+	ps.hier = true
+	ps.epoch, ps.gen = agg.Epoch, agg.Gen
+	ps.hashes = newHashes
+	ps.cellHash = newCellHash
+	ps.digest = 0
+	ps.far = make(map[uint8]phproto.CellSummary, len(agg.Cells))
+	for _, cs := range agg.Cells {
+		if _, local := newCellHash[cs.Cell]; !local {
+			ps.far[cs.Cell] = cs
+		}
+	}
+	return info, sr, nil
+}
+
+// RefineCell pulls one far-field cell of a peer's table into the local
+// mirror on demand — the refinement trigger lookup and handover paths use
+// when they need rows the steady-state mirror does not hold. The cell's
+// rows are fetched with a ScopeCell request, verified against their
+// advertised hash, and merged like a delta; the cell then counts as local
+// until an aggregate round demotes it again.
+func (d *Discoverer) RefineCell(to device.Addr, cell uint8) error {
+	if cell >= phproto.NumAggCells {
+		return fmt.Errorf("discovery: cell %d out of range", cell)
+	}
+	d.roundMu.Lock()
+	defer d.roundMu.Unlock()
+	ps := d.peers[to]
+	if ps == nil || !ps.hier {
+		return fmt.Errorf("discovery: no hierarchical sync state for %v", to)
+	}
+	if ps.lastQuality < 0 {
+		return fmt.Errorf("discovery: no merged link quality for %v yet", to)
+	}
+	var rep RoundReport
+	cc, cleanup, err := d.dialCounted(to, &rep)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cleanup()
+		d.syncBytes.Add(uint64(rep.SyncBytes))
+	}()
+	if err := phproto.Write(cc, &phproto.NeighborhoodSyncRequest{
+		Flags: phproto.SyncFlagSiblings,
+		Scope: phproto.ScopeCell,
+		Cell:  cell,
+	}); err != nil {
+		return fmt.Errorf("discovery: refining cell %d: %w", cell, err)
+	}
+	cellMsg, err := phproto.ReadExpect[*phproto.NeighborhoodCell](cc)
+	if err != nil {
+		return fmt.Errorf("discovery: reading cell %d: %w", cell, err)
+	}
+	var h uint64
+	present := make(map[device.Addr]uint64, len(cellMsg.Entries))
+	for _, en := range cellMsg.Entries {
+		eh := en.Hash()
+		h ^= eh
+		present[en.Info.Addr] = eh
+	}
+	if h != cellMsg.Hash {
+		return fmt.Errorf("discovery: cell %d of %v failed digest verification", cell, to)
+	}
+	var tombstones []device.Addr
+	for addr := range ps.hashes {
+		if phproto.CellOf(addr) != cell {
+			continue
+		}
+		if _, ok := present[addr]; !ok {
+			tombstones = append(tombstones, addr)
+		}
+	}
+	sort.Slice(tombstones, func(i, j int) bool { return tombstones[i].Less(tombstones[j]) })
+	d.cfg.Store.MergeNeighborhoodDelta(to, ps.lastQuality, cellMsg.Entries, tombstones)
+	for _, a := range tombstones {
+		delete(ps.hashes, a)
+	}
+	for addr, eh := range present {
+		ps.hashes[addr] = eh
+	}
+	ps.cellHash[cell] = h
+	delete(ps.far, cell)
+	d.cellRefines.Inc()
+	return nil
+}
+
+// FarCells returns the far-field summaries remembered for a peer, in cell
+// order: the aggregate digests of every occupied cell the local mirror
+// does not hold full rows for. Empty when the peer is synced flat.
+func (d *Discoverer) FarCells(to device.Addr) []phproto.CellSummary {
+	d.roundMu.Lock()
+	defer d.roundMu.Unlock()
+	ps := d.peers[to]
+	if ps == nil || len(ps.far) == 0 {
+		return nil
+	}
+	out := make([]phproto.CellSummary, 0, len(ps.far))
+	for _, cs := range ps.far {
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out
+}
+
+// LocalCells returns the cells currently mirrored as full rows for a peer,
+// ascending. Empty when the peer is synced flat.
+func (d *Discoverer) LocalCells(to device.Addr) []uint8 {
+	d.roundMu.Lock()
+	defer d.roundMu.Unlock()
+	ps := d.peers[to]
+	if ps == nil || len(ps.cellHash) == 0 {
+		return nil
+	}
+	out := make([]uint8, 0, len(ps.cellHash))
+	for c := range ps.cellHash {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,190 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+	"peerhood/internal/plugin"
+	"peerhood/internal/storage"
+)
+
+func newHierSetup(maxCells int) (*fakePlugin, *storage.Storage, *Discoverer) {
+	fp := &fakePlugin{addr: bt("self"), fetch: make(map[string]fetchScript)}
+	st := storage.New(storage.Config{Clock: clock.NewManual()})
+	st.AddSelfAddr(fp.addr)
+	d := New(Config{
+		Store: st, Plugin: fp, Clock: clock.NewManual(),
+		Hierarchical: true, MaxLocalCells: maxCells,
+	})
+	return fp, st, d
+}
+
+// populatedPeerStore builds a peer table big enough to spread over many
+// aggregation cells, with varied link qualities so the cell ranking has
+// something to rank.
+func populatedPeerStore(n int) *storage.Storage {
+	s := newPeerStore()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("dev%03d", i)
+		s.UpsertDirect(device.Info{Name: name, Addr: bt(name)}, 200+i%56)
+	}
+	return s
+}
+
+// TestHierarchicalFetchBoundsLocalRows: a hierarchical round mirrors full
+// rows only for MaxLocalCells cells; everything else is held as far-field
+// digests whose counts and hashes tie back exactly to the peer's flat
+// table digest.
+func TestHierarchicalFetchBoundsLocalRows(t *testing.T) {
+	fp, st, d := newHierSetup(2)
+	peerStore := populatedPeerStore(60)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	rep := d.RunRound()
+	if rep.AggregateFetches != 1 || rep.FullFetches != 0 || rep.DeltaFetches != 0 {
+		t.Fatalf("first contact: %+v, want one aggregate fetch", rep)
+	}
+	if rep.CellsRefined == 0 || rep.CellsRefined > 2 {
+		t.Fatalf("refined %d cells, want 1..2", rep.CellsRefined)
+	}
+	peerDigest := peerStore.Digest()
+	localRows := st.Len() - 1 // minus the direct row for B itself
+	if localRows >= peerDigest.Entries {
+		t.Fatalf("mirrored %d of %d rows; the far field was not aggregated", localRows, peerDigest.Entries)
+	}
+	far := d.FarCells(bt("B"))
+	if len(far) == 0 {
+		t.Fatal("no far-field summaries remembered")
+	}
+	// Counts: local rows + far-cell counts must cover the peer's whole
+	// table; hashes: far hashes XOR local cell hashes must reproduce the
+	// peer's table digest.
+	covered := localRows
+	hash := uint64(0)
+	for _, cs := range far {
+		covered += int(cs.Count)
+		hash ^= cs.Hash
+	}
+	cells, _ := peerStore.CellSummaries()
+	for _, c := range d.LocalCells(bt("B")) {
+		for _, cs := range cells {
+			if cs.Cell == c {
+				hash ^= cs.Hash
+			}
+		}
+	}
+	// B's own direct row exists in the peer's table as our "B" upsert does
+	// not — the peer table has no row for B (it is the peer itself), so
+	// the covered count compares against the peer's entries exactly.
+	if covered != peerDigest.Entries {
+		t.Fatalf("local rows + far counts = %d, want %d", covered, peerDigest.Entries)
+	}
+	if hash != peerDigest.Hash {
+		t.Fatalf("cell hash union %#x does not reproduce the table digest %#x", hash, peerDigest.Hash)
+	}
+}
+
+// TestHierarchicalRefineReconstructsFullTable is the aggregation ≡ full
+// property: the aggregate view refined cell by cell reconstructs exactly
+// the table a flat fetcher mirrors — same entries, same storage digest.
+func TestHierarchicalRefineReconstructsFullTable(t *testing.T) {
+	peerStore := populatedPeerStore(48)
+
+	hfp, hst, hd := newHierSetup(2)
+	hfp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	hfp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	ffp, fst, fd := newFakeSetup(false)
+	ffp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	ffp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	hd.RunRound()
+	fd.RunRound()
+	if hst.Len() >= fst.Len() {
+		t.Fatalf("hierarchical mirror (%d rows) not smaller than flat (%d) before refinement", hst.Len(), fst.Len())
+	}
+	for _, cs := range hd.FarCells(bt("B")) {
+		if err := hd.RefineCell(bt("B"), cs.Cell); err != nil {
+			t.Fatalf("refining cell %d: %v", cs.Cell, err)
+		}
+	}
+	if len(hd.FarCells(bt("B"))) != 0 {
+		t.Fatal("far cells remain after refining every one of them")
+	}
+	hdg, fdg := hst.Digest(), fst.Digest()
+	if hdg.Entries != fdg.Entries || hdg.Hash != fdg.Hash {
+		t.Fatalf("refined table digest (%d, %#x) != flat table digest (%d, %#x)",
+			hdg.Entries, hdg.Hash, fdg.Entries, fdg.Hash)
+	}
+}
+
+// TestHierarchicalSteadyStateRefinesNothing: with the peer's table
+// unchanged, a follow-up round sees the same (epoch, gen) on the aggregate
+// and stops there — no cell fetches, nothing merged, fewer bytes than the
+// first contact.
+func TestHierarchicalSteadyStateRefinesNothing(t *testing.T) {
+	fp, _, d := newHierSetup(4)
+	peerStore := populatedPeerStore(30)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	first := d.RunRound()
+	if first.AggregateFetches != 1 || first.CellsRefined == 0 {
+		t.Fatalf("first contact: %+v", first)
+	}
+	rep := d.RunRound()
+	if rep.AggregateFetches != 1 || rep.CellsRefined != 0 {
+		t.Fatalf("steady state: %+v, want an aggregate fetch refining nothing", rep)
+	}
+	if rep.Merge.Added != 0 || rep.Merge.Updated != 0 || rep.Merge.Removed != 0 {
+		t.Fatalf("steady state merged something: %+v", rep.Merge)
+	}
+	if rep.SyncBytes >= first.SyncBytes {
+		t.Fatalf("steady-state round moved %d bytes, first contact moved %d", rep.SyncBytes, first.SyncBytes)
+	}
+}
+
+// TestHierarchicalFallsBackOnScopelessPeer: a responder that hangs up on
+// the scoped request (a daemon predating the hierarchical exchange) gets
+// the same legacy treatment as any pre-sync peer — the fetch repeats as
+// the flat full exchange and still learns the table.
+func TestHierarchicalFallsBackOnScopelessPeer(t *testing.T) {
+	fp, st, d := newHierSetup(4)
+	peerStore := populatedPeerStore(12)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore, scopeless: true}
+
+	rep := d.RunRound()
+	if rep.FetchErrors != 0 || rep.FullFetches != 1 || rep.AggregateFetches != 0 {
+		t.Fatalf("scopeless peer round: %+v, want a full-exchange fallback", rep)
+	}
+	if st.Len()-1 != peerStore.Digest().Entries {
+		t.Fatalf("fallback mirrored %d rows, want the peer's full %d", st.Len()-1, peerStore.Digest().Entries)
+	}
+}
+
+// TestRefineCellRemovesDepartedRows: refining a cell whose devices left
+// the peer's table tombstones the departed rows from the mirror.
+func TestRefineCellRemovesDepartedRows(t *testing.T) {
+	fp, st, d := newHierSetup(phproto.NumAggCells)
+	peerStore := populatedPeerStore(20)
+	fp.responses = []plugin.InquiryResult{{Addr: bt("B"), Quality: 240}}
+	fp.fetch["B"] = fetchScript{info: device.Info{Name: "B", Addr: bt("B")}, store: peerStore}
+
+	d.RunRound() // mirrors everything (MaxLocalCells covers all cells)
+	victim := bt("dev007")
+	if _, ok := st.Lookup(victim); !ok {
+		t.Fatal("dev007 not mirrored")
+	}
+	peerStore.RemoveDirect(victim)
+	if err := d.RefineCell(bt("B"), phproto.CellOf(victim)); err != nil {
+		t.Fatalf("refine: %v", err)
+	}
+	if _, ok := st.Lookup(victim); ok {
+		t.Fatal("departed device survived its cell refinement")
+	}
+}

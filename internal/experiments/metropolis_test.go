@@ -46,3 +46,30 @@ func TestMetropolisSameSeedReplayIsByteIdentical(t *testing.T) {
 		t.Fatalf("same-seed S6 tables diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
 }
+
+// TestMetropolisMillionSameSeedReplay pins the determinism contract at
+// the million-node tier: two same-seed cities, stepped the same number of
+// supersteps, must land on byte-identical world digests. The tier costs
+// minutes and ~1 GB, so like the 1M bench scale it only runs when
+// PH_S6_1M=1 (the CI bench-trajectory job sets it).
+func TestMetropolisMillionSameSeedReplay(t *testing.T) {
+	if !metropolisMillion() {
+		t.Skipf("set %s=1 to run the million-node replay", MetropolisMillionEnv)
+	}
+	run := func() string {
+		t.Helper()
+		sw, err := MetropolisWorld(7, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sw.Close()
+		for s := 0; s < 5; s++ {
+			sw.Step()
+		}
+		return sw.Digest()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("same-seed 1M digests diverged: %s vs %s", first, second)
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+	"peerhood/internal/phproto"
+	"peerhood/internal/rng"
+	"peerhood/internal/simnet"
+	"peerhood/internal/storage"
+)
+
+// TestShardedPlazaByteTraffic is the S2 byte-traffic scenario ported onto
+// the sharded substrate: a static plaza crowd discovers neighbours
+// (AutoLink building the links), every node keeps a real DeviceStorage,
+// and each discovered pair then runs the actual neighbourhood-sync wire
+// protocol over sharded ShardConn streams. The S2 claim carries over
+// unchanged: the first contact pays the full-table exchange, the
+// steady-state round moves only versioned deltas — strictly fewer bytes —
+// and every byte is accounted in the sharded world's stats.
+func TestShardedPlazaByteTraffic(t *testing.T) {
+	const n = 24
+	type pair struct{ from, to simnet.NodeID }
+	var pairs []pair
+	seen := make(map[[2]simnet.NodeID]bool)
+	sw := simnet.NewShardedWorld(simnet.ShardedConfig{
+		Seed:     42,
+		AutoLink: true,
+		OnDiscovery: func(at time.Duration, node simnet.NodeID, tech device.Tech, res []simnet.ShardInquiry) {
+			for _, r := range res {
+				a, b := node, r.Node
+				if b < a {
+					a, b = b, a
+				}
+				if k := [2]simnet.NodeID{a, b}; !seen[k] {
+					seen[k] = true
+					pairs = append(pairs, pair{from: node, to: r.Node})
+				}
+			}
+		},
+	})
+	defer sw.Close()
+
+	src := rng.New(42)
+	const side = 60.0
+	for i := 0; i < n; i++ {
+		if _, err := sw.AddNode(simnet.ShardNodeSpec{
+			Name:           fmt.Sprintf("s2s-%02d", i),
+			Model:          mobility.Static{At: geo.Pt(src.Uniform(0, side), src.Uniform(0, side))},
+			Techs:          []device.Tech{device.TechWLAN},
+			DiscoveryEvery: 2 * time.Second,
+			DiscoveryPhase: time.Duration(1+i%4) * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 6; s++ {
+		sw.Step()
+	}
+	if len(pairs) == 0 || sw.ActiveLinks() == 0 {
+		t.Fatalf("plaza formed no links (%d pairs, %d links)", len(pairs), sw.ActiveLinks())
+	}
+
+	// Every node carries a real DeviceStorage advertising a few devices of
+	// its own, and listens on the daemon port like any PeerHood node.
+	stores := make([]*storage.Storage, n)
+	listeners := make([]*simnet.ShardListener, n)
+	for i := range stores {
+		st := storage.New(storage.Config{Clock: clock.NewManual()})
+		self := device.Addr{Tech: device.TechWLAN, MAC: sw.NodeName(simnet.NodeID(i))}
+		st.AddSelfAddr(self)
+		for j := 0; j < 5; j++ {
+			nm := fmt.Sprintf("%s-dev%d", self.MAC, j)
+			st.UpsertDirect(device.Info{Name: nm, Addr: device.Addr{Tech: device.TechWLAN, MAC: nm}}, 200+j)
+		}
+		stores[i] = st
+		l, err := sw.Listen(simnet.NodeID(i), device.TechWLAN, device.PortDaemon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+	}
+
+	// One stream per discovered pair, held across rounds like a daemon's
+	// sync sessions; this single-goroutine harness plays both roles, so it
+	// keeps both endpoints. The dial side is the node that discovered.
+	type session struct {
+		p          pair
+		cli, srv   *simnet.ShardConn
+		epoch, gen uint64
+	}
+	sessions := make([]*session, 0, len(pairs))
+	for _, p := range pairs {
+		c, err := sw.Dial(p.from, p.to, device.TechWLAN, device.PortDaemon)
+		if err != nil {
+			// AutoLink links can drop between supersteps; skip such pairs.
+			continue
+		}
+		sconn, err := listeners[p.to].Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, &session{p: p, cli: c, srv: sconn})
+	}
+	if len(sessions) == 0 {
+		t.Fatal("no sync sessions established")
+	}
+
+	// syncRound runs one full request/response sync cycle on every
+	// session, serving responses from the remote node's storage, and
+	// returns the bytes the sharded world moved for it.
+	syncRound := func() int64 {
+		before := sw.Stats().BytesWritten
+		for _, s := range sessions {
+			req := &phproto.NeighborhoodSyncRequest{Epoch: s.epoch, Gen: s.gen, Flags: phproto.SyncFlagSiblings}
+			if err := phproto.Write(s.cli, req); err != nil {
+				t.Fatal(err)
+			}
+			msg, err := phproto.Read(s.srv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rq, ok := msg.(*phproto.NeighborhoodSyncRequest)
+			if !ok {
+				t.Fatalf("server read %T, want the sync request", msg)
+			}
+			resp := stores[s.p.to].SyncResponse(rq.Epoch, rq.Gen, rq.Flags&phproto.SyncFlagSiblings != 0)
+			if err := phproto.Write(s.srv, resp); err != nil {
+				t.Fatal(err)
+			}
+			msg, err = phproto.Read(s.cli)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sync, ok := msg.(*phproto.NeighborhoodSync)
+			if !ok {
+				t.Fatalf("expected a sync response, got %T", msg)
+			}
+			s.epoch, s.gen = sync.Epoch, sync.ToGen
+		}
+		return sw.Stats().BytesWritten - before
+	}
+
+	fullBytes := syncRound()
+	if fullBytes == 0 {
+		t.Fatal("first-contact round moved no bytes")
+	}
+	deltaBytes := syncRound()
+	if deltaBytes == 0 || deltaBytes >= fullBytes {
+		t.Fatalf("steady-state round moved %d bytes, first contact %d; deltas must cost strictly less",
+			deltaBytes, fullBytes)
+	}
+	st := sw.Stats()
+	if st.MessagesDelivered < int64(4*len(sessions)) {
+		t.Fatalf("delivered %d frames over %d sessions, want at least %d",
+			st.MessagesDelivered, len(sessions), 4*len(sessions))
+	}
+}

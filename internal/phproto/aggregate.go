@@ -1,0 +1,175 @@
+package phproto
+
+import (
+	"peerhood/internal/device"
+)
+
+// This file defines the hierarchical neighbourhood exchange: instead of
+// mirroring a responder's whole table, a fetcher can ask for a per-cell
+// AGGREGATE view — every address maps to one of NumAggCells hash cells, and
+// the responder summarises each occupied cell as (count, tech mix, best
+// route quality, XOR hash) — and then refine individual cells on demand
+// with a CELL fetch that carries that cell's full rows. The cell XOR hashes
+// are slices of the existing table digest (they XOR together to
+// DigestHash), so a refined view stays end-to-end verifiable against the
+// same fingerprint the flat exchange uses. Legacy peers are untouched:
+// scope rides as trailing-optional bytes on NeighborhoodSyncRequest, and a
+// legacy responder hangs up on them, which the fetcher treats as "not
+// supported" exactly like every other extension here.
+
+// NumAggCells is the number of aggregation cells an address space is hashed
+// into. It bounds the aggregate view at O(NumAggCells) regardless of
+// population, and both sides must agree on it, so it is a wire constant.
+const NumAggCells = 64
+
+// CellOf maps an address to its aggregation cell: FNV-64a over the
+// canonical tech:MAC form, reduced modulo NumAggCells. A pure function of
+// the address, so any node can place any device — including ones it has
+// never heard of — without extra metadata.
+func CellOf(a device.Addr) uint8 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(uint8(a.Tech))
+	h *= prime64
+	for i := 0; i < len(a.MAC); i++ {
+		h ^= uint64(a.MAC[i])
+		h *= prime64
+	}
+	return uint8(h % NumAggCells)
+}
+
+// Sync scope values (NeighborhoodSyncRequest.Scope). Zero is the flat
+// exchange and encodes byte-identically to pre-scope requests.
+const (
+	// ScopeTable asks for the classic full/delta table exchange.
+	ScopeTable uint8 = 0
+	// ScopeAggregate asks for the per-cell aggregate view
+	// (NeighborhoodAggregate).
+	ScopeAggregate uint8 = 1
+	// ScopeCell asks for the full rows of one cell (NeighborhoodCell); the
+	// request's Cell field selects it.
+	ScopeCell uint8 = 2
+)
+
+// CellSummary is one cell's aggregate digest.
+type CellSummary struct {
+	// Cell is the cell index (0..NumAggCells-1).
+	Cell uint8
+	// Count is the number of wire-visible entries hashing into the cell.
+	Count uint32
+	// TechMask is the OR of 1<<tech over the cell's entries — the tech mix.
+	TechMask uint8
+	// BestQuality is the best route quality in the cell: the maximum
+	// QualityMin over its entries (the best weakest-hop quality reachable
+	// through this responder).
+	BestQuality uint8
+	// Hash is the XOR of the cell's entry hashes — a slice of the table
+	// digest: XOR-ing every cell's Hash yields DigestHash.
+	Hash uint64
+}
+
+// NeighborhoodAggregate answers a ScopeAggregate sync request: the
+// responder's table summarised per cell, plus the flat digest so the view
+// ties back to the same fingerprint the classic exchange verifies against.
+type NeighborhoodAggregate struct {
+	// Epoch and Gen identify the table version this view renders, with the
+	// same semantics as NeighborhoodSync.
+	Epoch uint64
+	Gen   uint64
+	// Cells lists the occupied cells in ascending Cell order.
+	Cells []CellSummary
+	// DigestCount and DigestHash describe the full table (every cell
+	// combined), as in NeighborhoodSync.
+	DigestCount uint32
+	DigestHash  uint64
+}
+
+// Cmd implements Message.
+func (*NeighborhoodAggregate) Cmd() Command { return CmdNeighborhoodAggregate }
+
+func (m *NeighborhoodAggregate) encodeTo(e *encoder) {
+	e.u64(m.Epoch)
+	e.u64(m.Gen)
+	e.u8(uint8(len(m.Cells)))
+	for _, c := range m.Cells {
+		e.u8(c.Cell)
+		e.u32(c.Count)
+		e.u8(c.TechMask)
+		e.u8(c.BestQuality)
+		e.u64(c.Hash)
+	}
+	e.u32(m.DigestCount)
+	e.u64(m.DigestHash)
+}
+
+func (m *NeighborhoodAggregate) decodeFrom(d *decoder) error {
+	m.Epoch = d.u64()
+	m.Gen = d.u64()
+	n := int(d.u8())
+	if d.err != nil {
+		return d.err
+	}
+	if n > NumAggCells {
+		d.failTooMany(n, "aggregate cells", NumAggCells)
+		return d.err
+	}
+	if n > 0 {
+		m.Cells = make([]CellSummary, 0, n)
+		for i := 0; i < n; i++ {
+			c := CellSummary{
+				Cell:        d.u8(),
+				Count:       d.u32(),
+				TechMask:    d.u8(),
+				BestQuality: d.u8(),
+				Hash:        d.u64(),
+			}
+			if d.err != nil {
+				return d.err
+			}
+			m.Cells = append(m.Cells, c)
+		}
+	}
+	m.DigestCount = d.u32()
+	m.DigestHash = d.u64()
+	return d.err
+}
+
+// NeighborhoodCell answers a ScopeCell sync request: the full rows of one
+// cell, with the cell's XOR hash so the fetcher can verify the refinement
+// against the aggregate view it holds.
+type NeighborhoodCell struct {
+	// Cell is the refined cell's index.
+	Cell uint8
+	// Epoch and Gen identify the table version the rows were cut from.
+	Epoch uint64
+	Gen   uint64
+	// Entries are every wire-visible row hashing into Cell, in address
+	// order.
+	Entries []NeighborEntry
+	// Hash is the XOR of the entry hashes — must match the aggregate view's
+	// CellSummary.Hash at the same Gen.
+	Hash uint64
+}
+
+// Cmd implements Message.
+func (*NeighborhoodCell) Cmd() Command { return CmdNeighborhoodCell }
+
+func (m *NeighborhoodCell) encodeTo(e *encoder) {
+	e.u8(m.Cell)
+	e.u64(m.Epoch)
+	e.u64(m.Gen)
+	e.neighborEntries(m.Entries)
+	e.u64(m.Hash)
+}
+
+func (m *NeighborhoodCell) decodeFrom(d *decoder) error {
+	m.Cell = d.u8()
+	m.Epoch = d.u64()
+	m.Gen = d.u64()
+	m.Entries = d.neighborEntries()
+	m.Hash = d.u64()
+	return d.err
+}

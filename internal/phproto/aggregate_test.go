@@ -1,0 +1,96 @@
+package phproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"peerhood/internal/device"
+)
+
+func TestAggregateMessagesRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&NeighborhoodSyncRequest{Epoch: 1, Gen: 2, Flags: SyncFlagSiblings, Scope: ScopeAggregate},
+		&NeighborhoodSyncRequest{Scope: ScopeCell, Cell: 63},
+		&NeighborhoodAggregate{Epoch: 9, Gen: 17, DigestCount: 0, DigestHash: 0},
+		&NeighborhoodAggregate{
+			Epoch: 9, Gen: 17,
+			Cells: []CellSummary{
+				{Cell: 0, Count: 3, TechMask: 0b10, BestQuality: 240, Hash: 0xA},
+				{Cell: 63, Count: 1, TechMask: 0b110, BestQuality: 200, Hash: 0xB},
+			},
+			DigestCount: 4, DigestHash: 0xA ^ 0xB,
+		},
+		&NeighborhoodCell{Cell: 5, Epoch: 9, Gen: 17},
+		&NeighborhoodCell{
+			Cell: 5, Epoch: 9, Gen: 17,
+			Entries: []NeighborEntry{sampleEntry("aa", 0), sampleEntry("bb", 2)},
+			Hash:    0x77,
+		},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v round trip:\n sent %#v\n got  %#v", m.Cmd(), m, got)
+		}
+	}
+}
+
+// TestScopeRidesAfterFlags pins the trailing-optional layout: a zero scope
+// encodes byte-identically to pre-scope requests (with and without flags),
+// and a non-zero scope forces the flags byte onto the wire so field order
+// is preserved even when the flags are zero.
+func TestScopeRidesAfterFlags(t *testing.T) {
+	payloadLen := func(m Message) int {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len() - 5
+	}
+	if n := payloadLen(&NeighborhoodSyncRequest{Epoch: 1, Gen: 2}); n != 16 {
+		t.Fatalf("flagless scope-less request payload = %d bytes, want the legacy 16", n)
+	}
+	if n := payloadLen(&NeighborhoodSyncRequest{Epoch: 1, Gen: 2, Flags: SyncFlagSiblings}); n != 17 {
+		t.Fatalf("flagged scope-less request payload = %d bytes, want the legacy 17", n)
+	}
+	if n := payloadLen(&NeighborhoodSyncRequest{Epoch: 1, Gen: 2, Scope: ScopeAggregate}); n != 19 {
+		t.Fatalf("flagless scoped request payload = %d bytes, want 19 (flags forced on)", n)
+	}
+}
+
+func TestAggregateOversizeCellCountRejected(t *testing.T) {
+	payload := make([]byte, 16) // epoch + gen
+	payload = append(payload, NumAggCells+1)
+	var hdr [5]byte
+	hdr[0] = byte(CmdNeighborhoodAggregate)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	_, err := Read(bytes.NewReader(append(hdr[:], payload...)))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestCellOfStable pins the address-to-cell mapping as a wire constant:
+// pure, in range, and sensitive to both the technology and the MAC (two
+// sides disagreeing on a cell would make refinement silently lossy).
+func TestCellOfStable(t *testing.T) {
+	a := device.Addr{Tech: device.TechBluetooth, MAC: "aa:bb"}
+	if CellOf(a) != CellOf(a) {
+		t.Fatal("CellOf is not deterministic")
+	}
+	if c := CellOf(a); c >= NumAggCells {
+		t.Fatalf("cell %d out of range", c)
+	}
+	b := device.Addr{Tech: device.TechWLAN, MAC: "aa:bb"}
+	cells := map[uint8]bool{CellOf(a): true, CellOf(b): true}
+	for i := 0; i < 256; i++ {
+		cells[CellOf(device.Addr{Tech: device.TechWLAN, MAC: string(rune('a'+i%26)) + string(rune('0'+i%10))})] = true
+	}
+	if len(cells) < NumAggCells/2 {
+		t.Fatalf("only %d cells hit across varied addresses — the hash is not spreading", len(cells))
+	}
+}

@@ -1,8 +1,8 @@
 package simnet
 
 import (
+	"cmp"
 	"slices"
-	"sort"
 	"sync"
 	"time"
 
@@ -21,18 +21,35 @@ import (
 
 // shard is one event-queue partition with its worker's scratch space.
 type shard struct {
-	q     eventQueue
-	out   []effect
-	cand  []NodeID
-	stats ShardStats
+	q          eventQueue
+	out        []effect
+	stats      ShardStats
+	shrinkRuns int // consecutive low-use supersteps; see recycle
 
-	// Per-superstep candidate cache: every inquirer in one region asks for
-	// the same (cell, time) candidate list, and a region's events all drain
-	// on the same shard, so the gather+sort+pack cost is paid once per cell
-	// per superstep instead of once per inquiry. The packed records also
-	// turn the scan itself into a sequential walk over pointer-free memory.
-	cands   map[candKey][]candRec
-	candBuf []candRec // arena the cached slices are carved from
+	// Deferred discovery work. run pops every due event in queue order
+	// (keeping sh.out sorted) but leaves each discovery effect's results
+	// empty; the inquiries then execute sorted by the inquirer's cell,
+	// row-major. Spatial order is what keeps the in-place bucket scans
+	// cache-resident at a million nodes: consecutive inquiries read the
+	// same three rows of region slabs, so each slab crosses memory once
+	// per superstep instead of once per inquiring neighbour cell.
+	dq []discWork
+
+	// One-entry neighbourhood memo: inquirers in the same cell (common —
+	// plazas hold dozens) reuse the 3x3 bucket lookup instead of nine map
+	// probes each. Valid within one superstep's parallel phase only;
+	// buckets mutate in the merge phase.
+	nbCell geo.Cell
+	nbOK   bool
+	nbN    int
+	nb     [9][]candRec
+	oneRec [1]candRec // reusable view for scanning unbucketed candidates
+
+	// survBuf collects one technology scan's in-range survivors; sorting
+	// it by NodeID before any randomness is drawn is what keeps RNG
+	// consumption — and so the whole run — independent of bucket
+	// geometry and scan order.
+	survBuf []surv
 
 	// Result arenas, reset each superstep: inquiry results live only
 	// until the merge phase hands them to the discovery hook, so carving
@@ -42,10 +59,19 @@ type shard struct {
 	drBuf  []discResult
 }
 
-// candKey addresses one cached candidate list.
-type candKey struct {
-	cell geo.Cell
-	at   time.Duration
+// discWork is one deferred discovery inquiry, processed in spatial order.
+type discWork struct {
+	cell   geo.Cell
+	pos    geo.Point
+	at     time.Duration
+	node   NodeID
+	outIdx int // the effect in sh.out awaiting this inquiry's results
+}
+
+// surv is one in-range inquiry survivor awaiting its response draw.
+type surv struct {
+	id NodeID
+	d  float64
 }
 
 // candRec is one candidate's hot fields, packed for the inquiry scan.
@@ -105,15 +131,7 @@ func (w *ShardedWorld) Step() {
 	var wg sync.WaitGroup
 	due := false
 	for _, sh := range w.shards {
-		sh.out = sh.out[:0]
-		sh.candBuf = sh.candBuf[:0]
-		sh.resBuf = sh.resBuf[:0]
-		sh.drBuf = sh.drBuf[:0]
-		if sh.cands == nil {
-			sh.cands = make(map[candKey][]candRec)
-		} else {
-			clear(sh.cands)
-		}
+		sh.recycle()
 		if ev, ok := sh.q.peek(); ok && ev.at <= stepEnd {
 			due = true
 		}
@@ -125,6 +143,7 @@ func (w *ShardedWorld) Step() {
 		// An idle superstep (no events, no link checks) skips the
 		// snapshot entirely, keeping the do-nothing step O(1).
 		w.snapshotPositionsLocked(stepEnd)
+		w.refreshBucketsLocked()
 	}
 	for _, sh := range w.shards {
 		if ev, ok := sh.q.peek(); !ok || ev.at > stepEnd {
@@ -147,6 +166,38 @@ func (w *ShardedWorld) Step() {
 	w.expireBlackoutsLocked()
 }
 
+// Arena recycling bounds: a scratch capacity that has sat at least 4x over
+// actual use for arenaShrinkAfter consecutive supersteps is released, so a
+// burst (a rush-hour step, a fault-script spike) does not pin its
+// high-water mark for the rest of a long run.
+const (
+	arenaShrinkFloor = 4096
+	arenaShrinkAfter = 8
+)
+
+// recycle resets the shard's per-superstep scratch. Arenas keep their
+// capacity — steady-state steps allocate nothing — unless sustained low
+// use triggers the shrink bound above.
+func (sh *shard) recycle() {
+	used := len(sh.resBuf)
+	if c := cap(sh.resBuf); c > arenaShrinkFloor && used*4 < c {
+		if sh.shrinkRuns++; sh.shrinkRuns >= arenaShrinkAfter {
+			sh.shrinkRuns = 0
+			sh.dq = nil
+			sh.survBuf = nil
+			sh.resBuf = nil
+			sh.drBuf = nil
+		}
+	} else {
+		sh.shrinkRuns = 0
+	}
+	sh.out = sh.out[:0]
+	sh.dq = sh.dq[:0]
+	sh.resBuf = sh.resBuf[:0]
+	sh.drBuf = sh.drBuf[:0]
+	sh.nbOK = false
+}
+
 // StepUntil advances the world to at least t.
 func (w *ShardedWorld) StepUntil(t time.Duration) {
 	for w.Now() < t {
@@ -154,12 +205,17 @@ func (w *ShardedWorld) StepUntil(t time.Duration) {
 	}
 }
 
-// run drains the shard's due events, appending effects to sh.out.
+// run drains the shard's due events, appending effects to sh.out. The pop
+// loop keeps sh.out in queue (= effectBefore) order, recording discovery
+// inquiries in sh.dq instead of executing them; the inquiries then run
+// sorted by cell and fill their reserved effects in place. Reordering is
+// free: an inquiry reads only frozen state and its own node's RNG stream,
+// so its results are the same whenever it executes within the phase.
 func (sh *shard) run(w *ShardedWorld, stepEnd time.Duration) {
 	for {
 		ev, ok := sh.q.peek()
 		if !ok || ev.at > stepEnd {
-			return
+			break
 		}
 		sh.q.pop()
 		n := &w.nodes[ev.node]
@@ -176,21 +232,48 @@ func (sh *shard) run(w *ShardedWorld, stepEnd time.Duration) {
 			sh.out = append(sh.out, e)
 			sh.stats.Rebuckets++
 		case evDiscovery:
-			e := effect{at: ev.at, node: ev.node, kind: evDiscovery, nextAt: ev.at + n.every}
-			e.disc = sh.inquire(w, n, ev.at)
-			sh.out = append(sh.out, e)
+			pos := w.posAt(ev.node, ev.at)
+			sh.out = append(sh.out, effect{at: ev.at, node: ev.node, kind: evDiscovery, nextAt: ev.at + n.every})
+			sh.dq = append(sh.dq, discWork{
+				cell:   geo.CellOf(pos, w.regionSize),
+				pos:    pos,
+				at:     ev.at,
+				node:   ev.node,
+				outIdx: len(sh.out) - 1,
+			})
 		}
+	}
+	// Row-major spatial order; the (at, node) tail makes the pass order
+	// reproducible, though no outcome depends on it.
+	slices.SortFunc(sh.dq, func(a, b discWork) int {
+		if c := cmp.Compare(a.cell.CY, b.cell.CY); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.cell.CX, b.cell.CX); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.node, b.node)
+	})
+	for i := range sh.dq {
+		dw := &sh.dq[i]
+		sh.out[dw.outIdx].disc = sh.inquire(w, &w.nodes[dw.node], dw.at, dw.pos, dw.cell)
 	}
 }
 
 // inquire runs one node's discovery round at time at: one inquiry per
 // technology the node carries, against the 3x3 region neighbourhood of
-// its current position plus the unbucketed always-candidates. Candidates
-// are visited in ascending NodeID order, so the node's RNG consumption —
-// and therefore the whole run — is independent of bucket geometry; the
-// pre-RNG filters (tech, power, fault state, exact distance) mirror the
-// classic Radio.Inquire.
-func (sh *shard) inquire(w *ShardedWorld, n *shardNode, at time.Duration) []discResult {
+// its position plus the unbucketed always-candidates. The scan walks the
+// region buckets in place — no gather, no copy — collecting in-range
+// survivors, then sorts the survivors by NodeID before drawing any
+// randomness. RNG is thereby consumed in ascending-NodeID order over
+// exactly the in-range set, the same stream reads the classic
+// Radio.Inquire makes, whatever order the buckets were scanned in; the
+// pre-RNG filters (tech, power, fault state, exact distance) also mirror
+// the classic path.
+func (sh *shard) inquire(w *ShardedWorld, n *shardNode, at time.Duration, pos geo.Point, cell geo.Cell) []discResult {
 	sh.stats.Inquiries += int64(len(n.techs))
 	dstart := len(sh.drBuf)
 	for _, t := range n.techs {
@@ -204,53 +287,80 @@ func (sh *shard) inquire(w *ShardedWorld, n *shardNode, at time.Duration) []disc
 		// like the classic world's.
 		return out
 	}
-	pos := w.posAt(n.id, at)
-	recs := sh.candidates(w, geo.CellOf(pos, w.regionSize), at)
+	sh.neighborhood(w, cell)
+	snapHit := at == w.snapAt
 
 	for i, t := range n.techs {
 		p := w.params[t]
 		radius := p.CoverageRadius
+		bit := uint8(1) << uint(t)
+		sh.survBuf = sh.survBuf[:0]
+		scan := func(recs []candRec) {
+			for j := range recs {
+				c := &recs[j]
+				if c.id == n.id {
+					continue
+				}
+				if c.mask&bit == 0 {
+					continue
+				}
+				sh.stats.InquiryCandidates++
+				if c.down {
+					continue
+				}
+				cpos := c.pos
+				if !snapHit {
+					// Mid-quantum event (a discovery phase off the step
+					// grid): the bucket records hold step-end positions,
+					// so ask the model for the exact instant.
+					cpos = w.nodes[c.id].model.PositionAt(at)
+				}
+				// Bounding-box rejection before anything that touches the
+				// candidate's shardNode: most of the 3x3 neighbourhood lies
+				// outside the coverage square, and the skipped filters below
+				// neither consume randomness nor count stats, so the
+				// observable outcome is unchanged.
+				if cpos.X-pos.X > radius || pos.X-cpos.X > radius ||
+					cpos.Y-pos.Y > radius || pos.Y-cpos.Y > radius {
+					continue
+				}
+				if !w.allowedAtLocked(n.id, c.id, at, pos, cpos) {
+					continue
+				}
+				// Asymmetric technologies: a candidate whose own inquiry
+				// window extends past our start is not discoverable. (Only
+				// this branch dereferences the candidate's shardNode — the
+				// filters above run entirely on the packed records.)
+				if p.Asymmetric && w.nodes[c.id].inqUntil[t] > at {
+					continue
+				}
+				d := pos.Dist(cpos)
+				if d > radius {
+					continue
+				}
+				sh.survBuf = append(sh.survBuf, surv{id: c.id, d: d})
+			}
+		}
+		for _, recs := range sh.nb[:sh.nbN] {
+			scan(recs)
+		}
+		for _, id := range w.unbucketed {
+			s := &w.snap[id]
+			sh.oneRec[0] = candRec{id: id, pos: s.pos, mask: s.mask, down: s.down}
+			scan(sh.oneRec[:])
+		}
+
+		// Survivors are collected in scan order (arbitrary); the sort
+		// restores the canonical stream order before the first draw.
+		slices.SortFunc(sh.survBuf, func(a, b surv) int {
+			return cmp.Compare(a.id, b.id)
+		})
 		rstart := len(sh.resBuf)
-		for j := range recs {
-			c := &recs[j]
-			if c.id == n.id {
-				continue
-			}
-			if c.mask&(1<<uint(t)) == 0 {
-				continue
-			}
-			sh.stats.InquiryCandidates++
-			if c.down {
-				continue
-			}
-			cpos := c.pos
-			// Bounding-box rejection before anything that touches the
-			// candidate's shardNode: most of the 3x3 neighbourhood lies
-			// outside the coverage square, and the skipped filters below
-			// neither consume randomness nor count stats, so the
-			// observable outcome is unchanged.
-			if cpos.X-pos.X > radius || pos.X-cpos.X > radius ||
-				cpos.Y-pos.Y > radius || pos.Y-cpos.Y > radius {
-				continue
-			}
-			if !w.allowedAtLocked(n.id, c.id, at, pos, cpos) {
-				continue
-			}
-			// Asymmetric technologies: a candidate whose own inquiry
-			// window extends past our start is not discoverable. (Only
-			// this branch dereferences the candidate's shardNode — the
-			// filters above run entirely on the packed records.)
-			if p.Asymmetric && w.nodes[c.id].inqUntil[t] > at {
-				continue
-			}
-			d := pos.Dist(cpos)
-			if d > radius {
-				continue
-			}
+		for _, s := range sh.survBuf {
 			if !n.src.Bool(p.ResponseProb) {
 				continue
 			}
-			sh.resBuf = append(sh.resBuf, ShardInquiry{Node: c.id, Quality: qualityAt(d, p, w.cfg.QualityNoise, n.src)})
+			sh.resBuf = append(sh.resBuf, ShardInquiry{Node: s.id, Quality: qualityAt(s.d, p, w.cfg.QualityNoise, n.src)})
 			sh.stats.InquiryResponses++
 		}
 		out[i].results = sh.resBuf[rstart:len(sh.resBuf):len(sh.resBuf)]
@@ -258,93 +368,98 @@ func (sh *shard) inquire(w *ShardedWorld, n *shardNode, at time.Duration) []disc
 	return out
 }
 
-// candidates returns the packed candidate list for inquiries from cell at
-// time at: the cell's 3x3 region neighbourhood plus the unbucketed
-// always-candidates, sorted by NodeID, each with its hot filter fields.
-// The list is pure frozen-state data, so it is computed once per
-// (cell, time) per superstep and shared by every inquirer in the cell.
-func (sh *shard) candidates(w *ShardedWorld, cell geo.Cell, at time.Duration) []candRec {
-	key := candKey{cell: cell, at: at}
-	if recs, ok := sh.cands[key]; ok {
-		return recs
+// neighborhood resolves the 3x3 bucket slices around cell into sh.nb,
+// reusing the previous resolution when the cell repeats (inquiries run in
+// spatial order, so same-cell runs are the common case). Bucket slices
+// are frozen during the parallel phase; the memo never outlives it.
+func (sh *shard) neighborhood(w *ShardedWorld, cell geo.Cell) {
+	if sh.nbOK && cell == sh.nbCell {
+		return
 	}
-	sh.cand = sh.cand[:0]
+	sh.nbN = 0
 	cell.Neighborhood(1, func(c geo.Cell) {
-		sh.cand = append(sh.cand, w.regions[c]...)
-	})
-	sh.cand = append(sh.cand, w.unbucketed...)
-	// Region lists are individually sorted and mutually disjoint; one
-	// global sort yields the canonical candidate order.
-	slices.Sort(sh.cand)
-
-	snapHit := at == w.snapAt
-	start := len(sh.candBuf)
-	for _, id := range sh.cand {
-		s := &w.snap[id]
-		pos := s.pos
-		if !snapHit {
-			pos = w.nodes[id].model.PositionAt(at)
+		if b, ok := w.regions[c]; ok && len(b.recs) > 0 {
+			sh.nb[sh.nbN] = b.recs
+			sh.nbN++
 		}
-		sh.candBuf = append(sh.candBuf, candRec{id: id, pos: pos, mask: s.mask, down: s.down})
-	}
-	// Carve with a full slice expression: a later append that grows the
-	// arena must not alias this cached list.
-	recs := sh.candBuf[start:len(sh.candBuf):len(sh.candBuf)]
-	sh.cands[key] = recs
-	return recs
+	})
+	sh.nbCell, sh.nbOK = cell, true
 }
 
 // mergeLocked applies every shard's effects in global (time, node, kind)
 // order, re-arms their follow-up events, and drains due link re-checks.
+//
+// Each shard's out buffer is already sorted: its event queue pops in
+// exactly effectBefore order and run appends one effect per pop. The merge
+// is therefore a k-way walk of pre-sorted runs — no global concatenate-
+// and-sort, O(E·k) comparisons with k = shard count, and every run is
+// consumed as the contiguous stripe its own worker wrote (no cross-shard
+// shuffling of effect records through a shared buffer).
 func (w *ShardedWorld) mergeLocked(stepEnd time.Duration) {
-	w.effects = w.effects[:0]
-	for _, sh := range w.shards {
-		w.effects = append(w.effects, sh.out...)
+	if cap(w.runHead) < len(w.shards) {
+		w.runHead = make([]int, len(w.shards))
+	}
+	heads := w.runHead[:len(w.shards)]
+	for i, sh := range w.shards {
+		heads[i] = 0
 		w.stats.add(sh.stats)
 		sh.stats = ShardStats{}
 	}
-	sort.Slice(w.effects, func(i, j int) bool { return effectBefore(&w.effects[i], &w.effects[j]) })
-
-	for i := range w.effects {
-		e := &w.effects[i]
-		n := &w.nodes[e.node]
-		switch e.kind {
-		case evCrossing:
-			if !n.bucketed {
-				continue // demoted since scheduling; nothing to move
+	for {
+		best := -1
+		for i, sh := range w.shards {
+			if heads[i] >= len(sh.out) {
+				continue
 			}
-			if e.newCell != n.cell {
-				w.regions[n.cell] = removeSorted(w.regions[n.cell], n.id)
-				if len(w.regions[n.cell]) == 0 {
-					delete(w.regions, n.cell)
-				}
-				n.cell = e.newCell
-				w.regions[n.cell] = insertSorted(w.regions[n.cell], n.id)
-			}
-			if e.nextAt > 0 {
-				w.pushEventLocked(shardEvent{at: e.nextAt, node: e.node, kind: evCrossing})
-			}
-		case evDiscovery:
-			for _, dr := range e.disc {
-				t := dr.tech
-				n.inqUntil[t] = e.at + w.params[t].InquiryDuration
-				if w.cfg.OnDiscovery != nil {
-					w.cfg.OnDiscovery(e.at, e.node, t, dr.results)
-				}
-				if w.cfg.AutoLink {
-					for _, r := range dr.results {
-						// Best effort, like a daemon redialing next round;
-						// faults and races with fault state are expected.
-						_ = w.connectLocked(e.node, r.Node, t, e.at)
-					}
-				}
-			}
-			if n.every > 0 && e.nextAt > 0 {
-				w.pushEventLocked(shardEvent{at: e.nextAt, node: e.node, kind: evDiscovery})
+			if best < 0 || effectBefore(&sh.out[heads[i]], &w.shards[best].out[heads[best]]) {
+				best = i
 			}
 		}
+		if best < 0 {
+			break
+		}
+		e := &w.shards[best].out[heads[best]]
+		heads[best]++
+		w.applyEffectLocked(e)
 	}
 	w.sweepDueLinksLocked(stepEnd)
+}
+
+// applyEffectLocked applies one merged effect to the world state.
+func (w *ShardedWorld) applyEffectLocked(e *effect) {
+	n := &w.nodes[e.node]
+	switch e.kind {
+	case evCrossing:
+		if !n.bucketed {
+			return // demoted since scheduling; nothing to move
+		}
+		if e.newCell != n.cell {
+			w.regionRemoveLocked(n.id, n.cell)
+			n.cell = e.newCell
+			w.regionInsertLocked(n.id, n.cell)
+		}
+		if e.nextAt > 0 {
+			w.pushEventLocked(shardEvent{at: e.nextAt, node: e.node, kind: evCrossing})
+		}
+	case evDiscovery:
+		for _, dr := range e.disc {
+			t := dr.tech
+			n.inqUntil[t] = e.at + w.params[t].InquiryDuration
+			if w.cfg.OnDiscovery != nil {
+				w.cfg.OnDiscovery(e.at, e.node, t, dr.results)
+			}
+			if w.cfg.AutoLink {
+				for _, r := range dr.results {
+					// Best effort, like a daemon redialing next round;
+					// faults and races with fault state are expected.
+					_ = w.connectLocked(e.node, r.Node, t, e.at)
+				}
+			}
+		}
+		if n.every > 0 && e.nextAt > 0 {
+			w.pushEventLocked(shardEvent{at: e.nextAt, node: e.node, kind: evDiscovery})
+		}
+	}
 }
 
 // sweepDueLinksLocked processes scheduled link re-checks due by stepEnd,
@@ -357,13 +472,13 @@ func (w *ShardedWorld) sweepDueLinksLocked(stepEnd time.Duration) {
 			return
 		}
 		w.linkq.pop()
-		lk, ok := w.links[e.key]
+		lk, ok := w.linkAt(e.key)
 		if !ok || lk.nextCheck != e.at {
 			continue
 		}
 		w.stats.LinkChecks++
 		if !w.linkAliveLocked(e.key, stepEnd) {
-			delete(w.links, e.key)
+			w.removeLinkLocked(e.key)
 			w.stats.LinksBroken++
 			continue
 		}
@@ -390,12 +505,9 @@ func (w *ShardedWorld) rebucketAllLocked() {
 		if nc == n.cell {
 			continue
 		}
-		w.regions[n.cell] = removeSorted(w.regions[n.cell], n.id)
-		if len(w.regions[n.cell]) == 0 {
-			delete(w.regions, n.cell)
-		}
+		w.regionRemoveLocked(n.id, n.cell)
 		n.cell = nc
-		w.regions[n.cell] = insertSorted(w.regions[n.cell], n.id)
+		w.regionInsertLocked(n.id, n.cell)
 	}
 }
 

@@ -1,0 +1,210 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"peerhood/internal/device"
+	"peerhood/internal/geo"
+	"peerhood/internal/mobility"
+)
+
+// connTestWorld builds a two-node sharded world with the nodes a known
+// distance apart on WLAN.
+func connTestWorld(t *testing.T, dist float64) (*ShardedWorld, NodeID, NodeID) {
+	t.Helper()
+	w := NewShardedWorld(ShardedConfig{Seed: 7})
+	t.Cleanup(func() { _ = w.Close() })
+	a, err := w.AddNode(ShardNodeSpec{
+		Name: "a", Model: mobility.Static{At: geo.Pt(0, 0)},
+		Techs: []device.Tech{device.TechWLAN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.AddNode(ShardNodeSpec{
+		Name: "b", Model: mobility.Static{At: geo.Pt(dist, 0)},
+		Techs: []device.Tech{device.TechWLAN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Step() // initialise regions and position snapshots
+	return w, a, b
+}
+
+// TestShardConnCarriesBytes: the sharded transport moves real framed
+// bytes both ways, counts them in ShardStats, reports live quality, and
+// closes with classic Conn semantics (peer drains then sees EOF).
+func TestShardConnCarriesBytes(t *testing.T) {
+	w, a, b := connTestWorld(t, 10)
+	l, err := w.Listen(b, device.TechWLAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := w.Dial(a, b, device.TechWLAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Linked(a, b, device.TechWLAN) {
+		t.Fatal("dial did not establish the link")
+	}
+	cb, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.LocalNode() != a || ca.RemoteNode() != b || cb.LocalNode() != b || cb.RemoteNode() != a {
+		t.Fatalf("endpoint identities wrong: %v->%v accepted as %v->%v",
+			ca.LocalNode(), ca.RemoteNode(), cb.LocalNode(), cb.RemoteNode())
+	}
+
+	msg := []byte("sync-request")
+	if _, err := ca.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := cb.Read(buf)
+	if err != nil || string(buf[:n]) != string(msg) {
+		t.Fatalf("read %q, %v; want %q", buf[:n], err, msg)
+	}
+	reply := []byte("sync-response-with-more-bytes")
+	if _, err := cb.Write(reply); err != nil {
+		t.Fatal(err)
+	}
+	n, err = ca.Read(buf)
+	if err != nil || string(buf[:n]) != string(reply) {
+		t.Fatalf("read %q, %v; want %q", buf[:n], err, reply)
+	}
+
+	st := w.Stats()
+	wantBytes := int64(len(msg) + len(reply))
+	if st.BytesWritten != wantBytes || st.MessagesDelivered != 2 {
+		t.Fatalf("stats bytes=%d msgs=%d, want %d and 2", st.BytesWritten, st.MessagesDelivered, wantBytes)
+	}
+	if q := ca.Quality(); q <= 0 || q > int(QualityMax) {
+		t.Fatalf("quality %d out of range", q)
+	}
+
+	// Close semantics: cb drains what ca wrote, then sees EOF.
+	if _, err := ca.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	_ = ca.Close()
+	if n, err := cb.Read(buf); err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("drain read %q, %v", buf[:n], err)
+	}
+	if _, err := cb.Read(buf); err != io.EOF {
+		t.Fatalf("read after peer close = %v, want io.EOF", err)
+	}
+	_ = cb.Close()
+	if w.conns[linkKeyOf(a, b, device.TechWLAN)] != nil {
+		t.Fatal("closed stream pair not retired from the registry")
+	}
+	if !w.Linked(a, b, device.TechWLAN) {
+		t.Fatal("closing the stream tore down the link itself")
+	}
+}
+
+// TestShardConnDialFailures pins the classic outcome classes: no
+// listener is refusal, out of coverage is unreachable, and the transport
+// registries stay empty for pure simulation worlds.
+func TestShardConnDialFailures(t *testing.T) {
+	w, a, b := connTestWorld(t, 10)
+	if _, err := w.Dial(a, b, device.TechWLAN, 7); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial with no listener = %v, want ErrRefused", err)
+	}
+	far, err := w.AddNode(ShardNodeSpec{
+		Name: "far", Model: mobility.Static{At: geo.Pt(1e6, 0)},
+		Techs: []device.Tech{device.TechWLAN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Listen(far, device.TechWLAN, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Dial(a, far, device.TechWLAN, 7); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("dial out of coverage = %v, want ErrOutOfRange", err)
+	}
+	if _, err := w.Dial(a, b, device.TechGPRS, 7); !errors.Is(err, ErrTechMismatch) {
+		t.Fatalf("dial on absent tech = %v, want ErrTechMismatch", err)
+	}
+	if w.conns != nil {
+		t.Fatal("failed dials left stream registrations behind")
+	}
+}
+
+// TestShardConnBreaksWithLink: when the link a stream rides on goes away
+// (here via a power-down and the forced sweep the fault plane runs),
+// both endpoints fail with ErrLinkLost, exactly like the classic Conn.
+func TestShardConnBreaksWithLink(t *testing.T) {
+	w, a, b := connTestWorld(t, 10)
+	l, err := w.Listen(b, device.TechWLAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := w.Dial(a, b, device.TechWLAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetDown(b, true)
+	if n := w.CheckLinks(); n != 1 {
+		t.Fatalf("CheckLinks broke %d links, want 1", n)
+	}
+	buf := make([]byte, 8)
+	if _, err := ca.Read(buf); !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("read on broken link = %v, want ErrLinkLost", err)
+	}
+	if _, err := cb.Write([]byte("x")); !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("write on broken link = %v, want ErrLinkLost", err)
+	}
+	if ca.Quality() != 0 {
+		t.Fatalf("broken stream quality %d, want 0", ca.Quality())
+	}
+	if len(w.conns) != 0 {
+		t.Fatal("broken link left stream registrations behind")
+	}
+}
+
+// TestShardConnImpairmentDropsFrames: a loss profile on one direction
+// drops whole frames from that writer while the reverse path stays
+// clean, with drops counted in ShardStats.
+func TestShardConnImpairmentDropsFrames(t *testing.T) {
+	w, a, b := connTestWorld(t, 10)
+	l, err := w.Listen(b, device.TechWLAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := w.Dial(a, b, device.TechWLAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetImpairment(a, b, &Impairment{LossProb: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := ca.Write([]byte(fmt.Sprintf("frame%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cb.Write([]byte("upstream")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := ca.Read(buf)
+	if err != nil || string(buf[:n]) != "upstream" {
+		t.Fatalf("reverse direction read %q, %v", buf[:n], err)
+	}
+	st := w.Stats()
+	if st.MessagesDropped != 3 || st.MessagesDelivered != 1 {
+		t.Fatalf("dropped=%d delivered=%d, want 3 and 1", st.MessagesDropped, st.MessagesDelivered)
+	}
+}

@@ -20,7 +20,10 @@ import (
 // an event-driven scheduler replaces per-tick polling so idle nodes cost
 // nothing. It models the parts of the classic world whose per-tick scans
 // dominate at scale — discovery, link lifecycle, and the fault plane's
-// partitions/blackouts/crashes — not byte transport (no Conn/Listener).
+// partitions/blackouts/crashes — plus a minimal byte transport
+// (Dial/Listen/ShardConn, see shardconn.go) so scale runs can move real
+// protocol frames over established links; bandwidth timing is not
+// modelled there.
 //
 // # Determinism contract
 //
@@ -53,24 +56,56 @@ type ShardedWorld struct {
 	now         time.Duration
 	nodes       []shardNode // value slice: one slab, not 100k GC-traced objects
 	byName      map[string]NodeID
-	regions     map[geo.Cell][]NodeID
-	unbucketed  []NodeID
+
+	// Region membership as packed per-cell record buckets: each occupied
+	// cell owns a []candRec slab, and a node's slot field points back at
+	// its record, so a bucket move is an O(1) swap-remove plus append.
+	// The candidate gather then concatenates nine contiguous slabs — no
+	// per-node pointer chase. (An earlier intrusive-list layout was also
+	// O(1) per move, but at a million nodes its dependent next-pointer
+	// walks plus the per-candidate snapshot reads fell out of cache and
+	// broke flat per-node scaling; the buckets are refreshed from the
+	// snapshot once per active superstep instead, one independent read
+	// per node.) Bucket order is arbitrary (swap-removes shuffle it); the
+	// candidate gather sorts, so determinism is unaffected. Once-occupied
+	// cells keep their empty bucket for reuse — the set of cells a world
+	// ever touches is bounded by its area, and dropping slabs on every
+	// transient empty would churn the allocator.
+	regions    map[geo.Cell]*regionBucket
+	bucketList []*regionBucket // dense iteration order for the refresh pass
+	unbucketed []NodeID
 
 	// Per-superstep snapshot of the candidate filter's hot fields, one
-	// dense record per node so a candidate visit costs one cache line.
-	// Positions are filled in parallel stripes before the workers start;
-	// mask/down are kept current on AddNode/SetDown. The values are
-	// identical to what the models and nodes hold — the snapshot exists
-	// because chasing 100k scattered shardNode and mobility-model pointers
-	// per candidate visit is what breaks flat per-node scaling, not
-	// because any state differs.
-	snap    []nodeSnap
-	snapAt  time.Duration // snapshot position validity time; -1 until first snapshot
-	shards  []*shard
-	effects []effect
-	links   map[shardLinkKey]*shardLink
-	linkq   linkQueue
-	stats   ShardStats
+	// dense record per node. Positions are filled in parallel stripes
+	// before the workers start; mask/down are kept current on
+	// AddNode/SetDown. It feeds the bucket refresh (and posAt's snapshot
+	// hit path), so each node's mobility model is asked for its position
+	// once per active superstep instead of once per candidate visit. The
+	// values are identical to what the models and nodes hold — the
+	// snapshot exists because chasing scattered shardNode and
+	// mobility-model pointers in the hot path is what breaks flat
+	// per-node scaling, not because any state differs.
+	snap   []nodeSnap
+	snapAt time.Duration // snapshot position validity time; -1 until first snapshot
+	shards []*shard
+
+	// Established links live in a packed slab whose slots recycle through
+	// a free list; linkIdx maps a canonical key to its slot. Link churn in
+	// steady state allocates nothing, and the table costs one map entry
+	// plus one inline record per live link instead of a GC-traced heap
+	// object per link.
+	links    []shardLink
+	linkIdx  map[shardLinkKey]int32
+	linkFree []int32
+	linkKeys []shardLinkKey // sorted-key scratch, reused across sweeps
+	runHead  []int          // merge-phase per-shard run cursors
+	linkq    linkQueue
+	stats    ShardStats
+
+	// Byte-transport registries (shardconn.go); nil until the first
+	// Listen/Dial, so pure simulation runs pay nothing for them.
+	listeners map[shardPortKey]*ShardListener
+	conns     map[shardLinkKey][]*ShardConn
 
 	partitioned bool
 	partSegs    []int32 // indexed by NodeID; meaningful when partitioned
@@ -168,6 +203,13 @@ type ShardStats struct {
 	DialsOutOfRange   int64
 	LinkChecks        int64
 	LinksBroken       int64
+
+	// Byte-transport counters (shardconn.go): the classic world's traffic
+	// accounting, minus bandwidth timing. Drops come from impairment
+	// profiles; the sharded transport never loses frames otherwise.
+	BytesWritten      int64
+	MessagesDelivered int64
+	MessagesDropped   int64
 }
 
 func (s *ShardStats) add(o ShardStats) {
@@ -195,6 +237,7 @@ type shardNode struct {
 	down     bool
 	bucketed bool
 	cell     geo.Cell
+	slot     int32            // index of this node's record in its cell's bucket
 	inqUntil [4]time.Duration // per-tech inquiry-window end (asymmetric techs)
 }
 
@@ -323,8 +366,8 @@ func NewShardedWorld(cfg ShardedConfig) *ShardedWorld {
 		params:      params,
 		quantum:     cfg.Quantum,
 		byName:      make(map[string]NodeID),
-		regions:     make(map[geo.Cell][]NodeID),
-		links:       make(map[shardLinkKey]*shardLink),
+		regions:     make(map[geo.Cell]*regionBucket),
+		linkIdx:     make(map[shardLinkKey]int32),
 		impairments: make(map[[2]NodeID]Impairment),
 		snapAt:      -1,
 	}
@@ -334,6 +377,16 @@ func NewShardedWorld(cfg ShardedConfig) *ShardedWorld {
 	}
 	return w
 }
+
+// singleTech holds one shared immutable []Tech per technology; AddNode
+// hands it to every single-radio node. Indexed by the Tech value (1..3).
+var singleTech = func() [4][]device.Tech {
+	var a [4][]device.Tech
+	for _, t := range device.Techs() {
+		a[t] = []device.Tech{t}
+	}
+	return a
+}()
 
 // nodeSeed mixes the world seed with a node ID into an independent stream
 // seed (splitmix64 finalizer). Per-node streams — rather than one world
@@ -371,13 +424,23 @@ func (w *ShardedWorld) AddNode(spec ShardNodeSpec) (NodeID, error) {
 	if model == nil {
 		model = mobility.Static{}
 	}
+	techs := spec.Techs
+	if len(techs) == 1 {
+		// The overwhelmingly common single-radio node shares one immutable
+		// per-tech slice instead of allocating its own one-element copy
+		// (1M nodes would otherwise mean 1M slices held for the world's
+		// whole lifetime).
+		techs = singleTech[techs[0]]
+	} else {
+		techs = append([]device.Tech(nil), techs...)
+	}
 	id := NodeID(len(w.nodes))
 	n := shardNode{
 		id:       id,
 		name:     spec.Name,
 		model:    model,
 		speed:    mobility.MaxSpeedOf(model),
-		techs:    append([]device.Tech(nil), spec.Techs...),
+		techs:    techs,
 		techMask: mask,
 		every:    spec.DiscoveryEvery,
 		phase:    spec.DiscoveryPhase,
@@ -486,7 +549,7 @@ func (w *ShardedWorld) placeLocked(n *shardNode) {
 		pos := n.model.PositionAt(w.now)
 		n.cell = geo.CellOf(pos, w.regionSize)
 		n.bucketed = true
-		w.regions[n.cell] = insertSorted(w.regions[n.cell], n.id)
+		w.regionInsertLocked(n.id, n.cell)
 		if !w.cfg.BruteForce {
 			if delay, ok := crossingAfter(pos, n.cell, w.regionSize, n.speed, n.slackEff); ok {
 				w.pushEventLocked(shardEvent{at: w.now + delay, node: n.id, kind: evCrossing})
@@ -495,6 +558,118 @@ func (w *ShardedWorld) placeLocked(n *shardNode) {
 	}
 	if n.every > 0 {
 		w.pushEventLocked(shardEvent{at: w.now + n.phase, node: n.id, kind: evDiscovery})
+	}
+}
+
+// regionBucket is one occupied cell's packed candidate records. recs is
+// authoritative only for membership (ids); the hot filter fields inside
+// each record are re-copied from the superstep snapshot by
+// refreshBucketsLocked before any worker reads them.
+type regionBucket struct {
+	recs []candRec
+}
+
+// regionInsertLocked appends a node's record to its cell's bucket: O(1)
+// amortised, no allocation once the slab has grown to its working size.
+func (w *ShardedWorld) regionInsertLocked(id NodeID, c geo.Cell) {
+	b := w.regions[c]
+	if b == nil {
+		b = &regionBucket{}
+		w.regions[c] = b
+		w.bucketList = append(w.bucketList, b)
+	}
+	w.nodes[id].slot = int32(len(b.recs))
+	s := &w.snap[id]
+	b.recs = append(b.recs, candRec{id: id, pos: s.pos, mask: s.mask, down: s.down})
+}
+
+// regionRemoveLocked swap-removes a node's record from its cell's bucket,
+// repointing the moved record's owner at its new slot.
+func (w *ShardedWorld) regionRemoveLocked(id NodeID, c geo.Cell) {
+	b := w.regions[c]
+	slot := w.nodes[id].slot
+	last := int32(len(b.recs) - 1)
+	if slot != last {
+		moved := b.recs[last]
+		b.recs[slot] = moved
+		w.nodes[moved.id].slot = slot
+	}
+	b.recs = b.recs[:last]
+}
+
+// refreshBucketsLocked re-copies every bucketed record's hot filter fields
+// from the just-taken superstep snapshot, in parallel stripes of disjoint
+// buckets. This is the one pass that touches the snapshot randomly — one
+// independent (prefetchable) read per node per active superstep — so the
+// candidate gathers in the parallel phase become pure sequential copies.
+// Stripes write disjoint buckets, and the result is the same whatever the
+// striping, so determinism is unaffected.
+func (w *ShardedWorld) refreshBucketsLocked() {
+	refresh := func(buckets []*regionBucket) {
+		for _, b := range buckets {
+			for i := range b.recs {
+				r := &b.recs[i]
+				s := &w.snap[r.id]
+				r.pos, r.mask, r.down = s.pos, s.mask, s.down
+			}
+		}
+	}
+	nb := len(w.bucketList)
+	const parallelMin = 4096
+	if workers := len(w.shards); workers > 1 && len(w.nodes) >= parallelMin && nb >= workers {
+		stripe := (nb + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < nb; lo += stripe {
+			hi := min(lo+stripe, nb)
+			wg.Add(1)
+			go func(buckets []*regionBucket) {
+				defer wg.Done()
+				refresh(buckets)
+			}(w.bucketList[lo:hi])
+		}
+		wg.Wait()
+	} else {
+		refresh(w.bucketList)
+	}
+}
+
+// linkAt resolves a link key to its slab record. The pointer is valid only
+// until the slab next grows; callers use it within one locked region.
+func (w *ShardedWorld) linkAt(key shardLinkKey) (*shardLink, bool) {
+	i, ok := w.linkIdx[key]
+	if !ok {
+		return nil, false
+	}
+	return &w.links[i], true
+}
+
+// addLinkLocked installs a link record, reusing a freed slab slot when one
+// is available.
+func (w *ShardedWorld) addLinkLocked(lk shardLink) *shardLink {
+	var i int32
+	if n := len(w.linkFree); n > 0 {
+		i = w.linkFree[n-1]
+		w.linkFree = w.linkFree[:n-1]
+		w.links[i] = lk
+	} else {
+		i = int32(len(w.links))
+		w.links = append(w.links, lk)
+	}
+	w.linkIdx[lk.key] = i
+	return &w.links[i]
+}
+
+// removeLinkLocked breaks a link, returning its slab slot to the free list.
+func (w *ShardedWorld) removeLinkLocked(key shardLinkKey) {
+	i, ok := w.linkIdx[key]
+	if !ok {
+		return
+	}
+	delete(w.linkIdx, key)
+	w.links[i] = shardLink{}
+	w.linkFree = append(w.linkFree, i)
+	if len(w.conns) != 0 {
+		w.failConnsLocked(key, ErrLinkLost)
 	}
 }
 
@@ -610,7 +785,7 @@ func (w *ShardedWorld) Stats() ShardStats {
 func (w *ShardedWorld) ActiveLinks() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return len(w.links)
+	return len(w.linkIdx)
 }
 
 // LinkKeys returns the established links as canonical "a<->b/tech" strings
@@ -627,11 +802,12 @@ func (w *ShardedWorld) LinkKeys() []string {
 }
 
 func (w *ShardedWorld) sortedLinkKeysLocked() []shardLinkKey {
-	keys := make([]shardLinkKey, 0, len(w.links))
-	for k := range w.links {
+	keys := w.linkKeys[:0]
+	for k := range w.linkIdx {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return linkKeyBefore(keys[i], keys[j]) })
+	w.linkKeys = keys
 	return keys
 }
 
@@ -639,7 +815,7 @@ func (w *ShardedWorld) sortedLinkKeysLocked() []shardLinkKey {
 func (w *ShardedWorld) Linked(a, b NodeID, tech device.Tech) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_, ok := w.links[linkKeyOf(a, b, tech)]
+	_, ok := w.linkIdx[linkKeyOf(a, b, tech)]
 	return ok
 }
 
@@ -755,15 +931,14 @@ func (w *ShardedWorld) connectLocked(from, to NodeID, tech device.Tech, at time.
 		return fmt.Errorf("%w: %s", ErrOutOfRange, b.name)
 	}
 	key := linkKeyOf(from, to, tech)
-	if _, exists := w.links[key]; exists {
+	if _, exists := w.linkIdx[key]; exists {
 		return nil
 	}
 	if a.src.Bool(p.FaultProb) {
 		w.stats.DialsFaulted++
 		return fmt.Errorf("%w: dialing %s", ErrConnectFault, b.name)
 	}
-	lk := &shardLink{key: key, established: at}
-	w.links[key] = lk
+	lk := w.addLinkLocked(shardLink{key: key, established: at})
 	w.stats.DialsSucceeded++
 	w.scheduleLinkCheckLocked(lk, pa.Dist(pb), p.CoverageRadius, a.speed+b.speed, at)
 	return nil
@@ -801,7 +976,7 @@ func (w *ShardedWorld) CheckLinks() int {
 	broken := 0
 	for _, k := range w.sortedLinkKeysLocked() {
 		if !w.linkAliveLocked(k, w.now) {
-			delete(w.links, k)
+			w.removeLinkLocked(k)
 			w.stats.LinksBroken++
 			broken++
 		}
@@ -826,7 +1001,7 @@ func (w *ShardedWorld) Digest() string {
 			n.inqUntil[1], n.inqUntil[2], n.inqUntil[3])
 	}
 	for _, k := range w.sortedLinkKeysLocked() {
-		lk := w.links[k]
+		lk, _ := w.linkAt(k)
 		fmt.Fprintf(h, "l%d-%d/%d est=%d chk=%d\n", k.A, k.B, k.Tech, lk.established, lk.nextCheck)
 	}
 	fmt.Fprintf(h, "part=%t bo=%d imp=%d\n", w.partitioned, len(w.blackouts), len(w.impairments))
@@ -845,8 +1020,18 @@ func (w *ShardedWorld) Close() error {
 		return nil
 	}
 	w.closed = true
-	w.stats.LinksBroken += int64(len(w.links))
-	w.links = make(map[shardLinkKey]*shardLink)
+	for key := range w.conns {
+		w.failConnsLocked(key, ErrClosed)
+	}
+	w.conns = nil
+	for _, l := range w.listeners {
+		l.fail()
+	}
+	w.listeners = nil
+	w.stats.LinksBroken += int64(len(w.linkIdx))
+	w.links = nil
+	w.linkIdx = make(map[shardLinkKey]int32)
+	w.linkFree = nil
 	w.linkq = linkQueue{}
 	for _, sh := range w.shards {
 		sh.q = eventQueue{}

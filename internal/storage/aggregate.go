@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"sort"
+
+	"peerhood/internal/phproto"
+)
+
+// Hierarchical (per-cell) views of the transmitted table.
+//
+// Both responders scan the same wireHash map the flat digest is maintained
+// over, so the aggregate view is a pure re-slicing of the existing
+// fingerprint state: XOR-ing every cell's Hash yields Digest().Hash, and
+// the cell counts sum to Digest().Entries. No additional incremental state
+// is kept — the scans are O(entries) on demand, which a sync responder pays
+// once per aggregate-scoped fetch.
+
+// CellSummaries renders the per-cell aggregate view of the transmitted
+// table: one summary per occupied cell, ascending cell order, plus the flat
+// digest the view ties back to.
+func (s *Storage) CellSummaries() ([]phproto.CellSummary, Digest) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var cells [phproto.NumAggCells]phproto.CellSummary
+	occupied := 0
+	for addr, h := range s.wireHash {
+		cs := &cells[phproto.CellOf(addr)]
+		if cs.Count == 0 {
+			occupied++
+		}
+		cs.Count++
+		cs.Hash ^= h
+		cs.TechMask |= 1 << uint8(addr.Tech)
+		if e, ok := s.entries[addr]; ok {
+			if en, ok := wireEntryOf(e); ok {
+				if en.QualityMin > cs.BestQuality {
+					cs.BestQuality = en.QualityMin
+				}
+				for _, sib := range en.Info.Siblings {
+					cs.TechMask |= 1 << uint8(sib.Tech)
+				}
+			}
+		}
+	}
+	out := make([]phproto.CellSummary, 0, occupied)
+	for i := range cells {
+		if cells[i].Count == 0 {
+			continue
+		}
+		cells[i].Cell = uint8(i)
+		out = append(out, cells[i])
+	}
+	return out, s.digestLocked()
+}
+
+// CellEntries renders one cell's full rows (address order, Infos cloned)
+// with the XOR of their fingerprints, plus the table digest the rows were
+// cut from. Rows beyond phproto.MaxEntries are dropped — the hash then
+// covers only the transmitted rows and will not match the aggregate view's,
+// which a fetcher must treat as "refinement unavailable" (the flat exchange
+// truncates the same way).
+func (s *Storage) CellEntries(cell uint8) ([]phproto.NeighborEntry, uint64, Digest) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []phproto.NeighborEntry
+	var hash uint64
+	for addr, e := range s.entries {
+		if phproto.CellOf(addr) != cell {
+			continue
+		}
+		h, ok := s.wireHash[addr]
+		if !ok {
+			continue
+		}
+		en, ok := wireEntryOf(e)
+		if !ok {
+			continue
+		}
+		en.Info = en.Info.Clone()
+		out = append(out, en)
+		hash ^= h
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Info.Addr.Less(out[j].Info.Addr)
+	})
+	if len(out) > phproto.MaxEntries {
+		out = out[:phproto.MaxEntries]
+		hash = 0
+		for i := range out {
+			hash ^= out[i].Hash()
+		}
+	}
+	return out, hash, s.digestLocked()
+}

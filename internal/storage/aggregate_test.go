@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"peerhood/internal/clock"
+	"peerhood/internal/device"
+	"peerhood/internal/phproto"
+)
+
+// TestCellViewsPartitionTheTable is the aggregation property at the
+// storage layer: over a table with direct rows, bridged rows, and sibling
+// advertisements, the cell summaries must partition the flat digest
+// exactly — counts sum to the entry count, hashes XOR to the table hash —
+// and the per-cell row sets must union, disjointly, to WireEntries.
+func TestCellViewsPartitionTheTable(t *testing.T) {
+	s := New(Config{Clock: clock.NewManual()})
+	s.AddSelfAddr(device.Addr{Tech: device.TechBluetooth, MAC: "self"})
+	for i := 0; i < 80; i++ {
+		name := fmt.Sprintf("n%03d", i)
+		info := device.Info{Name: name, Addr: device.Addr{Tech: device.Tech(1 + i%3), MAC: name}}
+		if i%4 == 0 {
+			info.Siblings = []device.Addr{{Tech: device.TechWLAN, MAC: name + "-w"}}
+		}
+		s.UpsertDirect(info, 190+i%66)
+	}
+	// A few bridged rows so jumps > 0 shapes are covered too.
+	bridge := device.Addr{Tech: device.TechBluetooth, MAC: "n000"}
+	s.MergeNeighborhood(bridge, 240, []phproto.NeighborEntry{
+		{Info: device.Info{Name: "far1", Addr: device.Addr{Tech: device.TechGPRS, MAC: "far1"}}, QualitySum: 200, QualityMin: 200},
+		{Info: device.Info{Name: "far2", Addr: device.Addr{Tech: device.TechWLAN, MAC: "far2"}}, Jumps: 1, Bridge: bridge, QualitySum: 400, QualityMin: 180},
+	})
+
+	dg := s.Digest()
+	cells, cdg := s.CellSummaries()
+	if cdg != dg {
+		t.Fatalf("CellSummaries digest %+v != Digest() %+v", cdg, dg)
+	}
+	var count uint32
+	var hash uint64
+	lastCell := -1
+	for _, cs := range cells {
+		if int(cs.Cell) <= lastCell {
+			t.Fatalf("cells not in ascending order: %d after %d", cs.Cell, lastCell)
+		}
+		lastCell = int(cs.Cell)
+		if cs.Count == 0 {
+			t.Fatalf("empty cell %d listed", cs.Cell)
+		}
+		count += cs.Count
+		hash ^= cs.Hash
+	}
+	if int(count) != dg.Entries || hash != dg.Hash {
+		t.Fatalf("cells sum to (n=%d h=%x), table digest is (n=%d h=%x)", count, hash, dg.Entries, dg.Hash)
+	}
+
+	var union []phproto.NeighborEntry
+	for _, cs := range cells {
+		rows, rowHash, _ := s.CellEntries(cs.Cell)
+		if uint32(len(rows)) != cs.Count || rowHash != cs.Hash {
+			t.Fatalf("cell %d rows (n=%d h=%x) != summary (n=%d h=%x)",
+				cs.Cell, len(rows), rowHash, cs.Count, cs.Hash)
+		}
+		var mask uint8
+		var best uint8
+		for _, en := range rows {
+			if got := phproto.CellOf(en.Info.Addr); got != cs.Cell {
+				t.Fatalf("row %v in cell %d hashes to %d", en.Info.Addr, cs.Cell, got)
+			}
+			mask |= 1 << uint8(en.Info.Addr.Tech)
+			for _, sib := range en.Info.Siblings {
+				mask |= 1 << uint8(sib.Tech)
+			}
+			if en.QualityMin > best {
+				best = en.QualityMin
+			}
+		}
+		if mask != cs.TechMask || best != cs.BestQuality {
+			t.Fatalf("cell %d summary (mask=%b best=%d) != rows (mask=%b best=%d)",
+				cs.Cell, cs.TechMask, cs.BestQuality, mask, best)
+		}
+		union = append(union, rows...)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].Info.Addr.Less(union[j].Info.Addr) })
+	if full := s.WireEntries(); !reflect.DeepEqual(union, full) {
+		t.Fatalf("union of cell rows (%d) != WireEntries (%d)", len(union), len(full))
+	}
+
+	// Empty cells answer empty, hash zero, same digest.
+	for c := 0; c < phproto.NumAggCells; c++ {
+		occupied := false
+		for _, cs := range cells {
+			if int(cs.Cell) == c {
+				occupied = true
+			}
+		}
+		if occupied {
+			continue
+		}
+		rows, rowHash, _ := s.CellEntries(uint8(c))
+		if len(rows) != 0 || rowHash != 0 {
+			t.Fatalf("unoccupied cell %d served %d rows (hash %x)", c, len(rows), rowHash)
+		}
+	}
+}
